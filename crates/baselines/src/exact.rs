@@ -1,0 +1,240 @@
+//! Exact implication counting — the ground truth of every experiment.
+//!
+//! One [`imp_core::ItemState`] per distinct `A`-itemset, keyed by the real
+//! itemset values (no hashing of `a`; partner identities use 64-bit
+//! fingerprints exactly like NIPS, so both sides of every comparison share
+//! one semantics — see the collision note in `imp_core::state`).
+//!
+//! Memory grows with `F0(A)`, which is precisely why the paper needs
+//! NIPS/CI in constrained environments; here the exact counter doubles as
+//! the reference implementation of the §3.1.1 semantics (including the
+//! dirty-forever rule and the multiplicity policy).
+
+use std::collections::HashMap;
+
+use imp_core::{ImplicationConditions, ItemState, Verdict};
+use imp_sketch::hash::{Hasher64, MixHasher};
+use imp_stream::item::ItemKey;
+
+use crate::ImplicationCounter;
+
+/// Exact streaming implication counter.
+#[derive(Debug, Clone)]
+pub struct ExactCounter {
+    cond: ImplicationConditions,
+    items: HashMap<ItemKey, ItemState>,
+    hasher_b: MixHasher,
+    tuples: u64,
+    /// Incrementally maintained aggregate counts, updated on verdict
+    /// transitions so queries are O(1).
+    satisfying: u64,
+    violating: u64,
+    supported: u64,
+}
+
+impl ExactCounter {
+    /// Creates a counter for the given conditions.
+    pub fn new(cond: ImplicationConditions) -> Self {
+        Self {
+            cond,
+            items: HashMap::new(),
+            hasher_b: MixHasher::new(0xe8ac_7ab1),
+            tuples: 0,
+            satisfying: 0,
+            violating: 0,
+            supported: 0,
+        }
+    }
+
+    /// The conditions being evaluated.
+    pub fn conditions(&self) -> &ImplicationConditions {
+        &self.cond
+    }
+
+    /// Tuples processed.
+    pub fn tuples_seen(&self) -> u64 {
+        self.tuples
+    }
+
+    /// Distinct itemsets of `A` observed.
+    pub fn distinct_items(&self) -> usize {
+        self.items.len()
+    }
+
+    /// The exact implication count `S` (itemsets currently satisfying all
+    /// conditions; dirty-forever per §3.1.1).
+    pub fn exact_implication_count(&self) -> u64 {
+        self.satisfying
+    }
+
+    /// The exact non-implication count `S̄`.
+    pub fn exact_non_implication_count(&self) -> u64 {
+        self.violating
+    }
+
+    /// The exact `F0^sup` (distinct itemsets meeting minimum support).
+    pub fn exact_f0_sup(&self) -> u64 {
+        self.supported
+    }
+}
+
+impl ImplicationCounter for ExactCounter {
+    fn update(&mut self, a: &[u64], b: &[u64]) {
+        self.tuples += 1;
+        let b_fp = self.hasher_b.hash_slice(b);
+        let state = self.items.entry(ItemKey::from_slice(a)).or_default();
+        let before = state.peek_verdict(&self.cond);
+        let was_supported = state.support() >= self.cond.min_support;
+        let after = state.update(b_fp, &self.cond);
+        if !was_supported && state.support() >= self.cond.min_support {
+            self.supported += 1;
+        }
+        if before != after {
+            match before {
+                Verdict::Satisfies => self.satisfying -= 1,
+                Verdict::Violates => self.violating -= 1,
+                Verdict::Pending => {}
+            }
+            match after {
+                Verdict::Satisfies => self.satisfying += 1,
+                Verdict::Violates => self.violating += 1,
+                Verdict::Pending => {}
+            }
+        }
+    }
+
+    fn implication_count(&self) -> f64 {
+        self.satisfying as f64
+    }
+
+    fn non_implication_count(&self) -> Option<f64> {
+        Some(self.violating as f64)
+    }
+
+    fn f0_sup(&self) -> Option<f64> {
+        Some(self.supported as f64)
+    }
+
+    fn memory_entries(&self) -> usize {
+        self.items.values().map(|s| 1 + s.multiplicity()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imp_core::MultiplicityPolicy;
+
+    fn strict() -> ImplicationConditions {
+        ImplicationConditions::strict_one_to_one(1)
+    }
+
+    #[test]
+    fn empty_counter_reads_zero() {
+        let c = ExactCounter::new(strict());
+        assert_eq!(c.exact_implication_count(), 0);
+        assert_eq!(c.exact_non_implication_count(), 0);
+        assert_eq!(c.exact_f0_sup(), 0);
+    }
+
+    #[test]
+    fn counts_toy_example_from_section_1() {
+        // Table 1, Destination → Source: D2 → S1 and D1 → S2 hold strictly;
+        // D3 is contacted by two sources. Implication count 2.
+        let (schema, tuples, _) = imp_stream::toy::network_traffic();
+        let pd = imp_stream::project::Projector::new(&schema, schema.attr_set(&["Destination"]));
+        let ps = imp_stream::project::Projector::new(&schema, schema.attr_set(&["Source"]));
+        let mut c = ExactCounter::new(strict());
+        for t in &tuples {
+            c.update(pd.project(&t.clone()).as_slice(), ps.project(t).as_slice());
+        }
+        assert_eq!(c.exact_implication_count(), 2);
+        assert_eq!(c.exact_non_implication_count(), 1, "D3 violates");
+        assert_eq!(c.exact_f0_sup(), 3);
+    }
+
+    #[test]
+    fn services_to_source_example() {
+        // §1: "how many services are being requested from only one source"
+        // → WWW and FTP qualify, P2P (three sources) does not: count 2.
+        let (schema, tuples, _) = imp_stream::toy::network_traffic();
+        let psvc = imp_stream::project::Projector::new(&schema, schema.attr_set(&["Service"]));
+        let psrc = imp_stream::project::Projector::new(&schema, schema.attr_set(&["Source"]));
+        let mut c = ExactCounter::new(strict());
+        for t in &tuples {
+            c.update(psvc.project(t).as_slice(), psrc.project(t).as_slice());
+        }
+        assert_eq!(c.exact_implication_count(), 2);
+    }
+
+    #[test]
+    fn aggregates_track_transitions() {
+        let cond = ImplicationConditions::one_to_c(1, 0.6, 2);
+        let mut c = ExactCounter::new(cond);
+        // a=1: two tuples same partner → supported, satisfying.
+        c.update(&[1], &[10]);
+        assert_eq!(c.exact_f0_sup(), 0);
+        c.update(&[1], &[10]);
+        assert_eq!(c.exact_f0_sup(), 1);
+        assert_eq!(c.exact_implication_count(), 1);
+        // Third tuple, different partner (Strict, K=1): violates.
+        c.update(&[1], &[11]);
+        assert_eq!(c.exact_implication_count(), 0);
+        assert_eq!(c.exact_non_implication_count(), 1);
+        // Recovery is impossible (dirty-forever).
+        c.update(&[1], &[10]);
+        c.update(&[1], &[10]);
+        assert_eq!(c.exact_non_implication_count(), 1);
+        assert_eq!(c.exact_implication_count(), 0);
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_stream() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let cond =
+            ImplicationConditions::one_to_c(2, 0.7, 3).with_policy(MultiplicityPolicy::Strict);
+        let mut rng = StdRng::seed_from_u64(42);
+        let stream: Vec<(u64, u64)> = (0..5000)
+            .map(|_| (rng.gen_range(0..200), rng.gen_range(0..8)))
+            .collect();
+        let mut c = ExactCounter::new(cond);
+        // Brute force: replay per-item histories through a fresh ItemState
+        // (the reference semantics), then compare aggregate counts.
+        let mut histories: HashMap<u64, Vec<u64>> = HashMap::new();
+        for &(a, b) in &stream {
+            c.update(&[a], &[b]);
+            histories.entry(a).or_default().push(b);
+        }
+        let hasher = MixHasher::new(0xe8ac_7ab1);
+        let (mut sat, mut vio, mut sup) = (0u64, 0u64, 0u64);
+        for bs in histories.values() {
+            let mut st = ItemState::new();
+            let mut last = Verdict::Pending;
+            for &b in bs {
+                last = st.update(hasher.hash_slice(&[b]), &cond);
+            }
+            match last {
+                Verdict::Satisfies => sat += 1,
+                Verdict::Violates => vio += 1,
+                Verdict::Pending => {}
+            }
+            if st.support() >= cond.min_support {
+                sup += 1;
+            }
+        }
+        assert_eq!(c.exact_implication_count(), sat);
+        assert_eq!(c.exact_non_implication_count(), vio);
+        assert_eq!(c.exact_f0_sup(), sup);
+    }
+
+    #[test]
+    fn memory_grows_with_distinct_items() {
+        let mut c = ExactCounter::new(strict());
+        for a in 0..1000u64 {
+            c.update(&[a], &[0]);
+        }
+        assert_eq!(c.distinct_items(), 1000);
+        assert!(c.memory_entries() >= 1000);
+    }
+}

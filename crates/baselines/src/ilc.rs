@@ -1,0 +1,255 @@
+//! Implication Lossy Counting — §5.1 of the paper.
+//!
+//! The paper extends Lossy Counting to identify *implicated itemsets*:
+//! sample `(a, support, Δ)` entries and `((a, b), support, Δ)` pair
+//! entries; when a supported itemset fails the other conditions, mark the
+//! `a` entry **dirty** and delete its pair entries (dirty entries are never
+//! pruned). At bucket boundaries non-dirty entries are pruned as usual.
+//!
+//! The paper's point — reproduced here and in Figure 7 — is that this
+//! cannot answer implication *counts* well:
+//!
+//! 1. the minimum support must be *relative* (`σ_rel ≥ ε`), so as the
+//!    stream grows, small-support implications fall out of the sample and
+//!    their cumulative contribution is lost ("the contribution of small
+//!    implications to the implication count is lost", §5.1.1);
+//! 2. dirty entries can never be pruned, so memory grows with the number
+//!    of distinct supported violators;
+//! 3. it stores *itemsets*, not a count mantissa, so its footprint dwarfs
+//!    NIPS/CI and DS even while being less accurate.
+//!
+//! Experiment configuration: following Table 5 we run ILC with `ε = 0.01`
+//! and evaluate the implication conditions with the experiment's absolute
+//! minimum support (the relative-support requirement is precisely what ILC
+//! cannot express; see §5.1.1).
+
+use std::collections::HashMap;
+
+use imp_core::{ImplicationConditions, ItemState, Verdict};
+use imp_sketch::hash::{Hasher64, MixHasher};
+use imp_stream::item::ItemKey;
+
+use crate::ImplicationCounter;
+
+/// One tracked `a` entry.
+#[derive(Debug, Clone)]
+struct IlcEntry {
+    /// Condition-tracking state over the *tracked* arrivals (support here
+    /// is the Lossy-Counting count, an undercount by at most `Δ`).
+    state: ItemState,
+    /// Maximum possible uncounted support (`b_current − 1` at insertion).
+    delta: u64,
+    /// Sticky violation marker; partners are dropped when set.
+    dirty: bool,
+}
+
+/// Implication Lossy Counting.
+#[derive(Debug, Clone)]
+pub struct Ilc {
+    cond: ImplicationConditions,
+    epsilon: f64,
+    width: u64,
+    entries: HashMap<ItemKey, IlcEntry>,
+    hasher_b: MixHasher,
+    n: u64,
+}
+
+impl Ilc {
+    /// Creates an ILC instance with approximation parameter `ε` (Table 5
+    /// uses 0.01).
+    pub fn new(cond: ImplicationConditions, epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "ε must be in (0, 1)");
+        Self {
+            cond,
+            epsilon,
+            width: (1.0 / epsilon).ceil() as u64,
+            entries: HashMap::new(),
+            hasher_b: MixHasher::new(0x11c0_55e5),
+            n: 0,
+        }
+    }
+
+    /// The approximation parameter `ε`.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Tuples processed.
+    pub fn stream_length(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of dirty (permanently retained) entries.
+    pub fn dirty_entries(&self) -> usize {
+        self.entries.values().filter(|e| e.dirty).count()
+    }
+
+    fn current_bucket(&self) -> u64 {
+        self.n.div_ceil(self.width).max(1)
+    }
+}
+
+impl ImplicationCounter for Ilc {
+    fn update(&mut self, a: &[u64], b: &[u64]) {
+        self.n += 1;
+        let bucket = self.current_bucket();
+        let b_fp = self.hasher_b.hash_slice(b);
+        let entry = self
+            .entries
+            .entry(ItemKey::from_slice(a))
+            .or_insert_with(|| IlcEntry {
+                state: ItemState::new(),
+                delta: bucket - 1,
+                dirty: false,
+            });
+        if entry.dirty {
+            // Dirty entries only accumulate support (their pair entries
+            // were deleted, §5.1).
+            let _ = entry.state.update(b_fp, &self.cond);
+        } else {
+            let verdict = entry.state.update(b_fp, &self.cond);
+            if verdict == Verdict::Violates {
+                entry.dirty = true;
+            }
+        }
+        if self.n.is_multiple_of(self.width) {
+            // Prune all non-dirty entries whose support can not reach the
+            // bucket id; their pair entries (partner counters inside the
+            // state) go with them.
+            self.entries
+                .retain(|_, e| e.dirty || e.state.support() + e.delta > bucket);
+        }
+    }
+
+    fn implication_count(&self) -> f64 {
+        // Output the itemsets that satisfy the implication conditions; the
+        // count is their number — all ILC can offer.
+        self.entries
+            .values()
+            .filter(|e| !e.dirty && e.state.peek_verdict(&self.cond) == Verdict::Satisfies)
+            .count() as f64
+    }
+
+    fn non_implication_count(&self) -> Option<f64> {
+        Some(self.dirty_entries() as f64)
+    }
+
+    fn f0_sup(&self) -> Option<f64> {
+        Some(
+            self.entries
+                .values()
+                .filter(|e| e.state.support() >= self.cond.min_support)
+                .count() as f64,
+        )
+    }
+
+    fn memory_entries(&self) -> usize {
+        // a-entries plus their pair entries, the §6.2 memory metric
+        // ("it used more than 8,000 entries").
+        self.entries
+            .values()
+            .map(|e| 1 + e.state.multiplicity())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strict(min_support: u64) -> ImplicationConditions {
+        ImplicationConditions::strict_one_to_one(min_support)
+    }
+
+    #[test]
+    fn short_stream_is_exact() {
+        let mut ilc = Ilc::new(strict(1), 0.001);
+        for a in 0..50u64 {
+            ilc.update(&[a], &[0]);
+        }
+        assert_eq!(ilc.implication_count(), 50.0);
+    }
+
+    #[test]
+    fn dirty_entries_are_never_pruned() {
+        let mut ilc = Ilc::new(strict(1), 0.01); // w = 100
+                                                 // One violator seen early …
+        ilc.update(&[7], &[1]);
+        ilc.update(&[7], &[2]);
+        assert_eq!(ilc.dirty_entries(), 1);
+        // … followed by a long uniform stream that prunes everything else.
+        for i in 0..50_000u64 {
+            ilc.update(&[1000 + i], &[0]);
+        }
+        assert_eq!(ilc.dirty_entries(), 1, "dirty survives all pruning");
+    }
+
+    #[test]
+    fn small_support_implications_are_lost() {
+        // The §5.1.1 failure: implications that hold for few tuples each
+        // are pruned at bucket boundaries, so ILC undercounts badly while
+        // the exact count keeps growing.
+        let cond = strict(2);
+        let mut ilc = Ilc::new(cond, 0.01);
+        let mut exact = crate::exact::ExactCounter::new(cond);
+        // 10 000 itemsets, each with exactly 2 tuples (same partner),
+        // interleaved with heavy filler traffic that advances buckets.
+        for a in 0..10_000u64 {
+            for _ in 0..2 {
+                ilc.update(&[a], &[a]);
+                exact.update(&[a], &[a]);
+            }
+            for _ in 0..20 {
+                ilc.update(&[u64::MAX], &[0]);
+                exact.update(&[u64::MAX], &[0]);
+            }
+        }
+        let truth = exact.exact_implication_count() as f64;
+        assert!(truth >= 10_000.0);
+        let got = ilc.implication_count();
+        assert!(
+            got < 0.05 * truth,
+            "ILC should lose small implications: got {got} of {truth}"
+        );
+    }
+
+    #[test]
+    fn memory_exceeds_sketch_budget_via_dirty_accumulation() {
+        // §6.2: ILC "used more than twice the memory" of NIPS/CI (1920
+        // entries). The unbounded component is the dirty set: every
+        // supported violator is retained forever (§5.1.1 — "every single
+        // itemset that satisfies the minimum support has to stay in memory
+        // marked dirty").
+        let mut ilc = Ilc::new(strict(1), 0.01);
+        for a in 0..10_000u64 {
+            ilc.update(&[a], &[1]);
+            ilc.update(&[a], &[2]); // second partner ⇒ violation ⇒ dirty
+        }
+        assert_eq!(ilc.dirty_entries(), 10_000);
+        assert!(
+            ilc.memory_entries() > 2 * 1920,
+            "entries {}",
+            ilc.memory_entries()
+        );
+        // NIPS/CI answers the same stream within its fixed budget.
+        let mut nips = imp_core::ImplicationEstimator::new(strict(1), 64, 4, 9);
+        for a in 0..10_000u64 {
+            nips.update(&[a], &[1]);
+            nips.update(&[a], &[2]);
+        }
+        assert!(crate::ImplicationCounter::memory_entries(&nips) <= 1920);
+    }
+
+    #[test]
+    fn frequent_implicators_are_retained_and_counted() {
+        let mut ilc = Ilc::new(strict(10), 0.01);
+        for round in 0..1000u64 {
+            for a in 0..50u64 {
+                ilc.update(&[a], &[a]);
+            }
+            let _ = round;
+        }
+        // 50 itemsets, each with 1000 tuples, all loyal: all counted.
+        assert_eq!(ilc.implication_count(), 50.0);
+    }
+}

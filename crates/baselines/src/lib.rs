@@ -1,0 +1,85 @@
+//! Comparison algorithms for implication counting.
+//!
+//! Everything NIPS/CI is evaluated against in the paper, plus the exact
+//! ground truth:
+//!
+//! * [`exact`] — a hash-table counter implementing the §3.1.1 semantics
+//!   verbatim ("we used an exact method based on hash tables for
+//!   calculating the implication count", §6). Memory `O(F0(A) · K)`.
+//! * [`distinct_sampling`] — Gibbons' Distinct Sampling (VLDB 2001)
+//!   adapted to implication counting: a level-based hash sample of distinct
+//!   `A`-itemsets, each carrying full condition-tracking state, scaled by
+//!   `2^level`. The paper's **DS** competitor (§6.2).
+//! * [`lossy`] — Manku–Motwani Lossy Counting for frequent items: the
+//!   substrate of ILC.
+//! * [`ilc`] — **Implication Lossy Counting** (§5.1): Lossy Counting over
+//!   both itemsets and `(a, b)` pairs with dirty marking. Demonstrates the
+//!   §5.1.1 failure modes (relative support, dirty-entry memory).
+//! * [`sticky`] — Sticky Sampling and its implication variant (§5.1,
+//!   final paragraph).
+//! * [`naive`] — the "straightforward but inapplicable" direct extension
+//!   of probabilistic counting to implications (§4.2): every cell stores
+//!   every itemset until queried. Memory `O(K · ‖A‖)` — kept to show why
+//!   it is inapplicable.
+//!
+//! All counters implement [`ImplicationCounter`], so the experiment harness
+//! can drive them interchangeably.
+
+pub mod distinct_sampling;
+pub mod exact;
+pub mod ilc;
+pub mod lossy;
+pub mod naive;
+pub mod sticky;
+
+pub use distinct_sampling::DistinctSampling;
+pub use exact::ExactCounter;
+pub use ilc::Ilc;
+pub use lossy::LossyCounter;
+pub use naive::NaiveImplicationBitmap;
+pub use sticky::{ImplicationStickySampling, StickySampler};
+
+/// A streaming implication counter: the common surface of NIPS/CI, the
+/// exact counter and every baseline.
+pub trait ImplicationCounter {
+    /// Feeds one `(a, b)` pair (encoded projections of the arriving tuple).
+    fn update(&mut self, a: &[u64], b: &[u64]);
+
+    /// The current implication-count answer `S`.
+    fn implication_count(&self) -> f64;
+
+    /// The current non-implication count `S̄`, if the algorithm tracks it.
+    fn non_implication_count(&self) -> Option<f64> {
+        None
+    }
+
+    /// Distinct supported itemsets `F0^sup`, if tracked.
+    fn f0_sup(&self) -> Option<f64> {
+        None
+    }
+
+    /// Number of tracking entries held (the §6.2 memory comparison).
+    fn memory_entries(&self) -> usize;
+}
+
+impl ImplicationCounter for imp_core::ImplicationEstimator {
+    fn update(&mut self, a: &[u64], b: &[u64]) {
+        imp_core::ImplicationEstimator::update(self, a, b);
+    }
+
+    fn implication_count(&self) -> f64 {
+        self.estimate().implication_count
+    }
+
+    fn non_implication_count(&self) -> Option<f64> {
+        Some(self.estimate().non_implication_count)
+    }
+
+    fn f0_sup(&self) -> Option<f64> {
+        Some(self.estimate().f0_sup)
+    }
+
+    fn memory_entries(&self) -> usize {
+        self.entries()
+    }
+}

@@ -1,0 +1,160 @@
+//! Lossy Counting (Manku & Motwani, VLDB 2002) — the frequent-items
+//! substrate that ILC (§5.1) builds on.
+//!
+//! The stream is divided into buckets of width `w = ⌈1/ε⌉`. Each tracked
+//! item carries `(count, Δ)` where `Δ` bounds the count it may have had
+//! before being tracked. At every bucket boundary, items with
+//! `count + Δ ≤ b_current` are pruned. Guarantees: every item with true
+//! frequency `≥ εN` is present, and reported counts undershoot by at most
+//! `εN`.
+
+use std::collections::HashMap;
+
+use imp_stream::item::ItemKey;
+
+/// Classic lossy counter over itemset keys.
+#[derive(Debug, Clone)]
+pub struct LossyCounter {
+    epsilon: f64,
+    width: u64,
+    entries: HashMap<ItemKey, (u64, u64)>,
+    n: u64,
+}
+
+impl LossyCounter {
+    /// Creates a counter with approximation parameter `ε ∈ (0, 1)`.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "ε must be in (0, 1)");
+        Self {
+            epsilon,
+            width: (1.0 / epsilon).ceil() as u64,
+            entries: HashMap::new(),
+            n: 0,
+        }
+    }
+
+    /// The approximation parameter.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Items processed.
+    pub fn stream_length(&self) -> u64 {
+        self.n
+    }
+
+    /// Current bucket id `b_current = ⌈n / w⌉`.
+    pub fn current_bucket(&self) -> u64 {
+        self.n.div_ceil(self.width).max(1)
+    }
+
+    /// Number of tracked entries.
+    pub fn entries_len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Feeds one item.
+    pub fn update(&mut self, item: &[u64]) {
+        self.n += 1;
+        let bucket = self.current_bucket();
+        self.entries
+            .entry(ItemKey::from_slice(item))
+            .and_modify(|(c, _)| *c += 1)
+            .or_insert((1, bucket - 1));
+        if self.n.is_multiple_of(self.width) {
+            self.entries.retain(|_, (c, d)| *c + *d > bucket);
+        }
+    }
+
+    /// The tracked count for an item (0 if pruned / never tracked).
+    pub fn count(&self, item: &[u64]) -> u64 {
+        self.entries
+            .get(&ItemKey::from_slice(item))
+            .map_or(0, |&(c, _)| c)
+    }
+
+    /// Items with estimated frequency at least `s·N` (the classic query:
+    /// report items with `count ≥ (s − ε)·N`).
+    pub fn frequent(&self, s: f64) -> Vec<(ItemKey, u64)> {
+        let threshold = ((s - self.epsilon) * self.n as f64).max(0.0);
+        let mut out: Vec<(ItemKey, u64)> = self
+            .entries
+            .iter()
+            .filter(|(_, &(c, _))| c as f64 >= threshold)
+            .map(|(k, &(c, _))| (k.clone(), c))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_while_no_pruning_possible() {
+        let mut lc = LossyCounter::new(0.001); // w = 1000
+        for i in 0..500u64 {
+            lc.update(&[i % 5]);
+        }
+        for i in 0..5u64 {
+            assert_eq!(lc.count(&[i]), 100);
+        }
+    }
+
+    #[test]
+    fn heavy_hitters_survive_light_items_pruned() {
+        let mut lc = LossyCounter::new(0.01); // w = 100
+        for i in 0..100_000u64 {
+            if i % 10 == 0 {
+                lc.update(&[0]); // 10% heavy item
+            } else {
+                lc.update(&[1_000 + i]); // all-distinct light items
+            }
+        }
+        let freq = lc.frequent(0.05);
+        assert_eq!(freq.len(), 1, "only the heavy item qualifies: {freq:?}");
+        assert_eq!(freq[0].0, ItemKey::single(0));
+        // Undercount bounded by εN.
+        let reported = freq[0].1 as f64;
+        assert!(reported >= 10_000.0 - 0.01 * 100_000.0);
+        assert!(reported <= 10_000.0);
+    }
+
+    #[test]
+    fn memory_stays_sublinear() {
+        let mut lc = LossyCounter::new(0.01);
+        for i in 0..200_000u64 {
+            lc.update(&[i]); // worst case: all distinct
+        }
+        // Manku–Motwani bound: at most (1/ε)·log(εN) entries.
+        let bound = 100.0 * (0.01 * 200_000.0_f64).ln();
+        assert!(
+            (lc.entries_len() as f64) <= bound * 1.2,
+            "{} entries vs bound {bound}",
+            lc.entries_len()
+        );
+    }
+
+    #[test]
+    fn counts_undershoot_by_at_most_epsilon_n() {
+        let mut lc = LossyCounter::new(0.02);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for i in 0..50_000u64 {
+            let item = (i * i + i / 3) % 37; // skewed-ish deterministic mix
+            *truth.entry(item).or_default() += 1;
+            lc.update(&[item]);
+        }
+        for (&item, &t) in &truth {
+            let c = lc.count(&[item]);
+            assert!(c <= t, "overcount on {item}");
+            if t > (0.02 * 50_000.0) as u64 {
+                assert!(
+                    t - c <= (0.02 * 50_000.0) as u64,
+                    "undercount {t}-{c} beyond εN on {item}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! The naive ("straightforward but inapplicable") implication bitmap of
+//! §4.2.
+//!
+//! Probabilistic counting records monotone events. Implications are not
+//! monotone, so the direct extension must *postpone* every cell decision:
+//! store, in each cell, every itemset that hashed there together with all
+//! its tracking state, and only when the user asks for the count decide
+//! which cells would be 1 ("there is at least one `a_i` such that
+//! `a_i → B`"). The memory requirement is `O(K · ‖A‖)` — the entire
+//! point of the paper is to avoid exactly this. It is implemented here
+//! (with an optional hard memory cap that makes the failure visible) as
+//! the contrast case for benchmarks and tests.
+
+use std::collections::HashMap;
+
+use imp_core::{ImplicationConditions, ItemState, Verdict};
+use imp_sketch::estimate::FM_PHI;
+use imp_sketch::hash::{Hasher64, MixHasher};
+use imp_sketch::rank::lsb_rank;
+
+use crate::ImplicationCounter;
+
+/// The §4.2 direct extension: one FM bitmap whose every cell stores full
+/// per-itemset state for the life of the stream.
+#[derive(Debug, Clone)]
+pub struct NaiveImplicationBitmap {
+    cond: ImplicationConditions,
+    /// Cells; cell `i` maps itemset hash → state.
+    cells: Vec<HashMap<u64, ItemState>>,
+    hasher_a: MixHasher,
+    hasher_b: MixHasher,
+    /// Optional cap on total tracked itemsets; when exceeded the counter
+    /// refuses further inserts and flags saturation.
+    cap: Option<usize>,
+    tracked: usize,
+    saturated: bool,
+}
+
+impl NaiveImplicationBitmap {
+    /// Creates the naive bitmap; `cap` optionally bounds the tracked
+    /// itemsets to demonstrate the §4.2 objection.
+    pub fn new(cond: ImplicationConditions, cap: Option<usize>, seed: u64) -> Self {
+        Self {
+            cond,
+            cells: vec![HashMap::new(); 64],
+            hasher_a: MixHasher::new(seed ^ 0x4a1e),
+            hasher_b: MixHasher::new(seed ^ 0x4b1e),
+            cap,
+            tracked: 0,
+            saturated: false,
+        }
+    }
+
+    /// Whether the memory cap was hit (results are unusable from then on).
+    pub fn saturated(&self) -> bool {
+        self.saturated
+    }
+
+    /// The deferred read-off: assign 1 to every cell containing at least
+    /// one currently-satisfying itemset and read the leftmost zero.
+    fn rank_implication(&self) -> u32 {
+        for (i, cell) in self.cells.iter().enumerate() {
+            let one = cell
+                .values()
+                .any(|s| s.peek_verdict(&self.cond) == Verdict::Satisfies);
+            if !one {
+                return i as u32;
+            }
+        }
+        64
+    }
+}
+
+impl ImplicationCounter for NaiveImplicationBitmap {
+    fn update(&mut self, a: &[u64], b: &[u64]) {
+        if self.saturated {
+            return;
+        }
+        let h = self.hasher_a.hash_slice(a);
+        let b_fp = self.hasher_b.hash_slice(b);
+        let cell = &mut self.cells[lsb_rank(h).min(63) as usize];
+        let len_before = cell.len();
+        let state = cell.entry(h).or_default();
+        let _ = state.update(b_fp, &self.cond);
+        if cell.len() > len_before {
+            self.tracked += 1;
+            if self.cap.is_some_and(|c| self.tracked > c) {
+                self.saturated = true;
+            }
+        }
+    }
+
+    fn implication_count(&self) -> f64 {
+        let r = self.rank_implication();
+        if r == 0 {
+            0.0
+        } else {
+            (r as f64).exp2() / FM_PHI
+        }
+    }
+
+    fn memory_entries(&self) -> usize {
+        self.cells
+            .iter()
+            .flat_map(|c| c.values())
+            .map(|s| 1 + s.multiplicity())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imp_sketch::estimate::relative_error;
+
+    fn strict() -> ImplicationConditions {
+        ImplicationConditions::strict_one_to_one(1)
+    }
+
+    #[test]
+    fn estimates_implication_count_like_fm() {
+        let mut nb = NaiveImplicationBitmap::new(strict(), None, 1);
+        for a in 0..20_000u64 {
+            nb.update(&[a], &[a % 9]);
+        }
+        // Single bitmap: order-of-magnitude accuracy only.
+        let e = nb.implication_count();
+        assert!(relative_error(20_000.0, e) < 1.5, "estimate {e} wildly off");
+    }
+
+    #[test]
+    fn violating_items_deassert_cells() {
+        let mut nb = NaiveImplicationBitmap::new(strict(), None, 2);
+        // Everything implies, then everything violates.
+        for a in 0..5_000u64 {
+            nb.update(&[a], &[1]);
+        }
+        let before = nb.implication_count();
+        for a in 0..5_000u64 {
+            nb.update(&[a], &[2]);
+        }
+        let after = nb.implication_count();
+        assert!(before > 1_000.0);
+        assert_eq!(after, 0.0, "deferred decision must flip cells back");
+    }
+
+    #[test]
+    fn memory_grows_linearly_and_cap_trips() {
+        let mut nb = NaiveImplicationBitmap::new(strict(), Some(1_000), 3);
+        for a in 0..5_000u64 {
+            nb.update(&[a], &[0]);
+        }
+        assert!(nb.saturated(), "O(‖A‖) memory must blow the cap");
+        let mut unbounded = NaiveImplicationBitmap::new(strict(), None, 3);
+        for a in 0..5_000u64 {
+            unbounded.update(&[a], &[0]);
+        }
+        assert!(unbounded.memory_entries() >= 5_000);
+    }
+}

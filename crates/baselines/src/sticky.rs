@@ -1,0 +1,318 @@
+//! Sticky Sampling (Manku & Motwani, VLDB 2002) and its implication
+//! variant.
+//!
+//! Sticky Sampling tracks frequency counts probabilistically: a new item is
+//! admitted to the sample with probability `1/r`; tracked items are always
+//! counted. The rate `r` doubles as the stream grows (first `2t` items at
+//! `r = 1`, next `2t` at `r = 2`, then `4t` at `r = 4`, …) and on every
+//! rate change each tracked count is diminished by a geometric number of
+//! coin tosses, preserving the invariant that tracked counts undershoot
+//! true counts by the pre-admission gap only.
+//!
+//! §5.1 (final paragraph) notes the same dirty-marking extension as ILC
+//! applies, "but the issue with the relative minimum support remains" —
+//! [`ImplicationStickySampling`] implements it and the Figure 7 harness
+//! can swap it in for ILC.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use imp_core::{ImplicationConditions, ItemState, Verdict};
+use imp_sketch::hash::{Hasher64, MixHasher};
+use imp_stream::item::ItemKey;
+
+use crate::ImplicationCounter;
+
+/// Classic sticky sampler for frequency counts.
+#[derive(Debug, Clone)]
+pub struct StickySampler {
+    /// `t`: window scale; the first `2t` items are sampled at rate 1.
+    t: u64,
+    rate: u64,
+    /// Items processed within the current rate regime.
+    in_regime: u64,
+    counts: HashMap<ItemKey, u64>,
+    rng: StdRng,
+    n: u64,
+}
+
+impl StickySampler {
+    /// Creates a sampler. `t` is typically `(1/ε)·ln(1/(s·δ))`.
+    pub fn new(t: u64, seed: u64) -> Self {
+        assert!(t >= 1);
+        Self {
+            t,
+            rate: 1,
+            in_regime: 0,
+            counts: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            n: 0,
+        }
+    }
+
+    /// Current sampling rate `r`.
+    pub fn rate(&self) -> u64 {
+        self.rate
+    }
+
+    /// Items processed.
+    pub fn stream_length(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of tracked items.
+    pub fn entries_len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Feeds one item.
+    pub fn update(&mut self, item: &[u64]) {
+        self.advance_regime();
+        let key = ItemKey::from_slice(item);
+        if let Some(c) = self.counts.get_mut(&key) {
+            *c += 1;
+        } else if self.rng.gen_range(0..self.rate) == 0 {
+            self.counts.insert(key, 1);
+        }
+        self.n += 1;
+        self.in_regime += 1;
+    }
+
+    fn advance_regime(&mut self) {
+        let regime_len = if self.rate == 1 {
+            2 * self.t
+        } else {
+            2 * self.t * self.rate
+        };
+        if self.in_regime >= regime_len {
+            self.rate *= 2;
+            self.in_regime = 0;
+            // Diminish counts: toss an unbiased coin per tracked count
+            // until heads, decrementing per tail.
+            let mut dead = Vec::new();
+            for (k, c) in self.counts.iter_mut() {
+                while *c > 0 && self.rng.gen_bool(0.5) {
+                    *c -= 1;
+                }
+                if *c == 0 {
+                    dead.push(k.clone());
+                }
+            }
+            for k in dead {
+                self.counts.remove(&k);
+            }
+        }
+    }
+
+    /// The tracked count for an item.
+    pub fn count(&self, item: &[u64]) -> u64 {
+        self.counts
+            .get(&ItemKey::from_slice(item))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Items with tracked count at least `threshold`.
+    pub fn frequent(&self, threshold: u64) -> Vec<(ItemKey, u64)> {
+        let mut out: Vec<(ItemKey, u64)> = self
+            .counts
+            .iter()
+            .filter(|(_, &c)| c >= threshold)
+            .map(|(k, &c)| (k.clone(), c))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+}
+
+/// The implication variant: sticky-sampled itemsets carrying condition
+/// state and dirty marks.
+#[derive(Debug, Clone)]
+pub struct ImplicationStickySampling {
+    cond: ImplicationConditions,
+    t: u64,
+    rate: u64,
+    in_regime: u64,
+    entries: HashMap<ItemKey, (ItemState, bool)>,
+    hasher_b: MixHasher,
+    rng: StdRng,
+    n: u64,
+}
+
+impl ImplicationStickySampling {
+    /// Creates the implication sticky sampler.
+    pub fn new(cond: ImplicationConditions, t: u64, seed: u64) -> Self {
+        assert!(t >= 1);
+        Self {
+            cond,
+            t,
+            rate: 1,
+            in_regime: 0,
+            entries: HashMap::new(),
+            hasher_b: MixHasher::new(seed ^ 0x571c_0b0b),
+            rng: StdRng::seed_from_u64(seed),
+            n: 0,
+        }
+    }
+
+    /// Number of dirty entries (retained forever, as in ILC).
+    pub fn dirty_entries(&self) -> usize {
+        self.entries.values().filter(|(_, d)| *d).count()
+    }
+
+    fn advance_regime(&mut self) {
+        let regime_len = if self.rate == 1 {
+            2 * self.t
+        } else {
+            2 * self.t * self.rate
+        };
+        if self.in_regime >= regime_len {
+            self.rate *= 2;
+            self.in_regime = 0;
+            // Dirty entries are exempt from diminishing (they are verdicts,
+            // not counts); clean entries whose support diminishes to zero
+            // drop out.
+            let mut dead = Vec::new();
+            for (k, (state, dirty)) in self.entries.iter_mut() {
+                if *dirty {
+                    continue;
+                }
+                let mut c = state.support();
+                while c > 0 && self.rng.gen_bool(0.5) {
+                    c -= 1;
+                }
+                if c == 0 {
+                    dead.push(k.clone());
+                }
+            }
+            for k in dead {
+                self.entries.remove(&k);
+            }
+        }
+    }
+}
+
+impl ImplicationCounter for ImplicationStickySampling {
+    fn update(&mut self, a: &[u64], b: &[u64]) {
+        self.advance_regime();
+        let key = ItemKey::from_slice(a);
+        let b_fp = self.hasher_b.hash_slice(b);
+        let admit = self.entries.contains_key(&key) || self.rng.gen_range(0..self.rate) == 0;
+        if admit {
+            let (state, dirty) = self
+                .entries
+                .entry(key)
+                .or_insert_with(|| (ItemState::new(), false));
+            let verdict = state.update(b_fp, &self.cond);
+            if verdict == Verdict::Violates {
+                *dirty = true;
+            }
+        }
+        self.n += 1;
+        self.in_regime += 1;
+    }
+
+    fn implication_count(&self) -> f64 {
+        self.entries
+            .values()
+            .filter(|(s, d)| !*d && s.peek_verdict(&self.cond) == Verdict::Satisfies)
+            .count() as f64
+    }
+
+    fn non_implication_count(&self) -> Option<f64> {
+        Some(self.dirty_entries() as f64)
+    }
+
+    fn f0_sup(&self) -> Option<f64> {
+        Some(
+            self.entries
+                .values()
+                .filter(|(s, _)| s.support() >= self.cond.min_support)
+                .count() as f64,
+        )
+    }
+
+    fn memory_entries(&self) -> usize {
+        self.entries
+            .values()
+            .map(|(s, _)| 1 + s.multiplicity())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_doubles_through_regimes() {
+        let mut ss = StickySampler::new(10, 1);
+        assert_eq!(ss.rate(), 1);
+        for i in 0..2000u64 {
+            ss.update(&[i % 3]);
+        }
+        assert!(ss.rate() >= 8, "rate {}", ss.rate());
+    }
+
+    #[test]
+    fn heavy_items_survive_with_large_counts() {
+        let mut ss = StickySampler::new(100, 2);
+        for i in 0..100_000u64 {
+            if i % 5 == 0 {
+                ss.update(&[0]);
+            } else {
+                ss.update(&[1 + i]);
+            }
+        }
+        let c = ss.count(&[0]);
+        assert!(
+            (c as f64) > 0.15 * 100_000.0,
+            "heavy item count {c} too diminished"
+        );
+        let freq = ss.frequent(10_000);
+        assert_eq!(freq.len(), 1);
+    }
+
+    #[test]
+    fn memory_is_sublinear_on_distinct_streams() {
+        let mut ss = StickySampler::new(50, 3);
+        for i in 0..200_000u64 {
+            ss.update(&[i]);
+        }
+        assert!(
+            ss.entries_len() < 2_000,
+            "entries {} not sublinear",
+            ss.entries_len()
+        );
+    }
+
+    #[test]
+    fn implication_variant_marks_dirty() {
+        let cond = ImplicationConditions::strict_one_to_one(1);
+        let mut iss = ImplicationStickySampling::new(cond, 50, 4);
+        iss.update(&[1], &[10]);
+        iss.update(&[1], &[11]);
+        assert_eq!(iss.dirty_entries(), 1);
+        // Dirty marks survive rate changes.
+        for i in 0..50_000u64 {
+            iss.update(&[100 + i], &[0]);
+        }
+        assert!(iss.dirty_entries() >= 1);
+        assert!(iss
+            .entries
+            .get(&ItemKey::single(1))
+            .is_some_and(|(_, d)| *d));
+    }
+
+    #[test]
+    fn implication_variant_counts_small_sample_exactly() {
+        let cond = ImplicationConditions::strict_one_to_one(1);
+        let mut iss = ImplicationStickySampling::new(cond, 1_000_000, 5);
+        for a in 0..200u64 {
+            iss.update(&[a], &[a]);
+        }
+        assert_eq!(iss.implication_count(), 200.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Substrate micro-benchmarks: hash families, top-c selection, PCSA
+//! insertion, estimate read-off, and generator throughput.
+
+#![allow(missing_docs)] // criterion_group expands undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use imp_core::{ImplicationConditions, ImplicationEstimator};
+use imp_datagen::olap::{OlapSpec, OlapStream};
+use imp_datagen::{DatasetOne, DatasetOneSpec};
+use imp_sketch::hash::{BoxedHasher, HashFamily, Hasher64};
+use imp_sketch::pcsa::Pcsa;
+use imp_sketch::topc::{sum_top_c, TopCHeap};
+
+fn bench_hash_families(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut g = c.benchmark_group("hash_u64");
+    g.throughput(Throughput::Elements(1));
+    for family in [
+        HashFamily::Mix,
+        HashFamily::Pairwise,
+        HashFamily::FourWise,
+        HashFamily::Gf2Linear,
+    ] {
+        let h = BoxedHasher::from_family(family, &mut rng);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{family:?}")),
+            &h,
+            |bench, h| {
+                let mut x = 0u64;
+                bench.iter(|| {
+                    x = x.wrapping_add(0x9e37);
+                    black_box(h.hash_u64(black_box(x)))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_topc(c: &mut Criterion) {
+    let counts: Vec<u64> = (0..16).map(|i| (i * 37 + 5) % 100).collect();
+    let mut g = c.benchmark_group("top_c");
+    g.bench_function("selection_16_of_4", |bench| {
+        bench.iter(|| black_box(sum_top_c(black_box(&counts), 4)));
+    });
+    g.bench_function("heap_16_of_4", |bench| {
+        bench.iter(|| {
+            let mut h = TopCHeap::new(4);
+            for &x in &counts {
+                h.offer(x);
+            }
+            black_box(h.sum())
+        });
+    });
+    g.finish();
+}
+
+fn bench_pcsa(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pcsa");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("insert_10k_m64", |bench| {
+        bench.iter(|| {
+            let mut p = Pcsa::new(64, 7);
+            for x in 0..10_000u64 {
+                p.insert_u64(black_box(x));
+            }
+            black_box(p.estimate())
+        });
+    });
+    g.finish();
+}
+
+fn bench_estimate_readoff(c: &mut Criterion) {
+    let cond = ImplicationConditions::one_to_c(2, 0.8, 2);
+    let mut est = ImplicationEstimator::new(cond, 64, 4, 1);
+    for i in 0..100_000u64 {
+        est.update(&[i % 10_000], &[i % 7]);
+    }
+    c.bench_function("ci_estimate_readoff", |bench| {
+        bench.iter(|| black_box(est.estimate()));
+    });
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generators");
+    g.throughput(Throughput::Elements(50_000));
+    g.bench_function("olap_50k_tuples", |bench| {
+        bench.iter(|| {
+            let mut s = OlapStream::new(OlapSpec::default());
+            for _ in 0..50_000 {
+                black_box(s.next_row());
+            }
+        });
+    });
+    g.bench_function("dataset_one_card400", |bench| {
+        bench.iter(|| {
+            let spec = DatasetOneSpec::paper(400, 200, 2, 3);
+            black_box(DatasetOne::generate(&spec).len())
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_hash_families, bench_topc, bench_pcsa, bench_estimate_readoff, bench_generators
+}
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! §4.6 complexity claims: per-item update cost of NIPS/CI (`O(K log K)`
+//! amortized, independent of stream length and cardinalities) against the
+//! exact counter and the competing algorithms.
+
+#![allow(missing_docs)] // criterion_group expands undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use imp_baselines::{DistinctSampling, ExactCounter, Ilc, ImplicationCounter};
+use imp_core::{ImplicationConditions, ImplicationEstimator};
+
+/// Pre-generates a mixed loyal/disloyal pair stream.
+fn stream(n: u64) -> Vec<([u64; 1], [u64; 1])> {
+    (0..n)
+        .map(|i| {
+            let a = imp_sketch::hash::mix64(i) % (n / 4);
+            let b = if a.is_multiple_of(3) { a % 50 } else { i % 50 };
+            ([a], [b])
+        })
+        .collect()
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let cond = ImplicationConditions::one_to_c(2, 0.8, 2);
+    let data = stream(100_000);
+    let mut g = c.benchmark_group("update_per_item");
+    g.throughput(Throughput::Elements(data.len() as u64));
+
+    g.bench_function("nips_ci_64x4", |bench| {
+        bench.iter(|| {
+            let mut est = ImplicationEstimator::new(cond, 64, 4, 1);
+            for (a, b) in &data {
+                est.update(black_box(a), black_box(b));
+            }
+            black_box(est.estimate())
+        });
+    });
+
+    g.bench_function("exact_hashtable", |bench| {
+        bench.iter(|| {
+            let mut exact = ExactCounter::new(cond);
+            for (a, b) in &data {
+                exact.update(black_box(a), black_box(b));
+            }
+            black_box(exact.implication_count())
+        });
+    });
+
+    g.bench_function("distinct_sampling_1920", |bench| {
+        bench.iter(|| {
+            let mut ds = DistinctSampling::new(cond, 1920, 2);
+            for (a, b) in &data {
+                ds.update(black_box(a), black_box(b));
+            }
+            black_box(ds.implication_count())
+        });
+    });
+
+    g.bench_function("ilc_eps_0.01", |bench| {
+        bench.iter(|| {
+            let mut ilc = Ilc::new(cond, 0.01);
+            for (a, b) in &data {
+                ilc.update(black_box(a), black_box(b));
+            }
+            black_box(ilc.implication_count())
+        });
+    });
+    g.finish();
+}
+
+/// Per-item cost must not grow with `K` beyond the `O(K log K)` bound —
+/// sweep `K` and report.
+fn bench_k_scaling(c: &mut Criterion) {
+    let data = stream(50_000);
+    let mut g = c.benchmark_group("nips_update_vs_k");
+    g.throughput(Throughput::Elements(data.len() as u64));
+    for k in [1u32, 2, 4, 8, 16] {
+        let cond = ImplicationConditions::one_to_c(k, 0.8, 2);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, _| {
+            bench.iter(|| {
+                let mut est = ImplicationEstimator::new(cond, 64, 4, 1);
+                for (a, b) in &data {
+                    est.update(black_box(a), black_box(b));
+                }
+                black_box(est.estimate())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_updates, bench_k_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Minimal command-line parsing for the experiment binaries.
+//!
+//! Supports `--key value` options and bare `--flag` switches; anything the
+//! binary does not recognize aborts with the usage string, so typos never
+//! silently fall back to defaults.
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    opts: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `std::env::args`, validating every key against
+    /// `allowed_opts` / `allowed_flags`. Prints `usage` and exits on
+    /// `--help` or on an unknown key.
+    pub fn parse(usage: &str, allowed_opts: &[&str], allowed_flags: &[&str]) -> Self {
+        Self::parse_from(std::env::args().skip(1), usage, allowed_opts, allowed_flags)
+            .unwrap_or_else(|msg| {
+                eprintln!("{msg}\n\n{usage}");
+                std::process::exit(2);
+            })
+    }
+
+    /// Testable core of [`Args::parse`].
+    pub fn parse_from(
+        raw: impl IntoIterator<Item = String>,
+        usage: &str,
+        allowed_opts: &[&str],
+        allowed_flags: &[&str],
+    ) -> Result<Self, String> {
+        let mut out = Args::default();
+        let mut iter = raw.into_iter();
+        while let Some(arg) = iter.next() {
+            if arg == "--help" || arg == "-h" {
+                println!("{usage}");
+                std::process::exit(0);
+            }
+            let key = arg
+                .strip_prefix("--")
+                .ok_or_else(|| format!("unexpected argument {arg:?}"))?;
+            if allowed_flags.contains(&key) {
+                out.flags.push(key.to_owned());
+            } else if allowed_opts.contains(&key) {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("--{key} needs a value"))?;
+                out.opts.insert(key.to_owned(), value);
+            } else {
+                return Err(format!("unknown option --{key}"));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Whether `--flag` was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// The raw value of `--name`, if given.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.opts.get(name).map(String::as_str)
+    }
+
+    /// Parses `--name` as `T`, falling back to `default`.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(name) {
+            None => default,
+            Some(raw) => raw.parse().unwrap_or_else(|e| {
+                eprintln!("invalid value for --{name}: {e}");
+                std::process::exit(2);
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, String> {
+        Args::parse_from(
+            args.iter().map(|s| s.to_string()),
+            "usage",
+            &["reps", "seed"],
+            &["full"],
+        )
+    }
+
+    #[test]
+    fn parses_options_and_flags() {
+        let a = parse(&["--reps", "7", "--full"]).unwrap();
+        assert_eq!(a.get_or("reps", 0u32), 7);
+        assert!(a.flag("full"));
+        assert!(!a.flag("quick"));
+        assert_eq!(a.get_or("seed", 42u64), 42);
+    }
+
+    #[test]
+    fn rejects_unknown_options() {
+        assert!(parse(&["--bogus", "1"]).is_err());
+        assert!(parse(&["positional"]).is_err());
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(parse(&["--reps"]).is_err());
+    }
+}

@@ -1,0 +1,67 @@
+//! F0-substrate ablation: the paper-era estimators (FM single bitmap,
+//! PCSA, linear counting) against modern HyperLogLog, at matched memory.
+//!
+//! The reproduction note observes that per-key distinct counting via "HLL
+//! variants" is the common modern approach; this binary quantifies what
+//! NIPS's PCSA substrate gives up against it (and when linear counting is
+//! still the right tool).
+
+use imp_bench::table::{fmt_pct, Table};
+use imp_bench::Args;
+use imp_sketch::estimate::{relative_error, RunningStats};
+use imp_sketch::{FmSketch, HyperLogLog, LinearCounter, Pcsa};
+
+fn main() {
+    let usage = "F0-substrate ablation (PCSA vs HyperLogLog vs linear counting)\n\
+                 usage: f0_ablation [--reps N] [--seed S]";
+    let args = Args::parse(usage, &["reps", "seed"], &[]);
+    let reps: u32 = args.get_or("reps", 8);
+    let seed: u64 = args.get_or("seed", 17);
+
+    println!("== F0 estimation error by substrate ({reps} reps) ==");
+    println!("memory-matched: PCSA m=64 (512 B) vs HLL p=9 (512 B) vs LC 4096 bits\n");
+    let mut t = Table::new([
+        "n",
+        "FM (1 bitmap)",
+        "PCSA m=64",
+        "HLL p=9",
+        "LinearCounting 4k",
+    ]);
+    for n in [1_000u64, 10_000, 100_000, 1_000_000] {
+        let mut stats = [
+            RunningStats::new(),
+            RunningStats::new(),
+            RunningStats::new(),
+            RunningStats::new(),
+        ];
+        for rep in 0..reps {
+            let s = seed + rep as u64 * 1013;
+            let mut fm = FmSketch::new(s);
+            let mut pcsa = Pcsa::new(64, s);
+            let mut hll = HyperLogLog::new(9, s);
+            let mut lc = LinearCounter::new(4096, s);
+            for x in 0..n {
+                fm.insert_u64(x);
+                pcsa.insert_u64(x);
+                hll.insert_u64(x);
+                lc.insert_u64(x);
+            }
+            stats[0].push(relative_error(n as f64, fm.estimate()));
+            stats[1].push(relative_error(n as f64, pcsa.estimate()));
+            stats[2].push(relative_error(n as f64, hll.estimate()));
+            stats[3].push(relative_error(n as f64, lc.estimate()));
+        }
+        t.row([
+            n.to_string(),
+            fmt_pct(stats[0].mean()),
+            fmt_pct(stats[1].mean()),
+            fmt_pct(stats[2].mean()),
+            fmt_pct(stats[3].mean()),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "\nexpected: HLL ≈ 4.6% and PCSA ≈ 9.8% analytically; linear counting\n\
+         wins while unsaturated (n ≲ 3×bits) and degrades beyond."
+    );
+}

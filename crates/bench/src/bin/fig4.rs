@@ -1,0 +1,6 @@
+//! Figure 4: mean relative error vs implication count, `c = 1`, panels for
+//! `‖A‖ ∈ {100, 1 000, 10 000, 100 000}` (largest panel behind `--cards`).
+
+fn main() {
+    imp_bench::figures::figure_main("fig4", 1, &[100, 1_000, 10_000]);
+}

@@ -1,0 +1,6 @@
+//! Figure 5: mean relative error vs implication count, `c = 2`, panels for
+//! `‖A‖ ∈ {100, 1 000, 10 000, 100 000}` (largest panel behind `--cards`).
+
+fn main() {
+    imp_bench::figures::figure_main("fig5", 2, &[100, 1_000, 10_000]);
+}

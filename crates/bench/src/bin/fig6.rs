@@ -1,0 +1,5 @@
+//! Figure 6: mean relative error vs implication count, `c = 4`, `‖A‖ = 100`.
+
+fn main() {
+    imp_bench::figures::figure_main("fig6", 4, &[100]);
+}

@@ -1,0 +1,122 @@
+//! Figure 7: relative error vs stream size for NIPS/CI, Distinct Sampling
+//! and ILC, on workloads A (`{A,E,G} → B`) and B (`E → B`), for
+//! σ ∈ {5, 50} and ψ1 ∈ {0.6, 0.8}. Also prints the Table 5 parameters
+//! and the §6.2 memory comparison.
+
+use imp_bench::olap_experiment::{run_workload, scaled_checkpoints, Workload};
+use imp_bench::table::{fmt_pct, Table};
+use imp_bench::{params, Args};
+use imp_datagen::olap::OlapSpec;
+
+fn main() {
+    let usage = "reproduce Figure 7 (relative error vs stream size)\n\
+                 usage: fig7 [--workload A|B|both] [--tuples N] [--seed S] \
+                 [--csv out.csv] [--full]\n\
+                 --full runs the paper's 5.38M-tuple stream (default 1.35M)";
+    let args = Args::parse(usage, &["workload", "tuples", "seed", "csv"], &["full"]);
+    let total: u64 = if args.flag("full") {
+        5_381_203
+    } else {
+        args.get_or("tuples", 1_345_000)
+    };
+    let seed: u64 = args.get_or("seed", 7);
+    let workloads: Vec<Workload> = match args.get("workload").unwrap_or("both") {
+        "both" => vec![Workload::A, Workload::B],
+        w => vec![Workload::parse(w).unwrap_or_else(|| {
+            eprintln!("--workload must be A, B or both");
+            std::process::exit(2);
+        })],
+    };
+
+    println!("== Table 5: algorithm parameters ==");
+    print!("{}", params::render_table5());
+
+    let checkpoints = scaled_checkpoints(total);
+    let mut csv = Table::new([
+        "workload", "sigma", "psi", "tuples", "actual", "nips_err", "ds_err", "ilc_err",
+        "nips_mem", "ds_mem", "ilc_mem",
+    ]);
+    for &wl in &workloads {
+        let name = match wl {
+            Workload::A => "A ({A,E,G} → B)",
+            Workload::B => "B (E → B)",
+        };
+        println!("\n== Figure 7, workload {name} ==");
+        let rows = run_workload(
+            wl,
+            OlapSpec::default(),
+            total,
+            &checkpoints,
+            &[5, 50],
+            &[0.6, 0.8],
+            seed,
+        );
+        for &sigma in &[5u64, 50] {
+            println!("\n-- σ = {sigma} --");
+            let mut t = Table::new([
+                "Tuples",
+                "actual S",
+                "NIPS/CI(.6)",
+                "NIPS/CI(.8)",
+                "DS(.6)",
+                "DS(.8)",
+                "ILC(.6)",
+                "ILC(.8)",
+            ]);
+            for &cp in &checkpoints {
+                let pick = |psi: f64| {
+                    rows.iter()
+                        .find(|r| r.tuples == cp && r.sigma == sigma && r.psi == psi)
+                        .expect("row recorded")
+                };
+                let (r6, r8) = (pick(0.6), pick(0.8));
+                t.row([
+                    cp.to_string(),
+                    r6.actual.to_string(),
+                    fmt_pct(r6.rel_err(r6.nips)),
+                    fmt_pct(r8.rel_err(r8.nips)),
+                    fmt_pct(r6.rel_err(r6.ds)),
+                    fmt_pct(r8.rel_err(r8.ds)),
+                    fmt_pct(r6.rel_err(r6.ilc)),
+                    fmt_pct(r8.rel_err(r8.ilc)),
+                ]);
+            }
+            print!("{}", t.render());
+        }
+        // §6.2 memory comparison at end of stream.
+        let last = rows
+            .iter()
+            .filter(|r| r.tuples == *checkpoints.last().expect("non-empty"))
+            .max_by_key(|r| r.ilc_mem)
+            .expect("rows recorded");
+        println!(
+            "\nmemory entries at {} tuples (worst condition set): \
+             NIPS/CI {}, DS {}, ILC {}",
+            last.tuples, last.nips_mem, last.ds_mem, last.ilc_mem
+        );
+        for r in &rows {
+            let wname = match wl {
+                Workload::A => "A",
+                Workload::B => "B",
+            };
+            csv.row([
+                wname.to_string(),
+                r.sigma.to_string(),
+                format!("{:.1}", r.psi),
+                r.tuples.to_string(),
+                r.actual.to_string(),
+                format!("{:.4}", r.rel_err(r.nips)),
+                format!("{:.4}", r.rel_err(r.ds)),
+                format!("{:.4}", r.rel_err(r.ilc)),
+                r.nips_mem.to_string(),
+                r.ds_mem.to_string(),
+                r.ilc_mem.to_string(),
+            ]);
+        }
+    }
+    if let Some(path) = args.get("csv") {
+        csv.write_csv(std::path::Path::new(path))
+            .expect("write csv");
+        println!("\nwrote {path}");
+    }
+}

@@ -1,0 +1,63 @@
+//! Tables 3 & 4: the OLAP dataset's dimension cardinalities and the actual
+//! implication counts of the two workloads as the stream evolves
+//! (σ = 5, ψ1 = 60%, K = 2).
+
+use imp_bench::olap_experiment::{run_workload, scaled_checkpoints, Workload};
+use imp_bench::table::Table;
+use imp_bench::Args;
+use imp_datagen::olap::{OlapSpec, CARDINALITIES};
+
+fn main() {
+    let usage = "reproduce Tables 3 and 4 (implication counts vs stream length)\n\
+                 usage: table4 [--tuples N] [--seed S] [--csv out.csv] [--full]\n\
+                 --full runs the paper's 5.38M-tuple stream (default 1.35M)";
+    let args = Args::parse(usage, &["tuples", "seed", "csv"], &["full"]);
+    let total: u64 = if args.flag("full") {
+        5_381_203
+    } else {
+        args.get_or("tuples", 1_345_000)
+    };
+    let seed: u64 = args.get_or("seed", 4);
+
+    println!("== Table 3: dimension cardinalities ==");
+    let mut t3 = Table::new(["dimension", "cardinality"]);
+    for (name, card) in CARDINALITIES {
+        t3.row([name.to_string(), card.to_string()]);
+    }
+    print!("{}", t3.render());
+
+    let checkpoints = scaled_checkpoints(total);
+    println!("\n== Table 4: implication counts w.r.t. tuples (σ = 5, ψ1 = 0.60) ==");
+    let a = run_workload(
+        Workload::A,
+        OlapSpec::default(),
+        total,
+        &checkpoints,
+        &[5],
+        &[0.6],
+        seed,
+    );
+    let b = run_workload(
+        Workload::B,
+        OlapSpec::default(),
+        total,
+        &checkpoints,
+        &[5],
+        &[0.6],
+        seed,
+    );
+    let mut t4 = Table::new(["Tuples", "A: {A,E,G} → B", "B: E → B"]);
+    for (ra, rb) in a.iter().zip(&b) {
+        assert_eq!(ra.tuples, rb.tuples);
+        t4.row([
+            ra.tuples.to_string(),
+            ra.actual.to_string(),
+            rb.actual.to_string(),
+        ]);
+    }
+    print!("{}", t4.render());
+    if let Some(path) = args.get("csv") {
+        t4.write_csv(std::path::Path::new(path)).expect("write csv");
+        println!("\nwrote {path}");
+    }
+}

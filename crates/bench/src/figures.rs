@@ -1,0 +1,296 @@
+//! The §6.1 accuracy experiment behind Figures 4, 5 and 6: mean relative
+//! error of the implication-count estimate versus the actual implication
+//! count, for bounded (F = 4) and unbounded fringes, across cardinalities
+//! `‖A‖` and `one-to-c` shapes.
+//!
+//! Per experiment cell: generate a Dataset One instance, stream it through
+//! the exact counter (ground truth) and both estimator variants, and record
+//! `|actual − measured| / actual`. Cells are repeated `reps` times with
+//! distinct seeds (the paper uses 100) and repetitions are spread across
+//! CPU cores.
+
+use crossbeam::thread;
+
+use imp_baselines::{ExactCounter, ImplicationCounter};
+use imp_core::ImplicationEstimator;
+use imp_datagen::{DatasetOne, DatasetOneSpec};
+use imp_sketch::estimate::{relative_error, RunningStats};
+
+use crate::params::{NIPS_BITMAPS, NIPS_FRINGE};
+
+/// One experiment cell of a Figure 4/5/6 panel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorVsCountSpec {
+    /// The one-to-`c` shape (Figure 4: 1, Figure 5: 2, Figure 6: 4).
+    pub c: u32,
+    /// `‖A‖`.
+    pub cardinality: u64,
+    /// Planted implication count as a fraction of `‖A‖` (x-axis).
+    pub fraction: f64,
+    /// Repetitions (paper: 100).
+    pub reps: u32,
+    /// Base seed; repetition `i` uses `base_seed + i`.
+    pub base_seed: u64,
+}
+
+/// Aggregated results of one cell.
+#[derive(Debug, Clone)]
+pub struct ErrorVsCountResult {
+    /// The cell parameters.
+    pub spec: ErrorVsCountSpec,
+    /// Mean exact implication count across repetitions.
+    pub actual: RunningStats,
+    /// Relative error of the bounded-fringe estimator.
+    pub bounded: RunningStats,
+    /// Relative error of the unbounded-fringe estimator.
+    pub unbounded: RunningStats,
+}
+
+/// Runs one cell, spreading repetitions over `threads` workers.
+pub fn run_cell(spec: ErrorVsCountSpec, threads: usize) -> ErrorVsCountResult {
+    let threads = threads.clamp(1, spec.reps.max(1) as usize);
+    let per_thread: Vec<Vec<u32>> = (0..threads)
+        .map(|t| {
+            (0..spec.reps)
+                .filter(|r| *r as usize % threads == t)
+                .collect()
+        })
+        .collect();
+    let partials: Vec<(RunningStats, RunningStats, RunningStats)> = thread::scope(|s| {
+        let handles: Vec<_> = per_thread
+            .iter()
+            .map(|reps| s.spawn(move |_| run_reps(spec, reps)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+    .expect("thread scope failed");
+    let mut result = ErrorVsCountResult {
+        spec,
+        actual: RunningStats::new(),
+        bounded: RunningStats::new(),
+        unbounded: RunningStats::new(),
+    };
+    for (actual, bounded, unbounded) in &partials {
+        result.actual.merge(actual);
+        result.bounded.merge(bounded);
+        result.unbounded.merge(unbounded);
+    }
+    result
+}
+
+fn run_reps(spec: ErrorVsCountSpec, reps: &[u32]) -> (RunningStats, RunningStats, RunningStats) {
+    let mut actual = RunningStats::new();
+    let mut bounded = RunningStats::new();
+    let mut unbounded = RunningStats::new();
+    for &rep in reps {
+        let seed = spec.base_seed.wrapping_add(rep as u64);
+        let (truth, est_b, est_u) = run_once(spec, seed);
+        actual.push(truth);
+        bounded.push(relative_error(truth, est_b));
+        unbounded.push(relative_error(truth, est_u));
+    }
+    (actual, bounded, unbounded)
+}
+
+/// One repetition: returns `(exact S, bounded Ŝ, unbounded Ŝ)`.
+pub fn run_once(spec: ErrorVsCountSpec, seed: u64) -> (f64, f64, f64) {
+    let implied = (spec.cardinality as f64 * spec.fraction).round() as u64;
+    let ds_spec = DatasetOneSpec::paper(spec.cardinality, implied, spec.c, seed);
+    let cond = ds_spec.paper_conditions();
+    let data = DatasetOne::generate(&ds_spec);
+
+    let mut exact = ExactCounter::new(cond);
+    let mut est_b = ImplicationEstimator::new(cond, NIPS_BITMAPS, NIPS_FRINGE, seed ^ 0xfeed);
+    let mut est_u = ImplicationEstimator::new_unbounded(cond, NIPS_BITMAPS, seed ^ 0xfeed);
+    for &(a, b) in &data.pairs {
+        exact.update(&[a], &[b]);
+        est_b.update(&[a], &[b]);
+        est_u.update(&[a], &[b]);
+    }
+    (
+        exact.exact_implication_count() as f64,
+        est_b.estimate().implication_count,
+        est_u.estimate().implication_count,
+    )
+}
+
+/// The x-axis fractions of the paper's panels (10% … 90%).
+pub fn paper_fractions(full: bool) -> Vec<f64> {
+    if full {
+        (1..=9).map(|i| i as f64 / 10.0).collect()
+    } else {
+        vec![0.1, 0.3, 0.5, 0.7, 0.9]
+    }
+}
+
+/// Default repetitions per cardinality, scaled to keep laptop runtimes in
+/// minutes. `--full` restores the paper's 100.
+pub fn default_reps(cardinality: u64, full: bool) -> u32 {
+    if full {
+        100
+    } else {
+        match cardinality {
+            0..=200 => 30,
+            201..=2_000 => 10,
+            2_001..=20_000 => 3,
+            _ => 2,
+        }
+    }
+}
+
+/// Renders a Figure 4/5/6 panel as a table.
+pub fn render_panel(results: &[ErrorVsCountResult]) -> crate::table::Table {
+    let mut t = crate::table::Table::new([
+        "‖A‖",
+        "S/‖A‖",
+        "actual S",
+        "bounded err",
+        "±dev",
+        "unbounded err",
+        "±dev",
+    ]);
+    for r in results {
+        t.row([
+            r.spec.cardinality.to_string(),
+            format!("{:.0}%", r.spec.fraction * 100.0),
+            format!("{:.0}", r.actual.mean()),
+            crate::table::fmt_pct(r.bounded.mean()),
+            crate::table::fmt_pct(r.bounded.stddev()),
+            crate::table::fmt_pct(r.unbounded.mean()),
+            crate::table::fmt_pct(r.unbounded.stddev()),
+        ]);
+    }
+    t
+}
+
+/// Shared `main` for the `fig4` / `fig5` / `fig6` binaries.
+pub fn figure_main(figure: &str, c: u32, default_cards: &[u64]) {
+    let usage = format!(
+        "reproduce {figure} (mean relative error vs implication count, c = {c})\n\
+         usage: {figure} [--cards 100,1000] [--reps N] [--seed S] \
+         [--threads N] [--csv out.csv] [--full]\n\
+         --full restores the paper scale (9 fractions, 100 repetitions)"
+    );
+    let args = crate::Args::parse(
+        &usage,
+        &["cards", "reps", "seed", "threads", "csv"],
+        &["full"],
+    );
+    let full = args.flag("full");
+    let cards: Vec<u64> = match args.get("cards") {
+        Some(raw) => raw
+            .split(',')
+            .map(|x| x.trim().parse().expect("cardinality must be an integer"))
+            .collect(),
+        None => default_cards.to_vec(),
+    };
+    let seed: u64 = args.get_or("seed", 0x5150);
+    let threads: usize = args.get_or(
+        "threads",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    );
+    println!("== {figure}: one-to-{c} implications, ψ = 90%, σ = 50, 64 bitmaps, fringe 4 ==");
+    let mut all = Vec::new();
+    for &card in &cards {
+        let reps = args.get_or("reps", default_reps(card, full));
+        let mut results = Vec::new();
+        for fraction in paper_fractions(full) {
+            let spec = ErrorVsCountSpec {
+                c,
+                cardinality: card,
+                fraction,
+                reps,
+                base_seed: seed,
+            };
+            results.push(run_cell(spec, threads));
+        }
+        println!("\n‖A‖ = {card} ({reps} repetitions per point)");
+        print!("{}", render_panel(&results).render());
+        all.extend(results);
+    }
+    if let Some(path) = args.get("csv") {
+        let t = render_panel(&all);
+        t.write_csv(std::path::Path::new(path)).expect("write csv");
+        println!("\nwrote {path}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rep_is_deterministic() {
+        let spec = ErrorVsCountSpec {
+            c: 1,
+            cardinality: 100,
+            fraction: 0.5,
+            reps: 1,
+            base_seed: 7,
+        };
+        let a = run_once(spec, 7);
+        let b = run_once(spec, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cell_errors_are_moderate_at_small_scale() {
+        // A smoke-level reproduction of one Figure 4 point: ‖A‖ = 1000,
+        // S = 50%, c = 1, a few reps. The paper reports 5–10% mean error;
+        // we allow head-room for the tiny rep count.
+        let spec = ErrorVsCountSpec {
+            c: 1,
+            cardinality: 1000,
+            fraction: 0.5,
+            reps: 4,
+            base_seed: 11,
+        };
+        let r = run_cell(spec, 2);
+        assert_eq!(r.bounded.count(), 4);
+        assert!(
+            r.actual.mean() > 400.0 && r.actual.mean() < 600.0,
+            "actual {actual}",
+            actual = r.actual.mean()
+        );
+        assert!(r.bounded.mean() < 0.30, "bounded err {}", r.bounded.mean());
+        assert!(
+            r.unbounded.mean() < 0.30,
+            "unbounded err {}",
+            r.unbounded.mean()
+        );
+    }
+
+    #[test]
+    fn threading_does_not_change_aggregates() {
+        let spec = ErrorVsCountSpec {
+            c: 2,
+            cardinality: 100,
+            fraction: 0.3,
+            reps: 6,
+            base_seed: 3,
+        };
+        let a = run_cell(spec, 1);
+        let b = run_cell(spec, 3);
+        assert_eq!(a.bounded.count(), b.bounded.count());
+        assert!((a.bounded.mean() - b.bounded.mean()).abs() < 1e-12);
+        assert!((a.actual.mean() - b.actual.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn panel_renders() {
+        let spec = ErrorVsCountSpec {
+            c: 1,
+            cardinality: 100,
+            fraction: 0.1,
+            reps: 2,
+            base_seed: 1,
+        };
+        let r = run_cell(spec, 1);
+        let t = render_panel(std::slice::from_ref(&r));
+        assert_eq!(t.len(), 1);
+        assert!(t.render().contains("100"));
+    }
+}

@@ -1,0 +1,25 @@
+//! Experiment harness: one binary per table/figure of the paper, plus the
+//! shared machinery they use.
+//!
+//! | paper artifact | binary |
+//! |----------------|--------|
+//! | Figure 4 (`c = 1`)            | `fig4` |
+//! | Figure 5 (`c = 2`)            | `fig5` |
+//! | Figure 6 (`c = 4`)            | `fig6` |
+//! | Table 3 + Table 4             | `table4` |
+//! | Figure 7 (workloads A and B)  | `fig7` |
+//! | Lemma 2 / §4.3.3 (analysis)   | `fringe_ablation` |
+//! | §6.1 stochastic averaging     | `bitmap_ablation` |
+//! | §4.7.1 hash families          | `hash_ablation` |
+//!
+//! Every binary accepts `--help`; defaults are scaled to finish on a laptop
+//! in minutes while preserving the paper's shapes, and `--full` restores
+//! the paper-scale repetition counts.
+
+pub mod args;
+pub mod figures;
+pub mod olap_experiment;
+pub mod params;
+pub mod table;
+
+pub use args::Args;

@@ -1,0 +1,250 @@
+//! The §6.2 machinery shared by the `table4` and `fig7` binaries: run the
+//! OLAP-like stream once, track one exact counter plus the three
+//! competitors (NIPS/CI, DS, ILC) per implication-condition setting, and
+//! record everything at the Table 4 checkpoints.
+
+use imp_baselines::{DistinctSampling, ExactCounter, Ilc, ImplicationCounter};
+use imp_core::ImplicationEstimator;
+use imp_datagen::olap::{schema, OlapSpec, OlapStream};
+use imp_stream::project::Projector;
+use imp_stream::source::TupleSource;
+
+use crate::params::{DS_SAMPLE_SIZE, ILC_EPSILON, NIPS_BITMAPS, NIPS_FRINGE};
+
+/// The two §6.2 workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Conditional/compound: itemsets of `{A, E, G}` implying `B`
+    /// ("quite large compound cardinality").
+    A,
+    /// Unconditional: `E → B` ("very moderate cardinalities").
+    B,
+}
+
+impl Workload {
+    /// The `A`-side attributes.
+    pub fn lhs(self) -> &'static [&'static str] {
+        match self {
+            Workload::A => &["A", "E", "G"],
+            Workload::B => &["E"],
+        }
+    }
+
+    /// The `B`-side attributes.
+    pub fn rhs(self) -> &'static [&'static str] {
+        &["B"]
+    }
+
+    /// Parses `"A"` / `"B"`.
+    pub fn parse(s: &str) -> Option<Workload> {
+        match s {
+            "A" | "a" => Some(Workload::A),
+            "B" | "b" => Some(Workload::B),
+            _ => None,
+        }
+    }
+}
+
+/// The paper's Table 4 checkpoint positions (stream lengths).
+pub const PAPER_CHECKPOINTS: [u64; 6] =
+    [134_576, 672_771, 1_344_591, 2_690_181, 4_035_475, 5_381_203];
+
+/// Scales the paper's checkpoints to a shorter stream, keeping their
+/// relative spacing.
+pub fn scaled_checkpoints(total_tuples: u64) -> Vec<u64> {
+    let full = *PAPER_CHECKPOINTS.last().expect("non-empty") as f64;
+    PAPER_CHECKPOINTS
+        .iter()
+        .map(|&c| ((c as f64 / full) * total_tuples as f64).round() as u64)
+        .filter(|&c| c > 0)
+        .collect()
+}
+
+/// One condition setting's bundle of counters.
+struct Bundle {
+    sigma: u64,
+    psi: f64,
+    exact: ExactCounter,
+    nips: ImplicationEstimator,
+    ds: DistinctSampling,
+    ilc: Ilc,
+}
+
+/// One measurement row: a checkpoint × condition setting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckpointRow {
+    /// Stream position.
+    pub tuples: u64,
+    /// Minimum support σ.
+    pub sigma: u64,
+    /// ψ1 threshold.
+    pub psi: f64,
+    /// Exact implication count.
+    pub actual: u64,
+    /// NIPS/CI estimate.
+    pub nips: f64,
+    /// Distinct Sampling estimate.
+    pub ds: f64,
+    /// ILC count.
+    pub ilc: f64,
+    /// Memory entries held by each algorithm at the checkpoint.
+    pub nips_mem: usize,
+    /// DS entries.
+    pub ds_mem: usize,
+    /// ILC entries.
+    pub ilc_mem: usize,
+}
+
+impl CheckpointRow {
+    /// Relative error of one algorithm against the exact count.
+    pub fn rel_err(&self, estimate: f64) -> f64 {
+        imp_sketch::estimate::relative_error(self.actual as f64, estimate)
+    }
+}
+
+/// Runs one workload over `total_tuples` of the OLAP stream, tracking every
+/// `(σ, ψ1)` combination, and reports a row per checkpoint × combination.
+pub fn run_workload(
+    workload: Workload,
+    spec: OlapSpec,
+    total_tuples: u64,
+    checkpoints: &[u64],
+    sigmas: &[u64],
+    psis: &[f64],
+    seed: u64,
+) -> Vec<CheckpointRow> {
+    let sch = schema();
+    let proj_a = Projector::new(&sch, sch.attr_set(workload.lhs()));
+    let proj_b = Projector::new(&sch, sch.attr_set(workload.rhs()));
+    let mut bundles: Vec<Bundle> = sigmas
+        .iter()
+        .flat_map(|&sigma| psis.iter().map(move |&psi| (sigma, psi)))
+        .map(|(sigma, psi)| {
+            let cond = OlapSpec::conditions(sigma, psi);
+            Bundle {
+                sigma,
+                psi,
+                exact: ExactCounter::new(cond),
+                nips: ImplicationEstimator::new(cond, NIPS_BITMAPS, NIPS_FRINGE, seed),
+                ds: DistinctSampling::new(cond, DS_SAMPLE_SIZE, seed ^ 0xd5),
+                ilc: Ilc::new(cond, ILC_EPSILON),
+            }
+        })
+        .collect();
+
+    let mut stream = OlapStream::new(spec);
+    let mut rows = Vec::new();
+    let mut buf_a = Vec::new();
+    let mut buf_b = Vec::new();
+    let mut next_cp = 0usize;
+    let checkpoints: Vec<u64> = {
+        let mut cps: Vec<u64> = checkpoints.iter().copied().filter(|&c| c > 0).collect();
+        cps.sort_unstable();
+        cps.dedup();
+        cps
+    };
+    for pos in 1..=total_tuples {
+        let t = stream.next_tuple().expect("stream is infinite");
+        proj_a.project_into(&t, &mut buf_a);
+        proj_b.project_into(&t, &mut buf_b);
+        for bundle in &mut bundles {
+            bundle.exact.update(&buf_a, &buf_b);
+            bundle.nips.update(&buf_a, &buf_b);
+            ImplicationCounter::update(&mut bundle.ds, &buf_a, &buf_b);
+            ImplicationCounter::update(&mut bundle.ilc, &buf_a, &buf_b);
+        }
+        while next_cp < checkpoints.len() && pos == checkpoints[next_cp] {
+            for bundle in &bundles {
+                rows.push(CheckpointRow {
+                    tuples: pos,
+                    sigma: bundle.sigma,
+                    psi: bundle.psi,
+                    actual: bundle.exact.exact_implication_count(),
+                    nips: ImplicationCounter::implication_count(&bundle.nips),
+                    ds: bundle.ds.implication_count(),
+                    ilc: bundle.ilc.implication_count(),
+                    nips_mem: ImplicationCounter::memory_entries(&bundle.nips),
+                    ds_mem: bundle.ds.memory_entries(),
+                    ilc_mem: bundle.ilc.memory_entries(),
+                });
+            }
+            next_cp += 1;
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkpoint_scaling_keeps_spacing() {
+        let cps = scaled_checkpoints(538_120);
+        assert_eq!(cps.len(), 6);
+        assert_eq!(*cps.last().unwrap(), 538_120);
+        assert!((cps[0] as f64 / 13_458.0 - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn workload_attribute_sets() {
+        assert_eq!(Workload::A.lhs(), &["A", "E", "G"]);
+        assert_eq!(Workload::B.lhs(), &["E"]);
+        assert_eq!(Workload::parse("a"), Some(Workload::A));
+        assert_eq!(Workload::parse("x"), None);
+    }
+
+    #[test]
+    fn small_run_produces_rows_with_sane_errors() {
+        let rows = run_workload(
+            Workload::B,
+            OlapSpec::default(),
+            60_000,
+            &[30_000, 60_000],
+            &[5],
+            &[0.6],
+            1,
+        );
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.actual > 0, "exact count must be positive: {r:?}");
+            // NIPS should be in the right ballpark even at this tiny scale.
+            assert!(r.rel_err(r.nips) < 0.8, "NIPS error implausible: {r:?}");
+        }
+        // Counts grow with the stream.
+        assert!(rows[1].actual >= rows[0].actual);
+    }
+
+    #[test]
+    fn workload_a_counts_overtake_workload_b() {
+        // Table 4's defining shape: workload B saturates near its active
+        // `E` population while the compound workload keeps growing and
+        // dwarfs it (608 vs 50 already at the paper's first checkpoint;
+        // our synthetic stand-in crosses over a little later).
+        let a = run_workload(
+            Workload::A,
+            OlapSpec::default(),
+            400_000,
+            &[400_000],
+            &[5],
+            &[0.6],
+            2,
+        );
+        let b = run_workload(
+            Workload::B,
+            OlapSpec::default(),
+            400_000,
+            &[400_000],
+            &[5],
+            &[0.6],
+            2,
+        );
+        assert!(
+            a[0].actual > 2 * b[0].actual,
+            "A: {}, B: {}",
+            a[0].actual,
+            b[0].actual
+        );
+        assert!(b[0].actual > 0);
+    }
+}

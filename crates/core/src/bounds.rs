@@ -1,0 +1,105 @@
+//! Analytical bounds from §4.3 (Lemma 2) and §4.7.
+//!
+//! * **Lemma 2**: for a non-implication count `S̄ = q · F0(A)`, a fringe of
+//!   `F = ⌈−log2 q⌉` cells suffices — beyond it every cell already holds a
+//!   non-implication with high probability.
+//! * **§4.3.3**: conversely, a fixed fringe of `F` cells estimates
+//!   accurately every non-implication count above `2^-F · F0(A)`; smaller
+//!   counts are clamped to that floor. `F = 4` covers counts down to
+//!   6.25% of `F0`, `F = 8` down to ~0.4%.
+
+use imp_sketch::estimate::{pcsa_relative_error, required_bitmaps};
+
+/// Lemma 2: fringe size needed for a non-implication ratio
+/// `q = S̄ / F0(A)` (`0 < q <= 1`).
+pub fn fringe_size_for_ratio(q: f64) -> u32 {
+    assert!(q > 0.0 && q <= 1.0, "ratio must be in (0, 1]");
+    (-q.log2()).ceil().max(0.0) as u32
+}
+
+/// §4.3.3: the smallest non-implication ratio `S̄ / F0(A)` a fringe of `F`
+/// cells can estimate without clamping.
+pub fn min_estimable_ratio(fringe_size: u32) -> f64 {
+    assert!(fringe_size >= 1);
+    (-(fringe_size as f64)).exp2()
+}
+
+/// §4.6: the per-bitmap itemset budget of a bounded fringe — the expected
+/// number of distinct itemsets resident in an `F`-cell fringe is
+/// `2^F − 1` (e.g. 15 for `F = 4`, 255 for `F = 8`).
+pub fn expected_fringe_itemsets(fringe_size: u32) -> u64 {
+    assert!((1..64).contains(&fringe_size));
+    (1u64 << fringe_size) - 1
+}
+
+/// §4.6: total tracking-entry budget of a full estimator —
+/// `m · headroom · (2^F − 1)` itemsets, each holding at most `K` partner
+/// counters. With the paper's parameters (m=64, F=4, K=2, headroom=1)
+/// this is the quoted "1920 itemsets".
+pub fn entry_budget(m: usize, fringe_size: u32, k: u32, headroom: u32) -> u64 {
+    m as u64 * headroom as u64 * expected_fringe_itemsets(fringe_size) * k as u64
+}
+
+/// Re-export: bitmaps needed for a target relative error (§4.7).
+pub fn bitmaps_for_error(eps: f64) -> usize {
+    required_bitmaps(eps)
+}
+
+/// Re-export: expected relative error of an `m`-bitmap estimator.
+pub fn expected_error(m: usize) -> f64 {
+    pcsa_relative_error(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma2_examples() {
+        // "all non-implication counts greater than 1/16 of F0 correspond to
+        //  a fringe zone of only four cells"
+        assert_eq!(fringe_size_for_ratio(1.0 / 16.0), 4);
+        assert_eq!(fringe_size_for_ratio(0.5), 1);
+        assert_eq!(fringe_size_for_ratio(1.0), 0);
+        assert_eq!(fringe_size_for_ratio(0.01), 7);
+    }
+
+    #[test]
+    fn min_ratio_matches_paper_numbers() {
+        // §4.3.3: F=4 → 6.25%, F=8 → ~0.4%.
+        assert!((min_estimable_ratio(4) - 0.0625).abs() < 1e-12);
+        assert!((min_estimable_ratio(8) - 0.00390625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fringe_and_ratio_are_inverse() {
+        for f in 1..=20u32 {
+            assert_eq!(fringe_size_for_ratio(min_estimable_ratio(f)), f);
+        }
+    }
+
+    #[test]
+    fn paper_entry_budget_is_1920() {
+        // §6.2 / Table 5: 64 bitmaps, F=4, K=2 → (2^4 − 1)·64·2 = 1920.
+        assert_eq!(entry_budget(64, 4, 2, 1), 1920);
+    }
+
+    #[test]
+    fn expected_itemsets_geometric_sum() {
+        assert_eq!(expected_fringe_itemsets(1), 1);
+        assert_eq!(expected_fringe_itemsets(4), 15);
+        assert_eq!(expected_fringe_itemsets(8), 255);
+    }
+
+    #[test]
+    fn error_helpers_consistent() {
+        assert_eq!(bitmaps_for_error(0.10), 64);
+        assert!(expected_error(64) <= 0.10);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be")]
+    fn zero_ratio_rejected() {
+        let _ = fringe_size_for_ratio(0.0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Fringe-cell state.
+//!
+//! Each open cell of the NIPS bitmap holds the [`ItemState`] of every
+//! itemset currently hashed into it, plus a sticky `supported` flag used by
+//! the CI estimator's `F0^sup` read-off (§4.4: a cell counts toward the
+//! supported-distinct estimate iff some itemset in it has reached the
+//! minimum support).
+
+use std::collections::HashMap;
+
+use crate::conditions::ImplicationConditions;
+use crate::state::{ItemState, Verdict};
+
+/// What happened to a cell as a result of one update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellEvent {
+    /// The cell is still open (tracking itemsets).
+    StillOpen,
+    /// The update discovered a non-implication; the caller must commit
+    /// the cell to value 1 and free it.
+    MustClose,
+}
+
+/// An open fringe cell: per-itemset state keyed by the itemset's full
+/// 64-bit hash.
+#[derive(Debug, Clone, Default)]
+pub struct CellState {
+    items: HashMap<u64, ItemState>,
+    supported: bool,
+}
+
+impl CellState {
+    /// A fresh, empty cell.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct itemsets tracked.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the cell tracks no itemset.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether any itemset in the cell has reached minimum support.
+    pub fn supported(&self) -> bool {
+        self.supported
+    }
+
+    /// Records the arrival of `(a, b)` in this cell. `capacity` bounds the
+    /// number of *distinct* itemsets the cell may track.
+    ///
+    /// On overflow, Algorithm 1 (line 13) assigns the whole cell a value
+    /// of one; that fabricates violations whenever the crowd is the
+    /// unsupported tail (`F0 ≫ F0^sup`) or recurring-but-below-σ itemsets.
+    /// Instead, the least-supported slot is recycled for the newcomer —
+    /// recurring itemsets out-rank one-shot tail items and keep their
+    /// counters, and a cell turns 1 only on an observed non-implication.
+    /// See DESIGN.md §7.4.
+    pub fn update(
+        &mut self,
+        a_hash: u64,
+        b_fingerprint: u64,
+        cond: &ImplicationConditions,
+        capacity: usize,
+    ) -> CellEvent {
+        use std::collections::hash_map::Entry;
+        let len = self.items.len();
+        let state = match self.items.entry(a_hash) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(e) => {
+                if len < capacity {
+                    e.insert(ItemState::new())
+                } else {
+                    // Deterministic tie-break by key so that snapshot
+                    // restores replay identically.
+                    let weakest = self
+                        .items
+                        .iter()
+                        .min_by_key(|(&k, s)| (s.support(), k))
+                        .map(|(&k, _)| k)
+                        .expect("capacity >= 1");
+                    self.items.remove(&weakest);
+                    self.items.entry(a_hash).or_default()
+                }
+            }
+        };
+        let verdict = state.update(b_fingerprint, cond);
+        if state.support() >= cond.min_support {
+            self.supported = true;
+        }
+        match verdict {
+            Verdict::Violates => CellEvent::MustClose,
+            Verdict::Pending | Verdict::Satisfies => CellEvent::StillOpen,
+        }
+    }
+
+    /// Serializes into a snapshot buffer.
+    pub(crate) fn encode(&self, buf: &mut bytes::BytesMut) {
+        use bytes::BufMut;
+        buf.put_u8(u8::from(self.supported));
+        buf.put_u32_le(self.items.len() as u32);
+        for (&hash, state) in &self.items {
+            buf.put_u64_le(hash);
+            state.encode(buf);
+        }
+    }
+
+    /// Restores from a snapshot buffer.
+    pub(crate) fn decode(buf: &mut bytes::Bytes) -> Result<Self, crate::snapshot::SnapshotError> {
+        use bytes::Buf;
+        crate::snapshot::need(buf, 1 + 4)?;
+        let supported = match buf.get_u8() {
+            0 => false,
+            1 => true,
+            _ => return Err(crate::snapshot::SnapshotError::Corrupt("supported flag")),
+        };
+        let len = buf.get_u32_le() as usize;
+        let mut items = HashMap::with_capacity(len.min(4096));
+        for _ in 0..len {
+            crate::snapshot::need(buf, 8)?;
+            let hash = buf.get_u64_le();
+            items.insert(hash, ItemState::decode(buf)?);
+        }
+        Ok(Self { items, supported })
+    }
+
+    /// Merges another node's state for the same cell; returns
+    /// [`CellEvent::MustClose`] if the union exposes a violation.
+    pub fn merge(&mut self, other: &CellState, cond: &ImplicationConditions) -> CellEvent {
+        let mut event = CellEvent::StillOpen;
+        for (hash, state) in &other.items {
+            let verdict = match self.items.entry(*hash) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    e.get_mut().merge(state, cond)
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(state.clone()).verdict(cond)
+                }
+            };
+            if verdict == Verdict::Violates {
+                event = CellEvent::MustClose;
+            }
+        }
+        self.supported |=
+            other.supported || self.items.values().any(|s| s.support() >= cond.min_support);
+        event
+    }
+
+    /// Removes the least-supported tracked itemset, returning whether
+    /// anything was removed (budget shedding — see `NipsBitmap`).
+    pub fn shed_weakest(&mut self) -> bool {
+        let weakest = self
+            .items
+            .iter()
+            .min_by_key(|(&k, s)| (s.support(), k))
+            .map(|(&k, _)| k);
+        match weakest {
+            Some(k) => {
+                self.items.remove(&k);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Iterates the tracked itemsets (hash, state).
+    pub fn items(&self) -> impl Iterator<Item = (u64, &ItemState)> {
+        self.items.iter().map(|(&h, s)| (h, s))
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .items
+                .values()
+                .map(|s| 8 + s.approx_bytes())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cond() -> ImplicationConditions {
+        ImplicationConditions::one_to_c(2, 0.5, 2)
+    }
+
+    #[test]
+    fn tracks_multiple_itemsets() {
+        let c = cond();
+        let mut cell = CellState::new();
+        assert_eq!(cell.update(1, 100, &c, 8), CellEvent::StillOpen);
+        assert_eq!(cell.update(2, 200, &c, 8), CellEvent::StillOpen);
+        assert_eq!(cell.len(), 2);
+        assert!(!cell.supported(), "support 1 < σ = 2");
+        assert_eq!(cell.update(1, 100, &c, 8), CellEvent::StillOpen);
+        assert!(cell.supported());
+    }
+
+    #[test]
+    fn violation_closes_cell() {
+        let c = ImplicationConditions::strict_one_to_one(1);
+        let mut cell = CellState::new();
+        assert_eq!(cell.update(1, 100, &c, 8), CellEvent::StillOpen);
+        assert_eq!(cell.update(1, 101, &c, 8), CellEvent::MustClose);
+    }
+
+    #[test]
+    fn capacity_overflow_recycles_weakest_slot() {
+        let c = cond();
+        let mut cell = CellState::new();
+        assert_eq!(cell.update(1, 0, &c, 2), CellEvent::StillOpen);
+        assert_eq!(cell.update(1, 0, &c, 2), CellEvent::StillOpen); // support 2
+        assert_eq!(cell.update(2, 0, &c, 2), CellEvent::StillOpen);
+        // Third distinct itemset: the weakest (2, support 1) is recycled,
+        // never the established itemset 1, and the cell stays open.
+        assert_eq!(cell.update(3, 0, &c, 2), CellEvent::StillOpen);
+        assert_eq!(cell.len(), 2);
+        let tracked: Vec<u64> = cell.items().map(|(h, _)| h).collect();
+        assert!(tracked.contains(&1), "established itemset must survive");
+        assert!(tracked.contains(&3), "newcomer takes the recycled slot");
+        // Established itemsets still update fine at capacity.
+        assert_eq!(cell.update(1, 0, &c, 2), CellEvent::StillOpen);
+        assert_eq!(cell.len(), 2);
+    }
+
+    #[test]
+    fn supported_flag_is_sticky() {
+        let c = cond();
+        let mut cell = CellState::new();
+        cell.update(1, 0, &c, 8);
+        cell.update(1, 0, &c, 8);
+        assert!(cell.supported());
+        cell.update(2, 0, &c, 8);
+        assert!(cell.supported(), "new unsupported itemset must not reset");
+    }
+
+    #[test]
+    fn memory_accounting_moves() {
+        let c = cond();
+        let mut cell = CellState::new();
+        let before = cell.approx_bytes();
+        for a in 0..6u64 {
+            cell.update(a, a, &c, 64);
+        }
+        assert!(cell.approx_bytes() > before);
+    }
+}

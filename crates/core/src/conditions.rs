@@ -1,0 +1,315 @@
+//! The implication conditions of §3.1.1.
+//!
+//! An implication `a → B` holds for a given **maximum multiplicity** `K`,
+//! **minimum support** `σ` and **minimum top-confidence level** `ψ_c` when
+//!
+//! 1. `|ℑ(a → B)| ≤ K` — `a` appears with at most `K` distinct `B`-itemsets,
+//! 2. `σ(a) ≥ σ` — `a` appears in at least `σ` tuples (an *absolute*
+//!    count; §5.1.1 explains why a relative support is the wrong tool), and
+//! 3. `ψ_c(a → B) ≥ ψ` — the sum of the `c` largest confidences
+//!    `φ(a → b) = σ(a,b)/σ(a)` is at least `ψ`.
+//!
+//! Confidences are ratios of integer counters; to keep every comparison
+//! exact, `ψ` is stored as a rational [`Confidence`] and all threshold
+//! checks are integer cross-multiplications.
+
+use std::fmt;
+
+/// A probability threshold stored as an exact rational `num/den ∈ [0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Confidence {
+    num: u32,
+    den: u32,
+}
+
+impl Confidence {
+    /// A confidence of zero (every confidence passes).
+    pub const ZERO: Confidence = Confidence { num: 0, den: 1 };
+    /// A confidence of one (only exact implications pass).
+    pub const ONE: Confidence = Confidence { num: 1, den: 1 };
+
+    /// Creates `num/den`; requires `den > 0` and `num <= den`.
+    pub fn ratio(num: u32, den: u32) -> Self {
+        assert!(den > 0, "confidence denominator must be positive");
+        assert!(num <= den, "confidence must be at most 1");
+        Self { num, den }
+    }
+
+    /// Converts a float in `[0, 1]` to a rational with denominator 1e6.
+    /// Good to 1e-6, which is far below any counter resolution in practice.
+    pub fn from_f64(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "confidence must be in [0, 1]");
+        const DEN: u32 = 1_000_000;
+        Self {
+            num: (p * DEN as f64).round() as u32,
+            den: DEN,
+        }
+    }
+
+    /// The exact `(numerator, denominator)` pair.
+    pub fn as_ratio(self) -> (u32, u32) {
+        (self.num, self.den)
+    }
+
+    /// The threshold as a float (for display only).
+    pub fn as_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Exact test: is `share/total >= self`? (`total > 0` expected; a zero
+    /// total passes only a zero threshold.)
+    #[inline]
+    pub fn is_met_by(self, share: u64, total: u64) -> bool {
+        // share/total >= num/den  ⇔  share·den >= num·total
+        (share as u128) * (self.den as u128) >= (self.num as u128) * (total as u128)
+    }
+}
+
+impl fmt::Display for Confidence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}%", self.as_f64() * 100.0)
+    }
+}
+
+/// How the maximum-multiplicity condition is enforced.
+///
+/// §3.1.1 defines condition 1 as a hard cutoff: a `(K+1)`-th distinct
+/// partner permanently disqualifies the itemset. The paper's own synthetic
+/// evaluation (§6.1), however, *imposes* implications that appear with
+/// `c + 4` distinct partners (the four noise tuples) while setting
+/// `K = c` — under the strict reading nothing would ever imply. Their
+/// experiments therefore treat `K` as the bound on *tracked* partner
+/// counters, with violations driven by the top-confidence condition. Both
+/// readings are supported; `Strict` is the default and `TrackTop`
+/// reproduces Figures 4–6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MultiplicityPolicy {
+    /// Condition 1 as written: more than `K` distinct partners ⇒ violation
+    /// (once the support condition is met).
+    #[default]
+    Strict,
+    /// `K` bounds the partner *counters* (smallest-count counter is
+    /// recycled when a new partner arrives at capacity); extra partners
+    /// only dilute the top-`c` confidence.
+    TrackTop,
+}
+
+/// The full condition set `(K, σ, c, ψ)` of an implication query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ImplicationConditions {
+    /// Maximum multiplicity `K`: itemsets appearing with more than `K`
+    /// distinct `B`-itemsets do not imply.
+    pub max_multiplicity: u32,
+    /// Minimum absolute support `σ` in tuples.
+    pub min_support: u64,
+    /// The `c` of the top-confidence level.
+    pub top_c: u32,
+    /// Minimum top-`c` confidence `ψ`.
+    pub min_confidence: Confidence,
+    /// Enforcement mode for the multiplicity condition.
+    pub multiplicity_policy: MultiplicityPolicy,
+}
+
+impl ImplicationConditions {
+    /// Starts a builder with the paper's loosest settings
+    /// (`K = 1`, `σ = 1`, `c = 1`, `ψ = 1`).
+    pub fn builder() -> ImplicationConditionsBuilder {
+        ImplicationConditionsBuilder::default()
+    }
+
+    /// Strict one-to-one implication: `a` appears with exactly one `b`,
+    /// always (`K = 1`, `ψ_1 = 100%`), with the given support floor.
+    pub fn strict_one_to_one(min_support: u64) -> Self {
+        Self {
+            max_multiplicity: 1,
+            min_support,
+            top_c: 1,
+            min_confidence: Confidence::ONE,
+            multiplicity_policy: MultiplicityPolicy::Strict,
+        }
+    }
+
+    /// One-to-`c` implication with noise tolerance: `a` appears with at most
+    /// `c` distinct `b`s in at least `psi` of its tuples (`K = c`), as used
+    /// throughout §6.1.
+    pub fn one_to_c(c: u32, psi: f64, min_support: u64) -> Self {
+        Self {
+            max_multiplicity: c,
+            min_support,
+            top_c: c,
+            min_confidence: Confidence::from_f64(psi),
+            multiplicity_policy: MultiplicityPolicy::Strict,
+        }
+    }
+
+    /// Returns a copy using the given multiplicity-enforcement policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: MultiplicityPolicy) -> Self {
+        self.multiplicity_policy = policy;
+        self
+    }
+}
+
+impl fmt::Display for ImplicationConditions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "K={} σ={} ψ_{}≥{}",
+            self.max_multiplicity, self.min_support, self.top_c, self.min_confidence
+        )
+    }
+}
+
+/// Builder for [`ImplicationConditions`].
+#[derive(Debug, Clone)]
+pub struct ImplicationConditionsBuilder {
+    max_multiplicity: u32,
+    min_support: u64,
+    top_c: u32,
+    min_confidence: Confidence,
+    multiplicity_policy: MultiplicityPolicy,
+}
+
+impl Default for ImplicationConditionsBuilder {
+    fn default() -> Self {
+        Self {
+            max_multiplicity: 1,
+            min_support: 1,
+            top_c: 1,
+            min_confidence: Confidence::ONE,
+            multiplicity_policy: MultiplicityPolicy::Strict,
+        }
+    }
+}
+
+impl ImplicationConditionsBuilder {
+    /// Sets the maximum multiplicity `K` (must be ≥ 1).
+    pub fn max_multiplicity(mut self, k: u32) -> Self {
+        assert!(k >= 1, "maximum multiplicity must be at least 1");
+        self.max_multiplicity = k;
+        self
+    }
+
+    /// Sets the minimum absolute support `σ` (must be ≥ 1).
+    pub fn min_support(mut self, s: u64) -> Self {
+        assert!(s >= 1, "minimum support must be at least 1");
+        self.min_support = s;
+        self
+    }
+
+    /// Sets the top-confidence condition `ψ_c ≥ psi`.
+    pub fn top_confidence(mut self, c: u32, psi: f64) -> Self {
+        assert!(c >= 1, "top-c needs c >= 1");
+        self.top_c = c;
+        self.min_confidence = Confidence::from_f64(psi);
+        self
+    }
+
+    /// Sets the top-confidence condition with an exact rational threshold.
+    pub fn top_confidence_ratio(mut self, c: u32, num: u32, den: u32) -> Self {
+        assert!(c >= 1, "top-c needs c >= 1");
+        self.top_c = c;
+        self.min_confidence = Confidence::ratio(num, den);
+        self
+    }
+
+    /// Sets the multiplicity-enforcement policy.
+    pub fn multiplicity_policy(mut self, policy: MultiplicityPolicy) -> Self {
+        self.multiplicity_policy = policy;
+        self
+    }
+
+    /// Finalizes the conditions.
+    pub fn build(self) -> ImplicationConditions {
+        ImplicationConditions {
+            max_multiplicity: self.max_multiplicity,
+            min_support: self.min_support,
+            top_c: self.top_c,
+            min_confidence: self.min_confidence,
+            multiplicity_policy: self.multiplicity_policy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rational_threshold_is_exact() {
+        let c = Confidence::ratio(4, 5); // 80%
+        assert!(c.is_met_by(4, 5));
+        assert!(c.is_met_by(8, 10));
+        assert!(!c.is_met_by(79, 100));
+        assert!(c.is_met_by(80, 100));
+    }
+
+    #[test]
+    fn zero_and_one_thresholds() {
+        assert!(Confidence::ZERO.is_met_by(0, 100));
+        assert!(Confidence::ZERO.is_met_by(0, 0));
+        assert!(Confidence::ONE.is_met_by(7, 7));
+        assert!(!Confidence::ONE.is_met_by(6, 7));
+    }
+
+    #[test]
+    fn from_f64_round_trips_closely() {
+        for p in [0.0, 0.5, 0.6, 0.8, 0.9, 0.92, 1.0] {
+            let c = Confidence::from_f64(p);
+            assert!((c.as_f64() - p).abs() < 1e-6, "{p}");
+        }
+    }
+
+    #[test]
+    fn no_overflow_on_huge_counters() {
+        let c = Confidence::ratio(999_999, 1_000_000);
+        assert!(c.is_met_by(u64::MAX, u64::MAX));
+        assert!(!c.is_met_by(u64::MAX / 2, u64::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 1")]
+    fn ratio_above_one_rejected() {
+        let _ = Confidence::ratio(6, 5);
+    }
+
+    #[test]
+    fn builder_defaults_are_strict() {
+        let c = ImplicationConditions::builder().build();
+        assert_eq!(c, ImplicationConditions::strict_one_to_one(1));
+    }
+
+    #[test]
+    fn paper_section_3_1_2_example() {
+        // "at most two different sources 80% of the time, max multiplicity
+        // five, support one" — the §3.1.2 worked parameters.
+        let c = ImplicationConditions::builder()
+            .max_multiplicity(5)
+            .min_support(1)
+            .top_confidence(2, 0.80)
+            .build();
+        assert_eq!(c.max_multiplicity, 5);
+        assert_eq!(c.min_support, 1);
+        assert_eq!(c.top_c, 2);
+        // P2P: top-2 sum is 3 of 4 tuples → 75% < 80% fails …
+        assert!(!c.min_confidence.is_met_by(3, 4));
+        // … but passes once the analyst relaxes ψ to 75%.
+        assert!(Confidence::from_f64(0.75).is_met_by(3, 4));
+    }
+
+    #[test]
+    fn one_to_c_constructor() {
+        let c = ImplicationConditions::one_to_c(2, 0.9, 50);
+        assert_eq!(c.max_multiplicity, 2);
+        assert_eq!(c.top_c, 2);
+        assert_eq!(c.min_support, 50);
+        assert!((c.min_confidence.as_f64() - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let c = ImplicationConditions::one_to_c(2, 0.9, 50);
+        let s = c.to_string();
+        assert!(s.contains("K=2") && s.contains("σ=50"), "{s}");
+    }
+}

@@ -1,0 +1,461 @@
+//! The production implication-count estimator: `m`-way stochastic averaging
+//! over [`NipsBitmap`]s (§6.1 uses `m = 64` bitmaps for ≈10% error).
+//!
+//! Each itemset `a` is routed to bitmap `hash(a) mod m` by the low bits of
+//! its hash; the remaining bits supply the FM rank. Both CI read-offs are
+//! averaged across bitmaps and expanded with the PCSA estimator
+//!
+//! ```text
+//! n̂ = m/φ · (2^R̄ − 2^(−κ·R̄)),   φ ≈ 0.77351, κ = 1.75
+//! ```
+//!
+//! (the `2^(−κ·R̄)` term is Flajolet–Martin's correction for the initial
+//! nonlinear region, which matters for the paper's smallest workloads,
+//! `‖A‖ = 100` split over 64 bitmaps). The implication count is the
+//! difference of the two expansions, never negative.
+
+use imp_sketch::estimate::FM_PHI;
+use imp_sketch::hash::{Hasher64, MixHasher};
+use imp_sketch::rank::split_rank;
+
+use crate::conditions::ImplicationConditions;
+use crate::nips::NipsBitmap;
+
+/// Exponent of the small-range correction term.
+const KAPPA: f64 = 1.75;
+
+/// The result of querying an [`ImplicationEstimator`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// `F0^sup(A)` — distinct itemsets of `A` meeting the support condition.
+    pub f0_sup: f64,
+    /// `S̄` — the non-implication count.
+    pub non_implication_count: f64,
+    /// `S = max(0, F0^sup − S̄)` — the implication count (§4.4).
+    pub implication_count: f64,
+}
+
+/// Stochastic-averaged NIPS/CI estimator — the crate's main entry point.
+#[derive(Debug, Clone)]
+pub struct ImplicationEstimator {
+    cond: ImplicationConditions,
+    bitmaps: Vec<NipsBitmap>,
+    log2_m: u32,
+    hasher_a: MixHasher,
+    hasher_b: MixHasher,
+    tuples: u64,
+}
+
+impl ImplicationEstimator {
+    /// Creates an estimator with `m` bitmaps (power of two; the paper uses
+    /// 64), a bounded fringe of `fringe_size` cells (the paper uses 4), and
+    /// a hash seed.
+    pub fn new(cond: ImplicationConditions, m: usize, fringe_size: u32, seed: u64) -> Self {
+        Self::build(cond, m, Some(fringe_size), seed)
+    }
+
+    /// Creates the unbounded-fringe variant (accuracy yard-stick with
+    /// `O(F0)` memory; the "Unbounded Fringe" series of Figures 4–6).
+    pub fn new_unbounded(cond: ImplicationConditions, m: usize, seed: u64) -> Self {
+        Self::build(cond, m, None, seed)
+    }
+
+    fn build(cond: ImplicationConditions, m: usize, fringe: Option<u32>, seed: u64) -> Self {
+        assert!(m.is_power_of_two(), "bitmap count must be a power of two");
+        let bitmaps = (0..m)
+            .map(|_| match fringe {
+                Some(f) => NipsBitmap::bounded(cond, f),
+                None => NipsBitmap::unbounded(cond),
+            })
+            .collect();
+        Self {
+            cond,
+            bitmaps,
+            log2_m: m.trailing_zeros(),
+            hasher_a: MixHasher::new(seed ^ 0xa11c_e0de),
+            hasher_b: MixHasher::new(seed ^ 0x00b0_bca7),
+            tuples: 0,
+        }
+    }
+
+    /// The conditions under estimation.
+    pub fn conditions(&self) -> &ImplicationConditions {
+        &self.cond
+    }
+
+    /// Number of bitmaps `m`.
+    pub fn bitmap_count(&self) -> usize {
+        self.bitmaps.len()
+    }
+
+    /// Tuples processed so far (`T` of §3.1).
+    pub fn tuples_seen(&self) -> u64 {
+        self.tuples
+    }
+
+    /// Feeds one `(a, b)` pair — the projections of the arriving tuple onto
+    /// `A` and `B`, encoded as value slices.
+    pub fn update(&mut self, a: &[u64], b: &[u64]) {
+        let h_a = self.hasher_a.hash_slice(a);
+        let b_fp = self.hasher_b.hash_slice(b);
+        self.update_hashed(h_a, b_fp);
+    }
+
+    /// Feeds one pre-hashed pair; `h_a` must come from a hash function
+    /// shared by all updates, `b_fp` from an independent one.
+    #[inline]
+    pub fn update_hashed(&mut self, h_a: u64, b_fp: u64) {
+        self.tuples += 1;
+        let (idx, rank) = split_rank(h_a, self.log2_m);
+        self.bitmaps[idx].update(rank, h_a, b_fp);
+    }
+
+    /// The CI estimate over the current stream prefix.
+    pub fn estimate(&self) -> Estimate {
+        let m = self.bitmaps.len() as f64;
+        let (mut sum_sup, mut sum_non) = (0u32, 0u32);
+        for bm in &self.bitmaps {
+            sum_sup += bm.rank_f0_sup();
+            sum_non += bm.rank_non_implication();
+        }
+        let f0_sup = expand_mean(sum_sup as f64 / m, m);
+        let non = expand_mean(sum_non as f64 / m, m);
+        Estimate {
+            f0_sup,
+            non_implication_count: non,
+            implication_count: (f0_sup - non).max(0.0),
+        }
+    }
+
+    /// Total `(a, b)` tracking entries held across all bitmaps — the
+    /// §6.2 memory comparison metric ("1920 itemsets" for the paper's
+    /// parameters).
+    pub fn entries(&self) -> usize {
+        self.bitmaps.iter().map(NipsBitmap::entries).sum()
+    }
+
+    /// Approximate total memory footprint in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.bitmaps.iter().map(NipsBitmap::approx_bytes).sum()
+    }
+
+    /// Access to the underlying bitmaps (diagnostics, tests).
+    pub fn bitmaps(&self) -> &[NipsBitmap] {
+        &self.bitmaps
+    }
+
+    /// Merges an estimator built at another node with the **same
+    /// conditions, bitmap count, fringe configuration and seed** —
+    /// distributed aggregation for the §3 "node in a distributed
+    /// environment" deployment: each node sketches its local traffic and
+    /// a collector merges the sketches instead of the streams.
+    ///
+    /// See [`NipsBitmap::merge`] for the (slight, conservative)
+    /// order-blindness caveat.
+    ///
+    /// # Panics
+    /// If conditions, bitmap counts or hash seeds differ.
+    pub fn merge(&mut self, other: &ImplicationEstimator) {
+        assert_eq!(self.cond, other.cond, "conditions must match");
+        assert_eq!(
+            self.bitmaps.len(),
+            other.bitmaps.len(),
+            "bitmap counts must match"
+        );
+        assert_eq!(
+            (self.hasher_a, self.hasher_b),
+            (other.hasher_a, other.hasher_b),
+            "estimators must share hash seeds to be mergeable"
+        );
+        for (a, b) in self.bitmaps.iter_mut().zip(&other.bitmaps) {
+            a.merge(b);
+        }
+        self.tuples += other.tuples;
+    }
+}
+
+impl ImplicationEstimator {
+    /// Serializes the complete estimator state into a portable snapshot
+    /// (see [`crate::snapshot`] for the format and guarantees).
+    pub fn to_bytes(&self) -> bytes::Bytes {
+        use bytes::BufMut;
+        let mut buf = bytes::BytesMut::with_capacity(4096);
+        buf.put_u32_le(crate::snapshot::MAGIC);
+        buf.put_u16_le(crate::snapshot::VERSION);
+        self.cond.encode(&mut buf);
+        buf.put_u32_le(self.bitmaps.len() as u32);
+        buf.put_u64_le(self.hasher_a.seed());
+        buf.put_u64_le(self.hasher_b.seed());
+        buf.put_u64_le(self.tuples);
+        for bm in &self.bitmaps {
+            bm.encode(&mut buf);
+        }
+        buf.freeze()
+    }
+
+    /// Restores an estimator from [`ImplicationEstimator::to_bytes`]
+    /// output.
+    pub fn from_bytes(mut buf: bytes::Bytes) -> Result<Self, crate::snapshot::SnapshotError> {
+        use crate::snapshot::{need, SnapshotError};
+        use bytes::Buf;
+        need(&buf, 4 + 2)?;
+        if buf.get_u32_le() != crate::snapshot::MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = buf.get_u16_le();
+        if version != crate::snapshot::VERSION {
+            return Err(SnapshotError::BadVersion(version));
+        }
+        let cond = ImplicationConditions::decode(&mut buf)?;
+        need(&buf, 4 + 8 + 8 + 8)?;
+        let m = buf.get_u32_le() as usize;
+        if !m.is_power_of_two() || m == 0 || m > 1 << 20 {
+            return Err(SnapshotError::Corrupt("bitmap count"));
+        }
+        let hasher_a = MixHasher::from_premixed(buf.get_u64_le());
+        let hasher_b = MixHasher::from_premixed(buf.get_u64_le());
+        let tuples = buf.get_u64_le();
+        let bitmaps = (0..m)
+            .map(|_| NipsBitmap::decode(&mut buf, cond))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            cond,
+            bitmaps,
+            log2_m: m.trailing_zeros(),
+            hasher_a,
+            hasher_b,
+            tuples,
+        })
+    }
+}
+
+/// PCSA expansion of a mean rank, with the small-range correction.
+fn expand_mean(mean_rank: f64, m: f64) -> f64 {
+    if mean_rank <= 0.0 {
+        return 0.0;
+    }
+    let main = mean_rank.exp2();
+    let correction = (-KAPPA * mean_rank).exp2();
+    (m / FM_PHI) * (main - correction)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imp_sketch::estimate::relative_error;
+
+    fn one_to_one() -> ImplicationConditions {
+        ImplicationConditions::strict_one_to_one(1)
+    }
+
+    /// Streams `n_impl` implicating and `n_viol` violating itemsets.
+    fn run(est: &mut ImplicationEstimator, n_impl: u64, n_viol: u64) {
+        for a in 0..n_impl {
+            est.update(&[a], &[a]);
+            est.update(&[a], &[a]);
+        }
+        for a in 0..n_viol {
+            let a = a + 1_000_000_000;
+            est.update(&[a], &[1]);
+            est.update(&[a], &[2]);
+        }
+    }
+
+    #[test]
+    fn empty_estimate_is_zero() {
+        let est = ImplicationEstimator::new(one_to_one(), 64, 4, 1);
+        let e = est.estimate();
+        assert_eq!(e.implication_count, 0.0);
+        assert_eq!(e.f0_sup, 0.0);
+        assert_eq!(e.non_implication_count, 0.0);
+    }
+
+    #[test]
+    fn pure_implication_stream_unbounded_is_exact_on_sbar() {
+        let mut est = ImplicationEstimator::new_unbounded(one_to_one(), 64, 2);
+        run(&mut est, 10_000, 0);
+        let e = est.estimate();
+        assert_eq!(e.non_implication_count, 0.0);
+        let err = relative_error(10_000.0, e.implication_count);
+        assert!(err < 0.15, "err {err}, est {e:?}");
+    }
+
+    #[test]
+    fn pure_implication_stream_bounded_stays_clean() {
+        // A cell only ever becomes 1 on an *observed* violation (cells
+        // never close on capacity overflow — DESIGN.md §7.4), so a q = 0
+        // stream reads S̄ = 0 even with the bounded fringe, instead of the
+        // paper's ≈ 2^-F · F0 floor.
+        let mut est = ImplicationEstimator::new(one_to_one(), 64, 4, 2);
+        run(&mut est, 10_000, 0);
+        let e = est.estimate();
+        assert_eq!(e.non_implication_count, 0.0);
+        let err = relative_error(10_000.0, e.implication_count);
+        assert!(err < 0.15, "err {err}, est {e:?}");
+    }
+
+    #[test]
+    fn pure_violation_stream() {
+        let mut est = ImplicationEstimator::new(one_to_one(), 64, 4, 3);
+        run(&mut est, 0, 10_000);
+        let e = est.estimate();
+        let err = relative_error(10_000.0, e.non_implication_count);
+        assert!(err < 0.15, "err {err}, est {e:?}");
+        assert!(
+            e.implication_count < 0.1 * e.f0_sup,
+            "implication count should be near zero: {e:?}"
+        );
+    }
+
+    #[test]
+    fn mixed_stream_recovers_both_counts() {
+        for (s, q, seed) in [
+            (5_000u64, 5_000u64, 4u64),
+            (9_000, 1_000, 5),
+            (1_000, 9_000, 6),
+        ] {
+            let mut est = ImplicationEstimator::new(one_to_one(), 64, 4, seed);
+            run(&mut est, s, q);
+            let e = est.estimate();
+            let err_s = relative_error(s as f64, e.implication_count);
+            let err_f0 = relative_error((s + q) as f64, e.f0_sup);
+            assert!(err_f0 < 0.15, "F0 err {err_f0} at (s={s}, q={q})");
+            assert!(err_s < 0.35, "S err {err_s} at (s={s}, q={q}): {e:?}");
+        }
+    }
+
+    #[test]
+    fn small_cardinality_100_stays_reasonable() {
+        // The paper's smallest panel: ‖A‖ = 100 over 64 bitmaps.
+        let mut errs = 0.0;
+        let reps = 20;
+        for seed in 0..reps {
+            let mut est = ImplicationEstimator::new(one_to_one(), 64, 4, 100 + seed);
+            run(&mut est, 50, 50);
+            let e = est.estimate();
+            errs += relative_error(50.0, e.implication_count);
+        }
+        let mean_err = errs / reps as f64;
+        assert!(mean_err < 0.25, "mean err {mean_err}");
+    }
+
+    #[test]
+    fn bounded_matches_unbounded_for_large_nonimpl() {
+        let mut b = ImplicationEstimator::new(one_to_one(), 64, 4, 7);
+        let mut u = ImplicationEstimator::new_unbounded(one_to_one(), 64, 7);
+        run(&mut b, 4_000, 4_000);
+        run(&mut u, 4_000, 4_000);
+        let (eb, eu) = (b.estimate(), u.estimate());
+        let diff = relative_error(eu.implication_count, eb.implication_count);
+        assert!(diff < 0.10, "bounded {eb:?} vs unbounded {eu:?}");
+    }
+
+    #[test]
+    fn memory_stays_within_paper_budget() {
+        // Per bitmap: the NIPS fringe holds ≤ headroom·(2^F − 1) = 30
+        // itemsets and the F0^sup side-fringe another 30 support counters
+        // (the "double the allocated memory" of §4.3.2), independent of the
+        // stream length.
+        let cond = ImplicationConditions::one_to_c(2, 0.9, 2);
+        let mut est = ImplicationEstimator::new(cond, 64, 4, 8);
+        let mut peak = 0usize;
+        for a in 0..200_000u64 {
+            est.update(&[a], &[a % 7]);
+            if a % 1000 == 0 {
+                peak = peak.max(est.entries());
+            }
+        }
+        peak = peak.max(est.entries());
+        // Per bitmap: the NIPS cells hold ≤ 2·headroom·(2^F − 1) = 60
+        // itemsets (global budget) and the F0^sup side-fringe another 60
+        // support counters, plus transient slack for the cell being
+        // updated when the budget check declines to shed it.
+        assert!(peak <= 64 * 125, "entries {peak} exceed budget");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = ImplicationEstimator::new(one_to_one(), 16, 4, 99);
+        let mut b = ImplicationEstimator::new(one_to_one(), 16, 4, 99);
+        run(&mut a, 500, 500);
+        run(&mut b, 500, 500);
+        assert_eq!(a.estimate(), b.estimate());
+    }
+
+    #[test]
+    fn tuple_counter_advances() {
+        let mut est = ImplicationEstimator::new(one_to_one(), 16, 4, 1);
+        run(&mut est, 10, 5);
+        assert_eq!(est.tuples_seen(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = ImplicationEstimator::new(one_to_one(), 48, 4, 1);
+    }
+
+    #[test]
+    fn merge_of_partitioned_stream_matches_single_node() {
+        // Partition-by-itemset (the natural distributed deployment): the
+        // merged sketch must read exactly like one node seeing everything.
+        let mut whole = ImplicationEstimator::new_unbounded(one_to_one(), 64, 5);
+        let mut node1 = ImplicationEstimator::new_unbounded(one_to_one(), 64, 5);
+        let mut node2 = ImplicationEstimator::new_unbounded(one_to_one(), 64, 5);
+        for a in 0..8_000u64 {
+            let b = if a % 2 == 0 { [a] } else { [a % 7] };
+            let node = if a < 4_000 { &mut node1 } else { &mut node2 };
+            node.update(&[a], &b);
+            whole.update(&[a], &b);
+            if a % 3 == 0 {
+                node.update(&[a], &[a + 1]); // violating second partner
+                whole.update(&[a], &[a + 1]);
+            }
+        }
+        node1.merge(&node2);
+        let (m, w) = (node1.estimate(), whole.estimate());
+        assert_eq!(m, w, "disjoint-itemset merge must be lossless");
+        assert_eq!(node1.tuples_seen(), whole.tuples_seen());
+    }
+
+    #[test]
+    fn merge_unions_violations_across_nodes() {
+        // An itemset clean at each node but with different partners on the
+        // two nodes must be dirty after the merge (K = 1).
+        let mut node1 = ImplicationEstimator::new(one_to_one(), 16, 4, 9);
+        let mut node2 = ImplicationEstimator::new(one_to_one(), 16, 4, 9);
+        for a in 0..500u64 {
+            node1.update(&[a], &[1]);
+            node2.update(&[a], &[2]);
+        }
+        assert_eq!(node1.estimate().non_implication_count, 0.0);
+        assert_eq!(node2.estimate().non_implication_count, 0.0);
+        node1.merge(&node2);
+        let e = node1.estimate();
+        assert!(
+            e.non_implication_count > 200.0,
+            "merged union must expose the violations: {e:?}"
+        );
+        assert!(e.implication_count < 0.2 * e.f0_sup, "{e:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "hash seeds")]
+    fn merge_rejects_mismatched_seeds() {
+        let mut a = ImplicationEstimator::new(one_to_one(), 16, 4, 1);
+        let b = ImplicationEstimator::new(one_to_one(), 16, 4, 2);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn merge_is_idempotent_on_empty() {
+        let mut a = ImplicationEstimator::new(one_to_one(), 16, 4, 3);
+        for x in 0..100u64 {
+            a.update(&[x], &[0]);
+        }
+        let before = a.estimate();
+        let empty = ImplicationEstimator::new(one_to_one(), 16, 4, 3);
+        a.merge(&empty);
+        assert_eq!(a.estimate(), before);
+    }
+}

@@ -1,0 +1,145 @@
+//! Incremental implication counts (§3.2, Figure 1).
+//!
+//! "How many *new* itemsets satisfying the conditions appeared in the last
+//! hour?" is answered by differencing the running count at two reference
+//! points: `ic(t2) − ic(t1)`. The estimator itself is monotone in its
+//! recorded events, so a snapshot is just the scalar estimate at `t1`.
+
+use crate::estimator::{Estimate, ImplicationEstimator};
+
+/// A reference point captured from a running estimator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Snapshot {
+    /// Stream position `t` at capture (tuples processed).
+    pub position: u64,
+    /// The full estimate at `t`.
+    pub estimate: Estimate,
+}
+
+/// The change in counts between two reference points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Delta {
+    /// Tuples between the reference points.
+    pub tuples: u64,
+    /// `ic(t2) − ic(t1)` for the implication count.
+    pub implication_count: f64,
+    /// Change in the non-implication count.
+    pub non_implication_count: f64,
+    /// Change in `F0^sup`.
+    pub f0_sup: f64,
+}
+
+/// Wraps an estimator with snapshot/difference bookkeeping.
+#[derive(Debug, Clone)]
+pub struct IncrementalCounter {
+    inner: ImplicationEstimator,
+}
+
+impl IncrementalCounter {
+    /// Wraps an estimator (consumes it; access via [`Self::estimator`]).
+    pub fn new(inner: ImplicationEstimator) -> Self {
+        Self { inner }
+    }
+
+    /// Feeds one `(a, b)` pair.
+    pub fn update(&mut self, a: &[u64], b: &[u64]) {
+        self.inner.update(a, b);
+    }
+
+    /// Captures the current reference point `t`.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            position: self.inner.tuples_seen(),
+            estimate: self.inner.estimate(),
+        }
+    }
+
+    /// The incremental counts since `since` (which must have been captured
+    /// from this counter, earlier in the same stream).
+    ///
+    /// Note the paper's caveat applies: an itemset that *retroactively*
+    /// turns dirty between `t1` and `t2` leaves the earlier snapshot
+    /// untouched, so a delta can be slightly negative; callers interested
+    /// only in arrivals may clamp.
+    pub fn since(&self, since: &Snapshot) -> Delta {
+        let now = self.snapshot();
+        assert!(
+            now.position >= since.position,
+            "snapshot is from the future of this counter"
+        );
+        Delta {
+            tuples: now.position - since.position,
+            implication_count: now.estimate.implication_count - since.estimate.implication_count,
+            non_implication_count: now.estimate.non_implication_count
+                - since.estimate.non_implication_count,
+            f0_sup: now.estimate.f0_sup - since.estimate.f0_sup,
+        }
+    }
+
+    /// The wrapped estimator.
+    pub fn estimator(&self) -> &ImplicationEstimator {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conditions::ImplicationConditions;
+    use imp_sketch::estimate::relative_error;
+
+    fn counter(seed: u64) -> IncrementalCounter {
+        IncrementalCounter::new(ImplicationEstimator::new(
+            ImplicationConditions::strict_one_to_one(1),
+            64,
+            4,
+            seed,
+        ))
+    }
+
+    #[test]
+    fn delta_of_empty_interval_is_zero() {
+        let mut c = counter(1);
+        for a in 0..100u64 {
+            c.update(&[a], &[a]);
+        }
+        let snap = c.snapshot();
+        let d = c.since(&snap);
+        assert_eq!(d.tuples, 0);
+        assert_eq!(d.implication_count, 0.0);
+    }
+
+    #[test]
+    fn delta_tracks_new_arrivals() {
+        let mut c = counter(2);
+        for a in 0..5_000u64 {
+            c.update(&[a], &[a]);
+        }
+        let t1 = c.snapshot();
+        for a in 5_000..10_000u64 {
+            c.update(&[a], &[a]);
+        }
+        let d = c.since(&t1);
+        assert_eq!(d.tuples, 5_000);
+        let err = relative_error(5_000.0, d.implication_count);
+        assert!(err < 0.35, "incremental err {err}: {d:?}");
+    }
+
+    #[test]
+    fn position_advances_with_stream() {
+        let mut c = counter(3);
+        c.update(&[1], &[1]);
+        c.update(&[2], &[1]);
+        assert_eq!(c.snapshot().position, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "future")]
+    fn snapshot_from_future_rejected() {
+        let mut c = counter(4);
+        c.update(&[1], &[1]);
+        let later = c.snapshot();
+        let earlier = counter(4); // fresh counter at position 0
+        let _ = earlier.since(&later);
+    }
+}

@@ -1,0 +1,804 @@
+//! The NIPS bitmap (Algorithm 1) and the CI read-offs (Algorithm 2).
+//!
+//! One [`NipsBitmap`] is a 64-cell Flajolet–Martin bitmap whose undecided
+//! cells carry live [`CellState`]. The three zones of Figure 3:
+//!
+//! ```text
+//!   1 1 1 1 | f f f f | 0 0 0 0 0 …
+//!   Zone-1    fringe    Zone-0
+//! ```
+//!
+//! * **Zone-1** — cells committed to value 1: a non-implication was
+//!   *observed* there. (Unlike Algorithm 1 line 13, capacity overflow
+//!   never closes a cell — see DESIGN.md §7.4.)
+//! * **fringe** — undecided cells carrying per-itemset state. Capacities
+//!   follow Lemma 1's geometry anchored at the rightmost occupied cell:
+//!   the top-`F` cells hold the `headroom · (2^F − 1)` budget of §4.6;
+//!   crowded cells recycle their least-supported slots; a global item
+//!   budget sheds the weakest itemset of the most crowded cell. `F = 4`
+//!   suffices for all non-implication counts above `≈ 2^-4` of `F0(A)`
+//!   (Lemma 2); smaller counts degrade conservatively.
+//! * **Zone-0** — cells with no tracked state and no decision.
+//!
+//! The bitmap records the *monotone* event "this cell contains a supported
+//! itemset that violates the conditions". The CI estimator reads the same
+//! bitmap twice: `R_F0sup` (leftmost cell without any supported itemset)
+//! estimates the distinct count of supported itemsets, `R_S̄` (leftmost
+//! cell with value ≠ 1) estimates the non-implication count, and
+//! `S ≈ 2^R_F0sup − 2^R_S̄`.
+
+use std::collections::HashMap;
+
+use crate::cell::{CellEvent, CellState};
+use crate::conditions::ImplicationConditions;
+use imp_sketch::estimate::FM_PHI;
+
+/// Number of cells per bitmap (ranks of a 64-bit hash).
+pub const CELLS: u32 = 64;
+
+/// A bounded fringe for the *monotone* event "this cell contains an
+/// itemset with support ≥ σ" — the `F0^sup` side of the CI read-off
+/// (§4.4: "we can have an estimate of `F0^sup(A)` … by virtually assigning
+/// a value of one to each cell in the fringe zone where at least one
+/// itemset that meets the minimum support condition is hashed in").
+///
+/// It mirrors the NIPS bitmap's capacity discipline — geometric per-cell
+/// caps anchored at the rightmost occupied cell, every cell tracked from
+/// its first arrival — but each tracked cell only needs per-itemset
+/// support counters (16 bytes each), no partner state. A cell is certified
+/// only by hard evidence (some counter reaching σ); crowded cells recycle
+/// their weakest counter so recurring — i.e. supportable — itemsets win
+/// slots.
+#[derive(Debug, Clone)]
+struct SupportFringe {
+    min_support: u64,
+    fringe: Option<u32>,
+    headroom: u32,
+    /// Cells certified to contain a supported itemset.
+    certified: u64,
+    cells: Vec<Option<HashMap<u64, u64>>>,
+    top: Option<u32>,
+    items: usize,
+}
+
+impl SupportFringe {
+    fn new(min_support: u64, fringe: Option<u32>, headroom: u32) -> Self {
+        Self {
+            min_support,
+            fringe,
+            headroom,
+            certified: 0,
+            cells: vec![None; CELLS as usize],
+            top: None,
+            items: 0,
+        }
+    }
+
+    #[inline]
+    fn update(&mut self, i: u32, a_key: u64) {
+        if self.certified >> i & 1 == 1 {
+            return;
+        }
+        if self.min_support <= 1 {
+            self.certify(i);
+            return;
+        }
+        self.top = Some(self.top.map_or(i, |t| t.max(i)));
+        let capacity = match self.fringe {
+            None => usize::MAX,
+            Some(f) => {
+                let cap_exp = (self.top.expect("just set") - i).min(f - 1).min(40);
+                (self.headroom as usize) << cap_exp
+            }
+        };
+        let cell = self.cells[i as usize].get_or_insert_with(HashMap::new);
+        let certify_now = if let Some(c) = cell.get_mut(&a_key) {
+            *c += 1;
+            *c >= self.min_support
+        } else if cell.len() < capacity {
+            cell.insert(a_key, 1);
+            self.items += 1;
+            false
+        } else {
+            // Deterministic tie-break by key (snapshot-replay stability).
+            let weakest = cell
+                .iter()
+                .min_by_key(|(&k, &c)| (c, k))
+                .map(|(&k, _)| k)
+                .expect("capacity >= 1");
+            cell.remove(&weakest);
+            cell.insert(a_key, 1);
+            false
+        };
+        if certify_now {
+            self.certify(i);
+        }
+        if let Some(f) = self.fringe {
+            // Shed the weakest counter of the most crowded cell until the
+            // global budget holds — never a whole cell, so accumulated
+            // support evidence survives (crucial at large σ).
+            let budget = (self.headroom as usize) * 2 * ((1usize << f) - 1);
+            while self.items > budget {
+                let crowded = self
+                    .cells
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, c)| c.as_ref().map_or(0, HashMap::len))
+                    .map(|(j, _)| j)
+                    .expect("items > 0 implies an open cell");
+                let cell = self.cells[crowded].as_mut().expect("crowded cell is open");
+                let weakest = cell
+                    .iter()
+                    .min_by_key(|(&k, &c)| (c, k))
+                    .map(|(&k, _)| k)
+                    .expect("crowded cell is non-empty");
+                cell.remove(&weakest);
+                self.items -= 1;
+            }
+        }
+    }
+
+    fn certify(&mut self, i: u32) {
+        self.certified |= 1u64 << i;
+        self.forget(i);
+    }
+
+    fn forget(&mut self, j: u32) {
+        if let Some(cell) = self.cells[j as usize].take() {
+            self.items -= cell.len();
+        }
+    }
+
+    fn entries(&self) -> usize {
+        self.cells.iter().flatten().map(HashMap::len).sum()
+    }
+
+    /// Serializes into a snapshot buffer.
+    fn encode(&self, buf: &mut bytes::BytesMut) {
+        use bytes::BufMut;
+        buf.put_u64_le(self.certified);
+        match self.top {
+            None => buf.put_u8(0),
+            Some(t) => {
+                buf.put_u8(1);
+                buf.put_u8(t as u8);
+            }
+        }
+        let open: Vec<usize> = (0..CELLS as usize)
+            .filter(|&i| self.cells[i].is_some())
+            .collect();
+        buf.put_u8(open.len() as u8);
+        for i in open {
+            let cell = self.cells[i].as_ref().expect("filtered to open");
+            buf.put_u8(i as u8);
+            buf.put_u32_le(cell.len() as u32);
+            for (&k, &n) in cell {
+                buf.put_u64_le(k);
+                buf.put_u64_le(n);
+            }
+        }
+    }
+
+    /// Restores from a snapshot buffer.
+    fn decode(
+        buf: &mut bytes::Bytes,
+        min_support: u64,
+        fringe: Option<u32>,
+        headroom: u32,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        use crate::snapshot::{need, SnapshotError};
+        use bytes::Buf;
+        let mut out = SupportFringe::new(min_support, fringe, headroom);
+        need(buf, 8 + 1)?;
+        out.certified = buf.get_u64_le();
+        out.top = match buf.get_u8() {
+            0 => None,
+            1 => {
+                need(buf, 1)?;
+                let t = buf.get_u8() as u32;
+                if t >= CELLS {
+                    return Err(SnapshotError::Corrupt("support top"));
+                }
+                Some(t)
+            }
+            _ => return Err(SnapshotError::Corrupt("support top flag")),
+        };
+        need(buf, 1)?;
+        let open = buf.get_u8() as usize;
+        for _ in 0..open {
+            need(buf, 1 + 4)?;
+            let i = buf.get_u8() as usize;
+            if i >= CELLS as usize {
+                return Err(SnapshotError::Corrupt("support cell index"));
+            }
+            if out.cells[i].is_some() {
+                return Err(SnapshotError::Corrupt("duplicate support cell index"));
+            }
+            let len = buf.get_u32_le() as usize;
+            need(buf, len * 16)?;
+            let mut cell = HashMap::with_capacity(len.min(4096));
+            for _ in 0..len {
+                cell.insert(buf.get_u64_le(), buf.get_u64_le());
+            }
+            out.items += cell.len();
+            out.cells[i] = Some(cell);
+        }
+        Ok(out)
+    }
+
+    /// Merges another node's support fringe (counts add; certification is
+    /// sticky; newly-crossed thresholds certify).
+    fn merge(&mut self, other: &SupportFringe) {
+        self.certified |= other.certified;
+        self.top = match (self.top, other.top) {
+            (a, None) => a,
+            (None, b) => b,
+            (Some(a), Some(b)) => Some(a.max(b)),
+        };
+        for (i, other_cell) in other.cells.iter().enumerate() {
+            let Some(other_cell) = other_cell else {
+                continue;
+            };
+            if self.certified >> i & 1 == 1 {
+                continue;
+            }
+            let cell = self.cells[i].get_or_insert_with(HashMap::new);
+            let before = cell.len();
+            for (&k, &n) in other_cell {
+                *cell.entry(k).or_insert(0) += n;
+            }
+            // Keep the running item count consistent *before* any certify
+            // (forget subtracts the cell's current length).
+            self.items += cell.len();
+            self.items -= before;
+            if cell.values().any(|&n| n >= self.min_support) {
+                self.certify(i as u32);
+            }
+        }
+    }
+}
+
+/// One NIPS probabilistic-sampling bitmap.
+#[derive(Debug, Clone)]
+pub struct NipsBitmap {
+    cond: ImplicationConditions,
+    /// Bounded fringe size `F` in cells, or `None` for the unbounded
+    /// variant benchmarked in Figures 4–6.
+    fringe: Option<u32>,
+    /// Capacity multiplier over the expected per-cell itemset count
+    /// (§4.3.2: "we can also double the allocated memory").
+    headroom: u32,
+    /// Cells committed to value 1.
+    ones: u64,
+    /// Open cells (`None` = untouched or committed).
+    cells: Vec<Option<CellState>>,
+    /// Rightmost occupied cell (anchors the capacity geometry).
+    top: Option<u32>,
+    /// Total tracked itemsets across open cells.
+    items: usize,
+    /// The monotone `F0^sup` side-structure (§4.4).
+    support: SupportFringe,
+}
+
+impl NipsBitmap {
+    /// Creates a bitmap with a bounded fringe of `fringe_size` cells
+    /// (the paper's default is 4) and 2× capacity head-room.
+    pub fn bounded(cond: ImplicationConditions, fringe_size: u32) -> Self {
+        assert!(
+            (1..=CELLS).contains(&fringe_size),
+            "fringe size must be in 1..=64"
+        );
+        Self::build(cond, Some(fringe_size), 2)
+    }
+
+    /// Creates a bitmap with an unbounded fringe: cells keep full state
+    /// until a non-implication is discovered. Memory is `O(F0)` — this is
+    /// the accuracy yard-stick, not the constrained algorithm.
+    pub fn unbounded(cond: ImplicationConditions) -> Self {
+        Self::build(cond, None, u32::MAX)
+    }
+
+    /// Creates a bounded bitmap with an explicit capacity head-room
+    /// multiplier (ablation hook).
+    pub fn bounded_with_headroom(
+        cond: ImplicationConditions,
+        fringe_size: u32,
+        headroom: u32,
+    ) -> Self {
+        assert!((1..=CELLS).contains(&fringe_size) && headroom >= 1);
+        Self::build(cond, Some(fringe_size), headroom)
+    }
+
+    fn build(cond: ImplicationConditions, fringe: Option<u32>, headroom: u32) -> Self {
+        Self {
+            cond,
+            fringe,
+            headroom,
+            ones: 0,
+            cells: vec![None; CELLS as usize],
+            top: None,
+            items: 0,
+            support: SupportFringe::new(cond.min_support, fringe, headroom),
+        }
+    }
+
+    /// The conditions this bitmap tracks.
+    pub fn conditions(&self) -> &ImplicationConditions {
+        &self.cond
+    }
+
+    /// Whether the fringe is bounded.
+    pub fn is_bounded(&self) -> bool {
+        self.fringe.is_some()
+    }
+
+    /// Records the arrival of an `(a, b)` pair.
+    ///
+    /// * `rank` — `p(hash(a))`, the cell index (clamped to 63);
+    /// * `a_key` — a collision-resistant identity for `a` (its full 64-bit
+    ///   hash);
+    /// * `b_fingerprint` — a 64-bit fingerprint of the `B`-itemset.
+    pub fn update(&mut self, rank: u32, a_key: u64, b_fingerprint: u64) {
+        let i = rank.min(CELLS - 1);
+        // The monotone F0^sup event is recorded for every arrival (a
+        // value-1 cell is implicitly supported, so it can be skipped).
+        if self.ones >> i & 1 == 0 {
+            self.support.update(i, a_key);
+        }
+        if self.ones >> i & 1 == 1 {
+            return; // Zone-1: the event is already recorded.
+        }
+        match self.fringe {
+            Some(f) => self.update_bounded(i, a_key, b_fingerprint, f),
+            None => self.update_unbounded(i, a_key, b_fingerprint),
+        }
+    }
+
+    fn update_unbounded(&mut self, i: u32, a_key: u64, b_fp: u64) {
+        let cell = self.cells[i as usize].get_or_insert_with(CellState::new);
+        let before = cell.len();
+        let event = cell.update(a_key, b_fp, &self.cond, usize::MAX);
+        let after = self.cells[i as usize].as_ref().map_or(0, CellState::len);
+        self.items += after;
+        self.items -= before;
+        if event == CellEvent::MustClose {
+            self.commit_one(i);
+        }
+    }
+
+    /// Bounded mode. Every undecided cell may carry state; what is bounded
+    /// is the per-cell capacity and the total item budget:
+    ///
+    /// * **per-cell capacity** follows Lemma 1's geometry anchored at the
+    ///   rightmost occupied cell `top`: cell `i` expects `2^(top − i)`
+    ///   itemsets, so it gets `headroom · 2^min(top − i, F − 1)` slots —
+    ///   `headroom · (2^F − 1)` across the top-`F` band, the paper's §4.6
+    ///   budget. Cells deeper than the band are over-loaded by definition;
+    ///   they close themselves through the recurring-crowd overflow rule
+    ///   (the paper's Algorithm 1 line 13, see [`CellState::update`]) or
+    ///   churn cheaply at the band cap when the crowd is one-shot tail.
+    /// * **global budget** (`2 · headroom · (2^F − 1)` items): if churny
+    ///   tail cells exceed it, the lowest open cell is dropped back to
+    ///   zero (conservative — no violation is fabricated).
+    ///
+    /// Tracking every cell from its first arrival matters: the support
+    /// condition counts an itemset's arrivals from the beginning, so a
+    /// fringe that adopts cells late systematically under-detects at high
+    /// `σ`.
+    fn update_bounded(&mut self, i: u32, a_key: u64, b_fp: u64, f: u32) {
+        self.top = Some(self.top.map_or(i, |t| t.max(i)));
+        let top = self.top.expect("just set");
+        let cap_exp = (top - i).min(f - 1).min(40);
+        let capacity = (self.headroom as usize) << cap_exp;
+        let cell = self.cells[i as usize].get_or_insert_with(CellState::new);
+        let before = cell.len();
+        let event = cell.update(a_key, b_fp, &self.cond, capacity);
+        let after = self.cells[i as usize].as_ref().map_or(0, CellState::len);
+        self.items += after;
+        self.items -= before;
+        if event == CellEvent::MustClose {
+            self.commit_one(i);
+        }
+        // Enforce the global item budget by shedding the least-supported
+        // itemset of the most crowded cell — never a whole cell, so
+        // accumulated evidence survives (crucial at large σ).
+        let budget = (self.headroom as usize) * 2 * ((1usize << f) - 1);
+        while self.items > budget {
+            let crowded = self
+                .cells
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, c)| c.as_ref().map_or(0, CellState::len))
+                .map(|(j, _)| j)
+                .expect("items > 0 implies an open cell");
+            let cell = self.cells[crowded].as_mut().expect("crowded cell is open");
+            if cell.shed_weakest() {
+                self.items -= 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Commits cell `j` to value 1, freeing its state. The supported flag
+    /// is implied for value-1 cells (§4.4: Zone-1 cells by definition hold
+    /// an itemset that met the support condition).
+    fn commit_one(&mut self, j: u32) {
+        self.ones |= 1u64 << j;
+        self.drop_cell(j);
+    }
+
+    /// Drops cell `j`'s state without recording a decision.
+    fn drop_cell(&mut self, j: u32) {
+        if let Some(cell) = self.cells[j as usize].take() {
+            self.items -= cell.len();
+        }
+    }
+
+    /// Whether cell `i` currently has value 1.
+    pub fn is_one(&self, i: u32) -> bool {
+        i < CELLS && self.ones >> i & 1 == 1
+    }
+
+    /// `R_S̄` — Algorithm 2 lines 5–8: leftmost cell with value ≠ 1.
+    pub fn rank_non_implication(&self) -> u32 {
+        (!self.ones).trailing_zeros()
+    }
+
+    /// `R_F0sup` — Algorithm 2 lines 1–4: leftmost cell not certified to
+    /// hold a supported itemset (value-1 cells count as supported by
+    /// definition, §4.4).
+    pub fn rank_f0_sup(&self) -> u32 {
+        (!(self.ones | self.support.certified)).trailing_zeros()
+    }
+
+    /// Single-bitmap estimates `(F0^sup, S̄, S)` with the FM `φ` bias
+    /// correction applied to both read-offs. Multi-bitmap averaging lives
+    /// in [`crate::ImplicationEstimator`].
+    pub fn estimate(&self) -> (f64, f64, f64) {
+        let f0 = expand(self.rank_f0_sup());
+        let sbar = expand(self.rank_non_implication());
+        (f0, sbar, (f0 - sbar).max(0.0))
+    }
+
+    /// Number of tracking entries currently held: distinct itemsets in the
+    /// NIPS fringe plus support counters in the `F0^sup` side-fringe. The
+    /// paper's §4.6 bound is `(2^F − 1) · K` per bitmap before head-room;
+    /// the side-fringe adds one more `(2^F − 1)` term (the "double the
+    /// allocated memory" head-room of §4.3.2 is spent here).
+    pub fn entries(&self) -> usize {
+        self.cells.iter().flatten().map(|c| c.len()).sum::<usize>() + self.support.entries()
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .cells
+                .iter()
+                .flatten()
+                .map(|c| c.approx_bytes())
+                .sum::<usize>()
+    }
+
+    /// The open fringe cells `(index, state)`, for diagnostics.
+    pub fn open_cells(&self) -> impl Iterator<Item = (u32, &CellState)> {
+        self.cells
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.as_ref().map(|c| (i as u32, c)))
+    }
+
+    /// Serializes into a snapshot buffer (conditions are stored once at
+    /// the estimator level).
+    pub(crate) fn encode(&self, buf: &mut bytes::BytesMut) {
+        use bytes::BufMut;
+        match self.fringe {
+            None => buf.put_u8(0),
+            Some(f) => {
+                buf.put_u8(1);
+                buf.put_u8(f as u8);
+            }
+        }
+        buf.put_u32_le(self.headroom);
+        buf.put_u64_le(self.ones);
+        match self.top {
+            None => buf.put_u8(0),
+            Some(t) => {
+                buf.put_u8(1);
+                buf.put_u8(t as u8);
+            }
+        }
+        let open: Vec<usize> = (0..CELLS as usize)
+            .filter(|&i| self.cells[i].is_some())
+            .collect();
+        buf.put_u8(open.len() as u8);
+        for i in open {
+            buf.put_u8(i as u8);
+            self.cells[i]
+                .as_ref()
+                .expect("filtered to open")
+                .encode(buf);
+        }
+        self.support.encode(buf);
+    }
+
+    /// Restores from a snapshot buffer.
+    pub(crate) fn decode(
+        buf: &mut bytes::Bytes,
+        cond: ImplicationConditions,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        use crate::snapshot::{need, SnapshotError};
+        use bytes::Buf;
+        need(buf, 1)?;
+        let fringe = match buf.get_u8() {
+            0 => None,
+            1 => {
+                need(buf, 1)?;
+                let f = buf.get_u8() as u32;
+                if !(1..=CELLS).contains(&f) {
+                    return Err(SnapshotError::Corrupt("fringe size"));
+                }
+                Some(f)
+            }
+            _ => return Err(SnapshotError::Corrupt("fringe flag")),
+        };
+        need(buf, 4 + 8 + 1)?;
+        let headroom = buf.get_u32_le();
+        if headroom == 0 {
+            return Err(SnapshotError::Corrupt("headroom"));
+        }
+        let mut out = NipsBitmap::build(cond, fringe, headroom);
+        out.ones = buf.get_u64_le();
+        out.top = match buf.get_u8() {
+            0 => None,
+            1 => {
+                need(buf, 1)?;
+                let t = buf.get_u8() as u32;
+                if t >= CELLS {
+                    return Err(SnapshotError::Corrupt("top"));
+                }
+                Some(t)
+            }
+            _ => return Err(SnapshotError::Corrupt("top flag")),
+        };
+        need(buf, 1)?;
+        let open = buf.get_u8() as usize;
+        for _ in 0..open {
+            need(buf, 1)?;
+            let i = buf.get_u8() as usize;
+            if i >= CELLS as usize {
+                return Err(SnapshotError::Corrupt("cell index"));
+            }
+            if out.cells[i].is_some() {
+                return Err(SnapshotError::Corrupt("duplicate cell index"));
+            }
+            let cell = CellState::decode(buf)?;
+            out.items += cell.len();
+            out.cells[i] = Some(cell);
+        }
+        out.support = SupportFringe::decode(buf, cond.min_support, fringe, headroom)?;
+        Ok(out)
+    }
+
+    /// Merges a bitmap built at another node **with the same conditions,
+    /// hash functions and fringe configuration** (distributed aggregation;
+    /// §3 frames NIPS at "a node in a distributed environment").
+    ///
+    /// Value-1 cells union; per-itemset states add, and unions that expose
+    /// a violation close their cell. The merge is order-blind (see
+    /// [`crate::ItemState::merge`]) — the result approximates processing
+    /// the concatenated stream and is exact when the nodes saw disjoint
+    /// stream segments per itemset history dip, which is the common
+    /// partition-by-source deployment.
+    ///
+    /// # Panics
+    /// If the two bitmaps were built with different conditions or fringe
+    /// configurations.
+    pub fn merge(&mut self, other: &NipsBitmap) {
+        assert_eq!(self.cond, other.cond, "conditions must match");
+        assert_eq!(self.fringe, other.fringe, "fringe configuration must match");
+        self.support.merge(&other.support);
+        self.ones |= other.ones;
+        self.top = match (self.top, other.top) {
+            (a, None) => a,
+            (None, b) => b,
+            (Some(a), Some(b)) => Some(a.max(b)),
+        };
+        for (i, other_cell) in other.cells.iter().enumerate() {
+            let Some(other_cell) = other_cell else {
+                continue;
+            };
+            if self.ones >> i & 1 == 1 {
+                continue;
+            }
+            let cell = self.cells[i].get_or_insert_with(CellState::new);
+            if cell.merge(other_cell, &self.cond) == CellEvent::MustClose {
+                self.ones |= 1u64 << i;
+                self.cells[i] = None;
+            }
+        }
+        self.items = self.cells.iter().flatten().map(CellState::len).sum();
+        // Drop any state made redundant by newly-merged ones.
+        for i in 0..CELLS {
+            if self.ones >> i & 1 == 1 {
+                self.drop_cell(i);
+            }
+        }
+        self.items = self.cells.iter().flatten().map(CellState::len).sum();
+    }
+}
+
+fn expand(rank: u32) -> f64 {
+    if rank == 0 {
+        0.0
+    } else {
+        (rank as f64).exp2() / FM_PHI
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imp_sketch::hash::{mix64, Hasher64, MixHasher};
+    use imp_sketch::rank::lsb_rank;
+
+    fn strict() -> ImplicationConditions {
+        ImplicationConditions::strict_one_to_one(1)
+    }
+
+    /// Feeds (a, b) through a real hash like the estimator does.
+    fn feed(bm: &mut NipsBitmap, a: u64, b: u64) {
+        let h = MixHasher::new(9).hash_u64(a);
+        bm.update(lsb_rank(h), h, mix64(b ^ 0xb0b));
+    }
+
+    #[test]
+    fn empty_bitmap_reads_zero() {
+        let bm = NipsBitmap::bounded(strict(), 4);
+        assert_eq!(bm.rank_non_implication(), 0);
+        assert_eq!(bm.rank_f0_sup(), 0);
+        assert_eq!(bm.estimate(), (0.0, 0.0, 0.0));
+        assert_eq!(bm.entries(), 0);
+    }
+
+    #[test]
+    fn all_implicating_items_keep_sbar_zero_unbounded() {
+        let mut bm = NipsBitmap::unbounded(strict());
+        for a in 0..500u64 {
+            feed(&mut bm, a, a); // each a has exactly one partner
+            feed(&mut bm, a, a);
+        }
+        assert_eq!(bm.rank_non_implication(), 0, "no violation may be recorded");
+        assert!(bm.rank_f0_sup() > 5, "F0^sup must track ~500 items");
+        let (_, sbar, s) = bm.estimate();
+        assert_eq!(sbar, 0.0);
+        assert!(s > 100.0);
+    }
+
+    #[test]
+    fn all_violating_items_align_read_offs() {
+        // Every a appears with two partners → all violate K = 1.
+        let mut bm = NipsBitmap::unbounded(strict());
+        for a in 0..2000u64 {
+            feed(&mut bm, a, 1);
+            feed(&mut bm, a, 2);
+        }
+        let r_sup = bm.rank_f0_sup();
+        let r_non = bm.rank_non_implication();
+        assert_eq!(r_sup, r_non, "S̄ = F0^sup when everything violates");
+        let (_, _, s) = bm.estimate();
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn bounded_fringe_holds_at_most_f_open_cells() {
+        let cond = ImplicationConditions::one_to_c(2, 0.5, 1);
+        let mut bm = NipsBitmap::bounded(cond, 4);
+        for a in 0..10_000u64 {
+            feed(&mut bm, a, a % 3);
+        }
+        // Open cells may span more than F indices, but the tracked
+        // itemsets respect the global budget 2·headroom·(2^F − 1).
+        let tracked: usize = bm.open_cells().map(|(_, c)| c.len()).sum();
+        assert!(tracked <= 2 * 2 * 15 + 1, "tracked itemsets {tracked}");
+    }
+
+    #[test]
+    fn bounded_memory_is_capped() {
+        // 2x head-room, F = 4 → at most 2·(8+4+2+1) = 30 itemsets tracked,
+        // independent of stream length.
+        let cond = ImplicationConditions::one_to_c(2, 0.5, 1);
+        for n in [1_000u64, 10_000, 100_000] {
+            let mut bm = NipsBitmap::bounded(cond, 4);
+            let mut peak = 0usize;
+            for a in 0..n {
+                feed(&mut bm, a, a % 5);
+                peak = peak.max(bm.entries());
+            }
+            // NIPS budget (60) + support side-fringe budget (60), plus a
+            // transient slot — and crucially, flat across 100× growth.
+            assert!(peak <= 125, "n={n}: peak entries {peak}");
+        }
+    }
+
+    #[test]
+    fn unbounded_and_bounded_agree_for_large_counts() {
+        // Half the itemsets violate; S̄ = F0/2 ≫ 2^-4·F0, so the bounded
+        // fringe introduces no additional error (§4.3.3).
+        let cond = strict();
+        let mut bounded = NipsBitmap::bounded(cond, 4);
+        let mut unbounded = NipsBitmap::unbounded(cond);
+        for a in 0..4000u64 {
+            let partners: &[u64] = if a % 2 == 0 { &[1] } else { &[1, 2] };
+            for &b in partners {
+                feed(&mut bounded, a, b);
+                feed(&mut unbounded, a, b);
+            }
+        }
+        assert_eq!(
+            bounded.rank_non_implication(),
+            unbounded.rank_non_implication()
+        );
+        assert_eq!(bounded.rank_f0_sup(), unbounded.rank_f0_sup());
+    }
+
+    #[test]
+    fn violation_in_leftmost_cell_floats_fringe() {
+        let cond = strict();
+        let mut bm = NipsBitmap::bounded(cond, 4);
+        // Feed enough violating itemsets that low cells close one by one.
+        for a in 0..200u64 {
+            feed(&mut bm, a, 1);
+            feed(&mut bm, a, 2);
+        }
+        assert!(bm.rank_non_implication() >= 3);
+        // Open cells must sit right of the committed prefix.
+        for (i, _) in bm.open_cells() {
+            assert!(!bm.is_one(i));
+        }
+    }
+
+    #[test]
+    fn value_one_cells_count_as_supported() {
+        // A violating itemset with support ≥ σ leaves a value-1 cell that
+        // must still count toward F0^sup.
+        let cond = strict();
+        let mut bm = NipsBitmap::unbounded(cond);
+        // One item, two partners → its cell closes.
+        feed(&mut bm, 7, 1);
+        feed(&mut bm, 7, 2);
+        let cell = lsb_rank(MixHasher::new(9).hash_u64(7));
+        if cell == 0 {
+            assert_eq!(bm.rank_f0_sup(), bm.rank_non_implication());
+        }
+        assert_eq!(bm.rank_f0_sup(), bm.rank_non_implication());
+    }
+
+    #[test]
+    fn unsupported_items_do_not_count_toward_f0_sup() {
+        // σ = 5 but every item appears once: F0^sup must stay 0.
+        let cond = ImplicationConditions::one_to_c(1, 1.0, 5);
+        let mut bm = NipsBitmap::unbounded(cond);
+        for a in 0..1000u64 {
+            feed(&mut bm, a, 1);
+        }
+        assert_eq!(bm.rank_f0_sup(), 0);
+        assert_eq!(bm.rank_non_implication(), 0);
+        let (f0, sbar, s) = bm.estimate();
+        assert_eq!((f0, sbar, s), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn rank_clamps_beyond_cells() {
+        let mut bm = NipsBitmap::bounded(strict(), 4);
+        bm.update(200, 1, 1); // absurd rank clamps to 63
+        assert_eq!(bm.entries(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fringe size")]
+    fn zero_fringe_rejected() {
+        let _ = NipsBitmap::bounded(strict(), 0);
+    }
+}

@@ -1,0 +1,279 @@
+//! Sliding-window implication counts (§3.2, Figure 2).
+//!
+//! "Maintaining a vector of implication counts with different origins and
+//! appropriately retiring old ones": a ring of estimators, one per open
+//! origin, each fed every tuple since its origin. When an origin has
+//! covered a full window its estimate is emitted and the estimator retired.
+//!
+//! Memory is `active_origins × ` one estimator — still independent of the
+//! stream length and attribute cardinalities.
+
+use imp_stream::window::{SlideSchedule, SlidingSlots, StreamPos};
+
+use crate::conditions::ImplicationConditions;
+use crate::estimator::{Estimate, ImplicationEstimator};
+
+/// A closed window's result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowResult {
+    /// First tuple position covered by the window.
+    pub origin: StreamPos,
+    /// The estimate over `[origin, origin + width)`.
+    pub estimate: Estimate,
+}
+
+/// Sliding-window NIPS/CI: an implication count over the most recent
+/// `width` tuples, advancing every `step` tuples.
+#[derive(Debug, Clone)]
+pub struct SlidingEstimator {
+    cond: ImplicationConditions,
+    m: usize,
+    fringe: u32,
+    seed: u64,
+    slots: SlidingSlots<ImplicationEstimator>,
+    spawned: u64,
+}
+
+impl SlidingEstimator {
+    /// Creates a sliding estimator. `width` must be a positive multiple of
+    /// `step`; `m`, `fringe_size` and `seed` configure each per-origin
+    /// estimator exactly as in [`ImplicationEstimator::new`].
+    pub fn new(
+        cond: ImplicationConditions,
+        width: u64,
+        step: u64,
+        m: usize,
+        fringe_size: u32,
+        seed: u64,
+    ) -> Self {
+        Self {
+            cond,
+            m,
+            fringe: fringe_size,
+            seed,
+            slots: SlidingSlots::new(SlideSchedule::new(width, step)),
+            spawned: 0,
+        }
+    }
+
+    /// Feeds one `(a, b)` pair to every open origin; returns the result of
+    /// a window that just closed, if any.
+    pub fn update(&mut self, a: &[u64], b: &[u64]) -> Option<WindowResult> {
+        let cond = self.cond;
+        let (m, fringe) = (self.m, self.fringe);
+        let seed = self
+            .seed
+            .wrapping_add(self.spawned.wrapping_mul(0x9e37_79b9));
+        let mut opened = false;
+        let retired = self.slots.step(
+            || {
+                opened = true;
+                ImplicationEstimator::new(cond, m, fringe, seed)
+            },
+            |est| est.update(a, b),
+        );
+        if opened {
+            self.spawned += 1;
+        }
+        retired.map(|(origin, est)| WindowResult {
+            origin,
+            estimate: est.estimate(),
+        })
+    }
+
+    /// The current estimate over the *oldest open* origin — i.e. over at
+    /// least the last `width − step` tuples, at most the last `width`.
+    pub fn current(&self) -> Option<(StreamPos, Estimate)> {
+        self.slots
+            .slots()
+            .next()
+            .map(|(origin, est)| (origin, est.estimate()))
+    }
+
+    /// Tuples processed.
+    pub fn position(&self) -> StreamPos {
+        self.slots.position()
+    }
+
+    /// Number of concurrently open origins.
+    pub fn open_origins(&self) -> usize {
+        self.slots.slots().count()
+    }
+}
+
+/// A moving average over the last `k` closed windows — the aggregate of
+/// Table 2's "Complex Implication" row ("*Average* number of destinations
+/// that 90% of the time are contacted from more than ten sources … over a
+/// sliding window").
+#[derive(Debug, Clone)]
+pub struct MovingAverage {
+    window_count: usize,
+    recent: std::collections::VecDeque<f64>,
+}
+
+impl MovingAverage {
+    /// Averages over the most recent `k >= 1` closed windows.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "need at least one window");
+        Self {
+            window_count: k,
+            recent: std::collections::VecDeque::with_capacity(k + 1),
+        }
+    }
+
+    /// Feeds one closed window's count; returns the updated average.
+    pub fn push(&mut self, count: f64) -> f64 {
+        self.recent.push_back(count);
+        if self.recent.len() > self.window_count {
+            self.recent.pop_front();
+        }
+        self.value().expect("just pushed")
+    }
+
+    /// The current moving average (`None` before the first window closes).
+    pub fn value(&self) -> Option<f64> {
+        if self.recent.is_empty() {
+            None
+        } else {
+            Some(self.recent.iter().sum::<f64>() / self.recent.len() as f64)
+        }
+    }
+
+    /// Number of windows currently contributing.
+    pub fn windows(&self) -> usize {
+        self.recent.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imp_sketch::estimate::relative_error;
+
+    #[test]
+    fn moving_average_over_recent_windows() {
+        let mut ma = MovingAverage::new(3);
+        assert_eq!(ma.value(), None);
+        assert_eq!(ma.push(10.0), 10.0);
+        assert_eq!(ma.push(20.0), 15.0);
+        assert_eq!(ma.push(30.0), 20.0);
+        // Oldest (10) retires.
+        assert_eq!(ma.push(40.0), 30.0);
+        assert_eq!(ma.windows(), 3);
+    }
+
+    #[test]
+    fn complex_query_moving_average_end_to_end() {
+        // Table 2's last row, assembled from the building blocks: a
+        // sliding complement count with its per-window results averaged.
+        let cond = crate::ImplicationConditions::builder()
+            .max_multiplicity(10)
+            .min_support(1)
+            .top_confidence(1, 0.0)
+            .build();
+        let mut s = SlidingEstimator::new(cond, 2_000, 1_000, 64, 8, 3);
+        let mut ma = MovingAverage::new(4);
+        for i in 0..20_000u64 {
+            // 40 heavy destinations each drawing from far more than 10
+            // sources per window; plus light background.
+            let (dst, src) = if i % 2 == 0 {
+                (i % 40, i)
+            } else {
+                (1_000 + i % 300, i % 3)
+            };
+            if let Some(w) = s.update(&[dst], &[src]) {
+                ma.push(w.estimate.non_implication_count);
+            }
+        }
+        let avg = ma.value().expect("windows closed");
+        assert!(
+            relative_error(40.0, avg) < 0.5,
+            "moving average {avg} far from the ~40 heavy destinations"
+        );
+    }
+
+    fn sliding(width: u64, step: u64) -> SlidingEstimator {
+        SlidingEstimator::new(
+            ImplicationConditions::strict_one_to_one(1),
+            width,
+            step,
+            64,
+            4,
+            7,
+        )
+    }
+
+    #[test]
+    fn windows_close_on_schedule() {
+        let mut s = sliding(1000, 500);
+        let mut closed = Vec::new();
+        for i in 0..3000u64 {
+            // Each a appears once with one b: all imply.
+            if let Some(w) = s.update(&[i], &[0]) {
+                closed.push(w.origin);
+            }
+        }
+        assert_eq!(closed, vec![0, 500, 1000, 1500, 2000]);
+        assert!(s.open_origins() <= 2);
+    }
+
+    #[test]
+    fn window_estimate_reflects_window_content_only() {
+        // Window of 2000: first window all-implicating, later windows
+        // all-violating. Each window's estimate must reflect its own data.
+        let mut s = sliding(2000, 2000);
+        let mut results = Vec::new();
+        for i in 0..2000u64 {
+            if let Some(w) = s.update(&[i % 1000], &[i % 1000]) {
+                results.push(w);
+            }
+        }
+        for i in 0..2000u64 {
+            // 500 itemsets, each seen 4 times with alternating partners
+            // (b = 0,1,0,1 across its occurrences) → all violate K = 1.
+            if let Some(w) = s.update(&[i % 500 + 10_000], &[(i / 500) % 2]) {
+                results.push(w);
+            }
+        }
+        assert_eq!(results.len(), 2);
+        let first = results[0].estimate;
+        let second = results[1].estimate;
+        let err1 = relative_error(1000.0, first.implication_count);
+        assert!(err1 < 0.35, "first window err {err1}: {first:?}");
+        assert!(
+            second.implication_count < 0.3 * second.f0_sup,
+            "second window must be dominated by violations: {second:?}"
+        );
+        let err2 = relative_error(500.0, second.non_implication_count);
+        assert!(err2 < 0.35, "second window S̄ err {err2}: {second:?}");
+    }
+
+    #[test]
+    fn current_view_is_available_mid_window() {
+        let mut s = sliding(1000, 500);
+        for i in 0..750u64 {
+            s.update(&[i], &[0]);
+        }
+        let (origin, est) = s.current().expect("an origin is open");
+        assert_eq!(origin, 0);
+        assert!(est.f0_sup > 0.0);
+        assert_eq!(s.position(), 750);
+    }
+
+    #[test]
+    fn per_origin_seeds_differ() {
+        // Two consecutive windows over identical content should not produce
+        // bit-identical estimators (independent seeds), yet estimates stay
+        // close.
+        let mut s = sliding(500, 500);
+        let mut ests = Vec::new();
+        for i in 0..1000u64 {
+            if let Some(w) = s.update(&[i % 400], &[0]) {
+                ests.push(w.estimate.implication_count);
+            }
+        }
+        assert_eq!(ests.len(), 2);
+        let err = relative_error(ests[0], ests[1]);
+        assert!(err < 0.5, "windows wildly inconsistent: {ests:?}");
+    }
+}

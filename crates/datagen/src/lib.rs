@@ -1,0 +1,27 @@
+//! Workload generators for the `implicate` workspace.
+//!
+//! * [`zipf`] — an in-repo bounded Zipf sampler (rejection-free inverse-CDF
+//!   over a precomputed prefix + analytic tail), used wherever skew is
+//!   needed. Implemented here rather than pulling `rand_distr`.
+//! * [`dataset_one`] — the paper's §6.1 "Dataset One": planted one-to-`c`
+//!   implications with three kinds of condition-breaking noise itemsets,
+//!   followed by a shuffle. Drives Figures 4, 5 and 6.
+//! * [`olap`] — a synthetic stand-in for the paper's undisclosed 8-dimension
+//!   OLAP dataset (Table 3 cardinalities): a Zipf-skewed entity stream with
+//!   planted loyal / mostly-loyal / diffuse behaviours, supporting the two
+//!   Figure 7 workloads (`{A,E,G} → B` and `E → B`). See DESIGN.md §2 for
+//!   the substitution argument.
+//! * [`network`] — a symbolic network-traffic generator (sources,
+//!   destinations, services, time-of-day) with optional flash-crowd and
+//!   DDoS-shaped episodes, used by the examples (§1–2 of the paper motivate
+//!   implication statistics with exactly these scenarios).
+
+pub mod dataset_one;
+pub mod network;
+pub mod olap;
+pub mod zipf;
+
+pub use dataset_one::{DatasetOne, DatasetOneSpec};
+pub use network::{NetworkSpec, NetworkStream};
+pub use olap::{OlapSpec, OlapStream};
+pub use zipf::Zipf;

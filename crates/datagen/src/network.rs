@@ -1,0 +1,278 @@
+//! Symbolic network-traffic generation.
+//!
+//! §1–2 of the paper motivate implication statistics with router-level
+//! monitoring: flash crowds ("a large volume of traffic from a huge number
+//! of sources to a very small number of destinations") and distributed
+//! denial-of-service attacks whose per-first-hop counts are tiny but whose
+//! cumulative effect at the victim is large. This generator produces such
+//! traffic for the examples: a background of normal flows plus optional
+//! episode overlays.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use imp_stream::schema::Schema;
+use imp_stream::source::TupleSource;
+use imp_stream::tuple::Tuple;
+
+use crate::zipf::Zipf;
+
+/// Attribute order of the generated tuples.
+pub const ATTRS: [&str; 4] = ["Source", "Destination", "Service", "Time"];
+
+/// An episode overlaid on the background traffic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Episode {
+    /// A flash crowd: many distinct sources hammer one destination over
+    /// one service (each source appears a handful of times).
+    FlashCrowd {
+        /// Tuple position at which the episode starts.
+        start: u64,
+        /// Number of episode tuples.
+        tuples: u64,
+        /// The victim destination.
+        destination: u64,
+    },
+    /// A DDoS-like episode: an even larger set of *spoofed* sources, each
+    /// appearing exactly once, all targeting one destination.
+    Ddos {
+        /// Tuple position at which the episode starts.
+        start: u64,
+        /// Number of episode tuples.
+        tuples: u64,
+        /// The victim destination.
+        destination: u64,
+    },
+}
+
+/// Generator parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkSpec {
+    /// RNG seed.
+    pub seed: u64,
+    /// Distinct background sources.
+    pub sources: u64,
+    /// Distinct destinations.
+    pub destinations: u64,
+    /// Distinct services.
+    pub services: u64,
+    /// Time-of-day buckets (coarse, cycling).
+    pub time_buckets: u64,
+    /// Tuples per time bucket.
+    pub bucket_width: u64,
+    /// Fraction (per mille) of *loyal* sources that stick to a single
+    /// destination — the "destinations contacted by just a single source"
+    /// style statistics count their counterparts.
+    pub loyal_permille: u32,
+    /// Overlaid episodes, sorted by `start`.
+    pub episodes: Vec<Episode>,
+}
+
+impl Default for NetworkSpec {
+    fn default() -> Self {
+        Self {
+            seed: 0x2e70_5eed,
+            sources: 50_000,
+            destinations: 5_000,
+            services: 16,
+            time_buckets: 4,
+            bucket_width: 25_000,
+            loyal_permille: 400,
+            episodes: Vec::new(),
+        }
+    }
+}
+
+/// A deterministic, infinite network-traffic stream.
+#[derive(Debug, Clone)]
+pub struct NetworkStream {
+    spec: NetworkSpec,
+    schema: Schema,
+    zipf_src: Zipf,
+    rng: StdRng,
+    produced: u64,
+    /// Spoofed-source counter for DDoS episodes (beyond `spec.sources`).
+    next_spoofed: u64,
+}
+
+impl NetworkStream {
+    /// Opens the stream.
+    pub fn new(spec: NetworkSpec) -> Self {
+        let schema = Schema::new([
+            (ATTRS[0], 0),
+            (ATTRS[1], spec.destinations),
+            (ATTRS[2], spec.services),
+            (ATTRS[3], spec.time_buckets),
+        ]);
+        Self {
+            zipf_src: Zipf::new(spec.sources, 0.9),
+            rng: StdRng::seed_from_u64(spec.seed),
+            schema,
+            next_spoofed: spec.sources,
+            spec,
+            produced: 0,
+        }
+    }
+
+    /// Tuples produced so far.
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+
+    fn active_episode(&self) -> Option<Episode> {
+        self.spec.episodes.iter().copied().find(|ep| {
+            let (start, tuples) = match ep {
+                Episode::FlashCrowd { start, tuples, .. } | Episode::Ddos { start, tuples, .. } => {
+                    (*start, *tuples)
+                }
+            };
+            (start..start + tuples).contains(&self.produced)
+        })
+    }
+
+    /// Generates the next tuple `(source, destination, service, time)`.
+    pub fn next_row(&mut self) -> Tuple {
+        let time = (self.produced / self.spec.bucket_width) % self.spec.time_buckets;
+        let row = match self.active_episode() {
+            Some(Episode::FlashCrowd { destination, .. }) => {
+                // Many legitimate sources → one destination, WWW-ish.
+                let src = self.rng.gen_range(0..self.spec.sources);
+                [src, destination, 0, time]
+            }
+            Some(Episode::Ddos { destination, .. }) => {
+                // Fresh spoofed source every tuple.
+                let src = self.next_spoofed;
+                self.next_spoofed += 1;
+                [
+                    src,
+                    destination,
+                    self.rng.gen_range(0..self.spec.services),
+                    time,
+                ]
+            }
+            None => {
+                let src = self.zipf_src.sample(&mut self.rng) - 1;
+                let loyal = (imp_sketch::hash::mix64(src) % 1000) < self.spec.loyal_permille as u64;
+                let dst = if loyal {
+                    imp_sketch::hash::mix64(src ^ 0xd57) % self.spec.destinations
+                } else {
+                    self.rng.gen_range(0..self.spec.destinations)
+                };
+                let svc = imp_sketch::hash::mix64(src ^ 0x57c) % self.spec.services;
+                [src, dst, svc, time]
+            }
+        };
+        self.produced += 1;
+        Tuple::from(row)
+    }
+}
+
+impl TupleSource for NetworkStream {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_tuple(&mut self) -> Option<Tuple> {
+        Some(self.next_row())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn background_respects_domains() {
+        let spec = NetworkSpec::default();
+        let (dsts, svcs, times) = (spec.destinations, spec.services, spec.time_buckets);
+        let mut st = NetworkStream::new(spec);
+        for _ in 0..20_000 {
+            let t = st.next_row();
+            assert!(t.get(1) < dsts);
+            assert!(t.get(2) < svcs);
+            assert!(t.get(3) < times);
+        }
+    }
+
+    #[test]
+    fn time_advances_in_buckets() {
+        let spec = NetworkSpec {
+            bucket_width: 10,
+            time_buckets: 3,
+            ..Default::default()
+        };
+        let mut st = NetworkStream::new(spec);
+        let times: Vec<u64> = (0..40).map(|_| st.next_row().get(3)).collect();
+        assert!(times[..10].iter().all(|&t| t == 0));
+        assert!(times[10..20].iter().all(|&t| t == 1));
+        assert!(times[20..30].iter().all(|&t| t == 2));
+        assert!(times[30..].iter().all(|&t| t == 0), "wraps around");
+    }
+
+    #[test]
+    fn ddos_spoofs_fresh_sources_single_destination() {
+        let spec = NetworkSpec {
+            episodes: vec![Episode::Ddos {
+                start: 100,
+                tuples: 500,
+                destination: 7,
+            }],
+            ..Default::default()
+        };
+        let n_sources = spec.sources;
+        let mut st = NetworkStream::new(spec);
+        let mut episode_srcs = HashSet::new();
+        for i in 0..1000u64 {
+            let t = st.next_row();
+            if (100..600).contains(&i) {
+                assert_eq!(t.get(1), 7, "all episode traffic hits the victim");
+                assert!(t.get(0) >= n_sources, "episode sources are spoofed");
+                assert!(
+                    episode_srcs.insert(t.get(0)),
+                    "each spoofed source is fresh"
+                );
+            }
+        }
+        assert_eq!(episode_srcs.len(), 500);
+    }
+
+    #[test]
+    fn flash_crowd_reuses_legitimate_sources() {
+        let spec = NetworkSpec {
+            episodes: vec![Episode::FlashCrowd {
+                start: 0,
+                tuples: 1000,
+                destination: 3,
+            }],
+            ..Default::default()
+        };
+        let n_sources = spec.sources;
+        let mut st = NetworkStream::new(spec);
+        let mut srcs = HashSet::new();
+        for _ in 0..1000 {
+            let t = st.next_row();
+            assert_eq!(t.get(1), 3);
+            assert!(t.get(0) < n_sources);
+            srcs.insert(t.get(0));
+        }
+        assert!(srcs.len() > 500, "a crowd, not a single flow");
+    }
+
+    #[test]
+    fn loyal_sources_stick_to_one_destination() {
+        let mut st = NetworkStream::new(NetworkSpec::default());
+        let mut by_src: std::collections::HashMap<u64, HashSet<u64>> =
+            std::collections::HashMap::new();
+        for _ in 0..100_000 {
+            let t = st.next_row();
+            by_src.entry(t.get(0)).or_default().insert(t.get(1));
+        }
+        let single: usize = by_src.values().filter(|d| d.len() == 1).count();
+        assert!(
+            single * 10 > by_src.len() * 2,
+            "expect a sizeable loyal share: {single}/{}",
+            by_src.len()
+        );
+    }
+}

@@ -1,0 +1,362 @@
+//! Synthetic stand-in for the paper's undisclosed 8-dimension OLAP dataset
+//! (§6.2, Tables 3–4, Figure 7).
+//!
+//! The real dataset could not be disclosed by the authors ("given to us by
+//! an OLAP company whose name we cannot disclose"); what the experiments
+//! require from it is: (i) the Table 3 dimension cardinalities, (ii) a
+//! skewed entity distribution so that the tracked implication counts *grow*
+//! with the stream (Table 4), and (iii) a mixture of implicating and
+//! non-implicating itemsets under the Figure 7 conditions
+//! (`K = 2`, `ψ1 ∈ {0.6, 0.8}`, `σ ∈ {5, 50}`).
+//!
+//! The generator draws a latent *entity* `z` from a Zipf distribution and
+//! derives the dimension values from `z` by hashing. Each entity carries a
+//! planted behaviour:
+//!
+//! * **EPure** — reserved `E`-values (`e < epure_e_domain`) whose `B` is a
+//!   fixed function of `e`: these make `E → B` implicators (workload B).
+//!   A third of them are "mostly pure" (a 70/30 split over two `B`s) so
+//!   that the ψ = 0.6 and ψ = 0.8 settings count different sets.
+//! * **Loyal** — `B` fixed per entity: `{A,E,G} → B` implicators
+//!   (workload A).
+//! * **MostlyLoyal** — 70/30 over two fixed `B`s: pass ψ = 0.6, fail 0.8.
+//! * **Diffuse** — uniform `B` per tuple: violate everything once
+//!   supported.
+//!
+//! Ground truth for the experiments is always computed by the exact
+//! counter over the same stream, so the planted shares only steer the
+//! magnitudes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use imp_sketch::hash::mix64;
+use imp_stream::schema::Schema;
+use imp_stream::source::TupleSource;
+use imp_stream::tuple::Tuple;
+
+use crate::zipf::Zipf;
+
+/// Table 3: the eight dimension cardinalities.
+pub const CARDINALITIES: [(&str, u64); 8] = [
+    ("A", 1557),
+    ("B", 2669),
+    ("C", 2),
+    ("D", 2),
+    ("E", 3363),
+    ("F", 131),
+    ("G", 660),
+    ("H", 693),
+];
+
+/// The 8-dimension schema of Table 3.
+pub fn schema() -> Schema {
+    Schema::new(CARDINALITIES)
+}
+
+/// Planted behaviour classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    EPure,
+    Loyal,
+    MostlyLoyal,
+    Diffuse,
+}
+
+/// Generator parameters. Defaults are tuned so the two Figure 7 workloads
+/// produce counts of roughly the Table 4 magnitudes at a few million
+/// tuples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OlapSpec {
+    /// RNG seed.
+    pub seed: u64,
+    /// Latent entity domain (Zipf ranks).
+    pub zipf_domain: u64,
+    /// Zipf skew (`< 1` so the supported-entity count keeps growing).
+    pub zipf_skew: f64,
+    /// Per-mille of entities that are `E`-pure.
+    pub epure_permille: u32,
+    /// Per-mille of entities that are loyal.
+    pub loyal_permille: u32,
+    /// Per-mille of entities that are mostly-loyal.
+    pub mostly_permille: u32,
+    /// Number of reserved pure `E` values.
+    pub epure_e_domain: u64,
+    /// Number of *active* non-pure `E` values. Real OLAP data uses a small
+    /// fraction of a dimension's domain; keeping the active set small also
+    /// keeps `S / F0^sup(E)` in the regime the paper targets (§4.7.2
+    /// explicitly waives very small implication-to-distinct ratios).
+    pub noise_e_domain: u64,
+    /// Temporal-locality probability: with this probability a tuple re-hits
+    /// a recently active entity instead of drawing a fresh one. Real
+    /// operational streams are bursty (sessions, flows); this is what lets
+    /// per-entity support accumulate while the entity is hot.
+    pub locality: f64,
+    /// Size of the recently-active ring.
+    pub locality_window: usize,
+}
+
+impl Default for OlapSpec {
+    fn default() -> Self {
+        Self {
+            seed: 0x01a5_eed5,
+            zipf_domain: 1 << 19,
+            zipf_skew: 0.5,
+            epure_permille: 30,
+            loyal_permille: 300,
+            mostly_permille: 200,
+            epure_e_domain: 250,
+            noise_e_domain: 100,
+            locality: 0.85,
+            locality_window: 4096,
+        }
+    }
+}
+
+impl OlapSpec {
+    /// The Figure 7 / Table 4 implication conditions for a given minimum
+    /// support and ψ1.
+    pub fn conditions(min_support: u64, psi1: f64) -> imp_core::ImplicationConditions {
+        imp_core::ImplicationConditions::builder()
+            .max_multiplicity(2)
+            .min_support(min_support)
+            .top_confidence(1, psi1)
+            .build()
+    }
+}
+
+/// A deterministic, infinite OLAP-like tuple stream.
+#[derive(Debug, Clone)]
+pub struct OlapStream {
+    spec: OlapSpec,
+    schema: Schema,
+    zipf: Zipf,
+    rng: StdRng,
+    produced: u64,
+    /// Recently active entities (temporal locality).
+    recent: Vec<u64>,
+    recent_next: usize,
+}
+
+impl OlapStream {
+    /// Opens the stream for `spec`.
+    pub fn new(spec: OlapSpec) -> Self {
+        assert!(
+            spec.epure_permille + spec.loyal_permille + spec.mostly_permille <= 1000,
+            "class shares exceed 100%"
+        );
+        assert!(spec.epure_e_domain + spec.noise_e_domain <= CARDINALITIES[4].1);
+        assert!((0.0..1.0).contains(&spec.locality));
+        assert!(spec.locality_window >= 1);
+        Self {
+            schema: schema(),
+            zipf: Zipf::new(spec.zipf_domain, spec.zipf_skew),
+            rng: StdRng::seed_from_u64(spec.seed),
+            spec,
+            produced: 0,
+            recent: Vec::new(),
+            recent_next: 0,
+        }
+    }
+
+    /// Tuples produced so far.
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+
+    fn class_of(&self, z: u64) -> Class {
+        let roll = (mix64(z ^ 0x0c1a_55e5) % 1000) as u32;
+        if roll < self.spec.epure_permille {
+            Class::EPure
+        } else if roll < self.spec.epure_permille + self.spec.loyal_permille {
+            Class::Loyal
+        } else if roll
+            < self.spec.epure_permille + self.spec.loyal_permille + self.spec.mostly_permille
+        {
+            Class::MostlyLoyal
+        } else {
+            Class::Diffuse
+        }
+    }
+
+    /// Draws the next entity: usually a recently active one (bursty
+    /// sessions), otherwise a fresh Zipf draw that joins the ring.
+    fn next_entity(&mut self) -> u64 {
+        if !self.recent.is_empty() && self.rng.gen_bool(self.spec.locality) {
+            let i = self.rng.gen_range(0..self.recent.len());
+            return self.recent[i];
+        }
+        let z = self.zipf.sample(&mut self.rng);
+        if self.recent.len() < self.spec.locality_window {
+            self.recent.push(z);
+        } else {
+            self.recent[self.recent_next] = z;
+            self.recent_next = (self.recent_next + 1) % self.recent.len();
+        }
+        z
+    }
+
+    /// Generates the next tuple.
+    pub fn next_row(&mut self) -> Tuple {
+        let z = self.next_entity();
+        let class = self.class_of(z);
+        let card_a = CARDINALITIES[0].1;
+        let card_b = CARDINALITIES[1].1;
+        let card_e = CARDINALITIES[4].1;
+        let card_f = CARDINALITIES[5].1;
+        let card_g = CARDINALITIES[6].1;
+        let card_h = CARDINALITIES[7].1;
+
+        let a = mix64(z ^ 0xaaaa) % card_a;
+        let g = mix64(z ^ 0x6666) % card_g;
+        let (e, b) = match class {
+            Class::EPure => {
+                let e = mix64(z ^ 0xeeee) % self.spec.epure_e_domain;
+                // A third of the pure E values are only "mostly" pure:
+                // 70/30 over two fixed B's, differentiating ψ settings.
+                let primary = mix64(e ^ 0xb111) % card_b;
+                let b = if e.is_multiple_of(3) && self.rng.gen_bool(0.3) {
+                    mix64(e ^ 0xb222) % card_b
+                } else {
+                    primary
+                };
+                (e, b)
+            }
+            Class::Loyal => {
+                let e = self.noise_e(z);
+                (e, mix64(z ^ 0xb333) % card_b)
+            }
+            Class::MostlyLoyal => {
+                let e = self.noise_e(z);
+                let b = if self.rng.gen_bool(0.3) {
+                    mix64(z ^ 0xb555) % card_b
+                } else {
+                    mix64(z ^ 0xb444) % card_b
+                };
+                (e, b)
+            }
+            Class::Diffuse => {
+                let e = self.noise_e(z);
+                (e, self.rng.gen_range(0..card_b))
+            }
+        };
+        let c = u64::from(self.rng.gen_bool(0.5));
+        let d = u64::from(self.rng.gen_bool(0.5));
+        let f = self.rng.gen_range(0..card_f);
+        let h = self.rng.gen_range(0..card_h);
+        debug_assert!(e < card_e);
+        self.produced += 1;
+        Tuple::from([a, b, c, d, e, f, g, h])
+    }
+
+    /// Non-pure entities draw `E` from the active non-reserved range.
+    fn noise_e(&self, z: u64) -> u64 {
+        self.spec.epure_e_domain + mix64(z ^ 0xe123) % self.spec.noise_e_domain
+    }
+}
+
+impl TupleSource for OlapStream {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_tuple(&mut self) -> Option<Tuple> {
+        Some(self.next_row())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    #[test]
+    fn schema_matches_table3() {
+        let s = schema();
+        assert_eq!(s.arity(), 8);
+        assert_eq!(
+            s.compound_cardinality(s.attr_set(&["A", "E", "G"])),
+            Some(1557 * 3363 * 660),
+            "workload A's 'quite large compound cardinality'"
+        );
+        assert_eq!(s.compound_cardinality(s.attr_set(&["E"])), Some(3363));
+    }
+
+    #[test]
+    fn values_respect_cardinalities() {
+        let mut st = OlapStream::new(OlapSpec::default());
+        for _ in 0..5000 {
+            let t = st.next_row();
+            for (i, (_, card)) in CARDINALITIES.iter().enumerate() {
+                assert!(t.get(i) < *card, "dim {i} out of range: {}", t.get(i));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = OlapStream::new(OlapSpec::default());
+        let mut b = OlapStream::new(OlapSpec::default());
+        for _ in 0..100 {
+            assert_eq!(a.next_row(), b.next_row());
+        }
+    }
+
+    #[test]
+    fn pure_e_values_lock_their_b() {
+        // Fully-pure reserved E values (e % 3 != 0) must map to exactly
+        // one B over a long prefix.
+        let mut st = OlapStream::new(OlapSpec::default());
+        let mut seen: HashMap<u64, HashSet<u64>> = HashMap::new();
+        for _ in 0..200_000 {
+            let t = st.next_row();
+            let (e, b) = (t.get(4), t.get(1));
+            if e < 250 && e % 3 != 0 {
+                seen.entry(e).or_default().insert(b);
+            }
+        }
+        assert!(!seen.is_empty());
+        for (e, bs) in &seen {
+            assert_eq!(bs.len(), 1, "pure e {e} saw {} b's", bs.len());
+        }
+    }
+
+    #[test]
+    fn noise_e_values_scatter_their_b() {
+        let mut st = OlapStream::new(OlapSpec::default());
+        let mut seen: HashMap<u64, HashSet<u64>> = HashMap::new();
+        for _ in 0..300_000 {
+            let t = st.next_row();
+            let (e, b) = (t.get(4), t.get(1));
+            if e >= 250 {
+                seen.entry(e).or_default().insert(b);
+            }
+        }
+        // Well-fed noise E values aggregate many entities → many B's.
+        let heavy_scattered = seen.values().filter(|bs| bs.len() > 2).count();
+        assert!(
+            heavy_scattered > 50,
+            "expected scattered noise E's, got {heavy_scattered}"
+        );
+    }
+
+    #[test]
+    fn supported_entity_count_grows_with_stream() {
+        // The Table 4 property: counts keep growing as the stream evolves.
+        let mut st = OlapStream::new(OlapSpec::default());
+        let mut support: HashMap<(u64, u64, u64), u64> = HashMap::new();
+        let mut supported_at = Vec::new();
+        for i in 1..=400_000u64 {
+            let t = st.next_row();
+            let key = (t.get(0), t.get(4), t.get(6));
+            *support.entry(key).or_default() += 1;
+            if i % 100_000 == 0 {
+                supported_at.push(support.values().filter(|&&s| s >= 5).count());
+            }
+        }
+        assert!(
+            supported_at.windows(2).all(|w| w[0] < w[1]),
+            "supported (A,E,G) count must grow: {supported_at:?}"
+        );
+    }
+}

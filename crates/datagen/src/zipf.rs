@@ -1,0 +1,172 @@
+//! Bounded Zipf sampling.
+//!
+//! Draws ranks `1..=n` with `P[k] ∝ k^(-s)`. The distribution's head (the
+//! first `PREFIX` ranks) is sampled by binary search over a precomputed
+//! CDF; the tail uses the standard continuous-power-law inversion with
+//! rejection, which is cheap because the continuous envelope hugs the
+//! discrete tail tightly for ranks beyond the prefix.
+
+use rand::Rng;
+
+/// Number of head ranks covered by the exact CDF table.
+const PREFIX: usize = 1024;
+
+/// A Zipf(`n`, `s`) sampler over ranks `1..=n`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    /// CDF over ranks `1..=min(n, PREFIX)` (unnormalized, then scaled).
+    prefix_cdf: Vec<f64>,
+    /// Probability mass of the prefix.
+    prefix_mass: f64,
+    /// Precomputed constants for tail inversion.
+    tail_a: f64,
+    tail_b: f64,
+    one_minus_s: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler; `n >= 1`, `s > 0`, `s != 1` (use `s = 1.0001`
+    /// for the classic harmonic case — indistinguishable in practice).
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n >= 1, "domain must be non-empty");
+        assert!(s > 0.0 && (s - 1.0).abs() > 1e-9, "s must be > 0 and != 1");
+        let prefix_len = (n as usize).min(PREFIX);
+        let mut cdf = Vec::with_capacity(prefix_len);
+        let mut acc = 0.0f64;
+        for k in 1..=prefix_len as u64 {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let one_minus_s = 1.0 - s;
+        // Tail mass via the continuous approximation
+        // ∫_{prefix+0.5}^{n+0.5} x^-s dx.
+        let tail_mass = if n as usize > prefix_len {
+            let lo = prefix_len as f64 + 0.5;
+            let hi = n as f64 + 0.5;
+            (hi.powf(one_minus_s) - lo.powf(one_minus_s)) / one_minus_s
+        } else {
+            0.0
+        };
+        let total = acc + tail_mass;
+        let prefix_mass = acc / total;
+        let lo = prefix_len as f64 + 0.5;
+        let hi = n as f64 + 0.5;
+        Self {
+            n,
+            s,
+            prefix_cdf: cdf,
+            prefix_mass,
+            tail_a: lo.powf(one_minus_s),
+            tail_b: hi.powf(one_minus_s),
+            one_minus_s,
+        }
+    }
+
+    /// Domain size `n`.
+    pub fn domain(&self) -> u64 {
+        self.n
+    }
+
+    /// Skew `s`.
+    pub fn skew(&self) -> f64 {
+        self.s
+    }
+
+    /// Draws one rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        if u < self.prefix_mass || self.prefix_cdf.len() as u64 == self.n {
+            // Head: binary search the CDF.
+            let target = u / self.prefix_mass * self.prefix_cdf.last().copied().unwrap_or(1.0);
+            let idx = self
+                .prefix_cdf
+                .partition_point(|&c| c < target)
+                .min(self.prefix_cdf.len() - 1);
+            idx as u64 + 1
+        } else {
+            // Tail: invert the continuous CDF between the integration
+            // bounds and round to the nearest rank.
+            let v: f64 = rng.gen();
+            let x = (self.tail_a + v * (self.tail_b - self.tail_a)).powf(1.0 / self.one_minus_s);
+            (x.round() as u64).clamp(self.prefix_cdf.len() as u64 + 1, self.n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for (n, s) in [(1u64, 0.8), (10, 0.5), (1000, 1.2), (10_000_000, 0.6)] {
+            let z = Zipf::new(n, s);
+            for _ in 0..2000 {
+                let k = z.sample(&mut rng);
+                assert!((1..=n).contains(&k), "k={k} outside 1..={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn head_frequencies_follow_power_law() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = 1.1;
+        let z = Zipf::new(100_000, s);
+        let n = 400_000;
+        let mut c1 = 0u64;
+        let mut c2 = 0u64;
+        let mut c4 = 0u64;
+        for _ in 0..n {
+            match z.sample(&mut rng) {
+                1 => c1 += 1,
+                2 => c2 += 1,
+                4 => c4 += 1,
+                _ => {}
+            }
+        }
+        // P[1]/P[2] = 2^s, P[2]/P[4] = 2^s.
+        let r12 = c1 as f64 / c2 as f64;
+        let r24 = c2 as f64 / c4 as f64;
+        let expect = 2f64.powf(s);
+        assert!((r12 / expect - 1.0).abs() < 0.15, "r12 {r12} vs {expect}");
+        assert!((r24 / expect - 1.0).abs() < 0.15, "r24 {r24} vs {expect}");
+    }
+
+    #[test]
+    fn tail_is_reachable_for_low_skew() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let z = Zipf::new(1_000_000, 0.5);
+        let beyond_prefix = (0..20_000).filter(|_| z.sample(&mut rng) > 1024).count();
+        // With s = 0.5 the tail holds the overwhelming majority of mass.
+        assert!(beyond_prefix > 15_000, "tail hits: {beyond_prefix}");
+    }
+
+    #[test]
+    fn distinct_count_grows_with_draws() {
+        // The property Figure-7 generation relies on: more draws → more
+        // distinct heavy ids.
+        let mut rng = StdRng::seed_from_u64(4);
+        let z = Zipf::new(1 << 22, 0.6);
+        let mut seen = std::collections::HashSet::new();
+        let mut at_10k = 0;
+        for i in 0..100_000u64 {
+            seen.insert(z.sample(&mut rng));
+            if i == 9_999 {
+                at_10k = seen.len();
+            }
+        }
+        assert!(seen.len() > 2 * at_10k, "{} vs {at_10k}", seen.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "!= 1")]
+    fn s_of_exactly_one_rejected() {
+        let _ = Zipf::new(10, 1.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! The Flajolet–Martin bitmap and its read-offs.
+//!
+//! A bitmap of `L` cells where cell `i` records "some value with rank `i`
+//! was seen". At any moment the bitmap is (whp) a solid run of ones, a small
+//! *fringe* of mixed values around `log2 F0`, and zeros above (Figure 3 of
+//! the paper). The classic estimator reads `R`, the position of the leftmost
+//! zero, with `E[R] ≈ log2(φ · F0)`, `φ ≈ 0.77351`.
+
+/// Number of cells tracked; 64 suffices for any `u64`-hashed universe.
+pub const BITMAP_LEN: u32 = 64;
+
+/// A 64-cell FM bitmap packed into one word. Cell 0 is the least-significant
+/// bit ("leftmost" in the paper's figures).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FmBitmap {
+    bits: u64,
+}
+
+impl FmBitmap {
+    /// An all-zero bitmap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Constructs directly from a packed word (bit `i` ↦ cell `i`).
+    pub fn from_bits(bits: u64) -> Self {
+        Self { bits }
+    }
+
+    /// The packed cell values.
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Sets cell `rank` to one. Ranks `>= 64` are clamped to the top cell.
+    #[inline]
+    pub fn set(&mut self, rank: u32) {
+        self.bits |= 1u64 << rank.min(BITMAP_LEN - 1);
+    }
+
+    /// Whether cell `rank` is one.
+    #[inline]
+    pub fn get(&self, rank: u32) -> bool {
+        rank < BITMAP_LEN && (self.bits >> rank) & 1 == 1
+    }
+
+    /// `R`: index of the leftmost (least-significant) zero cell —
+    /// the FM estimator's read-off.
+    #[inline]
+    pub fn leftmost_zero(&self) -> u32 {
+        (!self.bits).trailing_zeros()
+    }
+
+    /// Index of the leftmost one cell, or `None` if empty. The boundary
+    /// `Zone-1 / fringe` bookkeeping uses this in tests.
+    #[inline]
+    pub fn leftmost_one(&self) -> Option<u32> {
+        (self.bits != 0).then(|| self.bits.trailing_zeros())
+    }
+
+    /// Index of the rightmost one cell, or `None` if empty. The paper defines
+    /// the rightmost fringe cell as the rightmost cell any itemset hashed to.
+    #[inline]
+    pub fn rightmost_one(&self) -> Option<u32> {
+        (self.bits != 0).then(|| 63 - self.bits.leading_zeros())
+    }
+
+    /// Number of one cells.
+    #[inline]
+    pub fn count_ones(&self) -> u32 {
+        self.bits.count_ones()
+    }
+
+    /// Merges another bitmap (union of recorded events). Distinct counting
+    /// is mergeable across distributed nodes (§3: "a node in a distributed
+    /// environment"); NIPS cells are not, but plain FM bitmaps are.
+    #[inline]
+    pub fn merge(&mut self, other: &FmBitmap) {
+        self.bits |= other.bits;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_bitmap_reads_zero() {
+        let bm = FmBitmap::new();
+        assert_eq!(bm.leftmost_zero(), 0);
+        assert_eq!(bm.leftmost_one(), None);
+        assert_eq!(bm.rightmost_one(), None);
+        assert_eq!(bm.count_ones(), 0);
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut bm = FmBitmap::new();
+        bm.set(0);
+        bm.set(5);
+        assert!(bm.get(0));
+        assert!(!bm.get(1));
+        assert!(bm.get(5));
+        assert_eq!(bm.leftmost_zero(), 1);
+        assert_eq!(bm.leftmost_one(), Some(0));
+        assert_eq!(bm.rightmost_one(), Some(5));
+    }
+
+    #[test]
+    fn leftmost_zero_solid_prefix() {
+        let mut bm = FmBitmap::new();
+        for i in 0..7 {
+            bm.set(i);
+        }
+        assert_eq!(bm.leftmost_zero(), 7);
+        bm.set(10);
+        assert_eq!(bm.leftmost_zero(), 7, "gap at 7 still the read-off");
+    }
+
+    #[test]
+    fn rank_overflow_clamps() {
+        let mut bm = FmBitmap::new();
+        bm.set(200);
+        assert!(bm.get(63));
+    }
+
+    #[test]
+    fn full_bitmap() {
+        let bm = FmBitmap::from_bits(u64::MAX);
+        assert_eq!(bm.leftmost_zero(), 64);
+        assert_eq!(bm.rightmost_one(), Some(63));
+    }
+
+    #[test]
+    fn merge_is_union() {
+        let mut a = FmBitmap::new();
+        a.set(1);
+        let mut b = FmBitmap::new();
+        b.set(3);
+        a.merge(&b);
+        assert!(a.get(1) && a.get(3));
+        assert_eq!(a.count_ones(), 2);
+    }
+}

@@ -1,0 +1,231 @@
+//! Estimator constants and (ε, δ)-approximation helpers (§4.7).
+//!
+//! A probabilistic algorithm (ε, δ)-approximates `A` if it outputs `Â` with
+//! `P[|Â − A| ≤ ε·A] ≥ 1 − δ`. The standard recipe: average enough
+//! independent copies to push the relative standard error below `ε` (the
+//! paper's "stochastic averaging", §6.1: 64 bitmaps for ≈10%), then take a
+//! median over `O(log 1/δ)` groups to boost confidence.
+
+/// Flajolet–Martin bias constant: `E[R] ≈ log2(φ · F0)` for the
+/// leftmost-zero read-off, so `F0 ≈ 2^R / φ`.
+pub const FM_PHI: f64 = 0.775_351;
+
+/// Per-bitmap standard deviation of the FM `R` read-off, in bits
+/// (Flajolet–Martin 1985: σ(R) ≈ 1.12). With `m`-way stochastic averaging
+/// the standard error of the *mean* rank is `1.12 / sqrt(m)` bits, i.e. a
+/// relative error of about `0.78 / sqrt(m)` on the count.
+pub const FM_SIGMA_BITS: f64 = 1.12;
+
+/// Relative standard error of an `m`-bitmap PCSA estimate.
+pub fn pcsa_relative_error(m: usize) -> f64 {
+    0.78 / (m as f64).sqrt()
+}
+
+/// Smallest power-of-two bitmap count whose PCSA standard error is `<= eps`.
+///
+/// `required_bitmaps(0.10) == 64`, matching the paper's experimental setup.
+pub fn required_bitmaps(eps: f64) -> usize {
+    assert!(eps > 0.0, "epsilon must be positive");
+    let mut m = 1usize;
+    while pcsa_relative_error(m) > eps {
+        m = m
+            .checked_mul(2)
+            .expect("epsilon too small: bitmap count overflow");
+    }
+    m
+}
+
+/// Number of independent estimator groups for a median-of-means boost to
+/// confidence `1 − δ` (standard Chernoff bound: `⌈ 8 ln(1/δ) ⌉`, forced odd
+/// so the median is well defined).
+pub fn median_groups(delta: f64) -> usize {
+    assert!((0.0..1.0).contains(&delta) && delta > 0.0);
+    let g = (8.0 * (1.0 / delta).ln()).ceil() as usize;
+    g | 1
+}
+
+/// Median of a list of estimates (consumed; not assumed sorted).
+pub fn median(mut xs: Vec<f64>) -> f64 {
+    assert!(!xs.is_empty(), "median of empty sample");
+    let mid = xs.len() / 2;
+    let (_, med, _) =
+        xs.select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).expect("NaN estimate"));
+    *med
+}
+
+/// Relative error `|measured − actual| / actual` — the metric reported in
+/// every figure of the paper (§6.1). `actual == 0` maps to 0 when the
+/// measurement is also 0, else infinity.
+pub fn relative_error(actual: f64, measured: f64) -> f64 {
+    if actual == 0.0 {
+        if measured == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (actual - measured).abs() / actual.abs()
+    }
+}
+
+/// Online mean / standard-deviation accumulator (Welford), used by the
+/// experiment harness to aggregate the 100 repetitions per figure point.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample variance with Bessel's correction (0 for n < 2).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn stderr(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.stddev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Merges another accumulator (parallel Welford / Chan's method).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let d = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += d * n2 / n;
+        self.m2 += other.m2 + d * d * n1 * n2 / n;
+        self.n += other.n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_uses_64_bitmaps_for_10_percent() {
+        assert_eq!(required_bitmaps(0.10), 64);
+    }
+
+    #[test]
+    fn error_decreases_with_bitmaps() {
+        assert!(pcsa_relative_error(64) < pcsa_relative_error(16));
+        assert!(pcsa_relative_error(64) <= 0.10);
+    }
+
+    #[test]
+    fn median_groups_is_odd_and_monotone() {
+        let g1 = median_groups(0.1);
+        let g2 = median_groups(0.01);
+        assert!(g1 % 2 == 1 && g2 % 2 == 1);
+        assert!(g2 > g1);
+    }
+
+    #[test]
+    fn median_selects_middle() {
+        assert_eq!(median(vec![3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(vec![5.0]), 5.0);
+        assert_eq!(median(vec![1.0, 100.0, 2.0, 99.0, 3.0]), 3.0);
+    }
+
+    #[test]
+    fn relative_error_basics() {
+        assert_eq!(relative_error(100.0, 90.0), 0.1);
+        assert_eq!(relative_error(100.0, 110.0), 0.1);
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert!(relative_error(0.0, 1.0).is_infinite());
+    }
+
+    #[test]
+    fn running_stats_matches_direct_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut st = RunningStats::new();
+        for &x in &xs {
+            st.push(x);
+        }
+        assert_eq!(st.count(), 8);
+        assert!((st.mean() - 5.0).abs() < 1e-12);
+        // Sample variance of this classic dataset is 32/7.
+        assert!((st.variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn running_stats_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = RunningStats::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RunningStats::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = (a.count(), a.mean(), a.variance());
+        a.merge(&RunningStats::new());
+        assert_eq!(before, (a.count(), a.mean(), a.variance()));
+        let mut e = RunningStats::new();
+        e.merge(&a);
+        assert_eq!(e.count(), 2);
+        assert!((e.mean() - 2.0).abs() < 1e-12);
+    }
+}

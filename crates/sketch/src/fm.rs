@@ -1,0 +1,138 @@
+//! Single-bitmap Flajolet–Martin distinct counting (§4.1.1).
+//!
+//! The basic probabilistic counting procedure: hash each element, set bitmap
+//! cell `p(hash(x))`, and estimate `F0 ≈ 2^R / φ` from the leftmost zero `R`.
+//! A single bitmap has ~1.12-bit standard deviation on `R`; use [`crate::Pcsa`]
+//! for the averaged, production estimator.
+
+use crate::bitmap::FmBitmap;
+use crate::estimate::FM_PHI;
+use crate::hash::{Hasher64, MixHasher};
+use crate::rank::lsb_rank;
+
+/// A single-bitmap FM distinct-count sketch.
+#[derive(Debug, Clone)]
+pub struct FmSketch<H = MixHasher> {
+    hasher: H,
+    bitmap: FmBitmap,
+}
+
+impl FmSketch<MixHasher> {
+    /// Creates a sketch with the default mixer keyed by `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self::with_hasher(MixHasher::new(seed))
+    }
+}
+
+impl<H: Hasher64> FmSketch<H> {
+    /// Creates a sketch over a caller-supplied hash function.
+    pub fn with_hasher(hasher: H) -> Self {
+        Self {
+            hasher,
+            bitmap: FmBitmap::new(),
+        }
+    }
+
+    /// Records one element (duplicates are free — this is a distinct count).
+    #[inline]
+    pub fn insert_u64(&mut self, x: u64) {
+        self.bitmap.set(lsb_rank(self.hasher.hash_u64(x)));
+    }
+
+    /// Records one encoded itemset.
+    #[inline]
+    pub fn insert_slice(&mut self, xs: &[u64]) {
+        self.bitmap.set(lsb_rank(self.hasher.hash_slice(xs)));
+    }
+
+    /// The raw leftmost-zero read-off `R`.
+    pub fn rank(&self) -> u32 {
+        self.bitmap.leftmost_zero()
+    }
+
+    /// Bias-corrected estimate `2^R / φ`. Returns 0 for an empty sketch.
+    pub fn estimate(&self) -> f64 {
+        let r = self.rank();
+        if r == 0 {
+            0.0
+        } else {
+            (r as f64).exp2() / FM_PHI
+        }
+    }
+
+    /// The underlying bitmap (for merging / inspection).
+    pub fn bitmap(&self) -> &FmBitmap {
+        &self.bitmap
+    }
+
+    /// Merges a sketch built with the *same* hash function.
+    pub fn merge(&mut self, other: &FmSketch<H>) {
+        self.bitmap.merge(&other.bitmap);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_estimates_zero() {
+        let s = FmSketch::new(1);
+        assert_eq!(s.estimate(), 0.0);
+    }
+
+    #[test]
+    fn duplicates_do_not_move_estimate() {
+        let mut s = FmSketch::new(1);
+        for _ in 0..1000 {
+            s.insert_u64(42);
+        }
+        let single = s.rank();
+        assert!(single <= 1 + lsb_rank(MixHasher::new(1).hash_u64(42)).min(63));
+        let mut s2 = FmSketch::new(1);
+        s2.insert_u64(42);
+        assert_eq!(s.rank(), s2.rank());
+    }
+
+    #[test]
+    fn estimate_grows_with_cardinality_order_of_magnitude() {
+        let mut s = FmSketch::new(7);
+        for x in 0..1000u64 {
+            s.insert_u64(x);
+        }
+        let e = s.estimate();
+        // Single bitmap: only order-of-magnitude accuracy is promised.
+        assert!(
+            (125.0..8000.0).contains(&e),
+            "estimate {e} wildly off for F0=1000"
+        );
+    }
+
+    #[test]
+    fn merge_equals_union_stream() {
+        let mut a = FmSketch::new(3);
+        let mut b = FmSketch::new(3);
+        let mut whole = FmSketch::new(3);
+        for x in 0..500u64 {
+            a.insert_u64(x);
+            whole.insert_u64(x);
+        }
+        for x in 400..900u64 {
+            b.insert_u64(x);
+            whole.insert_u64(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.bitmap(), whole.bitmap());
+    }
+
+    #[test]
+    fn slice_insertion_consistent_with_u64() {
+        let mut a = FmSketch::new(9);
+        let mut b = FmSketch::new(9);
+        for x in 0..100u64 {
+            a.insert_u64(x);
+            b.insert_slice(&[x]);
+        }
+        assert_eq!(a.bitmap(), b.bitmap());
+    }
+}

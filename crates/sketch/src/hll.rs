@@ -1,0 +1,200 @@
+//! HyperLogLog (Flajolet, Fusy, Gandouet & Meunier, 2007).
+//!
+//! The modern successor of the PCSA machinery the paper builds on: instead
+//! of one bitmap per stochastic-averaging bucket, each bucket keeps only
+//! the maximum rank observed (one byte), and the estimator combines the
+//! buckets through a harmonic mean. Included here both as a yard-stick for
+//! the PCSA substrate (see the `f0_ablation` bench binary) and because a
+//! production deployment of this library would likely swap it in for the
+//! plain distinct-count queries (it cannot replace the NIPS cells, which
+//! need per-itemset state, but it can replace the `F0` estimators).
+
+use crate::hash::{Hasher64, MixHasher};
+
+/// A HyperLogLog distinct-count sketch with `m = 2^precision` registers.
+#[derive(Debug, Clone)]
+pub struct HyperLogLog<H = MixHasher> {
+    hasher: H,
+    precision: u32,
+    registers: Vec<u8>,
+}
+
+impl HyperLogLog<MixHasher> {
+    /// Creates a sketch with `2^precision` registers (`4 ≤ precision ≤ 16`)
+    /// and the default mixer keyed by `seed`.
+    pub fn new(precision: u32, seed: u64) -> Self {
+        Self::with_hasher(precision, MixHasher::new(seed))
+    }
+}
+
+impl<H: Hasher64> HyperLogLog<H> {
+    /// Creates a sketch over a caller-supplied hash function.
+    pub fn with_hasher(precision: u32, hasher: H) -> Self {
+        assert!((4..=16).contains(&precision), "precision must be in 4..=16");
+        Self {
+            hasher,
+            precision,
+            registers: vec![0u8; 1 << precision],
+        }
+    }
+
+    /// Number of registers `m`.
+    pub fn registers(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// Records one element.
+    #[inline]
+    pub fn insert_u64(&mut self, x: u64) {
+        self.record(self.hasher.hash_u64(x));
+    }
+
+    /// Records one encoded itemset.
+    #[inline]
+    pub fn insert_slice(&mut self, xs: &[u64]) {
+        self.record(self.hasher.hash_slice(xs));
+    }
+
+    #[inline]
+    fn record(&mut self, h: u64) {
+        let idx = (h >> (64 - self.precision)) as usize;
+        // Rank of the remaining bits: position of the leftmost 1-bit,
+        // 1-based, over the low 64 - precision bits.
+        let rest = h << self.precision;
+        let rank = (rest.leading_zeros() + 1).min(64 - self.precision + 1) as u8;
+        if rank > self.registers[idx] {
+            self.registers[idx] = rank;
+        }
+    }
+
+    /// The bias-correction constant `α_m`.
+    fn alpha(&self) -> f64 {
+        match self.registers.len() {
+            16 => 0.673,
+            32 => 0.697,
+            64 => 0.709,
+            m => 0.7213 / (1.0 + 1.079 / m as f64),
+        }
+    }
+
+    /// The cardinality estimate, with the standard small-range
+    /// (linear-counting) correction.
+    pub fn estimate(&self) -> f64 {
+        let m = self.registers.len() as f64;
+        let sum: f64 = self
+            .registers
+            .iter()
+            .map(|&r| 2f64.powi(-i32::from(r)))
+            .sum();
+        let raw = self.alpha() * m * m / sum;
+        if raw <= 2.5 * m {
+            let zeros = self.registers.iter().filter(|&&r| r == 0).count();
+            if zeros > 0 {
+                return m * (m / zeros as f64).ln();
+            }
+        }
+        raw
+    }
+
+    /// Merges a sketch built with the same precision and hash function
+    /// (register-wise maximum).
+    pub fn merge(&mut self, other: &HyperLogLog<H>) {
+        assert_eq!(
+            self.precision, other.precision,
+            "precision mismatch in merge"
+        );
+        for (a, &b) in self.registers.iter_mut().zip(&other.registers) {
+            *a = (*a).max(b);
+        }
+    }
+
+    /// Expected relative standard error `≈ 1.04 / sqrt(m)`.
+    pub fn expected_error(&self) -> f64 {
+        1.04 / (self.registers.len() as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::relative_error;
+
+    #[test]
+    fn empty_estimates_zero() {
+        let h = HyperLogLog::new(10, 1);
+        assert_eq!(h.estimate(), 0.0);
+    }
+
+    #[test]
+    fn accuracy_tracks_expected_error() {
+        for (n, seed) in [(1_000u64, 1u64), (50_000, 2), (1_000_000, 3)] {
+            let mut h = HyperLogLog::new(12, seed); // 4096 registers, ~1.6%
+            for x in 0..n {
+                h.insert_u64(x);
+            }
+            let err = relative_error(n as f64, h.estimate());
+            assert!(
+                err < 4.0 * h.expected_error(),
+                "n={n}: err {err} vs expected {}",
+                h.expected_error()
+            );
+        }
+    }
+
+    #[test]
+    fn duplicates_are_free() {
+        let mut a = HyperLogLog::new(8, 4);
+        let mut b = HyperLogLog::new(8, 4);
+        for x in 0..500u64 {
+            a.insert_u64(x % 50);
+            if x < 50 {
+                b.insert_u64(x);
+            }
+        }
+        assert_eq!(a.estimate(), b.estimate());
+    }
+
+    #[test]
+    fn small_range_correction_is_exactish() {
+        let mut h = HyperLogLog::new(12, 5);
+        for x in 0..100u64 {
+            h.insert_u64(x);
+        }
+        let err = relative_error(100.0, h.estimate());
+        assert!(err < 0.10, "small-range err {err}");
+    }
+
+    #[test]
+    fn merge_is_union() {
+        let mut a = HyperLogLog::new(10, 6);
+        let mut b = HyperLogLog::new(10, 6);
+        let mut u = HyperLogLog::new(10, 6);
+        for x in 0..20_000u64 {
+            if x % 2 == 0 {
+                a.insert_u64(x);
+            } else {
+                b.insert_u64(x);
+            }
+            u.insert_u64(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.estimate(), u.estimate());
+    }
+
+    #[test]
+    #[should_panic(expected = "precision")]
+    fn precision_bounds_enforced() {
+        let _ = HyperLogLog::new(3, 0);
+    }
+
+    #[test]
+    fn slice_and_u64_agree() {
+        let mut a = HyperLogLog::new(8, 7);
+        let mut b = HyperLogLog::new(8, 7);
+        for x in 0..1000u64 {
+            a.insert_u64(x);
+            b.insert_slice(&[x]);
+        }
+        assert_eq!(a.estimate(), b.estimate());
+    }
+}

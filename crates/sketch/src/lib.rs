@@ -1,0 +1,44 @@
+//! Probabilistic-counting substrate for the `implicate` workspace.
+//!
+//! This crate provides the hashing and sketching machinery that the paper's
+//! NIPS/CI algorithm (Sismanis & Roussopoulos, ICDE 2005) is built on:
+//!
+//! * [`hash`] — seeded 64-bit hash families: a fast avalanche mixer,
+//!   pairwise/4-wise independent polynomial families over the Mersenne prime
+//!   `2^61 - 1`, and GF(2)-linear hash functions (the "linear hash functions"
+//!   referenced in §4.7.1 of the paper and in Alon–Matias–Szegedy).
+//! * [`rank`] — the `p(y)` function of Flajolet–Martin: the position of the
+//!   least-significant 1-bit of a hash value, which drives the geometric
+//!   cell distribution of Lemma 1.
+//! * [`bitmap`] — the plain FM bitmap with leftmost-zero / leftmost-one
+//!   read-offs used by the CI estimator.
+//! * [`fm`] — single-bitmap Flajolet–Martin distinct-count (`F0`) estimation.
+//! * [`pcsa`] — Probabilistic Counting with Stochastic Averaging: `m`
+//!   bitmaps, mean-rank estimator with the `φ ≈ 0.77351` bias correction.
+//!   The paper uses 64-way stochastic averaging for its ~10% error target.
+//! * [`linear_counting`] — the Whang–Vander-Zanden–Taylor linear-time
+//!   probabilistic counter, used as a small-cardinality cross-check.
+//! * [`hll`] — HyperLogLog, the modern descendant of this machinery,
+//!   included as an F0 yard-stick (see the `f0_ablation` binary).
+//! * [`topc`] — top-`c` selection/summation helpers used to evaluate the
+//!   paper's *top-confidence level* `ψ_c(a → B)` (§3.1).
+//! * [`estimate`] — bias constants, (ε, δ)-approximation sizing helpers and
+//!   median-of-means combining (§4.7).
+
+pub mod bitmap;
+pub mod estimate;
+pub mod fm;
+pub mod hash;
+pub mod hll;
+pub mod linear_counting;
+pub mod pcsa;
+pub mod rank;
+pub mod topc;
+
+pub use bitmap::FmBitmap;
+pub use fm::FmSketch;
+pub use hash::{Gf2LinearHash, Hasher64, MixHasher, PairwiseHash, PolyHash};
+pub use hll::HyperLogLog;
+pub use linear_counting::LinearCounter;
+pub use pcsa::Pcsa;
+pub use rank::lsb_rank;

@@ -1,0 +1,140 @@
+//! Linear counting (Whang, Vander-Zanden & Taylor, TODS 1990).
+//!
+//! Cited by the paper as one of the classic hash-based distinct-count
+//! techniques (§4.1). A bitmap of `m` bits, each element sets bit
+//! `hash(x) mod m`; the estimate is `−m · ln(V_n)` where `V_n` is the
+//! fraction of still-zero bits. Accurate while the map is not saturated;
+//! used in this workspace as a cross-check for small cardinalities.
+
+use crate::hash::{Hasher64, MixHasher};
+
+/// A linear (load-factor) probabilistic counter.
+#[derive(Debug, Clone)]
+pub struct LinearCounter<H = MixHasher> {
+    hasher: H,
+    bits: Vec<u64>,
+    m: usize,
+    zeros: usize,
+}
+
+impl LinearCounter<MixHasher> {
+    /// Creates a counter with `m` bits and the default mixer keyed by `seed`.
+    pub fn new(m: usize, seed: u64) -> Self {
+        Self::with_hasher(m, MixHasher::new(seed))
+    }
+}
+
+impl<H: Hasher64> LinearCounter<H> {
+    /// Creates a counter over a caller-supplied hash function.
+    pub fn with_hasher(m: usize, hasher: H) -> Self {
+        assert!(m > 0, "bitmap must be non-empty");
+        Self {
+            hasher,
+            bits: vec![0u64; m.div_ceil(64)],
+            m,
+            zeros: m,
+        }
+    }
+
+    /// Bitmap size in bits.
+    pub fn capacity(&self) -> usize {
+        self.m
+    }
+
+    /// Number of still-zero bits.
+    pub fn zero_bits(&self) -> usize {
+        self.zeros
+    }
+
+    /// Records one element.
+    #[inline]
+    pub fn insert_u64(&mut self, x: u64) {
+        let i = (self.hasher.hash_u64(x) % self.m as u64) as usize;
+        let (word, bit) = (i / 64, i % 64);
+        let mask = 1u64 << bit;
+        if self.bits[word] & mask == 0 {
+            self.bits[word] |= mask;
+            self.zeros -= 1;
+        }
+    }
+
+    /// Records one encoded itemset.
+    #[inline]
+    pub fn insert_slice(&mut self, xs: &[u64]) {
+        let h = self.hasher.hash_slice(xs);
+        let i = (h % self.m as u64) as usize;
+        let (word, bit) = (i / 64, i % 64);
+        let mask = 1u64 << bit;
+        if self.bits[word] & mask == 0 {
+            self.bits[word] |= mask;
+            self.zeros -= 1;
+        }
+    }
+
+    /// The linear-counting estimate `−m ln(zeros/m)`.
+    ///
+    /// A saturated bitmap (no zero bits) cannot be extrapolated; the estimate
+    /// falls back to `m · ln m` (the counting range's ceiling) in that case.
+    pub fn estimate(&self) -> f64 {
+        let m = self.m as f64;
+        if self.zeros == 0 {
+            m * m.ln()
+        } else {
+            -m * (self.zeros as f64 / m).ln()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::relative_error;
+
+    #[test]
+    fn empty_estimates_zero() {
+        let c = LinearCounter::new(1024, 1);
+        assert_eq!(c.estimate(), 0.0);
+        assert_eq!(c.zero_bits(), 1024);
+    }
+
+    #[test]
+    fn accurate_at_moderate_load() {
+        let mut c = LinearCounter::new(1 << 14, 2);
+        let n = 4_000u64;
+        for x in 0..n {
+            c.insert_u64(x);
+        }
+        let err = relative_error(n as f64, c.estimate());
+        assert!(err < 0.05, "error {err}");
+    }
+
+    #[test]
+    fn duplicates_are_free() {
+        let mut c = LinearCounter::new(4096, 3);
+        for _ in 0..100 {
+            c.insert_u64(7);
+        }
+        assert_eq!(c.zero_bits(), 4095);
+    }
+
+    #[test]
+    fn saturation_returns_ceiling() {
+        let mut c = LinearCounter::new(64, 4);
+        for x in 0..10_000u64 {
+            c.insert_u64(x);
+        }
+        assert_eq!(c.zero_bits(), 0);
+        assert!(c.estimate() > 0.0 && c.estimate().is_finite());
+    }
+
+    #[test]
+    fn slice_and_u64_agree() {
+        let mut a = LinearCounter::new(512, 5);
+        let mut b = LinearCounter::new(512, 5);
+        for x in 0..100u64 {
+            a.insert_u64(x);
+            b.insert_slice(&[x]);
+        }
+        assert_eq!(a.zero_bits(), b.zero_bits());
+    }
+}

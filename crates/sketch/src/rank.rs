@@ -1,0 +1,98 @@
+//! The Flajolet–Martin rank function `p(y)`.
+//!
+//! §4.1.1 of the paper: "The function `p(y)` represents the position of the
+//! least significant 1-bit in the binary representation of `y`". Under a
+//! uniform hash, `P[p(y) = i] = 2^-(i+1)`, which yields Lemma 1: the expected
+//! number of distinct values hashing to cell `i` is `F0 / 2^(i+1)`.
+
+/// Maximum meaningful rank for 64-bit hash values. `p(0)` is defined as this
+/// sentinel (an all-zero hash value has no 1-bit; probability `2^-64`).
+pub const MAX_RANK: u32 = 64;
+
+/// Position of the least-significant 1-bit of `y` (0-based), or
+/// [`MAX_RANK`] when `y == 0`.
+#[inline]
+pub fn lsb_rank(y: u64) -> u32 {
+    y.trailing_zeros() // trailing_zeros(0) == 64 == MAX_RANK
+}
+
+/// Splits a hash into a bitmap index (low `log2_m` bits) and the rank of the
+/// remaining bits — the standard stochastic-averaging split (§4.7, PCSA).
+///
+/// Returns `(bitmap_index, rank)`. `log2_m` must be `< 32`.
+#[inline]
+pub fn split_rank(h: u64, log2_m: u32) -> (usize, u32) {
+    debug_assert!(log2_m < 32);
+    let idx = (h & ((1u64 << log2_m) - 1)) as usize;
+    let rank = lsb_rank(h >> log2_m).min(MAX_RANK - log2_m);
+    (idx, rank)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::{Hasher64, MixHasher};
+
+    #[test]
+    fn rank_of_small_values() {
+        assert_eq!(lsb_rank(1), 0);
+        assert_eq!(lsb_rank(2), 1);
+        assert_eq!(lsb_rank(3), 0);
+        assert_eq!(lsb_rank(8), 3);
+        assert_eq!(lsb_rank(0), MAX_RANK);
+        assert_eq!(lsb_rank(u64::MAX), 0);
+        assert_eq!(lsb_rank(1u64 << 63), 63);
+    }
+
+    #[test]
+    fn split_rank_partitions_hash() {
+        let (idx, rank) = split_rank(0b101_1000, 3);
+        assert_eq!(idx, 0b000);
+        assert_eq!(rank, lsb_rank(0b1011));
+        let (idx, rank) = split_rank(0b101, 3);
+        assert_eq!(idx, 0b101);
+        assert_eq!(rank, MAX_RANK - 3); // remaining bits all zero, clamped
+    }
+
+    #[test]
+    fn rank_distribution_is_geometric() {
+        // Lemma 1: about n/2 values land at rank 0, n/4 at rank 1, …
+        let h = MixHasher::new(123);
+        let n = 1u64 << 16;
+        let mut counts = [0u64; 20];
+        for x in 0..n {
+            let r = lsb_rank(h.hash_u64(x)) as usize;
+            if r < counts.len() {
+                counts[r] += 1;
+            }
+        }
+        for (i, &count) in counts.iter().enumerate().take(8) {
+            let expect = (n >> (i + 1)) as f64;
+            let got = count as f64;
+            assert!(
+                (got - expect).abs() < 6.0 * expect.sqrt() + 1.0,
+                "rank {i}: got {got}, expected ~{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn split_rank_index_is_uniform() {
+        let h = MixHasher::new(77);
+        let log2_m = 4u32;
+        let m = 1usize << log2_m;
+        let n = 1u64 << 14;
+        let mut counts = vec![0u64; m];
+        for x in 0..n {
+            let (idx, _) = split_rank(h.hash_u64(x), log2_m);
+            counts[idx] += 1;
+        }
+        let expect = n as f64 / m as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expect).abs() < 6.0 * expect.sqrt(),
+                "bucket {i}: {c} vs ~{expect}"
+            );
+        }
+    }
+}

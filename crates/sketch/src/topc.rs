@@ -1,0 +1,205 @@
+//! Top-`c` selection for the paper's *top-confidence level* `ψ_c` (§3.1).
+//!
+//! `ψ_c(a → B)` is the sum of the `c` largest confidences
+//! `φ(a → b_i) = σ(a, b_i) / σ(a)`. Since all confidences share the
+//! denominator `σ(a)`, NIPS only ever needs the **sum of the `c` largest
+//! support counters** (§4.3.4), which keeps everything in integer
+//! arithmetic. The paper's complexity analysis (§4.6) assumes a priority
+//! queue over the at-most-`K` counters of a cell entry, giving
+//! `O(K log K)` per item; for the tiny `K` of practice a selection over a
+//! scratch buffer is equally good and allocation-free, so both are provided.
+
+/// Sum of the `c` largest values in `counts`, computed by partial selection.
+///
+/// Runs in `O(n)` expected time, mutating a scratch copy. For the NIPS cell
+/// sizes (`n ≤ K`, single digits) this is effectively free.
+pub fn sum_top_c(counts: &[u64], c: usize) -> u64 {
+    if c == 0 || counts.is_empty() {
+        return 0;
+    }
+    if counts.len() <= c {
+        return counts.iter().sum();
+    }
+    let mut scratch: Vec<u64> = counts.to_vec();
+    let pivot = scratch.len() - c;
+    scratch.select_nth_unstable(pivot - 1);
+    scratch[pivot..].iter().sum()
+}
+
+/// Sum of the `c` largest values, reusing a caller-provided scratch buffer to
+/// avoid per-call allocation on the hot path.
+pub fn sum_top_c_with(counts: &[u64], c: usize, scratch: &mut Vec<u64>) -> u64 {
+    if c == 0 || counts.is_empty() {
+        return 0;
+    }
+    if counts.len() <= c {
+        return counts.iter().sum();
+    }
+    scratch.clear();
+    scratch.extend_from_slice(counts);
+    let pivot = scratch.len() - c;
+    scratch.select_nth_unstable(pivot - 1);
+    scratch[pivot..].iter().sum()
+}
+
+/// A bounded min-heap that maintains the `c` largest values pushed so far —
+/// the "priority queue to handle the top-c operator" of §4.6. Useful when
+/// the counters arrive as a stream rather than as a slice.
+#[derive(Debug, Clone)]
+pub struct TopCHeap {
+    c: usize,
+    /// Min-heap encoded as `Reverse`-free manual sift (tiny sizes).
+    heap: Vec<u64>,
+    sum: u64,
+}
+
+impl TopCHeap {
+    /// Creates a tracker for the `c` largest values (`c >= 1`).
+    pub fn new(c: usize) -> Self {
+        assert!(c >= 1, "top-c needs c >= 1");
+        Self {
+            c,
+            heap: Vec::with_capacity(c),
+            sum: 0,
+        }
+    }
+
+    /// Offers a value; it is retained only if it is among the `c` largest
+    /// seen so far. Returns `true` if the retained set changed.
+    pub fn offer(&mut self, v: u64) -> bool {
+        if self.heap.len() < self.c {
+            self.heap.push(v);
+            self.sum += v;
+            self.sift_up(self.heap.len() - 1);
+            true
+        } else if v > self.heap[0] {
+            self.sum += v - self.heap[0];
+            self.heap[0] = v;
+            self.sift_down(0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Sum of the retained (top-`c`) values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Number of retained values (`min(c, #offered)`).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether nothing has been offered yet.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Clears the tracker for reuse.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.sum = 0;
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[i] < self.heap[parent] {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut min = i;
+            if l < self.heap.len() && self.heap[l] < self.heap[min] {
+                min = l;
+            }
+            if r < self.heap.len() && self.heap[r] < self.heap[min] {
+                min = r;
+            }
+            if min == i {
+                break;
+            }
+            self.heap.swap(i, min);
+            i = min;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sum_top_c_basics() {
+        assert_eq!(sum_top_c(&[], 3), 0);
+        assert_eq!(sum_top_c(&[5, 1, 4], 0), 0);
+        assert_eq!(sum_top_c(&[5, 1, 4], 2), 9);
+        assert_eq!(sum_top_c(&[5, 1, 4], 3), 10);
+        assert_eq!(sum_top_c(&[5, 1, 4], 10), 10);
+        assert_eq!(sum_top_c(&[2, 2, 2, 2], 2), 4);
+    }
+
+    #[test]
+    fn paper_example_p2p_service() {
+        // §3.1: P2P appears with sources S1:2, S2:1, S3:1 out of 4 tuples.
+        // ψ_2 = (2+1)/4 = 75%, ψ_1 = 2/4 = 50%, ψ_3 = 100%.
+        let counters = [2u64, 1, 1];
+        assert_eq!(sum_top_c(&counters, 2), 3);
+        assert_eq!(sum_top_c(&counters, 1), 2);
+        assert_eq!(sum_top_c(&counters, 3), 4);
+    }
+
+    #[test]
+    fn heap_tracks_running_top_c() {
+        let mut h = TopCHeap::new(2);
+        assert!(h.is_empty());
+        h.offer(3);
+        assert_eq!(h.sum(), 3);
+        h.offer(1);
+        assert_eq!(h.sum(), 4);
+        assert!(!h.offer(1)); // not better than current min
+        assert!(h.offer(5));
+        assert_eq!(h.sum(), 8); // {3, 5}
+        h.offer(4);
+        assert_eq!(h.sum(), 9); // {4, 5}
+        assert_eq!(h.len(), 2);
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.sum(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn selection_matches_sort(mut xs in proptest::collection::vec(0u64..1_000_000, 0..40), c in 0usize..10) {
+            let by_selection = sum_top_c(&xs, c);
+            xs.sort_unstable_by(|a, b| b.cmp(a));
+            let by_sort: u64 = xs.iter().take(c).sum();
+            prop_assert_eq!(by_selection, by_sort);
+        }
+
+        #[test]
+        fn scratch_variant_matches(xs in proptest::collection::vec(0u64..1_000_000, 0..40), c in 0usize..10) {
+            let mut scratch = Vec::new();
+            prop_assert_eq!(sum_top_c_with(&xs, c, &mut scratch), sum_top_c(&xs, c));
+        }
+
+        #[test]
+        fn heap_matches_offline_top_c(xs in proptest::collection::vec(0u64..1_000_000, 0..40), c in 1usize..8) {
+            let mut h = TopCHeap::new(c);
+            for &x in &xs {
+                h.offer(x);
+            }
+            prop_assert_eq!(h.sum(), sum_top_c(&xs, c));
+        }
+    }
+}

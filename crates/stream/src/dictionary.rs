@@ -1,0 +1,149 @@
+//! Per-attribute string interning.
+//!
+//! Symbolic traces (the paper's `S1`, `D2`, `WWW`, `Morning`, …) are encoded
+//! to dense `u64` codes on ingest and decoded for display. Encoding is
+//! first-come-first-served, so codes are stable within a run.
+
+use std::collections::HashMap;
+
+/// A bidirectional string ↔ code mapping for one attribute.
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    to_code: HashMap<String, u64>,
+    to_name: Vec<String>,
+}
+
+impl Dictionary {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the code for `name`, interning it if new.
+    pub fn intern(&mut self, name: &str) -> u64 {
+        if let Some(&c) = self.to_code.get(name) {
+            return c;
+        }
+        let c = self.to_name.len() as u64;
+        self.to_code.insert(name.to_owned(), c);
+        self.to_name.push(name.to_owned());
+        c
+    }
+
+    /// Looks up an existing code without interning.
+    pub fn code(&self, name: &str) -> Option<u64> {
+        self.to_code.get(name).copied()
+    }
+
+    /// Decodes a code back to its name.
+    pub fn name(&self, code: u64) -> Option<&str> {
+        self.to_name.get(code as usize).map(String::as_str)
+    }
+
+    /// Number of interned values (the attribute's observed cardinality).
+    pub fn len(&self) -> usize {
+        self.to_name.len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.to_name.is_empty()
+    }
+}
+
+/// One dictionary per attribute of a schema.
+#[derive(Debug, Clone, Default)]
+pub struct DictionarySet {
+    dicts: Vec<Dictionary>,
+}
+
+impl DictionarySet {
+    /// Creates `arity` empty dictionaries.
+    pub fn new(arity: usize) -> Self {
+        Self {
+            dicts: vec![Dictionary::new(); arity],
+        }
+    }
+
+    /// The dictionary for attribute `i`.
+    pub fn attr(&self, i: usize) -> &Dictionary {
+        &self.dicts[i]
+    }
+
+    /// Mutable access for interning.
+    pub fn attr_mut(&mut self, i: usize) -> &mut Dictionary {
+        &mut self.dicts[i]
+    }
+
+    /// Encodes a full symbolic row into codes.
+    pub fn encode_row(&mut self, row: &[&str]) -> Vec<u64> {
+        assert_eq!(row.len(), self.dicts.len(), "row arity mismatch");
+        row.iter()
+            .zip(&mut self.dicts)
+            .map(|(name, d)| d.intern(name))
+            .collect()
+    }
+
+    /// Decodes a coded row for display; unknown codes render as `?<code>`.
+    pub fn decode_row(&self, codes: &[u64]) -> Vec<String> {
+        codes
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                self.dicts
+                    .get(i)
+                    .and_then(|d| d.name(c))
+                    .map(str::to_owned)
+                    .unwrap_or_else(|| format!("?{c}"))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern("WWW");
+        let b = d.intern("FTP");
+        assert_eq!(d.intern("WWW"), a);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut d = Dictionary::new();
+        let c = d.intern("P2P");
+        assert_eq!(d.name(c), Some("P2P"));
+        assert_eq!(d.code("P2P"), Some(c));
+        assert_eq!(d.code("other"), None);
+        assert_eq!(d.name(99), None);
+    }
+
+    #[test]
+    fn dictionary_set_encodes_rows() {
+        let mut ds = DictionarySet::new(2);
+        let r1 = ds.encode_row(&["S1", "D2"]);
+        let r2 = ds.encode_row(&["S2", "D2"]);
+        assert_eq!(r1[1], r2[1], "same destination, same code");
+        assert_ne!(r1[0], r2[0]);
+        assert_eq!(ds.decode_row(&r1), vec!["S1", "D2"]);
+    }
+
+    #[test]
+    fn decode_unknown_code_is_marked() {
+        let ds = DictionarySet::new(1);
+        assert_eq!(ds.decode_row(&[7]), vec!["?7"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn encode_checks_arity() {
+        let mut ds = DictionarySet::new(2);
+        let _ = ds.encode_row(&["only-one"]);
+    }
+}

@@ -1,0 +1,240 @@
+//! Binary trace format for persisting generated workloads.
+//!
+//! Layout: a 16-byte header (`magic`, version, arity, tuple count) followed
+//! by row-major little-endian `u64` values. The format exists so that the
+//! expensive multi-million-tuple OLAP streams of Figure 7 can be generated
+//! once and replayed across algorithms, guaranteeing every estimator sees
+//! the *identical* stream.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::schema::Schema;
+use crate::source::TupleSource;
+use crate::tuple::Tuple;
+
+/// Magic bytes identifying a trace (`IMPT`).
+pub const MAGIC: u32 = 0x494d_5054;
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+/// Errors decoding a trace.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TraceError {
+    /// Missing or wrong magic bytes.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion(u16),
+    /// Buffer ended before the declared tuple count.
+    Truncated,
+    /// Declared arity does not match the schema the caller expected.
+    ArityMismatch {
+        /// Arity stored in the trace header.
+        expected: u16,
+        /// Arity of the schema supplied at decode time.
+        got: u16,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::BadMagic => write!(f, "not an IMPT trace (bad magic)"),
+            TraceError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceError::Truncated => write!(f, "trace truncated"),
+            TraceError::ArityMismatch { expected, got } => {
+                write!(f, "trace arity {expected} != schema arity {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Serializes a stream into a trace buffer.
+pub fn encode_trace(schema: &Schema, tuples: &[Tuple]) -> Bytes {
+    let arity = schema.arity();
+    let mut buf = BytesMut::with_capacity(16 + tuples.len() * arity * 8);
+    buf.put_u32_le(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u16_le(arity as u16);
+    buf.put_u64_le(tuples.len() as u64);
+    for t in tuples {
+        debug_assert!(t.conforms_to(schema));
+        for &v in t.values() {
+            buf.put_u64_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a trace buffer, checking it against the expected schema.
+pub fn decode_trace(schema: &Schema, mut buf: Bytes) -> Result<Vec<Tuple>, TraceError> {
+    if buf.remaining() < 16 {
+        return Err(TraceError::BadMagic);
+    }
+    if buf.get_u32_le() != MAGIC {
+        return Err(TraceError::BadMagic);
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(TraceError::BadVersion(version));
+    }
+    let arity = buf.get_u16_le();
+    if arity as usize != schema.arity() {
+        return Err(TraceError::ArityMismatch {
+            expected: arity,
+            got: schema.arity() as u16,
+        });
+    }
+    let count = buf.get_u64_le();
+    let need = (count as usize)
+        .checked_mul(arity as usize)
+        .and_then(|w| w.checked_mul(8))
+        .ok_or(TraceError::Truncated)?;
+    if buf.remaining() < need {
+        return Err(TraceError::Truncated);
+    }
+    let mut tuples = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let row: Vec<u64> = (0..arity).map(|_| buf.get_u64_le()).collect();
+        tuples.push(Tuple::new(row));
+    }
+    Ok(tuples)
+}
+
+/// Streams a trace from a buffer without materializing all tuples.
+#[derive(Debug)]
+pub struct TraceSource {
+    schema: Schema,
+    buf: Bytes,
+    remaining: u64,
+    arity: usize,
+}
+
+impl TraceSource {
+    /// Opens a trace for streaming; validates the header eagerly.
+    pub fn open(schema: Schema, mut buf: Bytes) -> Result<Self, TraceError> {
+        if buf.remaining() < 16 || buf.get_u32_le() != MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let version = buf.get_u16_le();
+        if version != VERSION {
+            return Err(TraceError::BadVersion(version));
+        }
+        let arity = buf.get_u16_le();
+        if arity as usize != schema.arity() {
+            return Err(TraceError::ArityMismatch {
+                expected: arity,
+                got: schema.arity() as u16,
+            });
+        }
+        let remaining = buf.get_u64_le();
+        Ok(Self {
+            schema,
+            buf,
+            remaining,
+            arity: arity as usize,
+        })
+    }
+}
+
+impl TupleSource for TraceSource {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_tuple(&mut self) -> Option<Tuple> {
+        if self.remaining == 0 || self.buf.remaining() < self.arity * 8 {
+            return None;
+        }
+        self.remaining -= 1;
+        let row: Vec<u64> = (0..self.arity).map(|_| self.buf.get_u64_le()).collect();
+        Some(Tuple::new(row))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn schema() -> Schema {
+        Schema::new([("A", 10), ("B", 10), ("C", 10)])
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let s = schema();
+        let bytes = encode_trace(&s, &[]);
+        assert_eq!(decode_trace(&s, bytes).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn roundtrip_small() {
+        let s = schema();
+        let tuples = vec![Tuple::from([1u64, 2, 3]), Tuple::from([4u64, 5, 6])];
+        let bytes = encode_trace(&s, &tuples);
+        assert_eq!(decode_trace(&s, bytes).unwrap(), tuples);
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let s = schema();
+        let err = decode_trace(&s, Bytes::from_static(b"nope-nothing-here"));
+        assert_eq!(err.unwrap_err(), TraceError::BadMagic);
+        assert_eq!(
+            decode_trace(&s, Bytes::new()).unwrap_err(),
+            TraceError::BadMagic
+        );
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let s = schema();
+        let tuples = vec![Tuple::from([1u64, 2, 3]); 5];
+        let bytes = encode_trace(&s, &tuples);
+        let cut = bytes.slice(0..bytes.len() - 4);
+        assert_eq!(decode_trace(&s, cut).unwrap_err(), TraceError::Truncated);
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let s3 = schema();
+        let s2 = Schema::new([("A", 10), ("B", 10)]);
+        let bytes = encode_trace(&s3, &[Tuple::from([1u64, 2, 3])]);
+        assert!(matches!(
+            decode_trace(&s2, bytes).unwrap_err(),
+            TraceError::ArityMismatch {
+                expected: 3,
+                got: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn trace_source_streams_all() {
+        let s = schema();
+        let tuples: Vec<Tuple> = (0..100u64)
+            .map(|i| Tuple::from([i, i * 2, i * 3]))
+            .collect();
+        let bytes = encode_trace(&s, &tuples);
+        let mut src = TraceSource::open(s, bytes).unwrap();
+        let mut got = Vec::new();
+        while let Some(t) = src.next_tuple() {
+            got.push(t);
+        }
+        assert_eq!(got, tuples);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_random(rows in proptest::collection::vec(
+            proptest::array::uniform3(any::<u64>()), 0..50)
+        ) {
+            let s = schema();
+            let tuples: Vec<Tuple> = rows.into_iter().map(Tuple::from).collect();
+            let bytes = encode_trace(&s, &tuples);
+            prop_assert_eq!(decode_trace(&s, bytes).unwrap(), tuples);
+        }
+    }
+}

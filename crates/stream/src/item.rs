@@ -1,0 +1,188 @@
+//! Compact itemset keys.
+//!
+//! An *itemset* is the projection of a tuple onto an attribute set (§3.1 of
+//! the paper). [`ItemKey`] stores up to four attribute values inline (every
+//! query in the paper projects onto ≤ 3 attributes) and spills to a boxed
+//! slice beyond that, so cell hash maps in the NIPS fringe never chase a
+//! pointer for the common case.
+
+use std::fmt;
+
+/// Maximum number of attribute values stored inline.
+pub const INLINE_LEN: usize = 4;
+
+/// The encoded projection of a tuple onto an attribute set.
+///
+/// Ordering of values follows ascending attribute id, so two projections of
+/// equal tuples over the same [`crate::AttrSet`] always compare equal.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ItemKey {
+    /// Up to [`INLINE_LEN`] values stored inline (`len`, padded with zeros).
+    Inline {
+        /// Number of meaningful leading values in `vals`.
+        len: u8,
+        /// The values; positions `>= len` are zero.
+        vals: [u64; INLINE_LEN],
+    },
+    /// More than [`INLINE_LEN`] values, boxed.
+    Spilled(Box<[u64]>),
+}
+
+impl ItemKey {
+    /// Builds a key from values (already in attribute-id order).
+    pub fn from_slice(values: &[u64]) -> Self {
+        if values.len() <= INLINE_LEN {
+            let mut vals = [0u64; INLINE_LEN];
+            vals[..values.len()].copy_from_slice(values);
+            ItemKey::Inline {
+                len: values.len() as u8,
+                vals,
+            }
+        } else {
+            ItemKey::Spilled(values.into())
+        }
+    }
+
+    /// A single-attribute key.
+    pub fn single(v: u64) -> Self {
+        ItemKey::from_slice(&[v])
+    }
+
+    /// The values as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[u64] {
+        match self {
+            ItemKey::Inline { len, vals } => &vals[..*len as usize],
+            ItemKey::Spilled(b) => b,
+        }
+    }
+
+    /// Number of attribute values in the key.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the key is the empty projection.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate heap + inline size in bytes, for the memory accounting
+    /// used when comparing algorithms (§6.2 discusses ILC's memory blow-up).
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            ItemKey::Inline { .. } => std::mem::size_of::<ItemKey>(),
+            ItemKey::Spilled(b) => std::mem::size_of::<ItemKey>() + b.len() * 8,
+        }
+    }
+}
+
+impl fmt::Debug for ItemKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ItemKey{:?}", self.as_slice())
+    }
+}
+
+impl fmt::Display for ItemKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        write!(f, "(")?;
+        for v in self.as_slice() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+            first = false;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<&[u64]> for ItemKey {
+    fn from(v: &[u64]) -> Self {
+        ItemKey::from_slice(v)
+    }
+}
+
+impl From<u64> for ItemKey {
+    fn from(v: u64) -> Self {
+        ItemKey::single(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn hash_of(k: &ItemKey) -> u64 {
+        let mut h = DefaultHasher::new();
+        k.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn inline_roundtrip() {
+        for n in 0..=INLINE_LEN {
+            let vals: Vec<u64> = (0..n as u64).map(|i| i * 7 + 1).collect();
+            let k = ItemKey::from_slice(&vals);
+            assert!(matches!(k, ItemKey::Inline { .. }));
+            assert_eq!(k.as_slice(), vals.as_slice());
+            assert_eq!(k.len(), n);
+        }
+    }
+
+    #[test]
+    fn spill_roundtrip() {
+        let vals: Vec<u64> = (0..9u64).collect();
+        let k = ItemKey::from_slice(&vals);
+        assert!(matches!(k, ItemKey::Spilled(_)));
+        assert_eq!(k.as_slice(), vals.as_slice());
+    }
+
+    #[test]
+    fn equal_values_equal_keys() {
+        let a = ItemKey::from_slice(&[1, 2]);
+        let b = ItemKey::from_slice(&[1, 2]);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn length_disambiguates() {
+        // (1, 0) must differ from (1): inline padding must not collide.
+        let a = ItemKey::from_slice(&[1, 0]);
+        let b = ItemKey::from_slice(&[1]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn display_formats_values() {
+        assert_eq!(ItemKey::from_slice(&[3, 9]).to_string(), "(3,9)");
+        assert_eq!(ItemKey::from_slice(&[]).to_string(), "()");
+        assert_eq!(ItemKey::single(5).to_string(), "(5)");
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_any_length(vals in proptest::collection::vec(any::<u64>(), 0..10)) {
+            let k = ItemKey::from_slice(&vals);
+            prop_assert_eq!(k.as_slice(), vals.as_slice());
+        }
+
+        #[test]
+        fn eq_iff_slices_eq(
+            a in proptest::collection::vec(0u64..8, 0..6),
+            b in proptest::collection::vec(0u64..8, 0..6),
+        ) {
+            let ka = ItemKey::from_slice(&a);
+            let kb = ItemKey::from_slice(&b);
+            prop_assert_eq!(ka == kb, a == b);
+            if a == b {
+                prop_assert_eq!(hash_of(&ka), hash_of(&kb));
+            }
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Pre-resolved tuple projections.
+//!
+//! A [`Projector`] captures the positions of an attribute set once, so the
+//! per-tuple hot path (`NIPS` line 2: `a = t[A], b = t[B]`) is a couple of
+//! indexed loads instead of schema lookups.
+
+use crate::item::{ItemKey, INLINE_LEN};
+use crate::schema::{AttrSet, Schema};
+use crate::tuple::Tuple;
+
+/// Projects tuples onto a fixed attribute set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Projector {
+    /// Positions to read, ascending.
+    positions: Vec<usize>,
+    attrs: AttrSet,
+}
+
+impl Projector {
+    /// Resolves `set` against `schema`.
+    ///
+    /// # Panics
+    /// If `set` references an attribute outside the schema's arity.
+    pub fn new(schema: &Schema, set: AttrSet) -> Self {
+        let positions: Vec<usize> = set.iter().map(|id| id.index()).collect();
+        if let Some(&max) = positions.last() {
+            assert!(
+                max < schema.arity(),
+                "attribute {max} out of range for arity {}",
+                schema.arity()
+            );
+        }
+        Self {
+            positions,
+            attrs: set,
+        }
+    }
+
+    /// The attribute set this projector reads.
+    pub fn attrs(&self) -> AttrSet {
+        self.attrs
+    }
+
+    /// Number of projected attributes.
+    pub fn width(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Projects a tuple into an [`ItemKey`].
+    #[inline]
+    pub fn project(&self, tuple: &Tuple) -> ItemKey {
+        let vals = tuple.values();
+        if self.positions.len() <= INLINE_LEN {
+            let mut buf = [0u64; INLINE_LEN];
+            for (slot, &pos) in buf.iter_mut().zip(&self.positions) {
+                *slot = vals[pos];
+            }
+            ItemKey::Inline {
+                len: self.positions.len() as u8,
+                vals: buf,
+            }
+        } else {
+            ItemKey::Spilled(self.positions.iter().map(|&p| vals[p]).collect())
+        }
+    }
+
+    /// Projects into a caller buffer and returns it as a slice — the
+    /// zero-allocation path used when only a hash of the projection is
+    /// needed.
+    #[inline]
+    pub fn project_into<'buf>(&self, tuple: &Tuple, buf: &'buf mut Vec<u64>) -> &'buf [u64] {
+        buf.clear();
+        let vals = tuple.values();
+        buf.extend(self.positions.iter().map(|&p| vals[p]));
+        buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new([("A", 10), ("B", 10), ("C", 10), ("D", 10), ("E", 10)])
+    }
+
+    #[test]
+    fn projects_in_attribute_order() {
+        let s = schema();
+        let p = Projector::new(&s, s.attr_set(&["D", "A"]));
+        let t = Tuple::from([10u64, 11, 12, 13, 14]);
+        // Ascending attr id: A (pos 0) then D (pos 3).
+        assert_eq!(p.project(&t).as_slice(), &[10, 13]);
+    }
+
+    #[test]
+    fn empty_projection() {
+        let s = schema();
+        let p = Projector::new(&s, AttrSet::EMPTY);
+        assert_eq!(p.project(&Tuple::from([1u64, 2, 3, 4, 5])).len(), 0);
+        assert_eq!(p.width(), 0);
+    }
+
+    #[test]
+    fn project_into_matches_project() {
+        let s = schema();
+        let p = Projector::new(&s, s.attr_set(&["B", "C", "E"]));
+        let t = Tuple::from([0u64, 1, 2, 3, 4]);
+        let mut buf = Vec::new();
+        assert_eq!(p.project_into(&t, &mut buf), p.project(&t).as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_attribute_rejected() {
+        let s = Schema::new([("A", 2)]);
+        let _ = Projector::new(&s, AttrSet::from_bits(0b10));
+    }
+
+    #[test]
+    fn equal_tuples_project_equal_keys() {
+        let s = schema();
+        let p = Projector::new(&s, s.attr_set(&["A", "E"]));
+        let t1 = Tuple::from([7u64, 0, 0, 0, 9]);
+        let t2 = Tuple::from([7u64, 5, 5, 5, 9]);
+        assert_eq!(p.project(&t1), p.project(&t2));
+    }
+}

@@ -1,0 +1,284 @@
+//! Schemas, attribute ids, and attribute sets.
+//!
+//! A [`Schema`] names the dimensions of a stream relation and records an
+//! advisory per-attribute cardinality (the paper's Table 3 lists these for
+//! the OLAP dataset). An [`AttrSet`] is the `A` / `B` of an implication
+//! query — a small bitset over at most 64 attributes, with the paper's
+//! *compound cardinality* `‖A‖` (product of member cardinalities, §3.1)
+//! computable from the schema.
+
+use std::fmt;
+
+/// Index of an attribute within a schema (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttrId(pub u8);
+
+impl AttrId {
+    /// The index as `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Definition of one attribute: a display name and an advisory cardinality
+/// (`0` means unknown/unbounded).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrDef {
+    /// Display name, e.g. `"Source"`.
+    pub name: String,
+    /// Advisory domain size; `0` if unknown.
+    pub cardinality: u64,
+}
+
+/// A stream relation schema: an ordered list of attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    attrs: Vec<AttrDef>,
+}
+
+impl Schema {
+    /// Builds a schema from `(name, cardinality)` pairs.
+    ///
+    /// # Panics
+    /// If there are more than 64 attributes or duplicate names.
+    pub fn new<S: Into<String>>(attrs: impl IntoIterator<Item = (S, u64)>) -> Self {
+        let attrs: Vec<AttrDef> = attrs
+            .into_iter()
+            .map(|(name, cardinality)| AttrDef {
+                name: name.into(),
+                cardinality,
+            })
+            .collect();
+        assert!(attrs.len() <= 64, "at most 64 attributes supported");
+        for (i, a) in attrs.iter().enumerate() {
+            for b in &attrs[..i] {
+                assert_ne!(a.name, b.name, "duplicate attribute name {:?}", a.name);
+            }
+        }
+        Self { attrs }
+    }
+
+    /// Number of attributes (the relation's arity).
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// The attribute definitions, in schema order.
+    pub fn attrs(&self) -> &[AttrDef] {
+        &self.attrs
+    }
+
+    /// Looks up an attribute id by name.
+    pub fn attr(&self, name: &str) -> Option<AttrId> {
+        self.attrs
+            .iter()
+            .position(|a| a.name == name)
+            .map(|i| AttrId(i as u8))
+    }
+
+    /// Like [`Schema::attr`] but panics with a helpful message — for
+    /// literal-name call sites in examples and benches.
+    pub fn attr_expect(&self, name: &str) -> AttrId {
+        self.attr(name)
+            .unwrap_or_else(|| panic!("schema has no attribute named {name:?}"))
+    }
+
+    /// Builds an [`AttrSet`] from attribute names.
+    pub fn attr_set(&self, names: &[&str]) -> AttrSet {
+        names.iter().map(|n| self.attr_expect(n)).collect()
+    }
+
+    /// The display name of an attribute.
+    pub fn name(&self, id: AttrId) -> &str {
+        &self.attrs[id.index()].name
+    }
+
+    /// The paper's *compound cardinality* `‖A‖`: the product of the member
+    /// attributes' cardinalities (§3.1). Saturates at `u64::MAX`; `None` if
+    /// any member has unknown cardinality.
+    pub fn compound_cardinality(&self, set: AttrSet) -> Option<u64> {
+        let mut product: u64 = 1;
+        for id in set.iter() {
+            let c = self.attrs[id.index()].cardinality;
+            if c == 0 {
+                return None;
+            }
+            product = product.saturating_mul(c);
+        }
+        Some(product)
+    }
+}
+
+/// A set of attributes of a schema — a 64-bit bitset.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct AttrSet {
+    bits: u64,
+}
+
+impl AttrSet {
+    /// The empty set.
+    pub const EMPTY: AttrSet = AttrSet { bits: 0 };
+
+    /// A set containing a single attribute.
+    pub fn single(id: AttrId) -> Self {
+        Self { bits: 1u64 << id.0 }
+    }
+
+    /// Builds from raw bits (bit `i` ↦ attribute `i`).
+    pub fn from_bits(bits: u64) -> Self {
+        Self { bits }
+    }
+
+    /// The raw bits.
+    pub fn bits(self) -> u64 {
+        self.bits
+    }
+
+    /// Inserts an attribute; returns the extended set.
+    #[must_use]
+    pub fn with(mut self, id: AttrId) -> Self {
+        self.bits |= 1u64 << id.0;
+        self
+    }
+
+    /// Whether `id` is a member.
+    pub fn contains(self, id: AttrId) -> bool {
+        (self.bits >> id.0) & 1 == 1
+    }
+
+    /// Number of members.
+    pub fn len(self) -> usize {
+        self.bits.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.bits == 0
+    }
+
+    /// Whether the two sets share no attribute. The paper assumes
+    /// `A ∩ B = ∅` (§3); query constructors enforce this.
+    pub fn is_disjoint(self, other: AttrSet) -> bool {
+        self.bits & other.bits == 0
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(self, other: AttrSet) -> AttrSet {
+        AttrSet {
+            bits: self.bits | other.bits,
+        }
+    }
+
+    /// Iterates members in ascending id order.
+    pub fn iter(self) -> impl Iterator<Item = AttrId> {
+        let mut bits = self.bits;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros() as u8;
+                bits &= bits - 1;
+                Some(AttrId(i))
+            }
+        })
+    }
+}
+
+impl FromIterator<AttrId> for AttrSet {
+    fn from_iter<T: IntoIterator<Item = AttrId>>(iter: T) -> Self {
+        iter.into_iter()
+            .fold(AttrSet::EMPTY, |acc, id| acc.with(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn network_schema() -> Schema {
+        Schema::new([
+            ("Source", 3),
+            ("Destination", 3),
+            ("Service", 3),
+            ("Time", 4),
+        ])
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = network_schema();
+        assert_eq!(s.attr("Source"), Some(AttrId(0)));
+        assert_eq!(s.attr("Time"), Some(AttrId(3)));
+        assert_eq!(s.attr("Nope"), None);
+        assert_eq!(s.name(AttrId(2)), "Service");
+        assert_eq!(s.arity(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "no attribute named")]
+    fn attr_expect_panics_on_unknown() {
+        network_schema().attr_expect("Missing");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute")]
+    fn duplicate_names_rejected() {
+        let _ = Schema::new([("A", 1), ("A", 2)]);
+    }
+
+    #[test]
+    fn compound_cardinality_is_product() {
+        // Paper §3.1: A = {Source, Destination} has ‖A‖ = 3·3 = 9.
+        let s = network_schema();
+        let a = s.attr_set(&["Source", "Destination"]);
+        assert_eq!(s.compound_cardinality(a), Some(9));
+        assert_eq!(s.compound_cardinality(AttrSet::EMPTY), Some(1));
+    }
+
+    #[test]
+    fn compound_cardinality_unknown_propagates() {
+        let s = Schema::new([("X", 0), ("Y", 5)]);
+        let both = s.attr_set(&["X", "Y"]);
+        assert_eq!(s.compound_cardinality(both), None);
+        assert_eq!(
+            s.compound_cardinality(AttrSet::single(s.attr_expect("Y"))),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn attr_set_operations() {
+        let a = AttrSet::single(AttrId(0)).with(AttrId(2));
+        let b = AttrSet::single(AttrId(1));
+        assert_eq!(a.len(), 2);
+        assert!(a.contains(AttrId(0)) && a.contains(AttrId(2)));
+        assert!(!a.contains(AttrId(1)));
+        assert!(a.is_disjoint(b));
+        assert!(!a.is_disjoint(a));
+        let u = a.union(b);
+        assert_eq!(u.len(), 3);
+        let ids: Vec<u8> = u.iter().map(|i| i.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let set: AttrSet = [AttrId(3), AttrId(1)].into_iter().collect();
+        assert!(set.contains(AttrId(1)) && set.contains(AttrId(3)));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn empty_set_iterates_nothing() {
+        assert_eq!(AttrSet::EMPTY.iter().count(), 0);
+        assert!(AttrSet::EMPTY.is_empty());
+    }
+}

@@ -1,0 +1,127 @@
+//! The paper's Table 1: the "Network Traffic" example window.
+//!
+//! Eight tuples over `(Source, Destination, Service, Time)`. Every worked
+//! example in §3 of the paper is computed on this window, so the test-suites
+//! of the core crate and the quickstart example all start here.
+
+use crate::dictionary::DictionarySet;
+use crate::schema::Schema;
+use crate::source::VecSource;
+use crate::tuple::Tuple;
+
+/// The symbolic rows of Table 1, in stream order.
+pub const TABLE1_ROWS: [[&str; 4]; 8] = [
+    ["S1", "D2", "WWW", "Morning"],
+    ["S2", "D1", "FTP", "Morning"],
+    ["S1", "D3", "WWW", "Morning"],
+    ["S2", "D1", "P2P", "Noon"],
+    ["S1", "D3", "P2P", "Afternoon"],
+    ["S1", "D3", "WWW", "Afternoon"],
+    ["S1", "D3", "P2P", "Afternoon"],
+    ["S3", "D3", "P2P", "Night"],
+];
+
+/// The Table 1 schema: three sources, three destinations, three services,
+/// four times of day.
+pub fn network_schema() -> Schema {
+    Schema::new([
+        ("Source", 3),
+        ("Destination", 3),
+        ("Service", 3),
+        ("Time", 4),
+    ])
+}
+
+/// Encodes Table 1, returning the tuples plus the dictionaries used.
+pub fn network_traffic() -> (Schema, Vec<Tuple>, DictionarySet) {
+    let schema = network_schema();
+    let mut dicts = DictionarySet::new(schema.arity());
+    let tuples = TABLE1_ROWS
+        .iter()
+        .map(|row| Tuple::new(dicts.encode_row(row)))
+        .collect();
+    (schema, tuples, dicts)
+}
+
+/// Table 1 as a ready-to-consume source.
+pub fn network_traffic_source() -> VecSource {
+    let (schema, tuples, _) = network_traffic();
+    VecSource::new(schema, tuples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::project::Projector;
+    use crate::source::TupleSource;
+    use std::collections::{HashMap, HashSet};
+
+    #[test]
+    fn eight_tuples_three_of_each_dimension() {
+        let (schema, tuples, dicts) = network_traffic();
+        assert_eq!(tuples.len(), 8);
+        assert_eq!(schema.arity(), 4);
+        assert_eq!(dicts.attr(0).len(), 3, "three sources");
+        assert_eq!(dicts.attr(1).len(), 3, "three destinations");
+        assert_eq!(dicts.attr(2).len(), 3, "three services");
+        assert_eq!(dicts.attr(3).len(), 4, "four times");
+    }
+
+    #[test]
+    fn paper_worked_example_multiplicity() {
+        // §3.1: itemset a = (S1, D3) over A = {Source, Destination} has
+        // multiplicity 2 w.r.t. B = {Service} (WWW and P2P) and support 4.
+        let (schema, tuples, dicts) = network_traffic();
+        let pa = Projector::new(&schema, schema.attr_set(&["Source", "Destination"]));
+        let pb = Projector::new(&schema, schema.attr_set(&["Service"]));
+        let s1 = dicts.attr(0).code("S1").unwrap();
+        let d3 = dicts.attr(1).code("D3").unwrap();
+        let mut support = 0;
+        let mut services = HashSet::new();
+        for t in &tuples {
+            let a = pa.project(t);
+            if a.as_slice() == [s1, d3] {
+                support += 1;
+                services.insert(pb.project(t));
+            }
+        }
+        assert_eq!(support, 4);
+        assert_eq!(services.len(), 2);
+    }
+
+    #[test]
+    fn paper_worked_example_destination_implies_source() {
+        // §1: D2 appears only with S1, D1 only with S2 (implication count 2
+        // for strict Destination → Source); D3 qualifies at 80%.
+        let (schema, tuples, dicts) = network_traffic();
+        let pd = Projector::new(&schema, schema.attr_set(&["Destination"]));
+        let ps = Projector::new(&schema, schema.attr_set(&["Source"]));
+        let mut partners: HashMap<u64, HashSet<u64>> = HashMap::new();
+        let mut per_pair: HashMap<(u64, u64), u64> = HashMap::new();
+        let mut support: HashMap<u64, u64> = HashMap::new();
+        for t in &tuples {
+            let d = pd.project(t).as_slice()[0];
+            let s = ps.project(t).as_slice()[0];
+            partners.entry(d).or_default().insert(s);
+            *per_pair.entry((d, s)).or_default() += 1;
+            *support.entry(d).or_default() += 1;
+        }
+        let strict = partners.values().filter(|p| p.len() == 1).count();
+        assert_eq!(strict, 2);
+        // D3: 5 tuples, 4 with S1 → top-1 confidence 80%.
+        let d3 = dicts.attr(1).code("D3").unwrap();
+        let s1 = dicts.attr(0).code("S1").unwrap();
+        assert_eq!(support[&d3], 5);
+        assert_eq!(per_pair[&(d3, s1)], 4);
+    }
+
+    #[test]
+    fn source_yields_full_window() {
+        let mut src = network_traffic_source();
+        let mut n = 0;
+        while src.next_tuple().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 8);
+    }
+}

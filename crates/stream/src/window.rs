@@ -1,0 +1,173 @@
+//! Timestamps and sliding-window delivery (§3.2 of the paper).
+//!
+//! The paper supports *incremental* counts (difference of two counts taken
+//! at reference points `t1 < t2`) and *sliding* queries (a vector of counts
+//! with different origins, retiring the oldest as the window advances,
+//! Figure 2). The machinery here is algorithm-agnostic: it slices a
+//! timestamped stream into the origin points at which the core crate
+//! snapshots or spawns estimators.
+
+/// A logical stream position: number of tuples seen so far (`T` in §3.1).
+pub type StreamPos = u64;
+
+/// Schedule of origin points for a sliding window over a tuple-count axis.
+///
+/// A window of width `w` sliding in steps of `s` maintains `ceil(w / s)`
+/// concurrently-open origins; when an origin falls out of the window it is
+/// retired and a fresh one opened (Figure 2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlideSchedule {
+    /// Window width in tuples.
+    pub width: u64,
+    /// Slide step in tuples.
+    pub step: u64,
+}
+
+impl SlideSchedule {
+    /// Creates a schedule; `width` must be a positive multiple of `step`.
+    pub fn new(width: u64, step: u64) -> Self {
+        assert!(step > 0 && width > 0, "width and step must be positive");
+        assert!(
+            width.is_multiple_of(step),
+            "window width must be a multiple of the slide step"
+        );
+        Self { width, step }
+    }
+
+    /// Number of concurrently maintained origins (`width / step`).
+    pub fn active_origins(&self) -> usize {
+        (self.width / self.step) as usize
+    }
+
+    /// Whether a new origin opens at position `pos` (one opens at 0, then
+    /// every `step` tuples).
+    pub fn opens_at(&self, pos: StreamPos) -> bool {
+        pos.is_multiple_of(self.step)
+    }
+
+    /// The origin that retires at position `pos`, if any: once the stream
+    /// reaches `origin + width`, the count anchored at `origin` covers a
+    /// full window and is emitted/retired.
+    pub fn retires_at(&self, pos: StreamPos) -> Option<StreamPos> {
+        (pos >= self.width && (pos - self.width).is_multiple_of(self.step))
+            .then(|| pos - self.width)
+    }
+}
+
+/// A ring of per-origin slots managed by a [`SlideSchedule`].
+///
+/// `S` is whatever per-origin state the caller maintains — an estimator, an
+/// exact counter, or a snapshot. Call [`SlidingSlots::step`] exactly once
+/// per tuple; it opens a fresh origin when due, applies the tuple to every
+/// open origin, and returns a retired `(origin, state)` pair when a full
+/// window `[origin, origin + width)` closes.
+#[derive(Debug, Clone)]
+pub struct SlidingSlots<S> {
+    schedule: SlideSchedule,
+    /// `(origin, state)` pairs, oldest first.
+    slots: std::collections::VecDeque<(StreamPos, S)>,
+    pos: StreamPos,
+}
+
+impl<S> SlidingSlots<S> {
+    /// Creates an empty ring.
+    pub fn new(schedule: SlideSchedule) -> Self {
+        Self {
+            schedule,
+            slots: std::collections::VecDeque::new(),
+            pos: 0,
+        }
+    }
+
+    /// Current stream position (tuples fully processed).
+    pub fn position(&self) -> StreamPos {
+        self.pos
+    }
+
+    /// The active `(origin, state)` slots, oldest first.
+    pub fn slots(&self) -> impl Iterator<Item = (StreamPos, &S)> {
+        self.slots.iter().map(|(o, s)| (*o, s))
+    }
+
+    /// Processes one tuple: opens an origin if one is due at the current
+    /// position, applies `update` to every open state, and retires (and
+    /// returns) the oldest origin if its window just closed.
+    pub fn step(
+        &mut self,
+        open: impl FnOnce() -> S,
+        mut update: impl FnMut(&mut S),
+    ) -> Option<(StreamPos, S)> {
+        if self.schedule.opens_at(self.pos) {
+            self.slots.push_back((self.pos, open()));
+        }
+        for (_, s) in self.slots.iter_mut() {
+            update(s);
+        }
+        self.pos += 1;
+        // Window [origin, origin + width) closes once `pos` tuples have
+        // been processed with pos == origin + width.
+        if let Some(origin) = self.schedule.retires_at(self.pos) {
+            debug_assert_eq!(self.slots.front().map(|(o, _)| *o), Some(origin));
+            return self.slots.pop_front();
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_counts_origins() {
+        let s = SlideSchedule::new(100, 25);
+        assert_eq!(s.active_origins(), 4);
+        assert!(s.opens_at(0) && s.opens_at(25) && !s.opens_at(26));
+        assert_eq!(s.retires_at(99), None);
+        assert_eq!(s.retires_at(100), Some(0));
+        assert_eq!(s.retires_at(125), Some(25));
+        assert_eq!(s.retires_at(101), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn width_must_be_multiple_of_step() {
+        let _ = SlideSchedule::new(100, 30);
+    }
+
+    #[test]
+    fn slots_open_and_retire_in_order() {
+        // Width 4, step 2: origins 0,2,4,… retire after tuples 3,5,7,…
+        let mut ring: SlidingSlots<Vec<u64>> = SlidingSlots::new(SlideSchedule::new(4, 2));
+        let mut retired = Vec::new();
+        for t in 0..10u64 {
+            if let Some((origin, state)) = ring.step(Vec::new, |s| s.push(t)) {
+                retired.push((origin, state));
+            }
+        }
+        assert_eq!(
+            retired.iter().map(|(o, _)| *o).collect::<Vec<_>>(),
+            vec![0, 2, 4, 6]
+        );
+        for (origin, seen) in &retired {
+            let expect: Vec<u64> = (*origin..origin + 4).collect();
+            assert_eq!(seen, &expect, "window [{origin}, {origin}+4) content");
+        }
+        // At position 10 a window just retired and the next origin has not
+        // opened yet, so the ring momentarily holds active_origins − 1.
+        assert_eq!(ring.slots.len(), 1);
+    }
+
+    #[test]
+    fn tumbling_window_is_special_case() {
+        let mut ring: SlidingSlots<u64> = SlidingSlots::new(SlideSchedule::new(3, 3));
+        let mut closed = Vec::new();
+        for _ in 0..9 {
+            if let Some((origin, count)) = ring.step(|| 0, |s| *s += 1) {
+                closed.push((origin, count));
+            }
+        }
+        assert_eq!(closed, vec![(0, 3), (3, 3), (6, 3)]);
+        assert_eq!(ring.position(), 9);
+    }
+}

@@ -1,0 +1,91 @@
+//! Approximate-dependency discovery over a multidimensional dataset —
+//! the §2 "Approximate Dependencies" and "Multi-dimensional histograms"
+//! applications.
+//!
+//! A functional dependency `X → Y` holds approximately when almost every
+//! distinct `X`-itemset implies a single `Y`-itemset. The *implication
+//! ratio* `S / F0^sup` — both terms estimated by one NIPS/CI pass per
+//! candidate — scores each candidate dependency without storing any
+//! itemsets, exactly the §2 preprocessing step for dependency-aware
+//! histogram synopses.
+//!
+//! Run with: `cargo run --release --example approx_dependencies`
+
+use implicate::datagen::olap::{schema, OlapSpec, OlapStream};
+use implicate::stream::source::TupleSource;
+use implicate::{ImplicationConditions, ImplicationEstimator, Projector};
+
+const TUPLES: u64 = 500_000;
+
+fn main() {
+    let sch = schema();
+    // Candidate dependencies X → Y over the 8-dimension OLAP schema.
+    let candidates: Vec<(&str, Vec<&str>, Vec<&str>)> = vec![
+        ("E → B", vec!["E"], vec!["B"]),
+        ("B → E", vec!["B"], vec!["E"]),
+        ("{A,E,G} → B", vec!["A", "E", "G"], vec!["B"]),
+        ("A → G", vec!["A"], vec!["G"]),
+        ("E → C", vec!["E"], vec!["C"]),
+        ("{A,G} → E", vec!["A", "G"], vec!["E"]),
+    ];
+
+    // ψ1 = 95%: tolerate 5% dirty rows, the "approximate" in approximate
+    // dependency; σ = 5 ignores itemsets without enough evidence.
+    let cond = ImplicationConditions::one_to_c(1, 0.95, 5);
+
+    let mut engines: Vec<(Projector, Projector, ImplicationEstimator)> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, (_, lhs, rhs))| {
+            (
+                Projector::new(&sch, sch.attr_set(lhs)),
+                Projector::new(&sch, sch.attr_set(rhs)),
+                ImplicationEstimator::new(cond, 64, 4, 1000 + i as u64),
+            )
+        })
+        .collect();
+
+    let mut stream = OlapStream::new(OlapSpec::default());
+    let mut buf_a = Vec::new();
+    let mut buf_b = Vec::new();
+    for _ in 0..TUPLES {
+        let t = stream.next_tuple().expect("infinite stream");
+        for (pl, pr, est) in &mut engines {
+            pl.project_into(&t, &mut buf_a);
+            pr.project_into(&t, &mut buf_b);
+            est.update(&buf_a, &buf_b);
+        }
+    }
+
+    println!("approximate-dependency scores after {TUPLES} tuples");
+    println!("(share of supported X-itemsets functionally implying Y at ψ ≥ 95%)\n");
+    println!(
+        "{:<16} {:>12} {:>12} {:>9}  assessment",
+        "candidate", "S", "F0^sup", "ratio"
+    );
+    println!("{}", "-".repeat(66));
+    let mut scored: Vec<(String, f64, f64, f64)> = Vec::new();
+    for ((name, _, _), (_, _, est)) in candidates.iter().zip(&engines) {
+        let e = est.estimate();
+        let ratio = if e.f0_sup > 0.0 {
+            (e.implication_count / e.f0_sup).min(1.0)
+        } else {
+            0.0
+        };
+        scored.push((name.to_string(), e.implication_count, e.f0_sup, ratio));
+    }
+    scored.sort_by(|a, b| b.3.partial_cmp(&a.3).expect("no NaN"));
+    for (name, s, f0, ratio) in &scored {
+        let assessment = if *ratio > 0.9 {
+            "strong dependency — model jointly"
+        } else if *ratio > 0.5 {
+            "partial dependency"
+        } else {
+            "nearly independent — histogram separately"
+        };
+        println!(
+            "{name:<16} {s:>12.0} {f0:>12.0} {:>8.1}%  {assessment}",
+            ratio * 100.0
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Distributed aggregation — the §3 deployment ("a node in a distributed
+//! environment receives a stream of data"), end to end.
+//!
+//! Four edge routers each observe a shard of the network's traffic and
+//! maintain a local NIPS/CI sketch. Periodically every router *snapshots*
+//! its sketch (size `O(K · 2^F)`, independent of traffic volume) and ships
+//! it to a collector, which *restores* and *merges* them to answer
+//! fleet-wide implication queries — no raw traffic ever leaves the edge. This is exactly why the paper insists on
+//! aggregates rather than itemset lists: the DDoS case (§1) has per-router
+//! counts too small to flag locally, but the merged count is decisive.
+//!
+//! Run with: `cargo run --release --example distributed_routers`
+
+use implicate::datagen::network::{Episode, NetworkSpec, NetworkStream};
+use implicate::stream::source::TupleSource;
+use implicate::{
+    ExactCounter, ImplicationConditions, ImplicationCounter, ImplicationEstimator, Projector,
+};
+
+const ROUTERS: usize = 4;
+const TUPLES_PER_ROUTER: u64 = 150_000;
+/// Fan-out threshold: destinations contacted by more than this many
+/// sources are "hot". Background destinations see ~30 sources fleet-wide;
+/// each router's share of the attack is ~110 sources — below threshold —
+/// while the fleet-wide union is ~420.
+const FANOUT: u32 = 150;
+
+fn main() {
+    // Every router shares the estimator configuration and seed — the
+    // precondition for mergeability.
+    let cond = ImplicationConditions::builder()
+        .max_multiplicity(FANOUT)
+        .min_support(1)
+        .top_confidence(1, 0.0)
+        .build();
+    let make_sketch = || ImplicationEstimator::new(cond, 64, 8, 0xd15c0);
+
+    // The attack traffic is spread across the fleet: each router sees only
+    // a quarter of the spoofed flood — far below its local threshold.
+    let mut fleet_exact = ExactCounter::new(cond);
+    let mut shipped: Vec<bytes::Bytes> = Vec::new();
+    println!("edge phase: {ROUTERS} routers, {TUPLES_PER_ROUTER} tuples each\n");
+    for router in 0..ROUTERS {
+        let spec = NetworkSpec {
+            seed: 0xbeef + router as u64,
+            sources: 20_000,
+            destinations: 20_000,
+            episodes: vec![Episode::FlashCrowd {
+                start: 50_000,
+                tuples: 110,     // ~110 distinct sources/router < FANOUT …
+                destination: 13, // … but ~420 fleet-wide ≫ FANOUT
+            }],
+            ..Default::default()
+        };
+        let mut gen = NetworkStream::new(spec);
+        let schema = gen.schema().clone();
+        let p_dst = Projector::new(&schema, schema.attr_set(&["Destination"]));
+        let p_src = Projector::new(&schema, schema.attr_set(&["Source"]));
+        let mut sketch = make_sketch();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for _ in 0..TUPLES_PER_ROUTER {
+            let t = gen.next_tuple().expect("infinite stream");
+            p_dst.project_into(&t, &mut a);
+            p_src.project_into(&t, &mut b);
+            sketch.update(&a, &b);
+            fleet_exact.update(&a, &b);
+        }
+        let local_hot = sketch.estimate().non_implication_count;
+        let snapshot = sketch.to_bytes();
+        println!(
+            "router {router}: local hot destinations ≈ {local_hot:.1} \
+             (sketch: {} entries, snapshot {} bytes)",
+            sketch.entries(),
+            snapshot.len()
+        );
+        shipped.push(snapshot);
+    }
+
+    // Collector: restore and merge the shipped snapshots.
+    let mut collector =
+        ImplicationEstimator::from_bytes(shipped[0].clone()).expect("router snapshot restores");
+    for snap in &shipped[1..] {
+        let sketch =
+            ImplicationEstimator::from_bytes(snap.clone()).expect("router snapshot restores");
+        collector.merge(&sketch);
+    }
+    let fleet = collector.estimate();
+    println!(
+        "\ncollector: merged {} routers → fleet-wide hot destinations ≈ {:.1}",
+        ROUTERS, fleet.non_implication_count
+    );
+    println!(
+        "ground truth (all traffic, one counter): {}",
+        fleet_exact.exact_non_implication_count()
+    );
+    println!(
+        "\nthe victim only crosses the {FANOUT}-source threshold in the MERGED\n\
+         view — each router saw too little to flag it (the §1 first-hop\n\
+         DDoS observation). Bytes shipped per router per round: ~{} —\n\
+         O(K) per tracked itemset (§4.6), independent of the stream length.",
+        shipped[0].len()
+    );
+}

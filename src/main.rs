@@ -1,0 +1,328 @@
+//! `implicate` — command-line implication statistics over delimited
+//! streams.
+//!
+//! Reads rows from a file or stdin, projects two column sets, and
+//! maintains a NIPS/CI implication-count estimate online:
+//!
+//! ```text
+//! # how many sources (col 0) stick to a single destination (col 1)?
+//! implicate --lhs 0 --rhs 1 < traffic.csv
+//!
+//! # destinations contacted by >100 sources, reported every 100k rows
+//! implicate --lhs 1 --rhs 0 --max-mult 100 --complement --watch 100000
+//!
+//! # checkpoint / resume across restarts
+//! implicate --lhs 0 --rhs 1 --save state.imps
+//! implicate --lhs 0 --rhs 1 --resume state.imps --save state.imps
+//! ```
+//!
+//! Fields are treated as opaque strings (hashed to 64-bit fingerprints),
+//! so the tool works on IPs, URLs or numeric ids alike.
+
+use std::io::{BufRead, Write};
+use std::process::exit;
+
+use implicate::sketch::hash::{Hasher64, MixHasher};
+use implicate::{ImplicationConditions, ImplicationEstimator, MultiplicityPolicy};
+
+const USAGE: &str = "\
+implicate — streaming implication-count statistics (NIPS/CI, ICDE 2005)
+
+usage: implicate --lhs COLS --rhs COLS [options] [FILE]
+
+  --lhs COLS         comma-separated 0-based columns forming the counted
+                     itemset A (e.g. --lhs 0 or --lhs 0,2)
+  --rhs COLS         columns forming the implied itemset B
+  --max-mult K       maximum multiplicity (default 1)
+  --support N        minimum absolute support σ (default 1)
+  --top-c C          the c of the top-confidence level (default = K)
+  --confidence P     minimum top-c confidence in percent (default 100)
+  --policy P         strict | tracktop (default strict)
+  --complement       report the non-implication count S̄ instead of S
+  --delimiter C      field delimiter (default: any whitespace; e.g. ',')
+  --bitmaps M        stochastic-averaging bitmaps, power of two (default 64)
+  --fringe F         fringe size (default 4); 0 = unbounded
+  --seed N           hash seed (default 42)
+  --watch N          print a progress line every N rows
+  --save FILE        write a snapshot of the estimator state on exit
+  --resume FILE      restore estimator state from a snapshot before reading
+  FILE               input path (default: stdin)";
+
+struct Cli {
+    lhs: Vec<usize>,
+    rhs: Vec<usize>,
+    cond: ImplicationConditions,
+    complement: bool,
+    delimiter: Option<char>,
+    bitmaps: usize,
+    fringe: u32,
+    seed: u64,
+    watch: Option<u64>,
+    save: Option<String>,
+    resume: Option<String>,
+    input: Option<String>,
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    exit(2)
+}
+
+fn parse_cols(raw: &str) -> Vec<usize> {
+    raw.split(',')
+        .map(|c| {
+            c.trim()
+                .parse()
+                .unwrap_or_else(|_| die(&format!("bad column {c:?}")))
+        })
+        .collect()
+}
+
+fn parse_cli() -> Cli {
+    let mut args = std::env::args().skip(1);
+    let mut lhs = None;
+    let mut rhs = None;
+    let mut max_mult: u32 = 1;
+    let mut support: u64 = 1;
+    let mut top_c: Option<u32> = None;
+    let mut confidence: f64 = 100.0;
+    let mut policy = MultiplicityPolicy::Strict;
+    let mut complement = false;
+    let mut delimiter = None;
+    let mut bitmaps = 64usize;
+    let mut fringe = 4u32;
+    let mut seed = 42u64;
+    let mut watch = None;
+    let mut save = None;
+    let mut resume = None;
+    let mut input = None;
+    let value = |args: &mut dyn Iterator<Item = String>, key: &str| -> String {
+        args.next()
+            .unwrap_or_else(|| die(&format!("{key} needs a value")))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                exit(0);
+            }
+            "--lhs" => lhs = Some(parse_cols(&value(&mut args, "--lhs"))),
+            "--rhs" => rhs = Some(parse_cols(&value(&mut args, "--rhs"))),
+            "--max-mult" => {
+                max_mult = value(&mut args, "--max-mult")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --max-mult"));
+            }
+            "--support" => {
+                support = value(&mut args, "--support")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --support"));
+            }
+            "--top-c" => {
+                top_c = Some(
+                    value(&mut args, "--top-c")
+                        .parse()
+                        .unwrap_or_else(|_| die("bad --top-c")),
+                );
+            }
+            "--confidence" => {
+                confidence = value(&mut args, "--confidence")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --confidence"));
+            }
+            "--policy" => {
+                policy = match value(&mut args, "--policy").as_str() {
+                    "strict" => MultiplicityPolicy::Strict,
+                    "tracktop" => MultiplicityPolicy::TrackTop,
+                    other => die(&format!("unknown policy {other:?}")),
+                };
+            }
+            "--complement" => complement = true,
+            "--delimiter" => {
+                let d = value(&mut args, "--delimiter");
+                let mut chars = d.chars();
+                delimiter = chars.next();
+                if delimiter.is_none() || chars.next().is_some() {
+                    die("--delimiter must be a single character");
+                }
+            }
+            "--bitmaps" => {
+                bitmaps = value(&mut args, "--bitmaps")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --bitmaps"));
+            }
+            "--fringe" => {
+                fringe = value(&mut args, "--fringe")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --fringe"));
+            }
+            "--seed" => {
+                seed = value(&mut args, "--seed")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --seed"));
+            }
+            "--watch" => {
+                watch = Some(
+                    value(&mut args, "--watch")
+                        .parse()
+                        .unwrap_or_else(|_| die("bad --watch")),
+                );
+            }
+            "--save" => save = Some(value(&mut args, "--save")),
+            "--resume" => resume = Some(value(&mut args, "--resume")),
+            other if other.starts_with("--") => die(&format!("unknown option {other}")),
+            path => {
+                if input.replace(path.to_owned()).is_some() {
+                    die("more than one input file");
+                }
+            }
+        }
+    }
+    let lhs = lhs.unwrap_or_else(|| die("--lhs is required"));
+    let rhs = rhs.unwrap_or_else(|| die("--rhs is required"));
+    if !(0.0..=100.0).contains(&confidence) {
+        die("--confidence must be in [0, 100]");
+    }
+    if !bitmaps.is_power_of_two() {
+        die("--bitmaps must be a power of two");
+    }
+    let cond = ImplicationConditions::builder()
+        .max_multiplicity(max_mult)
+        .min_support(support)
+        .top_confidence(top_c.unwrap_or(max_mult), confidence / 100.0)
+        .multiplicity_policy(policy)
+        .build();
+    Cli {
+        lhs,
+        rhs,
+        cond,
+        complement,
+        delimiter,
+        bitmaps,
+        fringe,
+        seed,
+        watch,
+        save,
+        resume,
+        input,
+    }
+}
+
+/// Hashes the selected columns of a row into fingerprint words.
+fn project(fields: &[&str], cols: &[usize], hasher: &MixHasher, out: &mut Vec<u64>) -> bool {
+    out.clear();
+    for &c in cols {
+        match fields.get(c) {
+            Some(f) => out.push(
+                hasher.hash_slice(
+                    &f.as_bytes()
+                        .chunks(8)
+                        .map(|ch| {
+                            let mut w = [0u8; 8];
+                            w[..ch.len()].copy_from_slice(ch);
+                            u64::from_le_bytes(w) ^ ch.len() as u64
+                        })
+                        .collect::<Vec<u64>>(),
+                ),
+            ),
+            None => return false,
+        }
+    }
+    true
+}
+
+fn main() {
+    let cli = parse_cli();
+    let mut est = match &cli.resume {
+        Some(path) => {
+            let raw = std::fs::read(path).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+            ImplicationEstimator::from_bytes(bytes::Bytes::from(raw))
+                .unwrap_or_else(|e| die(&format!("{path}: {e}")))
+        }
+        None => {
+            if cli.fringe == 0 {
+                ImplicationEstimator::new_unbounded(cli.cond, cli.bitmaps, cli.seed)
+            } else {
+                ImplicationEstimator::new(cli.cond, cli.bitmaps, cli.fringe, cli.seed)
+            }
+        }
+    };
+    if cli.resume.is_some() && est.conditions() != &cli.cond {
+        die("snapshot was built with different implication conditions");
+    }
+
+    let field_hasher = MixHasher::new(0x00f1_e1d5);
+    let stdin;
+    let file;
+    let reader: Box<dyn BufRead> = match &cli.input {
+        Some(path) => {
+            file = std::fs::File::open(path).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+            Box::new(std::io::BufReader::new(file))
+        }
+        None => {
+            stdin = std::io::stdin();
+            Box::new(stdin.lock())
+        }
+    };
+
+    let (mut buf_a, mut buf_b) = (Vec::new(), Vec::new());
+    let mut rows = 0u64;
+    let mut skipped = 0u64;
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => die(&format!("read error: {e}")),
+        };
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = match cli.delimiter {
+            Some(d) => line.split(d).map(str::trim).collect(),
+            None => line.split_whitespace().collect(),
+        };
+        if !project(&fields, &cli.lhs, &field_hasher, &mut buf_a)
+            || !project(&fields, &cli.rhs, &field_hasher, &mut buf_b)
+        {
+            skipped += 1;
+            continue;
+        }
+        est.update(&buf_a, &buf_b);
+        rows += 1;
+        if cli.watch.is_some_and(|w| rows.is_multiple_of(w)) {
+            let e = est.estimate();
+            let answer = if cli.complement {
+                e.non_implication_count
+            } else {
+                e.implication_count
+            };
+            eprintln!(
+                "{rows} rows: answer ≈ {answer:.0} (S {:.0}, S̄ {:.0}, F0^sup {:.0})",
+                e.implication_count, e.non_implication_count, e.f0_sup
+            );
+        }
+    }
+
+    let e = est.estimate();
+    let answer = if cli.complement {
+        e.non_implication_count
+    } else {
+        e.implication_count
+    };
+    println!("{answer:.0}");
+    eprintln!(
+        "rows {rows} (skipped {skipped}) | conditions {} | S ≈ {:.0}, S̄ ≈ {:.0}, \
+         F0^sup ≈ {:.0} | {} tracking entries",
+        est.conditions(),
+        e.implication_count,
+        e.non_implication_count,
+        e.f0_sup,
+        est.entries()
+    );
+    if let Some(path) = &cli.save {
+        let bytes = est.to_bytes();
+        let mut f = std::fs::File::create(path).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+        f.write_all(&bytes)
+            .unwrap_or_else(|e| die(&format!("{path}: {e}")));
+        eprintln!("snapshot: wrote {} bytes to {path}", bytes.len());
+    }
+}

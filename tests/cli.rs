@@ -1,0 +1,123 @@
+//! End-to-end tests of the `implicate` command-line binary.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn run_cli(args: &[&str], stdin: &str) -> (String, String, bool) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_implicate"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn implicate");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(stdin.as_bytes())
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("wait");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+/// A stream with `loyal` single-destination sources and `fickle`
+/// two-destination sources.
+fn traffic(loyal: u64, fickle: u64) -> String {
+    let mut s = String::new();
+    for a in 0..loyal {
+        s.push_str(&format!("src{a} dst{a}\n"));
+    }
+    for a in 0..fickle {
+        s.push_str(&format!("fsrc{a} dstA\nfsrc{a} dstB\n"));
+    }
+    s
+}
+
+#[test]
+fn counts_loyal_sources_from_stdin() {
+    let (stdout, stderr, ok) = run_cli(&["--lhs", "0", "--rhs", "1"], &traffic(4000, 4000));
+    assert!(ok, "stderr: {stderr}");
+    let answer: f64 = stdout.trim().parse().expect("numeric answer");
+    assert!(
+        (2000.0..7000.0).contains(&answer),
+        "answer {answer} implausible for 4000 loyal sources"
+    );
+    assert!(stderr.contains("rows 12000"), "stderr: {stderr}");
+}
+
+#[test]
+fn complement_flag_reports_nonimplications() {
+    let (stdout, stderr, ok) = run_cli(
+        &["--lhs", "0", "--rhs", "1", "--complement"],
+        &traffic(4000, 4000),
+    );
+    assert!(ok, "stderr: {stderr}");
+    let answer: f64 = stdout.trim().parse().expect("numeric answer");
+    assert!(
+        (2000.0..7000.0).contains(&answer),
+        "complement {answer} implausible for 4000 fickle sources"
+    );
+}
+
+#[test]
+fn csv_delimiter_and_comments() {
+    let input = "# header comment\nS1,D2\nS2,D1\n\nS1,D2\n";
+    let (_, stderr, ok) = run_cli(&["--lhs", "0", "--rhs", "1", "--delimiter", ","], input);
+    assert!(ok);
+    assert!(stderr.contains("rows 3"), "stderr: {stderr}");
+}
+
+#[test]
+fn short_rows_are_skipped_not_fatal() {
+    let input = "a b\nonly-one-field\nc d\n";
+    let (_, stderr, ok) = run_cli(&["--lhs", "0", "--rhs", "1"], input);
+    assert!(ok);
+    assert!(stderr.contains("skipped 1"), "stderr: {stderr}");
+}
+
+#[test]
+fn save_and_resume_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("implicate-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let snap = dir.join("state.imps");
+    let snap_s = snap.to_str().expect("utf-8 path");
+
+    let (_, stderr1, ok1) = run_cli(
+        &["--lhs", "0", "--rhs", "1", "--save", snap_s],
+        &traffic(2000, 0),
+    );
+    assert!(ok1, "stderr: {stderr1}");
+    assert!(stderr1.contains("snapshot: wrote"), "stderr: {stderr1}");
+
+    // Resume and feed the second half; the estimate must reflect both.
+    let more: String = (2000..4000u64)
+        .map(|a| format!("src{a} dst{a}\n"))
+        .collect();
+    let (stdout2, stderr2, ok2) = run_cli(&["--lhs", "0", "--rhs", "1", "--resume", snap_s], &more);
+    assert!(ok2, "stderr: {stderr2}");
+    let answer: f64 = stdout2.trim().parse().expect("numeric answer");
+    assert!(
+        (2500.0..6000.0).contains(&answer),
+        "resumed answer {answer} should reflect all 4000 sources"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_option_fails_with_usage() {
+    let (_, stderr, ok) = run_cli(&["--bogus"], "");
+    assert!(!ok);
+    assert!(stderr.contains("usage:"), "stderr: {stderr}");
+}
+
+#[test]
+fn missing_required_columns_fails() {
+    let (_, stderr, ok) = run_cli(&[], "");
+    assert!(!ok);
+    assert!(stderr.contains("--lhs is required"), "stderr: {stderr}");
+}

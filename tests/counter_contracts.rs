@@ -1,0 +1,194 @@
+//! Behavioural contracts shared by every `ImplicationCounter`
+//! implementation, plus property-based agreement checks between the
+//! streaming counters and a reference evaluation.
+
+use proptest::prelude::*;
+
+use implicate::{
+    DistinctSampling, ExactCounter, Ilc, ImplicationConditions, ImplicationCounter,
+    ImplicationEstimator, ImplicationStickySampling, NaiveImplicationBitmap,
+};
+
+fn all_counters(cond: ImplicationConditions) -> Vec<(&'static str, Box<dyn ImplicationCounter>)> {
+    vec![
+        ("exact", Box::new(ExactCounter::new(cond))),
+        ("nips", Box::new(ImplicationEstimator::new(cond, 16, 4, 1))),
+        ("ds", Box::new(DistinctSampling::new(cond, 256, 2))),
+        ("ilc", Box::new(Ilc::new(cond, 0.01))),
+        (
+            "iss",
+            Box::new(ImplicationStickySampling::new(cond, 1000, 3)),
+        ),
+        (
+            "naive",
+            Box::new(NaiveImplicationBitmap::new(cond, None, 4)),
+        ),
+    ]
+}
+
+#[test]
+fn empty_stream_reads_zero_everywhere() {
+    let cond = ImplicationConditions::strict_one_to_one(1);
+    for (name, counter) in all_counters(cond) {
+        assert_eq!(counter.implication_count(), 0.0, "{name}");
+        assert_eq!(counter.memory_entries(), 0, "{name}");
+    }
+}
+
+#[test]
+fn single_pair_counts_once() {
+    let cond = ImplicationConditions::strict_one_to_one(1);
+    for (name, mut counter) in all_counters(cond) {
+        counter.update(&[1], &[2]);
+        let c = counter.implication_count();
+        // Probabilistic counters may scale, but within a small constant.
+        assert!((0.0..=4.0).contains(&c), "{name}: single-pair count {c}");
+        assert!(counter.memory_entries() >= 1, "{name} must track something");
+    }
+}
+
+#[test]
+fn duplicates_do_not_inflate_counts() {
+    let cond = ImplicationConditions::strict_one_to_one(1);
+    for (name, mut counter) in all_counters(cond) {
+        for _ in 0..1000 {
+            counter.update(&[7], &[8]);
+        }
+        let c = counter.implication_count();
+        assert!((0.0..=4.0).contains(&c), "{name}: {c}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The exact counter agrees with an order-respecting reference
+    /// evaluation on arbitrary small streams under arbitrary conditions.
+    #[test]
+    fn exact_counter_matches_reference(
+        stream in proptest::collection::vec((0u64..20, 0u64..6), 1..400),
+        k in 1u32..4,
+        sigma in 1u64..6,
+        psi_pct in 0u32..=100,
+    ) {
+        let cond = ImplicationConditions::builder()
+            .max_multiplicity(k)
+            .min_support(sigma)
+            .top_confidence_ratio(k, psi_pct, 100)
+            .build();
+        let mut exact = ExactCounter::new(cond);
+        for &(a, b) in &stream {
+            exact.update(&[a], &[b]);
+        }
+        // Reference: replay each itemset's history through ItemState.
+        use implicate::core::{ItemState, Verdict};
+        use implicate::sketch::hash::{Hasher64, MixHasher};
+        let h = MixHasher::new(0xe8ac_7ab1);
+        let mut histories: std::collections::HashMap<u64, Vec<u64>> = Default::default();
+        for &(a, b) in &stream {
+            histories.entry(a).or_default().push(b);
+        }
+        let (mut sat, mut vio, mut sup) = (0u64, 0u64, 0u64);
+        for bs in histories.values() {
+            let mut st = ItemState::new();
+            let mut last = Verdict::Pending;
+            for &b in bs {
+                last = st.update(h.hash_slice(&[b]), &cond);
+            }
+            match last {
+                Verdict::Satisfies => sat += 1,
+                Verdict::Violates => vio += 1,
+                Verdict::Pending => {}
+            }
+            if st.support() >= sigma {
+                sup += 1;
+            }
+        }
+        prop_assert_eq!(exact.exact_implication_count(), sat);
+        prop_assert_eq!(exact.exact_non_implication_count(), vio);
+        prop_assert_eq!(exact.exact_f0_sup(), sup);
+    }
+
+    /// DS under its bound is exactly the exact counter, on any stream.
+    #[test]
+    fn ds_under_bound_is_exact(
+        stream in proptest::collection::vec((0u64..50, 0u64..4), 1..300),
+    ) {
+        let cond = ImplicationConditions::one_to_c(2, 0.7, 2);
+        let mut ds = DistinctSampling::new(cond, 10_000, 5);
+        let mut exact = ExactCounter::new(cond);
+        for &(a, b) in &stream {
+            ds.update(&[a], &[b]);
+            exact.update(&[a], &[b]);
+        }
+        prop_assert_eq!(ds.level(), 0);
+        prop_assert_eq!(ds.implication_count(), exact.exact_implication_count() as f64);
+        prop_assert_eq!(
+            ds.non_implication_count(),
+            Some(exact.exact_non_implication_count() as f64)
+        );
+    }
+
+    /// The estimator never reports a negative count and never exceeds its
+    /// F0^sup component.
+    #[test]
+    fn estimate_components_are_consistent(
+        stream in proptest::collection::vec((0u64..1000, 0u64..8), 0..500),
+    ) {
+        let cond = ImplicationConditions::strict_one_to_one(1);
+        let mut est = ImplicationEstimator::new(cond, 16, 4, 9);
+        for &(a, b) in &stream {
+            est.update(&[a], &[b]);
+        }
+        let e = est.estimate();
+        prop_assert!(e.implication_count >= 0.0);
+        prop_assert!(e.f0_sup >= 0.0);
+        prop_assert!(e.non_implication_count >= 0.0);
+        prop_assert!(e.implication_count <= e.f0_sup + 1e-9);
+    }
+
+    /// Update order of *distinct itemsets* does not change the exact
+    /// verdict set (per-itemset histories are preserved).
+    #[test]
+    fn exact_counts_invariant_under_itemset_interleaving(
+        histories in proptest::collection::vec(
+            proptest::collection::vec(0u64..5, 1..12),
+            1..12,
+        ),
+        seed in 0u64..1000,
+    ) {
+        let cond = ImplicationConditions::one_to_c(2, 0.6, 2);
+        // Sequential layout.
+        let mut seq = ExactCounter::new(cond);
+        for (a, bs) in histories.iter().enumerate() {
+            for &b in bs {
+                seq.update(&[a as u64], &[b]);
+            }
+        }
+        // Deterministically interleaved layout preserving per-a order.
+        let mut cursors = vec![0usize; histories.len()];
+        let mut inter = ExactCounter::new(cond);
+        let mut rng = seed;
+        loop {
+            let pending: Vec<usize> = (0..histories.len())
+                .filter(|&i| cursors[i] < histories[i].len())
+                .collect();
+            if pending.is_empty() {
+                break;
+            }
+            rng = implicate::sketch::hash::mix64(rng);
+            let i = pending[(rng % pending.len() as u64) as usize];
+            inter.update(&[i as u64], &[histories[i][cursors[i]]]);
+            cursors[i] += 1;
+        }
+        prop_assert_eq!(
+            seq.exact_implication_count(),
+            inter.exact_implication_count()
+        );
+        prop_assert_eq!(
+            seq.exact_non_implication_count(),
+            inter.exact_non_implication_count()
+        );
+        prop_assert_eq!(seq.exact_f0_sup(), inter.exact_f0_sup());
+    }
+}

@@ -1,0 +1,136 @@
+//! Cross-crate accuracy contracts: the NIPS/CI estimator against the
+//! exact counter on generated workloads, including one cell of each
+//! figure-style experiment at reduced scale.
+
+use implicate::datagen::{DatasetOne, DatasetOneSpec};
+use implicate::sketch::estimate::relative_error;
+use implicate::{ExactCounter, ImplicationCounter, ImplicationEstimator};
+
+/// One Dataset One cell (Figure 4 point) at reduced scale: the estimator
+/// must land within a generous multiple of the paper's ~10% target.
+#[test]
+fn dataset_one_cell_accuracy_c1() {
+    let mut errs = Vec::new();
+    for seed in 0..3u64 {
+        let spec = DatasetOneSpec::paper(1_000, 500, 1, 100 + seed);
+        let cond = spec.paper_conditions();
+        let data = DatasetOne::generate(&spec);
+        let mut exact = ExactCounter::new(cond);
+        let mut est = ImplicationEstimator::new(cond, 64, 4, seed);
+        for &(a, b) in &data.pairs {
+            exact.update(&[a], &[b]);
+            est.update(&[a], &[b]);
+        }
+        let truth = exact.exact_implication_count() as f64;
+        assert!(
+            (truth - 500.0).abs() < 25.0,
+            "planted count should be recovered by the exact counter: {truth}"
+        );
+        errs.push(relative_error(truth, est.estimate().implication_count));
+    }
+    let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+    assert!(mean < 0.25, "mean error {mean} across {errs:?}");
+}
+
+#[test]
+fn dataset_one_cell_accuracy_c4() {
+    let spec = DatasetOneSpec::paper(500, 250, 4, 7);
+    let cond = spec.paper_conditions();
+    let data = DatasetOne::generate(&spec);
+    let mut exact = ExactCounter::new(cond);
+    let mut bounded = ImplicationEstimator::new(cond, 64, 4, 3);
+    let mut unbounded = ImplicationEstimator::new_unbounded(cond, 64, 3);
+    for &(a, b) in &data.pairs {
+        exact.update(&[a], &[b]);
+        bounded.update(&[a], &[b]);
+        unbounded.update(&[a], &[b]);
+    }
+    let truth = exact.exact_implication_count() as f64;
+    let eb = relative_error(truth, bounded.estimate().implication_count);
+    let eu = relative_error(truth, unbounded.estimate().implication_count);
+    assert!(eb < 0.35, "bounded err {eb}");
+    assert!(eu < 0.35, "unbounded err {eu}");
+    // Figures 4–6's headline: the two are close to each other.
+    assert!(
+        (bounded.estimate().implication_count - unbounded.estimate().implication_count).abs()
+            < 0.25 * truth.max(1.0),
+        "bounded and unbounded fringe should roughly agree"
+    );
+}
+
+/// The estimator's error must not blow up as the stream grows (the §5
+/// contrast with relative-support schemes).
+#[test]
+fn error_is_stable_in_stream_length() {
+    let cond = implicate::ImplicationConditions::strict_one_to_one(2);
+    let mut exact = ExactCounter::new(cond);
+    let mut est = ImplicationEstimator::new(cond, 64, 4, 11);
+    let mut errs = Vec::new();
+    for wave in 0..5u64 {
+        for i in 0..20_000u64 {
+            let a = wave * 20_000 + i;
+            let loyal = implicate::sketch::hash::mix64(a).is_multiple_of(2);
+            est.update(&[a], &[0]);
+            exact.update(&[a], &[0]);
+            let b = if loyal { 0 } else { 1 };
+            est.update(&[a], &[b]);
+            exact.update(&[a], &[b]);
+        }
+        errs.push(relative_error(
+            exact.exact_implication_count() as f64,
+            est.estimate().implication_count,
+        ));
+    }
+    for (i, e) in errs.iter().enumerate() {
+        assert!(*e < 0.35, "wave {i}: error {e} ({errs:?})");
+    }
+}
+
+/// Memory must stay flat while the stream and its cardinalities grow.
+#[test]
+fn estimator_memory_is_stream_independent() {
+    let cond = implicate::ImplicationConditions::one_to_c(2, 0.8, 2);
+    let mut est = ImplicationEstimator::new(cond, 64, 4, 5);
+    let mut peaks = Vec::new();
+    for scale in [10_000u64, 100_000, 1_000_000] {
+        while est.tuples_seen() < scale {
+            let a = est.tuples_seen() / 2;
+            est.update(&[a], &[a % 13]);
+        }
+        peaks.push(est.entries());
+    }
+    let max = *peaks.iter().max().unwrap();
+    assert!(max <= 64 * 66, "peak entries {max}");
+    // No growth trend across 100x stream growth.
+    assert!(
+        peaks[2] <= peaks[0].max(peaks[1]) * 3 + 64,
+        "entries trend {peaks:?}"
+    );
+}
+
+/// DS matches exact while under its bound, diverges gracefully above it.
+#[test]
+fn distinct_sampling_contract() {
+    use implicate::DistinctSampling;
+    let cond = implicate::ImplicationConditions::strict_one_to_one(1);
+    let mut ds = DistinctSampling::new(cond, 1920, 9);
+    let mut exact = ExactCounter::new(cond);
+    for a in 0..1_500u64 {
+        ds.update(&[a], &[a % 3]);
+        exact.update(&[a], &[a % 3]);
+    }
+    assert_eq!(
+        ds.implication_count(),
+        exact.exact_implication_count() as f64,
+        "under the bound DS is exact"
+    );
+    for a in 1_500..80_000u64 {
+        ds.update(&[a], &[a % 3]);
+        exact.update(&[a], &[a % 3]);
+    }
+    let err = relative_error(
+        exact.exact_implication_count() as f64,
+        ds.implication_count(),
+    );
+    assert!(err < 0.25, "DS err {err} on a uniform stream");
+}

@@ -1,0 +1,122 @@
+//! Every worked number in the paper's §1 and §3, checked end-to-end
+//! through the umbrella crate's public API.
+
+use implicate::stream::toy;
+use implicate::{
+    ExactCounter, ImplicationConditions, ImplicationCounter, MultiplicityPolicy, Projector,
+};
+
+fn run_exact(cond: ImplicationConditions, lhs: &[&str], rhs: &[&str]) -> ExactCounter {
+    let (schema, tuples, _) = toy::network_traffic();
+    let pl = Projector::new(&schema, schema.attr_set(lhs));
+    let pr = Projector::new(&schema, schema.attr_set(rhs));
+    let mut c = ExactCounter::new(cond);
+    for t in &tuples {
+        c.update(pl.project(t).as_slice(), pr.project(t).as_slice());
+    }
+    c
+}
+
+#[test]
+fn section1_destinations_with_single_source() {
+    // "D2 → S1 and D1 → S2 have the implication property … the returned
+    // implication count is two."
+    let c = run_exact(
+        ImplicationConditions::strict_one_to_one(1),
+        &["Destination"],
+        &["Source"],
+    );
+    assert_eq!(c.exact_implication_count(), 2);
+}
+
+#[test]
+fn section1_destinations_with_single_source_80_percent() {
+    // "destinations that 80% of the time are contacted by one single
+    // source: in that case D3 qualifies and the returned count is three."
+    let c = run_exact(
+        ImplicationConditions::one_to_c(1, 0.80, 1).with_policy(MultiplicityPolicy::TrackTop),
+        &["Destination"],
+        &["Source"],
+    );
+    assert_eq!(c.exact_implication_count(), 3);
+}
+
+#[test]
+fn section1_services_from_single_source() {
+    // "how many services are being requested from only one source: the
+    // returned aggregate is again two (WWW → S1, FTP → S2)."
+    let c = run_exact(
+        ImplicationConditions::strict_one_to_one(1),
+        &["Service"],
+        &["Source"],
+    );
+    assert_eq!(c.exact_implication_count(), 2);
+}
+
+#[test]
+fn section312_services_at_most_two_sources() {
+    // K = 5, σ = 1, ψ2 ≥ 80%: WWW and FTP participate, P2P (ψ2 = 75%)
+    // does not → count 2.
+    let cond = ImplicationConditions::builder()
+        .max_multiplicity(5)
+        .min_support(1)
+        .top_confidence(2, 0.80)
+        .build();
+    let c = run_exact(cond, &["Service"], &["Source"]);
+    assert_eq!(c.exact_implication_count(), 2);
+}
+
+#[test]
+fn section312_relaxed_to_75_percent_admits_p2p() {
+    // "If we change the minimum top-confidence level to 75% then P2P is
+    // valid and participates in the count."
+    let cond = ImplicationConditions::builder()
+        .max_multiplicity(5)
+        .min_support(1)
+        .top_confidence(2, 0.75)
+        .build();
+    let c = run_exact(cond, &["Service"], &["Source"]);
+    assert_eq!(c.exact_implication_count(), 3);
+}
+
+#[test]
+fn section312_support_two_drops_ftp() {
+    // "if the user increases the minimum support to two tuples then the
+    // pair (FTP, S2) is not valid since it appears in only one tuple."
+    let cond = ImplicationConditions::builder()
+        .max_multiplicity(5)
+        .min_support(2)
+        .top_confidence(2, 0.75)
+        .build();
+    let c = run_exact(cond, &["Service"], &["Source"]);
+    // WWW (2 tuples) and P2P (4 tuples, ψ2 = 75%) remain.
+    assert_eq!(c.exact_implication_count(), 2);
+}
+
+#[test]
+fn section31_multiplicity_and_support_of_s1_d3() {
+    // (S1, D3) has support 4 and multiplicity 2 w.r.t. Service.
+    let (schema, tuples, dicts) = toy::network_traffic();
+    let pa = Projector::new(&schema, schema.attr_set(&["Source", "Destination"]));
+    let pb = Projector::new(&schema, schema.attr_set(&["Service"]));
+    let s1 = dicts.attr(0).code("S1").unwrap();
+    let d3 = dicts.attr(1).code("D3").unwrap();
+    let mut support = 0u64;
+    let mut partners = std::collections::HashSet::new();
+    for t in &tuples {
+        if pa.project(t).as_slice() == [s1, d3] {
+            support += 1;
+            partners.insert(pb.project(t));
+        }
+    }
+    assert_eq!(support, 4);
+    assert_eq!(partners.len(), 2);
+}
+
+#[test]
+fn section31_compound_cardinality() {
+    // ‖{Source, Destination}‖ = 3 × 3 = 9.
+    let (schema, _, _) = toy::network_traffic();
+    let a = schema.attr_set(&["Source", "Destination"]);
+    assert_eq!(schema.compound_cardinality(a), Some(9));
+}

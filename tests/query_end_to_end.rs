@@ -1,0 +1,168 @@
+//! End-to-end query scenarios: the Table 2 classes over the network
+//! generator, plus incremental and sliding-window flows (§3.2).
+
+use implicate::core::incremental::IncrementalCounter;
+use implicate::core::sliding::SlidingEstimator;
+use implicate::datagen::{NetworkSpec, NetworkStream};
+use implicate::query::Filter;
+use implicate::sketch::estimate::relative_error;
+use implicate::stream::source::TupleSource;
+use implicate::{
+    ExactCounter, ImplicationConditions, ImplicationCounter, ImplicationEstimator,
+    ImplicationQuery, Projector, QueryEngine, Tuple,
+};
+
+fn network(tuples: u64, seed: u64) -> (implicate::Schema, Vec<Tuple>) {
+    let mut gen = NetworkStream::new(NetworkSpec {
+        seed,
+        ..Default::default()
+    });
+    let schema = gen.schema().clone();
+    let data = (0..tuples).map(|_| gen.next_row()).collect();
+    (schema, data)
+}
+
+#[test]
+fn loyal_source_query_tracks_exact() {
+    let (schema, tuples) = network(150_000, 1);
+    let q = ImplicationQuery::one_to_one(
+        schema.attr_set(&["Source"]),
+        schema.attr_set(&["Destination"]),
+        1,
+    );
+    let pl = Projector::new(&schema, q.lhs);
+    let pr = Projector::new(&schema, q.rhs);
+    let mut exact = ExactCounter::new(q.conditions);
+    for t in &tuples {
+        exact.update(pl.project(t).as_slice(), pr.project(t).as_slice());
+    }
+    let mut engine = QueryEngine::new(&schema, q, 64, 4, 2);
+    for t in &tuples {
+        engine.process(t);
+    }
+    let err = relative_error(exact.exact_implication_count() as f64, engine.answer());
+    assert!(err < 0.30, "err {err}");
+    assert!(exact.exact_implication_count() > 1000, "workload sanity");
+}
+
+#[test]
+fn conditional_query_only_sees_matching_tuples() {
+    let (schema, tuples) = network(50_000, 3);
+    let time = schema.attr_expect("Time");
+    let q = ImplicationQuery::one_to_one(
+        schema.attr_set(&["Source"]),
+        schema.attr_set(&["Destination"]),
+        1,
+    )
+    .filtered(Filter::new().and_eq(time, 1));
+    let mut engine = QueryEngine::new(&schema, q, 16, 4, 4);
+    for t in &tuples {
+        engine.process(t);
+    }
+    let expected: u64 = tuples.iter().filter(|t| t.get(time.index()) == 1).count() as u64;
+    assert_eq!(engine.matched_tuples(), expected);
+    assert!(expected > 0);
+}
+
+#[test]
+fn incremental_counts_new_arrivals_between_marks() {
+    let cond = ImplicationConditions::strict_one_to_one(1);
+    let mut inc = IncrementalCounter::new(ImplicationEstimator::new(cond, 64, 4, 5));
+    for a in 0..30_000u64 {
+        inc.update(&[a], &[a]);
+    }
+    let t1 = inc.snapshot();
+    for a in 30_000..60_000u64 {
+        inc.update(&[a], &[a]);
+    }
+    let delta = inc.since(&t1);
+    assert_eq!(delta.tuples, 30_000);
+    let err = relative_error(30_000.0, delta.implication_count);
+    assert!(err < 0.35, "incremental err {err}: {delta:?}");
+}
+
+#[test]
+fn sliding_window_detects_episode_and_recovers() {
+    // A DDoS-like burst of heavy fan-out destinations in the middle of the
+    // stream must raise the windowed complement count and then fall away.
+    // Background destinations see ~60 distinct sources per window; only
+    // the episode victim exceeds the 100-source fan-out bound.
+    let cond = ImplicationConditions::builder()
+        .max_multiplicity(100)
+        .min_support(1)
+        .top_confidence(1, 0.0)
+        .build();
+    let mut sliding = SlidingEstimator::new(cond, 30_000, 15_000, 64, 8, 6);
+    let mut results = Vec::new();
+    for i in 0..150_000u64 {
+        let (dst, src) = if (60_000..90_000).contains(&i) {
+            (7u64, i) // one destination, a fresh source every tuple
+        } else {
+            (1000 + i % 500, implicate::sketch::hash::mix64(i) % 2_000)
+        };
+        if let Some(w) = sliding.update(&[dst], &[src]) {
+            results.push((w.origin, w.estimate.non_implication_count));
+        }
+    }
+    let peak = results
+        .iter()
+        .filter(|(o, _)| (45_000..90_000).contains(o))
+        .map(|&(_, c)| c)
+        .fold(0.0f64, f64::max);
+    let calm_after = results
+        .iter()
+        .filter(|(o, _)| *o >= 105_000)
+        .map(|&(_, c)| c)
+        .fold(0.0f64, f64::max);
+    assert!(peak >= 1.0, "episode must register: {results:?}");
+    assert!(
+        calm_after < peak,
+        "window must retire the episode: peak {peak}, after {calm_after}"
+    );
+}
+
+#[test]
+fn distinct_count_query_over_generator() {
+    let (schema, tuples) = network(80_000, 7);
+    let q = ImplicationQuery::distinct_count(schema.attr_set(&["Source"]));
+    let mut engine = QueryEngine::new(&schema, q, 64, 4, 8);
+    let mut seen = std::collections::HashSet::new();
+    let src_idx = schema.attr_expect("Source").index();
+    for t in &tuples {
+        engine.process(t);
+        seen.insert(t.get(src_idx));
+    }
+    let err = relative_error(seen.len() as f64, engine.answer());
+    assert!(err < 0.25, "distinct count err {err}");
+}
+
+#[test]
+fn more_than_query_counts_scanners() {
+    // Plant port-scanner-like sources with huge fan-out.
+    let (schema, mut tuples) = network(60_000, 9);
+    for scanner in 0..200u64 {
+        for d in 0..25u64 {
+            tuples.push(Tuple::from([900_000 + scanner, scanner * 31 + d, 0, 0]));
+        }
+    }
+    let q = ImplicationQuery::more_than(
+        schema.attr_set(&["Source"]),
+        schema.attr_set(&["Destination"]),
+        20,
+        1,
+    );
+    let pl = Projector::new(&schema, q.lhs);
+    let pr = Projector::new(&schema, q.rhs);
+    let mut exact = ExactCounter::new(q.conditions);
+    for t in &tuples {
+        exact.update(pl.project(t).as_slice(), pr.project(t).as_slice());
+    }
+    let truth = exact.exact_non_implication_count() as f64;
+    assert!(truth >= 200.0, "scanners plus heavy background: {truth}");
+    let mut engine = QueryEngine::new(&schema, q, 64, 4, 10);
+    for t in &tuples {
+        engine.process(t);
+    }
+    let err = relative_error(truth, engine.answer());
+    assert!(err < 0.35, "more-than err {err} (truth {truth})");
+}

@@ -1,0 +1,126 @@
+//! Property tests for the operational extensions: snapshot round-trips
+//! and distributed merges under arbitrary streams.
+
+use proptest::prelude::*;
+
+use implicate::{ImplicationConditions, ImplicationEstimator, MultiplicityPolicy};
+
+fn arb_cond() -> impl Strategy<Value = ImplicationConditions> {
+    (1u32..4, 1u64..6, 0u32..=100, prop::bool::ANY).prop_map(|(k, sigma, psi, tolerant)| {
+        ImplicationConditions::builder()
+            .max_multiplicity(k)
+            .min_support(sigma)
+            .top_confidence_ratio(k, psi, 100)
+            .multiplicity_policy(if tolerant {
+                MultiplicityPolicy::TrackTop
+            } else {
+                MultiplicityPolicy::Strict
+            })
+            .build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Snapshot → restore is lossless for the estimate, the memory
+    /// accounting, and all future behaviour.
+    #[test]
+    fn snapshot_roundtrip_is_lossless(
+        cond in arb_cond(),
+        prefix in proptest::collection::vec((0u64..300, 0u64..6), 0..600),
+        suffix in proptest::collection::vec((0u64..300, 0u64..6), 0..300),
+        seed in 0u64..1000,
+    ) {
+        let mut original = ImplicationEstimator::new(cond, 16, 4, seed);
+        for &(a, b) in &prefix {
+            original.update(&[a], &[b]);
+        }
+        let mut restored =
+            ImplicationEstimator::from_bytes(original.to_bytes()).expect("restore");
+        prop_assert_eq!(restored.estimate(), original.estimate());
+        prop_assert_eq!(restored.entries(), original.entries());
+        for &(a, b) in &suffix {
+            original.update(&[a], &[b]);
+            restored.update(&[a], &[b]);
+        }
+        prop_assert_eq!(restored.estimate(), original.estimate());
+        prop_assert_eq!(restored.entries(), original.entries());
+    }
+
+    /// Merging sketches over itemset-disjoint streams equals one sketch
+    /// over the union, for any conditions (unbounded cells, so no budget
+    /// shedding interferes with exactness).
+    #[test]
+    fn disjoint_merge_equals_union(
+        cond in arb_cond(),
+        s1 in proptest::collection::vec((0u64..200, 0u64..5), 0..400),
+        s2 in proptest::collection::vec((200u64..400, 0u64..5), 0..400),
+        seed in 0u64..1000,
+    ) {
+        let mut a = ImplicationEstimator::new_unbounded(cond, 16, seed);
+        let mut b = ImplicationEstimator::new_unbounded(cond, 16, seed);
+        let mut whole = ImplicationEstimator::new_unbounded(cond, 16, seed);
+        for &(x, y) in &s1 {
+            a.update(&[x], &[y]);
+            whole.update(&[x], &[y]);
+        }
+        for &(x, y) in &s2 {
+            b.update(&[x], &[y]);
+            whole.update(&[x], &[y]);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.estimate(), whole.estimate());
+        prop_assert_eq!(a.tuples_seen(), whole.tuples_seen());
+    }
+
+    /// Merge is commutative on the estimates (disjoint streams).
+    #[test]
+    fn merge_is_commutative(
+        cond in arb_cond(),
+        s1 in proptest::collection::vec((0u64..200, 0u64..5), 0..300),
+        s2 in proptest::collection::vec((200u64..400, 0u64..5), 0..300),
+        seed in 0u64..1000,
+    ) {
+        let build = |stream: &[(u64, u64)]| {
+            let mut e = ImplicationEstimator::new_unbounded(cond, 16, seed);
+            for &(x, y) in stream {
+                e.update(&[x], &[y]);
+            }
+            e
+        };
+        let mut ab = build(&s1);
+        ab.merge(&build(&s2));
+        let mut ba = build(&s2);
+        ba.merge(&build(&s1));
+        prop_assert_eq!(ab.estimate(), ba.estimate());
+    }
+
+    /// Merging never *loses* a recorded violation: the merged S̄ estimate
+    /// is at least each side's S̄ estimate.
+    #[test]
+    fn merge_preserves_violations(
+        cond in arb_cond(),
+        s1 in proptest::collection::vec((0u64..100, 0u64..5), 0..400),
+        s2 in proptest::collection::vec((0u64..100, 0u64..5), 0..400),
+        seed in 0u64..1000,
+    ) {
+        let build = |stream: &[(u64, u64)]| {
+            let mut e = ImplicationEstimator::new_unbounded(cond, 16, seed);
+            for &(x, y) in stream {
+                e.update(&[x], &[y]);
+            }
+            e
+        };
+        let a = build(&s1);
+        let b = build(&s2);
+        let (sa, sb) = (
+            a.estimate().non_implication_count,
+            b.estimate().non_implication_count,
+        );
+        let mut merged = build(&s1);
+        merged.merge(&b);
+        let sm = merged.estimate().non_implication_count;
+        prop_assert!(sm >= sa.max(sb) - 1e-9, "merged {sm} < max({sa}, {sb})");
+    }
+}
