@@ -232,7 +232,7 @@ mod tests {
             ilc.memory_entries()
         );
         // NIPS/CI answers the same stream within its fixed budget.
-        let mut nips = imp_core::ImplicationEstimator::new(strict(1), 64, 4, 9);
+        let mut nips = imp_core::EstimatorConfig::new(strict(1)).seed(9).build();
         for a in 0..10_000u64 {
             nips.update(&[a], &[1]);
             nips.update(&[a], &[2]);

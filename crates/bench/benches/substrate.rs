@@ -8,7 +8,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
 
-use imp_core::{ImplicationConditions, ImplicationEstimator};
+use imp_core::{EstimatorConfig, ImplicationConditions};
 use imp_datagen::olap::{OlapSpec, OlapStream};
 use imp_datagen::{DatasetOne, DatasetOneSpec};
 use imp_sketch::hash::{BoxedHasher, HashFamily, Hasher64};
@@ -76,7 +76,7 @@ fn bench_pcsa(c: &mut Criterion) {
 
 fn bench_estimate_readoff(c: &mut Criterion) {
     let cond = ImplicationConditions::one_to_c(2, 0.8, 2);
-    let mut est = ImplicationEstimator::new(cond, 64, 4, 1);
+    let mut est = EstimatorConfig::new(cond).seed(1).build();
     for i in 0..100_000u64 {
         est.update(&[i % 10_000], &[i % 7]);
     }

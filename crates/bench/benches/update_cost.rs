@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::hint::black_box;
 
 use imp_baselines::{DistinctSampling, ExactCounter, Ilc, ImplicationCounter};
-use imp_core::{ImplicationConditions, ImplicationEstimator};
+use imp_core::{EstimatorConfig, ImplicationConditions};
 
 /// Pre-generates a mixed loyal/disloyal pair stream.
 fn stream(n: u64) -> Vec<([u64; 1], [u64; 1])> {
@@ -29,7 +29,7 @@ fn bench_updates(c: &mut Criterion) {
 
     g.bench_function("nips_ci_64x4", |bench| {
         bench.iter(|| {
-            let mut est = ImplicationEstimator::new(cond, 64, 4, 1);
+            let mut est = EstimatorConfig::new(cond).seed(1).build();
             for (a, b) in &data {
                 est.update(black_box(a), black_box(b));
             }
@@ -79,7 +79,7 @@ fn bench_k_scaling(c: &mut Criterion) {
         let cond = ImplicationConditions::one_to_c(k, 0.8, 2);
         g.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, _| {
             bench.iter(|| {
-                let mut est = ImplicationEstimator::new(cond, 64, 4, 1);
+                let mut est = EstimatorConfig::new(cond).seed(1).build();
                 for (a, b) in &data {
                     est.update(black_box(a), black_box(b));
                 }

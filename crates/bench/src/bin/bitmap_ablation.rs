@@ -4,7 +4,7 @@
 
 use imp_bench::table::{fmt_pct, Table};
 use imp_bench::Args;
-use imp_core::{ImplicationConditions, ImplicationEstimator};
+use imp_core::{EstimatorConfig, ImplicationConditions};
 use imp_sketch::estimate::{pcsa_relative_error, relative_error, RunningStats};
 
 fn main() {
@@ -24,7 +24,10 @@ fn main() {
     for m in [4usize, 16, 64, 256] {
         let mut st = RunningStats::new();
         for rep in 0..reps {
-            let mut est = ImplicationEstimator::new(cond, m, 4, seed + rep as u64 * 977);
+            let mut est = EstimatorConfig::new(cond)
+                .bitmaps(m)
+                .seed(seed + rep as u64 * 977)
+                .build();
             for a in 0..card {
                 est.update(&[a], &[1]);
                 if a % 2 == 0 {

@@ -9,15 +9,21 @@
 
 use imp_bench::table::{fmt_pct, Table};
 use imp_bench::Args;
-use imp_core::{ImplicationConditions, ImplicationEstimator};
+use imp_core::{EstimatorConfig, Fringe, ImplicationConditions};
 use imp_sketch::estimate::{relative_error, RunningStats};
 
 /// Streams `‖A‖` itemsets of which a `q` fraction violate (`K = 1`).
 fn run(q: f64, fringe: Option<u32>, cardinality: u64, seed: u64) -> (f64, f64) {
     let cond = ImplicationConditions::strict_one_to_one(1);
     let mut est = match fringe {
-        Some(f) => ImplicationEstimator::new(cond, 64, f, seed),
-        None => ImplicationEstimator::new_unbounded(cond, 64, seed),
+        Some(f) => EstimatorConfig::new(cond)
+            .fringe(Fringe::Bounded(f))
+            .seed(seed)
+            .build(),
+        None => EstimatorConfig::new(cond)
+            .fringe(Fringe::Unbounded)
+            .seed(seed)
+            .build(),
     };
     let violators = (cardinality as f64 * q).round() as u64;
     for a in 0..cardinality {

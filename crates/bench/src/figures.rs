@@ -9,10 +9,10 @@
 //! distinct seeds (the paper uses 100) and repetitions are spread across
 //! CPU cores.
 
-use crossbeam::thread;
+use std::thread;
 
 use imp_baselines::{ExactCounter, ImplicationCounter};
-use imp_core::ImplicationEstimator;
+use imp_core::{EstimatorConfig, Fringe};
 use imp_datagen::{DatasetOne, DatasetOneSpec};
 use imp_sketch::estimate::{relative_error, RunningStats};
 
@@ -59,14 +59,13 @@ pub fn run_cell(spec: ErrorVsCountSpec, threads: usize) -> ErrorVsCountResult {
     let partials: Vec<(RunningStats, RunningStats, RunningStats)> = thread::scope(|s| {
         let handles: Vec<_> = per_thread
             .iter()
-            .map(|reps| s.spawn(move |_| run_reps(spec, reps)))
+            .map(|reps| s.spawn(move || run_reps(spec, reps)))
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("worker panicked"))
             .collect()
-    })
-    .expect("thread scope failed");
+    });
     let mut result = ErrorVsCountResult {
         spec,
         actual: RunningStats::new(),
@@ -103,8 +102,16 @@ pub fn run_once(spec: ErrorVsCountSpec, seed: u64) -> (f64, f64, f64) {
     let data = DatasetOne::generate(&ds_spec);
 
     let mut exact = ExactCounter::new(cond);
-    let mut est_b = ImplicationEstimator::new(cond, NIPS_BITMAPS, NIPS_FRINGE, seed ^ 0xfeed);
-    let mut est_u = ImplicationEstimator::new_unbounded(cond, NIPS_BITMAPS, seed ^ 0xfeed);
+    let mut est_b = EstimatorConfig::new(cond)
+        .bitmaps(NIPS_BITMAPS)
+        .fringe(Fringe::Bounded(NIPS_FRINGE))
+        .seed(seed ^ 0xfeed)
+        .build();
+    let mut est_u = EstimatorConfig::new(cond)
+        .bitmaps(NIPS_BITMAPS)
+        .fringe(Fringe::Unbounded)
+        .seed(seed ^ 0xfeed)
+        .build();
     for &(a, b) in &data.pairs {
         exact.update(&[a], &[b]);
         est_b.update(&[a], &[b]);

@@ -4,7 +4,7 @@
 //! record everything at the Table 4 checkpoints.
 
 use imp_baselines::{DistinctSampling, ExactCounter, Ilc, ImplicationCounter};
-use imp_core::ImplicationEstimator;
+use imp_core::{EstimatorConfig, Fringe, ImplicationEstimator};
 use imp_datagen::olap::{schema, OlapSpec, OlapStream};
 use imp_stream::project::Projector;
 use imp_stream::source::TupleSource;
@@ -125,7 +125,11 @@ pub fn run_workload(
                 sigma,
                 psi,
                 exact: ExactCounter::new(cond),
-                nips: ImplicationEstimator::new(cond, NIPS_BITMAPS, NIPS_FRINGE, seed),
+                nips: EstimatorConfig::new(cond)
+                    .bitmaps(NIPS_BITMAPS)
+                    .fringe(Fringe::Bounded(NIPS_FRINGE))
+                    .seed(seed)
+                    .build(),
                 ds: DistinctSampling::new(cond, DS_SAMPLE_SIZE, seed ^ 0xd5),
                 ilc: Ilc::new(cond, ILC_EPSILON),
             }

@@ -103,7 +103,11 @@ impl CellState {
         use bytes::BufMut;
         buf.put_u8(u8::from(self.supported));
         buf.put_u32_le(self.items.len() as u32);
-        for (&hash, state) in &self.items {
+        // Canonical order: identical logical state must serialize to
+        // identical bytes regardless of hash-map iteration order.
+        let mut entries: Vec<(u64, &ItemState)> = self.items.iter().map(|(&h, s)| (h, s)).collect();
+        entries.sort_unstable_by_key(|&(h, _)| h);
+        for (hash, state) in entries {
             buf.put_u64_le(hash);
             state.encode(buf);
         }

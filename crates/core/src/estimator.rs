@@ -35,6 +35,122 @@ pub struct Estimate {
     pub implication_count: f64,
 }
 
+/// Fringe configuration of an estimator (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fringe {
+    /// A bounded fringe of the given size in cells — the constrained
+    /// algorithm proper (the paper uses 4).
+    Bounded(u32),
+    /// The unbounded-fringe accuracy yard-stick with `O(F0)` memory (the
+    /// "Unbounded Fringe" series of Figures 4–6).
+    Unbounded,
+}
+
+impl Fringe {
+    /// The bounded size in cells, or `None` for [`Fringe::Unbounded`].
+    pub fn size(self) -> Option<u32> {
+        match self {
+            Fringe::Bounded(f) => Some(f),
+            Fringe::Unbounded => None,
+        }
+    }
+}
+
+/// Builder-style construction for [`ImplicationEstimator`].
+///
+/// Defaults follow the paper's §6.1 configuration: 64 bitmaps, a bounded
+/// fringe of 4 cells, seed 42. Every knob is optional:
+///
+/// ```
+/// use imp_core::{EstimatorConfig, Fringe, ImplicationConditions};
+///
+/// let cond = ImplicationConditions::strict_one_to_one(1);
+/// let est = EstimatorConfig::new(cond)
+///     .bitmaps(64)
+///     .fringe(Fringe::Bounded(4))
+///     .seed(42)
+///     .build();
+/// assert_eq!(est.bitmap_count(), 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimatorConfig {
+    cond: ImplicationConditions,
+    bitmaps: usize,
+    fringe: Fringe,
+    seed: u64,
+}
+
+impl EstimatorConfig {
+    /// Starts a configuration for the given conditions with the paper's
+    /// §6.1 defaults (64 bitmaps, `Fringe::Bounded(4)`, seed 42).
+    pub fn new(cond: ImplicationConditions) -> Self {
+        Self {
+            cond,
+            bitmaps: 64,
+            fringe: Fringe::Bounded(4),
+            seed: 42,
+        }
+    }
+
+    /// Sets the number of stochastic-averaging bitmaps `m` (must be a
+    /// power of two; checked in [`EstimatorConfig::build`]).
+    #[must_use]
+    pub fn bitmaps(mut self, m: usize) -> Self {
+        self.bitmaps = m;
+        self
+    }
+
+    /// Sets the fringe configuration.
+    #[must_use]
+    pub fn fringe(mut self, fringe: Fringe) -> Self {
+        self.fringe = fringe;
+        self
+    }
+
+    /// Sets the hash seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the conditions (for engines that re-target a template
+    /// configuration at a query's conditions).
+    #[must_use]
+    pub fn conditions(mut self, cond: ImplicationConditions) -> Self {
+        self.cond = cond;
+        self
+    }
+
+    /// The configured conditions.
+    pub fn conditions_ref(&self) -> &ImplicationConditions {
+        &self.cond
+    }
+
+    /// The configured bitmap count.
+    pub fn bitmap_count(&self) -> usize {
+        self.bitmaps
+    }
+
+    /// The configured fringe.
+    pub fn fringe_config(&self) -> Fringe {
+        self.fringe
+    }
+
+    /// The configured hash seed.
+    pub fn hash_seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Builds the estimator.
+    ///
+    /// # Panics
+    /// If the bitmap count is not a power of two.
+    pub fn build(self) -> ImplicationEstimator {
+        ImplicationEstimator::build(self.cond, self.bitmaps, self.fringe.size(), self.seed)
+    }
+}
+
 /// Stochastic-averaged NIPS/CI estimator — the crate's main entry point.
 #[derive(Debug, Clone)]
 pub struct ImplicationEstimator {
@@ -50,12 +166,20 @@ impl ImplicationEstimator {
     /// Creates an estimator with `m` bitmaps (power of two; the paper uses
     /// 64), a bounded fringe of `fringe_size` cells (the paper uses 4), and
     /// a hash seed.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use EstimatorConfig::new(cond).bitmaps(m).fringe(Fringe::Bounded(f)).seed(s).build()"
+    )]
     pub fn new(cond: ImplicationConditions, m: usize, fringe_size: u32, seed: u64) -> Self {
         Self::build(cond, m, Some(fringe_size), seed)
     }
 
     /// Creates the unbounded-fringe variant (accuracy yard-stick with
     /// `O(F0)` memory; the "Unbounded Fringe" series of Figures 4–6).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use EstimatorConfig::new(cond).bitmaps(m).fringe(Fringe::Unbounded).seed(s).build()"
+    )]
     pub fn new_unbounded(cond: ImplicationConditions, m: usize, seed: u64) -> Self {
         Self::build(cond, m, None, seed)
     }
@@ -108,6 +232,32 @@ impl ImplicationEstimator {
         self.tuples += 1;
         let (idx, rank) = split_rank(h_a, self.log2_m);
         self.bitmaps[idx].update(rank, h_a, b_fp);
+    }
+
+    /// Feeds a batch of single-attribute `(a, b)` pairs — the fast path
+    /// for the common two-column workloads. Equivalent to calling
+    /// [`ImplicationEstimator::update`] with `(&[a], &[b])` per pair, in
+    /// order.
+    pub fn update_batch(&mut self, pairs: &[(u64, u64)]) {
+        for &(a, b) in pairs {
+            self.update_hashed(self.hasher_a.hash_u64(a), self.hasher_b.hash_u64(b));
+        }
+    }
+
+    /// Feeds a batch of pre-hashed pairs `(h_a, b_fp)` in order (see
+    /// [`ImplicationEstimator::update_hashed`] for the hashing contract).
+    pub fn update_hashed_batch(&mut self, pairs: &[(u64, u64)]) {
+        for &(h_a, b_fp) in pairs {
+            self.update_hashed(h_a, b_fp);
+        }
+    }
+
+    /// Pre-hashes an `(a, b)` pair exactly as [`ImplicationEstimator::update`]
+    /// would, for pipelines that hash on one thread and ingest on another
+    /// via [`ImplicationEstimator::update_hashed`].
+    #[inline]
+    pub fn hash_pair(&self, a: &[u64], b: &[u64]) -> (u64, u64) {
+        (self.hasher_a.hash_slice(a), self.hasher_b.hash_slice(b))
     }
 
     /// The CI estimate over the current stream prefix.
@@ -171,6 +321,86 @@ impl ImplicationEstimator {
             a.merge(b);
         }
         self.tuples += other.tuples;
+    }
+}
+
+/// Internal plumbing for the sharded ingestion pipeline
+/// (see [`crate::parallel`]).
+impl ImplicationEstimator {
+    /// Reassembles an estimator from parts (shard construction).
+    pub(crate) fn from_parts(
+        cond: ImplicationConditions,
+        bitmaps: Vec<NipsBitmap>,
+        hasher_a: MixHasher,
+        hasher_b: MixHasher,
+        tuples: u64,
+    ) -> Self {
+        assert!(
+            bitmaps.len().is_power_of_two(),
+            "bitmap count must be a power of two"
+        );
+        Self {
+            cond,
+            log2_m: bitmaps.len().trailing_zeros(),
+            bitmaps,
+            hasher_a,
+            hasher_b,
+            tuples,
+        }
+    }
+
+    /// The internal hash pair (shared by shards of one pipeline).
+    pub(crate) fn hashers(&self) -> (MixHasher, MixHasher) {
+        (self.hasher_a, self.hasher_b)
+    }
+
+    /// `log2` of the bitmap count (routing).
+    pub(crate) fn log2_m(&self) -> u32 {
+        self.log2_m
+    }
+
+    /// A same-configuration estimator with no accumulated state.
+    pub(crate) fn fresh_like(&self) -> Self {
+        Self::from_parts(
+            self.cond,
+            self.bitmaps.iter().map(NipsBitmap::fresh_like).collect(),
+            self.hasher_a,
+            self.hasher_b,
+            0,
+        )
+    }
+
+    /// Splits this estimator into `threads` shard estimators. Shard `k`
+    /// carries the accumulated state of every bitmap index `i` with
+    /// `i % threads == k` (plus, on shard 0, the tuple counter); all other
+    /// bitmaps start fresh. Merging the shards back recovers the original
+    /// state exactly, because each bitmap's state lives on exactly one
+    /// shard.
+    pub(crate) fn split_shards(&self, threads: usize) -> Vec<Self> {
+        assert!(threads >= 1, "need at least one shard");
+        (0..threads)
+            .map(|k| {
+                let bitmaps = self
+                    .bitmaps
+                    .iter()
+                    .enumerate()
+                    .map(|(i, bm)| {
+                        if i % threads == k {
+                            bm.clone()
+                        } else {
+                            bm.fresh_like()
+                        }
+                    })
+                    .collect();
+                Self::from_parts(
+                    self.cond,
+                    bitmaps,
+                    self.hasher_a,
+                    self.hasher_b,
+                    if k == 0 { self.tuples } else { 0 },
+                )
+            })
+            .collect()
     }
 }
 
@@ -248,6 +478,22 @@ mod tests {
         ImplicationConditions::strict_one_to_one(1)
     }
 
+    fn bounded(cond: ImplicationConditions, m: usize, f: u32, seed: u64) -> ImplicationEstimator {
+        EstimatorConfig::new(cond)
+            .bitmaps(m)
+            .fringe(Fringe::Bounded(f))
+            .seed(seed)
+            .build()
+    }
+
+    fn unbounded(cond: ImplicationConditions, m: usize, seed: u64) -> ImplicationEstimator {
+        EstimatorConfig::new(cond)
+            .bitmaps(m)
+            .fringe(Fringe::Unbounded)
+            .seed(seed)
+            .build()
+    }
+
     /// Streams `n_impl` implicating and `n_viol` violating itemsets.
     fn run(est: &mut ImplicationEstimator, n_impl: u64, n_viol: u64) {
         for a in 0..n_impl {
@@ -263,7 +509,7 @@ mod tests {
 
     #[test]
     fn empty_estimate_is_zero() {
-        let est = ImplicationEstimator::new(one_to_one(), 64, 4, 1);
+        let est = bounded(one_to_one(), 64, 4, 1);
         let e = est.estimate();
         assert_eq!(e.implication_count, 0.0);
         assert_eq!(e.f0_sup, 0.0);
@@ -272,7 +518,7 @@ mod tests {
 
     #[test]
     fn pure_implication_stream_unbounded_is_exact_on_sbar() {
-        let mut est = ImplicationEstimator::new_unbounded(one_to_one(), 64, 2);
+        let mut est = unbounded(one_to_one(), 64, 2);
         run(&mut est, 10_000, 0);
         let e = est.estimate();
         assert_eq!(e.non_implication_count, 0.0);
@@ -286,7 +532,7 @@ mod tests {
         // never close on capacity overflow — DESIGN.md §7.4), so a q = 0
         // stream reads S̄ = 0 even with the bounded fringe, instead of the
         // paper's ≈ 2^-F · F0 floor.
-        let mut est = ImplicationEstimator::new(one_to_one(), 64, 4, 2);
+        let mut est = bounded(one_to_one(), 64, 4, 2);
         run(&mut est, 10_000, 0);
         let e = est.estimate();
         assert_eq!(e.non_implication_count, 0.0);
@@ -296,7 +542,7 @@ mod tests {
 
     #[test]
     fn pure_violation_stream() {
-        let mut est = ImplicationEstimator::new(one_to_one(), 64, 4, 3);
+        let mut est = bounded(one_to_one(), 64, 4, 3);
         run(&mut est, 0, 10_000);
         let e = est.estimate();
         let err = relative_error(10_000.0, e.non_implication_count);
@@ -314,7 +560,7 @@ mod tests {
             (9_000, 1_000, 5),
             (1_000, 9_000, 6),
         ] {
-            let mut est = ImplicationEstimator::new(one_to_one(), 64, 4, seed);
+            let mut est = bounded(one_to_one(), 64, 4, seed);
             run(&mut est, s, q);
             let e = est.estimate();
             let err_s = relative_error(s as f64, e.implication_count);
@@ -330,7 +576,7 @@ mod tests {
         let mut errs = 0.0;
         let reps = 20;
         for seed in 0..reps {
-            let mut est = ImplicationEstimator::new(one_to_one(), 64, 4, 100 + seed);
+            let mut est = bounded(one_to_one(), 64, 4, 100 + seed);
             run(&mut est, 50, 50);
             let e = est.estimate();
             errs += relative_error(50.0, e.implication_count);
@@ -341,8 +587,8 @@ mod tests {
 
     #[test]
     fn bounded_matches_unbounded_for_large_nonimpl() {
-        let mut b = ImplicationEstimator::new(one_to_one(), 64, 4, 7);
-        let mut u = ImplicationEstimator::new_unbounded(one_to_one(), 64, 7);
+        let mut b = bounded(one_to_one(), 64, 4, 7);
+        let mut u = unbounded(one_to_one(), 64, 7);
         run(&mut b, 4_000, 4_000);
         run(&mut u, 4_000, 4_000);
         let (eb, eu) = (b.estimate(), u.estimate());
@@ -357,7 +603,7 @@ mod tests {
         // (the "double the allocated memory" of §4.3.2), independent of the
         // stream length.
         let cond = ImplicationConditions::one_to_c(2, 0.9, 2);
-        let mut est = ImplicationEstimator::new(cond, 64, 4, 8);
+        let mut est = bounded(cond, 64, 4, 8);
         let mut peak = 0usize;
         for a in 0..200_000u64 {
             est.update(&[a], &[a % 7]);
@@ -375,8 +621,8 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let mut a = ImplicationEstimator::new(one_to_one(), 16, 4, 99);
-        let mut b = ImplicationEstimator::new(one_to_one(), 16, 4, 99);
+        let mut a = bounded(one_to_one(), 16, 4, 99);
+        let mut b = bounded(one_to_one(), 16, 4, 99);
         run(&mut a, 500, 500);
         run(&mut b, 500, 500);
         assert_eq!(a.estimate(), b.estimate());
@@ -384,7 +630,7 @@ mod tests {
 
     #[test]
     fn tuple_counter_advances() {
-        let mut est = ImplicationEstimator::new(one_to_one(), 16, 4, 1);
+        let mut est = bounded(one_to_one(), 16, 4, 1);
         run(&mut est, 10, 5);
         assert_eq!(est.tuples_seen(), 30);
     }
@@ -392,16 +638,16 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_rejected() {
-        let _ = ImplicationEstimator::new(one_to_one(), 48, 4, 1);
+        let _ = bounded(one_to_one(), 48, 4, 1);
     }
 
     #[test]
     fn merge_of_partitioned_stream_matches_single_node() {
         // Partition-by-itemset (the natural distributed deployment): the
         // merged sketch must read exactly like one node seeing everything.
-        let mut whole = ImplicationEstimator::new_unbounded(one_to_one(), 64, 5);
-        let mut node1 = ImplicationEstimator::new_unbounded(one_to_one(), 64, 5);
-        let mut node2 = ImplicationEstimator::new_unbounded(one_to_one(), 64, 5);
+        let mut whole = unbounded(one_to_one(), 64, 5);
+        let mut node1 = unbounded(one_to_one(), 64, 5);
+        let mut node2 = unbounded(one_to_one(), 64, 5);
         for a in 0..8_000u64 {
             let b = if a % 2 == 0 { [a] } else { [a % 7] };
             let node = if a < 4_000 { &mut node1 } else { &mut node2 };
@@ -422,8 +668,8 @@ mod tests {
     fn merge_unions_violations_across_nodes() {
         // An itemset clean at each node but with different partners on the
         // two nodes must be dirty after the merge (K = 1).
-        let mut node1 = ImplicationEstimator::new(one_to_one(), 16, 4, 9);
-        let mut node2 = ImplicationEstimator::new(one_to_one(), 16, 4, 9);
+        let mut node1 = bounded(one_to_one(), 16, 4, 9);
+        let mut node2 = bounded(one_to_one(), 16, 4, 9);
         for a in 0..500u64 {
             node1.update(&[a], &[1]);
             node2.update(&[a], &[2]);
@@ -442,19 +688,19 @@ mod tests {
     #[test]
     #[should_panic(expected = "hash seeds")]
     fn merge_rejects_mismatched_seeds() {
-        let mut a = ImplicationEstimator::new(one_to_one(), 16, 4, 1);
-        let b = ImplicationEstimator::new(one_to_one(), 16, 4, 2);
+        let mut a = bounded(one_to_one(), 16, 4, 1);
+        let b = bounded(one_to_one(), 16, 4, 2);
         a.merge(&b);
     }
 
     #[test]
     fn merge_is_idempotent_on_empty() {
-        let mut a = ImplicationEstimator::new(one_to_one(), 16, 4, 3);
+        let mut a = bounded(one_to_one(), 16, 4, 3);
         for x in 0..100u64 {
             a.update(&[x], &[0]);
         }
         let before = a.estimate();
-        let empty = ImplicationEstimator::new(one_to_one(), 16, 4, 3);
+        let empty = bounded(one_to_one(), 16, 4, 3);
         a.merge(&empty);
         assert_eq!(a.estimate(), before);
     }

@@ -89,12 +89,8 @@ mod tests {
     use imp_sketch::estimate::relative_error;
 
     fn counter(seed: u64) -> IncrementalCounter {
-        IncrementalCounter::new(ImplicationEstimator::new(
-            ImplicationConditions::strict_one_to_one(1),
-            64,
-            4,
-            seed,
-        ))
+        let cond = ImplicationConditions::strict_one_to_one(1);
+        IncrementalCounter::new(crate::EstimatorConfig::new(cond).seed(seed).build())
     }
 
     #[test]

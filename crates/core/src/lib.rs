@@ -28,7 +28,7 @@
 //! # Quick start
 //!
 //! ```
-//! use imp_core::{ImplicationConditions, ImplicationEstimator};
+//! use imp_core::{EstimatorConfig, ImplicationConditions};
 //!
 //! // "How many a's appear with at most 2 distinct b's, at least 90% of the
 //! //  time, with at least 3 occurrences?"
@@ -37,7 +37,7 @@
 //!     .min_support(3)
 //!     .top_confidence(2, 0.90)
 //!     .build();
-//! let mut est = ImplicationEstimator::new(cond, 64, 4, 42);
+//! let mut est = EstimatorConfig::new(cond).build();
 //! for i in 0..3000u64 {
 //!     let a = i % 1000; // 1000 itemsets, 3 occurrences each …
 //!     est.update(&[a], &[a % 7]); // … every a sticks to one b: all imply
@@ -45,6 +45,9 @@
 //! let e = est.estimate();
 //! assert!(e.implication_count > 500.0 && e.implication_count < 2000.0);
 //! ```
+//!
+//! For multi-core ingestion behind the same exact semantics, see
+//! [`parallel::ShardedEstimator`].
 
 pub mod bounds;
 pub mod cell;
@@ -52,6 +55,7 @@ pub mod conditions;
 pub mod estimator;
 pub mod incremental;
 pub mod nips;
+pub mod parallel;
 pub mod query;
 pub mod sliding;
 pub mod snapshot;
@@ -61,8 +65,9 @@ pub use bounds::{fringe_size_for_ratio, min_estimable_ratio};
 pub use conditions::{
     Confidence, ImplicationConditions, ImplicationConditionsBuilder, MultiplicityPolicy,
 };
-pub use estimator::{Estimate, ImplicationEstimator};
+pub use estimator::{Estimate, EstimatorConfig, Fringe, ImplicationEstimator};
 pub use nips::NipsBitmap;
+pub use parallel::{PairHasher, ShardedEstimator};
 pub use query::{ImplicationQuery, QueryEngine, QueryKind};
 pub use snapshot::SnapshotError;
 pub use state::{ItemState, Verdict};

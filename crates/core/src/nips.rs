@@ -172,7 +172,11 @@ impl SupportFringe {
             let cell = self.cells[i].as_ref().expect("filtered to open");
             buf.put_u8(i as u8);
             buf.put_u32_le(cell.len() as u32);
-            for (&k, &n) in cell {
+            // Canonical order: identical logical state must serialize to
+            // identical bytes regardless of hash-map iteration order.
+            let mut entries: Vec<(u64, u64)> = cell.iter().map(|(&k, &n)| (k, n)).collect();
+            entries.sort_unstable_by_key(|&(k, _)| k);
+            for (k, n) in entries {
                 buf.put_u64_le(k);
                 buf.put_u64_le(n);
             }
@@ -224,6 +228,14 @@ impl SupportFringe {
             out.cells[i] = Some(cell);
         }
         Ok(out)
+    }
+
+    /// Whether this fringe has never recorded an arrival.
+    fn is_pristine(&self) -> bool {
+        self.certified == 0
+            && self.top.is_none()
+            && self.items == 0
+            && self.cells.iter().all(Option::is_none)
     }
 
     /// Merges another node's support fringe (counts add; certification is
@@ -320,6 +332,22 @@ impl NipsBitmap {
             items: 0,
             support: SupportFringe::new(cond.min_support, fringe, headroom),
         }
+    }
+
+    /// A same-configuration bitmap with no accumulated state.
+    pub(crate) fn fresh_like(&self) -> Self {
+        Self::build(self.cond, self.fringe, self.headroom)
+    }
+
+    /// Whether this bitmap has never recorded an arrival. Every update
+    /// path either certifies a support cell, raises `top`, or tracks an
+    /// item, so a pristine bitmap is exactly a never-updated one.
+    fn is_pristine(&self) -> bool {
+        self.ones == 0
+            && self.top.is_none()
+            && self.items == 0
+            && self.cells.iter().all(Option::is_none)
+            && self.support.is_pristine()
     }
 
     /// The conditions this bitmap tracks.
@@ -598,6 +626,17 @@ impl NipsBitmap {
     pub fn merge(&mut self, other: &NipsBitmap) {
         assert_eq!(self.cond, other.cond, "conditions must match");
         assert_eq!(self.fringe, other.fringe, "fringe configuration must match");
+        // Fast paths that are also exactness guarantees: adopting a
+        // bitmap into a pristine one (and ignoring a pristine other) is a
+        // verbatim state transfer, which makes shard reassembly in
+        // `crate::parallel` bit-exact rather than merely order-blind.
+        if other.is_pristine() {
+            return;
+        }
+        if self.is_pristine() {
+            other.clone_into(self);
+            return;
+        }
         self.support.merge(&other.support);
         self.ones |= other.ones;
         self.top = match (self.top, other.top) {

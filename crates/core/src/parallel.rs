@@ -1,0 +1,361 @@
+//! Sharded parallel ingestion with a bit-exact sequential contract.
+//!
+//! A [`ShardedEstimator`] spreads one estimator's ingestion work over `T`
+//! worker threads while guaranteeing that the final state — estimates
+//! *and* snapshot bytes — is identical to single-threaded execution, for
+//! any `T`.
+//!
+//! # Why partitioning the bitmap index space is exact
+//!
+//! Every update touches exactly one of the `m` stochastic-averaging
+//! bitmaps: `update_hashed(h_a, b_fp)` routes to bitmap
+//! `idx = h_a mod m` and modifies no other bitmap. The estimator's state
+//! is therefore a product of `m` independent per-bitmap states, and each
+//! bitmap's final state is a function of the *subsequence* of updates
+//! routed to it, in stream order.
+//!
+//! Sharding by bitmap index (`shard = idx % T`) sends every update for a
+//! given bitmap to the same worker, over a FIFO channel, in the order the
+//! coordinator observed the stream. Each worker therefore replays, for
+//! each bitmap it owns, exactly the subsequence a sequential run would
+//! have applied — same updates, same order. Contrast with splitting the
+//! *raw stream* across workers, which interleaves updates to one bitmap
+//! across threads and loses that order.
+//!
+//! Reassembly is merge-based: shards are merged into a fresh estimator.
+//! Because each bitmap carries non-trivial state on exactly one shard,
+//! every [`NipsBitmap::merge`](crate::NipsBitmap::merge) either ignores a
+//! pristine source or adopts a bitmap into a pristine target — both are
+//! verbatim state transfers, so the merge's usual order-blindness caveat
+//! never applies. See DESIGN.md ("Sharded parallel ingestion") for the
+//! full argument.
+//!
+//! # Example
+//!
+//! ```
+//! use imp_core::{EstimatorConfig, ImplicationConditions, ShardedEstimator};
+//!
+//! let cond = ImplicationConditions::strict_one_to_one(1);
+//! let mut sharded =
+//!     ShardedEstimator::new(EstimatorConfig::new(cond).seed(7).build(), 4);
+//! for a in 0..10_000u64 {
+//!     sharded.update(&[a], &[a % 97]);
+//! }
+//! let est = sharded.finish();
+//!
+//! let mut seq = EstimatorConfig::new(cond).seed(7).build();
+//! for a in 0..10_000u64 {
+//!     seq.update(&[a], &[a % 97]);
+//! }
+//! assert_eq!(est.estimate(), seq.estimate());
+//! assert_eq!(est.to_bytes(), seq.to_bytes());
+//! ```
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::thread::JoinHandle;
+
+use imp_sketch::hash::{Hasher64, MixHasher};
+use imp_sketch::rank::split_rank;
+
+use crate::estimator::ImplicationEstimator;
+
+/// Pre-hashed pairs buffered per shard before a batch is shipped.
+const BATCH: usize = 1024;
+
+/// Bound, in batches, of each worker's input channel (back-pressure).
+const CHANNEL_DEPTH: usize = 8;
+
+/// A cheap, copyable pre-hasher matching an estimator's internal hash
+/// functions, for pipelines that parse and hash on different threads than
+/// the one feeding the [`ShardedEstimator`].
+#[derive(Debug, Clone, Copy)]
+pub struct PairHasher {
+    hasher_a: MixHasher,
+    hasher_b: MixHasher,
+}
+
+impl PairHasher {
+    /// Hashes an `(a, b)` pair exactly as
+    /// [`ImplicationEstimator::update`] would, producing arguments for
+    /// [`ShardedEstimator::update_hashed`].
+    #[inline]
+    pub fn hash_pair(&self, a: &[u64], b: &[u64]) -> (u64, u64) {
+        (self.hasher_a.hash_slice(a), self.hasher_b.hash_slice(b))
+    }
+}
+
+/// A `T`-way sharded ingestion front-end for an [`ImplicationEstimator`].
+///
+/// Construction consumes a base estimator (fresh or restored from a
+/// snapshot) and splits its state across `T` worker shards by bitmap
+/// index; updates are routed to the owning shard over bounded channels;
+/// [`ShardedEstimator::finish`] joins the workers and reassembles a
+/// single estimator whose state is bit-for-bit identical to feeding the
+/// same updates sequentially into the base (see the module docs for the
+/// argument).
+#[derive(Debug)]
+pub struct ShardedEstimator {
+    template: ImplicationEstimator,
+    hasher_a: MixHasher,
+    hasher_b: MixHasher,
+    log2_m: u32,
+    senders: Vec<SyncSender<Vec<(u64, u64)>>>,
+    workers: Vec<JoinHandle<ImplicationEstimator>>,
+    pending: Vec<Vec<(u64, u64)>>,
+}
+
+impl ShardedEstimator {
+    /// Splits `base` into `threads >= 1` worker shards and starts their
+    /// ingestion threads. `base` may carry state restored from a snapshot;
+    /// resuming sharded is exactly as exact as resuming sequentially.
+    ///
+    /// # Panics
+    /// If `threads == 0`.
+    pub fn new(base: ImplicationEstimator, threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one ingestion shard");
+        let (hasher_a, hasher_b) = base.hashers();
+        let log2_m = base.log2_m();
+        let template = base.fresh_like();
+        let shards = base.split_shards(threads);
+        let mut senders = Vec::with_capacity(threads);
+        let mut workers = Vec::with_capacity(threads);
+        for mut shard in shards {
+            let (tx, rx): (_, Receiver<Vec<(u64, u64)>>) = sync_channel(CHANNEL_DEPTH);
+            senders.push(tx);
+            workers.push(std::thread::spawn(move || {
+                while let Ok(batch) = rx.recv() {
+                    shard.update_hashed_batch(&batch);
+                }
+                shard
+            }));
+        }
+        Self {
+            template,
+            hasher_a,
+            hasher_b,
+            log2_m,
+            senders,
+            workers,
+            pending: vec![Vec::with_capacity(BATCH); threads],
+        }
+    }
+
+    /// Number of worker shards.
+    pub fn threads(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// A copyable hasher matching this pipeline's internal hash functions.
+    pub fn pair_hasher(&self) -> PairHasher {
+        PairHasher {
+            hasher_a: self.hasher_a,
+            hasher_b: self.hasher_b,
+        }
+    }
+
+    /// Routes one `(a, b)` pair (value-slice form, as in
+    /// [`ImplicationEstimator::update`]).
+    pub fn update(&mut self, a: &[u64], b: &[u64]) {
+        self.update_hashed(self.hasher_a.hash_slice(a), self.hasher_b.hash_slice(b));
+    }
+
+    /// Routes a batch of single-attribute `(a, b)` pairs, in order —
+    /// the counterpart of [`ImplicationEstimator::update_batch`].
+    pub fn update_batch(&mut self, pairs: &[(u64, u64)]) {
+        for &(a, b) in pairs {
+            self.update_hashed(self.hasher_a.hash_u64(a), self.hasher_b.hash_u64(b));
+        }
+    }
+
+    /// Routes one pre-hashed pair (see
+    /// [`ImplicationEstimator::update_hashed`] for the hashing contract;
+    /// [`PairHasher`] produces conforming pairs).
+    #[inline]
+    pub fn update_hashed(&mut self, h_a: u64, b_fp: u64) {
+        let (idx, _) = split_rank(h_a, self.log2_m);
+        let shard = idx % self.senders.len();
+        let buf = &mut self.pending[shard];
+        buf.push((h_a, b_fp));
+        if buf.len() >= BATCH {
+            let batch = std::mem::replace(buf, Vec::with_capacity(BATCH));
+            self.senders[shard]
+                .send(batch)
+                .expect("ingestion worker exited early");
+        }
+    }
+
+    /// Routes a batch of pre-hashed pairs, in order.
+    pub fn update_hashed_batch(&mut self, pairs: &[(u64, u64)]) {
+        for &(h_a, b_fp) in pairs {
+            self.update_hashed(h_a, b_fp);
+        }
+    }
+
+    /// Ships all partially-filled per-shard buffers to their workers.
+    /// Called automatically by [`ShardedEstimator::finish`]; useful on its
+    /// own only to bound buffering latency.
+    pub fn flush(&mut self) {
+        for (shard, buf) in self.pending.iter_mut().enumerate() {
+            if !buf.is_empty() {
+                let batch = std::mem::take(buf);
+                self.senders[shard]
+                    .send(batch)
+                    .expect("ingestion worker exited early");
+            }
+        }
+    }
+
+    /// Flushes, joins the workers, and reassembles the single merged
+    /// estimator — bit-for-bit the state a sequential run over the same
+    /// updates would have produced.
+    ///
+    /// # Panics
+    /// If a worker thread panicked.
+    pub fn finish(mut self) -> ImplicationEstimator {
+        self.flush();
+        let Self {
+            template,
+            senders,
+            workers,
+            ..
+        } = self;
+        // Closing the channels lets the workers drain and return.
+        drop(senders);
+        let mut out = template;
+        for worker in workers {
+            let shard = worker.join().expect("ingestion worker panicked");
+            out.merge(&shard);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conditions::ImplicationConditions;
+    use crate::estimator::{EstimatorConfig, Fringe};
+
+    fn cond() -> ImplicationConditions {
+        ImplicationConditions::one_to_c(2, 0.9, 2)
+    }
+
+    fn config() -> EstimatorConfig {
+        EstimatorConfig::new(cond()).bitmaps(64).seed(11)
+    }
+
+    /// A mixed workload: skewed repeats, violations, and one-shot tail.
+    fn pairs(n: u64) -> impl Iterator<Item = (u64, u64)> {
+        (0..n).map(|i| {
+            let a = if i % 3 == 0 { i % 50 } else { i };
+            let b = if i % 7 == 0 { i % 5 } else { a % 11 };
+            (a, b)
+        })
+    }
+
+    fn sequential(n: u64) -> ImplicationEstimator {
+        let mut est = config().build();
+        for (a, b) in pairs(n) {
+            est.update(&[a], &[b]);
+        }
+        est
+    }
+
+    #[test]
+    fn matches_sequential_for_any_thread_count() {
+        let seq = sequential(50_000);
+        for threads in [1, 2, 3, 4, 8] {
+            let mut sharded = ShardedEstimator::new(config().build(), threads);
+            for (a, b) in pairs(50_000) {
+                sharded.update(&[a], &[b]);
+            }
+            let est = sharded.finish();
+            assert_eq!(est.estimate(), seq.estimate(), "T = {threads}");
+            assert_eq!(est.tuples_seen(), seq.tuples_seen(), "T = {threads}");
+            assert_eq!(est.to_bytes(), seq.to_bytes(), "T = {threads}");
+        }
+    }
+
+    #[test]
+    fn unbounded_fringe_matches_too() {
+        let cfg = EstimatorConfig::new(cond())
+            .bitmaps(32)
+            .fringe(Fringe::Unbounded)
+            .seed(3);
+        let mut seq = cfg.build();
+        let mut sharded = ShardedEstimator::new(cfg.build(), 4);
+        for (a, b) in pairs(20_000) {
+            seq.update(&[a], &[b]);
+            sharded.update(&[a], &[b]);
+        }
+        let est = sharded.finish();
+        assert_eq!(est.to_bytes(), seq.to_bytes());
+    }
+
+    #[test]
+    fn resume_from_snapshot_is_exact() {
+        // Sequential prefix → snapshot → sharded suffix must equal the
+        // fully sequential run, byte for byte.
+        let seq = sequential(30_000);
+        let mut prefix = config().build();
+        for (a, b) in pairs(30_000).take(17_000) {
+            prefix.update(&[a], &[b]);
+        }
+        let restored = ImplicationEstimator::from_bytes(prefix.to_bytes()).expect("roundtrip");
+        let mut sharded = ShardedEstimator::new(restored, 4);
+        for (a, b) in pairs(30_000).skip(17_000) {
+            sharded.update(&[a], &[b]);
+        }
+        let est = sharded.finish();
+        assert_eq!(est.to_bytes(), seq.to_bytes());
+    }
+
+    #[test]
+    fn batch_and_hashed_entry_points_agree() {
+        let batch: Vec<(u64, u64)> = pairs(9_000).collect();
+        let mut seq = config().build();
+        seq.update_batch(&batch);
+
+        let mut sharded = ShardedEstimator::new(config().build(), 3);
+        sharded.update_batch(&batch[..4_000]);
+        let hasher = sharded.pair_hasher();
+        let hashed: Vec<(u64, u64)> = batch[4_000..]
+            .iter()
+            .map(|&(a, b)| hasher.hash_pair(&[a], &[b]))
+            .collect();
+        sharded.update_hashed_batch(&hashed);
+        assert_eq!(sharded.finish().to_bytes(), seq.to_bytes());
+    }
+
+    #[test]
+    fn more_threads_than_bitmaps_is_fine() {
+        let cfg = EstimatorConfig::new(cond()).bitmaps(4).seed(5);
+        let mut seq = cfg.build();
+        let mut sharded = ShardedEstimator::new(cfg.build(), 9);
+        for (a, b) in pairs(5_000) {
+            seq.update(&[a], &[b]);
+            sharded.update(&[a], &[b]);
+        }
+        assert_eq!(sharded.finish().to_bytes(), seq.to_bytes());
+    }
+
+    #[test]
+    fn flush_mid_stream_changes_nothing() {
+        let mut seq = config().build();
+        let mut sharded = ShardedEstimator::new(config().build(), 2);
+        for (i, (a, b)) in pairs(10_000).enumerate() {
+            seq.update(&[a], &[b]);
+            sharded.update(&[a], &[b]);
+            if i % 1_111 == 0 {
+                sharded.flush();
+            }
+        }
+        assert_eq!(sharded.finish().to_bytes(), seq.to_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one ingestion shard")]
+    fn zero_threads_rejected() {
+        let _ = ShardedEstimator::new(config().build(), 0);
+    }
+}

@@ -21,7 +21,7 @@ use imp_stream::schema::{AttrId, AttrSet, Schema};
 use imp_stream::tuple::Tuple;
 
 use crate::conditions::{Confidence, ImplicationConditions};
-use crate::estimator::{Estimate, ImplicationEstimator};
+use crate::estimator::{Estimate, EstimatorConfig, ImplicationEstimator};
 
 /// Which aggregate the query reports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -200,18 +200,13 @@ pub struct QueryEngine {
 }
 
 impl QueryEngine {
-    /// Binds `query` to `schema` with an `m`-bitmap, `fringe_size`-cell
-    /// estimator.
-    pub fn new(
-        schema: &Schema,
-        query: ImplicationQuery,
-        m: usize,
-        fringe_size: u32,
-        seed: u64,
-    ) -> Self {
+    /// Binds `query` to `schema`. `tuning` supplies the estimator knobs
+    /// (bitmaps, fringe, seed); its conditions are replaced by the
+    /// query's own.
+    pub fn new(schema: &Schema, query: ImplicationQuery, tuning: EstimatorConfig) -> Self {
         let proj_lhs = Projector::new(schema, query.lhs);
         let proj_rhs = Projector::new(schema, query.rhs);
-        let est = ImplicationEstimator::new(query.conditions, m, fringe_size, seed);
+        let est = tuning.conditions(query.conditions).build();
         Self {
             query,
             proj_lhs,
@@ -272,7 +267,8 @@ mod tests {
 
     fn run_engine(q: ImplicationQuery, tuples: &[Tuple]) -> QueryEngine {
         let s = schema();
-        let mut eng = QueryEngine::new(&s, q, 64, 4, 11);
+        let tuning = EstimatorConfig::new(q.conditions).seed(11);
+        let mut eng = QueryEngine::new(&s, q, tuning);
         for t in tuples {
             eng.process(t);
         }

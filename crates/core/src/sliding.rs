@@ -10,8 +10,7 @@
 
 use imp_stream::window::{SlideSchedule, SlidingSlots, StreamPos};
 
-use crate::conditions::ImplicationConditions;
-use crate::estimator::{Estimate, ImplicationEstimator};
+use crate::estimator::{Estimate, EstimatorConfig, ImplicationEstimator};
 
 /// A closed window's result.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -26,31 +25,18 @@ pub struct WindowResult {
 /// `width` tuples, advancing every `step` tuples.
 #[derive(Debug, Clone)]
 pub struct SlidingEstimator {
-    cond: ImplicationConditions,
-    m: usize,
-    fringe: u32,
-    seed: u64,
+    config: EstimatorConfig,
     slots: SlidingSlots<ImplicationEstimator>,
     spawned: u64,
 }
 
 impl SlidingEstimator {
     /// Creates a sliding estimator. `width` must be a positive multiple of
-    /// `step`; `m`, `fringe_size` and `seed` configure each per-origin
-    /// estimator exactly as in [`ImplicationEstimator::new`].
-    pub fn new(
-        cond: ImplicationConditions,
-        width: u64,
-        step: u64,
-        m: usize,
-        fringe_size: u32,
-        seed: u64,
-    ) -> Self {
+    /// `step`; `config` describes each per-origin estimator (per-origin
+    /// seeds are derived from the configured seed).
+    pub fn new(config: EstimatorConfig, width: u64, step: u64) -> Self {
         Self {
-            cond,
-            m,
-            fringe: fringe_size,
-            seed,
+            config,
             slots: SlidingSlots::new(SlideSchedule::new(width, step)),
             spawned: 0,
         }
@@ -59,16 +45,16 @@ impl SlidingEstimator {
     /// Feeds one `(a, b)` pair to every open origin; returns the result of
     /// a window that just closed, if any.
     pub fn update(&mut self, a: &[u64], b: &[u64]) -> Option<WindowResult> {
-        let cond = self.cond;
-        let (m, fringe) = (self.m, self.fringe);
         let seed = self
-            .seed
+            .config
+            .hash_seed()
             .wrapping_add(self.spawned.wrapping_mul(0x9e37_79b9));
+        let config = self.config.seed(seed);
         let mut opened = false;
         let retired = self.slots.step(
             || {
                 opened = true;
-                ImplicationEstimator::new(cond, m, fringe, seed)
+                config.build()
             },
             |est| est.update(a, b),
         );
@@ -171,7 +157,13 @@ mod tests {
             .min_support(1)
             .top_confidence(1, 0.0)
             .build();
-        let mut s = SlidingEstimator::new(cond, 2_000, 1_000, 64, 8, 3);
+        let mut s = SlidingEstimator::new(
+            EstimatorConfig::new(cond)
+                .fringe(crate::Fringe::Bounded(8))
+                .seed(3),
+            2_000,
+            1_000,
+        );
         let mut ma = MovingAverage::new(4);
         for i in 0..20_000u64 {
             // 40 heavy destinations each drawing from far more than 10
@@ -193,14 +185,8 @@ mod tests {
     }
 
     fn sliding(width: u64, step: u64) -> SlidingEstimator {
-        SlidingEstimator::new(
-            ImplicationConditions::strict_one_to_one(1),
-            width,
-            step,
-            64,
-            4,
-            7,
-        )
+        let cond = crate::ImplicationConditions::strict_one_to_one(1);
+        SlidingEstimator::new(EstimatorConfig::new(cond).seed(7), width, step)
     }
 
     #[test]

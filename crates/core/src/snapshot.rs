@@ -110,7 +110,10 @@ mod tests {
 
     fn populated(seed: u64) -> ImplicationEstimator {
         let cond = ImplicationConditions::one_to_c(2, 0.8, 3);
-        let mut est = ImplicationEstimator::new(cond, 16, 4, seed);
+        let mut est = crate::EstimatorConfig::new(cond)
+            .bitmaps(16)
+            .seed(seed)
+            .build();
         for a in 0..5_000u64 {
             est.update(&[a % 1_500], &[a % 11]);
         }
@@ -147,9 +150,13 @@ mod tests {
         // The full distributed flow: two nodes snapshot, a collector
         // restores and merges; compare against a single node.
         let cond = ImplicationConditions::strict_one_to_one(1);
-        let mut whole = ImplicationEstimator::new_unbounded(cond, 32, 7);
-        let mut n1 = ImplicationEstimator::new_unbounded(cond, 32, 7);
-        let mut n2 = ImplicationEstimator::new_unbounded(cond, 32, 7);
+        let cfg = crate::EstimatorConfig::new(cond)
+            .bitmaps(32)
+            .fringe(crate::Fringe::Unbounded)
+            .seed(7);
+        let mut whole = cfg.build();
+        let mut n1 = cfg.build();
+        let mut n2 = cfg.build();
         for a in 0..4_000u64 {
             let node = if a % 2 == 0 { &mut n1 } else { &mut n2 };
             node.update(&[a], &[a % 5]);

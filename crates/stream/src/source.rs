@@ -26,6 +26,21 @@ pub trait TupleSource {
         }
         n
     }
+
+    /// Reads up to `max` tuples into `out` (cleared first), preserving
+    /// arrival order; returns the number read. Zero means end of stream
+    /// (for `max > 0`). The batched shape feeds pipelines that hand work
+    /// to parsing or ingestion workers a chunk at a time.
+    fn next_batch(&mut self, out: &mut Vec<Tuple>, max: usize) -> usize {
+        out.clear();
+        while out.len() < max {
+            match self.next_tuple() {
+                Some(t) => out.push(t),
+                None => break,
+            }
+        }
+        out.len()
+    }
 }
 
 /// An owning in-memory source.
@@ -100,6 +115,21 @@ mod tests {
         assert_eq!(src.next_tuple(), Some(Tuple::from([2u64, 3])));
         assert_eq!(src.next_tuple(), None);
         assert_eq!(src.next_tuple(), None, "stays exhausted");
+    }
+
+    #[test]
+    fn batch_read_preserves_order_and_signals_end() {
+        let tuples: Vec<Tuple> = (0..7u64).map(|i| Tuple::from([i, i])).collect();
+        let mut src = VecSource::new(schema(), tuples.clone());
+        let mut batch = Vec::new();
+        assert_eq!(src.next_batch(&mut batch, 3), 3);
+        assert_eq!(batch, tuples[..3]);
+        assert_eq!(src.next_batch(&mut batch, 3), 3);
+        assert_eq!(batch, tuples[3..6]);
+        assert_eq!(src.next_batch(&mut batch, 3), 1);
+        assert_eq!(batch, tuples[6..]);
+        assert_eq!(src.next_batch(&mut batch, 3), 0);
+        assert!(batch.is_empty());
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 use implicate::datagen::olap::{schema, OlapSpec, OlapStream};
 use implicate::stream::source::TupleSource;
-use implicate::{ImplicationConditions, ImplicationEstimator, Projector};
+use implicate::{EstimatorConfig, ImplicationConditions, ImplicationEstimator, Projector};
 
 const TUPLES: u64 = 500_000;
 
@@ -40,7 +40,7 @@ fn main() {
             (
                 Projector::new(&sch, sch.attr_set(lhs)),
                 Projector::new(&sch, sch.attr_set(rhs)),
-                ImplicationEstimator::new(cond, 64, 4, 1000 + i as u64),
+                EstimatorConfig::new(cond).seed(1000 + i as u64).build(),
             )
         })
         .collect();

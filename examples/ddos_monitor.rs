@@ -13,7 +13,7 @@
 use implicate::core::sliding::SlidingEstimator;
 use implicate::datagen::network::{Episode, NetworkSpec, NetworkStream};
 use implicate::stream::source::TupleSource;
-use implicate::{ImplicationConditions, Projector};
+use implicate::{EstimatorConfig, Fringe, ImplicationConditions, Projector};
 
 const WINDOW: u64 = 50_000;
 const STEP: u64 = 25_000;
@@ -47,7 +47,10 @@ fn main() {
         .min_support(1)
         .top_confidence(1, 0.0)
         .build();
-    let mut hot_dsts = SlidingEstimator::new(fanout, WINDOW, STEP, 64, 8, 3);
+    let tuning = EstimatorConfig::new(fanout)
+        .fringe(Fringe::Bounded(8))
+        .seed(3);
+    let mut hot_dsts = SlidingEstimator::new(tuning, WINDOW, STEP);
 
     // Distinct sources over the same window (distinct count = F0^sup).
     let distinct = ImplicationConditions::builder()
@@ -55,7 +58,10 @@ fn main() {
         .min_support(1)
         .top_confidence(1, 0.0)
         .build();
-    let mut sources = SlidingEstimator::new(distinct, WINDOW, STEP, 64, 8, 4);
+    let tuning = EstimatorConfig::new(distinct)
+        .fringe(Fringe::Bounded(8))
+        .seed(4);
+    let mut sources = SlidingEstimator::new(tuning, WINDOW, STEP);
 
     println!(
         "{:>9}  {:>14} {:>16}  verdict",

@@ -14,7 +14,8 @@
 use implicate::datagen::network::{Episode, NetworkSpec, NetworkStream};
 use implicate::stream::source::TupleSource;
 use implicate::{
-    ExactCounter, ImplicationConditions, ImplicationCounter, ImplicationEstimator, Projector,
+    EstimatorConfig, ExactCounter, Fringe, ImplicationConditions, ImplicationCounter,
+    ImplicationEstimator, Projector,
 };
 
 const ROUTERS: usize = 4;
@@ -33,7 +34,12 @@ fn main() {
         .min_support(1)
         .top_confidence(1, 0.0)
         .build();
-    let make_sketch = || ImplicationEstimator::new(cond, 64, 8, 0xd15c0);
+    let make_sketch = || {
+        EstimatorConfig::new(cond)
+            .fringe(Fringe::Bounded(8))
+            .seed(0xd15c0)
+            .build()
+    };
 
     // The attack traffic is spread across the fleet: each router sees only
     // a quarter of the spoofed flood — far below its local threshold.

@@ -8,8 +8,8 @@ use implicate::datagen::{NetworkSpec, NetworkStream};
 use implicate::query::Filter;
 use implicate::stream::source::TupleSource;
 use implicate::{
-    ExactCounter, ImplicationCounter, ImplicationQuery, Projector, QueryEngine, QueryKind, Schema,
-    Tuple,
+    EstimatorConfig, ExactCounter, ImplicationCounter, ImplicationQuery, Projector, QueryEngine,
+    QueryKind, Schema, Tuple,
 };
 
 const TUPLES: u64 = 400_000;
@@ -116,7 +116,8 @@ fn run(schema: &Schema, tuples: &[Tuple], label: &str, query: ImplicationQuery) 
         QueryKind::Complement => exact.exact_non_implication_count() as f64,
     };
 
-    let mut engine = QueryEngine::new(schema, query, 64, 4, 99);
+    let tuning = EstimatorConfig::new(query.conditions).seed(99);
+    let mut engine = QueryEngine::new(schema, query, tuning);
     for t in tuples {
         engine.process(t);
     }

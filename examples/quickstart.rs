@@ -9,7 +9,7 @@
 use implicate::stream::dictionary::DictionarySet;
 use implicate::stream::toy;
 use implicate::{
-    ExactCounter, ImplicationConditions, ImplicationCounter, ImplicationEstimator, Projector,
+    EstimatorConfig, ExactCounter, ImplicationConditions, ImplicationCounter, Projector,
 };
 
 fn main() {
@@ -86,7 +86,7 @@ fn main() {
     // -- The same strict query, streamed through NIPS/CI at scale.
     println!("\n— scaling up: 50 000 synthetic sources through NIPS/CI —");
     let cond = ImplicationConditions::strict_one_to_one(1);
-    let mut est = ImplicationEstimator::new(cond, 64, 4, 42);
+    let mut est = EstimatorConfig::new(cond).build();
     let mut exact = ExactCounter::new(cond);
     for s in 0..50_000u64 {
         // 60% of sources are loyal to a single destination.

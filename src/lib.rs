@@ -28,11 +28,11 @@
 //! ## Quick start
 //!
 //! ```
-//! use implicate::{ImplicationConditions, ImplicationEstimator};
+//! use implicate::{EstimatorConfig, ImplicationConditions};
 //!
 //! // How many sources stick to a single destination, allowing no noise?
 //! let cond = ImplicationConditions::strict_one_to_one(1);
-//! let mut est = ImplicationEstimator::new(cond, 64, 4, 42);
+//! let mut est = EstimatorConfig::new(cond).build();
 //!
 //! for src in 0..10_000u64 {
 //!     let dst = if src % 2 == 0 { src } else { src % 97 };
@@ -49,6 +49,8 @@
 //! Higher-level query construction lives in [`query`]; see the
 //! `examples/` directory for runnable scenarios.
 
+pub mod text;
+
 pub use imp_baselines as baselines;
 pub use imp_core as core;
 pub use imp_datagen as datagen;
@@ -61,7 +63,8 @@ pub use imp_baselines::{
 };
 pub use imp_core::query::{self, Filter};
 pub use imp_core::{
-    Confidence, Estimate, ImplicationConditions, ImplicationEstimator, ImplicationQuery,
-    MultiplicityPolicy, NipsBitmap, QueryEngine, QueryKind,
+    Confidence, Estimate, EstimatorConfig, Fringe, ImplicationConditions, ImplicationEstimator,
+    ImplicationQuery, MultiplicityPolicy, NipsBitmap, PairHasher, QueryEngine, QueryKind,
+    ShardedEstimator,
 };
 pub use imp_stream::{AttrSet, ItemKey, Projector, Schema, Tuple};

@@ -11,6 +11,9 @@
 //! # destinations contacted by >100 sources, reported every 100k rows
 //! implicate --lhs 1 --rhs 0 --max-mult 100 --complement --watch 100000
 //!
+//! # spread parsing + ingestion over 4 cores (same results, bit for bit)
+//! implicate --lhs 0 --rhs 1 --threads 4 traffic.csv
+//!
 //! # checkpoint / resume across restarts
 //! implicate --lhs 0 --rhs 1 --save state.imps
 //! implicate --lhs 0 --rhs 1 --resume state.imps --save state.imps
@@ -21,42 +24,233 @@
 
 use std::io::{BufRead, Write};
 use std::process::exit;
+use std::sync::mpsc::sync_channel;
+use std::sync::OnceLock;
 
-use implicate::sketch::hash::{Hasher64, MixHasher};
-use implicate::{ImplicationConditions, ImplicationEstimator, MultiplicityPolicy};
+use implicate::sketch::hash::MixHasher;
+use implicate::{
+    EstimatorConfig, Fringe, ImplicationConditions, ImplicationEstimator, MultiplicityPolicy,
+    ShardedEstimator,
+};
 
-const USAGE: &str = "\
-implicate — streaming implication-count statistics (NIPS/CI, ICDE 2005)
+/// Lines per batch handed from the reader to the parser pool.
+const LINE_BATCH: usize = 2048;
 
-usage: implicate --lhs COLS --rhs COLS [options] [FILE]
+/// Bound, in batches, of the parallel pipeline's channels.
+const PIPE_DEPTH: usize = 4;
 
-  --lhs COLS         comma-separated 0-based columns forming the counted
-                     itemset A (e.g. --lhs 0 or --lhs 0,2)
-  --rhs COLS         columns forming the implied itemset B
-  --max-mult K       maximum multiplicity (default 1)
-  --support N        minimum absolute support σ (default 1)
-  --top-c C          the c of the top-confidence level (default = K)
-  --confidence P     minimum top-c confidence in percent (default 100)
-  --policy P         strict | tracktop (default strict)
-  --complement       report the non-implication count S̄ instead of S
-  --delimiter C      field delimiter (default: any whitespace; e.g. ',')
-  --bitmaps M        stochastic-averaging bitmaps, power of two (default 64)
-  --fringe F         fringe size (default 4); 0 = unbounded
-  --seed N           hash seed (default 42)
-  --watch N          print a progress line every N rows
-  --save FILE        write a snapshot of the estimator state on exit
-  --resume FILE      restore estimator state from a snapshot before reading
-  FILE               input path (default: stdin)";
-
-struct Cli {
-    lhs: Vec<usize>,
-    rhs: Vec<usize>,
-    cond: ImplicationConditions,
+/// Accumulates option values while parsing the command line.
+struct CliDraft {
+    lhs: Option<Vec<usize>>,
+    rhs: Option<Vec<usize>>,
+    max_mult: u32,
+    support: u64,
+    top_c: Option<u32>,
+    confidence: f64,
+    policy: MultiplicityPolicy,
     complement: bool,
     delimiter: Option<char>,
     bitmaps: usize,
     fringe: u32,
     seed: u64,
+    threads: usize,
+    watch: Option<u64>,
+    save: Option<String>,
+    resume: Option<String>,
+    input: Option<String>,
+}
+
+impl Default for CliDraft {
+    fn default() -> Self {
+        Self {
+            lhs: None,
+            rhs: None,
+            max_mult: 1,
+            support: 1,
+            top_c: None,
+            confidence: 100.0,
+            policy: MultiplicityPolicy::Strict,
+            complement: false,
+            delimiter: None,
+            bitmaps: 64,
+            fringe: 4,
+            seed: 42,
+            threads: 1,
+            watch: None,
+            save: None,
+            resume: None,
+            input: None,
+        }
+    }
+}
+
+/// One CLI option: flag name, value placeholder (empty for boolean
+/// flags), help text (extra lines indent under the first), and the
+/// action applying one occurrence to the draft. The table drives both
+/// parsing and the generated usage text.
+struct Opt {
+    name: &'static str,
+    metavar: &'static str,
+    doc: &'static str,
+    set: fn(&mut CliDraft, &str),
+}
+
+const OPTIONS: &[Opt] = &[
+    Opt {
+        name: "--lhs",
+        metavar: "COLS",
+        doc: "comma-separated 0-based columns forming the counted\nitemset A (e.g. --lhs 0 or --lhs 0,2)",
+        set: |d, v| d.lhs = Some(parse_cols(v)),
+    },
+    Opt {
+        name: "--rhs",
+        metavar: "COLS",
+        doc: "columns forming the implied itemset B",
+        set: |d, v| d.rhs = Some(parse_cols(v)),
+    },
+    Opt {
+        name: "--max-mult",
+        metavar: "K",
+        doc: "maximum multiplicity (default 1)",
+        set: |d, v| d.max_mult = parse_num(v, "--max-mult"),
+    },
+    Opt {
+        name: "--support",
+        metavar: "N",
+        doc: "minimum absolute support σ (default 1)",
+        set: |d, v| d.support = parse_num(v, "--support"),
+    },
+    Opt {
+        name: "--top-c",
+        metavar: "C",
+        doc: "the c of the top-confidence level (default = K)",
+        set: |d, v| d.top_c = Some(parse_num(v, "--top-c")),
+    },
+    Opt {
+        name: "--confidence",
+        metavar: "P",
+        doc: "minimum top-c confidence in percent (default 100)",
+        set: |d, v| d.confidence = parse_num(v, "--confidence"),
+    },
+    Opt {
+        name: "--policy",
+        metavar: "P",
+        doc: "strict | tracktop (default strict)",
+        set: |d, v| {
+            d.policy = match v {
+                "strict" => MultiplicityPolicy::Strict,
+                "tracktop" => MultiplicityPolicy::TrackTop,
+                other => die(&format!("unknown policy {other:?}")),
+            }
+        },
+    },
+    Opt {
+        name: "--complement",
+        metavar: "",
+        doc: "report the non-implication count S̄ instead of S",
+        set: |d, _| d.complement = true,
+    },
+    Opt {
+        name: "--delimiter",
+        metavar: "C",
+        doc: "field delimiter (default: any whitespace; e.g. ',')",
+        set: |d, v| {
+            let mut chars = v.chars();
+            d.delimiter = chars.next();
+            if d.delimiter.is_none() || chars.next().is_some() {
+                die("--delimiter must be a single character");
+            }
+        },
+    },
+    Opt {
+        name: "--bitmaps",
+        metavar: "M",
+        doc: "stochastic-averaging bitmaps, power of two (default 64)",
+        set: |d, v| d.bitmaps = parse_num(v, "--bitmaps"),
+    },
+    Opt {
+        name: "--fringe",
+        metavar: "F",
+        doc: "fringe size (default 4); 0 = unbounded",
+        set: |d, v| d.fringe = parse_num(v, "--fringe"),
+    },
+    Opt {
+        name: "--seed",
+        metavar: "N",
+        doc: "hash seed (default 42)",
+        set: |d, v| d.seed = parse_num(v, "--seed"),
+    },
+    Opt {
+        name: "--threads",
+        metavar: "N",
+        doc: "ingestion shards (default 1); N > 1 parses and ingests\nin parallel with results identical to N = 1",
+        set: |d, v| d.threads = parse_num(v, "--threads"),
+    },
+    Opt {
+        name: "--watch",
+        metavar: "N",
+        doc: "print a progress line every N rows",
+        set: |d, v| d.watch = Some(parse_num(v, "--watch")),
+    },
+    Opt {
+        name: "--save",
+        metavar: "FILE",
+        doc: "write a snapshot of the estimator state on exit",
+        set: |d, v| d.save = Some(v.to_owned()),
+    },
+    Opt {
+        name: "--resume",
+        metavar: "FILE",
+        doc: "restore estimator state from a snapshot before reading",
+        set: |d, v| d.resume = Some(v.to_owned()),
+    },
+];
+
+/// The usage text, generated from [`OPTIONS`].
+fn usage() -> &'static str {
+    static USAGE: OnceLock<String> = OnceLock::new();
+    USAGE.get_or_init(|| {
+        let left = |o: &Opt| {
+            if o.metavar.is_empty() {
+                o.name.to_string()
+            } else {
+                format!("{} {}", o.name, o.metavar)
+            }
+        };
+        let width = OPTIONS
+            .iter()
+            .map(|o| left(o).len())
+            .max()
+            .unwrap_or(0)
+            .max("FILE".len());
+        let mut out = String::from(
+            "implicate — streaming implication-count statistics (NIPS/CI, ICDE 2005)\n\n\
+             usage: implicate --lhs COLS --rhs COLS [options] [FILE]\n\n",
+        );
+        for o in OPTIONS {
+            let mut lines = o.doc.lines();
+            let first = lines.next().unwrap_or("");
+            out.push_str(&format!("  {:<width$}  {first}\n", left(o)));
+            for line in lines {
+                out.push_str(&format!("  {:<width$}  {line}\n", ""));
+            }
+        }
+        out.push_str(&format!(
+            "  {:<width$}  input path (default: stdin)",
+            "FILE"
+        ));
+        out
+    })
+}
+
+/// Parsed and validated command line.
+struct Cli {
+    lhs: Vec<usize>,
+    rhs: Vec<usize>,
+    config: EstimatorConfig,
+    complement: bool,
+    delimiter: Option<char>,
+    threads: usize,
     watch: Option<u64>,
     save: Option<String>,
     resume: Option<String>,
@@ -64,7 +258,7 @@ struct Cli {
 }
 
 fn die(msg: &str) -> ! {
-    eprintln!("error: {msg}\n\n{USAGE}");
+    eprintln!("error: {msg}\n\n{}", usage());
     exit(2)
 }
 
@@ -78,193 +272,123 @@ fn parse_cols(raw: &str) -> Vec<usize> {
         .collect()
 }
 
+fn parse_num<T: std::str::FromStr>(raw: &str, key: &str) -> T {
+    raw.parse().unwrap_or_else(|_| die(&format!("bad {key}")))
+}
+
 fn parse_cli() -> Cli {
+    let mut draft = CliDraft::default();
     let mut args = std::env::args().skip(1);
-    let mut lhs = None;
-    let mut rhs = None;
-    let mut max_mult: u32 = 1;
-    let mut support: u64 = 1;
-    let mut top_c: Option<u32> = None;
-    let mut confidence: f64 = 100.0;
-    let mut policy = MultiplicityPolicy::Strict;
-    let mut complement = false;
-    let mut delimiter = None;
-    let mut bitmaps = 64usize;
-    let mut fringe = 4u32;
-    let mut seed = 42u64;
-    let mut watch = None;
-    let mut save = None;
-    let mut resume = None;
-    let mut input = None;
-    let value = |args: &mut dyn Iterator<Item = String>, key: &str| -> String {
-        args.next()
-            .unwrap_or_else(|| die(&format!("{key} needs a value")))
-    };
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--help" | "-h" => {
-                println!("{USAGE}");
+                println!("{}", usage());
                 exit(0);
             }
-            "--lhs" => lhs = Some(parse_cols(&value(&mut args, "--lhs"))),
-            "--rhs" => rhs = Some(parse_cols(&value(&mut args, "--rhs"))),
-            "--max-mult" => {
-                max_mult = value(&mut args, "--max-mult")
-                    .parse()
-                    .unwrap_or_else(|_| die("bad --max-mult"));
-            }
-            "--support" => {
-                support = value(&mut args, "--support")
-                    .parse()
-                    .unwrap_or_else(|_| die("bad --support"));
-            }
-            "--top-c" => {
-                top_c = Some(
-                    value(&mut args, "--top-c")
-                        .parse()
-                        .unwrap_or_else(|_| die("bad --top-c")),
-                );
-            }
-            "--confidence" => {
-                confidence = value(&mut args, "--confidence")
-                    .parse()
-                    .unwrap_or_else(|_| die("bad --confidence"));
-            }
-            "--policy" => {
-                policy = match value(&mut args, "--policy").as_str() {
-                    "strict" => MultiplicityPolicy::Strict,
-                    "tracktop" => MultiplicityPolicy::TrackTop,
-                    other => die(&format!("unknown policy {other:?}")),
+            name if name.starts_with("--") => {
+                let opt = OPTIONS
+                    .iter()
+                    .find(|o| o.name == name)
+                    .unwrap_or_else(|| die(&format!("unknown option {name}")));
+                let value = if opt.metavar.is_empty() {
+                    String::new()
+                } else {
+                    args.next()
+                        .unwrap_or_else(|| die(&format!("{name} needs a value")))
                 };
+                (opt.set)(&mut draft, &value);
             }
-            "--complement" => complement = true,
-            "--delimiter" => {
-                let d = value(&mut args, "--delimiter");
-                let mut chars = d.chars();
-                delimiter = chars.next();
-                if delimiter.is_none() || chars.next().is_some() {
-                    die("--delimiter must be a single character");
-                }
-            }
-            "--bitmaps" => {
-                bitmaps = value(&mut args, "--bitmaps")
-                    .parse()
-                    .unwrap_or_else(|_| die("bad --bitmaps"));
-            }
-            "--fringe" => {
-                fringe = value(&mut args, "--fringe")
-                    .parse()
-                    .unwrap_or_else(|_| die("bad --fringe"));
-            }
-            "--seed" => {
-                seed = value(&mut args, "--seed")
-                    .parse()
-                    .unwrap_or_else(|_| die("bad --seed"));
-            }
-            "--watch" => {
-                watch = Some(
-                    value(&mut args, "--watch")
-                        .parse()
-                        .unwrap_or_else(|_| die("bad --watch")),
-                );
-            }
-            "--save" => save = Some(value(&mut args, "--save")),
-            "--resume" => resume = Some(value(&mut args, "--resume")),
-            other if other.starts_with("--") => die(&format!("unknown option {other}")),
             path => {
-                if input.replace(path.to_owned()).is_some() {
+                if draft.input.replace(path.to_owned()).is_some() {
                     die("more than one input file");
                 }
             }
         }
     }
-    let lhs = lhs.unwrap_or_else(|| die("--lhs is required"));
-    let rhs = rhs.unwrap_or_else(|| die("--rhs is required"));
-    if !(0.0..=100.0).contains(&confidence) {
-        die("--confidence must be in [0, 100]");
-    }
-    if !bitmaps.is_power_of_two() {
-        die("--bitmaps must be a power of two");
-    }
-    let cond = ImplicationConditions::builder()
-        .max_multiplicity(max_mult)
-        .min_support(support)
-        .top_confidence(top_c.unwrap_or(max_mult), confidence / 100.0)
-        .multiplicity_policy(policy)
-        .build();
-    Cli {
-        lhs,
-        rhs,
-        cond,
-        complement,
-        delimiter,
-        bitmaps,
-        fringe,
-        seed,
-        watch,
-        save,
-        resume,
-        input,
+    draft.finish()
+}
+
+impl CliDraft {
+    /// Validates the draft and assembles the estimator configuration.
+    fn finish(self) -> Cli {
+        let lhs = self.lhs.unwrap_or_else(|| die("--lhs is required"));
+        let rhs = self.rhs.unwrap_or_else(|| die("--rhs is required"));
+        if !(0.0..=100.0).contains(&self.confidence) {
+            die("--confidence must be in [0, 100]");
+        }
+        if !self.bitmaps.is_power_of_two() {
+            die("--bitmaps must be a power of two");
+        }
+        if self.threads == 0 {
+            die("--threads must be at least 1");
+        }
+        let cond = ImplicationConditions::builder()
+            .max_multiplicity(self.max_mult)
+            .min_support(self.support)
+            .top_confidence(self.top_c.unwrap_or(self.max_mult), self.confidence / 100.0)
+            .multiplicity_policy(self.policy)
+            .build();
+        let fringe = match self.fringe {
+            0 => Fringe::Unbounded,
+            f => Fringe::Bounded(f),
+        };
+        Cli {
+            lhs,
+            rhs,
+            config: EstimatorConfig::new(cond)
+                .bitmaps(self.bitmaps)
+                .fringe(fringe)
+                .seed(self.seed),
+            complement: self.complement,
+            delimiter: self.delimiter,
+            threads: self.threads,
+            watch: self.watch,
+            save: self.save,
+            resume: self.resume,
+            input: self.input,
+        }
     }
 }
 
-/// Hashes the selected columns of a row into fingerprint words.
+/// Hashes the selected columns of a row into fingerprint words. Field
+/// hashing is allocation-free (`implicate::text::hash_field`), so steady
+/// state touches the heap only when a line out-sizes the reused buffers.
 fn project(fields: &[&str], cols: &[usize], hasher: &MixHasher, out: &mut Vec<u64>) -> bool {
     out.clear();
     for &c in cols {
         match fields.get(c) {
-            Some(f) => out.push(
-                hasher.hash_slice(
-                    &f.as_bytes()
-                        .chunks(8)
-                        .map(|ch| {
-                            let mut w = [0u8; 8];
-                            w[..ch.len()].copy_from_slice(ch);
-                            u64::from_le_bytes(w) ^ ch.len() as u64
-                        })
-                        .collect::<Vec<u64>>(),
-                ),
-            ),
+            Some(f) => out.push(implicate::text::hash_field(hasher, f)),
             None => return false,
         }
     }
     true
 }
 
-fn main() {
-    let cli = parse_cli();
-    let mut est = match &cli.resume {
-        Some(path) => {
-            let raw = std::fs::read(path).unwrap_or_else(|e| die(&format!("{path}: {e}")));
-            ImplicationEstimator::from_bytes(bytes::Bytes::from(raw))
-                .unwrap_or_else(|e| die(&format!("{path}: {e}")))
-        }
-        None => {
-            if cli.fringe == 0 {
-                ImplicationEstimator::new_unbounded(cli.cond, cli.bitmaps, cli.seed)
-            } else {
-                ImplicationEstimator::new(cli.cond, cli.bitmaps, cli.fringe, cli.seed)
-            }
-        }
-    };
-    if cli.resume.is_some() && est.conditions() != &cli.cond {
-        die("snapshot was built with different implication conditions");
+/// Splits a line into trimmed fields.
+fn split_line(line: &str, delimiter: Option<char>) -> Vec<&str> {
+    match delimiter {
+        Some(d) => line.split(d).map(str::trim).collect(),
+        None => line.split_whitespace().collect(),
     }
+}
 
-    let field_hasher = MixHasher::new(0x00f1_e1d5);
-    let stdin;
-    let file;
-    let reader: Box<dyn BufRead> = match &cli.input {
+fn open_input(cli: &Cli) -> Box<dyn BufRead> {
+    match &cli.input {
         Some(path) => {
-            file = std::fs::File::open(path).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+            let file = std::fs::File::open(path).unwrap_or_else(|e| die(&format!("{path}: {e}")));
             Box::new(std::io::BufReader::new(file))
         }
-        None => {
-            stdin = std::io::stdin();
-            Box::new(stdin.lock())
-        }
-    };
+        None => Box::new(std::io::stdin().lock()),
+    }
+}
 
+/// Single-threaded ingestion; returns `(estimator, rows, skipped)`.
+fn run_sequential(
+    cli: &Cli,
+    mut est: ImplicationEstimator,
+    field_hasher: &MixHasher,
+) -> (ImplicationEstimator, u64, u64) {
+    let reader = open_input(cli);
     let (mut buf_a, mut buf_b) = (Vec::new(), Vec::new());
     let mut rows = 0u64;
     let mut skipped = 0u64;
@@ -276,13 +400,10 @@ fn main() {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let fields: Vec<&str> = match cli.delimiter {
-            Some(d) => line.split(d).map(str::trim).collect(),
-            None => line.split_whitespace().collect(),
-        };
-        if !project(&fields, &cli.lhs, &field_hasher, &mut buf_a)
-            || !project(&fields, &cli.rhs, &field_hasher, &mut buf_b)
-        {
+        let fields = split_line(&line, cli.delimiter);
+        let ok = project(&fields, &cli.lhs, field_hasher, &mut buf_a)
+            && project(&fields, &cli.rhs, field_hasher, &mut buf_b);
+        if !ok {
             skipped += 1;
             continue;
         }
@@ -301,6 +422,138 @@ fn main() {
             );
         }
     }
+    (est, rows, skipped)
+}
+
+/// One parser's output for one line batch.
+struct ParsedBatch {
+    pairs: Vec<(u64, u64)>,
+    rows: u64,
+    skipped: u64,
+}
+
+/// Parallel ingestion: the main thread reads line batches and deals them
+/// round-robin to `threads` parser workers; a router thread collects the
+/// parsed batches *in dealing order* — restoring stream order — and
+/// feeds a [`ShardedEstimator`], which preserves per-bitmap update order
+/// (see the `imp_core::parallel` docs). The result is therefore
+/// bit-identical to `--threads 1`. `--watch` reports row counts only in
+/// this mode (a mid-stream estimate would force a pipeline barrier).
+fn run_parallel(
+    cli: &Cli,
+    est: ImplicationEstimator,
+    field_hasher: &MixHasher,
+) -> (ImplicationEstimator, u64, u64) {
+    let threads = cli.threads;
+    let sharded = ShardedEstimator::new(est, threads);
+    let pair_hasher = sharded.pair_hasher();
+    let field_hasher = *field_hasher;
+    let reader = open_input(cli);
+    std::thread::scope(|scope| {
+        let mut line_txs = Vec::with_capacity(threads);
+        let mut parsed_rxs = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let (line_tx, line_rx) = sync_channel::<Vec<String>>(PIPE_DEPTH);
+            let (parsed_tx, parsed_rx) = sync_channel::<ParsedBatch>(PIPE_DEPTH);
+            line_txs.push(line_tx);
+            parsed_rxs.push(parsed_rx);
+            let (lhs, rhs, delimiter) = (&cli.lhs, &cli.rhs, cli.delimiter);
+            scope.spawn(move || {
+                let (mut buf_a, mut buf_b) = (Vec::new(), Vec::new());
+                while let Ok(lines) = line_rx.recv() {
+                    let mut out = ParsedBatch {
+                        pairs: Vec::with_capacity(lines.len()),
+                        rows: 0,
+                        skipped: 0,
+                    };
+                    for line in &lines {
+                        if line.is_empty() || line.starts_with('#') {
+                            continue;
+                        }
+                        let fields = split_line(line, delimiter);
+                        let ok = project(&fields, lhs, &field_hasher, &mut buf_a)
+                            && project(&fields, rhs, &field_hasher, &mut buf_b);
+                        if !ok {
+                            out.skipped += 1;
+                            continue;
+                        }
+                        out.pairs.push(pair_hasher.hash_pair(&buf_a, &buf_b));
+                        out.rows += 1;
+                    }
+                    if parsed_tx.send(out).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        let watch = cli.watch;
+        let router = scope.spawn(move || {
+            let mut sharded = sharded;
+            let (mut rows, mut skipped) = (0u64, 0u64);
+            'drain: loop {
+                // Same cyclic order the reader deals batches in, so
+                // pairs reach the shards in stream order.
+                for parsed_rx in &parsed_rxs {
+                    let Ok(batch) = parsed_rx.recv() else {
+                        break 'drain;
+                    };
+                    let before = rows;
+                    sharded.update_hashed_batch(&batch.pairs);
+                    rows += batch.rows;
+                    skipped += batch.skipped;
+                    if let Some(w) = watch {
+                        if rows / w > before / w {
+                            eprintln!("{rows} rows ingested");
+                        }
+                    }
+                }
+            }
+            (sharded.finish(), rows, skipped)
+        });
+        let mut batch = Vec::with_capacity(LINE_BATCH);
+        let mut dealt = 0usize;
+        for line in reader.lines() {
+            let line = match line {
+                Ok(l) => l,
+                Err(e) => die(&format!("read error: {e}")),
+            };
+            batch.push(line);
+            if batch.len() >= LINE_BATCH {
+                let full = std::mem::replace(&mut batch, Vec::with_capacity(LINE_BATCH));
+                if line_txs[dealt % threads].send(full).is_err() {
+                    break;
+                }
+                dealt += 1;
+            }
+        }
+        if !batch.is_empty() {
+            let _ = line_txs[dealt % threads].send(batch);
+        }
+        drop(line_txs);
+        router.join().expect("router thread panicked")
+    })
+}
+
+fn main() {
+    let cli = parse_cli();
+    let est = match &cli.resume {
+        Some(path) => {
+            let raw = std::fs::read(path).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+            ImplicationEstimator::from_bytes(bytes::Bytes::from(raw))
+                .unwrap_or_else(|e| die(&format!("{path}: {e}")))
+        }
+        None => cli.config.build(),
+    };
+    if cli.resume.is_some() && est.conditions() != cli.config.conditions_ref() {
+        die("snapshot was built with different implication conditions");
+    }
+
+    let field_hasher = MixHasher::new(0x00f1_e1d5);
+    let (est, rows, skipped) = if cli.threads > 1 {
+        run_parallel(&cli, est, &field_hasher)
+    } else {
+        run_sequential(&cli, est, &field_hasher)
+    };
 
     let e = est.estimate();
     let answer = if cli.complement {

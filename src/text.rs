@@ -1,0 +1,92 @@
+//! Hashing of delimited text fields into itemset fingerprint words.
+//!
+//! The CLI treats fields as opaque byte strings. Each field is packed
+//! into 8-byte little-endian words (the trailing chunk zero-padded and
+//! length-tagged so `"a"` and `"a\0"` differ) and folded through the
+//! estimator's [`Hasher64`] slice-chaining scheme — without materializing
+//! the word slice, so hashing a field performs no heap allocation
+//! regardless of field length.
+
+use imp_sketch::hash::Hasher64;
+
+/// The empty-slice sentinel of [`Hasher64::hash_slice`].
+const EMPTY_SENTINEL: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Packs one ≤ 8-byte chunk into a length-tagged little-endian word.
+#[inline]
+fn pack_chunk(chunk: &[u8]) -> u64 {
+    let mut w = [0u8; 8];
+    w[..chunk.len()].copy_from_slice(chunk);
+    u64::from_le_bytes(w) ^ chunk.len() as u64
+}
+
+/// Hashes a text field to a single fingerprint word, allocation-free.
+///
+/// Produces exactly `hasher.hash_slice(&words)` where `words` is the
+/// field's packed chunk sequence — so fingerprints are interchangeable
+/// with those of callers that materialize the words.
+pub fn hash_field<H: Hasher64 + ?Sized>(hasher: &H, field: &str) -> u64 {
+    let bytes = field.as_bytes();
+    let mut chunks = bytes.chunks(8).map(pack_chunk);
+    match bytes.len().div_ceil(8) {
+        0 => hasher.hash_u64(EMPTY_SENTINEL),
+        1 => hasher.hash_u64(chunks.next().expect("one chunk")),
+        n => {
+            // Mirrors Hasher64::hash_slice's length-dependent chaining.
+            let mut acc = hasher.hash_u64(n as u64);
+            for word in chunks {
+                acc = hasher.hash_u64(acc ^ word);
+            }
+            acc
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imp_sketch::hash::MixHasher;
+
+    /// The materializing reference implementation.
+    fn hash_field_alloc(hasher: &MixHasher, field: &str) -> u64 {
+        hasher.hash_slice(
+            &field
+                .as_bytes()
+                .chunks(8)
+                .map(pack_chunk)
+                .collect::<Vec<u64>>(),
+        )
+    }
+
+    #[test]
+    fn matches_materializing_reference() {
+        let hasher = MixHasher::new(0x00f1_e1d5);
+        let cases = [
+            "",
+            "a",
+            "12345678",
+            "123456789",
+            "10.0.0.1",
+            "https://example.com/some/long/path?q=1",
+            "field with spaces and unicode: héllo wörld ✓",
+        ];
+        for field in cases {
+            assert_eq!(
+                hash_field(&hasher, field),
+                hash_field_alloc(&hasher, field),
+                "field {field:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_fields_do_not_collide() {
+        let hasher = MixHasher::new(1);
+        assert_ne!(hash_field(&hasher, "a"), hash_field(&hasher, "a\0"));
+        assert_ne!(hash_field(&hasher, ""), hash_field(&hasher, "\0"));
+        assert_ne!(
+            hash_field(&hasher, "12345678"),
+            hash_field(&hasher, "123456780")
+        );
+    }
+}

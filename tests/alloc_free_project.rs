@@ -1,0 +1,101 @@
+//! Proves the CLI's row-projection hot path is allocation-free: hashing
+//! a text field (`implicate::text::hash_field`, the routine `implicate`'s
+//! `project()` uses per column) must never touch the heap, and a whole
+//! projected row must not allocate once its reusable buffer is warm.
+//!
+//! Isolated in its own integration-test binary because the counting
+//! `#[global_allocator]` is process-wide.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use implicate::sketch::hash::MixHasher;
+use implicate::text::hash_field;
+
+struct CountingAlloc;
+
+thread_local! {
+    /// Per-thread allocation count, so concurrent test threads and the
+    /// harness itself cannot pollute a measurement.
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn allocs_on_this_thread() -> u64 {
+    THREAD_ALLOCS.with(Cell::get)
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+/// The CLI's projection, shape-for-shape: hash each selected field into
+/// a reused output buffer.
+fn project(fields: &[&str], cols: &[usize], hasher: &MixHasher, out: &mut Vec<u64>) -> bool {
+    out.clear();
+    for &c in cols {
+        match fields.get(c) {
+            Some(f) => out.push(hash_field(hasher, f)),
+            None => return false,
+        }
+    }
+    true
+}
+
+#[test]
+fn projecting_a_row_performs_zero_allocations() {
+    let hasher = MixHasher::new(0x00f1_e1d5);
+    let fields = [
+        "10.20.30.40",
+        "https://example.com/a/rather/long/path?session=8f2e",
+        "443",
+        "",
+        "x",
+    ];
+    let cols = [0usize, 1, 2, 3, 4];
+    let mut out = Vec::with_capacity(cols.len());
+
+    // Warm the buffer, then demand a perfectly quiet heap.
+    assert!(project(&fields, &cols, &hasher, &mut out));
+    let before = allocs_on_this_thread();
+    let mut acc = 0u64;
+    for _ in 0..10_000 {
+        assert!(project(&fields, &cols, &hasher, &mut out));
+        acc ^= out.iter().fold(0, |x, w| x ^ w);
+    }
+    let after = allocs_on_this_thread();
+    assert_eq!(
+        after - before,
+        0,
+        "projection allocated on the hot path (fingerprint {acc:#x})"
+    );
+}
+
+#[test]
+fn hash_field_alone_is_allocation_free_for_any_length() {
+    let hasher = MixHasher::new(7);
+    let long = "f".repeat(4096);
+    let before = allocs_on_this_thread();
+    let mut acc = 0u64;
+    for field in ["", "short", "exactly-8", &long] {
+        for _ in 0..1_000 {
+            acc = acc.wrapping_add(hash_field(&hasher, field));
+        }
+    }
+    let after = allocs_on_this_thread();
+    assert_eq!(after - before, 0, "hash_field allocated (acc {acc})");
+}

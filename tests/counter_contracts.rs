@@ -5,14 +5,17 @@
 use proptest::prelude::*;
 
 use implicate::{
-    DistinctSampling, ExactCounter, Ilc, ImplicationConditions, ImplicationCounter,
-    ImplicationEstimator, ImplicationStickySampling, NaiveImplicationBitmap,
+    DistinctSampling, EstimatorConfig, ExactCounter, Ilc, ImplicationConditions,
+    ImplicationCounter, ImplicationStickySampling, NaiveImplicationBitmap,
 };
 
 fn all_counters(cond: ImplicationConditions) -> Vec<(&'static str, Box<dyn ImplicationCounter>)> {
     vec![
         ("exact", Box::new(ExactCounter::new(cond))),
-        ("nips", Box::new(ImplicationEstimator::new(cond, 16, 4, 1))),
+        (
+            "nips",
+            Box::new(EstimatorConfig::new(cond).bitmaps(16).seed(1).build()),
+        ),
         ("ds", Box::new(DistinctSampling::new(cond, 256, 2))),
         ("ilc", Box::new(Ilc::new(cond, 0.01))),
         (
@@ -136,7 +139,7 @@ proptest! {
         stream in proptest::collection::vec((0u64..1000, 0u64..8), 0..500),
     ) {
         let cond = ImplicationConditions::strict_one_to_one(1);
-        let mut est = ImplicationEstimator::new(cond, 16, 4, 9);
+        let mut est = EstimatorConfig::new(cond).bitmaps(16).seed(9).build();
         for &(a, b) in &stream {
             est.update(&[a], &[b]);
         }

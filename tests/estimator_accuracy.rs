@@ -4,7 +4,7 @@
 
 use implicate::datagen::{DatasetOne, DatasetOneSpec};
 use implicate::sketch::estimate::relative_error;
-use implicate::{ExactCounter, ImplicationCounter, ImplicationEstimator};
+use implicate::{EstimatorConfig, ExactCounter, Fringe, ImplicationCounter};
 
 /// One Dataset One cell (Figure 4 point) at reduced scale: the estimator
 /// must land within a generous multiple of the paper's ~10% target.
@@ -16,7 +16,7 @@ fn dataset_one_cell_accuracy_c1() {
         let cond = spec.paper_conditions();
         let data = DatasetOne::generate(&spec);
         let mut exact = ExactCounter::new(cond);
-        let mut est = ImplicationEstimator::new(cond, 64, 4, seed);
+        let mut est = EstimatorConfig::new(cond).seed(seed).build();
         for &(a, b) in &data.pairs {
             exact.update(&[a], &[b]);
             est.update(&[a], &[b]);
@@ -38,8 +38,11 @@ fn dataset_one_cell_accuracy_c4() {
     let cond = spec.paper_conditions();
     let data = DatasetOne::generate(&spec);
     let mut exact = ExactCounter::new(cond);
-    let mut bounded = ImplicationEstimator::new(cond, 64, 4, 3);
-    let mut unbounded = ImplicationEstimator::new_unbounded(cond, 64, 3);
+    let mut bounded = EstimatorConfig::new(cond).seed(3).build();
+    let mut unbounded = EstimatorConfig::new(cond)
+        .fringe(Fringe::Unbounded)
+        .seed(3)
+        .build();
     for &(a, b) in &data.pairs {
         exact.update(&[a], &[b]);
         bounded.update(&[a], &[b]);
@@ -64,7 +67,7 @@ fn dataset_one_cell_accuracy_c4() {
 fn error_is_stable_in_stream_length() {
     let cond = implicate::ImplicationConditions::strict_one_to_one(2);
     let mut exact = ExactCounter::new(cond);
-    let mut est = ImplicationEstimator::new(cond, 64, 4, 11);
+    let mut est = EstimatorConfig::new(cond).seed(11).build();
     let mut errs = Vec::new();
     for wave in 0..5u64 {
         for i in 0..20_000u64 {
@@ -90,7 +93,7 @@ fn error_is_stable_in_stream_length() {
 #[test]
 fn estimator_memory_is_stream_independent() {
     let cond = implicate::ImplicationConditions::one_to_c(2, 0.8, 2);
-    let mut est = ImplicationEstimator::new(cond, 64, 4, 5);
+    let mut est = EstimatorConfig::new(cond).seed(5).build();
     let mut peaks = Vec::new();
     for scale in [10_000u64, 100_000, 1_000_000] {
         while est.tuples_seen() < scale {

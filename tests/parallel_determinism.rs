@@ -1,0 +1,104 @@
+//! Determinism contract of the sharded ingestion pipeline: for every
+//! thread count, [`ShardedEstimator`] must be indistinguishable from a
+//! sequential pass — the estimate, the tuple accounting, *and* the
+//! snapshot bytes. This is the property that lets `--threads N` replace
+//! `--threads 1` in any deployment, checkpoints included.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use implicate::datagen::Zipf;
+use implicate::{EstimatorConfig, Fringe, ImplicationConditions, ShardedEstimator};
+
+/// 100k-pair zipf workload: skewed sources over a skewed destination
+/// pool, with enough repeat traffic to exercise multiplicity tracking,
+/// fringe promotion, and support certification together.
+fn zipf_stream(n: usize, seed: u64) -> Vec<([u64; 1], [u64; 1])> {
+    let sources = Zipf::new(20_000, 1.2);
+    let dests = Zipf::new(500, 1.5);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let a = sources.sample(&mut rng);
+            // Mostly loyal: a source's home destination is a function of
+            // the source; one in six updates strays to a hot destination.
+            let b = if rng.gen::<f64>() < 1.0 / 6.0 {
+                dests.sample(&mut rng)
+            } else {
+                a % 977
+            };
+            ([a], [b])
+        })
+        .collect()
+}
+
+fn configs() -> Vec<EstimatorConfig> {
+    let one_to_c = ImplicationConditions::one_to_c(3, 0.8, 2);
+    let strict = ImplicationConditions::strict_one_to_one(1);
+    vec![
+        EstimatorConfig::new(one_to_c).seed(42),
+        EstimatorConfig::new(strict).bitmaps(32).seed(7),
+        EstimatorConfig::new(one_to_c)
+            .bitmaps(16)
+            .fringe(Fringe::Unbounded)
+            .seed(9),
+    ]
+}
+
+#[test]
+fn sharded_ingestion_is_bit_identical_for_every_thread_count() {
+    let stream = zipf_stream(100_000, 0xdead);
+    for config in configs() {
+        let mut seq = config.build();
+        for (a, b) in &stream {
+            seq.update(a, b);
+        }
+        let (seq_estimate, seq_bytes) = (seq.estimate(), seq.to_bytes());
+
+        for threads in [1usize, 2, 4, 8] {
+            let mut sharded = ShardedEstimator::new(config.build(), threads);
+            for (a, b) in &stream {
+                sharded.update(a, b);
+            }
+            let par = sharded.finish();
+            assert_eq!(
+                par.estimate(),
+                seq_estimate,
+                "estimate diverged at {threads} threads ({config:?})"
+            );
+            assert_eq!(
+                par.tuples_seen(),
+                seq.tuples_seen(),
+                "tuple count diverged at {threads} threads"
+            );
+            assert_eq!(
+                par.to_bytes(),
+                seq_bytes,
+                "snapshot bytes diverged at {threads} threads ({config:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_entry_point_is_equally_deterministic() {
+    let stream = zipf_stream(40_000, 0xbeef);
+    let pairs: Vec<(u64, u64)> = stream.iter().map(|&([a], [b])| (a, b)).collect();
+    let config = EstimatorConfig::new(ImplicationConditions::one_to_c(2, 0.9, 2)).seed(3);
+
+    let mut seq = config.build();
+    seq.update_batch(&pairs);
+    let seq_bytes = seq.to_bytes();
+
+    for threads in [2usize, 8] {
+        let mut sharded = ShardedEstimator::new(config.build(), threads);
+        for chunk in pairs.chunks(777) {
+            sharded.update_batch(chunk);
+        }
+        assert_eq!(
+            sharded.finish().to_bytes(),
+            seq_bytes,
+            "update_batch diverged at {threads} threads"
+        );
+    }
+}

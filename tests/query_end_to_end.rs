@@ -8,7 +8,7 @@ use implicate::query::Filter;
 use implicate::sketch::estimate::relative_error;
 use implicate::stream::source::TupleSource;
 use implicate::{
-    ExactCounter, ImplicationConditions, ImplicationCounter, ImplicationEstimator,
+    EstimatorConfig, ExactCounter, Fringe, ImplicationConditions, ImplicationCounter,
     ImplicationQuery, Projector, QueryEngine, Tuple,
 };
 
@@ -36,7 +36,8 @@ fn loyal_source_query_tracks_exact() {
     for t in &tuples {
         exact.update(pl.project(t).as_slice(), pr.project(t).as_slice());
     }
-    let mut engine = QueryEngine::new(&schema, q, 64, 4, 2);
+    let tuning = EstimatorConfig::new(q.conditions).seed(2);
+    let mut engine = QueryEngine::new(&schema, q, tuning);
     for t in &tuples {
         engine.process(t);
     }
@@ -55,7 +56,8 @@ fn conditional_query_only_sees_matching_tuples() {
         1,
     )
     .filtered(Filter::new().and_eq(time, 1));
-    let mut engine = QueryEngine::new(&schema, q, 16, 4, 4);
+    let tuning = EstimatorConfig::new(q.conditions).bitmaps(16).seed(4);
+    let mut engine = QueryEngine::new(&schema, q, tuning);
     for t in &tuples {
         engine.process(t);
     }
@@ -67,7 +69,7 @@ fn conditional_query_only_sees_matching_tuples() {
 #[test]
 fn incremental_counts_new_arrivals_between_marks() {
     let cond = ImplicationConditions::strict_one_to_one(1);
-    let mut inc = IncrementalCounter::new(ImplicationEstimator::new(cond, 64, 4, 5));
+    let mut inc = IncrementalCounter::new(EstimatorConfig::new(cond).seed(5).build());
     for a in 0..30_000u64 {
         inc.update(&[a], &[a]);
     }
@@ -92,7 +94,10 @@ fn sliding_window_detects_episode_and_recovers() {
         .min_support(1)
         .top_confidence(1, 0.0)
         .build();
-    let mut sliding = SlidingEstimator::new(cond, 30_000, 15_000, 64, 8, 6);
+    let tuning = EstimatorConfig::new(cond)
+        .fringe(Fringe::Bounded(8))
+        .seed(6);
+    let mut sliding = SlidingEstimator::new(tuning, 30_000, 15_000);
     let mut results = Vec::new();
     for i in 0..150_000u64 {
         let (dst, src) = if (60_000..90_000).contains(&i) {
@@ -125,7 +130,8 @@ fn sliding_window_detects_episode_and_recovers() {
 fn distinct_count_query_over_generator() {
     let (schema, tuples) = network(80_000, 7);
     let q = ImplicationQuery::distinct_count(schema.attr_set(&["Source"]));
-    let mut engine = QueryEngine::new(&schema, q, 64, 4, 8);
+    let tuning = EstimatorConfig::new(q.conditions).seed(8);
+    let mut engine = QueryEngine::new(&schema, q, tuning);
     let mut seen = std::collections::HashSet::new();
     let src_idx = schema.attr_expect("Source").index();
     for t in &tuples {
@@ -159,7 +165,8 @@ fn more_than_query_counts_scanners() {
     }
     let truth = exact.exact_non_implication_count() as f64;
     assert!(truth >= 200.0, "scanners plus heavy background: {truth}");
-    let mut engine = QueryEngine::new(&schema, q, 64, 4, 10);
+    let tuning = EstimatorConfig::new(q.conditions).seed(10);
+    let mut engine = QueryEngine::new(&schema, q, tuning);
     for t in &tuples {
         engine.process(t);
     }

@@ -3,7 +3,10 @@
 
 use proptest::prelude::*;
 
-use implicate::{ImplicationConditions, ImplicationEstimator, MultiplicityPolicy};
+use implicate::{
+    EstimatorConfig, Fringe, ImplicationConditions, ImplicationEstimator, MultiplicityPolicy,
+    ShardedEstimator,
+};
 
 fn arb_cond() -> impl Strategy<Value = ImplicationConditions> {
     (1u32..4, 1u64..6, 0u32..=100, prop::bool::ANY).prop_map(|(k, sigma, psi, tolerant)| {
@@ -32,7 +35,7 @@ proptest! {
         suffix in proptest::collection::vec((0u64..300, 0u64..6), 0..300),
         seed in 0u64..1000,
     ) {
-        let mut original = ImplicationEstimator::new(cond, 16, 4, seed);
+        let mut original = EstimatorConfig::new(cond).bitmaps(16).seed(seed).build();
         for &(a, b) in &prefix {
             original.update(&[a], &[b]);
         }
@@ -58,9 +61,21 @@ proptest! {
         s2 in proptest::collection::vec((200u64..400, 0u64..5), 0..400),
         seed in 0u64..1000,
     ) {
-        let mut a = ImplicationEstimator::new_unbounded(cond, 16, seed);
-        let mut b = ImplicationEstimator::new_unbounded(cond, 16, seed);
-        let mut whole = ImplicationEstimator::new_unbounded(cond, 16, seed);
+        let mut a = EstimatorConfig::new(cond)
+            .bitmaps(16)
+            .fringe(Fringe::Unbounded)
+            .seed(seed)
+            .build();
+        let mut b = EstimatorConfig::new(cond)
+            .bitmaps(16)
+            .fringe(Fringe::Unbounded)
+            .seed(seed)
+            .build();
+        let mut whole = EstimatorConfig::new(cond)
+            .bitmaps(16)
+            .fringe(Fringe::Unbounded)
+            .seed(seed)
+            .build();
         for &(x, y) in &s1 {
             a.update(&[x], &[y]);
             whole.update(&[x], &[y]);
@@ -83,7 +98,11 @@ proptest! {
         seed in 0u64..1000,
     ) {
         let build = |stream: &[(u64, u64)]| {
-            let mut e = ImplicationEstimator::new_unbounded(cond, 16, seed);
+            let mut e = EstimatorConfig::new(cond)
+            .bitmaps(16)
+            .fringe(Fringe::Unbounded)
+            .seed(seed)
+            .build();
             for &(x, y) in stream {
                 e.update(&[x], &[y]);
             }
@@ -106,7 +125,11 @@ proptest! {
         seed in 0u64..1000,
     ) {
         let build = |stream: &[(u64, u64)]| {
-            let mut e = ImplicationEstimator::new_unbounded(cond, 16, seed);
+            let mut e = EstimatorConfig::new(cond)
+            .bitmaps(16)
+            .fringe(Fringe::Unbounded)
+            .seed(seed)
+            .build();
             for &(x, y) in stream {
                 e.update(&[x], &[y]);
             }
@@ -122,5 +145,38 @@ proptest! {
         merged.merge(&b);
         let sm = merged.estimate().non_implication_count;
         prop_assert!(sm >= sa.max(sb) - 1e-9, "merged {sm} < max({sa}, {sb})");
+    }
+
+    /// Splitting any stream in half, ingesting the halves on separate
+    /// shard groups, and merging the read-offs equals one sequential
+    /// pass — estimate, tuple count, and snapshot bytes.
+    #[test]
+    fn sharded_halves_equal_full_sequential_pass(
+        cond in arb_cond(),
+        stream in proptest::collection::vec((0u64..300, 0u64..6), 0..600),
+        split in 0usize..600,
+        threads in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let config = EstimatorConfig::new(cond).bitmaps(16).seed(seed);
+        let mut seq = config.build();
+        for &(a, b) in &stream {
+            seq.update(&[a], &[b]);
+        }
+        let split = split.min(stream.len());
+        let mut sharded = ShardedEstimator::new(config.build(), threads);
+        for &(a, b) in &stream[..split] {
+            sharded.update(&[a], &[b]);
+        }
+        // Hand the first half's read-off to a fresh shard group for the
+        // second half — the resume shape of a long-running ingest.
+        let mut sharded = ShardedEstimator::new(sharded.finish(), threads);
+        for &(a, b) in &stream[split..] {
+            sharded.update(&[a], &[b]);
+        }
+        let par = sharded.finish();
+        prop_assert_eq!(par.estimate(), seq.estimate());
+        prop_assert_eq!(par.tuples_seen(), seq.tuples_seen());
+        prop_assert_eq!(par.to_bytes(), seq.to_bytes());
     }
 }
