@@ -1,0 +1,114 @@
+//! Observability tax on the §4.6 hot path: the `metrics` feature pins
+//! its per-update overhead here. The `update_hot_path` group is the
+//! contract — run it twice and compare:
+//!
+//! ```text
+//! cargo bench -p imp-bench --bench metrics_overhead
+//! cargo bench -p imp-bench --bench metrics_overhead --no-default-features
+//! ```
+//!
+//! With the feature enabled every [`imp_core::ImplicationEstimator::update`]
+//! records one [`imp_core::UpdateOutcome`] into relaxed atomics; the
+//! budget is ≤ 5% over the disabled build (DESIGN.md §8.2). With the
+//! feature off the metrics types are zero-sized no-ops, so the two runs
+//! must be statistically indistinguishable — that build *is* the
+//! baseline, not an approximation of it.
+
+#![allow(missing_docs)] // criterion_group expands undocumented items
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use imp_core::{EstimatorConfig, ImplicationConditions, ShardedEstimator};
+
+/// Mixed loyal/disloyal pair stream, matching `update_cost.rs` so the
+/// two benches are comparable.
+fn stream(n: u64) -> Vec<([u64; 1], [u64; 1])> {
+    (0..n)
+        .map(|i| {
+            let a = imp_sketch::hash::mix64(i) % (n / 4);
+            let b = if a.is_multiple_of(3) { a % 50 } else { i % 50 };
+            ([a], [b])
+        })
+        .collect()
+}
+
+/// The contract benchmark: sequential `update` with whatever metrics
+/// configuration the build was compiled with. The bench name encodes the
+/// active configuration so saved Criterion baselines never silently
+/// compare enabled against disabled.
+fn bench_update_hot_path(c: &mut Criterion) {
+    let cond = ImplicationConditions::one_to_c(2, 0.8, 2);
+    let data = stream(100_000);
+    let mut g = c.benchmark_group("update_hot_path");
+    g.throughput(Throughput::Elements(data.len() as u64));
+    let label = if imp_core::MetricsRegistry::enabled() {
+        "metrics_enabled"
+    } else {
+        "metrics_disabled"
+    };
+    g.bench_function(label, |bench| {
+        bench.iter(|| {
+            let mut est = EstimatorConfig::new(cond).seed(1).build();
+            for (a, b) in &data {
+                est.update(black_box(a), black_box(b));
+            }
+            black_box(est.estimate())
+        });
+    });
+    g.finish();
+}
+
+/// Reading the registry while the estimator runs — the `--stats-interval`
+/// pattern. Sampling cost is off the per-update path entirely; this
+/// group documents what one `samples()` sweep costs the reporter thread.
+fn bench_sampling(c: &mut Criterion) {
+    let cond = ImplicationConditions::one_to_c(2, 0.8, 2);
+    let data = stream(50_000);
+    let mut est = EstimatorConfig::new(cond).seed(1).build();
+    for (a, b) in &data {
+        est.update(a, b);
+    }
+    let mut g = c.benchmark_group("registry_read");
+    g.bench_function("samples", |bench| {
+        bench.iter(|| black_box(est.metrics().samples()));
+    });
+    g.bench_function("line_protocol", |bench| {
+        bench.iter(|| black_box(est.metrics().line_protocol("implicate")));
+    });
+    g.finish();
+}
+
+/// Sharded ingestion with the shared registry: shards of one estimator
+/// hammer the same atomics, the worst contention case the design accepts
+/// (see DESIGN.md §8.2 for why relaxed ordering makes this safe).
+fn bench_sharded_shared_registry(c: &mut Criterion) {
+    let cond = ImplicationConditions::one_to_c(2, 0.8, 2);
+    let pairs: Vec<(u64, u64)> = {
+        let data = stream(100_000);
+        let probe = EstimatorConfig::new(cond).seed(1).build();
+        let sharded = ShardedEstimator::new(probe, 1);
+        let hasher = sharded.pair_hasher();
+        data.iter().map(|(a, b)| hasher.hash_pair(a, b)).collect()
+    };
+    let mut g = c.benchmark_group("sharded_shared_registry");
+    g.throughput(Throughput::Elements(pairs.len() as u64));
+    for threads in [1usize, 4] {
+        g.bench_function(format!("threads_{threads}"), |bench| {
+            bench.iter(|| {
+                let est = EstimatorConfig::new(cond).seed(1).build();
+                let mut sharded = ShardedEstimator::new(est, threads);
+                sharded.update_hashed_batch(black_box(&pairs));
+                black_box(sharded.finish().estimate())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_update_hot_path, bench_sampling, bench_sharded_shared_registry
+}
+criterion_main!(benches);

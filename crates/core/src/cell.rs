@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 
 use crate::conditions::ImplicationConditions;
-use crate::state::{ItemState, Verdict};
+use crate::state::{DirtyReason, ItemState, Verdict};
 
 /// What happened to a cell as a result of one update.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,6 +19,20 @@ pub enum CellEvent {
     /// The update discovered a non-implication; the caller must commit
     /// the cell to value 1 and free it.
     MustClose,
+}
+
+/// The full result of one [`CellState::update`]: the open/close decision
+/// plus the observability facts the metrics layer records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellUpdate {
+    /// Whether the cell stays open or must commit to value 1.
+    pub event: CellEvent,
+    /// If this update flipped an itemset dirty for the first time, the
+    /// condition whose failure caused it.
+    pub dirty: Option<DirtyReason>,
+    /// Whether the capacity discipline recycled (evicted) a tracked
+    /// itemset's slot to admit the newcomer.
+    pub recycled: bool,
 }
 
 /// An open fringe cell: per-itemset state keyed by the itemset's full
@@ -66,9 +80,10 @@ impl CellState {
         b_fingerprint: u64,
         cond: &ImplicationConditions,
         capacity: usize,
-    ) -> CellEvent {
+    ) -> CellUpdate {
         use std::collections::hash_map::Entry;
         let len = self.items.len();
+        let mut recycled = false;
         let state = match self.items.entry(a_hash) {
             Entry::Occupied(e) => e.into_mut(),
             Entry::Vacant(e) => {
@@ -84,17 +99,30 @@ impl CellState {
                         .map(|(&k, _)| k)
                         .expect("capacity >= 1");
                     self.items.remove(&weakest);
+                    recycled = true;
                     self.items.entry(a_hash).or_default()
                 }
             }
         };
+        let pre_dirty = state.is_dirty();
+        let pre_exceeded = state.mult_exceeded();
         let verdict = state.update(b_fingerprint, cond);
+        let dirty = if verdict == Verdict::Violates && !pre_dirty {
+            Some(DirtyReason::classify(pre_exceeded, state.mult_exceeded()))
+        } else {
+            None
+        };
         if state.support() >= cond.min_support {
             self.supported = true;
         }
-        match verdict {
+        let event = match verdict {
             Verdict::Violates => CellEvent::MustClose,
             Verdict::Pending | Verdict::Satisfies => CellEvent::StillOpen,
+        };
+        CellUpdate {
+            event,
+            dirty,
+            recycled,
         }
     }
 
@@ -199,11 +227,11 @@ mod tests {
     fn tracks_multiple_itemsets() {
         let c = cond();
         let mut cell = CellState::new();
-        assert_eq!(cell.update(1, 100, &c, 8), CellEvent::StillOpen);
-        assert_eq!(cell.update(2, 200, &c, 8), CellEvent::StillOpen);
+        assert_eq!(cell.update(1, 100, &c, 8).event, CellEvent::StillOpen);
+        assert_eq!(cell.update(2, 200, &c, 8).event, CellEvent::StillOpen);
         assert_eq!(cell.len(), 2);
         assert!(!cell.supported(), "support 1 < σ = 2");
-        assert_eq!(cell.update(1, 100, &c, 8), CellEvent::StillOpen);
+        assert_eq!(cell.update(1, 100, &c, 8).event, CellEvent::StillOpen);
         assert!(cell.supported());
     }
 
@@ -211,26 +239,64 @@ mod tests {
     fn violation_closes_cell() {
         let c = ImplicationConditions::strict_one_to_one(1);
         let mut cell = CellState::new();
-        assert_eq!(cell.update(1, 100, &c, 8), CellEvent::StillOpen);
-        assert_eq!(cell.update(1, 101, &c, 8), CellEvent::MustClose);
+        assert_eq!(cell.update(1, 100, &c, 8).event, CellEvent::StillOpen);
+        let closing = cell.update(1, 101, &c, 8);
+        assert_eq!(closing.event, CellEvent::MustClose);
+        assert_eq!(
+            closing.dirty,
+            Some(DirtyReason::Multiplicity),
+            "K overflow while supported attributes to the K condition"
+        );
+    }
+
+    #[test]
+    fn dirty_reason_attribution() {
+        // Confidence failure: K = c = 1 under TrackTop (no overflow mark),
+        // ψ1 = 90%, σ = 1 — a second partner dilutes top-1 to 50%.
+        use crate::conditions::MultiplicityPolicy;
+        let c =
+            ImplicationConditions::one_to_c(1, 0.9, 1).with_policy(MultiplicityPolicy::TrackTop);
+        let mut cell = CellState::new();
+        assert_eq!(cell.update(1, 10, &c, 8).dirty, None);
+        assert_eq!(
+            cell.update(1, 11, &c, 8).dirty,
+            Some(DirtyReason::Confidence)
+        );
+        // Already dirty: no further transition is reported.
+        assert_eq!(cell.update(1, 10, &c, 8).dirty, None);
+
+        // Support gate: K=1, σ=3 — the second partner overflows K while
+        // Pending; the violation materializes when support reaches σ.
+        let c = ImplicationConditions::one_to_c(1, 0.0, 3);
+        let mut cell = CellState::new();
+        assert_eq!(cell.update(1, 10, &c, 8).dirty, None);
+        assert_eq!(cell.update(1, 11, &c, 8).dirty, None);
+        assert_eq!(
+            cell.update(1, 10, &c, 8).dirty,
+            Some(DirtyReason::SupportGate)
+        );
     }
 
     #[test]
     fn capacity_overflow_recycles_weakest_slot() {
         let c = cond();
         let mut cell = CellState::new();
-        assert_eq!(cell.update(1, 0, &c, 2), CellEvent::StillOpen);
-        assert_eq!(cell.update(1, 0, &c, 2), CellEvent::StillOpen); // support 2
-        assert_eq!(cell.update(2, 0, &c, 2), CellEvent::StillOpen);
+        assert!(!cell.update(1, 0, &c, 2).recycled);
+        assert_eq!(cell.update(1, 0, &c, 2).event, CellEvent::StillOpen); // support 2
+        assert_eq!(cell.update(2, 0, &c, 2).event, CellEvent::StillOpen);
         // Third distinct itemset: the weakest (2, support 1) is recycled,
         // never the established itemset 1, and the cell stays open.
-        assert_eq!(cell.update(3, 0, &c, 2), CellEvent::StillOpen);
+        let overflow = cell.update(3, 0, &c, 2);
+        assert_eq!(overflow.event, CellEvent::StillOpen);
+        assert!(overflow.recycled, "overflow admission must report eviction");
         assert_eq!(cell.len(), 2);
         let tracked: Vec<u64> = cell.items().map(|(h, _)| h).collect();
         assert!(tracked.contains(&1), "established itemset must survive");
         assert!(tracked.contains(&3), "newcomer takes the recycled slot");
         // Established itemsets still update fine at capacity.
-        assert_eq!(cell.update(1, 0, &c, 2), CellEvent::StillOpen);
+        let established = cell.update(1, 0, &c, 2);
+        assert_eq!(established.event, CellEvent::StillOpen);
+        assert!(!established.recycled);
         assert_eq!(cell.len(), 2);
     }
 

@@ -19,6 +19,7 @@ use imp_sketch::hash::{Hasher64, MixHasher};
 use imp_sketch::rank::split_rank;
 
 use crate::conditions::ImplicationConditions;
+use crate::metrics::{MetricsHandle, Stopwatch};
 use crate::nips::NipsBitmap;
 
 /// Exponent of the small-range correction term.
@@ -36,6 +37,19 @@ pub struct Estimate {
 }
 
 /// Fringe configuration of an estimator (§4.3).
+///
+/// ```
+/// use imp_core::Fringe;
+///
+/// // The constrained algorithm: 4 fringe cells per bitmap (the paper's
+/// // default). Memory stays flat no matter how long the stream runs.
+/// let constrained = Fringe::Bounded(4);
+/// assert_eq!(constrained.size(), Some(4));
+///
+/// // The accuracy yard-stick: cells keep full state until a decision.
+/// let yardstick = Fringe::Unbounded;
+/// assert_eq!(yardstick.size(), None);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Fringe {
     /// A bounded fringe of the given size in cells — the constrained
@@ -160,6 +174,9 @@ pub struct ImplicationEstimator {
     hasher_a: MixHasher,
     hasher_b: MixHasher,
     tuples: u64,
+    /// Shared observability registry (see [`crate::metrics`]). Clones of
+    /// this estimator — including ingestion shards — share it.
+    metrics: MetricsHandle,
 }
 
 impl ImplicationEstimator {
@@ -199,7 +216,22 @@ impl ImplicationEstimator {
             hasher_a: MixHasher::new(seed ^ 0xa11c_e0de),
             hasher_b: MixHasher::new(seed ^ 0x00b0_bca7),
             tuples: 0,
+            metrics: MetricsHandle::new(),
         }
+    }
+
+    /// The observability registry this estimator records into. Cheap to
+    /// clone; clones (and estimator clones, and ingestion shards) share
+    /// the underlying counters. See [`crate::metrics`].
+    pub fn metrics(&self) -> &MetricsHandle {
+        &self.metrics
+    }
+
+    /// Replaces the observability registry — e.g. to aggregate several
+    /// independently-built estimators into one report, or to isolate one
+    /// estimator's counters after cloning.
+    pub fn set_metrics(&mut self, metrics: MetricsHandle) {
+        self.metrics = metrics;
     }
 
     /// The conditions under estimation.
@@ -231,7 +263,8 @@ impl ImplicationEstimator {
     pub fn update_hashed(&mut self, h_a: u64, b_fp: u64) {
         self.tuples += 1;
         let (idx, rank) = split_rank(h_a, self.log2_m);
-        self.bitmaps[idx].update(rank, h_a, b_fp);
+        let outcome = self.bitmaps[idx].update(rank, h_a, b_fp);
+        self.metrics.estimator.record(&outcome);
     }
 
     /// Feeds a batch of single-attribute `(a, b)` pairs — the fast path
@@ -303,6 +336,23 @@ impl ImplicationEstimator {
     /// See [`NipsBitmap::merge`] for the (slight, conservative)
     /// order-blindness caveat.
     ///
+    /// ```
+    /// use imp_core::{EstimatorConfig, ImplicationConditions};
+    ///
+    /// let cond = ImplicationConditions::strict_one_to_one(1);
+    /// let config = EstimatorConfig::new(cond); // same config ⇒ mergeable
+    /// let (mut node1, mut node2) = (config.build(), config.build());
+    /// for a in 0..500u64 {
+    ///     node1.update(&[a], &[a]); // loyal traffic at node 1
+    ///     node2.update(&[a + 500], &[1]); // scanner traffic at node 2
+    ///     node2.update(&[a + 500], &[2]);
+    /// }
+    /// node1.merge(&node2);
+    /// assert_eq!(node1.tuples_seen(), 1500);
+    /// let e = node1.estimate();
+    /// assert!(e.implication_count > 300.0 && e.implication_count < 700.0);
+    /// ```
+    ///
     /// # Panics
     /// If conditions, bitmap counts or hash seeds differ.
     pub fn merge(&mut self, other: &ImplicationEstimator) {
@@ -321,6 +371,7 @@ impl ImplicationEstimator {
             a.merge(b);
         }
         self.tuples += other.tuples;
+        self.metrics.estimator.merges.inc();
     }
 }
 
@@ -334,6 +385,7 @@ impl ImplicationEstimator {
         hasher_a: MixHasher,
         hasher_b: MixHasher,
         tuples: u64,
+        metrics: MetricsHandle,
     ) -> Self {
         assert!(
             bitmaps.len().is_power_of_two(),
@@ -346,6 +398,7 @@ impl ImplicationEstimator {
             hasher_a,
             hasher_b,
             tuples,
+            metrics,
         }
     }
 
@@ -359,7 +412,9 @@ impl ImplicationEstimator {
         self.log2_m
     }
 
-    /// A same-configuration estimator with no accumulated state.
+    /// A same-configuration estimator with no accumulated state. Shares
+    /// this estimator's metrics registry (shards of one pipeline report
+    /// into one place).
     pub(crate) fn fresh_like(&self) -> Self {
         Self::from_parts(
             self.cond,
@@ -367,6 +422,7 @@ impl ImplicationEstimator {
             self.hasher_a,
             self.hasher_b,
             0,
+            self.metrics.clone(),
         )
     }
 
@@ -398,6 +454,7 @@ impl ImplicationEstimator {
                     self.hasher_a,
                     self.hasher_b,
                     if k == 0 { self.tuples } else { 0 },
+                    self.metrics.clone(),
                 )
             })
             .collect()
@@ -407,8 +464,33 @@ impl ImplicationEstimator {
 impl ImplicationEstimator {
     /// Serializes the complete estimator state into a portable snapshot
     /// (see [`crate::snapshot`] for the format and guarantees).
+    ///
+    /// A full save/restore round-trip:
+    ///
+    /// ```
+    /// use imp_core::{EstimatorConfig, ImplicationConditions, ImplicationEstimator};
+    ///
+    /// let cond = ImplicationConditions::one_to_c(1, 0.8, 2);
+    /// let mut est = EstimatorConfig::new(cond).seed(7).build();
+    /// for a in 0..1000u64 {
+    ///     est.update(&[a], &[a % 50]);
+    /// }
+    ///
+    /// let snapshot = est.to_bytes(); // → write to disk / ship elsewhere
+    /// let mut restored = ImplicationEstimator::from_bytes(snapshot)?;
+    /// assert_eq!(restored.estimate(), est.estimate());
+    ///
+    /// // The restored estimator keeps ingesting where the original
+    /// // left off — identical future behaviour, not just identical
+    /// // read-offs.
+    /// est.update(&[1], &[2]);
+    /// restored.update(&[1], &[2]);
+    /// assert_eq!(restored.to_bytes(), est.to_bytes());
+    /// # Ok::<(), imp_core::SnapshotError>(())
+    /// ```
     pub fn to_bytes(&self) -> bytes::Bytes {
         use bytes::BufMut;
+        let sw = Stopwatch::start();
         let mut buf = bytes::BytesMut::with_capacity(4096);
         buf.put_u32_le(crate::snapshot::MAGIC);
         buf.put_u16_le(crate::snapshot::VERSION);
@@ -420,7 +502,12 @@ impl ImplicationEstimator {
         for bm in &self.bitmaps {
             bm.encode(&mut buf);
         }
-        buf.freeze()
+        let out = buf.freeze();
+        let m = &self.metrics.snapshot;
+        m.encodes.inc();
+        m.bytes_written.add(out.len() as u64);
+        m.encode_nanos.observe(sw.elapsed_nanos());
+        out
     }
 
     /// Restores an estimator from [`ImplicationEstimator::to_bytes`]
@@ -428,6 +515,8 @@ impl ImplicationEstimator {
     pub fn from_bytes(mut buf: bytes::Bytes) -> Result<Self, crate::snapshot::SnapshotError> {
         use crate::snapshot::{need, SnapshotError};
         use bytes::Buf;
+        let sw = Stopwatch::start();
+        let total_len = buf.len();
         need(&buf, 4 + 2)?;
         if buf.get_u32_le() != crate::snapshot::MAGIC {
             return Err(SnapshotError::BadMagic);
@@ -448,6 +537,11 @@ impl ImplicationEstimator {
         let bitmaps = (0..m)
             .map(|_| NipsBitmap::decode(&mut buf, cond))
             .collect::<Result<Vec<_>, _>>()?;
+        let metrics = MetricsHandle::new();
+        let s = &metrics.snapshot;
+        s.decodes.inc();
+        s.bytes_read.add((total_len - buf.len()) as u64);
+        s.decode_nanos.observe(sw.elapsed_nanos());
         Ok(Self {
             cond,
             bitmaps,
@@ -455,6 +549,7 @@ impl ImplicationEstimator {
             hasher_a,
             hasher_b,
             tuples,
+            metrics,
         })
     }
 }

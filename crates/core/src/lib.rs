@@ -54,6 +54,7 @@ pub mod cell;
 pub mod conditions;
 pub mod estimator;
 pub mod incremental;
+pub mod metrics;
 pub mod nips;
 pub mod parallel;
 pub mod query;
@@ -66,8 +67,9 @@ pub use conditions::{
     Confidence, ImplicationConditions, ImplicationConditionsBuilder, MultiplicityPolicy,
 };
 pub use estimator::{Estimate, EstimatorConfig, Fringe, ImplicationEstimator};
-pub use nips::NipsBitmap;
+pub use metrics::{MetricsHandle, MetricsRegistry};
+pub use nips::{NipsBitmap, UpdateOutcome};
 pub use parallel::{PairHasher, ShardedEstimator};
 pub use query::{ImplicationQuery, QueryEngine, QueryKind};
 pub use snapshot::SnapshotError;
-pub use state::{ItemState, Verdict};
+pub use state::{DirtyReason, ItemState, Verdict};

@@ -1,0 +1,830 @@
+//! Zero-dependency observability: a lock-free [`MetricsRegistry`] of
+//! relaxed-atomic counters, gauges and histograms threaded through the
+//! ingestion hot paths.
+//!
+//! # Design
+//!
+//! The registry is a *fixed struct of atomics*, not a string-keyed map:
+//! every metric is a named field, reachable without hashing, locking or
+//! allocation, so recording on the `update` hot path is a handful of
+//! `Relaxed` `fetch_add`s. Reporting walks the same fields and renders
+//! them by name ([`MetricsRegistry::samples`], [`MetricsRegistry::report`],
+//! [`MetricsRegistry::line_protocol`]).
+//!
+//! All atomics use [`Ordering::Relaxed`](std::sync::atomic::Ordering):
+//! each metric is an independent monotone counter (or a gauge whose exact
+//! instantaneous value is advisory), no control flow ever reads a metric,
+//! and cross-metric consistency is not promised — a reader may observe
+//! `tuples = 100, dirty = 3` while a writer is between the two
+//! increments. That is the correct contract for telemetry and the cheapest
+//! ordering the hardware offers; the full argument is in DESIGN.md §8.2.
+//!
+//! # Feature gate
+//!
+//! Everything here is compile-time gated on the `metrics` feature (on by
+//! default). With the feature **off**, every type in this module still
+//! exists with the same API but is a zero-sized shell whose methods are
+//! empty `#[inline]` bodies — call sites compile unchanged and the
+//! optimizer erases them, so the disabled path costs literally nothing.
+//! [`MetricsRegistry::enabled`] reports which world was compiled.
+//!
+//! # Sharing
+//!
+//! A [`MetricsHandle`] is a cheaply-clonable reference to one registry
+//! (an `Arc` under the hood). Cloning an
+//! [`ImplicationEstimator`](crate::ImplicationEstimator) — or splitting
+//! it into ingestion shards — shares the registry, so one pipeline's
+//! traffic aggregates in one place regardless of its thread layout.
+//!
+//! ```
+//! use imp_core::{EstimatorConfig, ImplicationConditions};
+//!
+//! let cond = ImplicationConditions::strict_one_to_one(1);
+//! let mut est = EstimatorConfig::new(cond).build();
+//! for a in 0..1000u64 {
+//!     est.update(&[a], &[1]);
+//!     if a % 2 == 0 {
+//!         est.update(&[a], &[2]); // a second partner: violates K = 1
+//!     }
+//! }
+//! let m = est.metrics().registry();
+//! if imp_core::MetricsRegistry::enabled() {
+//!     assert_eq!(m.estimator.tuples.get(), 1500);
+//!     assert!(m.estimator.dirty_multiplicity.get() > 0);
+//! }
+//! ```
+
+#[cfg(feature = "metrics")]
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+#[cfg(feature = "metrics")]
+use std::sync::Arc;
+
+use crate::nips::UpdateOutcome;
+use crate::state::DirtyReason;
+
+/// Number of per-shard lanes statically allocated in [`IngestMetrics`].
+/// Shard `k` records into lane `k % LANES`, so pipelines wider than this
+/// fold — counts stay correct in aggregate, only the per-shard breakdown
+/// coarsens.
+pub const LANES: usize = 16;
+
+/// Number of power-of-two buckets in a [`Histogram`] (values ≥ 2^30 land
+/// in the last bucket).
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// A monotonically increasing event counter (relaxed atomic).
+#[derive(Debug)]
+pub struct Counter {
+    #[cfg(feature = "metrics")]
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Self {
+        Self {
+            #[cfg(feature = "metrics")]
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, _n: u64) {
+        #[cfg(feature = "metrics")]
+        self.value.fetch_add(_n, Relaxed);
+    }
+
+    /// Current value (0 when the `metrics` feature is off).
+    #[inline]
+    pub fn get(&self) -> u64 {
+        #[cfg(feature = "metrics")]
+        {
+            self.value.load(Relaxed)
+        }
+        #[cfg(not(feature = "metrics"))]
+        {
+            0
+        }
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A signed-adjustable level with a high-watermark (relaxed atomics).
+///
+/// `add` may race between the level update and the peak update, so the
+/// recorded peak is a lower bound on the true instantaneous peak under
+/// concurrency — the standard, and here sufficient, trade for staying
+/// lock-free (DESIGN.md §8.2).
+#[derive(Debug)]
+pub struct Gauge {
+    #[cfg(feature = "metrics")]
+    value: AtomicU64,
+    #[cfg(feature = "metrics")]
+    peak: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub const fn new() -> Self {
+        Self {
+            #[cfg(feature = "metrics")]
+            value: AtomicU64::new(0),
+            #[cfg(feature = "metrics")]
+            peak: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the level outright.
+    #[inline]
+    pub fn set(&self, _v: u64) {
+        #[cfg(feature = "metrics")]
+        {
+            self.value.store(_v, Relaxed);
+            self.peak.fetch_max(_v, Relaxed);
+        }
+    }
+
+    /// Adjusts the level by a signed delta. The level must logically stay
+    /// non-negative; a transiently racy reader may observe wrapped values.
+    #[inline]
+    pub fn adjust(&self, _delta: i64) {
+        #[cfg(feature = "metrics")]
+        {
+            let prev = self.value.fetch_add(_delta as u64, Relaxed);
+            self.peak
+                .fetch_max(prev.wrapping_add(_delta as u64), Relaxed);
+        }
+    }
+
+    /// Current level (0 when the `metrics` feature is off).
+    #[inline]
+    pub fn get(&self) -> u64 {
+        #[cfg(feature = "metrics")]
+        {
+            self.value.load(Relaxed)
+        }
+        #[cfg(not(feature = "metrics"))]
+        {
+            0
+        }
+    }
+
+    /// High-watermark of the level so far (0 when the feature is off).
+    #[inline]
+    pub fn peak(&self) -> u64 {
+        #[cfg(feature = "metrics")]
+        {
+            self.peak.load(Relaxed)
+        }
+        #[cfg(not(feature = "metrics"))]
+        {
+            0
+        }
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A log₂-bucketed histogram of `u64` observations (durations in
+/// nanoseconds, sizes in bytes). Bucket `i` holds values whose bit length
+/// is `i` — i.e. `[2^(i−1), 2^i)` — so relative resolution is a constant
+/// 2× at every scale, which is what latency/size telemetry needs.
+#[derive(Debug)]
+pub struct Histogram {
+    #[cfg(feature = "metrics")]
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    #[cfg(feature = "metrics")]
+    count: AtomicU64,
+    #[cfg(feature = "metrics")]
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        #[cfg(feature = "metrics")]
+        {
+            #[allow(clippy::declare_interior_mutable_const)]
+            const ZERO: AtomicU64 = AtomicU64::new(0);
+            Self {
+                buckets: [ZERO; HISTOGRAM_BUCKETS],
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+            }
+        }
+        #[cfg(not(feature = "metrics"))]
+        {
+            Self {}
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, _v: u64) {
+        #[cfg(feature = "metrics")]
+        {
+            let idx = (64 - _v.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1);
+            self.buckets[idx].fetch_add(1, Relaxed);
+            self.count.fetch_add(1, Relaxed);
+            self.sum.fetch_add(_v, Relaxed);
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        #[cfg(feature = "metrics")]
+        {
+            self.count.load(Relaxed)
+        }
+        #[cfg(not(feature = "metrics"))]
+        {
+            0
+        }
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        #[cfg(feature = "metrics")]
+        {
+            self.sum.load(Relaxed)
+        }
+        #[cfg(not(feature = "metrics"))]
+        {
+            0
+        }
+    }
+
+    /// Mean observation, or 0.0 with no data.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Upper bound (exclusive, a power of two) of the bucket containing
+    /// the `q`-quantile, or 0 with no data. `q` is clamped to `[0, 1]`.
+    pub fn quantile_bound(&self, _q: f64) -> u64 {
+        #[cfg(feature = "metrics")]
+        {
+            let total = self.count.load(Relaxed);
+            if total == 0 {
+                return 0;
+            }
+            let target = (_q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+            let mut seen = 0u64;
+            for (i, b) in self.buckets.iter().enumerate() {
+                seen += b.load(Relaxed);
+                if seen >= target {
+                    return 1u64 << i;
+                }
+            }
+            u64::MAX
+        }
+        #[cfg(not(feature = "metrics"))]
+        {
+            0
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Hot-path counters of the estimator proper: what the stream did to the
+/// sketch. The names below are the canonical metric names (glossary with
+/// paper quantities: DESIGN.md §8.2).
+#[derive(Debug, Default)]
+pub struct EstimatorMetrics {
+    /// `estimator.tuples` — `(a, b)` pairs ingested (`T` of §3.1).
+    pub tuples: Counter,
+    /// `estimator.dirty_multiplicity` — dirty transitions caused by the
+    /// `(K+1)`-th distinct partner (max-multiplicity condition `K`).
+    pub dirty_multiplicity: Counter,
+    /// `estimator.dirty_confidence` — dirty transitions caused by the
+    /// top-`c` confidence dropping below `ψ_c`.
+    pub dirty_confidence: Counter,
+    /// `estimator.dirty_support_gate` — dirty transitions materializing at
+    /// the support gate: the multiplicity had already overflowed while the
+    /// itemset was below `σ`, and reaching `σ` exposed the violation.
+    pub dirty_support_gate: Counter,
+    /// `estimator.cells_committed` — NIPS bitmap cells committed to value
+    /// 1 (the irreversible "once dirty, always dirty" bit of §4.2).
+    pub cells_committed: Counter,
+    /// `estimator.fringe_evictions` — itemset slots recycled or shed by
+    /// the bounded-fringe capacity discipline (per-cell recycling plus
+    /// global-budget shedding, both NIPS and `F0^sup` side-fringe).
+    pub fringe_evictions: Counter,
+    /// `estimator.support_certified` — `F0^sup` side-fringe cells
+    /// certified to hold a supported itemset (§4.4's virtual ones).
+    pub support_certified: Counter,
+    /// `estimator.occupancy` — tracked itemset entries currently held
+    /// across all bitmaps (the §6.2 memory metric), with high-watermark.
+    pub occupancy: Gauge,
+    /// `estimator.merges` — estimators merged into this one
+    /// (distributed aggregation).
+    pub merges: Counter,
+}
+
+impl EstimatorMetrics {
+    /// All-zero metrics.
+    pub const fn new() -> Self {
+        Self {
+            tuples: Counter::new(),
+            dirty_multiplicity: Counter::new(),
+            dirty_confidence: Counter::new(),
+            dirty_support_gate: Counter::new(),
+            cells_committed: Counter::new(),
+            fringe_evictions: Counter::new(),
+            support_certified: Counter::new(),
+            occupancy: Gauge::new(),
+            merges: Counter::new(),
+        }
+    }
+
+    /// Records one update's [`UpdateOutcome`] — the single call on the
+    /// `update` hot path.
+    #[inline]
+    pub fn record(&self, outcome: &UpdateOutcome) {
+        self.tuples.inc();
+        if let Some(reason) = outcome.dirty {
+            match reason {
+                DirtyReason::Multiplicity => self.dirty_multiplicity.inc(),
+                DirtyReason::Confidence => self.dirty_confidence.inc(),
+                DirtyReason::SupportGate => self.dirty_support_gate.inc(),
+            }
+        }
+        if outcome.committed {
+            self.cells_committed.inc();
+        }
+        if outcome.evictions > 0 {
+            self.fringe_evictions.add(outcome.evictions as u64);
+        }
+        if outcome.certified {
+            self.support_certified.inc();
+        }
+        if outcome.entries_delta != 0 {
+            self.occupancy.adjust(outcome.entries_delta as i64);
+        }
+    }
+
+    /// Total dirty transitions across all three conditions.
+    pub fn dirty_total(&self) -> u64 {
+        self.dirty_multiplicity.get() + self.dirty_confidence.get() + self.dirty_support_gate.get()
+    }
+}
+
+/// Per-shard lane of the parallel-ingestion pipeline.
+#[derive(Debug, Default)]
+pub struct ShardLane {
+    /// `ingest.shardK.batches` — batches shipped to this shard's worker.
+    pub batches: Counter,
+    /// `ingest.shardK.queue_depth` — batches in flight to the worker
+    /// (sent, not yet drained), with high-watermark: queue pressure.
+    pub queue_depth: Gauge,
+}
+
+impl ShardLane {
+    /// All-zero lane.
+    pub const fn new() -> Self {
+        Self {
+            batches: Counter::new(),
+            queue_depth: Gauge::new(),
+        }
+    }
+}
+
+/// Counters of the sharded parallel-ingestion pipeline
+/// ([`ShardedEstimator`](crate::ShardedEstimator)).
+#[derive(Debug, Default)]
+pub struct IngestMetrics {
+    /// `ingest.shards` — configured worker shard count.
+    pub shards: Gauge,
+    /// `ingest.batches_routed` — batches shipped across all shards.
+    pub batches_routed: Counter,
+    /// `ingest.updates_routed` — pre-hashed pairs shipped inside those
+    /// batches.
+    pub updates_routed: Counter,
+    /// `ingest.flushes` — explicit partial-buffer flushes.
+    pub flushes: Counter,
+    /// `ingest.idle_waits` — times a worker found its queue empty and had
+    /// to block (router-bound pipeline; high values mean workers starve).
+    pub idle_waits: Counter,
+    lanes: [ShardLane; LANES],
+}
+
+impl IngestMetrics {
+    /// All-zero metrics.
+    pub const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const LANE: ShardLane = ShardLane::new();
+        Self {
+            shards: Gauge::new(),
+            batches_routed: Counter::new(),
+            updates_routed: Counter::new(),
+            flushes: Counter::new(),
+            idle_waits: Counter::new(),
+            lanes: [LANE; LANES],
+        }
+    }
+
+    /// The lane shard `k` records into (`k % LANES`).
+    #[inline]
+    pub fn lane(&self, shard: usize) -> &ShardLane {
+        &self.lanes[shard % LANES]
+    }
+}
+
+/// Counters of snapshot encoding/decoding (`core::snapshot`).
+#[derive(Debug, Default)]
+pub struct SnapshotMetrics {
+    /// `snapshot.encodes` — snapshots serialized.
+    pub encodes: Counter,
+    /// `snapshot.decodes` — snapshots restored.
+    pub decodes: Counter,
+    /// `snapshot.bytes_written` — total serialized bytes.
+    pub bytes_written: Counter,
+    /// `snapshot.bytes_read` — total bytes consumed by restores.
+    pub bytes_read: Counter,
+    /// `snapshot.encode_nanos` — wall-clock nanoseconds per encode.
+    pub encode_nanos: Histogram,
+    /// `snapshot.decode_nanos` — wall-clock nanoseconds per decode.
+    pub decode_nanos: Histogram,
+}
+
+impl SnapshotMetrics {
+    /// All-zero metrics.
+    pub const fn new() -> Self {
+        Self {
+            encodes: Counter::new(),
+            decodes: Counter::new(),
+            bytes_written: Counter::new(),
+            bytes_read: Counter::new(),
+            encode_nanos: Histogram::new(),
+            decode_nanos: Histogram::new(),
+        }
+    }
+}
+
+/// The registry: every metric the library records, as plain named fields.
+///
+/// Obtain one through an estimator's
+/// [`metrics()`](crate::ImplicationEstimator::metrics) handle rather than
+/// constructing it directly, so hot-path recording and your reporting see
+/// the same instance.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    /// Estimator hot-path counters.
+    pub estimator: EstimatorMetrics,
+    /// Parallel-ingestion pipeline counters.
+    pub ingest: IngestMetrics,
+    /// Snapshot encode/decode counters.
+    pub snapshot: SnapshotMetrics,
+}
+
+impl MetricsRegistry {
+    /// An all-zero registry.
+    pub const fn new() -> Self {
+        Self {
+            estimator: EstimatorMetrics::new(),
+            ingest: IngestMetrics::new(),
+            snapshot: SnapshotMetrics::new(),
+        }
+    }
+
+    /// Whether instrumentation was compiled in (the `metrics` feature).
+    pub const fn enabled() -> bool {
+        cfg!(feature = "metrics")
+    }
+
+    /// All metrics as `(name, value)` pairs, in glossary order. Gauges
+    /// contribute `<name>` and `<name>_peak`; histograms contribute
+    /// `<name>_count`, `<name>_sum` and `<name>_p95` (a power-of-two
+    /// upper bound). Empty when the `metrics` feature is off.
+    pub fn samples(&self) -> Vec<(String, u64)> {
+        if !Self::enabled() {
+            return Vec::new();
+        }
+        fn push(out: &mut Vec<(String, u64)>, name: impl Into<String>, v: u64) {
+            out.push((name.into(), v));
+        }
+        let mut out: Vec<(String, u64)> = Vec::with_capacity(32);
+        macro_rules! c {
+            ($name:expr, $v:expr) => {
+                push(&mut out, $name, $v)
+            };
+        }
+        let e = &self.estimator;
+        c!("estimator.tuples", e.tuples.get());
+        c!("estimator.dirty_multiplicity", e.dirty_multiplicity.get());
+        c!("estimator.dirty_confidence", e.dirty_confidence.get());
+        c!("estimator.dirty_support_gate", e.dirty_support_gate.get());
+        c!("estimator.cells_committed", e.cells_committed.get());
+        c!("estimator.fringe_evictions", e.fringe_evictions.get());
+        c!("estimator.support_certified", e.support_certified.get());
+        c!("estimator.occupancy", e.occupancy.get());
+        c!("estimator.occupancy_peak", e.occupancy.peak());
+        c!("estimator.merges", e.merges.get());
+        let i = &self.ingest;
+        c!("ingest.shards", i.shards.get());
+        c!("ingest.batches_routed", i.batches_routed.get());
+        c!("ingest.updates_routed", i.updates_routed.get());
+        c!("ingest.flushes", i.flushes.get());
+        c!("ingest.idle_waits", i.idle_waits.get());
+        let lanes_in_use = (i.shards.peak() as usize).min(LANES);
+        for k in 0..lanes_in_use {
+            let lane = i.lane(k);
+            out.push((format!("ingest.shard{k}.batches"), lane.batches.get()));
+            out.push((
+                format!("ingest.shard{k}.queue_depth_peak"),
+                lane.queue_depth.peak(),
+            ));
+        }
+        let s = &self.snapshot;
+        c!("snapshot.encodes", s.encodes.get());
+        c!("snapshot.decodes", s.decodes.get());
+        c!("snapshot.bytes_written", s.bytes_written.get());
+        c!("snapshot.bytes_read", s.bytes_read.get());
+        c!("snapshot.encode_nanos_count", s.encode_nanos.count());
+        c!("snapshot.encode_nanos_sum", s.encode_nanos.sum());
+        c!(
+            "snapshot.encode_nanos_p95",
+            s.encode_nanos.quantile_bound(0.95)
+        );
+        c!("snapshot.decode_nanos_count", s.decode_nanos.count());
+        c!("snapshot.decode_nanos_sum", s.decode_nanos.sum());
+        c!(
+            "snapshot.decode_nanos_p95",
+            s.decode_nanos.quantile_bound(0.95)
+        );
+        out
+    }
+
+    /// A human-readable multi-line report of every metric.
+    pub fn report(&self) -> String {
+        if !Self::enabled() {
+            return "metrics: compiled out (build with the default `metrics` feature)".to_owned();
+        }
+        let samples = self.samples();
+        let width = samples.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        let mut out = String::from("metrics:\n");
+        for (name, value) in samples {
+            out.push_str(&format!("  {name:<width$}  {value}\n"));
+        }
+        out.pop();
+        out
+    }
+
+    /// One line of InfluxDB line protocol (integer fields, no timestamp):
+    /// `measurement estimator.tuples=123i,...`. With the `metrics` feature
+    /// off, emits the single field `metrics_enabled=false`.
+    pub fn line_protocol(&self, measurement: &str) -> String {
+        if !Self::enabled() {
+            return format!("{measurement} metrics_enabled=false");
+        }
+        let fields: Vec<String> = self
+            .samples()
+            .into_iter()
+            .map(|(name, value)| format!("{name}={value}i"))
+            .collect();
+        format!("{measurement} {}", fields.join(","))
+    }
+}
+
+/// A cheaply-clonable handle to one [`MetricsRegistry`]. Clones share the
+/// registry; `Default`/[`MetricsHandle::new`] allocate a fresh one. With
+/// the `metrics` feature off this is a zero-sized token dereferencing to
+/// a static no-op registry.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsHandle {
+    #[cfg(feature = "metrics")]
+    inner: Arc<MetricsRegistry>,
+}
+
+impl MetricsHandle {
+    /// A handle to a fresh, all-zero registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The underlying registry.
+    #[inline]
+    pub fn registry(&self) -> &MetricsRegistry {
+        #[cfg(feature = "metrics")]
+        {
+            &self.inner
+        }
+        #[cfg(not(feature = "metrics"))]
+        {
+            static NOOP: MetricsRegistry = MetricsRegistry::new();
+            &NOOP
+        }
+    }
+
+    /// Whether two handles share one registry (vacuously true with the
+    /// `metrics` feature off).
+    pub fn same_registry(&self, _other: &MetricsHandle) -> bool {
+        #[cfg(feature = "metrics")]
+        {
+            Arc::ptr_eq(&self.inner, &_other.inner)
+        }
+        #[cfg(not(feature = "metrics"))]
+        {
+            true
+        }
+    }
+}
+
+impl std::ops::Deref for MetricsHandle {
+    type Target = MetricsRegistry;
+
+    #[inline]
+    fn deref(&self) -> &MetricsRegistry {
+        self.registry()
+    }
+}
+
+/// A feature-gated stopwatch for timing cold paths (snapshot encode and
+/// decode): [`Stopwatch::elapsed_nanos`] reports wall-clock nanoseconds,
+/// or 0 with the `metrics` feature off (in which case no clock is read).
+#[derive(Debug)]
+pub struct Stopwatch {
+    #[cfg(feature = "metrics")]
+    start: std::time::Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing (a no-op with the feature off).
+    #[inline]
+    pub fn start() -> Self {
+        Self {
+            #[cfg(feature = "metrics")]
+            start: std::time::Instant::now(),
+        }
+    }
+
+    /// Nanoseconds since [`Stopwatch::start`], saturated to `u64`.
+    #[inline]
+    pub fn elapsed_nanos(&self) -> u64 {
+        #[cfg(feature = "metrics")]
+        {
+            u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        }
+        #[cfg(not(feature = "metrics"))]
+        {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        if MetricsRegistry::enabled() {
+            assert_eq!(c.get(), 42);
+        } else {
+            assert_eq!(c.get(), 0);
+        }
+    }
+
+    #[test]
+    fn gauge_tracks_level_and_peak() {
+        let g = Gauge::new();
+        g.adjust(10);
+        g.adjust(-4);
+        g.adjust(3);
+        if MetricsRegistry::enabled() {
+            assert_eq!(g.get(), 9);
+            assert_eq!(g.peak(), 10);
+            g.set(100);
+            assert_eq!(g.peak(), 100);
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 1, 2, 3, 900, 1000, 1100] {
+            h.observe(v);
+        }
+        if MetricsRegistry::enabled() {
+            assert_eq!(h.count(), 8);
+            assert_eq!(h.sum(), 3007);
+            // p50 falls among the small values, p95 in the ≈1k bucket.
+            assert!(h.quantile_bound(0.5) <= 4, "{}", h.quantile_bound(0.5));
+            assert_eq!(h.quantile_bound(0.95), 2048);
+            assert!(h.mean() > 300.0);
+        } else {
+            assert_eq!(h.count(), 0);
+        }
+    }
+
+    #[test]
+    fn handle_clones_share_fresh_handles_dont() {
+        let a = MetricsHandle::new();
+        let b = a.clone();
+        let c = MetricsHandle::new();
+        assert!(a.same_registry(&b));
+        a.estimator.tuples.inc();
+        if MetricsRegistry::enabled() {
+            assert_eq!(b.estimator.tuples.get(), 1);
+            assert_eq!(c.estimator.tuples.get(), 0);
+            assert!(!a.same_registry(&c));
+        }
+    }
+
+    #[test]
+    fn record_routes_outcome_fields() {
+        let m = EstimatorMetrics::new();
+        m.record(&UpdateOutcome {
+            dirty: Some(DirtyReason::Confidence),
+            committed: true,
+            evictions: 3,
+            certified: true,
+            entries_delta: -2,
+        });
+        m.record(&UpdateOutcome {
+            dirty: Some(DirtyReason::Multiplicity),
+            entries_delta: 5,
+            ..UpdateOutcome::default()
+        });
+        if MetricsRegistry::enabled() {
+            assert_eq!(m.tuples.get(), 2);
+            assert_eq!(m.dirty_confidence.get(), 1);
+            assert_eq!(m.dirty_multiplicity.get(), 1);
+            assert_eq!(m.dirty_total(), 2);
+            assert_eq!(m.cells_committed.get(), 1);
+            assert_eq!(m.fringe_evictions.get(), 3);
+            assert_eq!(m.support_certified.get(), 1);
+            assert_eq!(m.occupancy.get(), 3); // −2 then +5
+        }
+    }
+
+    #[test]
+    fn samples_and_renderings_agree_with_mode() {
+        let reg = MetricsRegistry::new();
+        reg.estimator.tuples.add(7);
+        if MetricsRegistry::enabled() {
+            let samples = reg.samples();
+            assert!(samples
+                .iter()
+                .any(|(n, v)| n == "estimator.tuples" && *v == 7));
+            assert!(reg.report().contains("estimator.tuples"));
+            assert!(reg
+                .line_protocol("implicate")
+                .starts_with("implicate estimator.tuples=7i,"));
+        } else {
+            assert!(reg.samples().is_empty());
+            assert!(reg.report().contains("compiled out"));
+            assert_eq!(
+                reg.line_protocol("implicate"),
+                "implicate metrics_enabled=false"
+            );
+        }
+    }
+
+    #[test]
+    fn lanes_fold_beyond_capacity() {
+        let i = IngestMetrics::new();
+        i.lane(0).batches.inc();
+        i.lane(LANES).batches.inc(); // folds onto lane 0
+        if MetricsRegistry::enabled() {
+            assert_eq!(i.lane(0).batches.get(), 2);
+        }
+    }
+
+    #[test]
+    fn stopwatch_is_monotone() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_nanos();
+        let b = sw.elapsed_nanos();
+        assert!(b >= a);
+    }
+}

@@ -31,10 +31,33 @@ use std::collections::HashMap;
 
 use crate::cell::{CellEvent, CellState};
 use crate::conditions::ImplicationConditions;
+use crate::state::DirtyReason;
 use imp_sketch::estimate::FM_PHI;
 
 /// Number of cells per bitmap (ranks of a 64-bit hash).
 pub const CELLS: u32 = 64;
+
+/// Everything one [`NipsBitmap::update`] did, in countable form — the
+/// record the metrics layer folds into
+/// [`EstimatorMetrics`](crate::metrics::EstimatorMetrics). Plain data:
+/// ignoring it (as the pre-observability call sites did) loses nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UpdateOutcome {
+    /// If this arrival flipped an itemset dirty for the first time, the
+    /// implication condition whose failure caused it.
+    pub dirty: Option<DirtyReason>,
+    /// Whether a cell was committed to value 1 (irreversible Zone-1
+    /// growth).
+    pub committed: bool,
+    /// Tracked entries evicted by the capacity discipline: per-cell slot
+    /// recycling plus global-budget shedding, in both the NIPS fringe and
+    /// the `F0^sup` side-fringe.
+    pub evictions: u32,
+    /// Whether a support cell was certified (a virtual one of §4.4).
+    pub certified: bool,
+    /// Net change in tracked entries across both fringes (occupancy).
+    pub entries_delta: i32,
+}
 
 /// A bounded fringe for the *monotone* event "this cell contains an
 /// itemset with support ≥ σ" — the `F0^sup` side of the CI read-off
@@ -74,15 +97,18 @@ impl SupportFringe {
         }
     }
 
+    /// Records one arrival; returns `(certified_now, evictions)` for the
+    /// metrics layer.
     #[inline]
-    fn update(&mut self, i: u32, a_key: u64) {
+    fn update(&mut self, i: u32, a_key: u64) -> (bool, u32) {
         if self.certified >> i & 1 == 1 {
-            return;
+            return (false, 0);
         }
         if self.min_support <= 1 {
             self.certify(i);
-            return;
+            return (true, 0);
         }
+        let mut evictions = 0u32;
         self.top = Some(self.top.map_or(i, |t| t.max(i)));
         let capacity = match self.fringe {
             None => usize::MAX,
@@ -108,6 +134,7 @@ impl SupportFringe {
                 .expect("capacity >= 1");
             cell.remove(&weakest);
             cell.insert(a_key, 1);
+            evictions += 1;
             false
         };
         if certify_now {
@@ -134,8 +161,10 @@ impl SupportFringe {
                     .expect("crowded cell is non-empty");
                 cell.remove(&weakest);
                 self.items -= 1;
+                evictions += 1;
             }
         }
+        (certify_now, evictions)
     }
 
     fn certify(&mut self, i: u32) {
@@ -360,37 +389,45 @@ impl NipsBitmap {
         self.fringe.is_some()
     }
 
-    /// Records the arrival of an `(a, b)` pair.
+    /// Records the arrival of an `(a, b)` pair and reports what happened
+    /// as an [`UpdateOutcome`] (callers that predate the observability
+    /// layer may simply ignore it).
     ///
     /// * `rank` — `p(hash(a))`, the cell index (clamped to 63);
     /// * `a_key` — a collision-resistant identity for `a` (its full 64-bit
     ///   hash);
     /// * `b_fingerprint` — a 64-bit fingerprint of the `B`-itemset.
-    pub fn update(&mut self, rank: u32, a_key: u64, b_fingerprint: u64) {
+    pub fn update(&mut self, rank: u32, a_key: u64, b_fingerprint: u64) -> UpdateOutcome {
         let i = rank.min(CELLS - 1);
+        let mut out = UpdateOutcome::default();
+        if self.ones >> i & 1 == 1 {
+            return out; // Zone-1: the event is already recorded.
+        }
+        let entries_before = self.items + self.support.items;
         // The monotone F0^sup event is recorded for every arrival (a
         // value-1 cell is implicitly supported, so it can be skipped).
-        if self.ones >> i & 1 == 0 {
-            self.support.update(i, a_key);
-        }
-        if self.ones >> i & 1 == 1 {
-            return; // Zone-1: the event is already recorded.
-        }
+        let (certified, support_evictions) = self.support.update(i, a_key);
+        out.certified = certified;
+        out.evictions += support_evictions;
         match self.fringe {
-            Some(f) => self.update_bounded(i, a_key, b_fingerprint, f),
-            None => self.update_unbounded(i, a_key, b_fingerprint),
+            Some(f) => self.update_bounded(i, a_key, b_fingerprint, f, &mut out),
+            None => self.update_unbounded(i, a_key, b_fingerprint, &mut out),
         }
+        out.entries_delta = (self.items + self.support.items) as i32 - entries_before as i32;
+        out
     }
 
-    fn update_unbounded(&mut self, i: u32, a_key: u64, b_fp: u64) {
+    fn update_unbounded(&mut self, i: u32, a_key: u64, b_fp: u64, out: &mut UpdateOutcome) {
         let cell = self.cells[i as usize].get_or_insert_with(CellState::new);
         let before = cell.len();
-        let event = cell.update(a_key, b_fp, &self.cond, usize::MAX);
+        let result = cell.update(a_key, b_fp, &self.cond, usize::MAX);
         let after = self.cells[i as usize].as_ref().map_or(0, CellState::len);
         self.items += after;
         self.items -= before;
-        if event == CellEvent::MustClose {
+        out.dirty = result.dirty;
+        if result.event == CellEvent::MustClose {
             self.commit_one(i);
+            out.committed = true;
         }
     }
 
@@ -413,19 +450,24 @@ impl NipsBitmap {
     /// condition counts an itemset's arrivals from the beginning, so a
     /// fringe that adopts cells late systematically under-detects at high
     /// `σ`.
-    fn update_bounded(&mut self, i: u32, a_key: u64, b_fp: u64, f: u32) {
+    fn update_bounded(&mut self, i: u32, a_key: u64, b_fp: u64, f: u32, out: &mut UpdateOutcome) {
         self.top = Some(self.top.map_or(i, |t| t.max(i)));
         let top = self.top.expect("just set");
         let cap_exp = (top - i).min(f - 1).min(40);
         let capacity = (self.headroom as usize) << cap_exp;
         let cell = self.cells[i as usize].get_or_insert_with(CellState::new);
         let before = cell.len();
-        let event = cell.update(a_key, b_fp, &self.cond, capacity);
+        let result = cell.update(a_key, b_fp, &self.cond, capacity);
         let after = self.cells[i as usize].as_ref().map_or(0, CellState::len);
         self.items += after;
         self.items -= before;
-        if event == CellEvent::MustClose {
+        out.dirty = result.dirty;
+        if result.recycled {
+            out.evictions += 1;
+        }
+        if result.event == CellEvent::MustClose {
             self.commit_one(i);
+            out.committed = true;
         }
         // Enforce the global item budget by shedding the least-supported
         // itemset of the most crowded cell — never a whole cell, so
@@ -442,6 +484,7 @@ impl NipsBitmap {
             let cell = self.cells[crowded].as_mut().expect("crowded cell is open");
             if cell.shed_weakest() {
                 self.items -= 1;
+                out.evictions += 1;
             } else {
                 break;
             }
@@ -826,6 +869,52 @@ mod tests {
         assert_eq!(bm.rank_non_implication(), 0);
         let (f0, sbar, s) = bm.estimate();
         assert_eq!((f0, sbar, s), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn update_outcome_reports_what_happened() {
+        let mut bm = NipsBitmap::unbounded(strict());
+        // First arrival: tracked in both fringes (σ = 1 certifies
+        // immediately, so the support side holds no entry).
+        let h = MixHasher::new(9).hash_u64(7);
+        let first = bm.update(lsb_rank(h), h, mix64(1));
+        assert!(first.certified, "σ = 1 certifies on first arrival");
+        assert_eq!(first.dirty, None);
+        assert!(!first.committed);
+        assert_eq!(first.entries_delta, 1, "one NIPS entry tracked");
+        // Second partner violates K = 1: dirty + commit, entry dropped.
+        let second = bm.update(lsb_rank(h), h, mix64(2));
+        assert_eq!(second.dirty, Some(crate::state::DirtyReason::Multiplicity));
+        assert!(second.committed);
+        assert_eq!(second.entries_delta, -1, "commit frees the cell");
+        // Zone-1 arrivals are no-ops.
+        let third = bm.update(lsb_rank(h), h, mix64(3));
+        assert_eq!(third, UpdateOutcome::default());
+        // Occupancy bookkeeping: cumulative deltas equal live entries.
+        assert_eq!(bm.entries(), 0);
+    }
+
+    #[test]
+    fn update_outcome_counts_evictions_under_pressure() {
+        let cond = ImplicationConditions::one_to_c(2, 0.5, 2);
+        let mut bm = NipsBitmap::bounded(cond, 2);
+        let mut evictions = 0u64;
+        let mut delta_sum = 0i64;
+        for a in 0..2000u64 {
+            let h = MixHasher::new(9).hash_u64(a);
+            let out = bm.update(lsb_rank(h), h, mix64(a % 3));
+            evictions += out.evictions as u64;
+            delta_sum += out.entries_delta as i64;
+        }
+        assert!(
+            evictions > 0,
+            "a tiny fringe under 2000 itemsets must evict"
+        );
+        assert_eq!(
+            delta_sum,
+            bm.entries() as i64,
+            "entries_delta must telescope to the live entry count"
+        );
     }
 
     #[test]

@@ -51,13 +51,14 @@
 //! assert_eq!(est.to_bytes(), seq.to_bytes());
 //! ```
 
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError};
 use std::thread::JoinHandle;
 
 use imp_sketch::hash::{Hasher64, MixHasher};
 use imp_sketch::rank::split_rank;
 
 use crate::estimator::ImplicationEstimator;
+use crate::metrics::MetricsHandle;
 
 /// Pre-hashed pairs buffered per shard before a batch is shipped.
 const BATCH: usize = 1024;
@@ -102,6 +103,7 @@ pub struct ShardedEstimator {
     senders: Vec<SyncSender<Vec<(u64, u64)>>>,
     workers: Vec<JoinHandle<ImplicationEstimator>>,
     pending: Vec<Vec<(u64, u64)>>,
+    metrics: MetricsHandle,
 }
 
 impl ShardedEstimator {
@@ -115,15 +117,33 @@ impl ShardedEstimator {
         assert!(threads >= 1, "need at least one ingestion shard");
         let (hasher_a, hasher_b) = base.hashers();
         let log2_m = base.log2_m();
+        let metrics = base.metrics().clone();
+        metrics.ingest.shards.set(threads as u64);
         let template = base.fresh_like();
         let shards = base.split_shards(threads);
         let mut senders = Vec::with_capacity(threads);
         let mut workers = Vec::with_capacity(threads);
-        for mut shard in shards {
+        for (k, mut shard) in shards.into_iter().enumerate() {
             let (tx, rx): (_, Receiver<Vec<(u64, u64)>>) = sync_channel(CHANNEL_DEPTH);
             senders.push(tx);
+            let worker_metrics = metrics.clone();
             workers.push(std::thread::spawn(move || {
-                while let Ok(batch) = rx.recv() {
+                loop {
+                    // Distinguish "batch was already waiting" from "had to
+                    // block": the idle_waits counter tells a router-bound
+                    // pipeline (workers starving) from a worker-bound one.
+                    let batch = match rx.try_recv() {
+                        Ok(batch) => batch,
+                        Err(TryRecvError::Empty) => {
+                            worker_metrics.ingest.idle_waits.inc();
+                            match rx.recv() {
+                                Ok(batch) => batch,
+                                Err(_) => break,
+                            }
+                        }
+                        Err(TryRecvError::Disconnected) => break,
+                    };
+                    worker_metrics.ingest.lane(k).queue_depth.adjust(-1);
                     shard.update_hashed_batch(&batch);
                 }
                 shard
@@ -137,7 +157,28 @@ impl ShardedEstimator {
             senders,
             workers,
             pending: vec![Vec::with_capacity(BATCH); threads],
+            metrics,
         }
+    }
+
+    /// The observability registry shared with the base estimator, its
+    /// shards, and the reassembled result (see [`crate::metrics`]).
+    pub fn metrics(&self) -> &MetricsHandle {
+        &self.metrics
+    }
+
+    /// Ships one batch to shard `shard`, maintaining the routing counters
+    /// and the in-flight queue-depth gauge.
+    fn ship(&self, shard: usize, batch: Vec<(u64, u64)>) {
+        let m = &self.metrics.ingest;
+        m.batches_routed.inc();
+        m.updates_routed.add(batch.len() as u64);
+        let lane = m.lane(shard);
+        lane.batches.inc();
+        lane.queue_depth.adjust(1);
+        self.senders[shard]
+            .send(batch)
+            .expect("ingestion worker exited early");
     }
 
     /// Number of worker shards.
@@ -178,9 +219,7 @@ impl ShardedEstimator {
         buf.push((h_a, b_fp));
         if buf.len() >= BATCH {
             let batch = std::mem::replace(buf, Vec::with_capacity(BATCH));
-            self.senders[shard]
-                .send(batch)
-                .expect("ingestion worker exited early");
+            self.ship(shard, batch);
         }
     }
 
@@ -195,12 +234,11 @@ impl ShardedEstimator {
     /// Called automatically by [`ShardedEstimator::finish`]; useful on its
     /// own only to bound buffering latency.
     pub fn flush(&mut self) {
-        for (shard, buf) in self.pending.iter_mut().enumerate() {
-            if !buf.is_empty() {
-                let batch = std::mem::take(buf);
-                self.senders[shard]
-                    .send(batch)
-                    .expect("ingestion worker exited early");
+        self.metrics.ingest.flushes.inc();
+        for shard in 0..self.pending.len() {
+            if !self.pending[shard].is_empty() {
+                let batch = std::mem::take(&mut self.pending[shard]);
+                self.ship(shard, batch);
             }
         }
     }

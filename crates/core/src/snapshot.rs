@@ -3,8 +3,10 @@
 //!
 //! Constrained environments restart: routers reboot, collector processes
 //! roll. A NIPS/CI sketch is a few kilobytes, so the natural operational
-//! answer is to persist it — [`ImplicationEstimator::to_bytes`] /
-//! [`ImplicationEstimator::from_bytes`] round-trip the complete state
+//! answer is to persist it —
+//! [`ImplicationEstimator::to_bytes`](crate::ImplicationEstimator::to_bytes) /
+//! [`ImplicationEstimator::from_bytes`](crate::ImplicationEstimator::from_bytes)
+//! round-trip the complete state
 //! (conditions, hash seeds, every bitmap's Zone-1 mask, fringe cells and
 //! support side-fringe), and the restored estimator continues the stream
 //! exactly where the snapshot left off. Combined with

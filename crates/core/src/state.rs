@@ -30,6 +30,40 @@ pub enum Verdict {
     Violates,
 }
 
+/// Which implication condition's failure caused a dirty transition
+/// (§3.1.1's three conditions). Attributed at the moment an itemset
+/// first turns [`Verdict::Violates`]; reported through
+/// [`EstimatorMetrics`](crate::metrics::EstimatorMetrics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirtyReason {
+    /// A `(K+1)`-th distinct partner arrived while the itemset was
+    /// supported: the max-multiplicity condition `K` failed outright.
+    Multiplicity,
+    /// The top-`c` confidence dropped below `ψ_c` while supported.
+    Confidence,
+    /// The multiplicity had already overflowed while the itemset was
+    /// below `σ`; reaching the support threshold materialized the
+    /// violation (the deferred case of §3.1.1's support gating).
+    SupportGate,
+}
+
+impl DirtyReason {
+    /// Classifies a fresh dirty transition from the multiplicity-overflow
+    /// flags before and after the triggering update. `Confidence` when the
+    /// multiplicity never overflowed; otherwise `Multiplicity` if the
+    /// overflow happened on this very update, `SupportGate` if it predated
+    /// it (and the support threshold exposed it now).
+    pub(crate) fn classify(pre_exceeded: bool, now_exceeded: bool) -> DirtyReason {
+        if !now_exceeded {
+            DirtyReason::Confidence
+        } else if pre_exceeded {
+            DirtyReason::SupportGate
+        } else {
+            DirtyReason::Multiplicity
+        }
+    }
+}
+
 /// Tracking state for one itemset `a` with respect to `B`.
 #[derive(Debug, Clone, Default)]
 pub struct ItemState {

@@ -12,6 +12,17 @@ use crate::hash::{Hasher64, MixHasher};
 use crate::rank::split_rank;
 
 /// An `m`-bitmap PCSA distinct-count sketch. `m` must be a power of two.
+///
+/// ```
+/// use imp_sketch::pcsa::Pcsa;
+///
+/// let mut sketch = Pcsa::new(64, 42);
+/// for x in 0..10_000u64 {
+///     sketch.insert_u64(x % 2_000); // 2 000 distinct values
+/// }
+/// let est = sketch.estimate();
+/// assert!((est - 2_000.0).abs() / 2_000.0 < 0.25, "estimate {est}");
+/// ```
 #[derive(Debug, Clone)]
 pub struct Pcsa<H = MixHasher> {
     hasher: H,

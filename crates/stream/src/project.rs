@@ -9,6 +9,16 @@ use crate::schema::{AttrSet, Schema};
 use crate::tuple::Tuple;
 
 /// Projects tuples onto a fixed attribute set.
+///
+/// ```
+/// use imp_stream::{Projector, Schema, Tuple};
+///
+/// let schema = Schema::new([("src", 1 << 32), ("dst", 1 << 32), ("port", 65_536)]);
+/// let lhs = Projector::new(&schema, schema.attr_set(&["src", "port"]));
+///
+/// let tuple = Tuple::new([10u64, 20, 443]);
+/// assert_eq!(lhs.project(&tuple).as_slice(), &[10, 443]);
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Projector {
     /// Positions to read, ascending.

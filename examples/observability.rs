@@ -1,0 +1,89 @@
+//! Watching a NIPS/CI estimator work — the observability layer end to
+//! end.
+//!
+//! A constrained deployment (router, collector sidecar) can't attach a
+//! debugger, so the estimator exports its internals as lock-free
+//! counters: tuples ingested, dirty transitions attributed to the
+//! violated condition (K / ψ_c / σ), fringe evictions under memory
+//! pressure, snapshot traffic. This example ingests a two-phase stream —
+//! loyal traffic, then a noisy burst — sampling the registry between
+//! phases, and finishes with the full report (the `--stats` output of
+//! the CLI) plus one InfluxDB line-protocol sample (the
+//! `--stats-interval` output). The counter glossary is DESIGN.md §8.2.
+//!
+//! Run with: `cargo run --release --example observability`
+
+use implicate::{EstimatorConfig, Fringe, ImplicationConditions, MetricsRegistry};
+
+fn main() {
+    if !MetricsRegistry::enabled() {
+        println!("metrics feature compiled out; rebuild with default features");
+        return;
+    }
+
+    // "How many sources stick to at most 2 destinations ≥ 80% of the
+    // time, with at least 3 observations?" — bounded fringe, so heavy
+    // cardinality also exercises eviction accounting.
+    let cond = ImplicationConditions::builder()
+        .max_multiplicity(2)
+        .min_support(3)
+        .top_confidence(2, 0.80)
+        .build();
+    let mut est = EstimatorConfig::new(cond)
+        .bitmaps(64)
+        .fringe(Fringe::Bounded(4))
+        .seed(7)
+        .build();
+
+    // Phase 1: loyal traffic — every source revisits one destination.
+    for i in 0..120_000u64 {
+        let src = i % 30_000;
+        est.update(&[src], &[src % 97]);
+    }
+    // Handle clones share the registry, so `m` keeps reading live
+    // counters while `est` continues to ingest.
+    let m = est.metrics().clone();
+    println!("after loyal phase:");
+    println!(
+        "  tuples {}  dirty(K {} / psi {} / sigma {})  occupancy {} (peak {})",
+        m.estimator.tuples.get(),
+        m.estimator.dirty_multiplicity.get(),
+        m.estimator.dirty_confidence.get(),
+        m.estimator.dirty_support_gate.get(),
+        m.estimator.occupancy.get(),
+        m.estimator.occupancy.peak(),
+    );
+
+    // Phase 2: a burst of scanners — one-shot sources spraying fresh
+    // destinations. Multiplicity violations and fringe churn follow.
+    for i in 0..120_000u64 {
+        let src = 1_000_000 + i % 40_000;
+        est.update(&[src], &[i]); // new destination every visit
+    }
+    println!("after scanner burst:");
+    println!(
+        "  tuples {}  dirty(K {} / psi {} / sigma {})  evictions {}",
+        m.estimator.tuples.get(),
+        m.estimator.dirty_multiplicity.get(),
+        m.estimator.dirty_confidence.get(),
+        m.estimator.dirty_support_gate.get(),
+        m.estimator.fringe_evictions.get(),
+    );
+
+    // Snapshot traffic is metered too.
+    let bytes = est.to_bytes();
+    println!(
+        "snapshot: {} bytes in {} encode(s)",
+        est.metrics().snapshot.bytes_written.get(),
+        est.metrics().snapshot.encodes.get(),
+    );
+    drop(bytes);
+
+    let e = est.estimate();
+    println!("\nestimate: S ≈ {:.0}\n", e.implication_count);
+
+    // What `implicate --stats` prints at exit …
+    println!("{}", est.metrics().report());
+    // … and one `implicate --stats-interval N` sample.
+    println!("\n{}", est.metrics().line_protocol("implicate"));
+}

@@ -63,8 +63,8 @@ pub use imp_baselines::{
 };
 pub use imp_core::query::{self, Filter};
 pub use imp_core::{
-    Confidence, Estimate, EstimatorConfig, Fringe, ImplicationConditions, ImplicationEstimator,
-    ImplicationQuery, MultiplicityPolicy, NipsBitmap, PairHasher, QueryEngine, QueryKind,
-    ShardedEstimator,
+    Confidence, DirtyReason, Estimate, EstimatorConfig, Fringe, ImplicationConditions,
+    ImplicationEstimator, ImplicationQuery, MetricsHandle, MetricsRegistry, MultiplicityPolicy,
+    NipsBitmap, PairHasher, QueryEngine, QueryKind, ShardedEstimator, UpdateOutcome,
 };
 pub use imp_stream::{AttrSet, ItemKey, Projector, Schema, Tuple};

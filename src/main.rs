@@ -17,6 +17,9 @@
 //! # checkpoint / resume across restarts
 //! implicate --lhs 0 --rhs 1 --save state.imps
 //! implicate --lhs 0 --rhs 1 --resume state.imps --save state.imps
+//!
+//! # observability: end-of-run counter report + periodic line protocol
+//! implicate --lhs 0 --rhs 1 --stats --stats-interval 100000 traffic.csv
 //! ```
 //!
 //! Fields are treated as opaque strings (hashed to 64-bit fingerprints),
@@ -55,6 +58,8 @@ struct CliDraft {
     seed: u64,
     threads: usize,
     watch: Option<u64>,
+    stats: bool,
+    stats_interval: Option<u64>,
     save: Option<String>,
     resume: Option<String>,
     input: Option<String>,
@@ -77,6 +82,8 @@ impl Default for CliDraft {
             seed: 42,
             threads: 1,
             watch: None,
+            stats: false,
+            stats_interval: None,
             save: None,
             resume: None,
             input: None,
@@ -193,6 +200,18 @@ const OPTIONS: &[Opt] = &[
         set: |d, v| d.watch = Some(parse_num(v, "--watch")),
     },
     Opt {
+        name: "--stats",
+        metavar: "",
+        doc: "print the internal metrics report on stderr at exit\n(counter glossary: DESIGN.md §8.2)",
+        set: |d, _| d.stats = true,
+    },
+    Opt {
+        name: "--stats-interval",
+        metavar: "N",
+        doc: "emit a metrics line (influx line protocol) on stderr\nevery N rows",
+        set: |d, v| d.stats_interval = Some(parse_num(v, "--stats-interval")),
+    },
+    Opt {
         name: "--save",
         metavar: "FILE",
         doc: "write a snapshot of the estimator state on exit",
@@ -252,6 +271,8 @@ struct Cli {
     delimiter: Option<char>,
     threads: usize,
     watch: Option<u64>,
+    stats: bool,
+    stats_interval: Option<u64>,
     save: Option<String>,
     resume: Option<String>,
     input: Option<String>,
@@ -322,6 +343,9 @@ impl CliDraft {
         if self.threads == 0 {
             die("--threads must be at least 1");
         }
+        if self.stats_interval == Some(0) {
+            die("--stats-interval must be at least 1");
+        }
         let cond = ImplicationConditions::builder()
             .max_multiplicity(self.max_mult)
             .min_support(self.support)
@@ -343,6 +367,8 @@ impl CliDraft {
             delimiter: self.delimiter,
             threads: self.threads,
             watch: self.watch,
+            stats: self.stats,
+            stats_interval: self.stats_interval,
             save: self.save,
             resume: self.resume,
             input: self.input,
@@ -409,6 +435,9 @@ fn run_sequential(
         }
         est.update(&buf_a, &buf_b);
         rows += 1;
+        if cli.stats_interval.is_some_and(|n| rows.is_multiple_of(n)) {
+            eprintln!("{}", est.metrics().line_protocol("implicate"));
+        }
         if cli.watch.is_some_and(|w| rows.is_multiple_of(w)) {
             let e = est.estimate();
             let answer = if cli.complement {
@@ -487,6 +516,7 @@ fn run_parallel(
             });
         }
         let watch = cli.watch;
+        let stats_interval = cli.stats_interval;
         let router = scope.spawn(move || {
             let mut sharded = sharded;
             let (mut rows, mut skipped) = (0u64, 0u64);
@@ -501,6 +531,11 @@ fn run_parallel(
                     sharded.update_hashed_batch(&batch.pairs);
                     rows += batch.rows;
                     skipped += batch.skipped;
+                    if let Some(n) = stats_interval {
+                        if rows / n > before / n {
+                            eprintln!("{}", sharded.metrics().line_protocol("implicate"));
+                        }
+                    }
                     if let Some(w) = watch {
                         if rows / w > before / w {
                             eprintln!("{rows} rows ingested");
@@ -577,5 +612,9 @@ fn main() {
         f.write_all(&bytes)
             .unwrap_or_else(|e| die(&format!("{path}: {e}")));
         eprintln!("snapshot: wrote {} bytes to {path}", bytes.len());
+    }
+    // After --save, so the report includes the snapshot encode it caused.
+    if cli.stats {
+        eprintln!("{}", est.metrics().report().trim_end());
     }
 }

@@ -109,6 +109,91 @@ fn save_and_resume_roundtrip() {
 }
 
 #[test]
+fn stats_flag_prints_metrics_report() {
+    let (_, stderr, ok) = run_cli(
+        &["--lhs", "0", "--rhs", "1", "--stats"],
+        &traffic(1000, 500),
+    );
+    assert!(ok, "stderr: {stderr}");
+    if cfg!(feature = "metrics") {
+        assert!(stderr.contains("metrics:"), "stderr: {stderr}");
+        // 1000 loyal + 500 fickle × 2 rows = 2000 tuples, exactly.
+        let tuples = stderr
+            .lines()
+            .find_map(|l| {
+                let mut it = l.split_whitespace();
+                (it.next() == Some("estimator.tuples")).then(|| it.next())
+            })
+            .flatten()
+            .and_then(|v| v.parse::<u64>().ok())
+            .expect("estimator.tuples line");
+        assert_eq!(tuples, 2000, "stderr: {stderr}");
+        // The report covers all three metric families.
+        for name in [
+            "estimator.dirty_multiplicity",
+            "ingest.shards",
+            "snapshot.encodes",
+        ] {
+            assert!(stderr.contains(name), "missing {name}: {stderr}");
+        }
+    } else {
+        assert!(stderr.contains("compiled out"), "stderr: {stderr}");
+    }
+}
+
+#[test]
+fn stats_interval_emits_line_protocol() {
+    let (_, stderr, ok) = run_cli(
+        &["--lhs", "0", "--rhs", "1", "--stats-interval", "1000"],
+        &traffic(2000, 0),
+    );
+    assert!(ok, "stderr: {stderr}");
+    let lines: Vec<&str> = stderr
+        .lines()
+        .filter(|l| l.starts_with("implicate "))
+        .collect();
+    assert_eq!(lines.len(), 2, "stderr: {stderr}");
+    if cfg!(feature = "metrics") {
+        assert!(
+            lines[0].contains("estimator.tuples=1000i"),
+            "first sample: {}",
+            lines[0]
+        );
+        assert!(
+            lines[1].contains("estimator.tuples=2000i"),
+            "second sample: {}",
+            lines[1]
+        );
+    } else {
+        assert!(lines[0].contains("metrics_enabled=false"), "{}", lines[0]);
+    }
+}
+
+#[test]
+fn stats_with_parallel_ingestion_reports_shards() {
+    let (_, stderr, ok) = run_cli(
+        &["--lhs", "0", "--rhs", "1", "--threads", "2", "--stats"],
+        &traffic(3000, 0),
+    );
+    assert!(ok, "stderr: {stderr}");
+    if cfg!(feature = "metrics") {
+        let shards = stderr
+            .lines()
+            .find_map(|l| {
+                let mut it = l.split_whitespace();
+                (it.next() == Some("ingest.shards")).then(|| it.next())
+            })
+            .flatten()
+            .and_then(|v| v.parse::<u64>().ok())
+            .expect("ingest.shards line");
+        assert_eq!(shards, 2, "stderr: {stderr}");
+        assert!(stderr.contains("ingest.shard0.batches"), "stderr: {stderr}");
+    } else {
+        assert!(stderr.contains("compiled out"), "stderr: {stderr}");
+    }
+}
+
+#[test]
 fn unknown_option_fails_with_usage() {
     let (_, stderr, ok) = run_cli(&["--bogus"], "");
     assert!(!ok);
