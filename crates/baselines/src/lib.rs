@@ -24,7 +24,12 @@
 //!
 //! All counters implement [`ImplicationCounter`], so the experiment harness
 //! can drive them interchangeably.
+//!
+//! The [`audit`] module turns the exact counter into an *online* accuracy
+//! auditor: exact ground truth on a sampled key subset, compared against a
+//! live estimator at a fixed row cadence (DESIGN.md §8.3).
 
+pub mod audit;
 pub mod distinct_sampling;
 pub mod exact;
 pub mod ilc;
@@ -32,6 +37,7 @@ pub mod lossy;
 pub mod naive;
 pub mod sticky;
 
+pub use audit::{AccuracyAuditor, ErrorSample};
 pub use distinct_sampling::DistinctSampling;
 pub use exact::ExactCounter;
 pub use ilc::Ilc;

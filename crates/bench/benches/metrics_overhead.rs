@@ -79,6 +79,47 @@ fn bench_sampling(c: &mut Criterion) {
     g.finish();
 }
 
+/// The `trace` feature's hot-path tax, in the three states a build can
+/// occupy: compiled out (`--no-default-features`), compiled in but
+/// inactive (the default — every estimator starts with a disabled
+/// [`imp_core::TraceHandle`], so each update pays one `Option` check),
+/// and actively journaling into a ring. The DESIGN.md §8.3 budget:
+/// inactive must stay within 5% of compiled out, mirroring the metrics
+/// contract above; journaling cost is reported, not bounded.
+fn bench_trace_states(c: &mut Criterion) {
+    let cond = ImplicationConditions::one_to_c(2, 0.8, 2);
+    let data = stream(100_000);
+    let mut g = c.benchmark_group("trace_hot_path");
+    g.throughput(Throughput::Elements(data.len() as u64));
+    let label = if imp_core::TraceHandle::enabled() {
+        "trace_inactive"
+    } else {
+        "trace_compiled_out"
+    };
+    g.bench_function(label, |bench| {
+        bench.iter(|| {
+            let mut est = EstimatorConfig::new(cond).seed(1).build();
+            for (a, b) in &data {
+                est.update(black_box(a), black_box(b));
+            }
+            black_box(est.estimate())
+        });
+    });
+    if imp_core::TraceHandle::enabled() {
+        g.bench_function("trace_journaling", |bench| {
+            bench.iter(|| {
+                let mut est = EstimatorConfig::new(cond).seed(1).build();
+                est.set_trace(imp_core::TraceHandle::with_capacity(1 << 16));
+                for (a, b) in &data {
+                    est.update(black_box(a), black_box(b));
+                }
+                black_box(est.estimate())
+            });
+        });
+    }
+    g.finish();
+}
+
 /// Sharded ingestion with the shared registry: shards of one estimator
 /// hammer the same atomics, the worst contention case the design accepts
 /// (see DESIGN.md §8.2 for why relaxed ordering makes this safe).
@@ -109,6 +150,6 @@ fn bench_sharded_shared_registry(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_update_hot_path, bench_sampling, bench_sharded_shared_registry
+    targets = bench_update_hot_path, bench_sampling, bench_trace_states, bench_sharded_shared_registry
 }
 criterion_main!(benches);

@@ -1,0 +1,192 @@
+//! `bench-telemetry` — machine-readable bench reports and the CI
+//! regression gate (DESIGN.md §8.3).
+//!
+//! Three modes, one binary:
+//!
+//! ```text
+//! # run the fixed workload, write BENCH_ingest.json + BENCH_estimate.json
+//! bench-telemetry --rows 200000 --out results
+//!
+//! # validate a report against the flat schema
+//! bench-telemetry --check results/BENCH_ingest.json
+//!
+//! # the gate: fail (exit 1) on >15% ingest-throughput regression
+//! bench-telemetry --compare-baseline results/BENCH_ingest.json \
+//!                 --compare-candidate target/telemetry/BENCH_ingest.json \
+//!                 --threshold 0.15
+//! ```
+//!
+//! The workload is deterministic (Dataset One-style loyal/disloyal key
+//! mix, fixed seed), so two runs on one host differ only by machine
+//! noise — which is what the gate's threshold absorbs.
+
+use std::time::Instant;
+
+use imp_bench::telemetry::{
+    compare, git_sha, peak_rss_kb, LatencyHistogram, Report, Value, SCHEMA_VERSION,
+};
+use imp_bench::Args;
+use imp_core::{EstimatorConfig, ImplicationConditions, MetricsRegistry, TraceHandle};
+
+const USAGE: &str = "bench-telemetry — machine-readable bench reports + regression gate
+
+usage: bench-telemetry [--rows N] [--seed N] [--out DIR]
+       bench-telemetry --check FILE
+       bench-telemetry --compare-baseline FILE --compare-candidate FILE [--threshold F]
+
+  --rows N               workload rows (default 200000)
+  --seed N               workload + estimator seed (default 42)
+  --out DIR              where BENCH_*.json land (default results)
+  --check FILE           schema-validate one report, exit 1 on violation
+  --compare-baseline F   committed baseline report for the gate
+  --compare-candidate F  freshly produced report to judge
+  --threshold F          max tolerated fractional throughput drop (default 0.15)";
+
+fn read_report(path: &str) -> Report {
+    let raw = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(1);
+    });
+    Report::from_json(&raw).unwrap_or_else(|e| {
+        eprintln!("{path}: parse error: {e}");
+        std::process::exit(1);
+    })
+}
+
+/// The deterministic pair stream: 3/4 loyal keys (single partner), 1/4
+/// promiscuous — the same shape the Criterion benches use, so telemetry
+/// throughput tracks the numbers developers see locally.
+fn workload(rows: u64, seed: u64) -> Vec<([u64; 1], [u64; 1])> {
+    (0..rows)
+        .map(|i| {
+            let a = imp_sketch::hash::mix64(i ^ seed) % (rows / 4).max(1);
+            let b = if a.is_multiple_of(4) { i % 64 } else { a % 64 };
+            ([a], [b])
+        })
+        .collect()
+}
+
+/// Common context keys shared by both phase reports.
+fn base_report(phase: &str, rows: u64, seed: u64) -> Report {
+    let mut r = Report::new();
+    r.set("schema_version", Value::U64(SCHEMA_VERSION));
+    r.set("phase", Value::Str(phase.to_owned()));
+    r.set("rows", Value::U64(rows));
+    r.set("seed", Value::U64(seed));
+    r.set("git_sha", Value::Str(git_sha()));
+    r.set("feature_metrics", Value::Bool(MetricsRegistry::enabled()));
+    r.set("feature_trace", Value::Bool(TraceHandle::enabled()));
+    r
+}
+
+fn finish_report(mut r: Report, elapsed_secs: f64, ops: u64, hist: &LatencyHistogram) -> Report {
+    r.set("elapsed_secs", Value::F64(elapsed_secs));
+    r.set(
+        "throughput_rows_per_sec",
+        Value::F64(ops as f64 / elapsed_secs.max(1e-9)),
+    );
+    r.set("latency_p50_nanos", Value::U64(hist.quantile(0.50)));
+    r.set("latency_p99_nanos", Value::U64(hist.quantile(0.99)));
+    r.set("peak_rss_kb", Value::U64(peak_rss_kb()));
+    r
+}
+
+fn write_report(dir: &str, name: &str, report: &Report) {
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+        eprintln!("{dir}: {e}");
+        std::process::exit(1);
+    });
+    let path = format!("{dir}/{name}");
+    std::fs::write(&path, report.to_json()).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("telemetry: wrote {path}");
+}
+
+fn main() {
+    let args = Args::parse(
+        USAGE,
+        &[
+            "rows",
+            "seed",
+            "out",
+            "check",
+            "compare-baseline",
+            "compare-candidate",
+            "threshold",
+        ],
+        &[],
+    );
+
+    if let Some(path) = args.get("check") {
+        let report = read_report(path);
+        match report.schema_check() {
+            Ok(()) => {
+                println!("{path}: schema ok");
+                return;
+            }
+            Err(e) => {
+                eprintln!("{path}: schema violation: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let (Some(base), Some(cand)) = (args.get("compare-baseline"), args.get("compare-candidate"))
+    {
+        let threshold = args.get_or("threshold", 0.15f64);
+        match compare(&read_report(base), &read_report(cand), threshold) {
+            Ok(verdict) => {
+                println!("gate ok: {verdict}");
+                return;
+            }
+            Err(verdict) => {
+                eprintln!("gate FAILED: {verdict}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if args.get("compare-baseline").is_some() || args.get("compare-candidate").is_some() {
+        eprintln!("the gate needs both --compare-baseline and --compare-candidate\n\n{USAGE}");
+        std::process::exit(2);
+    }
+
+    let rows = args.get_or("rows", 200_000u64);
+    let seed = args.get_or("seed", 42u64);
+    let out = args.get("out").unwrap_or("results").to_owned();
+    let cond = ImplicationConditions::one_to_c(2, 0.8, 2);
+    let data = workload(rows, seed);
+
+    // Phase 1 — ingest: time every update into the log2 histogram.
+    let mut est = EstimatorConfig::new(cond).seed(seed).build();
+    let mut hist = LatencyHistogram::new();
+    let start = Instant::now();
+    for (a, b) in &data {
+        let t = Instant::now();
+        est.update(a, b);
+        hist.record(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let ingest = finish_report(base_report("ingest", rows, seed), elapsed, rows, &hist);
+    write_report(&out, "BENCH_ingest.json", &ingest);
+
+    // Phase 2 — estimate: repeated full queries against the loaded state.
+    // One query sweeps every bitmap, so a few hundred repetitions give
+    // stable quantiles without rivaling the ingest phase's runtime.
+    let reps = 200u64;
+    let mut hist = LatencyHistogram::new();
+    let start = Instant::now();
+    let mut sink = 0.0f64;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let e = est.estimate();
+        hist.record(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        sink += e.implication_count;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let mut estimate = finish_report(base_report("estimate", rows, seed), elapsed, reps, &hist);
+    estimate.set("queries", Value::U64(reps));
+    estimate.set("implication_count", Value::F64(sink / reps as f64));
+    write_report(&out, "BENCH_estimate.json", &estimate);
+}

@@ -16,10 +16,15 @@
 //! in minutes while preserving the paper's shapes, and `--full` restores
 //! the paper-scale repetition counts.
 
+//! Beyond the paper's artifacts, `bench-telemetry` emits machine-readable
+//! run reports (`BENCH_ingest.json` / `BENCH_estimate.json`) consumed by
+//! the CI regression gate — see [`telemetry`] and DESIGN.md §8.3.
+
 pub mod args;
 pub mod figures;
 pub mod olap_experiment;
 pub mod params;
 pub mod table;
+pub mod telemetry;
 
 pub use args::Args;

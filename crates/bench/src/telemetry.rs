@@ -1,0 +1,510 @@
+//! Machine-readable bench telemetry: flat JSON reports with a schema
+//! check and a throughput-regression gate (DESIGN.md §8.3).
+//!
+//! The `bench-telemetry` binary runs a fixed ingest + estimate workload
+//! and writes one report per phase (`BENCH_ingest.json`,
+//! `BENCH_estimate.json`). Each report is a single flat JSON object —
+//! no nesting, no arrays — so CI can diff it, `jq` can slice it, and the
+//! hand-rolled parser below can read it back without a JSON dependency.
+//!
+//! Latency quantiles come from a log2 histogram: per-operation nanoseconds
+//! are bucketed by `floor(log2(n))`, and a quantile resolves to the
+//! geometric midpoint of its bucket. Resolution is therefore a factor of
+//! two — exactly enough to catch real regressions, cheap enough to time
+//! every operation.
+//!
+//! The regression gate ([`compare`]) is deliberately one-dimensional:
+//! candidate ingest throughput must be within `threshold` (default 15%)
+//! of the committed baseline. Latency and RSS ride along as context, not
+//! gates — they vary too much across CI hosts to block merges on.
+
+use std::fmt::Write as _;
+
+/// Report schema version; bump when keys change meaning.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Required keys (and the value class the checker enforces) of every
+/// telemetry report. Everything else is advisory context.
+pub const REQUIRED_KEYS: &[(&str, ValueKind)] = &[
+    ("schema_version", ValueKind::Num),
+    ("phase", ValueKind::Str),
+    ("rows", ValueKind::Num),
+    ("elapsed_secs", ValueKind::Num),
+    ("throughput_rows_per_sec", ValueKind::Num),
+    ("latency_p50_nanos", ValueKind::Num),
+    ("latency_p99_nanos", ValueKind::Num),
+    ("peak_rss_kb", ValueKind::Num),
+    ("git_sha", ValueKind::Str),
+    ("feature_metrics", ValueKind::Bool),
+    ("feature_trace", ValueKind::Bool),
+];
+
+/// The value classes a flat report can hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueKind {
+    /// Any JSON number (integers and floats alike).
+    Num,
+    /// A JSON string.
+    Str,
+    /// `true` / `false`.
+    Bool,
+}
+
+/// One value in a flat telemetry report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// An unsigned integer, rendered without a decimal point.
+    U64(u64),
+    /// A float, rendered with enough precision to round-trip coarsely.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// The value as a number, when it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::U64(v) => Some(*v as f64),
+            Value::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    fn kind(&self) -> ValueKind {
+        match self {
+            Value::U64(_) | Value::F64(_) => ValueKind::Num,
+            Value::Str(_) => ValueKind::Str,
+            Value::Bool(_) => ValueKind::Bool,
+        }
+    }
+}
+
+/// A flat, ordered telemetry report (insertion order is emission order).
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    entries: Vec<(String, Value)>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets `key` (replacing an earlier occurrence, keeping its slot).
+    pub fn set(&mut self, key: &str, value: Value) {
+        match self.entries.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v = value,
+            None => self.entries.push((key.to_owned(), value)),
+        }
+    }
+
+    /// Reads `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Renders the report as one flat JSON object (trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n  \"{}\": ", escape(k));
+            match v {
+                Value::U64(n) => {
+                    let _ = write!(out, "{n}");
+                }
+                Value::F64(f) if f.is_finite() => {
+                    let _ = write!(out, "{f}");
+                }
+                Value::F64(_) => out.push_str("null"),
+                Value::Str(s) => {
+                    let _ = write!(out, "\"{}\"", escape(s));
+                }
+                Value::Bool(b) => {
+                    let _ = write!(out, "{b}");
+                }
+            }
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Parses a flat JSON object produced by [`Report::to_json`] (or any
+    /// flat object of numbers, strings and booleans). Nested objects and
+    /// arrays are rejected — the schema is flat by design.
+    pub fn from_json(raw: &str) -> Result<Self, String> {
+        let mut p = Parser {
+            bytes: raw.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        p.expect(b'{')?;
+        let mut report = Report::new();
+        p.skip_ws();
+        if p.peek() == Some(b'}') {
+            return Ok(report);
+        }
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.value()?;
+            report.set(&key, value);
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+        Ok(report)
+    }
+
+    /// Validates the report against [`REQUIRED_KEYS`] and the schema
+    /// version. Returns every violation, not just the first.
+    pub fn schema_check(&self) -> Result<(), String> {
+        let mut problems = Vec::new();
+        for &(key, kind) in REQUIRED_KEYS {
+            match self.get(key) {
+                None => problems.push(format!("missing key {key:?}")),
+                Some(v) if v.kind() != kind => {
+                    problems.push(format!("key {key:?} has wrong type (want {kind:?})"));
+                }
+                Some(_) => {}
+            }
+        }
+        if let Some(v) = self.get("schema_version").and_then(Value::as_f64) {
+            if v != SCHEMA_VERSION as f64 {
+                problems.push(format!("schema_version {v} != supported {SCHEMA_VERSION}"));
+            }
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems.join("; "))
+        }
+    }
+}
+
+/// The regression gate: fails when the candidate's ingest throughput
+/// dropped more than `threshold` (fractional, e.g. 0.15) below the
+/// baseline's. Improvements always pass.
+pub fn compare(baseline: &Report, candidate: &Report, threshold: f64) -> Result<String, String> {
+    let read = |r: &Report, who: &str| {
+        r.get("throughput_rows_per_sec")
+            .and_then(Value::as_f64)
+            .filter(|v| *v > 0.0)
+            .ok_or_else(|| format!("{who}: missing or non-positive throughput_rows_per_sec"))
+    };
+    let base = read(baseline, "baseline")?;
+    let cand = read(candidate, "candidate")?;
+    let change = (cand - base) / base;
+    let verdict = format!(
+        "throughput {base:.0} -> {cand:.0} rows/s ({:+.1}%, threshold -{:.1}%)",
+        change * 100.0,
+        threshold * 100.0
+    );
+    if change < -threshold {
+        Err(verdict)
+    } else {
+        Ok(verdict)
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            other => Err(format!("expected {:?}, got {other:?}", want as char)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.next().ok_or("truncated \\u escape")?;
+                            code = code * 16 + (d as char).to_digit(16).ok_or("bad \\u escape")?;
+                        }
+                        out.push(char::from_u32(code).ok_or("bad \\u codepoint")?);
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(b) => out.push(b as char),
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::F64(f64::NAN)),
+            Some(b'{' | b'[') => Err("nested values are not part of the flat schema".into()),
+            Some(_) => {
+                let start = self.pos;
+                while matches!(
+                    self.peek(),
+                    Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                ) {
+                    self.pos += 1;
+                }
+                let raw =
+                    std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+                if let Ok(n) = raw.parse::<u64>() {
+                    Ok(Value::U64(n))
+                } else {
+                    raw.parse::<f64>()
+                        .map(Value::F64)
+                        .map_err(|_| format!("bad number {raw:?}"))
+                }
+            }
+            None => Err("truncated value".into()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal (expected {word})"))
+        }
+    }
+}
+
+/// A log2 latency histogram: 64 buckets, bucket `i` holding samples with
+/// `floor(log2(nanos)) == i` (0-or-1 ns land in bucket 0). Recording is
+/// one increment; quantiles resolve to the geometric midpoint of their
+/// bucket, so reported values are exact to within a factor of √2.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; 64],
+    count: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; 64],
+            count: 0,
+        }
+    }
+
+    /// Records one duration in nanoseconds.
+    #[inline]
+    pub fn record(&mut self, nanos: u64) {
+        let bucket = 63 - nanos.max(1).leading_zeros() as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The quantile `q` in `[0, 1]` as representative nanoseconds (the
+    /// geometric midpoint of the bucket holding that rank), or 0 when
+    /// the histogram is empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Geometric midpoint of [2^i, 2^(i+1)): 2^i * √2.
+                return ((1u64 << i) as f64 * std::f64::consts::SQRT_2) as u64;
+            }
+        }
+        unreachable!("rank {rank} beyond recorded count {}", self.count)
+    }
+}
+
+/// Peak resident set size in kB from `/proc/self/status` (`VmHWM`); 0
+/// where procfs is unavailable.
+pub fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|kb| kb.parse().ok())
+        .unwrap_or(0)
+}
+
+/// The commit the binary was built from: `GITHUB_SHA` when CI exports
+/// it, otherwise `git rev-parse HEAD`, otherwise `"unknown"`.
+pub fn git_sha() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal_valid() -> Report {
+        let mut r = Report::new();
+        r.set("schema_version", Value::U64(SCHEMA_VERSION));
+        r.set("phase", Value::Str("ingest".into()));
+        r.set("rows", Value::U64(1000));
+        r.set("elapsed_secs", Value::F64(0.5));
+        r.set("throughput_rows_per_sec", Value::F64(2000.0));
+        r.set("latency_p50_nanos", Value::U64(90));
+        r.set("latency_p99_nanos", Value::U64(362));
+        r.set("peak_rss_kb", Value::U64(4096));
+        r.set("git_sha", Value::Str("abc123".into()));
+        r.set("feature_metrics", Value::Bool(true));
+        r.set("feature_trace", Value::Bool(true));
+        r
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = minimal_valid();
+        let parsed = Report::from_json(&r.to_json()).unwrap();
+        for (k, v) in &r.entries {
+            match (v, parsed.get(k).unwrap()) {
+                (Value::F64(a), b) => assert_eq!(Some(*a), b.as_f64(), "{k}"),
+                (a, b) => assert_eq!(a, b, "{k}"),
+            }
+        }
+        assert!(parsed.schema_check().is_ok());
+    }
+
+    #[test]
+    fn schema_check_reports_every_violation() {
+        let mut r = minimal_valid();
+        r.set("git_sha", Value::U64(1)); // wrong type
+        let mut missing = Report::from_json(&r.to_json()).unwrap();
+        missing.entries.retain(|(k, _)| k != "rows");
+        let err = missing.schema_check().unwrap_err();
+        assert!(err.contains("missing key \"rows\""), "{err}");
+        assert!(err.contains("\"git_sha\" has wrong type"), "{err}");
+    }
+
+    #[test]
+    fn parser_rejects_nesting() {
+        assert!(Report::from_json("{\"a\": {\"b\": 1}}").is_err());
+        assert!(Report::from_json("{\"a\": [1]}").is_err());
+    }
+
+    #[test]
+    fn gate_passes_within_threshold_and_fails_beyond() {
+        let base = minimal_valid();
+        let mut cand = minimal_valid();
+        cand.set("throughput_rows_per_sec", Value::F64(1800.0)); // −10%
+        assert!(compare(&base, &cand, 0.15).is_ok());
+        cand.set("throughput_rows_per_sec", Value::F64(1600.0)); // −20%
+        assert!(compare(&base, &cand, 0.15).is_err());
+        cand.set("throughput_rows_per_sec", Value::F64(9999.0)); // faster
+        assert!(compare(&base, &cand, 0.15).is_ok());
+    }
+
+    #[test]
+    fn histogram_quantiles_land_in_the_right_bucket() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(100); // bucket 6: [64, 128)
+        }
+        h.record(10_000); // bucket 13: [8192, 16384)
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile(0.50);
+        assert!((64..128).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((64..128).contains(&p99), "p99 {p99} (99th sample is fast)");
+        let p100 = h.quantile(1.0);
+        assert!((8192..16384).contains(&p100), "max {p100}");
+    }
+
+    #[test]
+    fn rss_probe_reads_procfs_on_linux() {
+        // On Linux this must be > 0 for a live process; elsewhere 0.
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(peak_rss_kb() > 0);
+        }
+    }
+}

@@ -21,6 +21,7 @@ use imp_sketch::rank::split_rank;
 use crate::conditions::ImplicationConditions;
 use crate::metrics::{MetricsHandle, Stopwatch};
 use crate::nips::NipsBitmap;
+use crate::trace::{SpanKind, TraceHandle};
 
 /// Exponent of the small-range correction term.
 const KAPPA: f64 = 1.75;
@@ -177,6 +178,10 @@ pub struct ImplicationEstimator {
     /// Shared observability registry (see [`crate::metrics`]). Clones of
     /// this estimator — including ingestion shards — share it.
     metrics: MetricsHandle,
+    /// Shared structured-tracing handle (see [`crate::trace`]); disabled
+    /// until a journal is attached with
+    /// [`set_trace`](ImplicationEstimator::set_trace).
+    trace: TraceHandle,
 }
 
 impl ImplicationEstimator {
@@ -217,6 +222,7 @@ impl ImplicationEstimator {
             hasher_b: MixHasher::new(seed ^ 0x00b0_bca7),
             tuples: 0,
             metrics: MetricsHandle::new(),
+            trace: TraceHandle::disabled(),
         }
     }
 
@@ -232,6 +238,19 @@ impl ImplicationEstimator {
     /// estimator's counters after cloning.
     pub fn set_metrics(&mut self, metrics: MetricsHandle) {
         self.metrics = metrics;
+    }
+
+    /// The structured-tracing handle this estimator journals into —
+    /// disabled by default (see [`crate::trace`]). Cheap to clone; clones
+    /// and ingestion shards share the journal.
+    pub fn trace(&self) -> &TraceHandle {
+        &self.trace
+    }
+
+    /// Attaches (or detaches, with [`TraceHandle::disabled`]) the event
+    /// journal this estimator records into.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// The conditions under estimation.
@@ -265,6 +284,8 @@ impl ImplicationEstimator {
         let (idx, rank) = split_rank(h_a, self.log2_m);
         let outcome = self.bitmaps[idx].update(rank, h_a, b_fp);
         self.metrics.estimator.record(&outcome);
+        self.trace
+            .record_update(idx as u32, rank, h_a, self.tuples, &outcome);
     }
 
     /// Feeds a batch of single-attribute `(a, b)` pairs — the fast path
@@ -272,6 +293,8 @@ impl ImplicationEstimator {
     /// [`ImplicationEstimator::update`] with `(&[a], &[b])` per pair, in
     /// order.
     pub fn update_batch(&mut self, pairs: &[(u64, u64)]) {
+        let mut span = self.trace.span(SpanKind::UpdateBatch);
+        span.set_quantity(pairs.len() as u64);
         for &(a, b) in pairs {
             self.update_hashed(self.hasher_a.hash_u64(a), self.hasher_b.hash_u64(b));
         }
@@ -280,6 +303,8 @@ impl ImplicationEstimator {
     /// Feeds a batch of pre-hashed pairs `(h_a, b_fp)` in order (see
     /// [`ImplicationEstimator::update_hashed`] for the hashing contract).
     pub fn update_hashed_batch(&mut self, pairs: &[(u64, u64)]) {
+        let mut span = self.trace.span(SpanKind::UpdateBatch);
+        span.set_quantity(pairs.len() as u64);
         for &(h_a, b_fp) in pairs {
             self.update_hashed(h_a, b_fp);
         }
@@ -356,6 +381,8 @@ impl ImplicationEstimator {
     /// # Panics
     /// If conditions, bitmap counts or hash seeds differ.
     pub fn merge(&mut self, other: &ImplicationEstimator) {
+        let mut span = self.trace.span(SpanKind::Merge);
+        span.set_quantity(self.bitmaps.len() as u64);
         assert_eq!(self.cond, other.cond, "conditions must match");
         assert_eq!(
             self.bitmaps.len(),
@@ -386,6 +413,7 @@ impl ImplicationEstimator {
         hasher_b: MixHasher,
         tuples: u64,
         metrics: MetricsHandle,
+        trace: TraceHandle,
     ) -> Self {
         assert!(
             bitmaps.len().is_power_of_two(),
@@ -399,6 +427,7 @@ impl ImplicationEstimator {
             hasher_b,
             tuples,
             metrics,
+            trace,
         }
     }
 
@@ -413,8 +442,8 @@ impl ImplicationEstimator {
     }
 
     /// A same-configuration estimator with no accumulated state. Shares
-    /// this estimator's metrics registry (shards of one pipeline report
-    /// into one place).
+    /// this estimator's metrics registry and trace journal (shards of one
+    /// pipeline report into one place).
     pub(crate) fn fresh_like(&self) -> Self {
         Self::from_parts(
             self.cond,
@@ -423,6 +452,7 @@ impl ImplicationEstimator {
             self.hasher_b,
             0,
             self.metrics.clone(),
+            self.trace.clone(),
         )
     }
 
@@ -455,6 +485,7 @@ impl ImplicationEstimator {
                     self.hasher_b,
                     if k == 0 { self.tuples } else { 0 },
                     self.metrics.clone(),
+                    self.trace.clone(),
                 )
             })
             .collect()
@@ -490,6 +521,7 @@ impl ImplicationEstimator {
     /// ```
     pub fn to_bytes(&self) -> bytes::Bytes {
         use bytes::BufMut;
+        let mut span = self.trace.span(SpanKind::SnapshotEncode);
         let sw = Stopwatch::start();
         let mut buf = bytes::BytesMut::with_capacity(4096);
         buf.put_u32_le(crate::snapshot::MAGIC);
@@ -507,6 +539,7 @@ impl ImplicationEstimator {
         m.encodes.inc();
         m.bytes_written.add(out.len() as u64);
         m.encode_nanos.observe(sw.elapsed_nanos());
+        span.set_quantity(out.len() as u64);
         out
     }
 
@@ -550,6 +583,9 @@ impl ImplicationEstimator {
             hasher_b,
             tuples,
             metrics,
+            // A restored estimator starts untraced, like a fresh build;
+            // attach a journal with `set_trace` to resume journaling.
+            trace: TraceHandle::disabled(),
         })
     }
 }

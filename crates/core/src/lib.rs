@@ -61,6 +61,7 @@ pub mod query;
 pub mod sliding;
 pub mod snapshot;
 pub mod state;
+pub mod trace;
 
 pub use bounds::{fringe_size_for_ratio, min_estimable_ratio};
 pub use conditions::{
@@ -73,3 +74,4 @@ pub use parallel::{PairHasher, ShardedEstimator};
 pub use query::{ImplicationQuery, QueryEngine, QueryKind};
 pub use snapshot::SnapshotError;
 pub use state::{DirtyReason, ItemState, Verdict};
+pub use trace::{Span, SpanKind, TraceEvent, TraceHandle, TraceJournal, TracedEvent};

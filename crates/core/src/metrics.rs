@@ -610,6 +610,60 @@ impl MetricsRegistry {
             .collect();
         format!("{measurement} {}", fields.join(","))
     }
+
+    /// Whether a metric name denotes a level (Prometheus `gauge`) rather
+    /// than a monotone total (`counter`): instantaneous levels, peaks and
+    /// quantile read-offs can go down between scrapes.
+    fn is_gauge(name: &str) -> bool {
+        name.contains("occupancy")
+            || name.contains("queue_depth")
+            || name == "ingest.shards"
+            || name.ends_with("_peak")
+            || name.ends_with("_p95")
+    }
+
+    /// The full registry in Prometheus text exposition format: for every
+    /// sample of [`MetricsRegistry::samples`], a `# TYPE` line and a
+    /// sample line, with names flattened to `<namespace>_<name>` (dots
+    /// become underscores). With the `metrics` feature off, a single
+    /// comment line saying so.
+    ///
+    /// ```
+    /// use imp_core::MetricsRegistry;
+    ///
+    /// let reg = MetricsRegistry::new();
+    /// reg.estimator.tuples.add(7);
+    /// let text = reg.prometheus("implicate");
+    /// if MetricsRegistry::enabled() {
+    ///     assert!(text.contains("# TYPE implicate_estimator_tuples counter"));
+    ///     assert!(text.contains("\nimplicate_estimator_tuples 7\n"));
+    /// } else {
+    ///     assert!(text.starts_with('#'));
+    /// }
+    /// ```
+    pub fn prometheus(&self, namespace: &str) -> String {
+        if !Self::enabled() {
+            return format!(
+                "# {namespace}: metrics compiled out (build with the default `metrics` feature)\n"
+            );
+        }
+        let mut out = String::with_capacity(4096);
+        for (name, value) in self.samples() {
+            let flat: String = name
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect();
+            let kind = if Self::is_gauge(&name) {
+                "gauge"
+            } else {
+                "counter"
+            };
+            out.push_str(&format!(
+                "# TYPE {namespace}_{flat} {kind}\n{namespace}_{flat} {value}\n"
+            ));
+        }
+        out
+    }
 }
 
 /// A cheaply-clonable handle to one [`MetricsRegistry`]. Clones share the
@@ -807,6 +861,35 @@ mod tests {
                 reg.line_protocol("implicate"),
                 "implicate metrics_enabled=false"
             );
+        }
+    }
+
+    #[test]
+    fn prometheus_exposition_covers_every_sample_with_types() {
+        let reg = MetricsRegistry::new();
+        reg.estimator.tuples.add(41);
+        reg.estimator.occupancy.set(9);
+        let text = reg.prometheus("implicate");
+        if MetricsRegistry::enabled() {
+            for (name, value) in reg.samples() {
+                let flat: String = name
+                    .chars()
+                    .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                    .collect();
+                assert!(
+                    text.contains(&format!("\nimplicate_{flat} {value}\n"))
+                        || text.starts_with(&format!("# TYPE implicate_{flat} ")),
+                    "missing sample {name}: {text}"
+                );
+            }
+            assert!(text.contains("# TYPE implicate_estimator_tuples counter"));
+            assert!(text.contains("# TYPE implicate_estimator_occupancy gauge"));
+            assert!(text.contains("# TYPE implicate_estimator_occupancy_peak gauge"));
+            assert!(text.contains("# TYPE implicate_ingest_shards gauge"));
+            assert!(text.contains("# TYPE implicate_snapshot_encode_nanos_p95 gauge"));
+        } else {
+            assert!(text.starts_with('#'), "{text}");
+            assert!(text.contains("compiled out"), "{text}");
         }
     }
 

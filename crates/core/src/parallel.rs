@@ -59,12 +59,22 @@ use imp_sketch::rank::split_rank;
 
 use crate::estimator::ImplicationEstimator;
 use crate::metrics::MetricsHandle;
+use crate::trace::{Span, SpanKind, TraceEvent, TraceHandle};
 
 /// Pre-hashed pairs buffered per shard before a batch is shipped.
 const BATCH: usize = 1024;
 
 /// Bound, in batches, of each worker's input channel (back-pressure).
 const CHANNEL_DEPTH: usize = 8;
+
+/// What the router sends down a shard's channel: a batch of pre-hashed
+/// updates, or a synchronization barrier the worker acknowledges once
+/// everything before it has been applied (see
+/// [`ShardedEstimator::sync`]).
+enum ShardMsg {
+    Batch(Vec<(u64, u64)>),
+    Barrier(SyncSender<()>),
+}
 
 /// A cheap, copyable pre-hasher matching an estimator's internal hash
 /// functions, for pipelines that parse and hash on different threads than
@@ -100,10 +110,16 @@ pub struct ShardedEstimator {
     hasher_a: MixHasher,
     hasher_b: MixHasher,
     log2_m: u32,
-    senders: Vec<SyncSender<Vec<(u64, u64)>>>,
+    senders: Vec<SyncSender<ShardMsg>>,
     workers: Vec<JoinHandle<ImplicationEstimator>>,
     pending: Vec<Vec<(u64, u64)>>,
     metrics: MetricsHandle,
+    trace: TraceHandle,
+    /// Pre-hashed updates routed so far (plain field; reported by the
+    /// session-long ingest span even when `metrics` is compiled out).
+    routed: u64,
+    /// Brackets the whole session, construction → `finish`.
+    ingest_span: Span,
 }
 
 impl ShardedEstimator {
@@ -118,13 +134,15 @@ impl ShardedEstimator {
         let (hasher_a, hasher_b) = base.hashers();
         let log2_m = base.log2_m();
         let metrics = base.metrics().clone();
+        let trace = base.trace().clone();
         metrics.ingest.shards.set(threads as u64);
+        let ingest_span = trace.span(SpanKind::Ingest);
         let template = base.fresh_like();
         let shards = base.split_shards(threads);
         let mut senders = Vec::with_capacity(threads);
         let mut workers = Vec::with_capacity(threads);
         for (k, mut shard) in shards.into_iter().enumerate() {
-            let (tx, rx): (_, Receiver<Vec<(u64, u64)>>) = sync_channel(CHANNEL_DEPTH);
+            let (tx, rx): (_, Receiver<ShardMsg>) = sync_channel(CHANNEL_DEPTH);
             senders.push(tx);
             let worker_metrics = metrics.clone();
             workers.push(std::thread::spawn(move || {
@@ -132,19 +150,29 @@ impl ShardedEstimator {
                     // Distinguish "batch was already waiting" from "had to
                     // block": the idle_waits counter tells a router-bound
                     // pipeline (workers starving) from a worker-bound one.
-                    let batch = match rx.try_recv() {
-                        Ok(batch) => batch,
+                    let msg = match rx.try_recv() {
+                        Ok(msg) => msg,
                         Err(TryRecvError::Empty) => {
                             worker_metrics.ingest.idle_waits.inc();
                             match rx.recv() {
-                                Ok(batch) => batch,
+                                Ok(msg) => msg,
                                 Err(_) => break,
                             }
                         }
                         Err(TryRecvError::Disconnected) => break,
                     };
-                    worker_metrics.ingest.lane(k).queue_depth.adjust(-1);
-                    shard.update_hashed_batch(&batch);
+                    match msg {
+                        ShardMsg::Batch(batch) => {
+                            worker_metrics.ingest.lane(k).queue_depth.adjust(-1);
+                            shard.update_hashed_batch(&batch);
+                        }
+                        // FIFO channel: every batch sent before the barrier
+                        // has been applied once we get here, so the ack
+                        // certifies this shard's state is current.
+                        ShardMsg::Barrier(ack) => {
+                            let _ = ack.send(());
+                        }
+                    }
                 }
                 shard
             }));
@@ -158,6 +186,9 @@ impl ShardedEstimator {
             workers,
             pending: vec![Vec::with_capacity(BATCH); threads],
             metrics,
+            trace,
+            routed: 0,
+            ingest_span,
         }
     }
 
@@ -167,17 +198,28 @@ impl ShardedEstimator {
         &self.metrics
     }
 
+    /// The structured-tracing handle shared with the base estimator, its
+    /// shards, and the reassembled result (see [`crate::trace`]).
+    pub fn trace(&self) -> &TraceHandle {
+        &self.trace
+    }
+
     /// Ships one batch to shard `shard`, maintaining the routing counters
     /// and the in-flight queue-depth gauge.
-    fn ship(&self, shard: usize, batch: Vec<(u64, u64)>) {
+    fn ship(&mut self, shard: usize, batch: Vec<(u64, u64)>) {
         let m = &self.metrics.ingest;
         m.batches_routed.inc();
         m.updates_routed.add(batch.len() as u64);
         let lane = m.lane(shard);
         lane.batches.inc();
         lane.queue_depth.adjust(1);
+        self.routed += batch.len() as u64;
+        self.trace.record(|| TraceEvent::ShardHandoff {
+            shard: shard as u32,
+            updates: batch.len() as u32,
+        });
         self.senders[shard]
-            .send(batch)
+            .send(ShardMsg::Batch(batch))
             .expect("ingestion worker exited early");
     }
 
@@ -243,6 +285,33 @@ impl ShardedEstimator {
         }
     }
 
+    /// Flushes every buffer and blocks until **all** workers have applied
+    /// everything routed so far. After `sync` returns, the shared metrics
+    /// registry (and trace journal) reflect the complete stream prefix —
+    /// no partial counts from batches still in flight. This is what makes
+    /// mid-stream observability reads (`--stats-interval` under
+    /// `--threads N`) consistent; it is a latency barrier, not a
+    /// correctness requirement for the final result.
+    ///
+    /// # Panics
+    /// If a worker thread exited early.
+    pub fn sync(&mut self) {
+        self.flush();
+        let acks: Vec<Receiver<()>> = self
+            .senders
+            .iter()
+            .map(|tx| {
+                let (ack_tx, ack_rx) = sync_channel(1);
+                tx.send(ShardMsg::Barrier(ack_tx))
+                    .expect("ingestion worker exited early");
+                ack_rx
+            })
+            .collect();
+        for ack in acks {
+            ack.recv().expect("ingestion worker exited early");
+        }
+    }
+
     /// Flushes, joins the workers, and reassembles the single merged
     /// estimator — bit-for-bit the state a sequential run over the same
     /// updates would have produced.
@@ -251,10 +320,12 @@ impl ShardedEstimator {
     /// If a worker thread panicked.
     pub fn finish(mut self) -> ImplicationEstimator {
         self.flush();
+        self.ingest_span.set_quantity(self.routed);
         let Self {
             template,
             senders,
             workers,
+            ingest_span,
             ..
         } = self;
         // Closing the channels lets the workers drain and return.
@@ -264,6 +335,8 @@ impl ShardedEstimator {
             let shard = worker.join().expect("ingestion worker panicked");
             out.merge(&shard);
         }
+        // The session span covers reassembly too.
+        drop(ingest_span);
         out
     }
 }
@@ -395,5 +468,73 @@ mod tests {
     #[should_panic(expected = "at least one ingestion shard")]
     fn zero_threads_rejected() {
         let _ = ShardedEstimator::new(config().build(), 0);
+    }
+
+    #[test]
+    fn sync_makes_shared_registry_reflect_every_routed_update() {
+        // Without the barrier, a mid-stream metrics read sees only the
+        // batches workers happened to have drained — the partial-count bug
+        // behind the old `--threads N --stats-interval` output.
+        let mut sharded = ShardedEstimator::new(config().build(), 3);
+        for (a, b) in pairs(10_000) {
+            sharded.update(&[a], &[b]);
+        }
+        sharded.sync();
+        if crate::MetricsRegistry::enabled() {
+            assert_eq!(sharded.metrics().estimator.tuples.get(), 10_000);
+        }
+        // The barrier must not disturb the bit-exact contract.
+        let est = sharded.finish();
+        assert_eq!(est.tuples_seen(), 10_000);
+    }
+
+    #[test]
+    fn repeated_sync_is_idempotent_and_cheap() {
+        let mut sharded = ShardedEstimator::new(config().build(), 2);
+        for (a, b) in pairs(3_000) {
+            sharded.update(&[a], &[b]);
+            if a % 500 == 0 {
+                sharded.sync();
+            }
+        }
+        sharded.sync();
+        sharded.sync();
+        assert_eq!(sharded.finish().tuples_seen(), 3_000);
+    }
+
+    #[test]
+    fn shards_journal_handoffs_into_the_shared_journal() {
+        use crate::trace::{SpanKind, TraceEvent, TraceHandle};
+        let mut base = config().build();
+        base.set_trace(TraceHandle::with_capacity(1 << 14));
+        let trace = base.trace().clone();
+        let mut sharded = ShardedEstimator::new(base, 2);
+        assert!(trace.same_journal(sharded.trace()));
+        for (a, b) in pairs(5_000) {
+            sharded.update(&[a], &[b]);
+        }
+        let est = sharded.finish();
+        assert!(
+            trace.same_journal(est.trace()),
+            "reassembled estimator must keep the pipeline's journal"
+        );
+        if TraceHandle::enabled() {
+            let events = trace.journal().expect("active journal").events();
+            let handoffs = events
+                .iter()
+                .filter(|e| matches!(e.event, TraceEvent::ShardHandoff { .. }))
+                .count();
+            assert!(handoffs >= 2, "final flush ships one batch per shard");
+            assert!(
+                events.iter().any(|e| matches!(
+                    e.event,
+                    TraceEvent::SpanClosed {
+                        kind: SpanKind::Ingest,
+                        ..
+                    }
+                )),
+                "finish() must close the session-long ingest span"
+            );
+        }
     }
 }

@@ -58,13 +58,14 @@ pub use imp_sketch as sketch;
 pub use imp_stream as stream;
 
 pub use imp_baselines::{
-    DistinctSampling, ExactCounter, Ilc, ImplicationCounter, ImplicationStickySampling,
-    LossyCounter, NaiveImplicationBitmap, StickySampler,
+    AccuracyAuditor, DistinctSampling, ErrorSample, ExactCounter, Ilc, ImplicationCounter,
+    ImplicationStickySampling, LossyCounter, NaiveImplicationBitmap, StickySampler,
 };
 pub use imp_core::query::{self, Filter};
 pub use imp_core::{
     Confidence, DirtyReason, Estimate, EstimatorConfig, Fringe, ImplicationConditions,
     ImplicationEstimator, ImplicationQuery, MetricsHandle, MetricsRegistry, MultiplicityPolicy,
-    NipsBitmap, PairHasher, QueryEngine, QueryKind, ShardedEstimator, UpdateOutcome,
+    NipsBitmap, PairHasher, QueryEngine, QueryKind, ShardedEstimator, Span, SpanKind, TraceEvent,
+    TraceHandle, TraceJournal, TracedEvent, UpdateOutcome,
 };
 pub use imp_stream::{AttrSet, ItemKey, Projector, Schema, Tuple};

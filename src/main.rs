@@ -20,6 +20,9 @@
 //!
 //! # observability: end-of-run counter report + periodic line protocol
 //! implicate --lhs 0 --rhs 1 --stats --stats-interval 100000 traffic.csv
+//!
+//! # structured tracing (JSONL event journal) + online accuracy audit
+//! implicate --lhs 0 --rhs 1 --trace-out events.jsonl --audit 100000 traffic.csv
 //! ```
 //!
 //! Fields are treated as opaque strings (hashed to 64-bit fingerprints),
@@ -32,8 +35,8 @@ use std::sync::OnceLock;
 
 use implicate::sketch::hash::MixHasher;
 use implicate::{
-    EstimatorConfig, Fringe, ImplicationConditions, ImplicationEstimator, MultiplicityPolicy,
-    ShardedEstimator,
+    AccuracyAuditor, EstimatorConfig, Fringe, ImplicationConditions, ImplicationEstimator,
+    MetricsHandle, MultiplicityPolicy, ShardedEstimator, TraceHandle,
 };
 
 /// Lines per batch handed from the reader to the parser pool.
@@ -41,6 +44,23 @@ const LINE_BATCH: usize = 2048;
 
 /// Bound, in batches, of the parallel pipeline's channels.
 const PIPE_DEPTH: usize = 4;
+
+/// Wire format of the periodic `--stats-interval` emission.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum StatsFormat {
+    /// Influx line protocol: one line, `implicate k=vi ...` (the default).
+    Influx,
+    /// Prometheus text exposition: `# TYPE` + sample line per counter.
+    Prom,
+}
+
+/// Renders one periodic stats emission in the selected format.
+fn stats_emission(metrics: &MetricsHandle, format: StatsFormat) -> String {
+    match format {
+        StatsFormat::Influx => metrics.line_protocol("implicate"),
+        StatsFormat::Prom => metrics.prometheus("implicate").trim_end().to_owned(),
+    }
+}
 
 /// Accumulates option values while parsing the command line.
 struct CliDraft {
@@ -60,6 +80,11 @@ struct CliDraft {
     watch: Option<u64>,
     stats: bool,
     stats_interval: Option<u64>,
+    stats_format: StatsFormat,
+    trace_out: Option<String>,
+    trace_buffer: usize,
+    audit: Option<u64>,
+    audit_sample: u64,
     save: Option<String>,
     resume: Option<String>,
     input: Option<String>,
@@ -84,6 +109,11 @@ impl Default for CliDraft {
             watch: None,
             stats: false,
             stats_interval: None,
+            stats_format: StatsFormat::Influx,
+            trace_out: None,
+            trace_buffer: implicate::core::trace::DEFAULT_JOURNAL_EVENTS,
+            audit: None,
+            audit_sample: 1,
             save: None,
             resume: None,
             input: None,
@@ -208,8 +238,44 @@ const OPTIONS: &[Opt] = &[
     Opt {
         name: "--stats-interval",
         metavar: "N",
-        doc: "emit a metrics line (influx line protocol) on stderr\nevery N rows",
+        doc: "emit a metrics snapshot on stderr every N rows\n(see --stats-format)",
         set: |d, v| d.stats_interval = Some(parse_num(v, "--stats-interval")),
+    },
+    Opt {
+        name: "--stats-format",
+        metavar: "F",
+        doc: "influx (line protocol, default) | prom (Prometheus\ntext exposition) for --stats-interval emissions",
+        set: |d, v| {
+            d.stats_format = match v {
+                "influx" => StatsFormat::Influx,
+                "prom" => StatsFormat::Prom,
+                other => die(&format!("unknown stats format {other:?}")),
+            }
+        },
+    },
+    Opt {
+        name: "--trace-out",
+        metavar: "FILE",
+        doc: "drain the trace event journal to FILE as JSONL at exit\n(event schema: DESIGN.md §8.3)",
+        set: |d, v| d.trace_out = Some(v.to_owned()),
+    },
+    Opt {
+        name: "--trace-buffer",
+        metavar: "N",
+        doc: "trace journal capacity in events (default 65536); the\nring keeps the most recent N",
+        set: |d, v| d.trace_buffer = parse_num(v, "--trace-buffer"),
+    },
+    Opt {
+        name: "--audit",
+        metavar: "N",
+        doc: "every N rows, audit the estimate against exact ground\ntruth and report relative error on stderr (needs\n--threads 1; see --audit-sample)",
+        set: |d, v| d.audit = Some(parse_num(v, "--audit")),
+    },
+    Opt {
+        name: "--audit-sample",
+        metavar: "K",
+        doc: "shadow one in K itemsets exactly during --audit\n(default 1 = all; >1 trades memory for sampling noise)",
+        set: |d, v| d.audit_sample = parse_num(v, "--audit-sample"),
     },
     Opt {
         name: "--save",
@@ -273,6 +339,11 @@ struct Cli {
     watch: Option<u64>,
     stats: bool,
     stats_interval: Option<u64>,
+    stats_format: StatsFormat,
+    trace_out: Option<String>,
+    trace_buffer: usize,
+    audit: Option<u64>,
+    audit_sample: u64,
     save: Option<String>,
     resume: Option<String>,
     input: Option<String>,
@@ -346,6 +417,21 @@ impl CliDraft {
         if self.stats_interval == Some(0) {
             die("--stats-interval must be at least 1");
         }
+        if self.trace_buffer == 0 {
+            die("--trace-buffer must be at least 1");
+        }
+        if self.audit == Some(0) {
+            die("--audit must be at least 1");
+        }
+        if self.audit_sample == 0 {
+            die("--audit-sample must be at least 1");
+        }
+        if self.audit.is_some() && self.threads > 1 {
+            // The audit compares an exact prefix count against the live
+            // estimate at an exact row boundary; sharded ingestion would
+            // need a pipeline barrier per audit to make that meaningful.
+            die("--audit requires --threads 1");
+        }
         let cond = ImplicationConditions::builder()
             .max_multiplicity(self.max_mult)
             .min_support(self.support)
@@ -369,6 +455,11 @@ impl CliDraft {
             watch: self.watch,
             stats: self.stats,
             stats_interval: self.stats_interval,
+            stats_format: self.stats_format,
+            trace_out: self.trace_out,
+            trace_buffer: self.trace_buffer,
+            audit: self.audit,
+            audit_sample: self.audit_sample,
             save: self.save,
             resume: self.resume,
             input: self.input,
@@ -408,6 +499,17 @@ fn open_input(cli: &Cli) -> Box<dyn BufRead> {
     }
 }
 
+/// Builds the online accuracy auditor when `--audit` is set, sharing the
+/// estimator's trace handle so audit samples land in the same journal.
+fn make_auditor(cli: &Cli, est: &ImplicationEstimator) -> Option<AccuracyAuditor> {
+    cli.audit.map(|cadence| {
+        let mut auditor =
+            AccuracyAuditor::new(*cli.config.conditions_ref(), cadence, cli.audit_sample);
+        auditor.set_trace(est.trace().clone());
+        auditor
+    })
+}
+
 /// Single-threaded ingestion; returns `(estimator, rows, skipped)`.
 fn run_sequential(
     cli: &Cli,
@@ -416,6 +518,7 @@ fn run_sequential(
 ) -> (ImplicationEstimator, u64, u64) {
     let reader = open_input(cli);
     let (mut buf_a, mut buf_b) = (Vec::new(), Vec::new());
+    let mut auditor = make_auditor(cli, &est);
     let mut rows = 0u64;
     let mut skipped = 0u64;
     for line in reader.lines() {
@@ -435,8 +538,18 @@ fn run_sequential(
         }
         est.update(&buf_a, &buf_b);
         rows += 1;
+        if let Some(aud) = auditor.as_mut() {
+            aud.observe(&buf_a, &buf_b);
+            if aud.due() {
+                let s = aud.audit(est.estimate().implication_count);
+                eprintln!(
+                    "audit {} rows: exact ≈ {:.0}, estimate {:.0}, rel error {:.4}",
+                    s.position, s.exact, s.estimated, s.rel_error
+                );
+            }
+        }
         if cli.stats_interval.is_some_and(|n| rows.is_multiple_of(n)) {
-            eprintln!("{}", est.metrics().line_protocol("implicate"));
+            eprintln!("{}", stats_emission(est.metrics(), cli.stats_format));
         }
         if cli.watch.is_some_and(|w| rows.is_multiple_of(w)) {
             let e = est.estimate();
@@ -449,6 +562,21 @@ fn run_sequential(
                 "{rows} rows: answer ≈ {answer:.0} (S {:.0}, S̄ {:.0}, F0^sup {:.0})",
                 e.implication_count, e.non_implication_count, e.f0_sup
             );
+        }
+    }
+    if let Some(aud) = &auditor {
+        match aud.final_error() {
+            Some(err) => eprintln!(
+                "audit: {} samples over {} rows, {} shadowed itemsets, final rel error {err:.4}",
+                aud.samples().len(),
+                aud.rows_seen(),
+                aud.shadowed_keys(),
+            ),
+            None => eprintln!(
+                "audit: no samples ({} rows < cadence {})",
+                aud.rows_seen(),
+                aud.cadence()
+            ),
         }
     }
     (est, rows, skipped)
@@ -517,6 +645,7 @@ fn run_parallel(
         }
         let watch = cli.watch;
         let stats_interval = cli.stats_interval;
+        let stats_format = cli.stats_format;
         let router = scope.spawn(move || {
             let mut sharded = sharded;
             let (mut rows, mut skipped) = (0u64, 0u64);
@@ -533,7 +662,12 @@ fn run_parallel(
                     skipped += batch.skipped;
                     if let Some(n) = stats_interval {
                         if rows / n > before / n {
-                            eprintln!("{}", sharded.metrics().line_protocol("implicate"));
+                            // Barrier the shards first, so the shared
+                            // registry reflects every routed update — an
+                            // unsynced snapshot undercounts whatever is
+                            // still queued in shard channels.
+                            sharded.sync();
+                            eprintln!("{}", stats_emission(sharded.metrics(), stats_format));
                         }
                     }
                     if let Some(w) = watch {
@@ -569,9 +703,26 @@ fn run_parallel(
     })
 }
 
+/// Writes the trace journal as JSONL. With the `trace` feature compiled
+/// out the file still appears, holding only the `journal_summary` line
+/// with `"enabled":false` — scripts can rely on the file existing.
+fn write_trace(path: &str, trace: &TraceHandle) {
+    let body = match trace.journal() {
+        Some(journal) => journal.to_jsonl(),
+        None => format!(
+            "{{\"event\":\"journal_summary\",\"enabled\":{},\"recorded\":0,\
+             \"retained\":0,\"dropped\":0,\"capacity\":0}}\n",
+            TraceHandle::enabled()
+        ),
+    };
+    std::fs::write(path, &body).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+    let events = body.lines().count().saturating_sub(1);
+    eprintln!("trace: wrote {events} events to {path}");
+}
+
 fn main() {
     let cli = parse_cli();
-    let est = match &cli.resume {
+    let mut est = match &cli.resume {
         Some(path) => {
             let raw = std::fs::read(path).unwrap_or_else(|e| die(&format!("{path}: {e}")));
             ImplicationEstimator::from_bytes(bytes::Bytes::from(raw))
@@ -581,6 +732,9 @@ fn main() {
     };
     if cli.resume.is_some() && est.conditions() != cli.config.conditions_ref() {
         die("snapshot was built with different implication conditions");
+    }
+    if cli.trace_out.is_some() {
+        est.set_trace(TraceHandle::with_capacity(cli.trace_buffer));
     }
 
     let field_hasher = MixHasher::new(0x00f1_e1d5);
@@ -613,7 +767,11 @@ fn main() {
             .unwrap_or_else(|e| die(&format!("{path}: {e}")));
         eprintln!("snapshot: wrote {} bytes to {path}", bytes.len());
     }
-    // After --save, so the report includes the snapshot encode it caused.
+    // After --save, so the journal includes the snapshot-encode span and
+    // the report the encode counters.
+    if let Some(path) = &cli.trace_out {
+        write_trace(path, est.trace());
+    }
     if cli.stats {
         eprintln!("{}", est.metrics().report().trim_end());
     }

@@ -194,6 +194,176 @@ fn stats_with_parallel_ingestion_reports_shards() {
 }
 
 #[test]
+fn parallel_stats_interval_reflects_merged_registry() {
+    // Regression test: interval emissions under --threads N used to
+    // snapshot the registry while updates were still queued in shard
+    // channels, undercounting tuples. The router now barriers the shards
+    // (ShardedEstimator::sync) before each emission, so the very first
+    // line must already account for every routed row.
+    let (_, stderr, ok) = run_cli(
+        &[
+            "--lhs",
+            "0",
+            "--rhs",
+            "1",
+            "--threads",
+            "2",
+            "--stats-interval",
+            "1000",
+        ],
+        &traffic(2000, 0),
+    );
+    assert!(ok, "stderr: {stderr}");
+    let lines: Vec<&str> = stderr
+        .lines()
+        .filter(|l| l.starts_with("implicate "))
+        .collect();
+    assert!(!lines.is_empty(), "stderr: {stderr}");
+    if cfg!(feature = "metrics") {
+        // 2000 rows arrive as one reader batch, so the single emission
+        // crosses both interval boundaries with all 2000 rows routed.
+        assert!(
+            lines[0].contains("estimator.tuples=2000i"),
+            "unsynced registry snapshot: {}",
+            lines[0]
+        );
+    } else {
+        assert!(lines[0].contains("metrics_enabled=false"), "{}", lines[0]);
+    }
+}
+
+#[test]
+fn stats_format_prom_emits_parseable_exposition() {
+    let (_, stderr, ok) = run_cli(
+        &[
+            "--lhs",
+            "0",
+            "--rhs",
+            "1",
+            "--stats-interval",
+            "1000",
+            "--stats-format",
+            "prom",
+        ],
+        &traffic(1000, 0),
+    );
+    assert!(ok, "stderr: {stderr}");
+    if cfg!(feature = "metrics") {
+        // Round-trip the exposition: every `# TYPE` line is followed by a
+        // sample line for the same flattened metric name.
+        let lines: Vec<&str> = stderr
+            .lines()
+            .filter(|l| l.starts_with("# TYPE ") || l.starts_with("implicate_"))
+            .collect();
+        assert!(!lines.is_empty(), "stderr: {stderr}");
+        let mut samples = 0;
+        for pair in lines.chunks(2) {
+            let [ty, sample] = pair else {
+                panic!("dangling TYPE line: {pair:?}")
+            };
+            let name = ty
+                .strip_prefix("# TYPE ")
+                .unwrap()
+                .split(' ')
+                .next()
+                .unwrap();
+            assert!(
+                sample.starts_with(&format!("{name} ")),
+                "sample {sample:?} does not match {ty:?}"
+            );
+            samples += 1;
+        }
+        assert!(samples > 5, "stderr: {stderr}");
+        assert!(
+            stderr.contains("\nimplicate_estimator_tuples 1000\n"),
+            "stderr: {stderr}"
+        );
+    } else {
+        assert!(stderr.contains("metrics compiled out"), "stderr: {stderr}");
+    }
+}
+
+#[test]
+fn trace_out_writes_jsonl_journal() {
+    let dir = std::env::temp_dir().join(format!("implicate-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("events.jsonl");
+    let path_s = path.to_str().expect("utf-8 path");
+
+    let (_, stderr, ok) = run_cli(
+        &["--lhs", "0", "--rhs", "1", "--trace-out", path_s],
+        &traffic(500, 500),
+    );
+    assert!(ok, "stderr: {stderr}");
+    assert!(stderr.contains("trace: wrote"), "stderr: {stderr}");
+    let jsonl = std::fs::read_to_string(&path).expect("trace file written");
+    let summary = jsonl.lines().last().expect("summary line");
+    assert!(
+        summary.contains("\"event\":\"journal_summary\""),
+        "{summary}"
+    );
+    if cfg!(feature = "trace") {
+        assert!(summary.contains("\"enabled\":true"), "{summary}");
+        // 500 fickle sources each turn dirty once: events must be present.
+        assert!(jsonl.contains("\"event\":\"dirty\""), "no dirty events");
+        assert!(
+            jsonl.lines().count() > 100,
+            "suspiciously few events:\n{summary}"
+        );
+    } else {
+        assert!(summary.contains("\"enabled\":false"), "{summary}");
+        assert_eq!(jsonl.lines().count(), 1, "summary only when compiled out");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn audit_reports_error_trajectory_and_summary() {
+    let (_, stderr, ok) = run_cli(
+        &["--lhs", "0", "--rhs", "1", "--audit", "1000"],
+        &traffic(2000, 0),
+    );
+    assert!(ok, "stderr: {stderr}");
+    let samples: Vec<&str> = stderr
+        .lines()
+        .filter(|l| l.starts_with("audit ") && l.contains("rel error"))
+        .collect();
+    assert_eq!(samples.len(), 2, "stderr: {stderr}");
+    assert!(samples[0].starts_with("audit 1000 rows:"), "{}", samples[0]);
+    // Final summary with the last relative error; loyal-only traffic must
+    // land well inside the PCSA envelope (0.78/√64 ≈ 9.8%, allow 4σ).
+    let summary = stderr
+        .lines()
+        .find(|l| l.starts_with("audit: "))
+        .expect("final audit summary");
+    assert!(summary.contains("2 samples over 2000 rows"), "{summary}");
+    let err: f64 = summary
+        .rsplit_once("final rel error ")
+        .and_then(|(_, v)| v.trim().parse().ok())
+        .expect("parse final rel error");
+    assert!(err < 0.40, "final rel error {err} out of band: {summary}");
+}
+
+#[test]
+fn audit_rejects_parallel_ingestion() {
+    let (_, stderr, ok) = run_cli(
+        &[
+            "--lhs",
+            "0",
+            "--rhs",
+            "1",
+            "--audit",
+            "100",
+            "--threads",
+            "2",
+        ],
+        "",
+    );
+    assert!(!ok);
+    assert!(stderr.contains("--audit requires --threads 1"), "{stderr}");
+}
+
+#[test]
 fn unknown_option_fails_with_usage() {
     let (_, stderr, ok) = run_cli(&["--bogus"], "");
     assert!(!ok);

@@ -126,6 +126,49 @@ fn snapshot_metrics_count_bytes_and_calls() {
 }
 
 #[test]
+fn prometheus_exposition_round_trips_every_sample() {
+    let cond = ImplicationConditions::strict_one_to_one(1);
+    let mut est = EstimatorConfig::new(cond).bitmaps(16).seed(7).build();
+    loyal_and_fickle(&mut est, 500);
+    let m = est.metrics();
+    let text = m.prometheus("implicate");
+
+    if !MetricsRegistry::enabled() {
+        assert!(text.contains("compiled out"));
+        return;
+    }
+
+    // Parse the text exposition back: `# TYPE <name> <kind>` immediately
+    // followed by `<name> <value>`, nothing else.
+    let mut parsed = Vec::new();
+    let mut lines = text.lines().peekable();
+    while let Some(line) = lines.next() {
+        let meta = line
+            .strip_prefix("# TYPE ")
+            .unwrap_or_else(|| panic!("unexpected line {line:?}"));
+        let (name, kind) = meta.split_once(' ').expect("TYPE line has name + kind");
+        assert!(matches!(kind, "counter" | "gauge"), "kind {kind:?}");
+        let sample = lines.next().expect("sample line after TYPE");
+        let (sname, value) = sample.split_once(' ').expect("sample has name + value");
+        assert_eq!(sname, name, "TYPE and sample name must agree");
+        parsed.push((name.to_owned(), value.parse::<u64>().expect("int value")));
+    }
+
+    // Every registry sample survives the round trip, value intact, under
+    // its flattened name (dots and dashes become underscores).
+    let samples = m.samples();
+    assert_eq!(parsed.len(), samples.len());
+    for ((flat, got), (name, want)) in parsed.iter().zip(&samples) {
+        let expect_flat: String = format!("implicate_{name}")
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        assert_eq!(flat, &expect_flat);
+        assert_eq!(got, want, "{name}");
+    }
+}
+
+#[test]
 fn disabled_build_is_inert_but_api_complete() {
     // Compile-time contract: the whole surface exists in both configs;
     // with the feature off everything reads zero and renders the

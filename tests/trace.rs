@@ -1,0 +1,138 @@
+//! End-to-end tracing tests through the `implicate` facade, in both
+//! feature configurations. Every test must pass with
+//! `--no-default-features` too — CI runs both (DESIGN.md §8.3).
+
+use implicate::{
+    DirtyReason, EstimatorConfig, ImplicationConditions, SpanKind, TraceEvent, TraceHandle,
+};
+
+#[test]
+fn estimators_start_untraced_and_opt_in() {
+    let cond = ImplicationConditions::strict_one_to_one(1);
+    let mut est = EstimatorConfig::new(cond).bitmaps(16).seed(2).build();
+    assert!(!est.trace().is_active(), "tracing is opt-in at runtime");
+    est.set_trace(TraceHandle::with_capacity(1 << 12));
+    assert_eq!(est.trace().is_active(), TraceHandle::enabled());
+}
+
+#[test]
+fn journal_captures_dirty_transitions_and_commits() {
+    let cond = ImplicationConditions::strict_one_to_one(1);
+    let mut est = EstimatorConfig::new(cond).bitmaps(16).seed(2).build();
+    let trace = TraceHandle::with_capacity(1 << 14);
+    est.set_trace(trace.clone());
+    for a in 0..2_000u64 {
+        est.update(&[a], &[1]);
+        if a % 2 == 0 {
+            est.update(&[a], &[2]); // second partner: violates K = 1
+        }
+    }
+
+    if !TraceHandle::enabled() {
+        assert!(trace.journal().is_none());
+        return;
+    }
+    let journal = trace.journal().expect("journal attached");
+    assert!(journal.recorded() > 0);
+    let events = journal.events();
+    let dirty: Vec<_> = events
+        .iter()
+        .filter_map(|t| match t.event {
+            TraceEvent::Dirty {
+                reason, position, ..
+            } => Some((reason, position)),
+            _ => None,
+        })
+        .collect();
+    assert!(!dirty.is_empty(), "disloyal keys must journal transitions");
+    for (reason, position) in &dirty {
+        assert_eq!(*reason, DirtyReason::Multiplicity);
+        assert!(*position <= 3_000, "position is the tuple count");
+    }
+    assert!(
+        events
+            .iter()
+            .any(|t| matches!(t.event, TraceEvent::CellCommit { .. })),
+        "some loyal keys must commit cells"
+    );
+}
+
+#[test]
+fn batch_and_snapshot_spans_close_into_the_journal() {
+    let cond = ImplicationConditions::one_to_c(2, 0.8, 2);
+    let mut est = EstimatorConfig::new(cond).bitmaps(16).seed(4).build();
+    let trace = TraceHandle::with_capacity(1 << 12);
+    est.set_trace(trace.clone());
+    let pairs: Vec<(u64, u64)> = (0..500u64).map(|i| (i % 100, i % 5)).collect();
+    est.update_batch(&pairs);
+    let bytes = est.to_bytes();
+
+    if !TraceHandle::enabled() {
+        assert!(trace.journal().is_none());
+        return;
+    }
+    let spans: Vec<_> = trace
+        .journal()
+        .expect("journal attached")
+        .events()
+        .into_iter()
+        .filter_map(|t| match t.event {
+            TraceEvent::SpanClosed {
+                kind,
+                nanos,
+                quantity,
+            } => Some((kind, nanos, quantity)),
+            _ => None,
+        })
+        .collect();
+    let batch = spans
+        .iter()
+        .find(|(k, ..)| *k == SpanKind::UpdateBatch)
+        .expect("update_batch span");
+    assert_eq!(batch.2, 500, "span quantity is the batch size");
+    let encode = spans
+        .iter()
+        .find(|(k, ..)| *k == SpanKind::SnapshotEncode)
+        .expect("snapshot span");
+    assert_eq!(encode.2, bytes.len() as u64, "span quantity is the bytes");
+}
+
+#[test]
+fn jsonl_drain_reports_the_feature_state() {
+    let cond = ImplicationConditions::strict_one_to_one(1);
+    let mut est = EstimatorConfig::new(cond).bitmaps(16).seed(6).build();
+    est.set_trace(TraceHandle::with_capacity(64));
+    // Every key betrays its first partner: thousands of journal events
+    // through a 64-slot ring, so laps (drops) are guaranteed.
+    for a in 0..5_000u64 {
+        est.update(&[a], &[1]);
+        est.update(&[a], &[2]);
+    }
+    match est.trace().journal() {
+        Some(journal) => {
+            assert!(TraceHandle::enabled());
+            let jsonl = journal.to_jsonl();
+            let summary = jsonl.lines().last().expect("summary line");
+            assert!(summary.contains("\"event\":\"journal_summary\""));
+            assert!(summary.contains("\"enabled\":true"));
+            // A 64-slot ring under hundreds of events must report drops.
+            assert!(journal.dropped() > 0);
+        }
+        None => assert!(!TraceHandle::enabled()),
+    }
+}
+
+#[test]
+fn restored_snapshots_start_untraced() {
+    let cond = ImplicationConditions::strict_one_to_one(1);
+    let mut est = EstimatorConfig::new(cond).bitmaps(16).seed(8).build();
+    est.set_trace(TraceHandle::with_capacity(1 << 10));
+    for a in 0..200u64 {
+        est.update(&[a], &[0]);
+    }
+    let restored = implicate::ImplicationEstimator::from_bytes(est.to_bytes()).expect("restore");
+    assert!(
+        !restored.trace().is_active(),
+        "journals are process-local, not part of the snapshot"
+    );
+}

@@ -1,0 +1,147 @@
+//! Direct coverage of the windowed counters (`core::sliding`,
+//! `core::incremental`) through the `implicate` facade, including the
+//! dirty-transition journal contract. Runs in both feature configs.
+
+use implicate::core::incremental::IncrementalCounter;
+use implicate::core::sliding::{MovingAverage, SlidingEstimator};
+use implicate::sketch::estimate::relative_error;
+use implicate::{
+    DirtyReason, EstimatorConfig, Fringe, ImplicationConditions, TraceEvent, TraceHandle,
+};
+
+fn strict_config(seed: u64) -> EstimatorConfig {
+    EstimatorConfig::new(ImplicationConditions::strict_one_to_one(1)).seed(seed)
+}
+
+#[test]
+fn sliding_windows_retire_on_schedule_and_bound_memory() {
+    let mut s = SlidingEstimator::new(strict_config(11), 800, 400);
+    let mut origins = Vec::new();
+    for i in 0..2_400u64 {
+        if let Some(w) = s.update(&[i % 300], &[0]) {
+            origins.push(w.origin);
+            assert!(w.estimate.f0_sup > 0.0);
+        }
+    }
+    assert_eq!(origins, vec![0, 400, 800, 1200, 1600]);
+    assert!(
+        s.open_origins() <= 2,
+        "width/step = 2 bounds concurrent origins"
+    );
+    assert_eq!(s.position(), 2_400);
+}
+
+#[test]
+fn sliding_estimates_follow_a_regime_change() {
+    // Loyal regime, then every key takes a second partner: per-window
+    // implication counts must collapse across the transition.
+    let mut s = SlidingEstimator::new(strict_config(13), 1_000, 1_000);
+    let mut counts = Vec::new();
+    for i in 0..2_000u64 {
+        let a = [i % 250];
+        // Phase 2: each key's partner flips 0,1,0,1 across its four
+        // occurrences per window, violating K = 1 for every key.
+        let b = if i < 1_000 { [a[0]] } else { [(i / 250) % 2] };
+        if let Some(w) = s.update(&a, &b) {
+            counts.push(w.estimate.implication_count);
+        }
+    }
+    assert_eq!(counts.len(), 2);
+    let loyal_err = relative_error(250.0, counts[0]);
+    assert!(loyal_err < 0.35, "loyal window err {loyal_err}");
+    assert!(
+        counts[1] < 0.3 * counts[0],
+        "disloyal window {:.0} must collapse vs loyal {:.0}",
+        counts[1],
+        counts[0]
+    );
+}
+
+#[test]
+fn moving_average_smooths_closed_windows() {
+    let mut s = SlidingEstimator::new(strict_config(17), 500, 500);
+    let mut ma = MovingAverage::new(3);
+    for i in 0..2_500u64 {
+        if let Some(w) = s.update(&[i % 100], &[0]) {
+            ma.push(w.estimate.implication_count);
+        }
+    }
+    assert_eq!(ma.windows(), 3);
+    let avg = ma.value().expect("five windows closed");
+    let err = relative_error(100.0, avg);
+    assert!(err < 0.35, "moving average err {err} ({avg:.1})");
+}
+
+#[test]
+fn incremental_deltas_isolate_the_interval() {
+    let mut c = IncrementalCounter::new(strict_config(19).build());
+    for a in 0..3_000u64 {
+        c.update(&[a], &[a]);
+    }
+    let t1 = c.snapshot();
+    assert_eq!(t1.position, 3_000);
+    for a in 3_000..5_000u64 {
+        c.update(&[a], &[a]);
+    }
+    let d = c.since(&t1);
+    assert_eq!(d.tuples, 2_000);
+    let err = relative_error(2_000.0, d.implication_count);
+    assert!(err < 0.35, "delta err {err}: {d:?}");
+    // The underlying estimator remains accessible for queries.
+    assert_eq!(c.estimator().tuples_seen(), 5_000);
+}
+
+#[test]
+fn incremental_counter_journals_dirty_transitions() {
+    // Attach the journal before wrapping: the handle rides inside the
+    // wrapped estimator, so windowed bookkeeping and tracing compose.
+    let mut est = strict_config(23).fringe(Fringe::Bounded(4)).build();
+    let trace = TraceHandle::with_capacity(1 << 14);
+    est.set_trace(trace.clone());
+    let mut c = IncrementalCounter::new(est);
+
+    for a in 0..1_000u64 {
+        c.update(&[a], &[0]);
+    }
+    let t1 = c.snapshot();
+    // Second partner for every key: mass dirty transitions after t1.
+    for a in 0..1_000u64 {
+        c.update(&[a], &[1]);
+    }
+    let d = c.since(&t1);
+    assert_eq!(d.tuples, 1_000);
+    assert!(
+        d.implication_count < 0.0,
+        "retroactive dirt must shrink the count: {d:?}"
+    );
+
+    match trace.journal() {
+        Some(journal) => {
+            assert!(TraceHandle::enabled());
+            let dirty: Vec<(u64, u64)> = journal
+                .events()
+                .into_iter()
+                .filter_map(|t| match t.event {
+                    TraceEvent::Dirty {
+                        key,
+                        reason,
+                        position,
+                    } => {
+                        assert_eq!(reason, DirtyReason::Multiplicity);
+                        Some((key, position))
+                    }
+                    _ => None,
+                })
+                .collect();
+            assert!(!dirty.is_empty(), "1000 betrayed keys, none journaled?");
+            for &(key, position) in &dirty {
+                assert!(
+                    position > 1_000,
+                    "transitions happen only in the second phase, got {position}"
+                );
+                assert_ne!(key, 0, "the journal carries the itemset hash");
+            }
+        }
+        None => assert!(!TraceHandle::enabled()),
+    }
+}
