@@ -168,7 +168,11 @@ fn main() {
         hist.record(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
     }
     let elapsed = start.elapsed().as_secs_f64();
-    let ingest = finish_report(base_report("ingest", rows, seed), elapsed, rows, &hist);
+    // Arena-table bytes per tracked itemset: open-addressed slots carry
+    // load-factor headroom, so this sits above the raw slot size.
+    let bytes_per_itemset = est.tracked_bytes() as f64 / est.entries().max(1) as f64;
+    let mut ingest = finish_report(base_report("ingest", rows, seed), elapsed, rows, &hist);
+    ingest.set("bytes_per_tracked_itemset", Value::F64(bytes_per_itemset));
     write_report(&out, "BENCH_ingest.json", &ingest);
 
     // Phase 2 — estimate: repeated full queries against the loaded state.
@@ -186,6 +190,7 @@ fn main() {
     }
     let elapsed = start.elapsed().as_secs_f64();
     let mut estimate = finish_report(base_report("estimate", rows, seed), elapsed, reps, &hist);
+    estimate.set("bytes_per_tracked_itemset", Value::F64(bytes_per_itemset));
     estimate.set("queries", Value::U64(reps));
     estimate.set("implication_count", Value::F64(sink / reps as f64));
     write_report(&out, "BENCH_estimate.json", &estimate);

@@ -94,7 +94,9 @@ fn run_reps(spec: ErrorVsCountSpec, reps: &[u32]) -> (RunningStats, RunningStats
     (actual, bounded, unbounded)
 }
 
-/// One repetition: returns `(exact S, bounded Ŝ, unbounded Ŝ)`.
+/// One repetition: returns `(exact S, bounded Ŝ, unbounded Ŝ)`. All
+/// three counters — the exact ground truth and both estimator variants —
+/// run through the common [`ImplicationCounter`] interface.
 pub fn run_once(spec: ErrorVsCountSpec, seed: u64) -> (f64, f64, f64) {
     let implied = (spec.cardinality as f64 * spec.fraction).round() as u64;
     let ds_spec = DatasetOneSpec::paper(spec.cardinality, implied, spec.c, seed);
@@ -112,15 +114,17 @@ pub fn run_once(spec: ErrorVsCountSpec, seed: u64) -> (f64, f64, f64) {
         .fringe(Fringe::Unbounded)
         .seed(seed ^ 0xfeed)
         .build();
+    let mut counters: [&mut dyn ImplicationCounter; 3] = [&mut exact, &mut est_b, &mut est_u];
     for &(a, b) in &data.pairs {
-        exact.update(&[a], &[b]);
-        est_b.update(&[a], &[b]);
-        est_u.update(&[a], &[b]);
+        for counter in counters.iter_mut() {
+            counter.update(&[a], &[b]);
+        }
     }
+    let [exact, est_b, est_u] = counters;
     (
-        exact.exact_implication_count() as f64,
-        est_b.estimate().implication_count,
-        est_u.estimate().implication_count,
+        exact.implication_count(),
+        est_b.implication_count(),
+        est_u.implication_count(),
     )
 }
 

@@ -4,7 +4,7 @@
 //! record everything at the Table 4 checkpoints.
 
 use imp_baselines::{DistinctSampling, ExactCounter, Ilc, ImplicationCounter};
-use imp_core::{EstimatorConfig, Fringe, ImplicationEstimator};
+use imp_core::{EstimatorConfig, Fringe};
 use imp_datagen::olap::{schema, OlapSpec, OlapStream};
 use imp_stream::project::Projector;
 use imp_stream::source::TupleSource;
@@ -60,14 +60,16 @@ pub fn scaled_checkpoints(total_tuples: u64) -> Vec<u64> {
         .collect()
 }
 
-/// One condition setting's bundle of counters.
+/// One condition setting's bundle of counters: the exact ground truth
+/// plus the three §6.2 competitors (NIPS/CI, DS, ILC), all driven through
+/// the one [`ImplicationCounter`] interface — the harness neither knows
+/// nor cares which algorithm sits behind each slot.
 struct Bundle {
     sigma: u64,
     psi: f64,
     exact: ExactCounter,
-    nips: ImplicationEstimator,
-    ds: DistinctSampling,
-    ilc: Ilc,
+    /// Fixed order: NIPS/CI, DS, ILC (matches [`CheckpointRow`]'s columns).
+    competitors: [Box<dyn ImplicationCounter>; 3],
 }
 
 /// One measurement row: a checkpoint × condition setting.
@@ -125,13 +127,17 @@ pub fn run_workload(
                 sigma,
                 psi,
                 exact: ExactCounter::new(cond),
-                nips: EstimatorConfig::new(cond)
-                    .bitmaps(NIPS_BITMAPS)
-                    .fringe(Fringe::Bounded(NIPS_FRINGE))
-                    .seed(seed)
-                    .build(),
-                ds: DistinctSampling::new(cond, DS_SAMPLE_SIZE, seed ^ 0xd5),
-                ilc: Ilc::new(cond, ILC_EPSILON),
+                competitors: [
+                    Box::new(
+                        EstimatorConfig::new(cond)
+                            .bitmaps(NIPS_BITMAPS)
+                            .fringe(Fringe::Bounded(NIPS_FRINGE))
+                            .seed(seed)
+                            .build(),
+                    ),
+                    Box::new(DistinctSampling::new(cond, DS_SAMPLE_SIZE, seed ^ 0xd5)),
+                    Box::new(Ilc::new(cond, ILC_EPSILON)),
+                ],
             }
         })
         .collect();
@@ -153,23 +159,24 @@ pub fn run_workload(
         proj_b.project_into(&t, &mut buf_b);
         for bundle in &mut bundles {
             bundle.exact.update(&buf_a, &buf_b);
-            bundle.nips.update(&buf_a, &buf_b);
-            ImplicationCounter::update(&mut bundle.ds, &buf_a, &buf_b);
-            ImplicationCounter::update(&mut bundle.ilc, &buf_a, &buf_b);
+            for counter in &mut bundle.competitors {
+                counter.update(&buf_a, &buf_b);
+            }
         }
         while next_cp < checkpoints.len() && pos == checkpoints[next_cp] {
             for bundle in &bundles {
+                let [nips, ds, ilc] = &bundle.competitors;
                 rows.push(CheckpointRow {
                     tuples: pos,
                     sigma: bundle.sigma,
                     psi: bundle.psi,
                     actual: bundle.exact.exact_implication_count(),
-                    nips: ImplicationCounter::implication_count(&bundle.nips),
-                    ds: bundle.ds.implication_count(),
-                    ilc: bundle.ilc.implication_count(),
-                    nips_mem: ImplicationCounter::memory_entries(&bundle.nips),
-                    ds_mem: bundle.ds.memory_entries(),
-                    ilc_mem: bundle.ilc.memory_entries(),
+                    nips: nips.implication_count(),
+                    ds: ds.implication_count(),
+                    ilc: ilc.implication_count(),
+                    nips_mem: nips.memory_entries(),
+                    ds_mem: ds.memory_entries(),
+                    ilc_mem: ilc.memory_entries(),
                 });
             }
             next_cp += 1;

@@ -34,6 +34,7 @@ pub const REQUIRED_KEYS: &[(&str, ValueKind)] = &[
     ("latency_p50_nanos", ValueKind::Num),
     ("latency_p99_nanos", ValueKind::Num),
     ("peak_rss_kb", ValueKind::Num),
+    ("bytes_per_tracked_itemset", ValueKind::Num),
     ("git_sha", ValueKind::Str),
     ("feature_metrics", ValueKind::Bool),
     ("feature_trace", ValueKind::Bool),
@@ -436,6 +437,7 @@ mod tests {
         r.set("latency_p50_nanos", Value::U64(90));
         r.set("latency_p99_nanos", Value::U64(362));
         r.set("peak_rss_kb", Value::U64(4096));
+        r.set("bytes_per_tracked_itemset", Value::F64(57.5));
         r.set("git_sha", Value::Str("abc123".into()));
         r.set("feature_metrics", Value::Bool(true));
         r.set("feature_trace", Value::Bool(true));

@@ -1,0 +1,288 @@
+//! The enforced global memory budget and the paper's capacity policy.
+//!
+//! # [`MemoryBudget`]
+//!
+//! Lemma 2 bounds NIPS/CI's state at `O(2^F · K)` counters, and §4.6
+//! prescribes *doubling the allocated memory* as the per-cell head-room
+//! rule — but a bound nobody enforces is a hope, not a guarantee. This
+//! module makes the budget a first-class runtime object: one
+//! [`MemoryBudget`] is shared (via `Arc`) by every bitmap arena and every
+//! support fringe of an estimator, all reservations and releases go
+//! through it, and [`MemoryBudget::used`] is therefore an *exact* byte
+//! count of tracked state, not an `approx_bytes()` heuristic.
+//!
+//! Enforcement gates **growth**, not insertion: an arena that wants to
+//! double its table asks [`MemoryBudget::try_reserve`] first, and a denial
+//! makes the caller recycle its weakest slot instead (pressure-driven
+//! shedding, surfaced through `UpdateOutcome::budget_sheds` and the
+//! `BudgetPressure` trace event). Because the no-budget path takes the
+//! same growth decisions with an infinite limit, an unconstrained run is
+//! bit-identical to one without any budget plumbing at all.
+//!
+//! Accounting uses relaxed/acq-rel atomics so ingestion shards sharing a
+//! budget never lock; the reserve check is a CAS loop, so the limit is
+//! never overshot by racing growers (merge and snapshot-decode use
+//! [`MemoryBudget::reserve_unchecked`] and may transiently exceed the
+//! limit — restoring state the caller already owns must not fail).
+//!
+//! # [`CapacityPolicy`]
+//!
+//! The head-room rule of §4.6 lived as loose `fringe`/`headroom` fields
+//! on each bitmap; [`CapacityPolicy`] names it as one value object so the
+//! geometry (`headroom << min(top − i, f − 1)` per cell, `headroom · 2 ·
+//! (2^f − 1)` globally) is written down exactly once.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A shared, exact byte budget for tracked estimator state.
+///
+/// Cheap to clone (an `Arc` of two atomics); clones share the account.
+/// See the [module docs](self) for the enforcement contract.
+#[derive(Debug, Clone)]
+pub struct MemoryBudget {
+    inner: Arc<BudgetInner>,
+}
+
+#[derive(Debug)]
+struct BudgetInner {
+    /// Bytes currently reserved by all arenas and fringes.
+    used: AtomicUsize,
+    /// Hard ceiling in bytes; `usize::MAX` means unlimited.
+    limit: AtomicUsize,
+}
+
+impl MemoryBudget {
+    /// A budget with no limit: every reservation succeeds, but the byte
+    /// accounting still runs, so [`MemoryBudget::used`] stays exact.
+    pub fn unlimited() -> Self {
+        Self::with_limit(usize::MAX)
+    }
+
+    /// A budget capped at `limit` bytes.
+    pub fn with_limit(limit: usize) -> Self {
+        Self {
+            inner: Arc::new(BudgetInner {
+                used: AtomicUsize::new(0),
+                limit: AtomicUsize::new(limit),
+            }),
+        }
+    }
+
+    /// The configured ceiling (`usize::MAX` when unlimited).
+    pub fn limit(&self) -> usize {
+        self.inner.limit.load(Ordering::Relaxed)
+    }
+
+    /// Whether a finite ceiling is configured.
+    pub fn is_limited(&self) -> bool {
+        self.limit() != usize::MAX
+    }
+
+    /// Replaces the ceiling. Lowering it below [`MemoryBudget::used`] does
+    /// not reclaim anything by itself — it only makes future
+    /// [`MemoryBudget::try_reserve`] calls fail until pressure shedding
+    /// brings usage back down.
+    pub fn set_limit(&self, limit: usize) {
+        self.inner.limit.store(limit, Ordering::Relaxed);
+    }
+
+    /// Bytes currently reserved across every arena and fringe sharing
+    /// this budget.
+    pub fn used(&self) -> usize {
+        self.inner.used.load(Ordering::Acquire)
+    }
+
+    /// Tries to reserve `bytes`; returns `false` (reserving nothing) if
+    /// that would push usage past the limit. A CAS loop, so concurrent
+    /// reservations never overshoot jointly.
+    #[must_use]
+    pub fn try_reserve(&self, bytes: usize) -> bool {
+        let limit = self.limit();
+        let mut used = self.inner.used.load(Ordering::Relaxed);
+        loop {
+            let Some(next) = used.checked_add(bytes) else {
+                return false;
+            };
+            if next > limit {
+                return false;
+            }
+            match self.inner.used.compare_exchange_weak(
+                used,
+                next,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => used = actual,
+            }
+        }
+    }
+
+    /// Reserves `bytes` unconditionally, even past the limit. For paths
+    /// that must not fail mid-flight (merge reassembly, snapshot decode):
+    /// usage may transiently exceed the limit until shedding catches up.
+    pub fn reserve_unchecked(&self, bytes: usize) {
+        self.inner.used.fetch_add(bytes, Ordering::AcqRel);
+    }
+
+    /// Returns `bytes` to the budget.
+    pub fn release(&self, bytes: usize) {
+        let prev = self.inner.used.fetch_sub(bytes, Ordering::AcqRel);
+        debug_assert!(prev >= bytes, "budget release underflow");
+    }
+
+    /// Whether two handles share one account.
+    pub fn same_budget(&self, other: &MemoryBudget) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl Default for MemoryBudget {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+/// The paper's §4.6 head-room rule as one value object: how many itemset
+/// slots each fringe cell, and the whole fringe, may hold.
+///
+/// `fringe = None` means unbounded tracking (every capacity is
+/// `usize::MAX`); `Some(f)` keeps at most `f` open cells per bitmap with
+/// geometrically decaying per-cell capacity, exactly the layout the
+/// capacity fields previously encoded inline in `NipsBitmap`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacityPolicy {
+    /// Open-cell bound `f` per bitmap, or `None` for unbounded.
+    pub fringe: Option<u32>,
+    /// Base slot count ("double the allocated memory" multiplier) for the
+    /// deepest fringe cell.
+    pub headroom: u32,
+}
+
+impl CapacityPolicy {
+    /// An unbounded policy: no fringe limit, no per-cell caps. The
+    /// head-room multiplier is irrelevant without a fringe bound; it is
+    /// pinned to `u32::MAX` because the snapshot wire format serializes
+    /// it (and always has, for unbounded bitmaps).
+    pub const fn unbounded() -> Self {
+        Self {
+            fringe: None,
+            headroom: u32::MAX,
+        }
+    }
+
+    /// The bounded policy for fringe `f` with head-room multiplier `h`.
+    pub const fn bounded(fringe: u32, headroom: u32) -> Self {
+        Self {
+            fringe: Some(fringe),
+            headroom,
+        }
+    }
+
+    /// Slot capacity of cell `i` when the highest open cell is `top`:
+    /// `headroom << min(top − i, f − 1, 40)`. Unbounded ⇒ `usize::MAX`.
+    pub fn cell_capacity(&self, top: u32, i: u32) -> usize {
+        match self.fringe {
+            None => usize::MAX,
+            Some(f) => {
+                let cap_exp = (top - i).min(f - 1).min(40);
+                (self.headroom as usize) << cap_exp
+            }
+        }
+    }
+
+    /// Global slot budget across all cells of one bitmap:
+    /// `headroom · 2 · (2^f − 1)`. Unbounded ⇒ `usize::MAX`.
+    pub fn global_items(&self) -> usize {
+        match self.fringe {
+            None => usize::MAX,
+            Some(f) => (self.headroom as usize) * 2 * ((1usize << f) - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_always_reserves() {
+        let b = MemoryBudget::unlimited();
+        assert!(!b.is_limited());
+        assert!(b.try_reserve(1 << 40));
+        assert_eq!(b.used(), 1 << 40);
+        b.release(1 << 40);
+        assert_eq!(b.used(), 0);
+    }
+
+    #[test]
+    fn limited_budget_refuses_overshoot_exactly() {
+        let b = MemoryBudget::with_limit(100);
+        assert!(b.try_reserve(60));
+        assert!(b.try_reserve(40));
+        assert!(!b.try_reserve(1), "101st byte must be refused");
+        assert_eq!(b.used(), 100);
+        b.release(40);
+        assert!(b.try_reserve(40));
+    }
+
+    #[test]
+    fn unchecked_reserve_may_exceed_then_release_recovers() {
+        let b = MemoryBudget::with_limit(10);
+        b.reserve_unchecked(25);
+        assert_eq!(b.used(), 25);
+        assert!(!b.try_reserve(1));
+        b.release(20);
+        assert!(b.try_reserve(5));
+    }
+
+    #[test]
+    fn clones_share_the_account() {
+        let a = MemoryBudget::with_limit(64);
+        let b = a.clone();
+        assert!(a.same_budget(&b));
+        assert!(b.try_reserve(64));
+        assert!(!a.try_reserve(1));
+        assert_eq!(a.used(), 64);
+        assert!(!a.same_budget(&MemoryBudget::unlimited()));
+    }
+
+    #[test]
+    fn concurrent_reservers_never_jointly_overshoot() {
+        let b = MemoryBudget::with_limit(1000);
+        let won: usize = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| {
+                    let b = b.clone();
+                    s.spawn(move || (0..1000).filter(|_| b.try_reserve(1)).count())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(won, 1000);
+        assert_eq!(b.used(), 1000);
+    }
+
+    #[test]
+    fn capacity_policy_encodes_the_paper_geometry() {
+        let p = CapacityPolicy::bounded(2, 15);
+        // top = 5: cell 5 gets h, cell 4 (and deeper) h·2^(f−1).
+        assert_eq!(p.cell_capacity(5, 5), 15);
+        assert_eq!(p.cell_capacity(5, 4), 30);
+        assert_eq!(p.cell_capacity(5, 0), 30);
+        assert_eq!(p.global_items(), 15 * 2 * 3);
+        let u = CapacityPolicy::unbounded();
+        assert_eq!(u.cell_capacity(63, 0), usize::MAX);
+        assert_eq!(u.global_items(), usize::MAX);
+    }
+
+    #[test]
+    fn cell_capacity_exponent_is_clamped() {
+        let p = CapacityPolicy::bounded(64, 1);
+        // top − i = 63 would overflow a u32 shift without the 40 clamp.
+        assert_eq!(p.cell_capacity(63, 0), 1usize << 40);
+    }
+}

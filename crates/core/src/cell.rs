@@ -1,15 +1,18 @@
-//! Fringe-cell state.
+//! Fringe-cell update logic over the slab arena.
 //!
-//! Each open cell of the NIPS bitmap holds the [`ItemState`] of every
-//! itemset currently hashed into it, plus a sticky `supported` flag used by
-//! the CI estimator's `F0^sup` read-off (§4.4: a cell counts toward the
-//! supported-distinct estimate iff some itemset in it has reached the
-//! minimum support).
+//! Each open cell of the NIPS bitmap tracks the state of every itemset
+//! currently hashed into it. Since the arena refactor the state no longer
+//! lives in a per-cell `HashMap<u64, ItemState>` — all 64 cells of a
+//! bitmap share one [`CellArena`] of fixed-size slots, and this module
+//! holds the cell-level discipline that used to be `CellState::update`:
+//! admission, capacity recycling, budget-pressure shedding, and the
+//! open/close decision. A sticky per-cell `supported` flag (now a bit in
+//! the bitmap's `supported_mask`) backs the CI estimator's `F0^sup`
+//! read-off (§4.4).
 
-use std::collections::HashMap;
-
+use crate::arena::CellArena;
 use crate::conditions::ImplicationConditions;
-use crate::state::{DirtyReason, ItemState, Verdict};
+use crate::state::{self, DirtyReason, Verdict};
 
 /// What happened to a cell as a result of one update.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,8 +24,8 @@ pub enum CellEvent {
     MustClose,
 }
 
-/// The full result of one [`CellState::update`]: the open/close decision
-/// plus the observability facts the metrics layer records.
+/// The full result of one [`update_cell`]: the open/close decision plus
+/// the observability facts the metrics layer records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CellUpdate {
     /// Whether the cell stays open or must commit to value 1.
@@ -33,200 +36,145 @@ pub struct CellUpdate {
     /// Whether the capacity discipline recycled (evicted) a tracked
     /// itemset's slot to admit the newcomer.
     pub recycled: bool,
+    /// Slots recycled because the *memory budget* denied arena growth
+    /// (weakest slot of the most crowded cell) — pressure shedding, a
+    /// separate phenomenon from the capacity-policy recycling above.
+    pub budget_sheds: u32,
 }
 
-/// An open fringe cell: per-itemset state keyed by the itemset's full
-/// 64-bit hash.
-#[derive(Debug, Clone, Default)]
-pub struct CellState {
-    items: HashMap<u64, ItemState>,
-    supported: bool,
+/// Inserts `(cell, key)` into the arena, shedding the weakest slot of
+/// the most crowded cell for as long as the memory budget keeps the
+/// table full. Returns the slot index and bumps `sheds` per eviction.
+pub(crate) fn insert_with_shed(arena: &mut CellArena, cell: u32, key: u64, sheds: &mut u32) -> usize {
+    loop {
+        match arena.try_insert(cell, key) {
+            Ok(idx) => return idx,
+            Err(_) => {
+                let crowded = arena
+                    .most_crowded_cell()
+                    .expect("a full arena has an occupied cell");
+                let victim = arena
+                    .weakest_in_cell(crowded)
+                    .expect("the most crowded cell is non-empty");
+                arena.remove(victim);
+                *sheds += 1;
+            }
+        }
+    }
 }
 
-impl CellState {
-    /// A fresh, empty cell.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Number of distinct itemsets tracked.
-    pub fn len(&self) -> usize {
-        self.items.len()
-    }
-
-    /// Whether the cell tracks no itemset.
-    pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
-    }
-
-    /// Whether any itemset in the cell has reached minimum support.
-    pub fn supported(&self) -> bool {
-        self.supported
-    }
-
-    /// Records the arrival of `(a, b)` in this cell. `capacity` bounds the
-    /// number of *distinct* itemsets the cell may track.
-    ///
-    /// On overflow, Algorithm 1 (line 13) assigns the whole cell a value
-    /// of one; that fabricates violations whenever the crowd is the
-    /// unsupported tail (`F0 ≫ F0^sup`) or recurring-but-below-σ itemsets.
-    /// Instead, the least-supported slot is recycled for the newcomer —
-    /// recurring itemsets out-rank one-shot tail items and keep their
-    /// counters, and a cell turns 1 only on an observed non-implication.
-    /// See DESIGN.md §7.4.
-    pub fn update(
-        &mut self,
-        a_hash: u64,
-        b_fingerprint: u64,
-        cond: &ImplicationConditions,
-        capacity: usize,
-    ) -> CellUpdate {
-        use std::collections::hash_map::Entry;
-        let len = self.items.len();
-        let mut recycled = false;
-        let state = match self.items.entry(a_hash) {
-            Entry::Occupied(e) => e.into_mut(),
-            Entry::Vacant(e) => {
-                if len < capacity {
-                    e.insert(ItemState::new())
-                } else {
-                    // Deterministic tie-break by key so that snapshot
-                    // restores replay identically.
-                    let weakest = self
-                        .items
-                        .iter()
-                        .min_by_key(|(&k, s)| (s.support(), k))
-                        .map(|(&k, _)| k)
-                        .expect("capacity >= 1");
-                    self.items.remove(&weakest);
-                    recycled = true;
-                    self.items.entry(a_hash).or_default()
-                }
+/// Records the arrival of `(a, b)` in cell `cell` of `arena`. `capacity`
+/// bounds the number of *distinct* itemsets the cell may track;
+/// `supported_mask` gets the cell's bit set when any tracked itemset
+/// reaches minimum support.
+///
+/// On capacity overflow, Algorithm 1 (line 13) assigns the whole cell a
+/// value of one; that fabricates violations whenever the crowd is the
+/// unsupported tail (`F0 ≫ F0^sup`) or recurring-but-below-σ itemsets.
+/// Instead, the least-supported slot is recycled for the newcomer —
+/// recurring itemsets out-rank one-shot tail items and keep their
+/// counters, and a cell turns 1 only on an observed non-implication.
+/// See DESIGN.md §7.4.
+///
+/// Allocation-free unless the arena grows (and growth is budget-gated).
+pub(crate) fn update_cell(
+    arena: &mut CellArena,
+    supported_mask: &mut u64,
+    cell: u32,
+    a_key: u64,
+    b_fingerprint: u64,
+    cond: &ImplicationConditions,
+    capacity: usize,
+) -> CellUpdate {
+    let mut recycled = false;
+    let mut budget_sheds = 0u32;
+    let idx = match arena.find(cell, a_key) {
+        Some(idx) => idx,
+        None => {
+            if arena.cell_len(cell) >= capacity {
+                // Deterministic tie-break by key so that snapshot
+                // restores replay identically.
+                let weakest = arena.weakest_in_cell(cell).expect("capacity >= 1");
+                arena.remove(weakest);
+                recycled = true;
             }
-        };
-        let pre_dirty = state.is_dirty();
-        let pre_exceeded = state.mult_exceeded();
-        let verdict = state.update(b_fingerprint, cond);
-        let dirty = if verdict == Verdict::Violates && !pre_dirty {
-            Some(DirtyReason::classify(pre_exceeded, state.mult_exceeded()))
-        } else {
-            None
-        };
-        if state.support() >= cond.min_support {
-            self.supported = true;
+            insert_with_shed(arena, cell, a_key, &mut budget_sheds)
         }
-        let event = match verdict {
-            Verdict::Violates => CellEvent::MustClose,
-            Verdict::Pending | Verdict::Satisfies => CellEvent::StillOpen,
-        };
-        CellUpdate {
-            event,
-            dirty,
-            recycled,
-        }
+    };
+    let mut slot = arena.slot_mut(idx);
+    let pre_dirty = slot.dirty();
+    let pre_exceeded = slot.mult_exceeded();
+    let verdict = state::update_state(&mut slot, b_fingerprint, cond);
+    let dirty = if verdict == Verdict::Violates && !pre_dirty {
+        Some(DirtyReason::classify(pre_exceeded, slot.mult_exceeded()))
+    } else {
+        None
+    };
+    if slot.support() >= cond.min_support {
+        *supported_mask |= 1u64 << cell;
     }
-
-    /// Serializes into a snapshot buffer.
-    pub(crate) fn encode(&self, buf: &mut bytes::BytesMut) {
-        use bytes::BufMut;
-        buf.put_u8(u8::from(self.supported));
-        buf.put_u32_le(self.items.len() as u32);
-        // Canonical order: identical logical state must serialize to
-        // identical bytes regardless of hash-map iteration order.
-        let mut entries: Vec<(u64, &ItemState)> = self.items.iter().map(|(&h, s)| (h, s)).collect();
-        entries.sort_unstable_by_key(|&(h, _)| h);
-        for (hash, state) in entries {
-            buf.put_u64_le(hash);
-            state.encode(buf);
-        }
-    }
-
-    /// Restores from a snapshot buffer.
-    pub(crate) fn decode(buf: &mut bytes::Bytes) -> Result<Self, crate::snapshot::SnapshotError> {
-        use bytes::Buf;
-        crate::snapshot::need(buf, 1 + 4)?;
-        let supported = match buf.get_u8() {
-            0 => false,
-            1 => true,
-            _ => return Err(crate::snapshot::SnapshotError::Corrupt("supported flag")),
-        };
-        let len = buf.get_u32_le() as usize;
-        let mut items = HashMap::with_capacity(len.min(4096));
-        for _ in 0..len {
-            crate::snapshot::need(buf, 8)?;
-            let hash = buf.get_u64_le();
-            items.insert(hash, ItemState::decode(buf)?);
-        }
-        Ok(Self { items, supported })
-    }
-
-    /// Merges another node's state for the same cell; returns
-    /// [`CellEvent::MustClose`] if the union exposes a violation.
-    pub fn merge(&mut self, other: &CellState, cond: &ImplicationConditions) -> CellEvent {
-        let mut event = CellEvent::StillOpen;
-        for (hash, state) in &other.items {
-            let verdict = match self.items.entry(*hash) {
-                std::collections::hash_map::Entry::Occupied(mut e) => {
-                    e.get_mut().merge(state, cond)
-                }
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(state.clone()).verdict(cond)
-                }
-            };
-            if verdict == Verdict::Violates {
-                event = CellEvent::MustClose;
-            }
-        }
-        self.supported |=
-            other.supported || self.items.values().any(|s| s.support() >= cond.min_support);
-        event
-    }
-
-    /// Removes the least-supported tracked itemset, returning whether
-    /// anything was removed (budget shedding — see `NipsBitmap`).
-    pub fn shed_weakest(&mut self) -> bool {
-        let weakest = self
-            .items
-            .iter()
-            .min_by_key(|(&k, s)| (s.support(), k))
-            .map(|(&k, _)| k);
-        match weakest {
-            Some(k) => {
-                self.items.remove(&k);
-                true
-            }
-            None => false,
-        }
-    }
-
-    /// Iterates the tracked itemsets (hash, state).
-    pub fn items(&self) -> impl Iterator<Item = (u64, &ItemState)> {
-        self.items.iter().map(|(&h, s)| (h, s))
-    }
-
-    /// Approximate memory footprint in bytes.
-    pub fn approx_bytes(&self) -> usize {
-        std::mem::size_of::<Self>()
-            + self
-                .items
-                .values()
-                .map(|s| 8 + s.approx_bytes())
-                .sum::<usize>()
+    let event = match verdict {
+        Verdict::Violates => CellEvent::MustClose,
+        Verdict::Pending | Verdict::Satisfies => CellEvent::StillOpen,
+    };
+    CellUpdate {
+        event,
+        dirty,
+        recycled,
+        budget_sheds,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::arena::CellArena;
+    use crate::budget::MemoryBudget;
 
     fn cond() -> ImplicationConditions {
         ImplicationConditions::one_to_c(2, 0.5, 2)
     }
 
+    /// Test double mirroring the pre-arena `CellState` surface: one cell
+    /// of an arena plus its supported bit.
+    struct Cell {
+        arena: CellArena,
+        supported_mask: u64,
+    }
+
+    impl Cell {
+        fn new(k: usize) -> Self {
+            Self::with_budget(k, &MemoryBudget::unlimited())
+        }
+
+        fn with_budget(k: usize, budget: &MemoryBudget) -> Self {
+            Self {
+                arena: CellArena::new(k, budget),
+                supported_mask: 0,
+            }
+        }
+
+        fn update(&mut self, a: u64, b: u64, c: &ImplicationConditions, cap: usize) -> CellUpdate {
+            update_cell(&mut self.arena, &mut self.supported_mask, 0, a, b, c, cap)
+        }
+
+        fn len(&self) -> usize {
+            self.arena.cell_len(0)
+        }
+
+        fn supported(&self) -> bool {
+            self.supported_mask & 1 != 0
+        }
+
+        fn tracked(&self) -> Vec<u64> {
+            self.arena.slots_of_cell(0).map(|i| self.arena.slot_key(i)).collect()
+        }
+    }
+
     #[test]
     fn tracks_multiple_itemsets() {
         let c = cond();
-        let mut cell = CellState::new();
+        let mut cell = Cell::new(2);
         assert_eq!(cell.update(1, 100, &c, 8).event, CellEvent::StillOpen);
         assert_eq!(cell.update(2, 200, &c, 8).event, CellEvent::StillOpen);
         assert_eq!(cell.len(), 2);
@@ -238,7 +186,7 @@ mod tests {
     #[test]
     fn violation_closes_cell() {
         let c = ImplicationConditions::strict_one_to_one(1);
-        let mut cell = CellState::new();
+        let mut cell = Cell::new(1);
         assert_eq!(cell.update(1, 100, &c, 8).event, CellEvent::StillOpen);
         let closing = cell.update(1, 101, &c, 8);
         assert_eq!(closing.event, CellEvent::MustClose);
@@ -256,7 +204,7 @@ mod tests {
         use crate::conditions::MultiplicityPolicy;
         let c =
             ImplicationConditions::one_to_c(1, 0.9, 1).with_policy(MultiplicityPolicy::TrackTop);
-        let mut cell = CellState::new();
+        let mut cell = Cell::new(1);
         assert_eq!(cell.update(1, 10, &c, 8).dirty, None);
         assert_eq!(
             cell.update(1, 11, &c, 8).dirty,
@@ -268,7 +216,7 @@ mod tests {
         // Support gate: K=1, σ=3 — the second partner overflows K while
         // Pending; the violation materializes when support reaches σ.
         let c = ImplicationConditions::one_to_c(1, 0.0, 3);
-        let mut cell = CellState::new();
+        let mut cell = Cell::new(1);
         assert_eq!(cell.update(1, 10, &c, 8).dirty, None);
         assert_eq!(cell.update(1, 11, &c, 8).dirty, None);
         assert_eq!(
@@ -280,7 +228,7 @@ mod tests {
     #[test]
     fn capacity_overflow_recycles_weakest_slot() {
         let c = cond();
-        let mut cell = CellState::new();
+        let mut cell = Cell::new(2);
         assert!(!cell.update(1, 0, &c, 2).recycled);
         assert_eq!(cell.update(1, 0, &c, 2).event, CellEvent::StillOpen); // support 2
         assert_eq!(cell.update(2, 0, &c, 2).event, CellEvent::StillOpen);
@@ -290,7 +238,7 @@ mod tests {
         assert_eq!(overflow.event, CellEvent::StillOpen);
         assert!(overflow.recycled, "overflow admission must report eviction");
         assert_eq!(cell.len(), 2);
-        let tracked: Vec<u64> = cell.items().map(|(h, _)| h).collect();
+        let tracked = cell.tracked();
         assert!(tracked.contains(&1), "established itemset must survive");
         assert!(tracked.contains(&3), "newcomer takes the recycled slot");
         // Established itemsets still update fine at capacity.
@@ -303,7 +251,7 @@ mod tests {
     #[test]
     fn supported_flag_is_sticky() {
         let c = cond();
-        let mut cell = CellState::new();
+        let mut cell = Cell::new(2);
         cell.update(1, 0, &c, 8);
         cell.update(1, 0, &c, 8);
         assert!(cell.supported());
@@ -312,13 +260,41 @@ mod tests {
     }
 
     #[test]
-    fn memory_accounting_moves() {
-        let c = cond();
-        let mut cell = CellState::new();
-        let before = cell.approx_bytes();
-        for a in 0..6u64 {
+    fn memory_accounting_is_exact_to_the_byte() {
+        // Replaces the old heuristic `approx_bytes` check: the arena's
+        // reservation equals capacity · slot-words · 8 exactly, doubles
+        // on growth, and the shared budget tracks it to the byte.
+        let budget = MemoryBudget::unlimited();
+        let c = cond(); // K = 2 → slot = (4 + 2·2) words = 64 bytes
+        let mut cell = Cell::with_budget(2, &budget);
+        assert_eq!(cell.arena.bytes(), 8 * 64, "initial table: 8 slots");
+        assert_eq!(budget.used(), cell.arena.bytes());
+        for a in 0..7u64 {
             cell.update(a, a, &c, 64);
         }
-        assert!(cell.approx_bytes() > before);
+        // 7 entries of 8 slots sits exactly at the 7/8 growth threshold.
+        assert_eq!(cell.arena.bytes(), 8 * 64, "no growth up to 7/8 load");
+        cell.update(7, 7, &c, 64);
+        assert_eq!(cell.arena.bytes(), 16 * 64, "8th entry doubles the table");
+        assert_eq!(budget.used(), cell.arena.bytes());
+        drop(cell);
+        assert_eq!(budget.used(), 0, "drop releases every byte");
+    }
+
+    #[test]
+    fn budget_pressure_sheds_instead_of_growing() {
+        // Budget pinned at the initial table: the 8-slot arena can never
+        // grow, so admissions beyond 7 tracked itemsets must shed.
+        let budget = MemoryBudget::with_limit(CellArena::initial_bytes(1));
+        let c = ImplicationConditions::one_to_c(1, 0.0, 10);
+        let mut cell = Cell::with_budget(1, &budget);
+        let mut sheds = 0u32;
+        for a in 0..50u64 {
+            sheds += cell.update(a, 0, &c, usize::MAX).budget_sheds;
+        }
+        assert!(sheds > 0, "a pinned budget must force shedding");
+        assert!(cell.len() < 8, "the table keeps one empty slot");
+        assert_eq!(budget.used(), cell.arena.bytes(), "never grew past the limit");
+        assert!(budget.used() <= budget.limit());
     }
 }

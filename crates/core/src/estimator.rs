@@ -18,6 +18,8 @@ use imp_sketch::estimate::FM_PHI;
 use imp_sketch::hash::{Hasher64, MixHasher};
 use imp_sketch::rank::split_rank;
 
+use crate::arena::CellArena;
+use crate::budget::{CapacityPolicy, MemoryBudget};
 use crate::conditions::ImplicationConditions;
 use crate::metrics::{MetricsHandle, Stopwatch};
 use crate::nips::NipsBitmap;
@@ -93,17 +95,20 @@ pub struct EstimatorConfig {
     bitmaps: usize,
     fringe: Fringe,
     seed: u64,
+    memory_budget: Option<usize>,
 }
 
 impl EstimatorConfig {
     /// Starts a configuration for the given conditions with the paper's
-    /// §6.1 defaults (64 bitmaps, `Fringe::Bounded(4)`, seed 42).
+    /// §6.1 defaults (64 bitmaps, `Fringe::Bounded(4)`, seed 42, no
+    /// memory budget).
     pub fn new(cond: ImplicationConditions) -> Self {
         Self {
             cond,
             bitmaps: 64,
             fringe: Fringe::Bounded(4),
             seed: 42,
+            memory_budget: None,
         }
     }
 
@@ -127,6 +132,47 @@ impl EstimatorConfig {
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Caps the bytes of tracked state (the cell arenas of all `m`
+    /// bitmaps plus their support side-fringes) at an enforced hard
+    /// limit. Under pressure the estimator sheds its weakest tracked
+    /// itemsets instead of allocating — estimates degrade conservatively
+    /// while memory stays put. Without this knob the accounting still
+    /// runs ([`ImplicationEstimator::tracked_bytes`] stays exact) but
+    /// nothing is refused.
+    ///
+    /// ```
+    /// use imp_core::{EstimatorConfig, ImplicationConditions};
+    ///
+    /// let cond = ImplicationConditions::strict_one_to_one(1);
+    /// let mut est = EstimatorConfig::new(cond)
+    ///     .memory_budget(4 << 20) // 4 MiB, enforced
+    ///     .build();
+    /// for a in 0..100_000u64 {
+    ///     est.update(&[a], &[a % 3]);
+    /// }
+    /// assert!(est.tracked_bytes() <= 4 << 20);
+    /// ```
+    #[must_use]
+    pub fn memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// The configured memory budget in bytes, if any.
+    pub fn memory_budget_limit(&self) -> Option<usize> {
+        self.memory_budget
+    }
+
+    /// The construction floor in bytes — the smallest memory budget this
+    /// configuration can be built under (`m` bitmaps × two initial arena
+    /// tables each). [`Self::build`] panics on enforced budgets below
+    /// this; front ends should validate against it first.
+    pub fn construction_floor(&self) -> usize {
+        let per_bitmap = CellArena::initial_bytes(self.cond.max_multiplicity as usize)
+            + CellArena::initial_bytes(0);
+        self.bitmaps * per_bitmap
     }
 
     /// Replaces the conditions (for engines that re-target a template
@@ -160,9 +206,25 @@ impl EstimatorConfig {
     /// Builds the estimator.
     ///
     /// # Panics
-    /// If the bitmap count is not a power of two.
+    /// If the bitmap count is not a power of two, or if the memory budget
+    /// is below the construction floor (`m` bitmaps × two initial arena
+    /// tables each) — a budget the estimator could never fit inside is a
+    /// configuration error, not a pressure condition.
     pub fn build(self) -> ImplicationEstimator {
-        ImplicationEstimator::build(self.cond, self.bitmaps, self.fringe.size(), self.seed)
+        let budget = match self.memory_budget {
+            None => MemoryBudget::unlimited(),
+            Some(limit) => {
+                let floor = self.construction_floor();
+                assert!(
+                    limit >= floor,
+                    "memory budget of {limit} bytes is below the construction floor of \
+                     {floor} bytes ({m} bitmaps × 2 initial arena tables each)",
+                    m = self.bitmaps,
+                );
+                MemoryBudget::with_limit(limit)
+            }
+        };
+        ImplicationEstimator::build(self.cond, self.bitmaps, self.fringe.size(), self.seed, budget)
     }
 }
 
@@ -175,6 +237,10 @@ pub struct ImplicationEstimator {
     hasher_a: MixHasher,
     hasher_b: MixHasher,
     tuples: u64,
+    /// The shared memory account every bitmap arena draws from. Clones
+    /// and ingestion shards share it, so [`MemoryBudget::used`] is the
+    /// pipeline-wide tracked-state footprint.
+    budget: MemoryBudget,
     /// Shared observability registry (see [`crate::metrics`]). Clones of
     /// this estimator — including ingestion shards — share it.
     metrics: MetricsHandle,
@@ -193,7 +259,7 @@ impl ImplicationEstimator {
         note = "use EstimatorConfig::new(cond).bitmaps(m).fringe(Fringe::Bounded(f)).seed(s).build()"
     )]
     pub fn new(cond: ImplicationConditions, m: usize, fringe_size: u32, seed: u64) -> Self {
-        Self::build(cond, m, Some(fringe_size), seed)
+        Self::build(cond, m, Some(fringe_size), seed, MemoryBudget::unlimited())
     }
 
     /// Creates the unbounded-fringe variant (accuracy yard-stick with
@@ -203,27 +269,55 @@ impl ImplicationEstimator {
         note = "use EstimatorConfig::new(cond).bitmaps(m).fringe(Fringe::Unbounded).seed(s).build()"
     )]
     pub fn new_unbounded(cond: ImplicationConditions, m: usize, seed: u64) -> Self {
-        Self::build(cond, m, None, seed)
+        Self::build(cond, m, None, seed, MemoryBudget::unlimited())
     }
 
-    fn build(cond: ImplicationConditions, m: usize, fringe: Option<u32>, seed: u64) -> Self {
+    fn build(
+        cond: ImplicationConditions,
+        m: usize,
+        fringe: Option<u32>,
+        seed: u64,
+        budget: MemoryBudget,
+    ) -> Self {
         assert!(m.is_power_of_two(), "bitmap count must be a power of two");
+        let policy = match fringe {
+            Some(f) => {
+                assert!(
+                    (1..=crate::nips::CELLS).contains(&f),
+                    "fringe size must be in 1..=64"
+                );
+                CapacityPolicy::bounded(f, 2)
+            }
+            None => CapacityPolicy::unbounded(),
+        };
         let bitmaps = (0..m)
-            .map(|_| match fringe {
-                Some(f) => NipsBitmap::bounded(cond, f),
-                None => NipsBitmap::unbounded(cond),
-            })
+            .map(|_| NipsBitmap::build_with(cond, policy, &budget))
             .collect();
-        Self {
+        let est = Self {
             cond,
             bitmaps,
             log2_m: m.trailing_zeros(),
             hasher_a: MixHasher::new(seed ^ 0xa11c_e0de),
             hasher_b: MixHasher::new(seed ^ 0x00b0_bca7),
             tuples: 0,
+            budget,
             metrics: MetricsHandle::new(),
             trace: TraceHandle::disabled(),
-        }
+        };
+        est.publish_mem_gauges();
+        est
+    }
+
+    /// Pushes the budget gauges (`mem_bytes`, `mem_budget`) into the
+    /// metrics registry; `mem_budget` reports 0 when unlimited.
+    fn publish_mem_gauges(&self) {
+        let m = &self.metrics.estimator;
+        m.mem_bytes.set(self.budget.used() as u64);
+        m.mem_budget.set(if self.budget.is_limited() {
+            self.budget.limit() as u64
+        } else {
+            0
+        });
     }
 
     /// The observability registry this estimator records into. Cheap to
@@ -284,6 +378,14 @@ impl ImplicationEstimator {
         let (idx, rank) = split_rank(h_a, self.log2_m);
         let outcome = self.bitmaps[idx].update(rank, h_a, b_fp);
         self.metrics.estimator.record(&outcome);
+        if outcome.entries_delta != 0 || outcome.budget_sheds > 0 {
+            // Occupancy (and therefore the byte footprint) moved: refresh
+            // the gauge. Steady-state updates skip the atomic store.
+            self.metrics
+                .estimator
+                .mem_bytes
+                .set(self.budget.used() as u64);
+        }
         self.trace
             .record_update(idx as u32, rank, h_a, self.tuples, &outcome);
     }
@@ -342,9 +444,30 @@ impl ImplicationEstimator {
         self.bitmaps.iter().map(NipsBitmap::entries).sum()
     }
 
-    /// Approximate total memory footprint in bytes.
-    pub fn approx_bytes(&self) -> usize {
-        self.bitmaps.iter().map(NipsBitmap::approx_bytes).sum()
+    /// Exact bytes of tracked state reserved on this estimator's
+    /// [`MemoryBudget`] — every cell arena and support side-fringe across
+    /// all bitmaps (and, for a sharded pipeline, across every shard
+    /// sharing the budget). Replaces the old `approx_bytes` heuristic.
+    pub fn tracked_bytes(&self) -> usize {
+        self.budget.used()
+    }
+
+    /// The shared memory account this estimator draws from (see
+    /// [`crate::budget`]).
+    pub fn memory_budget(&self) -> &MemoryBudget {
+        &self.budget
+    }
+
+    /// Replaces the enforced byte ceiling at runtime (`None` lifts it).
+    /// Lowering the ceiling below the current footprint does not reclaim
+    /// anything: tables never shrink, and pressure shedding recycles
+    /// slots in place. The new ceiling simply gates all further growth —
+    /// relevant after a snapshot restore, where tables rebuilt at the
+    /// canonical load factor may occupy more bytes than the ceiling
+    /// that originally squeezed them.
+    pub fn set_memory_budget(&mut self, limit: Option<usize>) {
+        self.budget.set_limit(limit.unwrap_or(usize::MAX));
+        self.publish_mem_gauges();
     }
 
     /// Access to the underlying bitmaps (diagnostics, tests).
@@ -406,12 +529,14 @@ impl ImplicationEstimator {
 /// (see [`crate::parallel`]).
 impl ImplicationEstimator {
     /// Reassembles an estimator from parts (shard construction).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_parts(
         cond: ImplicationConditions,
         bitmaps: Vec<NipsBitmap>,
         hasher_a: MixHasher,
         hasher_b: MixHasher,
         tuples: u64,
+        budget: MemoryBudget,
         metrics: MetricsHandle,
         trace: TraceHandle,
     ) -> Self {
@@ -426,6 +551,7 @@ impl ImplicationEstimator {
             hasher_a,
             hasher_b,
             tuples,
+            budget,
             metrics,
             trace,
         }
@@ -451,6 +577,7 @@ impl ImplicationEstimator {
             self.hasher_a,
             self.hasher_b,
             0,
+            self.budget.clone(),
             self.metrics.clone(),
             self.trace.clone(),
         )
@@ -484,6 +611,7 @@ impl ImplicationEstimator {
                     self.hasher_a,
                     self.hasher_b,
                     if k == 0 { self.tuples } else { 0 },
+                    self.budget.clone(),
                     self.metrics.clone(),
                     self.trace.clone(),
                 )
@@ -567,26 +695,34 @@ impl ImplicationEstimator {
         let hasher_a = MixHasher::from_premixed(buf.get_u64_le());
         let hasher_b = MixHasher::from_premixed(buf.get_u64_le());
         let tuples = buf.get_u64_le();
+        // Snapshots carry state, not the budget ceiling: restoration is
+        // charged to a fresh unlimited account (restoring bytes the
+        // caller already persisted must not fail). Re-arm enforcement
+        // with `set_memory_budget` afterwards.
+        let budget = MemoryBudget::unlimited();
         let bitmaps = (0..m)
-            .map(|_| NipsBitmap::decode(&mut buf, cond))
+            .map(|_| NipsBitmap::decode(&mut buf, cond, &budget))
             .collect::<Result<Vec<_>, _>>()?;
         let metrics = MetricsHandle::new();
         let s = &metrics.snapshot;
         s.decodes.inc();
         s.bytes_read.add((total_len - buf.len()) as u64);
         s.decode_nanos.observe(sw.elapsed_nanos());
-        Ok(Self {
+        let est = Self {
             cond,
             bitmaps,
             log2_m: m.trailing_zeros(),
             hasher_a,
             hasher_b,
             tuples,
+            budget,
             metrics,
             // A restored estimator starts untraced, like a fresh build;
             // attach a journal with `set_trace` to resume journaling.
             trace: TraceHandle::disabled(),
-        })
+        };
+        est.publish_mem_gauges();
+        Ok(est)
     }
 }
 

@@ -49,7 +49,9 @@
 //! For multi-core ingestion behind the same exact semantics, see
 //! [`parallel::ShardedEstimator`].
 
+pub(crate) mod arena;
 pub mod bounds;
+pub mod budget;
 pub mod cell;
 pub mod conditions;
 pub mod estimator;
@@ -64,6 +66,7 @@ pub mod state;
 pub mod trace;
 
 pub use bounds::{fringe_size_for_ratio, min_estimable_ratio};
+pub use budget::{CapacityPolicy, MemoryBudget};
 pub use conditions::{
     Confidence, ImplicationConditions, ImplicationConditionsBuilder, MultiplicityPolicy,
 };

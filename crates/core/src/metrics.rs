@@ -345,6 +345,18 @@ pub struct EstimatorMetrics {
     /// `estimator.merges` — estimators merged into this one
     /// (distributed aggregation).
     pub merges: Counter,
+    /// `estimator.mem_bytes` — exact bytes of tracked state reserved from
+    /// the shared [`MemoryBudget`](crate::MemoryBudget) (arena tables of
+    /// every bitmap plus support fringes), with high-watermark.
+    pub mem_bytes: Gauge,
+    /// `estimator.mem_budget` — the configured memory-budget ceiling in
+    /// bytes, or 0 when unlimited.
+    pub mem_budget: Gauge,
+    /// `estimator.shed_events` — slots recycled because the memory budget
+    /// denied arena growth (pressure shedding; a subset of
+    /// `estimator.fringe_evictions` pressure, reported separately so a
+    /// capped deployment can see the budget bite).
+    pub shed_events: Counter,
 }
 
 impl EstimatorMetrics {
@@ -360,6 +372,9 @@ impl EstimatorMetrics {
             support_certified: Counter::new(),
             occupancy: Gauge::new(),
             merges: Counter::new(),
+            mem_bytes: Gauge::new(),
+            mem_budget: Gauge::new(),
+            shed_events: Counter::new(),
         }
     }
 
@@ -386,6 +401,9 @@ impl EstimatorMetrics {
         }
         if outcome.entries_delta != 0 {
             self.occupancy.adjust(outcome.entries_delta as i64);
+        }
+        if outcome.budget_sheds > 0 {
+            self.shed_events.add(outcome.budget_sheds as u64);
         }
     }
 
@@ -546,6 +564,10 @@ impl MetricsRegistry {
         c!("estimator.occupancy", e.occupancy.get());
         c!("estimator.occupancy_peak", e.occupancy.peak());
         c!("estimator.merges", e.merges.get());
+        c!("estimator.mem_bytes", e.mem_bytes.get());
+        c!("estimator.mem_bytes_peak", e.mem_bytes.peak());
+        c!("estimator.mem_budget", e.mem_budget.get());
+        c!("estimator.shed_events", e.shed_events.get());
         let i = &self.ingest;
         c!("ingest.shards", i.shards.get());
         c!("ingest.batches_routed", i.batches_routed.get());
@@ -618,6 +640,8 @@ impl MetricsRegistry {
         name.contains("occupancy")
             || name.contains("queue_depth")
             || name == "ingest.shards"
+            || name == "estimator.mem_bytes"
+            || name == "estimator.mem_budget"
             || name.ends_with("_peak")
             || name.ends_with("_p95")
     }
@@ -823,6 +847,7 @@ mod tests {
             evictions: 3,
             certified: true,
             entries_delta: -2,
+            budget_sheds: 2,
         });
         m.record(&UpdateOutcome {
             dirty: Some(DirtyReason::Multiplicity),
@@ -838,6 +863,7 @@ mod tests {
             assert_eq!(m.fringe_evictions.get(), 3);
             assert_eq!(m.support_certified.get(), 1);
             assert_eq!(m.occupancy.get(), 3); // −2 then +5
+            assert_eq!(m.shed_events.get(), 2);
         }
     }
 

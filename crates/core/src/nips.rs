@@ -1,7 +1,7 @@
 //! The NIPS bitmap (Algorithm 1) and the CI read-offs (Algorithm 2).
 //!
 //! One [`NipsBitmap`] is a 64-cell Flajolet–Martin bitmap whose undecided
-//! cells carry live [`CellState`]. The three zones of Figure 3:
+//! cells carry live per-itemset state. The three zones of Figure 3:
 //!
 //! ```text
 //!   1 1 1 1 | f f f f | 0 0 0 0 0 …
@@ -20,6 +20,15 @@
 //!   (Lemma 2); smaller counts degrade conservatively.
 //! * **Zone-0** — cells with no tracked state and no decision.
 //!
+//! Since the arena refactor, all 64 cells of one bitmap store their
+//! itemset state in a single [`CellArena`] of fixed-size slots; which
+//! cells are *open* (may be empty yet still distinct from Zone-0) and
+//! which carry a sticky supported flag live in the `open_mask` /
+//! `supported_mask` bit sets. Every byte of tracked state is charged to
+//! the bitmap's shared [`MemoryBudget`], and a budget that denies arena
+//! growth makes the bitmap shed its weakest slots instead (reported as
+//! [`UpdateOutcome::budget_sheds`]).
+//!
 //! The bitmap records the *monotone* event "this cell contains a supported
 //! itemset that violates the conditions". The CI estimator reads the same
 //! bitmap twice: `R_F0sup` (leftmost cell without any supported itemset)
@@ -27,11 +36,11 @@
 //! cell with value ≠ 1) estimates the non-implication count, and
 //! `S ≈ 2^R_F0sup − 2^R_S̄`.
 
-use std::collections::HashMap;
-
-use crate::cell::{CellEvent, CellState};
+use crate::arena::CellArena;
+use crate::budget::{CapacityPolicy, MemoryBudget};
+use crate::cell::{insert_with_shed, update_cell, CellEvent};
 use crate::conditions::ImplicationConditions;
-use crate::state::DirtyReason;
+use crate::state::{self, DirtyReason, Verdict};
 use imp_sketch::estimate::FM_PHI;
 
 /// Number of cells per bitmap (ranks of a 64-bit hash).
@@ -57,6 +66,11 @@ pub struct UpdateOutcome {
     pub certified: bool,
     /// Net change in tracked entries across both fringes (occupancy).
     pub entries_delta: i32,
+    /// Slots recycled because the [`MemoryBudget`] denied arena growth —
+    /// memory-pressure shedding, counted separately from the
+    /// capacity-policy `evictions` above (and surfaced as the
+    /// `BudgetPressure` trace event).
+    pub budget_sheds: u32,
 }
 
 /// A bounded fringe for the *monotone* event "this cell contains an
@@ -68,103 +82,91 @@ pub struct UpdateOutcome {
 /// It mirrors the NIPS bitmap's capacity discipline — geometric per-cell
 /// caps anchored at the rightmost occupied cell, every cell tracked from
 /// its first arrival — but each tracked cell only needs per-itemset
-/// support counters (16 bytes each), no partner state. A cell is certified
-/// only by hard evidence (some counter reaching σ); crowded cells recycle
-/// their weakest counter so recurring — i.e. supportable — itemsets win
-/// slots.
+/// support counters, so its arena slots carry zero partner pairs (24
+/// bytes each). A cell is certified only by hard evidence (some counter
+/// reaching σ); crowded cells recycle their weakest counter so recurring
+/// — i.e. supportable — itemsets win slots.
 #[derive(Debug, Clone)]
 struct SupportFringe {
     min_support: u64,
-    fringe: Option<u32>,
-    headroom: u32,
+    policy: CapacityPolicy,
     /// Cells certified to contain a supported itemset.
     certified: u64,
-    cells: Vec<Option<HashMap<u64, u64>>>,
+    /// Cells currently tracking counters (an open cell may be empty —
+    /// drained by shedding — and is still distinct from a never-touched
+    /// one in the snapshot encoding).
+    open_mask: u64,
+    /// Support counters for every open cell, keyed by `(cell, key)`.
+    arena: CellArena,
     top: Option<u32>,
-    items: usize,
 }
 
 impl SupportFringe {
-    fn new(min_support: u64, fringe: Option<u32>, headroom: u32) -> Self {
+    fn new(min_support: u64, policy: CapacityPolicy, budget: &MemoryBudget) -> Self {
         Self {
             min_support,
-            fringe,
-            headroom,
+            policy,
             certified: 0,
-            cells: vec![None; CELLS as usize],
+            open_mask: 0,
+            arena: CellArena::new(0, budget),
             top: None,
-            items: 0,
         }
     }
 
-    /// Records one arrival; returns `(certified_now, evictions)` for the
-    /// metrics layer.
+    /// Records one arrival; returns `(certified_now, evictions,
+    /// budget_sheds)` for the metrics layer.
     #[inline]
-    fn update(&mut self, i: u32, a_key: u64) -> (bool, u32) {
+    fn update(&mut self, i: u32, a_key: u64) -> (bool, u32, u32) {
         if self.certified >> i & 1 == 1 {
-            return (false, 0);
+            return (false, 0, 0);
         }
         if self.min_support <= 1 {
             self.certify(i);
-            return (true, 0);
+            return (true, 0, 0);
         }
         let mut evictions = 0u32;
+        let mut sheds = 0u32;
         self.top = Some(self.top.map_or(i, |t| t.max(i)));
-        let capacity = match self.fringe {
-            None => usize::MAX,
-            Some(f) => {
-                let cap_exp = (self.top.expect("just set") - i).min(f - 1).min(40);
-                (self.headroom as usize) << cap_exp
+        let capacity = self.policy.cell_capacity(self.top.expect("just set"), i);
+        self.open_mask |= 1u64 << i;
+        let certify_now = match self.arena.find(i, a_key) {
+            Some(idx) => {
+                let mut slot = self.arena.slot_mut(idx);
+                let c = slot.support() + 1;
+                slot.set_support(c);
+                c >= self.min_support
             }
-        };
-        let cell = self.cells[i as usize].get_or_insert_with(HashMap::new);
-        let certify_now = if let Some(c) = cell.get_mut(&a_key) {
-            *c += 1;
-            *c >= self.min_support
-        } else if cell.len() < capacity {
-            cell.insert(a_key, 1);
-            self.items += 1;
-            false
-        } else {
-            // Deterministic tie-break by key (snapshot-replay stability).
-            let weakest = cell
-                .iter()
-                .min_by_key(|(&k, &c)| (c, k))
-                .map(|(&k, _)| k)
-                .expect("capacity >= 1");
-            cell.remove(&weakest);
-            cell.insert(a_key, 1);
-            evictions += 1;
-            false
+            None => {
+                if self.arena.cell_len(i) >= capacity {
+                    // Deterministic tie-break by key (snapshot-replay
+                    // stability).
+                    let weakest = self.arena.weakest_in_cell(i).expect("capacity >= 1");
+                    self.arena.remove(weakest);
+                    evictions += 1;
+                }
+                let idx = insert_with_shed(&mut self.arena, i, a_key, &mut sheds);
+                self.arena.slot_mut(idx).set_support(1);
+                false
+            }
         };
         if certify_now {
             self.certify(i);
         }
-        if let Some(f) = self.fringe {
-            // Shed the weakest counter of the most crowded cell until the
-            // global budget holds — never a whole cell, so accumulated
-            // support evidence survives (crucial at large σ).
-            let budget = (self.headroom as usize) * 2 * ((1usize << f) - 1);
-            while self.items > budget {
-                let crowded = self
-                    .cells
-                    .iter()
-                    .enumerate()
-                    .max_by_key(|(_, c)| c.as_ref().map_or(0, HashMap::len))
-                    .map(|(j, _)| j)
-                    .expect("items > 0 implies an open cell");
-                let cell = self.cells[crowded].as_mut().expect("crowded cell is open");
-                let weakest = cell
-                    .iter()
-                    .min_by_key(|(&k, &c)| (c, k))
-                    .map(|(&k, _)| k)
-                    .expect("crowded cell is non-empty");
-                cell.remove(&weakest);
-                self.items -= 1;
-                evictions += 1;
-            }
+        // Shed the weakest counter of the most crowded cell until the
+        // global budget holds — never a whole cell, so accumulated
+        // support evidence survives (crucial at large σ).
+        let global = self.policy.global_items();
+        while self.arena.len() > global {
+            let Some(crowded) = self.arena.most_crowded_cell() else {
+                break;
+            };
+            let Some(weakest) = self.arena.weakest_in_cell(crowded) else {
+                break;
+            };
+            self.arena.remove(weakest);
+            evictions += 1;
         }
-        (certify_now, evictions)
+        (certify_now, evictions, sheds)
     }
 
     fn certify(&mut self, i: u32) {
@@ -173,13 +175,12 @@ impl SupportFringe {
     }
 
     fn forget(&mut self, j: u32) {
-        if let Some(cell) = self.cells[j as usize].take() {
-            self.items -= cell.len();
-        }
+        self.arena.remove_cell(j);
+        self.open_mask &= !(1u64 << j);
     }
 
     fn entries(&self) -> usize {
-        self.cells.iter().flatten().map(HashMap::len).sum()
+        self.arena.len()
     }
 
     /// Serializes into a snapshot buffer.
@@ -193,17 +194,20 @@ impl SupportFringe {
                 buf.put_u8(t as u8);
             }
         }
-        let open: Vec<usize> = (0..CELLS as usize)
-            .filter(|&i| self.cells[i].is_some())
-            .collect();
-        buf.put_u8(open.len() as u8);
-        for i in open {
-            let cell = self.cells[i].as_ref().expect("filtered to open");
+        buf.put_u8(self.open_mask.count_ones() as u8);
+        for i in 0..CELLS {
+            if self.open_mask >> i & 1 == 0 {
+                continue;
+            }
             buf.put_u8(i as u8);
-            buf.put_u32_le(cell.len() as u32);
+            buf.put_u32_le(self.arena.cell_len(i) as u32);
             // Canonical order: identical logical state must serialize to
-            // identical bytes regardless of hash-map iteration order.
-            let mut entries: Vec<(u64, u64)> = cell.iter().map(|(&k, &n)| (k, n)).collect();
+            // identical bytes regardless of table layout.
+            let mut entries: Vec<(u64, u64)> = self
+                .arena
+                .slots_of_cell(i)
+                .map(|idx| (self.arena.slot_key(idx), self.arena.slot(idx).support()))
+                .collect();
             entries.sort_unstable_by_key(|&(k, _)| k);
             for (k, n) in entries {
                 buf.put_u64_le(k);
@@ -216,12 +220,12 @@ impl SupportFringe {
     fn decode(
         buf: &mut bytes::Bytes,
         min_support: u64,
-        fringe: Option<u32>,
-        headroom: u32,
+        policy: CapacityPolicy,
+        budget: &MemoryBudget,
     ) -> Result<Self, crate::snapshot::SnapshotError> {
         use crate::snapshot::{need, SnapshotError};
         use bytes::Buf;
-        let mut out = SupportFringe::new(min_support, fringe, headroom);
+        let mut out = SupportFringe::new(min_support, policy, budget);
         need(buf, 8 + 1)?;
         out.certified = buf.get_u64_le();
         out.top = match buf.get_u8() {
@@ -240,35 +244,42 @@ impl SupportFringe {
         let open = buf.get_u8() as usize;
         for _ in 0..open {
             need(buf, 1 + 4)?;
-            let i = buf.get_u8() as usize;
-            if i >= CELLS as usize {
+            let i = buf.get_u8() as u32;
+            if i >= CELLS {
                 return Err(SnapshotError::Corrupt("support cell index"));
             }
-            if out.cells[i].is_some() {
+            if out.open_mask >> i & 1 == 1 {
                 return Err(SnapshotError::Corrupt("duplicate support cell index"));
             }
+            out.open_mask |= 1u64 << i;
             let len = buf.get_u32_le() as usize;
             need(buf, len * 16)?;
-            let mut cell = HashMap::with_capacity(len.min(4096));
             for _ in 0..len {
-                cell.insert(buf.get_u64_le(), buf.get_u64_le());
+                let (k, n) = (buf.get_u64_le(), buf.get_u64_le());
+                let idx = match out.arena.find(i, k) {
+                    Some(idx) => idx,
+                    None => out.arena.insert_grow_unchecked(i, k),
+                };
+                out.arena.slot_mut(idx).set_support(n);
             }
-            out.items += cell.len();
-            out.cells[i] = Some(cell);
         }
         Ok(out)
     }
 
     /// Whether this fringe has never recorded an arrival.
     fn is_pristine(&self) -> bool {
-        self.certified == 0
-            && self.top.is_none()
-            && self.items == 0
-            && self.cells.iter().all(Option::is_none)
+        self.certified == 0 && self.top.is_none() && self.open_mask == 0 && self.arena.len() == 0
     }
 
     /// Merges another node's support fringe (counts add; certification is
     /// sticky; newly-crossed thresholds certify).
+    ///
+    /// Inheriting a certified bit from `other` deliberately does *not*
+    /// forget this fringe's own open cell at that index — the cell stays
+    /// open (frozen, since updates early-return on certified bits) and is
+    /// still emitted by [`SupportFringe::encode`]. This matches the
+    /// pre-arena behavior exactly, which snapshot byte-identity depends
+    /// on.
     fn merge(&mut self, other: &SupportFringe) {
         self.certified |= other.certified;
         self.top = match (self.top, other.top) {
@@ -276,24 +287,33 @@ impl SupportFringe {
             (None, b) => b,
             (Some(a), Some(b)) => Some(a.max(b)),
         };
-        for (i, other_cell) in other.cells.iter().enumerate() {
-            let Some(other_cell) = other_cell else {
+        for i in 0..CELLS {
+            if other.open_mask >> i & 1 == 0 {
                 continue;
-            };
+            }
             if self.certified >> i & 1 == 1 {
                 continue;
             }
-            let cell = self.cells[i].get_or_insert_with(HashMap::new);
-            let before = cell.len();
-            for (&k, &n) in other_cell {
-                *cell.entry(k).or_insert(0) += n;
+            self.open_mask |= 1u64 << i;
+            for oidx in other.arena.slots_of_cell(i) {
+                let k = other.arena.slot_key(oidx);
+                let n = other.arena.slot(oidx).support();
+                let idx = match self.arena.find(i, k) {
+                    Some(idx) => idx,
+                    None => self.arena.insert_grow_unchecked(i, k),
+                };
+                let mut slot = self.arena.slot_mut(idx);
+                let c = slot.support() + n;
+                slot.set_support(c);
             }
-            // Keep the running item count consistent *before* any certify
-            // (forget subtracts the cell's current length).
-            self.items += cell.len();
-            self.items -= before;
-            if cell.values().any(|&n| n >= self.min_support) {
-                self.certify(i as u32);
+            // The threshold check covers the whole merged cell (including
+            // counters `other` never touched), as the map-based merge did.
+            let crossed = self
+                .arena
+                .slots_of_cell(i)
+                .any(|idx| self.arena.slot(idx).support() >= self.min_support);
+            if crossed {
+                self.certify(i);
             }
         }
     }
@@ -303,20 +323,21 @@ impl SupportFringe {
 #[derive(Debug, Clone)]
 pub struct NipsBitmap {
     cond: ImplicationConditions,
-    /// Bounded fringe size `F` in cells, or `None` for the unbounded
-    /// variant benchmarked in Figures 4–6.
-    fringe: Option<u32>,
-    /// Capacity multiplier over the expected per-cell itemset count
-    /// (§4.3.2: "we can also double the allocated memory").
-    headroom: u32,
+    /// The §4.6 capacity geometry: fringe bound `F` and head-room
+    /// multiplier (§4.3.2: "we can also double the allocated memory").
+    policy: CapacityPolicy,
     /// Cells committed to value 1.
     ones: u64,
-    /// Open cells (`None` = untouched or committed).
-    cells: Vec<Option<CellState>>,
+    /// Open cells: tracking state, possibly drained to empty — distinct
+    /// from untouched Zone-0 cells in the snapshot encoding.
+    open_mask: u64,
+    /// Cells whose sticky supported flag is set (some tracked itemset
+    /// reached σ while the cell was open).
+    supported_mask: u64,
+    /// Per-itemset state for every open cell, keyed by `(cell, key)`.
+    arena: CellArena,
     /// Rightmost occupied cell (anchors the capacity geometry).
     top: Option<u32>,
-    /// Total tracked itemsets across open cells.
-    items: usize,
     /// The monotone `F0^sup` side-structure (§4.4).
     support: SupportFringe,
 }
@@ -329,14 +350,18 @@ impl NipsBitmap {
             (1..=CELLS).contains(&fringe_size),
             "fringe size must be in 1..=64"
         );
-        Self::build(cond, Some(fringe_size), 2)
+        Self::build_with(
+            cond,
+            CapacityPolicy::bounded(fringe_size, 2),
+            &MemoryBudget::unlimited(),
+        )
     }
 
     /// Creates a bitmap with an unbounded fringe: cells keep full state
     /// until a non-implication is discovered. Memory is `O(F0)` — this is
     /// the accuracy yard-stick, not the constrained algorithm.
     pub fn unbounded(cond: ImplicationConditions) -> Self {
-        Self::build(cond, None, u32::MAX)
+        Self::build_with(cond, CapacityPolicy::unbounded(), &MemoryBudget::unlimited())
     }
 
     /// Creates a bounded bitmap with an explicit capacity head-room
@@ -347,35 +372,47 @@ impl NipsBitmap {
         headroom: u32,
     ) -> Self {
         assert!((1..=CELLS).contains(&fringe_size) && headroom >= 1);
-        Self::build(cond, Some(fringe_size), headroom)
+        Self::build_with(
+            cond,
+            CapacityPolicy::bounded(fringe_size, headroom),
+            &MemoryBudget::unlimited(),
+        )
     }
 
-    fn build(cond: ImplicationConditions, fringe: Option<u32>, headroom: u32) -> Self {
+    /// The constructor every path funnels through: both arenas (NIPS
+    /// fringe and `F0^sup` side-fringe) are charged to `budget`.
+    pub(crate) fn build_with(
+        cond: ImplicationConditions,
+        policy: CapacityPolicy,
+        budget: &MemoryBudget,
+    ) -> Self {
         Self {
             cond,
-            fringe,
-            headroom,
+            policy,
             ones: 0,
-            cells: vec![None; CELLS as usize],
+            open_mask: 0,
+            supported_mask: 0,
+            arena: CellArena::new(cond.max_multiplicity as usize, budget),
             top: None,
-            items: 0,
-            support: SupportFringe::new(cond.min_support, fringe, headroom),
+            support: SupportFringe::new(cond.min_support, policy, budget),
         }
     }
 
-    /// A same-configuration bitmap with no accumulated state.
+    /// A same-configuration bitmap with no accumulated state, drawing on
+    /// the same memory budget.
     pub(crate) fn fresh_like(&self) -> Self {
-        Self::build(self.cond, self.fringe, self.headroom)
+        Self::build_with(self.cond, self.policy, self.arena.budget())
     }
 
     /// Whether this bitmap has never recorded an arrival. Every update
-    /// path either certifies a support cell, raises `top`, or tracks an
-    /// item, so a pristine bitmap is exactly a never-updated one.
+    /// path either certifies a support cell, raises `top`, or opens a
+    /// cell, so a pristine bitmap is exactly a never-updated one.
     fn is_pristine(&self) -> bool {
         self.ones == 0
             && self.top.is_none()
-            && self.items == 0
-            && self.cells.iter().all(Option::is_none)
+            && self.open_mask == 0
+            && self.supported_mask == 0
+            && self.arena.len() == 0
             && self.support.is_pristine()
     }
 
@@ -386,7 +423,7 @@ impl NipsBitmap {
 
     /// Whether the fringe is bounded.
     pub fn is_bounded(&self) -> bool {
-        self.fringe.is_some()
+        self.policy.fringe.is_some()
     }
 
     /// Records the arrival of an `(a, b)` pair and reports what happened
@@ -403,28 +440,35 @@ impl NipsBitmap {
         if self.ones >> i & 1 == 1 {
             return out; // Zone-1: the event is already recorded.
         }
-        let entries_before = self.items + self.support.items;
+        let entries_before = self.arena.len() + self.support.entries();
         // The monotone F0^sup event is recorded for every arrival (a
         // value-1 cell is implicitly supported, so it can be skipped).
-        let (certified, support_evictions) = self.support.update(i, a_key);
+        let (certified, support_evictions, support_sheds) = self.support.update(i, a_key);
         out.certified = certified;
         out.evictions += support_evictions;
-        match self.fringe {
-            Some(f) => self.update_bounded(i, a_key, b_fingerprint, f, &mut out),
+        out.budget_sheds += support_sheds;
+        match self.policy.fringe {
+            Some(_) => self.update_bounded(i, a_key, b_fingerprint, &mut out),
             None => self.update_unbounded(i, a_key, b_fingerprint, &mut out),
         }
-        out.entries_delta = (self.items + self.support.items) as i32 - entries_before as i32;
+        out.entries_delta =
+            (self.arena.len() + self.support.entries()) as i32 - entries_before as i32;
         out
     }
 
     fn update_unbounded(&mut self, i: u32, a_key: u64, b_fp: u64, out: &mut UpdateOutcome) {
-        let cell = self.cells[i as usize].get_or_insert_with(CellState::new);
-        let before = cell.len();
-        let result = cell.update(a_key, b_fp, &self.cond, usize::MAX);
-        let after = self.cells[i as usize].as_ref().map_or(0, CellState::len);
-        self.items += after;
-        self.items -= before;
+        self.open_mask |= 1u64 << i;
+        let result = update_cell(
+            &mut self.arena,
+            &mut self.supported_mask,
+            i,
+            a_key,
+            b_fp,
+            &self.cond,
+            usize::MAX,
+        );
         out.dirty = result.dirty;
+        out.budget_sheds += result.budget_sheds;
         if result.event == CellEvent::MustClose {
             self.commit_one(i);
             out.committed = true;
@@ -440,31 +484,35 @@ impl NipsBitmap {
     ///   `headroom · (2^F − 1)` across the top-`F` band, the paper's §4.6
     ///   budget. Cells deeper than the band are over-loaded by definition;
     ///   they close themselves through the recurring-crowd overflow rule
-    ///   (the paper's Algorithm 1 line 13, see [`CellState::update`]) or
-    ///   churn cheaply at the band cap when the crowd is one-shot tail.
+    ///   (the paper's Algorithm 1 line 13, see
+    ///   [`update_cell`](crate::cell)) or churn cheaply at the band cap
+    ///   when the crowd is one-shot tail.
     /// * **global budget** (`2 · headroom · (2^F − 1)` items): if churny
-    ///   tail cells exceed it, the lowest open cell is dropped back to
-    ///   zero (conservative — no violation is fabricated).
+    ///   tail cells exceed it, the weakest itemset of the most crowded
+    ///   cell is shed (conservative — no violation is fabricated).
     ///
     /// Tracking every cell from its first arrival matters: the support
     /// condition counts an itemset's arrivals from the beginning, so a
     /// fringe that adopts cells late systematically under-detects at high
     /// `σ`.
-    fn update_bounded(&mut self, i: u32, a_key: u64, b_fp: u64, f: u32, out: &mut UpdateOutcome) {
+    fn update_bounded(&mut self, i: u32, a_key: u64, b_fp: u64, out: &mut UpdateOutcome) {
         self.top = Some(self.top.map_or(i, |t| t.max(i)));
-        let top = self.top.expect("just set");
-        let cap_exp = (top - i).min(f - 1).min(40);
-        let capacity = (self.headroom as usize) << cap_exp;
-        let cell = self.cells[i as usize].get_or_insert_with(CellState::new);
-        let before = cell.len();
-        let result = cell.update(a_key, b_fp, &self.cond, capacity);
-        let after = self.cells[i as usize].as_ref().map_or(0, CellState::len);
-        self.items += after;
-        self.items -= before;
+        let capacity = self.policy.cell_capacity(self.top.expect("just set"), i);
+        self.open_mask |= 1u64 << i;
+        let result = update_cell(
+            &mut self.arena,
+            &mut self.supported_mask,
+            i,
+            a_key,
+            b_fp,
+            &self.cond,
+            capacity,
+        );
         out.dirty = result.dirty;
         if result.recycled {
             out.evictions += 1;
         }
+        out.budget_sheds += result.budget_sheds;
         if result.event == CellEvent::MustClose {
             self.commit_one(i);
             out.committed = true;
@@ -472,22 +520,16 @@ impl NipsBitmap {
         // Enforce the global item budget by shedding the least-supported
         // itemset of the most crowded cell — never a whole cell, so
         // accumulated evidence survives (crucial at large σ).
-        let budget = (self.headroom as usize) * 2 * ((1usize << f) - 1);
-        while self.items > budget {
-            let crowded = self
-                .cells
-                .iter()
-                .enumerate()
-                .max_by_key(|(_, c)| c.as_ref().map_or(0, CellState::len))
-                .map(|(j, _)| j)
-                .expect("items > 0 implies an open cell");
-            let cell = self.cells[crowded].as_mut().expect("crowded cell is open");
-            if cell.shed_weakest() {
-                self.items -= 1;
-                out.evictions += 1;
-            } else {
+        let global = self.policy.global_items();
+        while self.arena.len() > global {
+            let Some(crowded) = self.arena.most_crowded_cell() else {
                 break;
-            }
+            };
+            let Some(weakest) = self.arena.weakest_in_cell(crowded) else {
+                break;
+            };
+            self.arena.remove(weakest);
+            out.evictions += 1;
         }
     }
 
@@ -501,9 +543,9 @@ impl NipsBitmap {
 
     /// Drops cell `j`'s state without recording a decision.
     fn drop_cell(&mut self, j: u32) {
-        if let Some(cell) = self.cells[j as usize].take() {
-            self.items -= cell.len();
-        }
+        self.arena.remove_cell(j);
+        self.open_mask &= !(1u64 << j);
+        self.supported_mask &= !(1u64 << j);
     }
 
     /// Whether cell `i` currently has value 1.
@@ -538,40 +580,36 @@ impl NipsBitmap {
     /// the side-fringe adds one more `(2^F − 1)` term (the "double the
     /// allocated memory" head-room of §4.3.2 is spent here).
     pub fn entries(&self) -> usize {
-        self.cells.iter().flatten().map(|c| c.len()).sum::<usize>() + self.support.entries()
+        self.arena.len() + self.support.entries()
     }
 
-    /// Approximate memory footprint in bytes.
-    pub fn approx_bytes(&self) -> usize {
-        std::mem::size_of::<Self>()
-            + self
-                .cells
-                .iter()
-                .flatten()
-                .map(|c| c.approx_bytes())
-                .sum::<usize>()
+    /// Exact bytes of tracked state: the two arena tables, as reserved on
+    /// the shared [`MemoryBudget`] (replaces the old `approx_bytes`
+    /// heuristic).
+    pub fn tracked_bytes(&self) -> usize {
+        self.arena.bytes() + self.support.arena.bytes()
     }
 
-    /// The open fringe cells `(index, state)`, for diagnostics.
-    pub fn open_cells(&self) -> impl Iterator<Item = (u32, &CellState)> {
-        self.cells
-            .iter()
-            .enumerate()
-            .filter_map(|(i, c)| c.as_ref().map(|c| (i as u32, c)))
+    /// The open fringe cells as `(index, tracked itemsets)`, for
+    /// diagnostics.
+    pub fn open_cells(&self) -> impl Iterator<Item = (u32, usize)> + '_ {
+        (0..CELLS)
+            .filter(|&i| self.open_mask >> i & 1 == 1)
+            .map(|i| (i, self.arena.cell_len(i)))
     }
 
     /// Serializes into a snapshot buffer (conditions are stored once at
     /// the estimator level).
     pub(crate) fn encode(&self, buf: &mut bytes::BytesMut) {
         use bytes::BufMut;
-        match self.fringe {
+        match self.policy.fringe {
             None => buf.put_u8(0),
             Some(f) => {
                 buf.put_u8(1);
                 buf.put_u8(f as u8);
             }
         }
-        buf.put_u32_le(self.headroom);
+        buf.put_u32_le(self.policy.headroom);
         buf.put_u64_le(self.ones);
         match self.top {
             None => buf.put_u8(0),
@@ -580,24 +618,36 @@ impl NipsBitmap {
                 buf.put_u8(t as u8);
             }
         }
-        let open: Vec<usize> = (0..CELLS as usize)
-            .filter(|&i| self.cells[i].is_some())
-            .collect();
-        buf.put_u8(open.len() as u8);
-        for i in open {
+        buf.put_u8(self.open_mask.count_ones() as u8);
+        for i in 0..CELLS {
+            if self.open_mask >> i & 1 == 0 {
+                continue;
+            }
             buf.put_u8(i as u8);
-            self.cells[i]
-                .as_ref()
-                .expect("filtered to open")
-                .encode(buf);
+            buf.put_u8(u8::from(self.supported_mask >> i & 1 == 1));
+            buf.put_u32_le(self.arena.cell_len(i) as u32);
+            // Canonical order: identical logical state must serialize to
+            // identical bytes regardless of table layout.
+            let mut entries: Vec<(u64, usize)> = self
+                .arena
+                .slots_of_cell(i)
+                .map(|idx| (self.arena.slot_key(idx), idx))
+                .collect();
+            entries.sort_unstable_by_key(|&(k, _)| k);
+            for (key, idx) in entries {
+                buf.put_u64_le(key);
+                state::encode_state(&self.arena.slot(idx), buf);
+            }
         }
         self.support.encode(buf);
     }
 
-    /// Restores from a snapshot buffer.
+    /// Restores from a snapshot buffer, charging the restored state to
+    /// `budget`.
     pub(crate) fn decode(
         buf: &mut bytes::Bytes,
         cond: ImplicationConditions,
+        budget: &MemoryBudget,
     ) -> Result<Self, crate::snapshot::SnapshotError> {
         use crate::snapshot::{need, SnapshotError};
         use bytes::Buf;
@@ -619,7 +669,7 @@ impl NipsBitmap {
         if headroom == 0 {
             return Err(SnapshotError::Corrupt("headroom"));
         }
-        let mut out = NipsBitmap::build(cond, fringe, headroom);
+        let mut out = NipsBitmap::build_with(cond, CapacityPolicy { fringe, headroom }, budget);
         out.ones = buf.get_u64_le();
         out.top = match buf.get_u8() {
             0 => None,
@@ -636,19 +686,38 @@ impl NipsBitmap {
         need(buf, 1)?;
         let open = buf.get_u8() as usize;
         for _ in 0..open {
-            need(buf, 1)?;
-            let i = buf.get_u8() as usize;
-            if i >= CELLS as usize {
+            need(buf, 1 + 1 + 4)?;
+            let i = buf.get_u8() as u32;
+            if i >= CELLS {
                 return Err(SnapshotError::Corrupt("cell index"));
             }
-            if out.cells[i].is_some() {
+            if out.open_mask >> i & 1 == 1 {
                 return Err(SnapshotError::Corrupt("duplicate cell index"));
             }
-            let cell = CellState::decode(buf)?;
-            out.items += cell.len();
-            out.cells[i] = Some(cell);
+            out.open_mask |= 1u64 << i;
+            match buf.get_u8() {
+                0 => {}
+                1 => out.supported_mask |= 1u64 << i,
+                _ => return Err(SnapshotError::Corrupt("supported flag")),
+            }
+            let len = buf.get_u32_le() as usize;
+            for _ in 0..len {
+                need(buf, 8)?;
+                let key = buf.get_u64_le();
+                let item = crate::state::ItemState::decode(buf)?;
+                // The slot's inline pair capacity is K; a partner list
+                // beyond it cannot come from a well-formed snapshot.
+                if item.multiplicity() > cond.max_multiplicity as usize {
+                    return Err(SnapshotError::Corrupt("partner count exceeds K"));
+                }
+                let idx = match out.arena.find(i, key) {
+                    Some(idx) => idx,
+                    None => out.arena.insert_grow_unchecked(i, key),
+                };
+                state::store_item(&mut out.arena.slot_mut(idx), &item);
+            }
         }
-        out.support = SupportFringe::decode(buf, cond.min_support, fringe, headroom)?;
+        out.support = SupportFringe::decode(buf, cond.min_support, out.policy, budget)?;
         Ok(out)
     }
 
@@ -668,7 +737,10 @@ impl NipsBitmap {
     /// configurations.
     pub fn merge(&mut self, other: &NipsBitmap) {
         assert_eq!(self.cond, other.cond, "conditions must match");
-        assert_eq!(self.fringe, other.fringe, "fringe configuration must match");
+        assert_eq!(
+            self.policy.fringe, other.policy.fringe,
+            "fringe configuration must match"
+        );
         // Fast paths that are also exactness guarantees: adopting a
         // bitmap into a pristine one (and ignoring a pristine other) is a
         // verbatim state transfer, which makes shard reassembly in
@@ -677,7 +749,7 @@ impl NipsBitmap {
             return;
         }
         if self.is_pristine() {
-            other.clone_into(self);
+            self.adopt(other);
             return;
         }
         self.support.merge(&other.support);
@@ -687,27 +759,68 @@ impl NipsBitmap {
             (None, b) => b,
             (Some(a), Some(b)) => Some(a.max(b)),
         };
-        for (i, other_cell) in other.cells.iter().enumerate() {
-            let Some(other_cell) = other_cell else {
+        for i in 0..CELLS {
+            if other.open_mask >> i & 1 == 0 {
                 continue;
-            };
+            }
             if self.ones >> i & 1 == 1 {
                 continue;
             }
-            let cell = self.cells[i].get_or_insert_with(CellState::new);
-            if cell.merge(other_cell, &self.cond) == CellEvent::MustClose {
+            self.open_mask |= 1u64 << i;
+            let mut must_close = false;
+            for oidx in other.arena.slots_of_cell(i) {
+                let key = other.arena.slot_key(oidx);
+                let verdict = match self.arena.find(i, key) {
+                    Some(idx) => {
+                        // Materialize, merge with the battle-tested
+                        // Vec-based logic, write back.
+                        let mut item = state::load_item(&self.arena.slot(idx));
+                        let v = item.merge(&state::load_item(&other.arena.slot(oidx)), &self.cond);
+                        state::store_item(&mut self.arena.slot_mut(idx), &item);
+                        v
+                    }
+                    None => {
+                        let item = state::load_item(&other.arena.slot(oidx));
+                        let idx = self.arena.insert_grow_unchecked(i, key);
+                        state::store_item(&mut self.arena.slot_mut(idx), &item);
+                        state::state_verdict(&mut self.arena.slot_mut(idx), &self.cond)
+                    }
+                };
+                if verdict == Verdict::Violates {
+                    must_close = true;
+                }
+            }
+            if other.supported_mask >> i & 1 == 1 {
+                self.supported_mask |= 1u64 << i;
+            }
+            let sigma = self.cond.min_support;
+            let crossed = self
+                .arena
+                .slots_of_cell(i)
+                .any(|idx| self.arena.slot(idx).support() >= sigma);
+            if crossed {
+                self.supported_mask |= 1u64 << i;
+            }
+            if must_close {
                 self.ones |= 1u64 << i;
-                self.cells[i] = None;
             }
         }
-        self.items = self.cells.iter().flatten().map(CellState::len).sum();
         // Drop any state made redundant by newly-merged ones.
         for i in 0..CELLS {
             if self.ones >> i & 1 == 1 {
                 self.drop_cell(i);
             }
         }
-        self.items = self.cells.iter().flatten().map(CellState::len).sum();
+    }
+
+    /// Verbatim state transfer into a pristine bitmap: clone `other`, then
+    /// move the cloned arenas' byte accounting from the donor's budget
+    /// onto this bitmap's own.
+    fn adopt(&mut self, other: &NipsBitmap) {
+        let budget = self.arena.budget().clone();
+        *self = other.clone();
+        self.arena.rebind_budget(&budget);
+        self.support.arena.rebind_budget(&budget);
     }
 }
 
@@ -782,7 +895,7 @@ mod tests {
         }
         // Open cells may span more than F indices, but the tracked
         // itemsets respect the global budget 2·headroom·(2^F − 1).
-        let tracked: usize = bm.open_cells().map(|(_, c)| c.len()).sum();
+        let tracked: usize = bm.open_cells().map(|(_, len)| len).sum();
         assert!(tracked <= 2 * 2 * 15 + 1, "tracked itemsets {tracked}");
     }
 
@@ -928,5 +1041,80 @@ mod tests {
     #[should_panic(expected = "fringe size")]
     fn zero_fringe_rejected() {
         let _ = NipsBitmap::bounded(strict(), 0);
+    }
+
+    #[test]
+    fn memory_budget_is_respected_under_pressure() {
+        // Both arenas of the bitmap share one pinned budget: nothing may
+        // grow, so tracked bytes stay at the floor forever while updates
+        // shed their way through an adversarial (all-distinct) stream.
+        let cond = ImplicationConditions::one_to_c(2, 0.5, 3);
+        let floor =
+            crate::arena::CellArena::initial_bytes(2) + crate::arena::CellArena::initial_bytes(0);
+        let budget = MemoryBudget::with_limit(floor);
+        let mut bm =
+            NipsBitmap::build_with(cond, CapacityPolicy::bounded(4, 2), &budget);
+        let mut sheds = 0u64;
+        for a in 0..5000u64 {
+            let h = MixHasher::new(9).hash_u64(a);
+            sheds += bm.update(lsb_rank(h), h, mix64(a)).budget_sheds as u64;
+            assert!(budget.used() <= budget.limit(), "a={a}");
+        }
+        assert!(sheds > 0, "a pinned budget must force shedding");
+        assert_eq!(bm.tracked_bytes(), floor);
+        assert_eq!(budget.used(), floor);
+    }
+
+    #[test]
+    fn unconstrained_run_is_identical_to_huge_budget_run() {
+        // Enforcement only gates growth, so a budget nobody hits must not
+        // perturb a single bit of bitmap state.
+        let cond = ImplicationConditions::one_to_c(2, 0.5, 2);
+        let mut free = NipsBitmap::bounded(cond, 4);
+        let mut capped =
+            NipsBitmap::build_with(cond, CapacityPolicy::bounded(4, 2), &MemoryBudget::with_limit(1 << 30));
+        for a in 0..3000u64 {
+            feed(&mut free, a, a % 3);
+            feed(&mut capped, a, a % 3);
+        }
+        let mut b_free = bytes::BytesMut::new();
+        let mut b_capped = bytes::BytesMut::new();
+        free.encode(&mut b_free);
+        capped.encode(&mut b_capped);
+        assert_eq!(b_free, b_capped, "snapshots must be byte-identical");
+    }
+
+    proptest::proptest! {
+        /// Arena-backed cells must round-trip through the wire format:
+        /// decode(encode(x)) re-encodes to the same bytes, for random
+        /// streams over bounded and unbounded bitmaps.
+        #[test]
+        fn snapshot_round_trips_arena_cells(
+            ops in proptest::collection::vec((0u64..60, 0u64..6), 0..300),
+            bounded in proptest::bool::ANY,
+            sigma in 1u64..4,
+        ) {
+            let cond = ImplicationConditions::one_to_c(2, 0.5, sigma);
+            let mut bm = if bounded {
+                NipsBitmap::bounded(cond, 3)
+            } else {
+                NipsBitmap::unbounded(cond)
+            };
+            for &(a, b) in &ops {
+                feed(&mut bm, a, b);
+            }
+            let mut wire = bytes::BytesMut::new();
+            bm.encode(&mut wire);
+            let wire = wire.freeze();
+            let mut cursor = wire.clone();
+            let restored =
+                NipsBitmap::decode(&mut cursor, cond, &MemoryBudget::unlimited()).expect("decodes");
+            proptest::prop_assert_eq!(cursor.len(), 0, "decode must consume everything");
+            proptest::prop_assert_eq!(restored.entries(), bm.entries());
+            proptest::prop_assert_eq!(restored.estimate(), bm.estimate());
+            let mut rewire = bytes::BytesMut::new();
+            restored.encode(&mut rewire);
+            proptest::prop_assert_eq!(rewire.freeze(), wire, "re-encode must be byte-identical");
+        }
     }
 }

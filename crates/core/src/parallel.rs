@@ -30,6 +30,18 @@
 //! never applies. See DESIGN.md ("Sharded parallel ingestion") for the
 //! full argument.
 //!
+//! # Memory budgets under sharding
+//!
+//! All shards share the source estimator's
+//! [`MemoryBudget`](crate::MemoryBudget), so the configured ceiling bounds
+//! the *pipeline's* tracked bytes, not each shard's. The cap itself is
+//! race-free (reservations are CAS-checked), but *which* slots get shed
+//! under pressure depends on which shard's arena hits the denied growth
+//! first — so a budget-constrained run under `T > 1` stays within the
+//! ceiling yet is not bit-identical to the sequential run. The bit-exact
+//! contract above is for unconstrained budgets (the default); keep
+//! `--threads 1` when a budget is set and reproducibility matters.
+//!
 //! # Example
 //!
 //! ```

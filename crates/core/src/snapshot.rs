@@ -25,8 +25,12 @@ use crate::conditions::{Confidence, ImplicationConditions, MultiplicityPolicy};
 
 /// Magic bytes for estimator snapshots (`IMPS`).
 pub const MAGIC: u32 = 0x494d_5053;
-/// Snapshot layout version.
-pub const VERSION: u16 = 1;
+/// Snapshot layout version. Version 2 (the arena refactor) kept the body
+/// encoding byte-identical to version 1 — cells are serialized in the
+/// same canonical sorted order the `HashMap` layout used — but the bump
+/// marks that restored state now lives in slab arenas, so older readers
+/// must not guess.
+pub const VERSION: u16 = 2;
 
 /// Errors restoring a snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -189,6 +193,20 @@ mod tests {
         assert_eq!(
             ImplicationEstimator::from_bytes(cut).unwrap_err(),
             SnapshotError::Truncated
+        );
+    }
+
+    #[test]
+    fn old_version_snapshots_are_rejected_not_panicked() {
+        // A pre-arena (version 1) snapshot must come back as a clear
+        // `BadVersion(1)`, never a decode panic. The version field is the
+        // u16 right after the 4-byte magic.
+        let est = populated(6);
+        let mut raw = est.to_bytes().to_vec();
+        raw[4..6].copy_from_slice(&1u16.to_le_bytes());
+        assert_eq!(
+            ImplicationEstimator::from_bytes(Bytes::from(raw)).unwrap_err(),
+            SnapshotError::BadVersion(1)
         );
     }
 

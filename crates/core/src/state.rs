@@ -13,6 +13,7 @@
 //! `imp-baselines` keeps real keys; agreement between the two is covered by
 //! integration tests.)
 
+use crate::arena::{SlotMut, SlotRef};
 use crate::conditions::ImplicationConditions;
 use imp_sketch::topc::sum_top_c;
 
@@ -64,6 +65,321 @@ impl DirtyReason {
     }
 }
 
+/// Read access to one itemset's tracking state, independent of where it
+/// lives: an owned [`ItemState`] or an arena slot view
+/// ([`SlotRef`]/[`SlotMut`]). The condition logic below is written once
+/// against these traits so both representations share it verbatim.
+pub(crate) trait ReadState {
+    /// `σ(a)` so far.
+    fn support(&self) -> u64;
+    /// Whether the multiplicity has exceeded the condition's `K`.
+    fn mult_exceeded(&self) -> bool;
+    /// Whether a violation has ever been recorded (dirty-forever).
+    fn dirty(&self) -> bool;
+    /// Live partner pairs.
+    fn partner_len(&self) -> usize;
+    /// Partner pair `i` as `(fingerprint, count)`.
+    fn partner(&self, i: usize) -> (u64, u64);
+}
+
+/// Mutable access on top of [`ReadState`]; partner order is insertion
+/// order and both implementations preserve it (the TrackTop recycling
+/// rule tie-breaks on it).
+pub(crate) trait StateAccess: ReadState {
+    /// Overwrites `σ(a)`.
+    fn set_support(&mut self, v: u64);
+    /// Sets the K-overflow flag.
+    fn set_mult_exceeded(&mut self, v: bool);
+    /// Sets the dirty flag.
+    fn set_dirty(&mut self, v: bool);
+    /// Overwrites partner pair `i` (which must be live).
+    fn set_partner(&mut self, i: usize, fp: u64, n: u64);
+    /// Appends a partner pair (the caller keeps `len ≤ K`).
+    fn push_partner(&mut self, fp: u64, n: u64);
+    /// Drops every partner pair.
+    fn clear_partners(&mut self);
+}
+
+impl ReadState for ItemState {
+    fn support(&self) -> u64 {
+        self.support
+    }
+    fn mult_exceeded(&self) -> bool {
+        self.mult_exceeded
+    }
+    fn dirty(&self) -> bool {
+        self.dirty
+    }
+    fn partner_len(&self) -> usize {
+        self.partners.len()
+    }
+    fn partner(&self, i: usize) -> (u64, u64) {
+        self.partners[i]
+    }
+}
+
+impl StateAccess for ItemState {
+    fn set_support(&mut self, v: u64) {
+        self.support = v;
+    }
+    fn set_mult_exceeded(&mut self, v: bool) {
+        self.mult_exceeded = v;
+    }
+    fn set_dirty(&mut self, v: bool) {
+        self.dirty = v;
+    }
+    fn set_partner(&mut self, i: usize, fp: u64, n: u64) {
+        self.partners[i] = (fp, n);
+    }
+    fn push_partner(&mut self, fp: u64, n: u64) {
+        self.partners.push((fp, n));
+    }
+    fn clear_partners(&mut self) {
+        // Free the allocation outright, matching §4.3's "we can free all
+        // the memory" (and the historical behavior byte-for-byte in
+        // `approx_bytes`).
+        self.partners = Vec::new();
+    }
+}
+
+impl ReadState for SlotRef<'_> {
+    fn support(&self) -> u64 {
+        SlotRef::support(self)
+    }
+    fn mult_exceeded(&self) -> bool {
+        SlotRef::mult_exceeded(self)
+    }
+    fn dirty(&self) -> bool {
+        SlotRef::dirty(self)
+    }
+    fn partner_len(&self) -> usize {
+        SlotRef::partner_len(self)
+    }
+    fn partner(&self, i: usize) -> (u64, u64) {
+        SlotRef::partner(self, i)
+    }
+}
+
+impl ReadState for SlotMut<'_> {
+    fn support(&self) -> u64 {
+        SlotMut::support(self)
+    }
+    fn mult_exceeded(&self) -> bool {
+        SlotMut::mult_exceeded(self)
+    }
+    fn dirty(&self) -> bool {
+        SlotMut::dirty(self)
+    }
+    fn partner_len(&self) -> usize {
+        SlotMut::partner_len(self)
+    }
+    fn partner(&self, i: usize) -> (u64, u64) {
+        SlotMut::partner(self, i)
+    }
+}
+
+impl StateAccess for SlotMut<'_> {
+    fn set_support(&mut self, v: u64) {
+        SlotMut::set_support(self, v)
+    }
+    fn set_mult_exceeded(&mut self, v: bool) {
+        SlotMut::set_mult_exceeded(self, v)
+    }
+    fn set_dirty(&mut self, v: bool) {
+        SlotMut::set_dirty(self, v)
+    }
+    fn set_partner(&mut self, i: usize, fp: u64, n: u64) {
+        SlotMut::set_partner(self, i, fp, n)
+    }
+    fn push_partner(&mut self, fp: u64, n: u64) {
+        SlotMut::push_partner(self, fp, n)
+    }
+    fn clear_partners(&mut self) {
+        SlotMut::clear_partners(self)
+    }
+}
+
+/// Sum of the `c` largest partner counts — the top-`c` numerator —
+/// without allocating on any realistic `K`: `len ≤ c` sums outright,
+/// `len ≤ 64` runs a bitmask repeated-max selection, and only a `K`
+/// beyond 64 partners falls back to the scratch-vector selection (the
+/// summed value is identical under any tie-break).
+fn top_c_sum<S: ReadState + ?Sized>(s: &S, c: usize) -> u64 {
+    let len = s.partner_len();
+    if len <= c {
+        return (0..len).map(|i| s.partner(i).1).sum();
+    }
+    if len <= 64 {
+        let mut sum = 0u64;
+        let mut used = 0u64;
+        for _ in 0..c {
+            let mut best_i = usize::MAX;
+            let mut best = 0u64;
+            for i in 0..len {
+                if used >> i & 1 == 0 {
+                    let n = s.partner(i).1;
+                    if best_i == usize::MAX || n > best {
+                        best = n;
+                        best_i = i;
+                    }
+                }
+            }
+            used |= 1 << best_i;
+            sum += best;
+        }
+        return sum;
+    }
+    let counts: Vec<u64> = (0..len).map(|i| s.partner(i).1).collect();
+    sum_top_c(&counts, c)
+}
+
+/// Records one arrival of `(a, b)` and re-checks the conditions — lines
+/// 7–14 of Algorithm 1, shared by [`ItemState::update`] and the arena
+/// slot path. Allocation-free for slot-backed state.
+pub(crate) fn update_state<S: StateAccess + ?Sized>(
+    s: &mut S,
+    b_fingerprint: u64,
+    cond: &ImplicationConditions,
+) -> Verdict {
+    use crate::conditions::MultiplicityPolicy;
+    s.set_support(s.support() + 1);
+    if !s.mult_exceeded() {
+        let len = s.partner_len();
+        let mut found = false;
+        for i in 0..len {
+            let (fp, n) = s.partner(i);
+            if fp == b_fingerprint {
+                s.set_partner(i, fp, n + 1);
+                found = true;
+                break;
+            }
+        }
+        if !found {
+            if len < cond.max_multiplicity as usize {
+                s.push_partner(b_fingerprint, 1);
+            } else {
+                match cond.multiplicity_policy {
+                    MultiplicityPolicy::Strict => {
+                        // (K+1)-th distinct partner: the multiplicity
+                        // condition is permanently violated; free the
+                        // counters (§4.3: "we can free all the memory").
+                        s.set_mult_exceeded(true);
+                        s.clear_partners();
+                    }
+                    MultiplicityPolicy::TrackTop => {
+                        // Recycle the weakest counter for the newcomer —
+                        // first minimum in insertion order, exactly what
+                        // `iter_mut().min_by_key` picked on the Vec.
+                        let mut wi = 0;
+                        let mut wn = s.partner(0).1;
+                        for i in 1..len {
+                            let n = s.partner(i).1;
+                            if n < wn {
+                                wn = n;
+                                wi = i;
+                            }
+                        }
+                        if wn <= 1 {
+                            s.set_partner(wi, b_fingerprint, 1);
+                        }
+                        // A newcomer never displaces an established
+                        // counter (count > 1); it is simply not tracked.
+                    }
+                }
+            }
+        }
+    }
+    state_verdict(s, cond)
+}
+
+/// Checks the conditions without recording an arrival, recording a dirty
+/// transition if one materializes. Allocation-free for slot-backed state.
+pub(crate) fn state_verdict<S: StateAccess + ?Sized>(
+    s: &mut S,
+    cond: &ImplicationConditions,
+) -> Verdict {
+    if s.dirty() {
+        return Verdict::Violates;
+    }
+    if s.support() < cond.min_support {
+        return Verdict::Pending;
+    }
+    if s.mult_exceeded() {
+        s.set_dirty(true);
+        return Verdict::Violates;
+    }
+    // Top-c confidence: sum of the c largest σ(a, b) over σ(a).
+    let top = top_c_sum(s, cond.top_c as usize);
+    if cond.min_confidence.is_met_by(top, s.support()) {
+        Verdict::Satisfies
+    } else {
+        s.set_dirty(true);
+        Verdict::Violates
+    }
+}
+
+/// Read-only verdict (never records the dirty transition).
+pub(crate) fn peek_state_verdict<S: ReadState + ?Sized>(
+    s: &S,
+    cond: &ImplicationConditions,
+) -> Verdict {
+    if s.dirty() {
+        return Verdict::Violates;
+    }
+    if s.support() < cond.min_support {
+        return Verdict::Pending;
+    }
+    if s.mult_exceeded() {
+        return Verdict::Violates;
+    }
+    let top = top_c_sum(s, cond.top_c as usize);
+    if cond.min_confidence.is_met_by(top, s.support()) {
+        Verdict::Satisfies
+    } else {
+        Verdict::Violates
+    }
+}
+
+/// Serializes any state representation into a snapshot buffer — the one
+/// canonical item encoding (u64 support, u8 flags, u16 partner count,
+/// then `(fingerprint, count)` pairs), byte-identical for an
+/// [`ItemState`] and the arena slot holding the same state.
+pub(crate) fn encode_state<S: ReadState + ?Sized>(s: &S, buf: &mut bytes::BytesMut) {
+    use bytes::BufMut;
+    buf.put_u64_le(s.support());
+    buf.put_u8(u8::from(s.mult_exceeded()) | (u8::from(s.dirty()) << 1));
+    buf.put_u16_le(s.partner_len() as u16);
+    for i in 0..s.partner_len() {
+        let (fp, n) = s.partner(i);
+        buf.put_u64_le(fp);
+        buf.put_u64_le(n);
+    }
+}
+
+/// Materializes an owned [`ItemState`] from an arena slot (merge paths
+/// reuse [`ItemState::merge`] verbatim, then write the result back).
+pub(crate) fn load_item<S: ReadState + ?Sized>(s: &S) -> ItemState {
+    ItemState {
+        support: s.support(),
+        partners: (0..s.partner_len()).map(|i| s.partner(i)).collect(),
+        mult_exceeded: s.mult_exceeded(),
+        dirty: s.dirty(),
+    }
+}
+
+/// Writes an owned [`ItemState`] into an arena slot. The item must
+/// respect the slot's partner capacity (`len ≤ K` — every [`ItemState`]
+/// the condition logic or [`ItemState::merge`] produces does).
+pub(crate) fn store_item(slot: &mut SlotMut<'_>, item: &ItemState) {
+    slot.set_support(item.support);
+    slot.set_mult_exceeded(item.mult_exceeded);
+    slot.set_dirty(item.dirty);
+    slot.clear_partners();
+    for &(fp, n) in &item.partners {
+        slot.push_partner(fp, n);
+    }
+}
+
 /// Tracking state for one itemset `a` with respect to `B`.
 #[derive(Debug, Clone, Default)]
 pub struct ItemState {
@@ -105,97 +421,22 @@ impl ItemState {
     }
 
     /// Records one arrival of `(a, b)` (as `b`'s fingerprint) and re-checks
-    /// the conditions. Lines 7–14 of Algorithm 1.
+    /// the conditions. Lines 7–14 of Algorithm 1 (the shared
+    /// [`update_state`] logic, also driving arena slots).
     pub fn update(&mut self, b_fingerprint: u64, cond: &ImplicationConditions) -> Verdict {
-        use crate::conditions::MultiplicityPolicy;
-        self.support += 1;
-        if !self.mult_exceeded {
-            if let Some(entry) = self
-                .partners
-                .iter_mut()
-                .find(|(fp, _)| *fp == b_fingerprint)
-            {
-                entry.1 += 1;
-            } else if self.partners.len() < cond.max_multiplicity as usize {
-                self.partners.push((b_fingerprint, 1));
-            } else {
-                match cond.multiplicity_policy {
-                    MultiplicityPolicy::Strict => {
-                        // (K+1)-th distinct partner: the multiplicity
-                        // condition is permanently violated; free the
-                        // counters (§4.3: "we can free all the memory").
-                        self.mult_exceeded = true;
-                        self.partners = Vec::new();
-                    }
-                    MultiplicityPolicy::TrackTop => {
-                        // Recycle the weakest counter for the newcomer; the
-                        // displaced partner's mass stays in σ(a) only, so
-                        // the top-c confidence is diluted but the itemset
-                        // is not disqualified outright.
-                        let weakest = self
-                            .partners
-                            .iter_mut()
-                            .min_by_key(|(_, n)| *n)
-                            .expect("K >= 1 counters exist");
-                        if weakest.1 <= 1 {
-                            *weakest = (b_fingerprint, 1);
-                        }
-                        // A newcomer never displaces an established
-                        // counter (count > 1); it is simply not tracked.
-                    }
-                }
-            }
-        }
-        self.verdict(cond)
+        update_state(self, b_fingerprint, cond)
     }
 
     /// Read-only verdict: like [`ItemState::verdict`] but never records the
     /// dirty transition. Because [`ItemState::update`] re-checks after
     /// every arrival, the peeked value always agrees with the tracked one.
     pub fn peek_verdict(&self, cond: &ImplicationConditions) -> Verdict {
-        if self.dirty {
-            return Verdict::Violates;
-        }
-        if self.support < cond.min_support {
-            return Verdict::Pending;
-        }
-        if self.mult_exceeded {
-            return Verdict::Violates;
-        }
-        let counts: Vec<u64> = self.partners.iter().map(|&(_, n)| n).collect();
-        let top = sum_top_c(&counts, cond.top_c as usize);
-        if cond.min_confidence.is_met_by(top, self.support) {
-            Verdict::Satisfies
-        } else {
-            Verdict::Violates
-        }
+        peek_state_verdict(self, cond)
     }
 
     /// Checks the conditions without recording an arrival.
     pub fn verdict(&mut self, cond: &ImplicationConditions) -> Verdict {
-        if self.dirty {
-            return Verdict::Violates;
-        }
-        if self.support < cond.min_support {
-            return Verdict::Pending;
-        }
-        if self.mult_exceeded {
-            self.dirty = true;
-            return Verdict::Violates;
-        }
-        // Top-c confidence: sum of the c largest σ(a, b) over σ(a).
-        let top: u64 = if self.partners.len() <= cond.top_c as usize {
-            self.partners.iter().map(|&(_, n)| n).sum()
-        } else {
-            let counts: Vec<u64> = self.partners.iter().map(|&(_, n)| n).collect();
-            sum_top_c(&counts, cond.top_c as usize)
-        };
-        if cond.min_confidence.is_met_by(top, self.support) {
-            Verdict::Satisfies
-        } else {
-            self.dirty = true;
-            Verdict::Violates
-        }
+        state_verdict(self, cond)
     }
 
     /// Approximate memory footprint in bytes (for the §6.2-style memory
@@ -204,16 +445,12 @@ impl ItemState {
         std::mem::size_of::<Self>() + self.partners.capacity() * 16
     }
 
-    /// Serializes into a snapshot buffer (see `crate::snapshot`).
+    /// Serializes into a snapshot buffer (see `crate::snapshot`). The
+    /// production encoder is [`encode_state`] over arena slots; this
+    /// wrapper backs the slot-vs-`ItemState` differential tests.
+    #[cfg(test)]
     pub(crate) fn encode(&self, buf: &mut bytes::BytesMut) {
-        use bytes::BufMut;
-        buf.put_u64_le(self.support);
-        buf.put_u8(u8::from(self.mult_exceeded) | (u8::from(self.dirty) << 1));
-        buf.put_u16_le(self.partners.len() as u16);
-        for &(fp, n) in &self.partners {
-            buf.put_u64_le(fp);
-            buf.put_u64_le(n);
-        }
+        encode_state(self, buf);
     }
 
     /// Restores from a snapshot buffer.
@@ -470,6 +707,55 @@ mod tests {
             }
         }
         assert_eq!(last, Verdict::Violates);
+    }
+
+    #[test]
+    fn slot_backed_state_is_behaviorally_identical_to_item_state() {
+        use crate::arena::CellArena;
+        use crate::budget::MemoryBudget;
+        use crate::conditions::MultiplicityPolicy;
+        // Differential run: drive the same pseudo-random partner stream
+        // through an owned ItemState and an arena slot under every policy
+        // and a spread of conditions; verdicts, support, flags and partner
+        // sets must agree at every step.
+        for policy in [MultiplicityPolicy::Strict, MultiplicityPolicy::TrackTop] {
+            for (k, sigma, c, psi) in [(1u32, 1u64, 1u32, 0.9), (2, 3, 1, 0.6), (3, 2, 2, 0.5)] {
+                let cnd = cond(k, sigma, c, psi).with_policy(policy);
+                let mut item = ItemState::new();
+                let mut arena = CellArena::new(k as usize, &MemoryBudget::unlimited());
+                let idx = arena.try_insert(0, 7).unwrap();
+                let mut x = 11u64;
+                for _ in 0..200 {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let b = x >> 60; // 16 partner values → collisions + churn
+                    let via_item = item.update(b, &cnd);
+                    let via_slot = update_state(&mut arena.slot_mut(idx), b, &cnd);
+                    assert_eq!(via_item, via_slot, "verdict diverged (k={k} σ={sigma})");
+                    let slot = arena.slot(idx);
+                    assert_eq!(item.support(), ReadState::support(&slot));
+                    assert_eq!(item.mult_exceeded(), ReadState::mult_exceeded(&slot));
+                    assert_eq!(item.is_dirty(), ReadState::dirty(&slot));
+                    assert_eq!(item.multiplicity(), slot.partner_len());
+                    for i in 0..slot.partner_len() {
+                        assert_eq!(item.partners[i], ReadState::partner(&slot, i));
+                    }
+                    assert_eq!(peek_state_verdict(&slot, &cnd), item.peek_verdict(&cnd));
+                }
+                // The canonical encodings agree byte for byte.
+                let mut a = bytes::BytesMut::new();
+                let mut b = bytes::BytesMut::new();
+                item.encode(&mut a);
+                encode_state(&arena.slot(idx), &mut b);
+                assert_eq!(a, b, "slot and item encodings must be identical");
+                // load/store round-trips through the slot.
+                let loaded = load_item(&arena.slot(idx));
+                let idx2 = arena.try_insert(1, 8).unwrap();
+                store_item(&mut arena.slot_mut(idx2), &loaded);
+                let mut c2 = bytes::BytesMut::new();
+                encode_state(&arena.slot(idx2), &mut c2);
+                assert_eq!(a, c2, "store(load(slot)) must be identical");
+            }
+        }
     }
 
     #[test]

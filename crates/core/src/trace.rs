@@ -225,6 +225,15 @@ pub enum TraceEvent {
         /// Relative error of the estimate against `exact`.
         rel_error: f64,
     },
+    /// The memory budget denied arena growth, forcing tracked slots to be
+    /// shed (see [`MemoryBudget`](crate::MemoryBudget)): the estimator is
+    /// running at its configured ceiling.
+    BudgetPressure {
+        /// Slots shed by this one update.
+        shed: u32,
+        /// Stream position at the pressure event.
+        position: u64,
+    },
 }
 
 impl TraceEvent {
@@ -264,6 +273,9 @@ impl TraceEvent {
                 exact,
                 rel_error,
             } => [w0(7, 0, position), exact.to_bits(), rel_error.to_bits()],
+            TraceEvent::BudgetPressure { shed, position } => {
+                [w0(8, 0, position), shed as u64, 0]
+            }
         }
     }
 
@@ -304,6 +316,10 @@ impl TraceEvent {
                 position,
                 exact: f64::from_bits(w[1]),
                 rel_error: f64::from_bits(w[2]),
+            },
+            8 => TraceEvent::BudgetPressure {
+                shed: w[1] as u32,
+                position,
             },
             _ => return None,
         })
@@ -371,6 +387,10 @@ impl TraceEvent {
                  \"exact\":{},\"rel_error\":{}}}",
                 num(exact),
                 num(rel_error)
+            ),
+            TraceEvent::BudgetPressure { shed, position } => format!(
+                "{{\"seq\":{seq},\"event\":\"budget_pressure\",\"shed\":{shed},\
+                 \"position\":{position}}}"
             ),
         }
     }
@@ -705,6 +725,12 @@ impl TraceHandle {
                     position: _position,
                 });
             }
+            if _outcome.budget_sheds > 0 {
+                journal.record(TraceEvent::BudgetPressure {
+                    shed: _outcome.budget_sheds,
+                    position: _position,
+                });
+            }
         }
     }
 
@@ -824,6 +850,10 @@ mod tests {
                 position: 1000,
                 exact: 512.0,
                 rel_error: 0.0625,
+            },
+            TraceEvent::BudgetPressure {
+                shed: 4,
+                position: 1001,
             },
         ];
         for e in all {
@@ -962,14 +992,19 @@ mod tests {
                 evictions: 3,
                 certified: false,
                 entries_delta: 0,
+                budget_sheds: 1,
             },
         );
         h.record_update(0, 0, 1, 78, &UpdateOutcome::default());
         if let Some(journal) = h.journal() {
             let got = journal.events();
-            // Dirty + commit + evictions from the first call; nothing from
-            // the quiet outcome.
-            assert_eq!(got.len(), 3);
+            // Dirty + commit + evictions + budget pressure from the first
+            // call; nothing from the quiet outcome.
+            assert_eq!(got.len(), 4);
+            assert!(got.iter().any(|e| matches!(
+                e.event,
+                TraceEvent::BudgetPressure { shed: 1, position: 77 }
+            )));
         }
     }
 

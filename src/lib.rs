@@ -63,8 +63,9 @@ pub use imp_baselines::{
 };
 pub use imp_core::query::{self, Filter};
 pub use imp_core::{
-    Confidence, DirtyReason, Estimate, EstimatorConfig, Fringe, ImplicationConditions,
-    ImplicationEstimator, ImplicationQuery, MetricsHandle, MetricsRegistry, MultiplicityPolicy,
+    CapacityPolicy, Confidence, DirtyReason, Estimate, EstimatorConfig, Fringe,
+    ImplicationConditions, ImplicationEstimator, ImplicationQuery, MemoryBudget, MetricsHandle,
+    MetricsRegistry, MultiplicityPolicy,
     NipsBitmap, PairHasher, QueryEngine, QueryKind, ShardedEstimator, Span, SpanKind, TraceEvent,
     TraceHandle, TraceJournal, TracedEvent, UpdateOutcome,
 };

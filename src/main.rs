@@ -75,6 +75,7 @@ struct CliDraft {
     delimiter: Option<char>,
     bitmaps: usize,
     fringe: u32,
+    memory_budget: Option<usize>,
     seed: u64,
     threads: usize,
     watch: Option<u64>,
@@ -104,6 +105,7 @@ impl Default for CliDraft {
             delimiter: None,
             bitmaps: 64,
             fringe: 4,
+            memory_budget: None,
             seed: 42,
             threads: 1,
             watch: None,
@@ -210,6 +212,12 @@ const OPTIONS: &[Opt] = &[
         metavar: "F",
         doc: "fringe size (default 4); 0 = unbounded",
         set: |d, v| d.fringe = parse_num(v, "--fringe"),
+    },
+    Opt {
+        name: "--memory-budget",
+        metavar: "BYTES",
+        doc: "hard cap on tracked-state memory (default: unlimited);\nat the cap, admissions shed the weakest tracked\nitemsets instead of growing (watch estimator.mem_bytes\nand estimator.shed_events under --stats)",
+        set: |d, v| d.memory_budget = Some(parse_num(v, "--memory-budget")),
     },
     Opt {
         name: "--seed",
@@ -442,13 +450,29 @@ impl CliDraft {
             0 => Fringe::Unbounded,
             f => Fringe::Bounded(f),
         };
+        if self.memory_budget == Some(0) {
+            die("--memory-budget must be at least 1 byte");
+        }
+        let mut config = EstimatorConfig::new(cond)
+            .bitmaps(self.bitmaps)
+            .fringe(fringe)
+            .seed(self.seed);
+        if let Some(bytes) = self.memory_budget {
+            let floor = config.construction_floor();
+            if bytes < floor {
+                die(&format!(
+                    "--memory-budget {bytes} is below the smallest enforceable budget \
+                     for this configuration: {floor} bytes ({m} initial arena tables; \
+                     lower --bitmaps or raise the budget)",
+                    m = self.bitmaps * 2,
+                ));
+            }
+            config = config.memory_budget(bytes);
+        }
         Cli {
             lhs,
             rhs,
-            config: EstimatorConfig::new(cond)
-                .bitmaps(self.bitmaps)
-                .fringe(fringe)
-                .seed(self.seed),
+            config,
             complement: self.complement,
             delimiter: self.delimiter,
             threads: self.threads,
@@ -732,6 +756,11 @@ fn main() {
     };
     if cli.resume.is_some() && est.conditions() != cli.config.conditions_ref() {
         die("snapshot was built with different implication conditions");
+    }
+    if cli.resume.is_some() {
+        // A snapshot restores against an unlimited budget; re-arm the
+        // requested ceiling before ingestion continues.
+        est.set_memory_budget(cli.config.memory_budget_limit());
     }
     if cli.trace_out.is_some() {
         est.set_trace(TraceHandle::with_capacity(cli.trace_buffer));

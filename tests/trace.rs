@@ -123,6 +123,56 @@ fn jsonl_drain_reports_the_feature_state() {
 }
 
 #[test]
+fn budget_pressure_lifecycle_reaches_the_journal() {
+    // Full lifecycle of the memory-budget pressure signal: pin the budget
+    // at the construction floor (arenas can never grow), stream more
+    // distinct itemsets than the initial tables hold, and the shedding
+    // must surface as `BudgetPressure` events carrying stream positions.
+    let cond = ImplicationConditions::strict_one_to_one(2);
+    let floor = EstimatorConfig::new(cond)
+        .bitmaps(16)
+        .seed(9)
+        .build()
+        .tracked_bytes();
+    let mut est = EstimatorConfig::new(cond)
+        .bitmaps(16)
+        .seed(9)
+        .memory_budget(floor)
+        .build();
+    let trace = TraceHandle::with_capacity(1 << 14);
+    est.set_trace(trace.clone());
+    // Every key arrives once (support 1 < σ = 2): all stay tracked, so
+    // admissions beyond the frozen tables must shed.
+    for a in 0..4_000u64 {
+        est.update(&[a], &[0]);
+    }
+    assert!(est.tracked_bytes() <= floor, "budget ceiling violated");
+
+    if !TraceHandle::enabled() {
+        assert!(trace.journal().is_none());
+        return;
+    }
+    let pressure: Vec<_> = trace
+        .journal()
+        .expect("journal attached")
+        .events()
+        .into_iter()
+        .filter_map(|t| match t.event {
+            TraceEvent::BudgetPressure { shed, position } => Some((shed, position)),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        !pressure.is_empty(),
+        "a floor-pinned budget must journal pressure events"
+    );
+    for (shed, position) in &pressure {
+        assert!(*shed >= 1, "pressure events carry the shed count");
+        assert!(*position <= 4_000, "position is the tuple count");
+    }
+}
+
+#[test]
 fn restored_snapshots_start_untraced() {
     let cond = ImplicationConditions::strict_one_to_one(1);
     let mut est = EstimatorConfig::new(cond).bitmaps(16).seed(8).build();
