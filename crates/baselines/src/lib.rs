@@ -74,15 +74,15 @@ impl ImplicationCounter for imp_core::ImplicationEstimator {
     }
 
     fn implication_count(&self) -> f64 {
-        self.estimate().implication_count
+        self.estimate_now().implication_count
     }
 
     fn non_implication_count(&self) -> Option<f64> {
-        Some(self.estimate().non_implication_count)
+        Some(self.estimate_now().non_implication_count)
     }
 
     fn f0_sup(&self) -> Option<f64> {
-        Some(self.estimate().f0_sup)
+        Some(self.estimate_now().f0_sup)
     }
 
     fn memory_entries(&self) -> usize {

@@ -53,7 +53,7 @@ fn bench_update_hot_path(c: &mut Criterion) {
             for (a, b) in &data {
                 est.update(black_box(a), black_box(b));
             }
-            black_box(est.estimate())
+            black_box(est.estimate_now())
         });
     });
     g.finish();
@@ -102,7 +102,7 @@ fn bench_trace_states(c: &mut Criterion) {
             for (a, b) in &data {
                 est.update(black_box(a), black_box(b));
             }
-            black_box(est.estimate())
+            black_box(est.estimate_now())
         });
     });
     if imp_core::TraceHandle::enabled() {
@@ -113,7 +113,7 @@ fn bench_trace_states(c: &mut Criterion) {
                 for (a, b) in &data {
                     est.update(black_box(a), black_box(b));
                 }
-                black_box(est.estimate())
+                black_box(est.estimate_now())
             });
         });
     }
@@ -140,7 +140,7 @@ fn bench_sharded_shared_registry(c: &mut Criterion) {
                 let est = EstimatorConfig::new(cond).seed(1).build();
                 let mut sharded = ShardedEstimator::new(est, threads);
                 sharded.update_hashed_batch(black_box(&pairs));
-                black_box(sharded.finish().estimate())
+                black_box(sharded.finish().estimate_now())
             });
         });
     }

@@ -39,7 +39,7 @@ fn bench_parallel_ingest(c: &mut Criterion) {
         bench.iter(|| {
             let mut est = config().build();
             est.update_batch(black_box(&data));
-            black_box(est.estimate())
+            black_box(est.estimate_now())
         });
     });
 
@@ -53,7 +53,7 @@ fn bench_parallel_ingest(c: &mut Criterion) {
                     for chunk in data.chunks(4096) {
                         sharded.update_batch(black_box(chunk));
                     }
-                    black_box(sharded.finish().estimate())
+                    black_box(sharded.finish().estimate_now())
                 });
             },
         );

@@ -81,7 +81,7 @@ fn bench_estimate_readoff(c: &mut Criterion) {
         est.update(&[i % 10_000], &[i % 7]);
     }
     c.bench_function("ci_estimate_readoff", |bench| {
-        bench.iter(|| black_box(est.estimate()));
+        bench.iter(|| black_box(est.estimate_now()));
     });
 }
 

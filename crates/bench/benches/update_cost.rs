@@ -33,7 +33,7 @@ fn bench_updates(c: &mut Criterion) {
             for (a, b) in &data {
                 est.update(black_box(a), black_box(b));
             }
-            black_box(est.estimate())
+            black_box(est.estimate_now())
         });
     });
 
@@ -83,7 +83,7 @@ fn bench_k_scaling(c: &mut Criterion) {
                 for (a, b) in &data {
                     est.update(black_box(a), black_box(b));
                 }
-                black_box(est.estimate())
+                black_box(est.estimate_now())
             });
         });
     }

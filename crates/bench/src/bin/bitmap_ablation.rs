@@ -34,7 +34,7 @@ fn main() {
                     est.update(&[a], &[2]); // evens violate K = 1
                 }
             }
-            let s = est.estimate().implication_count;
+            let s = est.estimate_now().implication_count;
             st.push(relative_error(card as f64 / 2.0, s));
         }
         t.row([

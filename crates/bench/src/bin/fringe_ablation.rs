@@ -38,7 +38,7 @@ fn run(q: f64, fringe: Option<u32>, cardinality: u64, seed: u64) -> (f64, f64) {
         }
     }
     let _ = violators;
-    let e = est.estimate();
+    let e = est.estimate_now();
     (e.non_implication_count, e.implication_count)
 }
 

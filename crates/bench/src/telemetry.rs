@@ -199,17 +199,29 @@ impl Report {
 /// dropped more than `threshold` (fractional, e.g. 0.15) below the
 /// baseline's. Improvements always pass.
 pub fn compare(baseline: &Report, candidate: &Report, threshold: f64) -> Result<String, String> {
+    compare_on(baseline, candidate, "throughput_rows_per_sec", threshold)
+}
+
+/// [`compare`] generalised over the judged key: any higher-is-better
+/// numeric rate in both reports can gate (e.g.
+/// `queries_per_sec_under_ingest` from the serve phase).
+pub fn compare_on(
+    baseline: &Report,
+    candidate: &Report,
+    key: &str,
+    threshold: f64,
+) -> Result<String, String> {
     let read = |r: &Report, who: &str| {
-        r.get("throughput_rows_per_sec")
+        r.get(key)
             .and_then(Value::as_f64)
             .filter(|v| *v > 0.0)
-            .ok_or_else(|| format!("{who}: missing or non-positive throughput_rows_per_sec"))
+            .ok_or_else(|| format!("{who}: missing or non-positive {key}"))
     };
     let base = read(baseline, "baseline")?;
     let cand = read(candidate, "candidate")?;
     let change = (cand - base) / base;
     let verdict = format!(
-        "throughput {base:.0} -> {cand:.0} rows/s ({:+.1}%, threshold -{:.1}%)",
+        "{key} {base:.0} -> {cand:.0} ({:+.1}%, threshold -{:.1}%)",
         change * 100.0,
         threshold * 100.0
     );
@@ -370,6 +382,16 @@ impl LatencyHistogram {
         self.count
     }
 
+    /// Folds another histogram into this one — the reduction step when
+    /// per-thread histograms (e.g. one per query thread in the serve
+    /// bench) combine into a single quantile source. Exact: buckets add.
+    pub fn merge(&mut self, other: &Self) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+    }
+
     /// The quantile `q` in `[0, 1]` as representative nanoseconds (the
     /// geometric midpoint of the bucket holding that rank), or 0 when
     /// the histogram is empty.
@@ -500,6 +522,37 @@ mod tests {
         assert!((64..128).contains(&p99), "p99 {p99} (99th sample is fast)");
         let p100 = h.quantile(1.0);
         assert!((8192..16384).contains(&p100), "max {p100}");
+    }
+
+    #[test]
+    fn merged_histograms_report_union_quantiles() {
+        let mut fast = LatencyHistogram::new();
+        for _ in 0..90 {
+            fast.record(100);
+        }
+        let mut slow = LatencyHistogram::new();
+        for _ in 0..10 {
+            slow.record(10_000);
+        }
+        fast.merge(&slow);
+        assert_eq!(fast.count(), 100);
+        let p50 = fast.quantile(0.50);
+        assert!((64..128).contains(&p50), "p50 {p50}");
+        let p95 = fast.quantile(0.95);
+        assert!((8192..16384).contains(&p95), "p95 {p95}");
+    }
+
+    #[test]
+    fn gate_generalises_over_the_judged_key() {
+        let mut base = Report::new();
+        base.set("queries_per_sec_under_ingest", Value::F64(1000.0));
+        let mut cand = Report::new();
+        cand.set("queries_per_sec_under_ingest", Value::F64(900.0)); // −10%
+        assert!(compare_on(&base, &cand, "queries_per_sec_under_ingest", 0.15).is_ok());
+        cand.set("queries_per_sec_under_ingest", Value::F64(800.0)); // −20%
+        assert!(compare_on(&base, &cand, "queries_per_sec_under_ingest", 0.15).is_err());
+        // The key must exist in both reports.
+        assert!(compare_on(&base, &cand, "no_such_key", 0.15).is_err());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! Each open cell of the NIPS bitmap tracks the state of every itemset
 //! currently hashed into it. Since the arena refactor the state no longer
 //! lives in a per-cell `HashMap<u64, ItemState>` — all 64 cells of a
-//! bitmap share one [`CellArena`] of fixed-size slots, and this module
+//! bitmap share one `CellArena` of fixed-size slots, and this module
 //! holds the cell-level discipline that used to be `CellState::update`:
 //! admission, capacity recycling, budget-pressure shedding, and the
 //! open/close decision. A sticky per-cell `supported` flag (now a bit in
@@ -24,7 +24,7 @@ pub enum CellEvent {
     MustClose,
 }
 
-/// The full result of one [`update_cell`]: the open/close decision plus
+/// The full result of one `update_cell`: the open/close decision plus
 /// the observability facts the metrics layer records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CellUpdate {

@@ -24,6 +24,7 @@ use crate::conditions::ImplicationConditions;
 use crate::metrics::{MetricsHandle, Stopwatch};
 use crate::nips::NipsBitmap;
 use crate::trace::{SpanKind, TraceHandle};
+use crate::view::{pack_ranks, EstimateReader, ReadView, ViewPublisher};
 
 /// Exponent of the small-range correction term.
 const KAPPA: f64 = 1.75;
@@ -224,12 +225,21 @@ impl EstimatorConfig {
                 MemoryBudget::with_limit(limit)
             }
         };
-        ImplicationEstimator::build(self.cond, self.bitmaps, self.fringe.size(), self.seed, budget)
+        ImplicationEstimator::build(
+            self.cond,
+            self.bitmaps,
+            self.fringe.size(),
+            self.seed,
+            budget,
+        )
     }
 }
 
-/// Stochastic-averaged NIPS/CI estimator — the crate's main entry point.
-#[derive(Debug, Clone)]
+/// Stochastic-averaged NIPS/CI estimator — the crate's main entry point,
+/// and the *writer* half of the writer/reader API split: mutation stays
+/// here, while wait-free concurrent reads go through
+/// [`reader`](ImplicationEstimator::reader) (see [`crate::view`]).
+#[derive(Debug)]
 pub struct ImplicationEstimator {
     cond: ImplicationConditions,
     bitmaps: Vec<NipsBitmap>,
@@ -248,6 +258,34 @@ pub struct ImplicationEstimator {
     /// until a journal is attached with
     /// [`set_trace`](ImplicationEstimator::set_trace).
     trace: TraceHandle,
+    /// The single-writer publication channel behind
+    /// [`reader`](ImplicationEstimator::reader) /
+    /// [`publish`](ImplicationEstimator::publish); created lazily by the
+    /// first of those calls.
+    publisher: Option<ViewPublisher>,
+}
+
+impl Clone for ImplicationEstimator {
+    /// Clones the sketch state. The clone is an independent *writer*: it
+    /// shares the metrics registry, trace journal and memory account (as
+    /// documented on those fields) but **not** the view-publication
+    /// channel — readers obtained from the original keep following the
+    /// original, and the clone starts with no readers, preserving the
+    /// one-writer-per-channel invariant.
+    fn clone(&self) -> Self {
+        Self {
+            cond: self.cond,
+            bitmaps: self.bitmaps.clone(),
+            log2_m: self.log2_m,
+            hasher_a: self.hasher_a,
+            hasher_b: self.hasher_b,
+            tuples: self.tuples,
+            budget: self.budget.clone(),
+            metrics: self.metrics.clone(),
+            trace: self.trace.clone(),
+            publisher: None,
+        }
+    }
 }
 
 impl ImplicationEstimator {
@@ -303,6 +341,7 @@ impl ImplicationEstimator {
             budget,
             metrics: MetricsHandle::new(),
             trace: TraceHandle::disabled(),
+            publisher: None,
         };
         est.publish_mem_gauges();
         est
@@ -420,21 +459,123 @@ impl ImplicationEstimator {
         (self.hasher_a.hash_slice(a), self.hasher_b.hash_slice(b))
     }
 
-    /// The CI estimate over the current stream prefix.
-    pub fn estimate(&self) -> Estimate {
+    /// A copyable hasher matching this estimator's internal hash
+    /// functions (the counterpart of
+    /// [`ShardedEstimator::pair_hasher`](crate::ShardedEstimator::pair_hasher)),
+    /// for pipelines that parse and hash on threads other than the
+    /// writer's.
+    pub fn pair_hasher(&self) -> crate::parallel::PairHasher {
+        crate::parallel::PairHasher::from_hashers(self.hasher_a, self.hasher_b)
+    }
+
+    /// The CI estimate over the current stream prefix, read directly off
+    /// the live bitmaps. This needs `&self` — i.e. exclusive or shared
+    /// access to the *writer* — so it is the owner's one-shot read;
+    /// concurrent queries while ingestion continues should go through
+    /// [`reader`](ImplicationEstimator::reader) instead.
+    pub fn estimate_now(&self) -> Estimate {
         let m = self.bitmaps.len() as f64;
         let (mut sum_sup, mut sum_non) = (0u32, 0u32);
         for bm in &self.bitmaps {
             sum_sup += bm.rank_f0_sup();
             sum_non += bm.rank_non_implication();
         }
-        let f0_sup = expand_mean(sum_sup as f64 / m, m);
-        let non = expand_mean(sum_non as f64 / m, m);
-        Estimate {
-            f0_sup,
-            non_implication_count: non,
-            implication_count: (f0_sup - non).max(0.0),
+        estimate_from_rank_sums(sum_sup, sum_non, m)
+    }
+
+    /// The CI estimate over the current stream prefix.
+    #[deprecated(
+        since = "0.6.0",
+        note = "renamed: use `estimate_now()` for an owner read, or \
+                `reader()` for wait-free concurrent reads while ingesting"
+    )]
+    pub fn estimate(&self) -> Estimate {
+        self.estimate_now()
+    }
+
+    /// A wait-free read handle answering estimates from the latest
+    /// *published* view while this writer keeps ingesting — the reader
+    /// half of the API split (see [`crate::view`]). Cheap to clone and
+    /// `Send`: hand one clone to each query thread. Readers observe
+    /// nothing until [`publish`](ImplicationEstimator::publish) (or
+    /// [`publish_full`](ImplicationEstimator::publish_full)) is called;
+    /// the view captured when the channel is first created is epoch 0.
+    pub fn reader(&mut self) -> EstimateReader {
+        self.ensure_publisher();
+        self.publisher.as_ref().expect("publisher created").reader()
+    }
+
+    /// Publishes the current read-off state (per-bitmap rank registers
+    /// plus stream counters) as the next epoch, and returns that epoch.
+    /// Readers from [`reader`](ImplicationEstimator::reader) switch to
+    /// the new view wait-free. Costs one small allocation plus an atomic
+    /// store — cheap enough to call every few hundred updates.
+    pub fn publish(&mut self) -> u64 {
+        self.publish_view(false)
+    }
+
+    /// Like [`publish`](ImplicationEstimator::publish), but additionally
+    /// embeds the canonical snapshot encoding
+    /// ([`to_bytes`](ImplicationEstimator::to_bytes)) in the published
+    /// view ([`ReadView::snapshot`]), so readers — e.g. a serving
+    /// endpoint handing out checkpoints — can obtain restorable bytes
+    /// without touching the writer. Costs a full snapshot encode; use at
+    /// checkpoint cadence, not per batch.
+    pub fn publish_full(&mut self) -> u64 {
+        self.publish_view(true)
+    }
+
+    /// The latest epoch published on this writer's channel, or `None` if
+    /// no reader or publish call has created the channel yet.
+    pub fn published_epoch(&self) -> Option<u64> {
+        self.publisher.as_ref().map(ViewPublisher::epoch)
+    }
+
+    fn publish_view(&mut self, with_snapshot: bool) -> u64 {
+        if self.publisher.is_none() {
+            // First publish: the channel's epoch-0 view *is* the current
+            // state, so creating the channel already publishes it.
+            self.ensure_publisher_with(with_snapshot);
+            return 0;
         }
+        let view = self.capture_view(with_snapshot);
+        let rows = self.tuples;
+        self.publisher
+            .as_mut()
+            .expect("publisher created")
+            .publish(view, rows)
+    }
+
+    fn ensure_publisher(&mut self) {
+        self.ensure_publisher_with(false);
+    }
+
+    fn ensure_publisher_with(&mut self, with_snapshot: bool) {
+        if self.publisher.is_none() {
+            let view = self.capture_view(with_snapshot);
+            self.publisher = Some(ViewPublisher::new(
+                view,
+                self.metrics.clone(),
+                self.trace.clone(),
+            ));
+        }
+    }
+
+    /// Captures the current read-off state as an unpublished view.
+    fn capture_view(&self, with_snapshot: bool) -> ReadView {
+        let ranks = self
+            .bitmaps
+            .iter()
+            .map(|bm| pack_ranks(bm.rank_f0_sup(), bm.rank_non_implication()))
+            .collect();
+        ReadView::from_parts(
+            self.tuples,
+            self.entries() as u64,
+            self.budget.used() as u64,
+            self.cond,
+            ranks,
+            with_snapshot.then(|| self.to_bytes()),
+        )
     }
 
     /// Total `(a, b)` tracking entries held across all bitmaps — the
@@ -497,7 +638,7 @@ impl ImplicationEstimator {
     /// }
     /// node1.merge(&node2);
     /// assert_eq!(node1.tuples_seen(), 1500);
-    /// let e = node1.estimate();
+    /// let e = node1.estimate_now();
     /// assert!(e.implication_count > 300.0 && e.implication_count < 700.0);
     /// ```
     ///
@@ -554,7 +695,24 @@ impl ImplicationEstimator {
             budget,
             metrics,
             trace,
+            publisher: None,
         }
+    }
+
+    /// Hands an existing publication channel to this estimator — used by
+    /// [`ShardedEstimator::finish`](crate::ShardedEstimator::finish) so
+    /// readers created against the pipeline keep following the
+    /// reassembled writer (epochs continue, they don't restart).
+    pub(crate) fn adopt_publisher(&mut self, publisher: ViewPublisher) {
+        debug_assert!(self.publisher.is_none(), "writer already has a channel");
+        self.publisher = Some(publisher);
+    }
+
+    /// The writer's publication channel, if created — taken by
+    /// [`ShardedEstimator::finish`](crate::ShardedEstimator::finish)'s
+    /// counterpart in `new` when a pre-published base is sharded.
+    pub(crate) fn take_publisher(&mut self) -> Option<ViewPublisher> {
+        self.publisher.take()
     }
 
     /// The internal hash pair (shared by shards of one pipeline).
@@ -637,7 +795,7 @@ impl ImplicationEstimator {
     ///
     /// let snapshot = est.to_bytes(); // → write to disk / ship elsewhere
     /// let mut restored = ImplicationEstimator::from_bytes(snapshot)?;
-    /// assert_eq!(restored.estimate(), est.estimate());
+    /// assert_eq!(restored.estimate_now(), est.estimate_now());
     ///
     /// // The restored estimator keeps ingesting where the original
     /// // left off — identical future behaviour, not just identical
@@ -720,9 +878,24 @@ impl ImplicationEstimator {
             // A restored estimator starts untraced, like a fresh build;
             // attach a journal with `set_trace` to resume journaling.
             trace: TraceHandle::disabled(),
+            publisher: None,
         };
         est.publish_mem_gauges();
         Ok(est)
+    }
+}
+
+/// The CI expansion shared by the owner-side read-off
+/// ([`ImplicationEstimator::estimate_now`]) and published-view reads
+/// ([`crate::view::ReadView::estimate`]): identical f64 operations in
+/// identical order, so the two paths are bit-identical by construction.
+pub(crate) fn estimate_from_rank_sums(sum_sup: u32, sum_non: u32, m: f64) -> Estimate {
+    let f0_sup = expand_mean(sum_sup as f64 / m, m);
+    let non = expand_mean(sum_non as f64 / m, m);
+    Estimate {
+        f0_sup,
+        non_implication_count: non,
+        implication_count: (f0_sup - non).max(0.0),
     }
 }
 
@@ -777,7 +950,7 @@ mod tests {
     #[test]
     fn empty_estimate_is_zero() {
         let est = bounded(one_to_one(), 64, 4, 1);
-        let e = est.estimate();
+        let e = est.estimate_now();
         assert_eq!(e.implication_count, 0.0);
         assert_eq!(e.f0_sup, 0.0);
         assert_eq!(e.non_implication_count, 0.0);
@@ -787,7 +960,7 @@ mod tests {
     fn pure_implication_stream_unbounded_is_exact_on_sbar() {
         let mut est = unbounded(one_to_one(), 64, 2);
         run(&mut est, 10_000, 0);
-        let e = est.estimate();
+        let e = est.estimate_now();
         assert_eq!(e.non_implication_count, 0.0);
         let err = relative_error(10_000.0, e.implication_count);
         assert!(err < 0.15, "err {err}, est {e:?}");
@@ -801,7 +974,7 @@ mod tests {
         // paper's ≈ 2^-F · F0 floor.
         let mut est = bounded(one_to_one(), 64, 4, 2);
         run(&mut est, 10_000, 0);
-        let e = est.estimate();
+        let e = est.estimate_now();
         assert_eq!(e.non_implication_count, 0.0);
         let err = relative_error(10_000.0, e.implication_count);
         assert!(err < 0.15, "err {err}, est {e:?}");
@@ -811,7 +984,7 @@ mod tests {
     fn pure_violation_stream() {
         let mut est = bounded(one_to_one(), 64, 4, 3);
         run(&mut est, 0, 10_000);
-        let e = est.estimate();
+        let e = est.estimate_now();
         let err = relative_error(10_000.0, e.non_implication_count);
         assert!(err < 0.15, "err {err}, est {e:?}");
         assert!(
@@ -829,7 +1002,7 @@ mod tests {
         ] {
             let mut est = bounded(one_to_one(), 64, 4, seed);
             run(&mut est, s, q);
-            let e = est.estimate();
+            let e = est.estimate_now();
             let err_s = relative_error(s as f64, e.implication_count);
             let err_f0 = relative_error((s + q) as f64, e.f0_sup);
             assert!(err_f0 < 0.15, "F0 err {err_f0} at (s={s}, q={q})");
@@ -845,7 +1018,7 @@ mod tests {
         for seed in 0..reps {
             let mut est = bounded(one_to_one(), 64, 4, 100 + seed);
             run(&mut est, 50, 50);
-            let e = est.estimate();
+            let e = est.estimate_now();
             errs += relative_error(50.0, e.implication_count);
         }
         let mean_err = errs / reps as f64;
@@ -858,7 +1031,7 @@ mod tests {
         let mut u = unbounded(one_to_one(), 64, 7);
         run(&mut b, 4_000, 4_000);
         run(&mut u, 4_000, 4_000);
-        let (eb, eu) = (b.estimate(), u.estimate());
+        let (eb, eu) = (b.estimate_now(), u.estimate_now());
         let diff = relative_error(eu.implication_count, eb.implication_count);
         assert!(diff < 0.10, "bounded {eb:?} vs unbounded {eu:?}");
     }
@@ -892,7 +1065,7 @@ mod tests {
         let mut b = bounded(one_to_one(), 16, 4, 99);
         run(&mut a, 500, 500);
         run(&mut b, 500, 500);
-        assert_eq!(a.estimate(), b.estimate());
+        assert_eq!(a.estimate_now(), b.estimate_now());
     }
 
     #[test]
@@ -926,7 +1099,7 @@ mod tests {
             }
         }
         node1.merge(&node2);
-        let (m, w) = (node1.estimate(), whole.estimate());
+        let (m, w) = (node1.estimate_now(), whole.estimate_now());
         assert_eq!(m, w, "disjoint-itemset merge must be lossless");
         assert_eq!(node1.tuples_seen(), whole.tuples_seen());
     }
@@ -941,10 +1114,10 @@ mod tests {
             node1.update(&[a], &[1]);
             node2.update(&[a], &[2]);
         }
-        assert_eq!(node1.estimate().non_implication_count, 0.0);
-        assert_eq!(node2.estimate().non_implication_count, 0.0);
+        assert_eq!(node1.estimate_now().non_implication_count, 0.0);
+        assert_eq!(node2.estimate_now().non_implication_count, 0.0);
         node1.merge(&node2);
-        let e = node1.estimate();
+        let e = node1.estimate_now();
         assert!(
             e.non_implication_count > 200.0,
             "merged union must expose the violations: {e:?}"
@@ -966,9 +1139,9 @@ mod tests {
         for x in 0..100u64 {
             a.update(&[x], &[0]);
         }
-        let before = a.estimate();
+        let before = a.estimate_now();
         let empty = bounded(one_to_one(), 16, 4, 3);
         a.merge(&empty);
-        assert_eq!(a.estimate(), before);
+        assert_eq!(a.estimate_now(), before);
     }
 }

@@ -50,7 +50,7 @@ impl IncrementalCounter {
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {
             position: self.inner.tuples_seen(),
-            estimate: self.inner.estimate(),
+            estimate: self.inner.estimate_now(),
         }
     }
 

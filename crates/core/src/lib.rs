@@ -42,12 +42,14 @@
 //!     let a = i % 1000; // 1000 itemsets, 3 occurrences each …
 //!     est.update(&[a], &[a % 7]); // … every a sticks to one b: all imply
 //! }
-//! let e = est.estimate();
+//! let e = est.estimate_now();
 //! assert!(e.implication_count > 500.0 && e.implication_count < 2000.0);
 //! ```
 //!
 //! For multi-core ingestion behind the same exact semantics, see
-//! [`parallel::ShardedEstimator`].
+//! [`parallel::ShardedEstimator`]; for wait-free concurrent estimates
+//! while ingestion continues, see [`view`] and
+//! [`ImplicationEstimator::reader`].
 
 pub(crate) mod arena;
 pub mod bounds;
@@ -64,6 +66,7 @@ pub mod sliding;
 pub mod snapshot;
 pub mod state;
 pub mod trace;
+pub mod view;
 
 pub use bounds::{fringe_size_for_ratio, min_estimable_ratio};
 pub use budget::{CapacityPolicy, MemoryBudget};
@@ -78,3 +81,4 @@ pub use query::{ImplicationQuery, QueryEngine, QueryKind};
 pub use snapshot::SnapshotError;
 pub use state::{DirtyReason, ItemState, Verdict};
 pub use trace::{Span, SpanKind, TraceEvent, TraceHandle, TraceJournal, TracedEvent};
+pub use view::{EstimateReader, ReadView};

@@ -474,6 +474,43 @@ impl IngestMetrics {
     }
 }
 
+/// Counters and gauges of the epoch-publication channel
+/// ([`crate::view`]): how often views are published, how fresh the
+/// latest one is, and how much read traffic it serves.
+#[derive(Debug, Default)]
+pub struct ViewMetrics {
+    /// `view.publishes` — read views published (including the initial
+    /// epoch-0 view captured when the channel is created).
+    pub publishes: Counter,
+    /// `view.epoch` — the latest published epoch.
+    pub epoch: Gauge,
+    /// `view.published_tuples` — tuples the writer had applied at the
+    /// latest published epoch.
+    pub published_tuples: Gauge,
+    /// `view.age_rows` — rows the writer (or router) had ingested beyond
+    /// the latest published view at publication time: the staleness a
+    /// reader pays for wait-freedom. 0 for a sequential writer; for the
+    /// sharded pipeline, the in-flight backlog a barrier would have
+    /// drained.
+    pub age_rows: Gauge,
+    /// `view.reads` — estimates answered from published views
+    /// ([`EstimateReader`](crate::EstimateReader) traffic).
+    pub reads: Counter,
+}
+
+impl ViewMetrics {
+    /// All-zero metrics.
+    pub const fn new() -> Self {
+        Self {
+            publishes: Counter::new(),
+            epoch: Gauge::new(),
+            published_tuples: Gauge::new(),
+            age_rows: Gauge::new(),
+            reads: Counter::new(),
+        }
+    }
+}
+
 /// Counters of snapshot encoding/decoding (`core::snapshot`).
 #[derive(Debug, Default)]
 pub struct SnapshotMetrics {
@@ -517,6 +554,8 @@ pub struct MetricsRegistry {
     pub estimator: EstimatorMetrics,
     /// Parallel-ingestion pipeline counters.
     pub ingest: IngestMetrics,
+    /// Epoch-publication (read view) counters.
+    pub view: ViewMetrics,
     /// Snapshot encode/decode counters.
     pub snapshot: SnapshotMetrics,
 }
@@ -527,6 +566,7 @@ impl MetricsRegistry {
         Self {
             estimator: EstimatorMetrics::new(),
             ingest: IngestMetrics::new(),
+            view: ViewMetrics::new(),
             snapshot: SnapshotMetrics::new(),
         }
     }
@@ -583,6 +623,12 @@ impl MetricsRegistry {
                 lane.queue_depth.peak(),
             ));
         }
+        let v = &self.view;
+        c!("view.publishes", v.publishes.get());
+        c!("view.epoch", v.epoch.get());
+        c!("view.published_tuples", v.published_tuples.get());
+        c!("view.age_rows", v.age_rows.get());
+        c!("view.reads", v.reads.get());
         let s = &self.snapshot;
         c!("snapshot.encodes", s.encodes.get());
         c!("snapshot.decodes", s.decodes.get());
@@ -642,6 +688,9 @@ impl MetricsRegistry {
             || name == "ingest.shards"
             || name == "estimator.mem_bytes"
             || name == "estimator.mem_budget"
+            || name == "view.epoch"
+            || name == "view.published_tuples"
+            || name == "view.age_rows"
             || name.ends_with("_peak")
             || name.ends_with("_p95")
     }

@@ -21,7 +21,7 @@
 //! * **Zone-0** — cells with no tracked state and no decision.
 //!
 //! Since the arena refactor, all 64 cells of one bitmap store their
-//! itemset state in a single [`CellArena`] of fixed-size slots; which
+//! itemset state in a single `CellArena` of fixed-size slots; which
 //! cells are *open* (may be empty yet still distinct from Zone-0) and
 //! which carry a sticky supported flag live in the `open_mask` /
 //! `supported_mask` bit sets. Every byte of tracked state is charged to

@@ -59,11 +59,17 @@
 //! for a in 0..10_000u64 {
 //!     seq.update(&[a], &[a % 97]);
 //! }
-//! assert_eq!(est.estimate(), seq.estimate());
+//! assert_eq!(est.estimate_now(), seq.estimate_now());
 //! assert_eq!(est.to_bytes(), seq.to_bytes());
 //! ```
+//!
+//! For wait-free mid-stream estimates while the lanes keep ingesting,
+//! publish views ([`ShardedEstimator::publish`]) and read them through
+//! [`ShardedEstimator::reader`]; see [`crate::view`] for the protocol.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use imp_sketch::hash::{Hasher64, MixHasher};
@@ -72,6 +78,7 @@ use imp_sketch::rank::split_rank;
 use crate::estimator::ImplicationEstimator;
 use crate::metrics::MetricsHandle;
 use crate::trace::{Span, SpanKind, TraceEvent, TraceHandle};
+use crate::view::{pack_ranks, EstimateReader, ReadView, ViewPublisher};
 
 /// Pre-hashed pairs buffered per shard before a batch is shipped.
 const BATCH: usize = 1024;
@@ -98,12 +105,68 @@ pub struct PairHasher {
 }
 
 impl PairHasher {
+    pub(crate) fn from_hashers(hasher_a: MixHasher, hasher_b: MixHasher) -> Self {
+        Self { hasher_a, hasher_b }
+    }
+
     /// Hashes an `(a, b)` pair exactly as
     /// [`ImplicationEstimator::update`] would, producing arguments for
     /// [`ShardedEstimator::update_hashed`].
     #[inline]
     pub fn hash_pair(&self, a: &[u64], b: &[u64]) -> (u64, u64) {
         (self.hasher_a.hash_slice(a), self.hasher_b.hash_slice(b))
+    }
+}
+
+/// The lock-free register table workers refresh after every applied
+/// batch, letting the router publish read views without barriering the
+/// lanes. Each bitmap's packed rank word is owned by exactly one worker
+/// (the bitmap-partitioning invariant), so stores never race; `Release`
+/// stores pair with the router's `Acquire` loads so an assembled view
+/// sees each bitmap at one of its batch boundaries.
+#[derive(Debug)]
+struct SharedRegisters {
+    /// One packed `(rank_f0_sup, rank_non_implication)` word per bitmap.
+    ranks: Box<[AtomicU64]>,
+    /// Pre-hashed pairs *applied* (drained and updated) across all
+    /// shards — trails the routed count by the in-flight backlog.
+    applied: AtomicU64,
+    /// Tracked entries per shard (each worker stores its own slot).
+    entries: Box<[AtomicU64]>,
+}
+
+impl SharedRegisters {
+    /// Captures `base`'s current per-bitmap registers, with entry counts
+    /// pre-assigned to the shard that will own each bitmap.
+    fn capture(base: &ImplicationEstimator, threads: usize) -> Self {
+        let mut entries = vec![0u64; threads];
+        for (i, bm) in base.bitmaps().iter().enumerate() {
+            entries[i % threads] += bm.entries() as u64;
+        }
+        Self {
+            ranks: base
+                .bitmaps()
+                .iter()
+                .map(|bm| AtomicU64::new(pack_ranks(bm.rank_f0_sup(), bm.rank_non_implication())))
+                .collect(),
+            applied: AtomicU64::new(base.tuples_seen()),
+            entries: entries.into_iter().map(AtomicU64::new).collect(),
+        }
+    }
+
+    /// Worker `k` of `threads` refreshes the registers of the bitmaps it
+    /// owns after applying a batch of `applied` pairs.
+    fn refresh(&self, shard: &ImplicationEstimator, k: usize, threads: usize, applied: u64) {
+        for (i, bm) in shard.bitmaps().iter().enumerate().skip(k).step_by(threads) {
+            self.ranks[i].store(
+                pack_ranks(bm.rank_f0_sup(), bm.rank_non_implication()),
+                Ordering::Release,
+            );
+        }
+        // Non-owned bitmaps of this shard are pristine, so the shard's
+        // entry count is exactly its owned bitmaps' count.
+        self.entries[k].store(shard.entries() as u64, Ordering::Release);
+        self.applied.fetch_add(applied, Ordering::Release);
     }
 }
 
@@ -132,6 +195,16 @@ pub struct ShardedEstimator {
     routed: u64,
     /// Brackets the whole session, construction → `finish`.
     ingest_span: Span,
+    /// Lock-free per-bitmap registers the workers refresh after every
+    /// applied batch — what [`ShardedEstimator::publish`] assembles views
+    /// from without barriering the lanes.
+    registers: Arc<SharedRegisters>,
+    /// Tuples the base estimator carried at construction (snapshot
+    /// resume); `preloaded + routed` is the router's stream position.
+    preloaded: u64,
+    /// The view-publication channel (created lazily, or inherited from a
+    /// base writer that already had readers).
+    publisher: Option<ViewPublisher>,
 }
 
 impl ShardedEstimator {
@@ -141,8 +214,9 @@ impl ShardedEstimator {
     ///
     /// # Panics
     /// If `threads == 0`.
-    pub fn new(base: ImplicationEstimator, threads: usize) -> Self {
+    pub fn new(mut base: ImplicationEstimator, threads: usize) -> Self {
         assert!(threads >= 1, "need at least one ingestion shard");
+        let publisher = base.take_publisher();
         let (hasher_a, hasher_b) = base.hashers();
         let log2_m = base.log2_m();
         let metrics = base.metrics().clone();
@@ -150,6 +224,8 @@ impl ShardedEstimator {
         metrics.ingest.shards.set(threads as u64);
         let ingest_span = trace.span(SpanKind::Ingest);
         let template = base.fresh_like();
+        let registers = Arc::new(SharedRegisters::capture(&base, threads));
+        let preloaded = base.tuples_seen();
         let shards = base.split_shards(threads);
         let mut senders = Vec::with_capacity(threads);
         let mut workers = Vec::with_capacity(threads);
@@ -157,6 +233,7 @@ impl ShardedEstimator {
             let (tx, rx): (_, Receiver<ShardMsg>) = sync_channel(CHANNEL_DEPTH);
             senders.push(tx);
             let worker_metrics = metrics.clone();
+            let worker_registers = Arc::clone(&registers);
             workers.push(std::thread::spawn(move || {
                 loop {
                     // Distinguish "batch was already waiting" from "had to
@@ -177,6 +254,10 @@ impl ShardedEstimator {
                         ShardMsg::Batch(batch) => {
                             worker_metrics.ingest.lane(k).queue_depth.adjust(-1);
                             shard.update_hashed_batch(&batch);
+                            // Expose the owned bitmaps' new read-off state
+                            // at this batch boundary, so the router can
+                            // publish views without a barrier.
+                            worker_registers.refresh(&shard, k, threads, batch.len() as u64);
                         }
                         // FIFO channel: every batch sent before the barrier
                         // has been applied once we get here, so the ack
@@ -201,6 +282,9 @@ impl ShardedEstimator {
             trace,
             routed: 0,
             ingest_span,
+            registers,
+            preloaded,
+            publisher,
         }
     }
 
@@ -298,16 +382,18 @@ impl ShardedEstimator {
     }
 
     /// Flushes every buffer and blocks until **all** workers have applied
-    /// everything routed so far. After `sync` returns, the shared metrics
-    /// registry (and trace journal) reflect the complete stream prefix —
-    /// no partial counts from batches still in flight. This is what makes
-    /// mid-stream observability reads (`--stats-interval` under
-    /// `--threads N`) consistent; it is a latency barrier, not a
-    /// correctness requirement for the final result.
+    /// everything routed so far. After `barrier` returns, the shared
+    /// metrics registry (and trace journal) reflect the complete stream
+    /// prefix, and a [`publish`](ShardedEstimator::publish) captures a
+    /// view bit-identical to the sequential run over the routed prefix.
+    /// This stalls every lane — use it for quiesce points (checkpoints,
+    /// final read-offs), **not** for routine mid-stream estimates; those
+    /// should read the published view through
+    /// [`reader`](ShardedEstimator::reader).
     ///
     /// # Panics
     /// If a worker thread exited early.
-    pub fn sync(&mut self) {
+    pub fn barrier(&mut self) {
         self.flush();
         let acks: Vec<Receiver<()>> = self
             .senders
@@ -324,6 +410,91 @@ impl ShardedEstimator {
         }
     }
 
+    /// Flushes and blocks until all workers have drained their queues.
+    #[deprecated(
+        since = "0.6.0",
+        note = "for mid-stream estimates use `publish()` + `reader()` (wait-free, no lane \
+                stall); for a true quiesce point the barrier is now called `barrier()`"
+    )]
+    pub fn sync(&mut self) {
+        self.barrier();
+    }
+
+    /// Publishes a read view assembled from the workers' lock-free
+    /// registers — **without** barriering the lanes — and returns its
+    /// epoch. Each bitmap's registers are captured at one of its owning
+    /// worker's batch boundaries; batches still in flight are not yet
+    /// reflected (the lag is exported as the `view.age_rows` gauge).
+    /// After a [`barrier`](ShardedEstimator::barrier), a publish is
+    /// bit-identical to the sequential read-off over the routed prefix.
+    pub fn publish(&mut self) -> u64 {
+        let view = self.assemble_view();
+        // Stream position includes pairs still buffered in the router,
+        // so `view.age_rows` reports the full backlog a barrier would
+        // drain — not just what has already been shipped to the lanes.
+        let buffered: u64 = self.pending.iter().map(|b| b.len() as u64).sum();
+        let rows = self.preloaded + self.routed + buffered;
+        match &mut self.publisher {
+            Some(publisher) => publisher.publish(view, rows),
+            None => {
+                self.publisher = Some(ViewPublisher::new(
+                    view,
+                    self.metrics.clone(),
+                    self.trace.clone(),
+                ));
+                0
+            }
+        }
+    }
+
+    /// A wait-free read handle answering estimates from the latest
+    /// published view while the lanes keep ingesting (see
+    /// [`crate::view`]); the counterpart of
+    /// [`ImplicationEstimator::reader`]. Readers created here keep
+    /// working — and keep receiving epochs — after
+    /// [`finish`](ShardedEstimator::finish) hands the channel to the
+    /// reassembled writer.
+    pub fn reader(&mut self) -> EstimateReader {
+        if self.publisher.is_none() {
+            self.publish();
+        }
+        self.publisher.as_ref().expect("publisher created").reader()
+    }
+
+    /// Rows accepted by the router that the lanes have not yet applied
+    /// (shipped batches in flight plus pairs still buffered here). A
+    /// publisher that wants fully-settled views can keep republishing
+    /// until this reaches zero instead of paying for a barrier.
+    pub fn backlog(&self) -> u64 {
+        let buffered: u64 = self.pending.iter().map(|b| b.len() as u64).sum();
+        let rows = self.preloaded + self.routed + buffered;
+        rows - self.registers.applied.load(Ordering::Acquire)
+    }
+
+    /// Assembles an unpublished view from the shared registers.
+    fn assemble_view(&self) -> ReadView {
+        let ranks = self
+            .registers
+            .ranks
+            .iter()
+            .map(|r| r.load(Ordering::Acquire))
+            .collect();
+        let entries = self
+            .registers
+            .entries
+            .iter()
+            .map(|e| e.load(Ordering::Acquire))
+            .sum();
+        ReadView::from_parts(
+            self.registers.applied.load(Ordering::Acquire),
+            entries,
+            self.template.memory_budget().used() as u64,
+            *self.template.conditions(),
+            ranks,
+            None,
+        )
+    }
+
     /// Flushes, joins the workers, and reassembles the single merged
     /// estimator — bit-for-bit the state a sequential run over the same
     /// updates would have produced.
@@ -338,6 +509,7 @@ impl ShardedEstimator {
             senders,
             workers,
             ingest_span,
+            publisher,
             ..
         } = self;
         // Closing the channels lets the workers drain and return.
@@ -349,6 +521,13 @@ impl ShardedEstimator {
         }
         // The session span covers reassembly too.
         drop(ingest_span);
+        // Hand the publication channel to the reassembled writer and push
+        // the fully-merged state, so existing readers advance to the final
+        // (sequential-identical) epoch instead of going stale.
+        if let Some(publisher) = publisher {
+            out.adopt_publisher(publisher);
+            out.publish();
+        }
         out
     }
 }
@@ -393,7 +572,7 @@ mod tests {
                 sharded.update(&[a], &[b]);
             }
             let est = sharded.finish();
-            assert_eq!(est.estimate(), seq.estimate(), "T = {threads}");
+            assert_eq!(est.estimate_now(), seq.estimate_now(), "T = {threads}");
             assert_eq!(est.tuples_seen(), seq.tuples_seen(), "T = {threads}");
             assert_eq!(est.to_bytes(), seq.to_bytes(), "T = {threads}");
         }
@@ -483,7 +662,7 @@ mod tests {
     }
 
     #[test]
-    fn sync_makes_shared_registry_reflect_every_routed_update() {
+    fn barrier_makes_shared_registry_reflect_every_routed_update() {
         // Without the barrier, a mid-stream metrics read sees only the
         // batches workers happened to have drained — the partial-count bug
         // behind the old `--threads N --stats-interval` output.
@@ -491,7 +670,7 @@ mod tests {
         for (a, b) in pairs(10_000) {
             sharded.update(&[a], &[b]);
         }
-        sharded.sync();
+        sharded.barrier();
         if crate::MetricsRegistry::enabled() {
             assert_eq!(sharded.metrics().estimator.tuples.get(), 10_000);
         }
@@ -501,17 +680,108 @@ mod tests {
     }
 
     #[test]
-    fn repeated_sync_is_idempotent_and_cheap() {
+    fn repeated_barrier_is_idempotent_and_cheap() {
         let mut sharded = ShardedEstimator::new(config().build(), 2);
         for (a, b) in pairs(3_000) {
             sharded.update(&[a], &[b]);
             if a % 500 == 0 {
-                sharded.sync();
+                sharded.barrier();
             }
         }
-        sharded.sync();
-        sharded.sync();
+        sharded.barrier();
+        sharded.barrier();
         assert_eq!(sharded.finish().tuples_seen(), 3_000);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_sync_still_delegates_to_the_barrier() {
+        let mut sharded = ShardedEstimator::new(config().build(), 2);
+        for (a, b) in pairs(2_000) {
+            sharded.update(&[a], &[b]);
+        }
+        sharded.sync();
+        assert_eq!(sharded.finish().tuples_seen(), 2_000);
+    }
+
+    #[test]
+    fn publish_after_barrier_matches_sequential_bit_for_bit() {
+        let mut seq = config().build();
+        let mut sharded = ShardedEstimator::new(config().build(), 4);
+        let reader = sharded.reader();
+        let mut published = 0;
+        for (i, (a, b)) in pairs(20_000).enumerate() {
+            seq.update(&[a], &[b]);
+            sharded.update(&[a], &[b]);
+            if i % 4_096 == 0 {
+                sharded.barrier();
+                let epoch = sharded.publish();
+                assert!(epoch >= published, "epochs are monotone");
+                published = epoch;
+                // At a quiesce point the published view must read off
+                // exactly what the sequential run would.
+                assert_eq!(reader.estimate(), seq.estimate_now(), "row {i}");
+                assert_eq!(reader.tuples(), seq.tuples_seen(), "row {i}");
+            }
+        }
+        assert_eq!(sharded.finish().to_bytes(), seq.to_bytes());
+    }
+
+    #[test]
+    fn mid_stream_publish_without_barrier_is_a_valid_prefix_read() {
+        // No barrier: the view reflects only applied batches, so tuples
+        // must never exceed what was routed, and the estimate must be
+        // finite and well-formed.
+        let mut sharded = ShardedEstimator::new(config().build(), 3);
+        let reader = sharded.reader();
+        for (i, (a, b)) in pairs(30_000).enumerate() {
+            sharded.update(&[a], &[b]);
+            if i % 7_000 == 0 {
+                sharded.publish();
+                let view = reader.estimate();
+                assert!(reader.tuples() <= (i as u64) + 1);
+                assert!(view.implication_count.is_finite());
+            }
+        }
+        let est = sharded.finish();
+        assert_eq!(est.tuples_seen(), 30_000);
+    }
+
+    #[test]
+    fn readers_follow_the_channel_across_finish() {
+        let mut sharded = ShardedEstimator::new(config().build(), 2);
+        let reader = sharded.reader();
+        for (a, b) in pairs(10_000) {
+            sharded.update(&[a], &[b]);
+        }
+        let mut est = sharded.finish();
+        // finish() publishes the merged state on the inherited channel, so
+        // the pre-finish reader sees the final, sequential-identical view.
+        assert_eq!(reader.tuples(), 10_000);
+        assert_eq!(reader.estimate(), est.estimate_now());
+        // And the reassembled writer keeps publishing to the same readers.
+        est.update(&[1_000_001], &[3]);
+        est.publish();
+        assert_eq!(reader.tuples(), 10_001);
+    }
+
+    #[test]
+    fn sharding_inherits_an_existing_publication_channel() {
+        let mut base = config().build();
+        for (a, b) in pairs(4_000) {
+            base.update(&[a], &[b]);
+        }
+        let reader = base.reader();
+        let before = reader.epoch();
+        let mut sharded = ShardedEstimator::new(base, 2);
+        for (a, b) in pairs(4_000) {
+            sharded.update(&[a], &[b]);
+        }
+        sharded.barrier();
+        let epoch = sharded.publish();
+        assert!(epoch > before, "inherited channel keeps advancing epochs");
+        assert_eq!(reader.tuples(), 8_000);
+        assert_eq!(sharded.finish().tuples_seen(), 8_000);
     }
 
     #[test]

@@ -231,7 +231,7 @@ impl QueryEngine {
 
     /// The scalar answer for the query's [`QueryKind`].
     pub fn answer(&self) -> f64 {
-        let e = self.est.estimate();
+        let e = self.est.estimate_now();
         match self.query.kind {
             QueryKind::DistinctCount => e.f0_sup,
             QueryKind::Implication => e.implication_count,
@@ -241,7 +241,7 @@ impl QueryEngine {
 
     /// The full three-component estimate.
     pub fn estimate(&self) -> Estimate {
-        self.est.estimate()
+        self.est.estimate_now()
     }
 
     /// Tuples that passed the filter.

@@ -63,7 +63,7 @@ impl SlidingEstimator {
         }
         retired.map(|(origin, est)| WindowResult {
             origin,
-            estimate: est.estimate(),
+            estimate: est.estimate_now(),
         })
     }
 
@@ -73,7 +73,7 @@ impl SlidingEstimator {
         self.slots
             .slots()
             .next()
-            .map(|(origin, est)| (origin, est.estimate()))
+            .map(|(origin, est)| (origin, est.estimate_now()))
     }
 
     /// Tuples processed.

@@ -422,7 +422,7 @@ impl ItemState {
 
     /// Records one arrival of `(a, b)` (as `b`'s fingerprint) and re-checks
     /// the conditions. Lines 7–14 of Algorithm 1 (the shared
-    /// [`update_state`] logic, also driving arena slots).
+    /// `update_state` logic, also driving arena slots).
     pub fn update(&mut self, b_fingerprint: u64, cond: &ImplicationConditions) -> Verdict {
         update_state(self, b_fingerprint, cond)
     }

@@ -39,7 +39,9 @@
 //! `support_certified` carry a stream position (the shared tuple counter,
 //! truncated to 48 bits); `shard_handoff` records batches crossing the
 //! router→worker channels; `span` records coarse phase durations;
-//! `audit_sample` records online ground-truth relative error.
+//! `audit_sample` records online ground-truth relative error;
+//! `view_published` records epochs going live on the concurrent-read
+//! channel (see [`crate::view`]).
 //!
 //! ```
 //! use imp_core::{EstimatorConfig, ImplicationConditions, TraceEvent, TraceHandle};
@@ -234,6 +236,14 @@ pub enum TraceEvent {
         /// Stream position at the pressure event.
         position: u64,
     },
+    /// A read view was published on the epoch channel (see
+    /// [`crate::view`]): concurrent readers switch to it wait-free.
+    ViewPublished {
+        /// The published epoch.
+        epoch: u64,
+        /// Stream position (tuples applied) captured in the view.
+        position: u64,
+    },
 }
 
 impl TraceEvent {
@@ -273,9 +283,8 @@ impl TraceEvent {
                 exact,
                 rel_error,
             } => [w0(7, 0, position), exact.to_bits(), rel_error.to_bits()],
-            TraceEvent::BudgetPressure { shed, position } => {
-                [w0(8, 0, position), shed as u64, 0]
-            }
+            TraceEvent::BudgetPressure { shed, position } => [w0(8, 0, position), shed as u64, 0],
+            TraceEvent::ViewPublished { epoch, position } => [w0(9, 0, position), epoch, 0],
         }
     }
 
@@ -319,6 +328,10 @@ impl TraceEvent {
             },
             8 => TraceEvent::BudgetPressure {
                 shed: w[1] as u32,
+                position,
+            },
+            9 => TraceEvent::ViewPublished {
+                epoch: w[1],
                 position,
             },
             _ => return None,
@@ -390,6 +403,10 @@ impl TraceEvent {
             ),
             TraceEvent::BudgetPressure { shed, position } => format!(
                 "{{\"seq\":{seq},\"event\":\"budget_pressure\",\"shed\":{shed},\
+                 \"position\":{position}}}"
+            ),
+            TraceEvent::ViewPublished { epoch, position } => format!(
+                "{{\"seq\":{seq},\"event\":\"view_published\",\"epoch\":{epoch},\
                  \"position\":{position}}}"
             ),
         }
@@ -855,6 +872,10 @@ mod tests {
                 shed: 4,
                 position: 1001,
             },
+            TraceEvent::ViewPublished {
+                epoch: 17,
+                position: 1002,
+            },
         ];
         for e in all {
             h.record(|| e);
@@ -1003,7 +1024,10 @@ mod tests {
             assert_eq!(got.len(), 4);
             assert!(got.iter().any(|e| matches!(
                 e.event,
-                TraceEvent::BudgetPressure { shed: 1, position: 77 }
+                TraceEvent::BudgetPressure {
+                    shed: 1,
+                    position: 77
+                }
             )));
         }
     }

@@ -1,0 +1,723 @@
+//! `implicate-serve` — a long-running implication-statistics service.
+//!
+//! One process owns the estimator writer and keeps ingesting while any
+//! number of query connections read **wait-free** from epoch-published
+//! views (see `imp_core::view`): a query never blocks ingestion and
+//! ingestion never blocks a query.
+//!
+//! ```text
+//! implicate-serve --lhs 0 --rhs 1 --publish-every 4096 \
+//!     --ingest 127.0.0.1:7071 --query 127.0.0.1:7072 \
+//!     --checkpoint state.imps --checkpoint-every 1000000
+//! ```
+//!
+//! * **Ingestion** is a TCP line protocol on `--ingest`: each line is a
+//!   delimited row, projected and hashed exactly like the `implicate`
+//!   CLI (same field hasher, same seed semantics), so a served stream
+//!   and a batch run produce bit-identical estimates.
+//! * **Queries** are HTTP/1.0 on `--query`:
+//!   `GET /estimate` (JSON, includes raw f64 bit patterns for exact
+//!   comparison), `GET /metrics` (Prometheus exposition),
+//!   `GET /snapshot` (latest checkpoint bytes, VERSION 2 codec),
+//!   `GET /healthz`, and `POST /shutdown` (graceful: drain, final
+//!   publish, checkpoint, exit).
+//! * **Restart** with the same `--checkpoint` file resumes from the
+//!   snapshot — estimates continue bit-identically from where the
+//!   previous process stopped.
+//!
+//! The binary is pure `std`: no async runtime, one writer thread, one
+//! lightweight thread per connection.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::exit;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use implicate::sketch::hash::MixHasher;
+use implicate::{
+    EstimateReader, EstimatorConfig, Fringe, ImplicationConditions, ImplicationEstimator,
+    MetricsHandle, MultiplicityPolicy, PairHasher, ShardedEstimator,
+};
+
+/// Field hasher seed shared with the `implicate` CLI so both tools
+/// fingerprint the same fields identically.
+const FIELD_HASHER_SEED: u64 = 0x00f1_e1d5;
+
+/// Rows buffered per ingest connection before a batch ships to the
+/// writer.
+const INGEST_BATCH: usize = 256;
+
+/// Bound, in batches, of the ingest-to-writer channel (back-pressure).
+const INGEST_DEPTH: usize = 64;
+
+/// How long blocking loops sleep between checks of the stop flag.
+const POLL: Duration = Duration::from_millis(50);
+
+fn die(msg: &str) -> ! {
+    eprintln!("implicate-serve: {msg}");
+    exit(2);
+}
+
+/// Parsed command line.
+struct Opts {
+    lhs: Vec<usize>,
+    rhs: Vec<usize>,
+    delimiter: Option<char>,
+    config: EstimatorConfig,
+    threads: usize,
+    publish_every: u64,
+    checkpoint: Option<String>,
+    checkpoint_every: Option<u64>,
+    ingest_addr: String,
+    query_addr: String,
+}
+
+const USAGE: &str = "\
+implicate-serve — long-running implication-statistics service
+
+usage: implicate-serve [options]
+
+  --lhs COLS            columns forming the counted itemset A (default 0)
+  --rhs COLS            columns forming the implied itemset B (default 1)
+  --delimiter C         field delimiter (default: any whitespace)
+  --max-mult K          maximum multiplicity (default 1)
+  --support N           minimum absolute support (default 1)
+  --top-c C             the c of the top-confidence level (default = K)
+  --confidence P        minimum top-c confidence in percent (default 100)
+  --policy P            strict | tracktop (default strict)
+  --bitmaps M           stochastic-averaging bitmaps (default 64)
+  --fringe F            fringe size (default 4); 0 = unbounded
+  --memory-budget BYTES hard cap on tracked-state memory
+  --seed N              hash seed (default 42)
+  --threads N           ingestion shards (default 1)
+  --publish-every N     rows between view publications (default 4096)
+  --checkpoint FILE     snapshot file: restored at startup if present,
+                        written on graceful shutdown
+  --checkpoint-every N  also checkpoint every N ingested rows
+                        (requires --threads 1)
+  --ingest ADDR         ingestion TCP address (default 127.0.0.1:0)
+  --query ADDR          query HTTP address (default 127.0.0.1:0)
+";
+
+fn parse_cols(v: &str) -> Vec<usize> {
+    let cols: Vec<usize> = v
+        .split(',')
+        .map(|c| {
+            c.trim()
+                .parse()
+                .unwrap_or_else(|_| die(&format!("bad column {c:?}")))
+        })
+        .collect();
+    if cols.is_empty() {
+        die("empty column list");
+    }
+    cols
+}
+
+fn parse_num<T: std::str::FromStr>(v: &str, flag: &str) -> T {
+    v.parse()
+        .unwrap_or_else(|_| die(&format!("{flag}: bad value {v:?}")))
+}
+
+fn parse_opts() -> Opts {
+    let mut lhs = vec![0usize];
+    let mut rhs = vec![1usize];
+    let mut delimiter = None;
+    let mut max_mult = 1u32;
+    let mut support = 1u64;
+    let mut top_c: Option<u32> = None;
+    let mut confidence = 100.0f64;
+    let mut policy = MultiplicityPolicy::Strict;
+    let mut bitmaps = 64usize;
+    let mut fringe = 4u32;
+    let mut memory_budget: Option<usize> = None;
+    let mut seed = 42u64;
+    let mut threads = 1usize;
+    let mut publish_every = 4096u64;
+    let mut checkpoint = None;
+    let mut checkpoint_every = None;
+    let mut ingest_addr = "127.0.0.1:0".to_string();
+    let mut query_addr = "127.0.0.1:0".to_string();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            print!("{USAGE}");
+            exit(0);
+        }
+        let mut val = || {
+            it.next()
+                .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+                .as_str()
+        };
+        match flag.as_str() {
+            "--lhs" => lhs = parse_cols(val()),
+            "--rhs" => rhs = parse_cols(val()),
+            "--delimiter" => {
+                let v = val();
+                let mut chars = v.chars();
+                delimiter = chars.next();
+                if delimiter.is_none() || chars.next().is_some() {
+                    die("--delimiter must be a single character");
+                }
+            }
+            "--max-mult" => max_mult = parse_num(val(), "--max-mult"),
+            "--support" => support = parse_num(val(), "--support"),
+            "--top-c" => top_c = Some(parse_num(val(), "--top-c")),
+            "--confidence" => confidence = parse_num(val(), "--confidence"),
+            "--policy" => {
+                policy = match val() {
+                    "strict" => MultiplicityPolicy::Strict,
+                    "tracktop" => MultiplicityPolicy::TrackTop,
+                    other => die(&format!("unknown policy {other:?}")),
+                }
+            }
+            "--bitmaps" => bitmaps = parse_num(val(), "--bitmaps"),
+            "--fringe" => fringe = parse_num(val(), "--fringe"),
+            "--memory-budget" => memory_budget = Some(parse_num(val(), "--memory-budget")),
+            "--seed" => seed = parse_num(val(), "--seed"),
+            "--threads" => threads = parse_num(val(), "--threads"),
+            "--publish-every" => publish_every = parse_num(val(), "--publish-every"),
+            "--checkpoint" => checkpoint = Some(val().to_string()),
+            "--checkpoint-every" => checkpoint_every = Some(parse_num(val(), "--checkpoint-every")),
+            "--ingest" => ingest_addr = val().to_string(),
+            "--query" => query_addr = val().to_string(),
+            other => die(&format!("unknown option {other:?} (try --help)")),
+        }
+    }
+
+    if threads == 0 {
+        die("--threads must be at least 1");
+    }
+    if publish_every == 0 {
+        die("--publish-every must be at least 1");
+    }
+    if checkpoint_every.is_some() && threads > 1 {
+        // Mid-run snapshots need a quiesced pipeline; under sharding the
+        // service checkpoints once, at graceful shutdown.
+        die("--checkpoint-every requires --threads 1 (sharded runs checkpoint at shutdown)");
+    }
+    if checkpoint_every.is_some() && checkpoint.is_none() {
+        die("--checkpoint-every needs --checkpoint FILE");
+    }
+
+    let cond = ImplicationConditions::builder()
+        .max_multiplicity(max_mult)
+        .min_support(support)
+        .top_confidence(top_c.unwrap_or(max_mult), confidence / 100.0)
+        .multiplicity_policy(policy)
+        .build();
+    let mut config = EstimatorConfig::new(cond)
+        .bitmaps(bitmaps)
+        .fringe(match fringe {
+            0 => Fringe::Unbounded,
+            f => Fringe::Bounded(f),
+        })
+        .seed(seed);
+    if let Some(bytes) = memory_budget {
+        config = config.memory_budget(bytes);
+    }
+
+    Opts {
+        lhs,
+        rhs,
+        delimiter,
+        config,
+        threads,
+        publish_every,
+        checkpoint,
+        checkpoint_every,
+        ingest_addr,
+        query_addr,
+    }
+}
+
+/// Splits a line into trimmed fields (same rules as the CLI).
+fn split_line(line: &str, delimiter: Option<char>) -> Vec<&str> {
+    match delimiter {
+        Some(d) => line.split(d).map(str::trim).collect(),
+        None => line.split_whitespace().collect(),
+    }
+}
+
+/// Projects the selected columns into field fingerprints.
+fn project(fields: &[&str], cols: &[usize], hasher: &MixHasher, out: &mut Vec<u64>) -> bool {
+    out.clear();
+    for &c in cols {
+        match fields.get(c) {
+            Some(f) => out.push(implicate::text::hash_field(hasher, f)),
+            None => return false,
+        }
+    }
+    true
+}
+
+/// Shared state the connection handlers read.
+struct Shared {
+    stop: AtomicBool,
+    /// Rows accepted off ingest sockets (routed; the published view may
+    /// trail this by the in-flight backlog).
+    accepted: AtomicU64,
+    /// Rows dropped because a projection column was missing.
+    skipped: AtomicU64,
+    /// Latest checkpoint bytes (written by the writer thread at each
+    /// `publish_full` / checkpoint, served verbatim by `GET /snapshot`).
+    snapshot: Mutex<Option<bytes::Bytes>>,
+    metrics: MetricsHandle,
+}
+
+/// The writer side: one thread owning either the sequential estimator or
+/// the sharded pipeline.
+enum Pipeline {
+    Sequential(ImplicationEstimator),
+    Sharded(ShardedEstimator),
+}
+
+impl Pipeline {
+    fn apply(&mut self, batch: &[(u64, u64)]) {
+        match self {
+            Pipeline::Sequential(est) => est.update_hashed_batch(batch),
+            Pipeline::Sharded(sharded) => sharded.update_hashed_batch(batch),
+        }
+    }
+
+    fn publish(&mut self) -> u64 {
+        match self {
+            Pipeline::Sequential(est) => est.publish(),
+            Pipeline::Sharded(sharded) => sharded.publish(),
+        }
+    }
+
+    /// Applied-row lag behind the accepted stream (always 0 when
+    /// sequential — applying is synchronous there).
+    fn backlog(&self) -> u64 {
+        match self {
+            Pipeline::Sequential(_) => 0,
+            Pipeline::Sharded(sharded) => sharded.backlog(),
+        }
+    }
+
+    /// Ships partially-filled router buffers to the lanes (no-op when
+    /// sequential).
+    fn flush(&mut self) {
+        if let Pipeline::Sharded(sharded) = self {
+            sharded.flush();
+        }
+    }
+
+    /// Publishes a view carrying the canonical snapshot payload and
+    /// returns those bytes. Sequential only — the sharded pipeline
+    /// cannot encode without quiescing.
+    fn publish_full(&mut self) -> Option<bytes::Bytes> {
+        match self {
+            Pipeline::Sequential(est) => {
+                est.publish_full();
+                Some(est.to_bytes())
+            }
+            Pipeline::Sharded(_) => None,
+        }
+    }
+
+    /// Drains, reassembles (if sharded), publishes the final state, and
+    /// returns the owning estimator.
+    fn into_final(self) -> ImplicationEstimator {
+        match self {
+            Pipeline::Sequential(mut est) => {
+                est.publish_full();
+                est
+            }
+            Pipeline::Sharded(sharded) => {
+                // finish() barriers, merges, and republishes the merged
+                // state on the inherited channel.
+                let mut est = sharded.finish();
+                est.publish_full();
+                est
+            }
+        }
+    }
+}
+
+/// Atomically replaces `path` with `data` (write temp + rename).
+fn write_checkpoint(path: &str, data: &[u8]) {
+    let tmp = format!("{path}.tmp");
+    let result = std::fs::write(&tmp, data).and_then(|()| std::fs::rename(&tmp, path));
+    if let Err(e) = result {
+        eprintln!("implicate-serve: checkpoint {path}: {e}");
+    }
+}
+
+fn main() {
+    let opts = parse_opts();
+
+    // Restore or build the estimator.
+    let mut est = match &opts.checkpoint {
+        Some(path) if std::path::Path::new(path).exists() => {
+            let raw = std::fs::read(path).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+            let est = ImplicationEstimator::from_bytes(bytes::Bytes::from(raw))
+                .unwrap_or_else(|e| die(&format!("{path}: {e}")));
+            if est.conditions() != opts.config.conditions_ref() {
+                die("checkpoint was built with different implication conditions");
+            }
+            eprintln!(
+                "implicate-serve: restored {} tuples from {path}",
+                est.tuples_seen()
+            );
+            est
+        }
+        _ => opts.config.build(),
+    };
+    if opts.checkpoint.is_some() {
+        // A snapshot restores against an unlimited budget; re-arm the
+        // requested ceiling before ingestion continues.
+        est.set_memory_budget(opts.config.memory_budget_limit());
+    }
+
+    let reader_proto = est.reader();
+    let pair_hasher = est.pair_hasher();
+    let shared = Arc::new(Shared {
+        stop: AtomicBool::new(false),
+        accepted: AtomicU64::new(0),
+        skipped: AtomicU64::new(0),
+        snapshot: Mutex::new(None),
+        metrics: est.metrics().clone(),
+    });
+
+    // Seed /snapshot with the restored/initial state so the endpoint is
+    // never empty once the service is up.
+    *shared.snapshot.lock().unwrap() = Some(est.to_bytes());
+
+    let pipeline = if opts.threads > 1 {
+        Pipeline::Sharded(ShardedEstimator::new(est, opts.threads))
+    } else {
+        Pipeline::Sequential(est)
+    };
+
+    let ingest_listener = TcpListener::bind(&opts.ingest_addr)
+        .unwrap_or_else(|e| die(&format!("bind {}: {e}", opts.ingest_addr)));
+    let query_listener = TcpListener::bind(&opts.query_addr)
+        .unwrap_or_else(|e| die(&format!("bind {}: {e}", opts.query_addr)));
+    let ingest_addr = ingest_listener.local_addr().expect("bound");
+    let query_addr = query_listener.local_addr().expect("bound");
+    // Announced on stdout (and flushed) so wrappers can discover the
+    // actual ports when binding :0.
+    println!("serve: ingest listening on {ingest_addr}");
+    println!("serve: query listening on {query_addr}");
+    std::io::stdout().flush().ok();
+
+    let (batch_tx, batch_rx) = sync_channel::<Vec<(u64, u64)>>(INGEST_DEPTH);
+
+    // Writer thread: the single owner of estimator mutation.
+    let writer = {
+        let shared = Arc::clone(&shared);
+        let publish_every = opts.publish_every;
+        let checkpoint = opts.checkpoint.clone();
+        let checkpoint_every = opts.checkpoint_every;
+        std::thread::spawn(move || {
+            writer_loop(
+                pipeline,
+                &batch_rx,
+                &shared,
+                publish_every,
+                checkpoint.as_deref(),
+                checkpoint_every,
+            )
+        })
+    };
+
+    // Ingest acceptor.
+    {
+        let shared = Arc::clone(&shared);
+        let lhs = opts.lhs.clone();
+        let rhs = opts.rhs.clone();
+        let delimiter = opts.delimiter;
+        let batch_tx = batch_tx.clone();
+        ingest_listener.set_nonblocking(true).expect("nonblocking");
+        std::thread::spawn(move || {
+            accept_loop(&ingest_listener, &shared, move |stream, shared| {
+                let tx = batch_tx.clone();
+                let lhs = lhs.clone();
+                let rhs = rhs.clone();
+                std::thread::spawn(move || {
+                    ingest_connection(stream, &shared, &lhs, &rhs, delimiter, pair_hasher, &tx);
+                });
+            });
+        });
+    }
+    // The writer must observe channel disconnect once every ingest
+    // connection is gone at shutdown.
+    drop(batch_tx);
+
+    // Query acceptor.
+    {
+        let shared = Arc::clone(&shared);
+        query_listener.set_nonblocking(true).expect("nonblocking");
+        std::thread::spawn(move || {
+            accept_loop(&query_listener, &shared, move |stream, shared| {
+                let reader = reader_proto.clone();
+                std::thread::spawn(move || {
+                    query_connection(stream, &shared, &reader);
+                });
+            });
+        });
+    }
+
+    let (rows, final_tuples) = writer.join().expect("writer thread panicked");
+    eprintln!(
+        "implicate-serve: shut down after {rows} rows this session \
+         ({} tuples total, {} skipped)",
+        final_tuples,
+        shared.skipped.load(Ordering::Relaxed),
+    );
+    // Connection threads are detached and stop-flag aware; exiting the
+    // process reaps anything still parked in a read timeout.
+    exit(0);
+}
+
+/// Generic nonblocking accept loop, stop-flag aware.
+fn accept_loop<F: Fn(TcpStream, Arc<Shared>)>(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    handle: F,
+) {
+    while !shared.stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => handle(stream, Arc::clone(shared)),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL);
+            }
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+}
+
+/// The single mutation owner: applies batches, publishes views on the
+/// configured cadence, checkpoints, and performs the graceful-shutdown
+/// drain. Returns (rows this session, final tuple count).
+fn writer_loop(
+    mut pipeline: Pipeline,
+    batch_rx: &Receiver<Vec<(u64, u64)>>,
+    shared: &Shared,
+    publish_every: u64,
+    checkpoint: Option<&str>,
+    checkpoint_every: Option<u64>,
+) -> (u64, u64) {
+    let mut rows = 0u64;
+    let mut since_publish = 0u64;
+    let mut since_checkpoint = 0u64;
+    // Whether the last published view reflects *every* routed row. A
+    // mid-stream publish races the lanes by design (that is what makes
+    // it wait-free), so after going idle the writer republishes until a
+    // view assembled at backlog 0 is out — otherwise readers could be
+    // pinned forever on an estimate missing the stream's tail.
+    let mut published_settled = true;
+    loop {
+        match batch_rx.recv_timeout(POLL) {
+            Ok(batch) => {
+                let n = batch.len() as u64;
+                pipeline.apply(&batch);
+                rows += n;
+                since_publish += n;
+                since_checkpoint += n;
+                if since_publish >= publish_every {
+                    since_publish = 0;
+                    if checkpoint_every.is_some_and(|n| since_checkpoint >= n) {
+                        since_checkpoint = 0;
+                        if let Some(data) = pipeline.publish_full() {
+                            if let Some(path) = checkpoint {
+                                write_checkpoint(path, &data);
+                            }
+                            *shared.snapshot.lock().unwrap() = Some(data);
+                        }
+                    } else {
+                        pipeline.publish();
+                    }
+                    published_settled = pipeline.backlog() == 0;
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.stop.load(Ordering::Acquire) {
+                    break;
+                }
+                // Idle: ship any partial per-shard buffers to the lanes
+                // (full batches ship eagerly; partials otherwise wait
+                // for more rows), then publish until a settled view —
+                // one assembled with nothing left in flight — is out.
+                if pipeline.backlog() > 0 {
+                    pipeline.flush();
+                }
+                let settled = pipeline.backlog() == 0;
+                if since_publish > 0 || !settled || !published_settled {
+                    since_publish = 0;
+                    pipeline.publish();
+                    published_settled = settled;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    // Drain anything still queued, then publish the final state.
+    while let Ok(batch) = batch_rx.try_recv() {
+        rows += batch.len() as u64;
+        pipeline.apply(&batch);
+    }
+    let est = pipeline.into_final();
+    let data = est.to_bytes();
+    if let Some(path) = checkpoint {
+        write_checkpoint(path, &data);
+        eprintln!(
+            "implicate-serve: checkpointed {} tuples to {path}",
+            est.tuples_seen()
+        );
+    }
+    *shared.snapshot.lock().unwrap() = Some(data);
+    (rows, est.tuples_seen())
+}
+
+/// One ingest connection: parse lines, hash pairs, ship batches.
+fn ingest_connection(
+    stream: TcpStream,
+    shared: &Shared,
+    lhs: &[usize],
+    rhs: &[usize],
+    delimiter: Option<char>,
+    pair_hasher: PairHasher,
+    tx: &SyncSender<Vec<(u64, u64)>>,
+) {
+    stream.set_read_timeout(Some(POLL)).ok();
+    let field_hasher = MixHasher::new(FIELD_HASHER_SEED);
+    let mut reader = BufReader::new(stream);
+    let (mut buf_a, mut buf_b) = (Vec::new(), Vec::new());
+    let mut batch = Vec::with_capacity(INGEST_BATCH);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // EOF: client done.
+            Ok(_) => {
+                let trimmed = line.trim_end_matches(['\r', '\n']);
+                if !trimmed.is_empty() && !trimmed.starts_with('#') {
+                    let fields = split_line(trimmed, delimiter);
+                    let ok = project(&fields, lhs, &field_hasher, &mut buf_a)
+                        && project(&fields, rhs, &field_hasher, &mut buf_b);
+                    if ok {
+                        batch.push(pair_hasher.hash_pair(&buf_a, &buf_b));
+                        shared.accepted.fetch_add(1, Ordering::Relaxed);
+                        if batch.len() >= INGEST_BATCH {
+                            let full =
+                                std::mem::replace(&mut batch, Vec::with_capacity(INGEST_BATCH));
+                            if tx.send(full).is_err() {
+                                return;
+                            }
+                        }
+                    } else {
+                        shared.skipped.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                line.clear();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // The read timed out; `line` may hold a partial line —
+                // keep it, the next read appends the remainder. Flush
+                // what we have so slow trickles still become visible,
+                // then check for stop.
+                if !batch.is_empty() {
+                    let partial = std::mem::take(&mut batch);
+                    if tx.send(partial).is_err() {
+                        return;
+                    }
+                }
+                if shared.stop.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    if !batch.is_empty() {
+        let _ = tx.send(batch);
+    }
+}
+
+/// One query connection: answer a single HTTP request and close.
+fn query_connection(mut stream: TcpStream, shared: &Shared, reader: &EstimateReader) {
+    stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+    let mut buf = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    // Read until the header terminator; requests here have no body.
+    while !buf.ends_with(b"\r\n\r\n") && !buf.ends_with(b"\n\n") {
+        match stream.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => {
+                buf.push(byte[0]);
+                if buf.len() > 8192 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let request = String::from_utf8_lossy(&buf);
+    let mut parts = request.lines().next().unwrap_or("").split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+
+    let (status, content_type, body): (&str, &str, Vec<u8>) = match (method, path) {
+        ("GET", "/estimate") => {
+            let view = reader.view();
+            let e = view.estimate();
+            let body = format!(
+                "{{\"epoch\":{},\"tuples\":{},\"accepted\":{},\"skipped\":{},\
+                 \"f0_sup\":{},\"non_implication_count\":{},\"implication_count\":{},\
+                 \"f0_sup_bits\":{},\"non_implication_count_bits\":{},\
+                 \"implication_count_bits\":{}}}\n",
+                view.epoch(),
+                view.tuples(),
+                shared.accepted.load(Ordering::Relaxed),
+                shared.skipped.load(Ordering::Relaxed),
+                e.f0_sup,
+                e.non_implication_count,
+                e.implication_count,
+                e.f0_sup.to_bits(),
+                e.non_implication_count.to_bits(),
+                e.implication_count.to_bits(),
+            );
+            ("200 OK", "application/json", body.into_bytes())
+        }
+        ("GET", "/metrics") => {
+            let body = shared.metrics.prometheus("implicate");
+            ("200 OK", "text/plain; version=0.0.4", body.into_bytes())
+        }
+        ("GET", "/snapshot") => match shared.snapshot.lock().unwrap().clone() {
+            Some(data) => ("200 OK", "application/octet-stream", data.to_vec()),
+            None => (
+                "404 Not Found",
+                "text/plain",
+                b"no checkpoint published yet\n".to_vec(),
+            ),
+        },
+        ("GET", "/healthz") => ("200 OK", "text/plain", b"ok\n".to_vec()),
+        ("POST", "/shutdown") | ("GET", "/shutdown") => {
+            shared.stop.store(true, Ordering::Release);
+            ("200 OK", "text/plain", b"shutting down\n".to_vec())
+        }
+        _ => (
+            "404 Not Found",
+            "text/plain",
+            b"routes: /estimate /metrics /snapshot /healthz /shutdown\n".to_vec(),
+        ),
+    };
+
+    let header = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(header.as_bytes());
+    let _ = stream.write_all(&body);
+    let _ = stream.flush();
+}

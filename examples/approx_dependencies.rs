@@ -66,7 +66,7 @@ fn main() {
     println!("{}", "-".repeat(66));
     let mut scored: Vec<(String, f64, f64, f64)> = Vec::new();
     for ((name, _, _), (_, _, est)) in candidates.iter().zip(&engines) {
-        let e = est.estimate();
+        let e = est.estimate_now();
         let ratio = if e.f0_sup > 0.0 {
             (e.implication_count / e.f0_sup).min(1.0)
         } else {

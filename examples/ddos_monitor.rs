@@ -8,7 +8,16 @@
 //! statistic *"distinct sources seen in the window"* separates the two
 //! (spoofed sources are fresh every tuple).
 //!
+//! A second, *cumulative* fanout estimator runs alongside the sliding
+//! windows and publishes a read view every [`PUBLISH_EVERY`] tuples; a
+//! watcher thread follows it through a wait-free [`EstimateReader`]
+//! (stderr) — the monitoring pattern a dashboard would use, with zero
+//! stalls on the ingest path.
+//!
 //! Run with: `cargo run --release --example ddos_monitor`
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use implicate::core::sliding::SlidingEstimator;
 use implicate::datagen::network::{Episode, NetworkSpec, NetworkStream};
@@ -18,6 +27,7 @@ use implicate::{EstimatorConfig, Fringe, ImplicationConditions, Projector};
 const WINDOW: u64 = 50_000;
 const STEP: u64 = 25_000;
 const TOTAL: u64 = 600_000;
+const PUBLISH_EVERY: u64 = 10_000;
 
 fn main() {
     let spec = NetworkSpec {
@@ -63,6 +73,35 @@ fn main() {
         .seed(4);
     let mut sources = SlidingEstimator::new(tuning, WINDOW, STEP);
 
+    // Cumulative fanout over the whole run, published for wait-free
+    // observation: the watcher thread reads every view the ingest loop
+    // publishes without ever touching (or stalling) the estimator.
+    let mut cumulative = EstimatorConfig::new(fanout)
+        .fringe(Fringe::Bounded(8))
+        .seed(5)
+        .build();
+    let reader = cumulative.reader();
+    let stop = Arc::new(AtomicBool::new(false));
+    let watcher = std::thread::spawn({
+        let stop = Arc::clone(&stop);
+        move || {
+            let mut last_epoch = 0;
+            while !stop.load(Ordering::Acquire) {
+                let view = reader.view();
+                if view.epoch() > last_epoch {
+                    last_epoch = view.epoch();
+                    eprintln!(
+                        "[watch] epoch {:>3}: {:>7} tuples, cumulative hot dests ≈ {:.1}",
+                        view.epoch(),
+                        view.tuples(),
+                        view.estimate().non_implication_count
+                    );
+                }
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+        }
+    });
+
     println!(
         "{:>9}  {:>14} {:>16}  verdict",
         "window@", "hot dests S̄", "distinct sources"
@@ -70,10 +109,14 @@ fn main() {
     println!("{}", "-".repeat(64));
     let mut buf_a = Vec::new();
     let mut buf_b = Vec::new();
-    for _ in 0..TOTAL {
+    for i in 0..TOTAL {
         let t = gen.next_tuple().expect("infinite stream");
         p_dst.project_into(&t, &mut buf_a);
         p_src.project_into(&t, &mut buf_b);
+        cumulative.update(&buf_a, &buf_b);
+        if (i + 1) % PUBLISH_EVERY == 0 {
+            cumulative.publish();
+        }
         let closed_hot = hot_dsts.update(&buf_a, &buf_b);
         let closed_src = sources.update(&buf_b, &[]);
         if let (Some(hot), Some(srcs)) = (closed_hot, closed_src) {
@@ -92,4 +135,11 @@ fn main() {
             );
         }
     }
+    cumulative.publish();
+    stop.store(true, Ordering::Release);
+    watcher.join().expect("watcher thread");
+    println!(
+        "\ncumulative hot destinations over the whole run ≈ {:.1}",
+        cumulative.estimate_now().non_implication_count
+    );
 }

@@ -2,12 +2,16 @@
 //! environment receives a stream of data"), end to end.
 //!
 //! Four edge routers each observe a shard of the network's traffic and
-//! maintain a local NIPS/CI sketch. Periodically every router *snapshots*
-//! its sketch (size `O(K · 2^F)`, independent of traffic volume) and ships
-//! it to a collector, which *restores* and *merges* them to answer
-//! fleet-wide implication queries — no raw traffic ever leaves the edge. This is exactly why the paper insists on
-//! aggregates rather than itemset lists: the DDoS case (§1) has per-router
-//! counts too small to flag locally, but the merged count is decisive.
+//! maintain a local NIPS/CI sketch, **concurrently, one thread each**.
+//! While they ingest, the collector polls every router's wait-free
+//! [`EstimateReader`] — live per-router progress with zero stalls on
+//! the ingest paths. When the streams end, every router *snapshots* its
+//! sketch (size `O(K · 2^F)`, independent of traffic volume) and ships
+//! it to the collector, which *restores* and *merges* them to answer
+//! fleet-wide implication queries — no raw traffic ever leaves the
+//! edge. This is exactly why the paper insists on aggregates rather
+//! than itemset lists: the DDoS case (§1) has per-router counts too
+//! small to flag locally, but the merged count is decisive.
 //!
 //! Run with: `cargo run --release --example distributed_routers`
 
@@ -25,6 +29,22 @@ const TUPLES_PER_ROUTER: u64 = 150_000;
 /// each router's share of the attack is ~110 sources — below threshold —
 /// while the fleet-wide union is ~420.
 const FANOUT: u32 = 150;
+/// Each router publishes a read view every this many tuples.
+const PUBLISH_EVERY: u64 = 25_000;
+
+fn router_spec(router: usize) -> NetworkSpec {
+    NetworkSpec {
+        seed: 0xbeef + router as u64,
+        sources: 20_000,
+        destinations: 20_000,
+        episodes: vec![Episode::FlashCrowd {
+            start: 50_000,
+            tuples: 110,     // ~110 distinct sources/router < FANOUT …
+            destination: 13, // … but ~420 fleet-wide ≫ FANOUT
+        }],
+        ..Default::default()
+    }
+}
 
 fn main() {
     // Every router shares the estimator configuration and seed — the
@@ -41,37 +61,61 @@ fn main() {
             .build()
     };
 
-    // The attack traffic is spread across the fleet: each router sees only
-    // a quarter of the spoofed flood — far below its local threshold.
-    let mut fleet_exact = ExactCounter::new(cond);
-    let mut shipped: Vec<bytes::Bytes> = Vec::new();
-    println!("edge phase: {ROUTERS} routers, {TUPLES_PER_ROUTER} tuples each\n");
+    // Edge phase: the routers ingest concurrently; the collector keeps a
+    // wait-free reader per router for live monitoring.
+    println!(
+        "edge phase: {ROUTERS} routers ingesting {TUPLES_PER_ROUTER} tuples each, concurrently\n"
+    );
+    let mut readers = Vec::with_capacity(ROUTERS);
+    let mut handles = Vec::with_capacity(ROUTERS);
     for router in 0..ROUTERS {
-        let spec = NetworkSpec {
-            seed: 0xbeef + router as u64,
-            sources: 20_000,
-            destinations: 20_000,
-            episodes: vec![Episode::FlashCrowd {
-                start: 50_000,
-                tuples: 110,     // ~110 distinct sources/router < FANOUT …
-                destination: 13, // … but ~420 fleet-wide ≫ FANOUT
-            }],
-            ..Default::default()
-        };
-        let mut gen = NetworkStream::new(spec);
-        let schema = gen.schema().clone();
-        let p_dst = Projector::new(&schema, schema.attr_set(&["Destination"]));
-        let p_src = Projector::new(&schema, schema.attr_set(&["Source"]));
         let mut sketch = make_sketch();
-        let (mut a, mut b) = (Vec::new(), Vec::new());
-        for _ in 0..TUPLES_PER_ROUTER {
-            let t = gen.next_tuple().expect("infinite stream");
-            p_dst.project_into(&t, &mut a);
-            p_src.project_into(&t, &mut b);
-            sketch.update(&a, &b);
-            fleet_exact.update(&a, &b);
+        readers.push(sketch.reader());
+        handles.push(std::thread::spawn(move || {
+            let mut gen = NetworkStream::new(router_spec(router));
+            let schema = gen.schema().clone();
+            let p_dst = Projector::new(&schema, schema.attr_set(&["Destination"]));
+            let p_src = Projector::new(&schema, schema.attr_set(&["Source"]));
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            for i in 0..TUPLES_PER_ROUTER {
+                let t = gen.next_tuple().expect("infinite stream");
+                p_dst.project_into(&t, &mut a);
+                p_src.project_into(&t, &mut b);
+                sketch.update(&a, &b);
+                if (i + 1) % PUBLISH_EVERY == 0 {
+                    sketch.publish();
+                }
+            }
+            sketch.publish();
+            sketch
+        }));
+    }
+
+    // Live monitoring off the published views, while ingestion runs.
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        let progress: Vec<String> = readers
+            .iter()
+            .map(|r| {
+                let view = r.view();
+                format!(
+                    "{:>6} tuples (S̄ ≈ {:.1})",
+                    view.tuples(),
+                    view.estimate().non_implication_count
+                )
+            })
+            .collect();
+        eprintln!("[collector] {}", progress.join(" | "));
+        if readers.iter().all(|r| r.tuples() >= TUPLES_PER_ROUTER) {
+            break;
         }
-        let local_hot = sketch.estimate().non_implication_count;
+    }
+
+    // Ship phase: snapshot every sketch (the bytes that cross the wire).
+    let mut shipped: Vec<bytes::Bytes> = Vec::new();
+    for (router, handle) in handles.into_iter().enumerate() {
+        let sketch = handle.join().expect("router thread");
+        let local_hot = sketch.estimate_now().non_implication_count;
         let snapshot = sketch.to_bytes();
         println!(
             "router {router}: local hot destinations ≈ {local_hot:.1} \
@@ -82,6 +126,23 @@ fn main() {
         shipped.push(snapshot);
     }
 
+    // Ground truth over the union of all traffic (the streams are
+    // deterministic in their seeds, so a second pass regenerates them).
+    let mut fleet_exact = ExactCounter::new(cond);
+    for router in 0..ROUTERS {
+        let mut gen = NetworkStream::new(router_spec(router));
+        let schema = gen.schema().clone();
+        let p_dst = Projector::new(&schema, schema.attr_set(&["Destination"]));
+        let p_src = Projector::new(&schema, schema.attr_set(&["Source"]));
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for _ in 0..TUPLES_PER_ROUTER {
+            let t = gen.next_tuple().expect("infinite stream");
+            p_dst.project_into(&t, &mut a);
+            p_src.project_into(&t, &mut b);
+            fleet_exact.update(&a, &b);
+        }
+    }
+
     // Collector: restore and merge the shipped snapshots.
     let mut collector =
         ImplicationEstimator::from_bytes(shipped[0].clone()).expect("router snapshot restores");
@@ -90,7 +151,7 @@ fn main() {
             ImplicationEstimator::from_bytes(snap.clone()).expect("router snapshot restores");
         collector.merge(&sketch);
     }
-    let fleet = collector.estimate();
+    let fleet = collector.estimate_now();
     println!(
         "\ncollector: merged {} routers → fleet-wide hot destinations ≈ {:.1}",
         ROUTERS, fleet.non_implication_count

@@ -55,7 +55,7 @@ fn main() {
 
     let audit = |aud: &mut AccuracyAuditor, est: &implicate::ImplicationEstimator| {
         if aud.due() {
-            let s = aud.audit(est.estimate().implication_count);
+            let s = aud.audit(est.estimate_now().implication_count);
             println!(
                 "  audit @ {:>6}: exact {:>6.0}  estimate {:>6.0}  rel error {:.3}",
                 s.position, s.exact, s.estimated, s.rel_error
@@ -127,7 +127,7 @@ fn main() {
     );
     drop(bytes);
 
-    let e = est.estimate();
+    let e = est.estimate_now();
     println!("\nestimate: S ≈ {:.0}\n", e.implication_count);
 
     // The journal holds the most recent events (oldest are lapped once

@@ -100,7 +100,7 @@ fn main() {
             exact.update(&[s], &[d2]);
         }
     }
-    let e = est.estimate();
+    let e = est.estimate_now();
     println!(
         "exact loyal sources: {}    NIPS/CI estimate: {:.0}  (error {:.1}%)",
         exact.exact_implication_count(),

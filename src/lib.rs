@@ -41,7 +41,7 @@
 //!         est.update(&[src], &[(src + 1) % 97]); // disloyal second contact
 //!     }
 //! }
-//! let e = est.estimate();
+//! let e = est.estimate_now();
 //! // ~5000 loyal sources, within estimator tolerance.
 //! assert!((e.implication_count - 5000.0).abs() < 1500.0);
 //! ```
@@ -63,10 +63,10 @@ pub use imp_baselines::{
 };
 pub use imp_core::query::{self, Filter};
 pub use imp_core::{
-    CapacityPolicy, Confidence, DirtyReason, Estimate, EstimatorConfig, Fringe,
+    CapacityPolicy, Confidence, DirtyReason, Estimate, EstimateReader, EstimatorConfig, Fringe,
     ImplicationConditions, ImplicationEstimator, ImplicationQuery, MemoryBudget, MetricsHandle,
-    MetricsRegistry, MultiplicityPolicy,
-    NipsBitmap, PairHasher, QueryEngine, QueryKind, ShardedEstimator, Span, SpanKind, TraceEvent,
-    TraceHandle, TraceJournal, TracedEvent, UpdateOutcome,
+    MetricsRegistry, MultiplicityPolicy, NipsBitmap, PairHasher, QueryEngine, QueryKind, ReadView,
+    ShardedEstimator, Span, SpanKind, TraceEvent, TraceHandle, TraceJournal, TracedEvent,
+    UpdateOutcome,
 };
 pub use imp_stream::{AttrSet, ItemKey, Projector, Schema, Tuple};

@@ -565,7 +565,7 @@ fn run_sequential(
         if let Some(aud) = auditor.as_mut() {
             aud.observe(&buf_a, &buf_b);
             if aud.due() {
-                let s = aud.audit(est.estimate().implication_count);
+                let s = aud.audit(est.estimate_now().implication_count);
                 eprintln!(
                     "audit {} rows: exact ≈ {:.0}, estimate {:.0}, rel error {:.4}",
                     s.position, s.exact, s.estimated, s.rel_error
@@ -576,7 +576,7 @@ fn run_sequential(
             eprintln!("{}", stats_emission(est.metrics(), cli.stats_format));
         }
         if cli.watch.is_some_and(|w| rows.is_multiple_of(w)) {
-            let e = est.estimate();
+            let e = est.estimate_now();
             let answer = if cli.complement {
                 e.non_implication_count
             } else {
@@ -672,6 +672,7 @@ fn run_parallel(
         let stats_format = cli.stats_format;
         let router = scope.spawn(move || {
             let mut sharded = sharded;
+            let viewer = (watch.is_some() || stats_interval.is_some()).then(|| sharded.reader());
             let (mut rows, mut skipped) = (0u64, 0u64);
             'drain: loop {
                 // Same cyclic order the reader deals batches in, so
@@ -686,17 +687,28 @@ fn run_parallel(
                     skipped += batch.skipped;
                     if let Some(n) = stats_interval {
                         if rows / n > before / n {
-                            // Barrier the shards first, so the shared
-                            // registry reflects every routed update — an
-                            // unsynced snapshot undercounts whatever is
-                            // still queued in shard channels.
-                            sharded.sync();
+                            // Publish a fresh view instead of barriering:
+                            // the lanes keep ingesting, and the emission
+                            // carries the view.* gauges (epoch, published
+                            // tuples, age) that say exactly how far the
+                            // published prefix trails the routed stream.
+                            sharded.publish();
                             eprintln!("{}", stats_emission(sharded.metrics(), stats_format));
                         }
                     }
                     if let Some(w) = watch {
                         if rows / w > before / w {
-                            eprintln!("{rows} rows ingested");
+                            sharded.publish();
+                            let viewer = viewer.as_ref().expect("reader created");
+                            let e = viewer.estimate();
+                            eprintln!(
+                                "{rows} rows routed, {} applied: S ≈ {:.0}, S̄ ≈ {:.0}, \
+                                 F0^sup ≈ {:.0}",
+                                viewer.tuples(),
+                                e.implication_count,
+                                e.non_implication_count,
+                                e.f0_sup
+                            );
                         }
                     }
                 }
@@ -773,7 +785,7 @@ fn main() {
         run_sequential(&cli, est, &field_hasher)
     };
 
-    let e = est.estimate();
+    let e = est.estimate_now();
     let answer = if cli.complement {
         e.non_implication_count
     } else {

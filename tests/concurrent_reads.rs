@@ -1,0 +1,166 @@
+//! The wait-free read contract: estimates observed through
+//! [`EstimateReader`] are **bit-identical** to the owner's sequential
+//! read-off at every published epoch — under single-writer publication,
+//! across the sharded pipeline's quiesce points, and while concurrent
+//! reader threads race a live writer.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use implicate::{EstimatorConfig, ImplicationConditions, ShardedEstimator};
+use proptest::prelude::*;
+
+fn cond() -> ImplicationConditions {
+    ImplicationConditions::one_to_c(2, 0.9, 2)
+}
+
+fn config() -> EstimatorConfig {
+    EstimatorConfig::new(cond()).bitmaps(64).seed(17)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For any stream and any publish cadence, a reader refreshed after
+    /// each publish sees exactly the estimate the owner computes at that
+    /// moment — the same `f64` bits, not an approximation.
+    #[test]
+    fn reader_matches_owner_bit_for_bit_at_every_epoch(
+        stream in proptest::collection::vec((0u64..300, 0u64..6), 1..600),
+        cadence in 1usize..64,
+    ) {
+        let mut est = config().build();
+        let reader = est.reader();
+        let mut epochs_seen = 0u64;
+        for (i, &(a, b)) in stream.iter().enumerate() {
+            est.update(&[a], &[b]);
+            if i % cadence == 0 {
+                let epoch = est.publish();
+                prop_assert!(epoch > epochs_seen || epoch == epochs_seen + 1);
+                epochs_seen = epoch;
+                // Bit-identical, not approximately equal: Estimate's
+                // PartialEq compares the raw f64 components.
+                prop_assert_eq!(reader.estimate(), est.estimate_now());
+                prop_assert_eq!(reader.tuples(), est.tuples_seen());
+                prop_assert_eq!(reader.epoch(), epoch);
+            }
+        }
+        est.publish();
+        prop_assert_eq!(reader.estimate(), est.estimate_now());
+        prop_assert_eq!(reader.support(), est.estimate_now().f0_sup);
+    }
+
+    /// A sharded pipeline publishing at a quiesce point (after `barrier`)
+    /// serves the same bits as a sequential run over the same prefix, and
+    /// the reassembled writer agrees byte-for-byte at the end.
+    #[test]
+    fn sharded_quiesce_publish_matches_sequential(
+        stream in proptest::collection::vec((0u64..300, 0u64..6), 1..400),
+        threads in 1usize..4,
+    ) {
+        let mut seq = config().build();
+        for &(a, b) in &stream {
+            seq.update(&[a], &[b]);
+        }
+
+        let mut sharded = ShardedEstimator::new(config().build(), threads);
+        let reader = sharded.reader();
+        for &(a, b) in &stream {
+            sharded.update(&[a], &[b]);
+        }
+        sharded.barrier();
+        sharded.publish();
+        prop_assert_eq!(reader.estimate(), seq.estimate_now());
+        prop_assert_eq!(reader.tuples(), seq.tuples_seen());
+
+        let est = sharded.finish();
+        prop_assert_eq!(est.to_bytes(), seq.to_bytes());
+        // finish() republished the merged state on the same channel.
+        prop_assert_eq!(reader.estimate(), est.estimate_now());
+    }
+}
+
+/// Reader threads racing a live writer never observe a torn or stale-in-
+/// the-wrong-way view: every `(epoch, estimate)` pair a reader sees must
+/// be one the writer actually published, and epochs must be monotone per
+/// reader.
+#[test]
+fn racing_readers_only_observe_published_pairs() {
+    let mut est = config().build();
+    let reader = est.reader();
+    let published: Arc<Mutex<HashMap<u64, implicate::Estimate>>> =
+        Arc::new(Mutex::new(HashMap::new()));
+    published.lock().unwrap().insert(0, est.estimate_now());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let mut handles = Vec::new();
+    for _ in 0..3 {
+        let reader = reader.clone();
+        let published = Arc::clone(&published);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut last_epoch = 0u64;
+            let mut observations = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                // One view per observation: epoch and estimate come from
+                // the same immutable published snapshot.
+                let view = reader.view();
+                let (epoch, estimate) = (view.epoch(), view.estimate());
+                assert!(epoch >= last_epoch, "epoch went backwards");
+                last_epoch = epoch;
+                let table = published.lock().unwrap();
+                let expect = table
+                    .get(&epoch)
+                    .unwrap_or_else(|| panic!("reader saw unpublished epoch {epoch}"));
+                assert_eq!(
+                    *expect, estimate,
+                    "epoch {epoch}: reader bits differ from writer bits"
+                );
+                observations += 1;
+            }
+            observations
+        }));
+    }
+
+    for i in 0..40_000u64 {
+        let a = if i % 3 == 0 { i % 50 } else { i };
+        est.update(&[a], &[a % 7]);
+        if i % 512 == 0 {
+            // Record the owner's bits *before* publishing so the table
+            // always covers every epoch a reader can observe.
+            let next = est.published_epoch().expect("channel exists") + 1;
+            published.lock().unwrap().insert(next, est.estimate_now());
+            let epoch = est.publish();
+            assert_eq!(epoch, next);
+        }
+    }
+    stop.store(true, Ordering::Release);
+    let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(total > 0, "readers never got to observe anything");
+}
+
+/// Readers keep following the publication channel as the writer moves
+/// through the sharded pipeline and back (`new` → ingest → `finish`).
+#[test]
+fn readers_survive_the_sharded_round_trip() {
+    let mut est = config().build();
+    for i in 0..5_000u64 {
+        est.update(&[i], &[i % 5]);
+    }
+    let reader = est.reader();
+    assert_eq!(reader.tuples(), 5_000);
+
+    let mut sharded = ShardedEstimator::new(est, 2);
+    for i in 5_000..12_000u64 {
+        sharded.update(&[i], &[i % 5]);
+    }
+    let mut est = sharded.finish();
+    assert_eq!(reader.tuples(), 12_000, "finish republishes merged state");
+    assert_eq!(reader.estimate(), est.estimate_now());
+
+    est.update(&[999_999], &[1]);
+    est.publish();
+    assert_eq!(reader.tuples(), 12_001, "writer keeps the same channel");
+    assert_eq!(reader.estimate(), est.estimate_now());
+}

@@ -143,7 +143,7 @@ proptest! {
         for &(a, b) in &stream {
             est.update(&[a], &[b]);
         }
-        let e = est.estimate();
+        let e = est.estimate_now();
         prop_assert!(e.implication_count >= 0.0);
         prop_assert!(e.f0_sup >= 0.0);
         prop_assert!(e.non_implication_count >= 0.0);

@@ -26,7 +26,7 @@ fn dataset_one_cell_accuracy_c1() {
             (truth - 500.0).abs() < 25.0,
             "planted count should be recovered by the exact counter: {truth}"
         );
-        errs.push(relative_error(truth, est.estimate().implication_count));
+        errs.push(relative_error(truth, est.estimate_now().implication_count));
     }
     let mean = errs.iter().sum::<f64>() / errs.len() as f64;
     assert!(mean < 0.25, "mean error {mean} across {errs:?}");
@@ -49,13 +49,14 @@ fn dataset_one_cell_accuracy_c4() {
         unbounded.update(&[a], &[b]);
     }
     let truth = exact.exact_implication_count() as f64;
-    let eb = relative_error(truth, bounded.estimate().implication_count);
-    let eu = relative_error(truth, unbounded.estimate().implication_count);
+    let eb = relative_error(truth, bounded.estimate_now().implication_count);
+    let eu = relative_error(truth, unbounded.estimate_now().implication_count);
     assert!(eb < 0.35, "bounded err {eb}");
     assert!(eu < 0.35, "unbounded err {eu}");
     // Figures 4–6's headline: the two are close to each other.
     assert!(
-        (bounded.estimate().implication_count - unbounded.estimate().implication_count).abs()
+        (bounded.estimate_now().implication_count - unbounded.estimate_now().implication_count)
+            .abs()
             < 0.25 * truth.max(1.0),
         "bounded and unbounded fringe should roughly agree"
     );
@@ -81,7 +82,7 @@ fn error_is_stable_in_stream_length() {
         }
         errs.push(relative_error(
             exact.exact_implication_count() as f64,
-            est.estimate().implication_count,
+            est.estimate_now().implication_count,
         ));
     }
     for (i, e) in errs.iter().enumerate() {

@@ -53,7 +53,7 @@ fn sharded_ingestion_is_bit_identical_for_every_thread_count() {
         for (a, b) in &stream {
             seq.update(a, b);
         }
-        let (seq_estimate, seq_bytes) = (seq.estimate(), seq.to_bytes());
+        let (seq_estimate, seq_bytes) = (seq.estimate_now(), seq.to_bytes());
 
         for threads in [1usize, 2, 4, 8] {
             let mut sharded = ShardedEstimator::new(config.build(), threads);
@@ -62,7 +62,7 @@ fn sharded_ingestion_is_bit_identical_for_every_thread_count() {
             }
             let par = sharded.finish();
             assert_eq!(
-                par.estimate(),
+                par.estimate_now(),
                 seq_estimate,
                 "estimate diverged at {threads} threads ({config:?})"
             );

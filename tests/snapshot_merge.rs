@@ -41,13 +41,13 @@ proptest! {
         }
         let mut restored =
             ImplicationEstimator::from_bytes(original.to_bytes()).expect("restore");
-        prop_assert_eq!(restored.estimate(), original.estimate());
+        prop_assert_eq!(restored.estimate_now(), original.estimate_now());
         prop_assert_eq!(restored.entries(), original.entries());
         for &(a, b) in &suffix {
             original.update(&[a], &[b]);
             restored.update(&[a], &[b]);
         }
-        prop_assert_eq!(restored.estimate(), original.estimate());
+        prop_assert_eq!(restored.estimate_now(), original.estimate_now());
         prop_assert_eq!(restored.entries(), original.entries());
     }
 
@@ -85,7 +85,7 @@ proptest! {
             whole.update(&[x], &[y]);
         }
         a.merge(&b);
-        prop_assert_eq!(a.estimate(), whole.estimate());
+        prop_assert_eq!(a.estimate_now(), whole.estimate_now());
         prop_assert_eq!(a.tuples_seen(), whole.tuples_seen());
     }
 
@@ -112,7 +112,7 @@ proptest! {
         ab.merge(&build(&s2));
         let mut ba = build(&s2);
         ba.merge(&build(&s1));
-        prop_assert_eq!(ab.estimate(), ba.estimate());
+        prop_assert_eq!(ab.estimate_now(), ba.estimate_now());
     }
 
     /// Merging never *loses* a recorded violation: the merged S̄ estimate
@@ -138,12 +138,12 @@ proptest! {
         let a = build(&s1);
         let b = build(&s2);
         let (sa, sb) = (
-            a.estimate().non_implication_count,
-            b.estimate().non_implication_count,
+            a.estimate_now().non_implication_count,
+            b.estimate_now().non_implication_count,
         );
         let mut merged = build(&s1);
         merged.merge(&b);
-        let sm = merged.estimate().non_implication_count;
+        let sm = merged.estimate_now().non_implication_count;
         prop_assert!(sm >= sa.max(sb) - 1e-9, "merged {sm} < max({sa}, {sb})");
     }
 
@@ -175,7 +175,7 @@ proptest! {
             sharded.update(&[a], &[b]);
         }
         let par = sharded.finish();
-        prop_assert_eq!(par.estimate(), seq.estimate());
+        prop_assert_eq!(par.estimate_now(), seq.estimate_now());
         prop_assert_eq!(par.tuples_seen(), seq.tuples_seen());
         prop_assert_eq!(par.to_bytes(), seq.to_bytes());
     }
