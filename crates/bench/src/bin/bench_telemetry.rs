@@ -29,9 +29,11 @@
 use std::time::Instant;
 
 use imp_bench::telemetry::{
-    compare_on, git_sha, peak_rss_kb, LatencyHistogram, Report, Value, SCHEMA_VERSION,
+    compare_directed, git_sha, peak_rss_kb, GateDirection, LatencyHistogram, Report, Value,
+    SCHEMA_VERSION,
 };
 use imp_bench::Args;
+use imp_core::wire::WireSnapshot;
 use imp_core::{EstimatorConfig, ImplicationConditions, MetricsRegistry, TraceHandle};
 
 const USAGE: &str = "bench-telemetry — machine-readable bench reports + regression gate
@@ -48,7 +50,9 @@ usage: bench-telemetry [--rows N] [--seed N] [--out DIR]
   --compare-candidate F  freshly produced report to judge
   --compare-key KEY      judged rate key (default throughput_rows_per_sec;
                          the serve report gates on queries_per_sec_under_ingest)
-  --threshold F          max tolerated fractional throughput drop (default 0.15)";
+  --compare-direction D  'higher' (rates, default) or 'lower' (costs like
+                         snapshot_bytes_per_bitmap: growth fails the gate)
+  --threshold F          max tolerated fractional change (default 0.15)";
 
 fn read_report(path: &str) -> Report {
     let raw = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -123,6 +127,7 @@ fn main() {
             "compare-baseline",
             "compare-candidate",
             "compare-key",
+            "compare-direction",
             "threshold",
         ],
         &[],
@@ -146,7 +151,21 @@ fn main() {
     {
         let threshold = args.get_or("threshold", 0.15f64);
         let key = args.get("compare-key").unwrap_or("throughput_rows_per_sec");
-        match compare_on(&read_report(base), &read_report(cand), key, threshold) {
+        let direction = match args.get("compare-direction").unwrap_or("higher") {
+            "higher" => GateDirection::HigherIsBetter,
+            "lower" => GateDirection::LowerIsBetter,
+            other => {
+                eprintln!("--compare-direction must be 'higher' or 'lower', got {other:?}");
+                std::process::exit(2);
+            }
+        };
+        match compare_directed(
+            &read_report(base),
+            &read_report(cand),
+            key,
+            threshold,
+            direction,
+        ) {
             Ok(verdict) => {
                 println!("gate ok: {verdict}");
                 return;
@@ -181,8 +200,17 @@ fn main() {
     // Arena-table bytes per tracked itemset: open-addressed slots carry
     // load-factor headroom, so this sits above the raw slot size.
     let bytes_per_itemset = est.tracked_bytes() as f64 / est.entries().max(1) as f64;
+    // Wire cost of shipping the loaded state: one VERSION 3 full frame
+    // (header + canonical bitmap blobs) divided by the bitmap count —
+    // what one edge→aggregator resync pays per unit of sketch state.
+    let snapshot_bytes_per_bitmap = WireSnapshot::capture(&est, 1).full_frame(0).len() as f64
+        / est.bitmap_count().max(1) as f64;
     let mut ingest = finish_report(base_report("ingest", rows, seed), elapsed, rows, &hist);
     ingest.set("bytes_per_tracked_itemset", Value::F64(bytes_per_itemset));
+    ingest.set(
+        "snapshot_bytes_per_bitmap",
+        Value::F64(snapshot_bytes_per_bitmap),
+    );
     write_report(&out, "BENCH_ingest.json", &ingest);
 
     // Phase 2 — estimate: repeated full queries against the loaded state.
@@ -201,6 +229,10 @@ fn main() {
     let elapsed = start.elapsed().as_secs_f64();
     let mut estimate = finish_report(base_report("estimate", rows, seed), elapsed, reps, &hist);
     estimate.set("bytes_per_tracked_itemset", Value::F64(bytes_per_itemset));
+    estimate.set(
+        "snapshot_bytes_per_bitmap",
+        Value::F64(snapshot_bytes_per_bitmap),
+    );
     estimate.set("queries", Value::U64(reps));
     estimate.set("implication_count", Value::F64(sink / reps as f64));
     write_report(&out, "BENCH_estimate.json", &estimate);
@@ -260,6 +292,10 @@ fn main() {
     });
     let mut serve = finish_report(base_report("serve", rows, seed), elapsed, rows, &query_hist);
     serve.set("bytes_per_tracked_itemset", Value::F64(bytes_per_itemset));
+    serve.set(
+        "snapshot_bytes_per_bitmap",
+        Value::F64(snapshot_bytes_per_bitmap),
+    );
     serve.set("publish_every", Value::U64(publish_every));
     serve.set("query_threads", Value::U64(query_threads as u64));
     serve.set("queries", Value::U64(total_queries));

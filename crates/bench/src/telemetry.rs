@@ -21,7 +21,11 @@
 use std::fmt::Write as _;
 
 /// Report schema version; bump when keys change meaning.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// * v2 — added required `snapshot_bytes_per_bitmap` (VERSION 3 full
+///   wire-frame bytes divided by the bitmap count; the distributed
+///   shipping cost per unit of sketch state, gated lower-is-better).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Required keys (and the value class the checker enforces) of every
 /// telemetry report. Everything else is advisory context.
@@ -35,6 +39,7 @@ pub const REQUIRED_KEYS: &[(&str, ValueKind)] = &[
     ("latency_p99_nanos", ValueKind::Num),
     ("peak_rss_kb", ValueKind::Num),
     ("bytes_per_tracked_itemset", ValueKind::Num),
+    ("snapshot_bytes_per_bitmap", ValueKind::Num),
     ("git_sha", ValueKind::Str),
     ("feature_metrics", ValueKind::Bool),
     ("feature_trace", ValueKind::Bool),
@@ -202,6 +207,15 @@ pub fn compare(baseline: &Report, candidate: &Report, threshold: f64) -> Result<
     compare_on(baseline, candidate, "throughput_rows_per_sec", threshold)
 }
 
+/// Which way a gated metric is allowed to move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateDirection {
+    /// Rates: a drop beyond the threshold fails (throughput, query rate).
+    HigherIsBetter,
+    /// Costs: a rise beyond the threshold fails (wire bytes per bitmap).
+    LowerIsBetter,
+}
+
 /// [`compare`] generalised over the judged key: any higher-is-better
 /// numeric rate in both reports can gate (e.g.
 /// `queries_per_sec_under_ingest` from the serve phase).
@@ -210,6 +224,25 @@ pub fn compare_on(
     candidate: &Report,
     key: &str,
     threshold: f64,
+) -> Result<String, String> {
+    compare_directed(
+        baseline,
+        candidate,
+        key,
+        threshold,
+        GateDirection::HigherIsBetter,
+    )
+}
+
+/// [`compare_on`] generalised over the regression direction, so cost
+/// metrics (lower is better, e.g. `snapshot_bytes_per_bitmap`) can gate
+/// with the same machinery as rates.
+pub fn compare_directed(
+    baseline: &Report,
+    candidate: &Report,
+    key: &str,
+    threshold: f64,
+    direction: GateDirection,
 ) -> Result<String, String> {
     let read = |r: &Report, who: &str| {
         r.get(key)
@@ -220,12 +253,16 @@ pub fn compare_on(
     let base = read(baseline, "baseline")?;
     let cand = read(candidate, "candidate")?;
     let change = (cand - base) / base;
+    let (bad, sign) = match direction {
+        GateDirection::HigherIsBetter => (change < -threshold, '-'),
+        GateDirection::LowerIsBetter => (change > threshold, '+'),
+    };
     let verdict = format!(
-        "{key} {base:.0} -> {cand:.0} ({:+.1}%, threshold -{:.1}%)",
+        "{key} {base:.0} -> {cand:.0} ({:+.1}%, threshold {sign}{:.1}%)",
         change * 100.0,
         threshold * 100.0
     );
-    if change < -threshold {
+    if bad {
         Err(verdict)
     } else {
         Ok(verdict)
@@ -460,6 +497,7 @@ mod tests {
         r.set("latency_p99_nanos", Value::U64(362));
         r.set("peak_rss_kb", Value::U64(4096));
         r.set("bytes_per_tracked_itemset", Value::F64(57.5));
+        r.set("snapshot_bytes_per_bitmap", Value::F64(24.0));
         r.set("git_sha", Value::Str("abc123".into()));
         r.set("feature_metrics", Value::Bool(true));
         r.set("feature_trace", Value::Bool(true));
@@ -553,6 +591,19 @@ mod tests {
         assert!(compare_on(&base, &cand, "queries_per_sec_under_ingest", 0.15).is_err());
         // The key must exist in both reports.
         assert!(compare_on(&base, &cand, "no_such_key", 0.15).is_err());
+    }
+
+    #[test]
+    fn lower_is_better_gate_fails_on_cost_growth() {
+        let key = "snapshot_bytes_per_bitmap";
+        let base = minimal_valid();
+        let mut cand = minimal_valid();
+        cand.set(key, Value::F64(26.0)); // +8.3%: tolerated
+        assert!(compare_directed(&base, &cand, key, 0.15, GateDirection::LowerIsBetter).is_ok());
+        cand.set(key, Value::F64(30.0)); // +25%: a wire-size regression
+        assert!(compare_directed(&base, &cand, key, 0.15, GateDirection::LowerIsBetter).is_err());
+        cand.set(key, Value::F64(12.0)); // smaller frames always pass
+        assert!(compare_directed(&base, &cand, key, 0.15, GateDirection::LowerIsBetter).is_ok());
     }
 
     #[test]

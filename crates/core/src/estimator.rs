@@ -642,6 +642,43 @@ impl ImplicationEstimator {
     /// assert!(e.implication_count > 300.0 && e.implication_count < 700.0);
     /// ```
     ///
+    /// Replaces this estimator's accumulated state (conditions, bitmaps,
+    /// hash seeds, tuple counter, memory budget) with `donor`'s, while
+    /// keeping this estimator's publication channel, metrics registry
+    /// and trace journal.
+    ///
+    /// This is the aggregator-side commit of the wire protocol (see
+    /// [`crate::wire`]): the aggregator merges freshly-decoded edge
+    /// replicas into a scratch estimator, then adopts the result into
+    /// its long-lived serving writer so existing
+    /// [`EstimateReader`](crate::EstimateReader)s keep following the
+    /// same channel across re-aggregations — epochs continue, readers
+    /// never re-attach. The donor's arenas carry their own budget
+    /// accounting with them; the previously held state releases its
+    /// reservations on drop.
+    pub fn adopt_state(&mut self, donor: ImplicationEstimator) {
+        let ImplicationEstimator {
+            cond,
+            log2_m,
+            bitmaps,
+            hasher_a,
+            hasher_b,
+            tuples,
+            budget,
+            metrics: _,
+            trace: _,
+            publisher: _,
+        } = donor;
+        self.cond = cond;
+        self.log2_m = log2_m;
+        self.bitmaps = bitmaps;
+        self.hasher_a = hasher_a;
+        self.hasher_b = hasher_b;
+        self.tuples = tuples;
+        self.budget = budget;
+        self.publish_mem_gauges();
+    }
+
     /// # Panics
     /// If conditions, bitmap counts or hash seeds differ.
     pub fn merge(&mut self, other: &ImplicationEstimator) {
@@ -723,6 +760,18 @@ impl ImplicationEstimator {
     /// `log2` of the bitmap count (routing).
     pub(crate) fn log2_m(&self) -> u32 {
         self.log2_m
+    }
+
+    /// Mutable access to the bitmaps — the wire decoder's delta path
+    /// replaces individual bitmaps in place (see [`crate::wire`]).
+    pub(crate) fn bitmaps_mut(&mut self) -> &mut [NipsBitmap] {
+        &mut self.bitmaps
+    }
+
+    /// Overwrites the tuple counter — wire frames carry the sender's
+    /// absolute count, not an increment.
+    pub(crate) fn set_tuples(&mut self, tuples: u64) {
+        self.tuples = tuples;
     }
 
     /// A same-configuration estimator with no accumulated state. Shares

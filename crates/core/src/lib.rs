@@ -67,6 +67,7 @@ pub mod snapshot;
 pub mod state;
 pub mod trace;
 pub mod view;
+pub mod wire;
 
 pub use bounds::{fringe_size_for_ratio, min_estimable_ratio};
 pub use budget::{CapacityPolicy, MemoryBudget};
@@ -82,3 +83,4 @@ pub use snapshot::SnapshotError;
 pub use state::{DirtyReason, ItemState, Verdict};
 pub use trace::{Span, SpanKind, TraceEvent, TraceHandle, TraceJournal, TracedEvent};
 pub use view::{EstimateReader, ReadView};
+pub use wire::{FrameHeader, FrameKind, WireDecoder, WireError, WireSnapshot};

@@ -27,7 +27,28 @@
 //!
 //! The binary is pure `std`: no async runtime, one writer thread, one
 //! lightweight thread per connection.
+//!
+//! # Distributed operation
+//!
+//! The same binary also runs the two halves of an edge→aggregator
+//! topology (see `WIRE.md` for the frame format and `README.md` for the
+//! protocol):
+//!
+//! * `--upstream ADDR --node-id N` turns the service into an **edge**:
+//!   it keeps serving local queries, and additionally ships its sketch
+//!   state upstream as VERSION 3 wire frames — a full snapshot on each
+//!   (re)connect, compact deltas afterwards (`--ship-every` rows apart).
+//!   Lost connections reconnect with capped exponential backoff, and
+//!   always restart from a full snapshot so a lost delta can never
+//!   corrupt the aggregate.
+//! * `--aggregate` turns the ingest listener into an **aggregator**: it
+//!   speaks the wire protocol instead of the line protocol, holds one
+//!   decoded replica per edge, and re-publishes the merged estimate
+//!   after every applied frame. For bitmap-disjoint edge partitions the
+//!   merged estimate is bit-for-bit identical to a single-node run over
+//!   the union stream.
 
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::process::exit;
@@ -36,6 +57,7 @@ use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use implicate::core::wire::{peek_frame, WireDecoder, WireSnapshot, DEFAULT_MAX_FRAME_BYTES};
 use implicate::sketch::hash::MixHasher;
 use implicate::{
     EstimateReader, EstimatorConfig, Fringe, ImplicationConditions, ImplicationEstimator,
@@ -56,6 +78,13 @@ const INGEST_DEPTH: usize = 64;
 /// How long blocking loops sleep between checks of the stop flag.
 const POLL: Duration = Duration::from_millis(50);
 
+/// First reconnect delay of an edge's upstream sender; doubles per
+/// failed attempt up to [`BACKOFF_CAP`].
+const BACKOFF_START: Duration = Duration::from_millis(100);
+
+/// Ceiling of the edge sender's exponential reconnect backoff.
+const BACKOFF_CAP: Duration = Duration::from_secs(5);
+
 fn die(msg: &str) -> ! {
     eprintln!("implicate-serve: {msg}");
     exit(2);
@@ -73,6 +102,10 @@ struct Opts {
     checkpoint_every: Option<u64>,
     ingest_addr: String,
     query_addr: String,
+    aggregate: bool,
+    upstream: Option<String>,
+    node_id: u64,
+    ship_every: u64,
 }
 
 const USAGE: &str = "\
@@ -100,6 +133,16 @@ usage: implicate-serve [options]
                         (requires --threads 1)
   --ingest ADDR         ingestion TCP address (default 127.0.0.1:0)
   --query ADDR          query HTTP address (default 127.0.0.1:0)
+
+distributed roles (see WIRE.md):
+  --aggregate           ingest wire frames from edges instead of text
+                        rows, serve the merged estimate
+                        (requires --threads 1)
+  --upstream ADDR       edge role: ship wire snapshots to an aggregator
+                        (requires --node-id and --threads 1)
+  --node-id N           stable identity of this edge at the aggregator
+  --ship-every N        rows between upstream shipments
+                        (default: --publish-every)
 ";
 
 fn parse_cols(v: &str) -> Vec<usize> {
@@ -141,6 +184,10 @@ fn parse_opts() -> Opts {
     let mut checkpoint_every = None;
     let mut ingest_addr = "127.0.0.1:0".to_string();
     let mut query_addr = "127.0.0.1:0".to_string();
+    let mut aggregate = false;
+    let mut upstream: Option<String> = None;
+    let mut node_id: Option<u64> = None;
+    let mut ship_every: Option<u64> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -186,6 +233,10 @@ fn parse_opts() -> Opts {
             "--checkpoint-every" => checkpoint_every = Some(parse_num(val(), "--checkpoint-every")),
             "--ingest" => ingest_addr = val().to_string(),
             "--query" => query_addr = val().to_string(),
+            "--aggregate" => aggregate = true,
+            "--upstream" => upstream = Some(val().to_string()),
+            "--node-id" => node_id = Some(parse_num(val(), "--node-id")),
+            "--ship-every" => ship_every = Some(parse_num(val(), "--ship-every")),
             other => die(&format!("unknown option {other:?} (try --help)")),
         }
     }
@@ -203,6 +254,27 @@ fn parse_opts() -> Opts {
     }
     if checkpoint_every.is_some() && checkpoint.is_none() {
         die("--checkpoint-every needs --checkpoint FILE");
+    }
+    if aggregate && upstream.is_some() {
+        die("--aggregate and --upstream are mutually exclusive roles");
+    }
+    if aggregate && threads > 1 {
+        die("--aggregate requires --threads 1 (the aggregator merges, it does not shard)");
+    }
+    if upstream.is_some() && threads > 1 {
+        die("--upstream requires --threads 1 (delta capture needs the sequential writer)");
+    }
+    if upstream.is_some() && node_id.is_none() {
+        die("--upstream needs --node-id N");
+    }
+    if node_id.is_some() && upstream.is_none() {
+        die("--node-id only makes sense with --upstream");
+    }
+    if ship_every == Some(0) {
+        die("--ship-every must be at least 1");
+    }
+    if ship_every.is_some() && upstream.is_none() {
+        die("--ship-every only makes sense with --upstream");
     }
 
     let cond = ImplicationConditions::builder()
@@ -233,6 +305,10 @@ fn parse_opts() -> Opts {
         checkpoint_every,
         ingest_addr,
         query_addr,
+        aggregate,
+        upstream,
+        node_id: node_id.unwrap_or(0),
+        ship_every: ship_every.unwrap_or(publish_every),
     }
 }
 
@@ -259,6 +335,11 @@ fn project(fields: &[&str], cols: &[usize], hasher: &MixHasher, out: &mut Vec<u6
 /// Shared state the connection handlers read.
 struct Shared {
     stop: AtomicBool,
+    /// Set by the writer after its final drain (and, for an edge, after
+    /// the final wire snapshot is in the ship slot) — the upstream
+    /// sender must not exit on `stop` alone or it could miss the final
+    /// state.
+    writer_done: AtomicBool,
     /// Rows accepted off ingest sockets (routed; the published view may
     /// trail this by the in-flight backlog).
     accepted: AtomicU64,
@@ -322,6 +403,15 @@ impl Pipeline {
         }
     }
 
+    /// The owned estimator when sequential (edge shipping captures wire
+    /// snapshots off it; the sharded pipeline cannot without quiescing).
+    fn sequential(&self) -> Option<&ImplicationEstimator> {
+        match self {
+            Pipeline::Sequential(est) => Some(est),
+            Pipeline::Sharded(_) => None,
+        }
+    }
+
     /// Drains, reassembles (if sharded), publishes the final state, and
     /// returns the owning estimator.
     fn into_final(self) -> ImplicationEstimator {
@@ -348,6 +438,293 @@ fn write_checkpoint(path: &str, data: &[u8]) {
     if let Err(e) = result {
         eprintln!("implicate-serve: checkpoint {path}: {e}");
     }
+}
+
+/// Keep-latest handoff between the writer (which captures wire
+/// snapshots at the ship cadence) and the upstream sender thread. A
+/// newer capture replaces an unsent older one — the wire protocol only
+/// ever needs the newest state, since deltas are computed against the
+/// last snapshot actually *sent*, not the previous capture.
+struct ShipSlot {
+    latest: Mutex<Option<WireSnapshot>>,
+}
+
+impl ShipSlot {
+    fn new() -> Self {
+        Self {
+            latest: Mutex::new(None),
+        }
+    }
+
+    fn store(&self, snap: WireSnapshot) {
+        *self.latest.lock().unwrap() = Some(snap);
+    }
+
+    fn take(&self) -> Option<WireSnapshot> {
+        self.latest.lock().unwrap().take()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.latest.lock().unwrap().is_none()
+    }
+}
+
+/// Returns true when the peer has half-closed or reset the connection —
+/// detected with a nonblocking 1-byte probe read (the aggregator never
+/// sends application data, so any `Ok` read of 0 bytes is a FIN).
+fn peer_gone(stream: &TcpStream) -> bool {
+    if stream.set_nonblocking(true).is_err() {
+        return true;
+    }
+    let mut probe = [0u8; 1];
+    let gone = match (&*stream).read(&mut probe) {
+        Ok(0) => true,
+        Ok(_) => false, // unexpected chatter; the write path decides
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => false,
+        Err(_) => true,
+    };
+    gone || stream.set_nonblocking(false).is_err()
+}
+
+/// The edge's upstream sender: connects to the aggregator with capped
+/// exponential backoff and ships every snapshot the writer hands over —
+/// a **full** frame right after each (re)connect, **deltas** against
+/// the last sent snapshot afterwards. Any send failure drops the
+/// connection and clears the delta base, so the next frame after a
+/// reconnect is always full: a delta the aggregator never applied can
+/// never poison the resync.
+///
+/// Runs until the stop flag is set *and* the last captured snapshot has
+/// shipped, so a graceful shutdown always delivers the final state.
+fn edge_sender(upstream: &str, node_id: u64, slot: &ShipSlot, shared: &Shared) {
+    let mut conn: Option<TcpStream> = None;
+    let mut base: Option<WireSnapshot> = None;
+    let mut backoff = BACKOFF_START;
+    let mut pending: Option<WireSnapshot> = None;
+    loop {
+        if pending.is_none() {
+            pending = slot.take();
+        }
+        let Some(snap) = pending.as_ref() else {
+            if shared.writer_done.load(Ordering::Acquire) && slot.is_empty() {
+                return;
+            }
+            std::thread::sleep(POLL);
+            continue;
+        };
+
+        // (Re)connect if needed; detect a silently-dead peer first so a
+        // restarted aggregator gets a full frame instead of a delta
+        // written into a black hole.
+        if conn.as_ref().is_some_and(peer_gone) {
+            conn = None;
+        }
+        if conn.is_none() {
+            base = None;
+            match TcpStream::connect(upstream) {
+                Ok(stream) => {
+                    stream.set_nodelay(true).ok();
+                    conn = Some(stream);
+                    backoff = BACKOFF_START;
+                }
+                Err(_) => {
+                    // Don't spin while unreachable — but stay
+                    // responsive to shutdown.
+                    let deadline = std::time::Instant::now() + backoff;
+                    while std::time::Instant::now() < deadline {
+                        if shared.writer_done.load(Ordering::Acquire) {
+                            // Unreachable aggregator at shutdown: the
+                            // state is lost to this session, as
+                            // documented — exit rather than hang.
+                            return;
+                        }
+                        std::thread::sleep(POLL.min(backoff));
+                    }
+                    backoff = (backoff * 2).min(BACKOFF_CAP);
+                    continue;
+                }
+            }
+        }
+
+        let frame = match &base {
+            Some(b) => snap.delta_frame(b, node_id),
+            None => snap.full_frame(node_id),
+        };
+        let stream = conn.as_mut().expect("connected above");
+        match stream.write_all(&frame).and_then(|()| stream.flush()) {
+            Ok(()) => {
+                base = pending.take();
+                if shared.writer_done.load(Ordering::Acquire) && slot.is_empty() {
+                    return;
+                }
+            }
+            Err(_) => {
+                // Keep `pending`: it resends as a full frame once the
+                // connection is back.
+                conn = None;
+            }
+        }
+    }
+}
+
+/// One aggregator ingest connection: reassembles wire frames off the
+/// stream and hands complete frames to the writer. The writer flips
+/// `kill` when a frame from this connection fails to apply — dropping
+/// the connection is the signal that makes the edge reconnect and
+/// resync with a full snapshot.
+fn wire_ingest_connection(
+    mut stream: TcpStream,
+    shared: &Shared,
+    tx: &SyncSender<(bytes::Bytes, Arc<AtomicBool>)>,
+) {
+    stream.set_read_timeout(Some(POLL)).ok();
+    let kill = Arc::new(AtomicBool::new(false));
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 4096];
+    loop {
+        if kill.load(Ordering::Acquire) || shared.stop.load(Ordering::Acquire) {
+            return; // dropping the stream sends the edge its FIN
+        }
+        // Drain every complete frame currently buffered.
+        loop {
+            match peek_frame(&buf) {
+                Ok(Some(header)) => {
+                    if header.body_len > DEFAULT_MAX_FRAME_BYTES as u64 {
+                        return;
+                    }
+                    let total = header.frame_len();
+                    if buf.len() < total {
+                        break;
+                    }
+                    let rest = buf.split_off(total);
+                    let frame = bytes::Bytes::from(std::mem::replace(&mut buf, rest));
+                    if tx.send((frame, Arc::clone(&kill))).is_err() {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => return, // not wire traffic; hang up
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // edge closed
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// The aggregator's writer: the single owner of the serving estimator
+/// and of one [`WireDecoder`] replica per edge node.
+///
+/// Every successfully applied frame triggers a re-merge of all held
+/// replicas into a fresh same-configuration estimator, which the
+/// serving writer then adopts and republishes — readers keep their
+/// wait-free channel across re-aggregations. A frame that fails to
+/// apply resets that node's replica and kills its connection; the edge
+/// reconnects and resyncs with a full snapshot.
+///
+/// Returns (frames applied, final tuple count).
+fn aggregate_writer_loop(
+    mut serving: ImplicationEstimator,
+    template: &EstimatorConfig,
+    frame_rx: &Receiver<(bytes::Bytes, Arc<AtomicBool>)>,
+    shared: &Shared,
+    checkpoint: Option<&str>,
+    checkpoint_every: Option<u64>,
+) -> (u64, u64) {
+    let mut decoders: HashMap<u64, WireDecoder> = HashMap::new();
+    let mut frames = 0u64;
+    let mut tuples_at_checkpoint = serving.tuples_seen();
+    loop {
+        match frame_rx.recv_timeout(POLL) {
+            Ok((frame, kill)) => {
+                // node_id is authenticated by nothing but the header —
+                // this is a trusted-network protocol, as WIRE.md states.
+                let node = match peek_frame(&frame) {
+                    Ok(Some(h)) => h.node_id,
+                    _ => {
+                        kill.store(true, Ordering::Release);
+                        continue;
+                    }
+                };
+                let decoder = decoders
+                    .entry(node)
+                    .or_insert_with(|| WireDecoder::new().require_matching(&serving));
+                match decoder.apply(frame) {
+                    Ok(header) => {
+                        frames += 1;
+                        shared.accepted.fetch_add(header.tuples, Ordering::Relaxed);
+                        let mut merged = template.build();
+                        for dec in decoders.values() {
+                            if let Some(replica) = dec.estimator() {
+                                merged.merge(replica);
+                            }
+                        }
+                        serving.adopt_state(merged);
+                        serving.publish_full();
+                        let data = serving.to_bytes();
+                        if let Some(path) = checkpoint {
+                            let due = checkpoint_every.is_some_and(|n| {
+                                serving.tuples_seen().saturating_sub(tuples_at_checkpoint) >= n
+                            });
+                            if due {
+                                tuples_at_checkpoint = serving.tuples_seen();
+                                write_checkpoint(path, &data);
+                            }
+                        }
+                        *shared.snapshot.lock().unwrap() = Some(data);
+                    }
+                    Err(e) => {
+                        eprintln!("implicate-serve: frame from node {node}: {e}");
+                        decoder.reset();
+                        kill.store(true, Ordering::Release);
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.stop.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    while let Ok((frame, kill)) = frame_rx.try_recv() {
+        let node = match peek_frame(&frame) {
+            Ok(Some(h)) => h.node_id,
+            _ => continue,
+        };
+        if let Some(decoder) = decoders.get_mut(&node) {
+            if decoder.apply(frame).is_ok() {
+                frames += 1;
+                let mut merged = template.build();
+                for dec in decoders.values() {
+                    if let Some(replica) = dec.estimator() {
+                        merged.merge(replica);
+                    }
+                }
+                serving.adopt_state(merged);
+            } else {
+                kill.store(true, Ordering::Release);
+            }
+        }
+    }
+    serving.publish_full();
+    let data = serving.to_bytes();
+    if let Some(path) = checkpoint {
+        write_checkpoint(path, &data);
+        eprintln!(
+            "implicate-serve: checkpointed {} tuples to {path}",
+            serving.tuples_seen()
+        );
+    }
+    *shared.snapshot.lock().unwrap() = Some(data);
+    shared.writer_done.store(true, Ordering::Release);
+    (frames, serving.tuples_seen())
 }
 
 fn main() {
@@ -380,6 +757,7 @@ fn main() {
     let pair_hasher = est.pair_hasher();
     let shared = Arc::new(Shared {
         stop: AtomicBool::new(false),
+        writer_done: AtomicBool::new(false),
         accepted: AtomicU64::new(0),
         skipped: AtomicU64::new(0),
         snapshot: Mutex::new(None),
@@ -389,12 +767,6 @@ fn main() {
     // Seed /snapshot with the restored/initial state so the endpoint is
     // never empty once the service is up.
     *shared.snapshot.lock().unwrap() = Some(est.to_bytes());
-
-    let pipeline = if opts.threads > 1 {
-        Pipeline::Sharded(ShardedEstimator::new(est, opts.threads))
-    } else {
-        Pipeline::Sequential(est)
-    };
 
     let ingest_listener = TcpListener::bind(&opts.ingest_addr)
         .unwrap_or_else(|e| die(&format!("bind {}: {e}", opts.ingest_addr)));
@@ -409,13 +781,41 @@ fn main() {
     std::io::stdout().flush().ok();
 
     let (batch_tx, batch_rx) = sync_channel::<Vec<(u64, u64)>>(INGEST_DEPTH);
+    let (frame_tx, frame_rx) = sync_channel::<(bytes::Bytes, Arc<AtomicBool>)>(INGEST_DEPTH);
+
+    // Edge role: the writer hands captured wire snapshots to the
+    // upstream sender through this keep-latest slot.
+    let ship_slot = opts.upstream.as_ref().map(|_| Arc::new(ShipSlot::new()));
 
     // Writer thread: the single owner of estimator mutation.
-    let writer = {
+    let writer = if opts.aggregate {
+        let shared = Arc::clone(&shared);
+        let template = opts.config;
+        let checkpoint = opts.checkpoint.clone();
+        let checkpoint_every = opts.checkpoint_every;
+        std::thread::spawn(move || {
+            aggregate_writer_loop(
+                est,
+                &template,
+                &frame_rx,
+                &shared,
+                checkpoint.as_deref(),
+                checkpoint_every,
+            )
+        })
+    } else {
+        let pipeline = if opts.threads > 1 {
+            Pipeline::Sharded(ShardedEstimator::new(est, opts.threads))
+        } else {
+            Pipeline::Sequential(est)
+        };
         let shared = Arc::clone(&shared);
         let publish_every = opts.publish_every;
         let checkpoint = opts.checkpoint.clone();
         let checkpoint_every = opts.checkpoint_every;
+        let ship = ship_slot
+            .as_ref()
+            .map(|slot| (Arc::clone(slot), opts.ship_every));
         std::thread::spawn(move || {
             writer_loop(
                 pipeline,
@@ -424,32 +824,60 @@ fn main() {
                 publish_every,
                 checkpoint.as_deref(),
                 checkpoint_every,
+                ship,
             )
         })
     };
 
-    // Ingest acceptor.
+    // Upstream sender (edge role).
+    let sender = match (&opts.upstream, &ship_slot) {
+        (Some(addr), Some(slot)) => {
+            let addr = addr.clone();
+            let slot = Arc::clone(slot);
+            let shared = Arc::clone(&shared);
+            let node_id = opts.node_id;
+            Some(std::thread::spawn(move || {
+                edge_sender(&addr, node_id, &slot, &shared);
+            }))
+        }
+        _ => None,
+    };
+
+    // Ingest acceptor: wire frames when aggregating, text rows otherwise.
     {
         let shared = Arc::clone(&shared);
-        let lhs = opts.lhs.clone();
-        let rhs = opts.rhs.clone();
-        let delimiter = opts.delimiter;
-        let batch_tx = batch_tx.clone();
         ingest_listener.set_nonblocking(true).expect("nonblocking");
-        std::thread::spawn(move || {
-            accept_loop(&ingest_listener, &shared, move |stream, shared| {
-                let tx = batch_tx.clone();
-                let lhs = lhs.clone();
-                let rhs = rhs.clone();
-                std::thread::spawn(move || {
-                    ingest_connection(stream, &shared, &lhs, &rhs, delimiter, pair_hasher, &tx);
+        if opts.aggregate {
+            let frame_tx = frame_tx.clone();
+            std::thread::spawn(move || {
+                accept_loop(&ingest_listener, &shared, move |stream, shared| {
+                    let tx = frame_tx.clone();
+                    std::thread::spawn(move || {
+                        wire_ingest_connection(stream, &shared, &tx);
+                    });
                 });
             });
-        });
+        } else {
+            let lhs = opts.lhs.clone();
+            let rhs = opts.rhs.clone();
+            let delimiter = opts.delimiter;
+            let batch_tx = batch_tx.clone();
+            std::thread::spawn(move || {
+                accept_loop(&ingest_listener, &shared, move |stream, shared| {
+                    let tx = batch_tx.clone();
+                    let lhs = lhs.clone();
+                    let rhs = rhs.clone();
+                    std::thread::spawn(move || {
+                        ingest_connection(stream, &shared, &lhs, &rhs, delimiter, pair_hasher, &tx);
+                    });
+                });
+            });
+        }
     }
     // The writer must observe channel disconnect once every ingest
     // connection is gone at shutdown.
     drop(batch_tx);
+    drop(frame_tx);
 
     // Query acceptor.
     {
@@ -466,6 +894,11 @@ fn main() {
     }
 
     let (rows, final_tuples) = writer.join().expect("writer thread panicked");
+    if let Some(sender) = sender {
+        // Wait for the final captured state to reach the aggregator
+        // (or for the sender to give up on an unreachable one).
+        sender.join().expect("sender thread panicked");
+    }
     eprintln!(
         "implicate-serve: shut down after {rows} rows this session \
          ({} tuples total, {} skipped)",
@@ -504,10 +937,21 @@ fn writer_loop(
     publish_every: u64,
     checkpoint: Option<&str>,
     checkpoint_every: Option<u64>,
+    ship: Option<(Arc<ShipSlot>, u64)>,
 ) -> (u64, u64) {
     let mut rows = 0u64;
     let mut since_publish = 0u64;
     let mut since_checkpoint = 0u64;
+    let mut since_ship = 0u64;
+    let mut ship_epoch = 0u64;
+    // Captures the sequential estimator's state into the ship slot
+    // under the next wire epoch (edge role only).
+    let capture = |pipeline: &Pipeline, ship_epoch: &mut u64| {
+        if let (Some((slot, _)), Some(est)) = (&ship, pipeline.sequential()) {
+            *ship_epoch += 1;
+            slot.store(WireSnapshot::capture(est, *ship_epoch));
+        }
+    };
     // Whether the last published view reflects *every* routed row. A
     // mid-stream publish races the lanes by design (that is what makes
     // it wait-free), so after going idle the writer republishes until a
@@ -522,6 +966,11 @@ fn writer_loop(
                 rows += n;
                 since_publish += n;
                 since_checkpoint += n;
+                since_ship += n;
+                if ship.as_ref().is_some_and(|(_, every)| since_ship >= *every) {
+                    since_ship = 0;
+                    capture(&pipeline, &mut ship_epoch);
+                }
                 if since_publish >= publish_every {
                     since_publish = 0;
                     if checkpoint_every.is_some_and(|n| since_checkpoint >= n) {
@@ -555,6 +1004,13 @@ fn writer_loop(
                     pipeline.publish();
                     published_settled = settled;
                 }
+                // Idle edges ship the stream's tail: rows that arrived
+                // since the last capture must not wait for a full
+                // cadence interval that may never fill.
+                if since_ship > 0 {
+                    since_ship = 0;
+                    capture(&pipeline, &mut ship_epoch);
+                }
             }
             Err(RecvTimeoutError::Disconnected) => break,
         }
@@ -574,6 +1030,13 @@ fn writer_loop(
         );
     }
     *shared.snapshot.lock().unwrap() = Some(data);
+    // The final state always ships (an unchanged-state delta is a few
+    // bytes), so a graceful edge shutdown never strands its tail.
+    if let Some((slot, _)) = &ship {
+        ship_epoch += 1;
+        slot.store(WireSnapshot::capture(&est, ship_epoch));
+    }
+    shared.writer_done.store(true, Ordering::Release);
     (rows, est.tuples_seen())
 }
 

@@ -1,20 +1,31 @@
 //! Distributed aggregation — the §3 deployment ("a node in a distributed
-//! environment receives a stream of data"), end to end.
+//! environment receives a stream of data"), end to end **over sockets**.
 //!
 //! Four edge routers each observe a shard of the network's traffic and
-//! maintain a local NIPS/CI sketch, **concurrently, one thread each**.
-//! While they ingest, the collector polls every router's wait-free
-//! [`EstimateReader`] — live per-router progress with zero stalls on
-//! the ingest paths. When the streams end, every router *snapshots* its
-//! sketch (size `O(K · 2^F)`, independent of traffic volume) and ships
-//! it to the collector, which *restores* and *merges* them to answer
-//! fleet-wide implication queries — no raw traffic ever leaves the
-//! edge. This is exactly why the paper insists on aggregates rather
-//! than itemset lists: the DDoS case (§1) has per-router counts too
-//! small to flag locally, but the merged count is decisive.
+//! maintain a local NIPS/CI sketch, one thread each. Every router opens
+//! a real TCP connection to the aggregator and ships its state with the
+//! VERSION 3 wire codec (WIRE.md): one full frame after connect, then a
+//! compact *delta* frame every `SHIP_EVERY` tuples carrying only the
+//! bitmaps that changed. The aggregator reassembles frames from the
+//! byte stream with [`peek_frame`], decodes each router through its own
+//! [`WireDecoder`], and merges the replicas to answer fleet-wide
+//! implication queries — no raw traffic ever leaves the edge. This is
+//! exactly why the paper insists on aggregates rather than itemset
+//! lists: the DDoS case (§1) has per-router counts too small to flag
+//! locally, but the merged count is decisive.
+//!
+//! The same protocol runs between separate processes/hosts via
+//! `implicate-serve --aggregate` and `--upstream` (README §Distributed
+//! operation); this example keeps everything in one process so it is
+//! runnable anywhere, but the bytes on the wire are identical.
 //!
 //! Run with: `cargo run --release --example distributed_routers`
 
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc;
+
+use implicate::core::wire::{peek_frame, WireDecoder, WireSnapshot};
 use implicate::datagen::network::{Episode, NetworkSpec, NetworkStream};
 use implicate::stream::source::TupleSource;
 use implicate::{
@@ -29,8 +40,8 @@ const TUPLES_PER_ROUTER: u64 = 150_000;
 /// each router's share of the attack is ~110 sources — below threshold —
 /// while the fleet-wide union is ~420.
 const FANOUT: u32 = 150;
-/// Each router publishes a read view every this many tuples.
-const PUBLISH_EVERY: u64 = 25_000;
+/// Each router ships a delta frame every this many tuples.
+const SHIP_EVERY: u64 = 25_000;
 
 fn router_spec(router: usize) -> NetworkSpec {
     NetworkSpec {
@@ -46,85 +57,152 @@ fn router_spec(router: usize) -> NetworkSpec {
     }
 }
 
+fn make_sketch(cond: ImplicationConditions) -> ImplicationEstimator {
+    EstimatorConfig::new(cond)
+        .fringe(Fringe::Bounded(8))
+        .seed(0xd15c0)
+        .build()
+}
+
+/// Edge side: ingest the router's shard, shipping wire frames upstream.
+fn run_edge(router: usize, cond: ImplicationConditions, mut upstream: TcpStream) {
+    let mut sketch = make_sketch(cond);
+    let mut gen = NetworkStream::new(router_spec(router));
+    let schema = gen.schema().clone();
+    let p_dst = Projector::new(&schema, schema.attr_set(&["Destination"]));
+    let p_src = Projector::new(&schema, schema.attr_set(&["Source"]));
+    let (mut a, mut b) = (Vec::new(), Vec::new());
+
+    let mut epoch = 0u64;
+    let mut last: Option<WireSnapshot> = None;
+    let mut shipped_bytes = 0usize;
+    let mut ship = |sketch: &ImplicationEstimator, last: &mut Option<WireSnapshot>| {
+        epoch += 1;
+        let snap = WireSnapshot::capture(sketch, epoch);
+        // First frame after connect is always full; after that, deltas
+        // carry only the bitmaps whose canonical bytes changed.
+        let frame = match last {
+            None => snap.full_frame(router as u64),
+            Some(base) => snap.delta_frame(base, router as u64),
+        };
+        upstream.write_all(&frame).expect("ship frame upstream");
+        shipped_bytes += frame.len();
+        *last = Some(snap);
+    };
+
+    for i in 0..TUPLES_PER_ROUTER {
+        let t = gen.next_tuple().expect("infinite stream");
+        p_dst.project_into(&t, &mut a);
+        p_src.project_into(&t, &mut b);
+        sketch.update(&a, &b);
+        if (i + 1) % SHIP_EVERY == 0 {
+            ship(&sketch, &mut last);
+        }
+    }
+    ship(&sketch, &mut last); // final state, then EOF closes the connection
+    println!(
+        "router {router}: done — {} frames, {shipped_bytes} bytes total shipped \
+         (sketch holds {} entries for {TUPLES_PER_ROUTER} tuples)",
+        epoch,
+        sketch.entries(),
+    );
+}
+
+/// Aggregator side: reassemble frames from one connection's byte stream
+/// and fold them into that router's replica.
+fn run_aggregator_conn(
+    mut conn: TcpStream,
+    template: &ImplicationEstimator,
+) -> (u64, ImplicationEstimator) {
+    let mut decoder = WireDecoder::new().require_matching(template);
+    let mut node_id = 0u64;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        let n = conn.read(&mut chunk).expect("read from edge");
+        if n == 0 {
+            break; // edge hung up — its last frame is the final state
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        // Frames are self-delimiting: peek at the header, wait until the
+        // whole frame is buffered, then apply. Sender write boundaries
+        // are irrelevant.
+        while let Some(header) = peek_frame(&buf).expect("well-formed header") {
+            let len = header.frame_len();
+            if buf.len() < len {
+                break;
+            }
+            let frame: Vec<u8> = buf.drain(..len).collect();
+            let header = decoder
+                .apply(bytes::Bytes::from(frame))
+                .expect("frame applies");
+            node_id = header.node_id;
+            eprintln!(
+                "[aggregator] router {} epoch {:>2} ({:?} frame, {} bytes) → {} tuples",
+                header.node_id,
+                header.epoch,
+                header.kind,
+                len,
+                header.tuples,
+            );
+        }
+    }
+    let replica = decoder.into_estimator().expect("edge shipped at least one frame");
+    (node_id, replica)
+}
+
 fn main() {
     // Every router shares the estimator configuration and seed — the
-    // precondition for mergeability.
+    // precondition for mergeability (the aggregator *enforces* it via
+    // `require_matching`: a misconfigured edge fails at decode time).
     let cond = ImplicationConditions::builder()
         .max_multiplicity(FANOUT)
         .min_support(1)
         .top_confidence(1, 0.0)
         .build();
-    let make_sketch = || {
-        EstimatorConfig::new(cond)
-            .fringe(Fringe::Bounded(8))
-            .seed(0xd15c0)
-            .build()
-    };
 
-    // Edge phase: the routers ingest concurrently; the collector keeps a
-    // wait-free reader per router for live monitoring.
-    println!(
-        "edge phase: {ROUTERS} routers ingesting {TUPLES_PER_ROUTER} tuples each, concurrently\n"
-    );
-    let mut readers = Vec::with_capacity(ROUTERS);
-    let mut handles = Vec::with_capacity(ROUTERS);
-    for router in 0..ROUTERS {
-        let mut sketch = make_sketch();
-        readers.push(sketch.reader());
-        handles.push(std::thread::spawn(move || {
-            let mut gen = NetworkStream::new(router_spec(router));
-            let schema = gen.schema().clone();
-            let p_dst = Projector::new(&schema, schema.attr_set(&["Destination"]));
-            let p_src = Projector::new(&schema, schema.attr_set(&["Source"]));
-            let (mut a, mut b) = (Vec::new(), Vec::new());
-            for i in 0..TUPLES_PER_ROUTER {
-                let t = gen.next_tuple().expect("infinite stream");
-                p_dst.project_into(&t, &mut a);
-                p_src.project_into(&t, &mut b);
-                sketch.update(&a, &b);
-                if (i + 1) % PUBLISH_EVERY == 0 {
-                    sketch.publish();
-                }
-            }
-            sketch.publish();
-            sketch
-        }));
-    }
+    // The aggregator listens on a real socket; the edges dial it.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind aggregator socket");
+    let addr = listener.local_addr().expect("local addr");
+    println!("aggregator listening on {addr}; {ROUTERS} routers dialing in\n");
 
-    // Live monitoring off the published views, while ingestion runs.
-    loop {
-        std::thread::sleep(std::time::Duration::from_millis(40));
-        let progress: Vec<String> = readers
-            .iter()
-            .map(|r| {
-                let view = r.view();
-                format!(
-                    "{:>6} tuples (S̄ ≈ {:.1})",
-                    view.tuples(),
-                    view.estimate().non_implication_count
-                )
-            })
-            .collect();
-        eprintln!("[collector] {}", progress.join(" | "));
-        if readers.iter().all(|r| r.tuples() >= TUPLES_PER_ROUTER) {
-            break;
+    let (tx, rx) = mpsc::channel::<(u64, ImplicationEstimator)>();
+    let acceptor = std::thread::spawn(move || {
+        let mut handlers = Vec::new();
+        for _ in 0..ROUTERS {
+            let (conn, _) = listener.accept().expect("accept edge connection");
+            let tx = tx.clone();
+            handlers.push(std::thread::spawn(move || {
+                let template = make_sketch(cond);
+                tx.send(run_aggregator_conn(conn, &template)).expect("deliver replica");
+            }));
         }
-    }
+        for h in handlers {
+            h.join().expect("aggregator connection handler");
+        }
+    });
 
-    // Ship phase: snapshot every sketch (the bytes that cross the wire).
-    let mut shipped: Vec<bytes::Bytes> = Vec::new();
-    for (router, handle) in handles.into_iter().enumerate() {
-        let sketch = handle.join().expect("router thread");
-        let local_hot = sketch.estimate_now().non_implication_count;
-        let snapshot = sketch.to_bytes();
-        println!(
-            "router {router}: local hot destinations ≈ {local_hot:.1} \
-             (sketch: {} entries, snapshot {} bytes)",
-            sketch.entries(),
-            snapshot.len()
-        );
-        shipped.push(snapshot);
+    let mut edges = Vec::with_capacity(ROUTERS);
+    for router in 0..ROUTERS {
+        let upstream = TcpStream::connect(addr).expect("dial aggregator");
+        edges.push(std::thread::spawn(move || run_edge(router, cond, upstream)));
     }
+    for e in edges {
+        e.join().expect("router thread");
+    }
+    acceptor.join().expect("acceptor thread");
+
+    // Collect the decoded replicas and merge them in node order (any
+    // order gives the same state; fixing it makes the run reproducible
+    // byte for byte).
+    let mut replicas: Vec<(u64, ImplicationEstimator)> = rx.iter().take(ROUTERS).collect();
+    replicas.sort_by_key(|(id, _)| *id);
+    let mut replicas = replicas.into_iter().map(|(_, r)| r);
+    let mut collector = replicas.next().expect("at least one replica");
+    for replica in replicas {
+        collector.merge(&replica);
+    }
+    let fleet = collector.estimate_now();
 
     // Ground truth over the union of all traffic (the streams are
     // deterministic in their seeds, so a second pass regenerates them).
@@ -143,17 +221,8 @@ fn main() {
         }
     }
 
-    // Collector: restore and merge the shipped snapshots.
-    let mut collector =
-        ImplicationEstimator::from_bytes(shipped[0].clone()).expect("router snapshot restores");
-    for snap in &shipped[1..] {
-        let sketch =
-            ImplicationEstimator::from_bytes(snap.clone()).expect("router snapshot restores");
-        collector.merge(&sketch);
-    }
-    let fleet = collector.estimate_now();
     println!(
-        "\ncollector: merged {} routers → fleet-wide hot destinations ≈ {:.1}",
+        "\naggregator: merged {} wire replicas → fleet-wide hot destinations ≈ {:.1}",
         ROUTERS, fleet.non_implication_count
     );
     println!(
@@ -163,8 +232,8 @@ fn main() {
     println!(
         "\nthe victim only crosses the {FANOUT}-source threshold in the MERGED\n\
          view — each router saw too little to flag it (the §1 first-hop\n\
-         DDoS observation). Bytes shipped per router per round: ~{} —\n\
-         O(K) per tracked itemset (§4.6), independent of the stream length.",
-        shipped[0].len()
+         DDoS observation). Steady-state frames are deltas: only changed\n\
+         bitmaps cross the wire (WIRE.md §3.3), so per-round cost tracks\n\
+         churn, not stream length."
     );
 }

@@ -1,0 +1,27 @@
+//! Fuzz the VERSION 3 wire decoder: arbitrary bytes must yield a typed
+//! `WireError` or a valid replica — never a panic, an abort, or an
+//! allocation beyond the configured frame ceiling / memory budget.
+//!
+//! Run with `cargo +nightly fuzz run wire_decode` from the repository
+//! root (see WIRE.md §7); nightly CI smokes it for at least 60 seconds.
+
+#![no_main]
+
+use bytes::Bytes;
+use imp_core::wire::{decode_compat, peek_frame, WireDecoder};
+use imp_core::MemoryBudget;
+use libfuzzer_sys::fuzz_target;
+
+fuzz_target!(|data: &[u8]| {
+    let _ = peek_frame(data);
+    let frame = Bytes::from(data.to_vec());
+    let mut decoder = WireDecoder::new().with_max_frame_bytes(1 << 20);
+    let _ = decoder.apply(frame.slice(0..frame.len()));
+    // A second application drives the delta-after-full state machine.
+    let _ = decoder.apply(frame.slice(0..frame.len()));
+    let mut tight = WireDecoder::new()
+        .with_budget(MemoryBudget::with_limit(4096))
+        .with_max_frame_bytes(1 << 16);
+    let _ = tight.apply(frame.slice(0..frame.len()));
+    let _ = decode_compat(frame);
+});

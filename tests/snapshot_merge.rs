@@ -3,6 +3,7 @@
 
 use proptest::prelude::*;
 
+use implicate::core::wire::{WireDecoder, WireError, WireSnapshot};
 use implicate::{
     EstimatorConfig, Fringe, ImplicationConditions, ImplicationEstimator, MultiplicityPolicy,
     ShardedEstimator,
@@ -178,5 +179,126 @@ proptest! {
         prop_assert_eq!(par.estimate_now(), seq.estimate_now());
         prop_assert_eq!(par.tuples_seen(), seq.tuples_seen());
         prop_assert_eq!(par.to_bytes(), seq.to_bytes());
+    }
+
+    /// Shipping a state over the VERSION 3 wire — full frame, then a
+    /// delta after more updates — reconstructs it bit-for-bit, and the
+    /// reconstruction stays in lockstep under further updates.
+    #[test]
+    fn wire_roundtrip_is_lossless_for_full_and_delta(
+        cond in arb_cond(),
+        prefix in proptest::collection::vec((0u64..300, 0u64..6), 0..600),
+        mid in proptest::collection::vec((0u64..300, 0u64..6), 0..300),
+        suffix in proptest::collection::vec((0u64..300, 0u64..6), 0..200),
+        seed in 0u64..1000,
+    ) {
+        let mut original = EstimatorConfig::new(cond).bitmaps(16).seed(seed).build();
+        for &(a, b) in &prefix {
+            original.update(&[a], &[b]);
+        }
+        let base = WireSnapshot::capture(&original, 1);
+        let mut decoder = WireDecoder::new();
+        decoder.apply(base.full_frame(9)).expect("full frame");
+        for &(a, b) in &mid {
+            original.update(&[a], &[b]);
+        }
+        let tip = WireSnapshot::capture(&original, 2);
+        decoder.apply(tip.delta_frame(&base, 9)).expect("delta frame");
+        let mut shipped = decoder.into_estimator().expect("decoded replica");
+        prop_assert_eq!(shipped.estimate_now(), original.estimate_now());
+        prop_assert_eq!(shipped.to_bytes(), original.to_bytes());
+        for &(a, b) in &suffix {
+            original.update(&[a], &[b]);
+            shipped.update(&[a], &[b]);
+        }
+        prop_assert_eq!(shipped.estimate_now(), original.estimate_now());
+    }
+
+    /// Merging wire-decoded replicas of itemset-disjoint streams equals
+    /// merging the source estimators directly — shipping through the
+    /// codec (full or delta path) is invisible to the merge.
+    #[test]
+    fn wire_decode_then_merge_equals_direct_merge(
+        cond in arb_cond(),
+        s1 in proptest::collection::vec((0u64..200, 0u64..5), 0..400),
+        s2 in proptest::collection::vec((200u64..400, 0u64..5), 0..400),
+        split in 0usize..400,
+        seed in 0u64..1000,
+    ) {
+        let config = EstimatorConfig::new(cond)
+            .bitmaps(16)
+            .fringe(Fringe::Unbounded)
+            .seed(seed);
+        let mut a = config.build();
+        for &(x, y) in &s1 {
+            a.update(&[x], &[y]);
+        }
+        // Edge B ships a full frame mid-stream and a delta for the rest.
+        let mut b = config.build();
+        let split = split.min(s2.len());
+        for &(x, y) in &s2[..split] {
+            b.update(&[x], &[y]);
+        }
+        let b_base = WireSnapshot::capture(&b, 1);
+        for &(x, y) in &s2[split..] {
+            b.update(&[x], &[y]);
+        }
+        let b_tip = WireSnapshot::capture(&b, 2);
+
+        let mut dec_a = WireDecoder::new();
+        dec_a.apply(WireSnapshot::capture(&a, 1).full_frame(1)).expect("full A");
+        let mut dec_b = WireDecoder::new();
+        dec_b.apply(b_base.full_frame(2)).expect("full B");
+        dec_b.apply(b_tip.delta_frame(&b_base, 2)).expect("delta B");
+
+        let mut via_wire = config.build();
+        via_wire.merge(dec_a.estimator().expect("replica A"));
+        via_wire.merge(dec_b.estimator().expect("replica B"));
+
+        let mut direct = config.build();
+        direct.merge(&a);
+        direct.merge(&b);
+
+        prop_assert_eq!(via_wire.estimate_now(), direct.estimate_now());
+        prop_assert_eq!(via_wire.tuples_seen(), direct.tuples_seen());
+        prop_assert_eq!(via_wire.to_bytes(), direct.to_bytes());
+    }
+
+    /// Decoding any truncation of a valid frame yields a typed
+    /// [`WireError`], and arbitrary byte corruption never panics — the
+    /// decoder either rejects the frame or survives it.
+    #[test]
+    fn wire_corruption_yields_typed_errors_never_panics(
+        cond in arb_cond(),
+        stream in proptest::collection::vec((0u64..300, 0u64..6), 0..400),
+        cut in 0usize..4096,
+        flips in proptest::collection::vec((0usize..4096, 0u8..8), 1..16),
+        seed in 0u64..1000,
+    ) {
+        let mut est = EstimatorConfig::new(cond).bitmaps(16).seed(seed).build();
+        for &(a, b) in &stream {
+            est.update(&[a], &[b]);
+        }
+        let frame = WireSnapshot::capture(&est, 1).full_frame(3);
+
+        let cut = cut % frame.len();
+        let mut decoder = WireDecoder::new();
+        let err = decoder.apply(frame.slice(0..cut));
+        prop_assert!(err.is_err(), "truncation to {cut} bytes accepted");
+        // A failed *full* frame must not leave a half-applied replica.
+        prop_assert!(decoder.estimator().is_none());
+
+        let mut bytes = frame.to_vec();
+        for &(at, bit) in &flips {
+            bytes[at % frame.len()] ^= 1 << bit;
+        }
+        let mut decoder = WireDecoder::new().require_matching(&est);
+        match decoder.apply(bytes::Bytes::from(bytes)) {
+            // Flips confined to e.g. the node-id varint can still form a
+            // valid frame; all that matters here is no panic and no
+            // type-confused replica.
+            Ok(_) => prop_assert!(decoder.estimator().is_some()),
+            Err(e) => prop_assert!(!matches!(e, WireError::BadMagic) || flips.iter().any(|&(at, _)| at % frame.len() < 6)),
+        }
     }
 }

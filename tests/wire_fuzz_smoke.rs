@@ -1,0 +1,112 @@
+//! In-tree fuzz smoke for the wire decoder: a deterministic xorshift
+//! mutation loop over valid seed frames, asserting the decoder never
+//! panics on any input — only typed [`WireError`]s or valid replicas.
+//!
+//! Runs for about a second by default so it rides along with `cargo
+//! test`; set `WIRE_FUZZ_SECS` for a longer campaign (nightly CI runs
+//! the dedicated `cargo fuzz` target in `fuzz/` for ≥60 s, and this
+//! smoke at 60 s as a fallback where nightly toolchains are
+//! unavailable).
+
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use implicate::core::wire::{decode_compat, peek_frame, WireDecoder, WireSnapshot};
+use implicate::{EstimatorConfig, ImplicationConditions, MemoryBudget};
+
+/// xorshift64* — tiny, deterministic, good enough to drive mutations.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// Valid frames to mutate from: V3 full, V3 delta, empty-state full,
+/// and a V2 snapshot for the compat path.
+fn seed_corpus() -> Vec<Vec<u8>> {
+    let cond = ImplicationConditions::one_to_c(2, 0.8, 3);
+    let mut est = EstimatorConfig::new(cond).bitmaps(16).seed(7).build();
+    let empty = WireSnapshot::capture(&est, 1).full_frame(1);
+    for i in 0..400u64 {
+        est.update(&[i % 90], &[i % 6]);
+    }
+    let base = WireSnapshot::capture(&est, 2);
+    for i in 0..200u64 {
+        est.update(&[i % 120], &[i % 5]);
+    }
+    let tip = WireSnapshot::capture(&est, 3);
+    vec![
+        empty.to_vec(),
+        base.full_frame(1).to_vec(),
+        tip.delta_frame(&base, 1).to_vec(),
+        est.to_bytes().to_vec(), // VERSION 2, for decode_compat
+    ]
+}
+
+/// One decoder round over `bytes`: every decode entry point must return
+/// (a panic anywhere fails the test).
+fn exercise(bytes: &[u8]) {
+    let _ = peek_frame(bytes);
+    let frame = Bytes::from(bytes.to_vec());
+    let mut decoder = WireDecoder::new().with_max_frame_bytes(1 << 20);
+    let _ = decoder.apply(frame.slice(0..frame.len()));
+    // A second application drives the delta-after-full state machine.
+    let _ = decoder.apply(frame.slice(0..frame.len()));
+    let mut tight = WireDecoder::new()
+        .with_budget(MemoryBudget::with_limit(4096))
+        .with_max_frame_bytes(1 << 16);
+    let _ = tight.apply(frame.slice(0..frame.len()));
+    let _ = decode_compat(frame);
+}
+
+#[test]
+fn mutated_frames_never_panic_the_decoder() {
+    let secs: u64 = std::env::var("WIRE_FUZZ_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    let corpus = seed_corpus();
+    let mut rng = XorShift(0x9e37_79b9_7f4a_7c15);
+    let mut rounds = 0u64;
+    while Instant::now() < deadline {
+        let mut bytes = corpus[rng.below(corpus.len())].clone();
+        match rng.below(4) {
+            // Bit flips.
+            0 => {
+                for _ in 0..=rng.below(8) {
+                    let at = rng.below(bytes.len());
+                    bytes[at] ^= 1 << rng.below(8);
+                }
+            }
+            // Truncate.
+            1 => bytes.truncate(rng.below(bytes.len() + 1)),
+            // Splice a window from another corpus entry.
+            2 => {
+                let donor = &corpus[rng.below(corpus.len())];
+                let at = rng.below(bytes.len());
+                let from = rng.below(donor.len());
+                let n = rng.below(64).min(bytes.len() - at).min(donor.len() - from);
+                bytes[at..at + n].copy_from_slice(&donor[from..from + n]);
+            }
+            // Replace with raw noise (keeps short inputs in the mix).
+            _ => {
+                bytes = (0..rng.below(512)).map(|_| rng.next() as u8).collect();
+            }
+        }
+        exercise(&bytes);
+        rounds += 1;
+    }
+    assert!(rounds > 0, "fuzz loop never ran");
+}
