@@ -4,8 +4,10 @@
 //! Three modes, one binary:
 //!
 //! ```text
-//! # run the fixed workload, write BENCH_ingest.json, BENCH_estimate.json
-//! # and BENCH_serve.json (queries under full-rate ingest)
+//! # run the fixed workload, write BENCH_ingest.json, BENCH_estimate.json,
+//! # BENCH_serve.json (queries under full-rate ingest) and
+//! # BENCH_serve_observability.json (same, with /metrics + /status
+//! # scraping armed — CI holds its query rate within 5% of phase 3's)
 //! bench-telemetry --rows 200000 --out results
 //!
 //! # validate a report against the flat schema
@@ -33,8 +35,11 @@ use imp_bench::telemetry::{
     SCHEMA_VERSION,
 };
 use imp_bench::Args;
-use imp_core::wire::WireSnapshot;
-use imp_core::{EstimatorConfig, ImplicationConditions, MetricsRegistry, TraceHandle};
+use imp_core::wire::{FrameKind, WireSnapshot};
+use imp_core::{
+    lint_prometheus, EstimatorConfig, ImplicationConditions, MetricsRegistry, NodeRegistry,
+    TraceHandle,
+};
 
 const USAGE: &str = "bench-telemetry — machine-readable bench reports + regression gate
 
@@ -304,4 +309,124 @@ fn main() {
         Value::F64(total_queries as f64 / elapsed.max(1e-9)),
     );
     write_report(&out, "BENCH_serve.json", &serve);
+
+    // Phase 4 — serve_observability: phase 3's exact workload with the
+    // fleet-observability surface armed — a sized trace ring on the
+    // estimator and a scraper thread rendering the Prometheus
+    // exposition plus a 3-node registry's `/status` JSON every few
+    // milliseconds, the way an aggregator serves monitoring while
+    // ingesting. CI gates this report's `queries_per_sec_under_ingest`
+    // against phase 3's at 5%: observability must stay out of the wait-
+    // free read path's way.
+    let scrape_interval = std::time::Duration::from_millis(5);
+    let mut est = EstimatorConfig::new(cond).seed(seed).build();
+    est.set_trace(TraceHandle::with_capacity(16_384));
+    let metrics = est.metrics().clone();
+    let registry = NodeRegistry::new(10_000);
+    for node in 0..3u64 {
+        registry.record_connect(node, 0);
+        registry.record_frame(node, FrameKind::Full, 4_096, 1, rows / 4, 1);
+    }
+    let reader = est.reader();
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let phase_start = Instant::now();
+    let (elapsed, total_queries, query_hist, scrapes, scrape_hist) = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..query_threads)
+            .map(|_| {
+                let reader = reader.clone();
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut hist = LatencyHistogram::new();
+                    let mut queries = 0u64;
+                    let mut sink = 0.0f64;
+                    while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                        let t = Instant::now();
+                        sink += reader.estimate().f0_sup;
+                        hist.record(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                        queries += 1;
+                    }
+                    std::hint::black_box(sink);
+                    (queries, hist)
+                })
+            })
+            .collect();
+        let scraper = {
+            let (metrics, registry, stop) = (&metrics, &registry, &stop);
+            scope.spawn(move || {
+                let mut hist = LatencyHistogram::new();
+                let mut scrapes = 0u64;
+                let mut sink = 0usize;
+                while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                    let now_ms = phase_start.elapsed().as_millis() as u64;
+                    let t = Instant::now();
+                    let mut body = metrics.prometheus("implicate");
+                    registry.prometheus_into("implicate", now_ms, &mut body);
+                    let status = registry.status_json(now_ms);
+                    hist.record(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                    scrapes += 1;
+                    sink += body.len() + status.len();
+                    std::thread::sleep(scrape_interval);
+                }
+                std::hint::black_box(sink);
+                (scrapes, hist)
+            })
+        };
+
+        let start = Instant::now();
+        for (i, (a, b)) in data.iter().enumerate() {
+            est.update(a, b);
+            if (i + 1) as u64 % publish_every == 0 {
+                est.publish();
+            }
+        }
+        est.publish();
+        let elapsed = start.elapsed().as_secs_f64();
+        stop.store(true, std::sync::atomic::Ordering::Release);
+
+        let mut hist = LatencyHistogram::new();
+        let mut total = 0u64;
+        for worker in workers {
+            let (queries, h) = worker.join().expect("query thread");
+            total += queries;
+            hist.merge(&h);
+        }
+        let (scrapes, scrape_hist) = scraper.join().expect("scrape thread");
+        (elapsed, total, hist, scrapes, scrape_hist)
+    });
+    // One last render outside the timed window, run through the in-tree
+    // linter: the scraped exposition must be well-formed, not just fast.
+    if MetricsRegistry::enabled() {
+        let mut body = metrics.prometheus("implicate");
+        registry.prometheus_into(
+            "implicate",
+            phase_start.elapsed().as_millis() as u64,
+            &mut body,
+        );
+        if let Err(e) = lint_prometheus(&body) {
+            eprintln!("scraped exposition failed the linter: {e}");
+            std::process::exit(1);
+        }
+    }
+    let mut obs = finish_report(
+        base_report("serve_observability", rows, seed),
+        elapsed,
+        rows,
+        &query_hist,
+    );
+    obs.set("bytes_per_tracked_itemset", Value::F64(bytes_per_itemset));
+    obs.set(
+        "snapshot_bytes_per_bitmap",
+        Value::F64(snapshot_bytes_per_bitmap),
+    );
+    obs.set("publish_every", Value::U64(publish_every));
+    obs.set("query_threads", Value::U64(query_threads as u64));
+    obs.set("queries", Value::U64(total_queries));
+    obs.set(
+        "queries_per_sec_under_ingest",
+        Value::F64(total_queries as f64 / elapsed.max(1e-9)),
+    );
+    obs.set("scrapes", Value::U64(scrapes));
+    obs.set("scrape_p50_nanos", Value::U64(scrape_hist.quantile(0.50)));
+    obs.set("scrape_p99_nanos", Value::U64(scrape_hist.quantile(0.99)));
+    write_report(&out, "BENCH_serve_observability.json", &obs);
 }

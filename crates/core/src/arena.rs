@@ -655,7 +655,10 @@ mod tests {
             a.insert_grow_unchecked(1, k);
         }
         assert_eq!(a.len(), 50);
-        assert!(budget.used() > budget.limit(), "transient overshoot allowed");
+        assert!(
+            budget.used() > budget.limit(),
+            "transient overshoot allowed"
+        );
         assert_eq!(budget.used(), a.bytes());
     }
 
@@ -682,7 +685,8 @@ mod tests {
     fn remove_cell_catches_wraparound_stragglers() {
         let mut a = arena(0);
         for k in 0..300u64 {
-            a.try_insert((k % 3) as u32, k.wrapping_mul(0x9E37_79B9)).unwrap();
+            a.try_insert((k % 3) as u32, k.wrapping_mul(0x9E37_79B9))
+                .unwrap();
         }
         let removed = a.remove_cell(1);
         assert_eq!(removed, 100);

@@ -45,7 +45,12 @@ pub struct CellUpdate {
 /// Inserts `(cell, key)` into the arena, shedding the weakest slot of
 /// the most crowded cell for as long as the memory budget keeps the
 /// table full. Returns the slot index and bumps `sheds` per eviction.
-pub(crate) fn insert_with_shed(arena: &mut CellArena, cell: u32, key: u64, sheds: &mut u32) -> usize {
+pub(crate) fn insert_with_shed(
+    arena: &mut CellArena,
+    cell: u32,
+    key: u64,
+    sheds: &mut u32,
+) -> usize {
     loop {
         match arena.try_insert(cell, key) {
             Ok(idx) => return idx,
@@ -167,7 +172,10 @@ mod tests {
         }
 
         fn tracked(&self) -> Vec<u64> {
-            self.arena.slots_of_cell(0).map(|i| self.arena.slot_key(i)).collect()
+            self.arena
+                .slots_of_cell(0)
+                .map(|i| self.arena.slot_key(i))
+                .collect()
         }
     }
 
@@ -294,7 +302,11 @@ mod tests {
         }
         assert!(sheds > 0, "a pinned budget must force shedding");
         assert!(cell.len() < 8, "the table keeps one empty slot");
-        assert_eq!(budget.used(), cell.arena.bytes(), "never grew past the limit");
+        assert_eq!(
+            budget.used(),
+            cell.arena.bytes(),
+            "never grew past the limit"
+        );
         assert!(budget.used() <= budget.limit());
     }
 }

@@ -651,7 +651,7 @@ impl ImplicationEstimator {
     /// [`crate::wire`]): the aggregator merges freshly-decoded edge
     /// replicas into a scratch estimator, then adopts the result into
     /// its long-lived serving writer so existing
-    /// [`EstimateReader`](crate::EstimateReader)s keep following the
+    /// [`EstimateReader`]s keep following the
     /// same channel across re-aggregations — epochs continue, readers
     /// never re-attach. The donor's arenas carry their own budget
     /// accounting with them; the previously held state releases its

@@ -57,6 +57,7 @@ pub mod budget;
 pub mod cell;
 pub mod conditions;
 pub mod estimator;
+pub mod fleet;
 pub mod incremental;
 pub mod metrics;
 pub mod nips;
@@ -75,7 +76,8 @@ pub use conditions::{
     Confidence, ImplicationConditions, ImplicationConditionsBuilder, MultiplicityPolicy,
 };
 pub use estimator::{Estimate, EstimatorConfig, Fringe, ImplicationEstimator};
-pub use metrics::{MetricsHandle, MetricsRegistry};
+pub use fleet::{Log2Hist, NodeHealth, NodeRegistry, NodeStatus};
+pub use metrics::{lint_prometheus, MetricsHandle, MetricsRegistry, WireMetrics};
 pub use nips::{NipsBitmap, UpdateOutcome};
 pub use parallel::{PairHasher, ShardedEstimator};
 pub use query::{ImplicationQuery, QueryEngine, QueryKind};

@@ -542,6 +542,103 @@ impl SnapshotMetrics {
     }
 }
 
+/// Counters of the distributed wire codec (`core::wire`): frames encoded
+/// and decoded by kind, bytes on the wire in each direction, decode
+/// failures broken down by [`WireError`](crate::wire::WireError) variant,
+/// and the resyncs those failures force. These are the series a fleet
+/// monitor watches to tell "edge went quiet" from "edge is shipping
+/// garbage" (DESIGN.md §8.7).
+#[derive(Debug, Default)]
+pub struct WireMetrics {
+    /// `wire.frames_encoded_full` — full state frames encoded for shipping.
+    pub frames_encoded_full: Counter,
+    /// `wire.frames_encoded_delta` — delta frames encoded for shipping.
+    pub frames_encoded_delta: Counter,
+    /// `wire.bytes_out` — total encoded frame bytes produced.
+    pub bytes_out: Counter,
+    /// `wire.frames_decoded_full` — full frames applied successfully.
+    pub frames_decoded_full: Counter,
+    /// `wire.frames_decoded_delta` — delta frames applied successfully.
+    pub frames_decoded_delta: Counter,
+    /// `wire.bytes_in` — total frame bytes consumed by successful applies.
+    pub bytes_in: Counter,
+    /// `wire.decode_errors` — frames rejected by the decoder, any variant.
+    pub decode_errors: Counter,
+    /// `wire.resyncs_forced` — times a decoder dropped held replica state,
+    /// forcing the peer to resend a full frame before deltas resume.
+    pub resyncs_forced: Counter,
+    /// `wire.node_id_conflicts` — frames rejected because a pinned ingest
+    /// connection switched `node_id` mid-stream (spoofing guard).
+    pub node_id_conflicts: Counter,
+    /// `wire.err_bad_magic` — rejects: stream does not open with the magic.
+    pub err_bad_magic: Counter,
+    /// `wire.err_bad_version` — rejects: unsupported wire version.
+    pub err_bad_version: Counter,
+    /// `wire.err_truncated` — rejects: frame shorter than declared.
+    pub err_truncated: Counter,
+    /// `wire.err_corrupt` — rejects: malformed payload or rank-sum
+    /// cross-check failure.
+    pub err_corrupt: Counter,
+    /// `wire.err_frame_too_large` — rejects: declared length above the
+    /// decoder's frame cap.
+    pub err_frame_too_large: Counter,
+    /// `wire.err_budget_exceeded` — rejects: decoded state would overflow
+    /// the receiver's memory budget.
+    pub err_budget_exceeded: Counter,
+    /// `wire.err_delta_without_base` — rejects: delta with no base replica.
+    pub err_delta_without_base: Counter,
+    /// `wire.err_base_epoch_mismatch` — rejects: delta base epoch differs
+    /// from the replica's.
+    pub err_base_epoch_mismatch: Counter,
+    /// `wire.err_config_mismatch` — rejects: frame's estimator config
+    /// differs from the receiver's.
+    pub err_config_mismatch: Counter,
+}
+
+impl WireMetrics {
+    /// All-zero metrics.
+    pub const fn new() -> Self {
+        Self {
+            frames_encoded_full: Counter::new(),
+            frames_encoded_delta: Counter::new(),
+            bytes_out: Counter::new(),
+            frames_decoded_full: Counter::new(),
+            frames_decoded_delta: Counter::new(),
+            bytes_in: Counter::new(),
+            decode_errors: Counter::new(),
+            resyncs_forced: Counter::new(),
+            node_id_conflicts: Counter::new(),
+            err_bad_magic: Counter::new(),
+            err_bad_version: Counter::new(),
+            err_truncated: Counter::new(),
+            err_corrupt: Counter::new(),
+            err_frame_too_large: Counter::new(),
+            err_budget_exceeded: Counter::new(),
+            err_delta_without_base: Counter::new(),
+            err_base_epoch_mismatch: Counter::new(),
+            err_config_mismatch: Counter::new(),
+        }
+    }
+
+    /// Records one decode failure: bumps the total and the per-variant
+    /// counter.
+    pub fn record_error(&self, err: &crate::wire::WireError) {
+        use crate::wire::WireError as E;
+        self.decode_errors.inc();
+        match err {
+            E::BadMagic => self.err_bad_magic.inc(),
+            E::BadVersion(_) => self.err_bad_version.inc(),
+            E::Truncated => self.err_truncated.inc(),
+            E::Corrupt(_) => self.err_corrupt.inc(),
+            E::FrameTooLarge { .. } => self.err_frame_too_large.inc(),
+            E::BudgetExceeded { .. } => self.err_budget_exceeded.inc(),
+            E::DeltaWithoutBase => self.err_delta_without_base.inc(),
+            E::BaseEpochMismatch { .. } => self.err_base_epoch_mismatch.inc(),
+            E::ConfigMismatch(_) => self.err_config_mismatch.inc(),
+        }
+    }
+}
+
 /// The registry: every metric the library records, as plain named fields.
 ///
 /// Obtain one through an estimator's
@@ -558,6 +655,8 @@ pub struct MetricsRegistry {
     pub view: ViewMetrics,
     /// Snapshot encode/decode counters.
     pub snapshot: SnapshotMetrics,
+    /// Distributed wire-codec counters.
+    pub wire: WireMetrics,
 }
 
 impl MetricsRegistry {
@@ -568,6 +667,7 @@ impl MetricsRegistry {
             ingest: IngestMetrics::new(),
             view: ViewMetrics::new(),
             snapshot: SnapshotMetrics::new(),
+            wire: WireMetrics::new(),
         }
     }
 
@@ -587,7 +687,7 @@ impl MetricsRegistry {
         fn push(out: &mut Vec<(String, u64)>, name: impl Into<String>, v: u64) {
             out.push((name.into(), v));
         }
-        let mut out: Vec<(String, u64)> = Vec::with_capacity(32);
+        let mut out: Vec<(String, u64)> = Vec::with_capacity(64);
         macro_rules! c {
             ($name:expr, $v:expr) => {
                 push(&mut out, $name, $v)
@@ -646,6 +746,31 @@ impl MetricsRegistry {
             "snapshot.decode_nanos_p95",
             s.decode_nanos.quantile_bound(0.95)
         );
+        let w = &self.wire;
+        c!("wire.frames_encoded_full", w.frames_encoded_full.get());
+        c!("wire.frames_encoded_delta", w.frames_encoded_delta.get());
+        c!("wire.bytes_out", w.bytes_out.get());
+        c!("wire.frames_decoded_full", w.frames_decoded_full.get());
+        c!("wire.frames_decoded_delta", w.frames_decoded_delta.get());
+        c!("wire.bytes_in", w.bytes_in.get());
+        c!("wire.decode_errors", w.decode_errors.get());
+        c!("wire.resyncs_forced", w.resyncs_forced.get());
+        c!("wire.node_id_conflicts", w.node_id_conflicts.get());
+        c!("wire.err_bad_magic", w.err_bad_magic.get());
+        c!("wire.err_bad_version", w.err_bad_version.get());
+        c!("wire.err_truncated", w.err_truncated.get());
+        c!("wire.err_corrupt", w.err_corrupt.get());
+        c!("wire.err_frame_too_large", w.err_frame_too_large.get());
+        c!("wire.err_budget_exceeded", w.err_budget_exceeded.get());
+        c!(
+            "wire.err_delta_without_base",
+            w.err_delta_without_base.get()
+        );
+        c!(
+            "wire.err_base_epoch_mismatch",
+            w.err_base_epoch_mismatch.get()
+        );
+        c!("wire.err_config_mismatch", w.err_config_mismatch.get());
         out
     }
 
@@ -695,11 +820,82 @@ impl MetricsRegistry {
             || name.ends_with("_p95")
     }
 
+    /// One-line `# HELP` text for a sample name of
+    /// [`MetricsRegistry::samples`]. Unknown names get a generic line so
+    /// the exposition stays well-formed even if a series is added without
+    /// a help entry.
+    fn help_for(name: &str) -> &'static str {
+        if name.starts_with("ingest.shard") {
+            return if name.ends_with(".batches") {
+                "Batches shipped to this ingestion shard's worker"
+            } else {
+                "High-watermark of batches in flight to this shard's worker"
+            };
+        }
+        match name {
+            "estimator.tuples" => "(a, b) pairs ingested (T of paper section 3.1)",
+            "estimator.dirty_multiplicity" => {
+                "Dirty transitions from the (K+1)-th distinct partner"
+            }
+            "estimator.dirty_confidence" => "Dirty transitions from top-c confidence below psi_c",
+            "estimator.dirty_support_gate" => "Dirty transitions materialized at the support gate",
+            "estimator.cells_committed" => "NIPS bitmap cells committed to value 1",
+            "estimator.fringe_evictions" => "Itemset slots recycled or shed by the bounded fringe",
+            "estimator.support_certified" => "Side-fringe cells certified as supported itemsets",
+            "estimator.occupancy" => "Tracked itemset entries currently held",
+            "estimator.occupancy_peak" => "High-watermark of tracked itemset entries",
+            "estimator.merges" => "Estimators merged into this one",
+            "estimator.mem_bytes" => "Bytes of tracked state reserved from the memory budget",
+            "estimator.mem_bytes_peak" => "High-watermark of reserved tracked-state bytes",
+            "estimator.mem_budget" => "Configured memory-budget ceiling in bytes (0 = unlimited)",
+            "estimator.shed_events" => "Slots recycled because the memory budget denied growth",
+            "ingest.shards" => "Configured worker shard count",
+            "ingest.batches_routed" => "Batches shipped across all ingestion shards",
+            "ingest.updates_routed" => "Pre-hashed pairs shipped inside routed batches",
+            "ingest.flushes" => "Explicit partial-buffer flushes",
+            "ingest.idle_waits" => "Times a shard worker blocked on an empty queue",
+            "view.publishes" => "Read views published",
+            "view.epoch" => "Latest published view epoch",
+            "view.published_tuples" => "Tuples applied at the latest published epoch",
+            "view.age_rows" => "Rows ingested beyond the latest view at publication",
+            "view.reads" => "Estimates answered from published views",
+            "snapshot.encodes" => "Snapshots serialized",
+            "snapshot.decodes" => "Snapshots restored",
+            "snapshot.bytes_written" => "Total serialized snapshot bytes",
+            "snapshot.bytes_read" => "Total bytes consumed by snapshot restores",
+            "snapshot.encode_nanos_count" => "Snapshot encodes timed",
+            "snapshot.encode_nanos_sum" => "Total snapshot encode wall-clock nanoseconds",
+            "snapshot.encode_nanos_p95" => "p95 snapshot encode nanoseconds (power-of-two bound)",
+            "snapshot.decode_nanos_count" => "Snapshot decodes timed",
+            "snapshot.decode_nanos_sum" => "Total snapshot decode wall-clock nanoseconds",
+            "snapshot.decode_nanos_p95" => "p95 snapshot decode nanoseconds (power-of-two bound)",
+            "wire.frames_encoded_full" => "Full wire frames encoded for shipping",
+            "wire.frames_encoded_delta" => "Delta wire frames encoded for shipping",
+            "wire.bytes_out" => "Encoded wire frame bytes produced",
+            "wire.frames_decoded_full" => "Full wire frames applied successfully",
+            "wire.frames_decoded_delta" => "Delta wire frames applied successfully",
+            "wire.bytes_in" => "Wire frame bytes consumed by successful applies",
+            "wire.decode_errors" => "Wire frames rejected by the decoder (all variants)",
+            "wire.resyncs_forced" => "Replica resets forcing a full-frame resync",
+            "wire.node_id_conflicts" => "Frames rejected for switching node_id mid-connection",
+            "wire.err_bad_magic" => "Wire rejects: bad magic",
+            "wire.err_bad_version" => "Wire rejects: unsupported version",
+            "wire.err_truncated" => "Wire rejects: truncated frame",
+            "wire.err_corrupt" => "Wire rejects: corrupt payload or rank-sum mismatch",
+            "wire.err_frame_too_large" => "Wire rejects: declared length above the frame cap",
+            "wire.err_budget_exceeded" => "Wire rejects: decoded state would exceed the budget",
+            "wire.err_delta_without_base" => "Wire rejects: delta frame with no base replica",
+            "wire.err_base_epoch_mismatch" => "Wire rejects: delta base epoch mismatch",
+            "wire.err_config_mismatch" => "Wire rejects: estimator config mismatch",
+            _ => "implicate metric (no specific help registered)",
+        }
+    }
+
     /// The full registry in Prometheus text exposition format: for every
-    /// sample of [`MetricsRegistry::samples`], a `# TYPE` line and a
-    /// sample line, with names flattened to `<namespace>_<name>` (dots
-    /// become underscores). With the `metrics` feature off, a single
-    /// comment line saying so.
+    /// sample of [`MetricsRegistry::samples`], a `# HELP` line, a `# TYPE`
+    /// line and a sample line, with names flattened to
+    /// `<namespace>_<name>` (dots become underscores). With the `metrics`
+    /// feature off, a single comment line saying so.
     ///
     /// ```
     /// use imp_core::MetricsRegistry;
@@ -708,8 +904,10 @@ impl MetricsRegistry {
     /// reg.estimator.tuples.add(7);
     /// let text = reg.prometheus("implicate");
     /// if MetricsRegistry::enabled() {
+    ///     assert!(text.contains("# HELP implicate_estimator_tuples "));
     ///     assert!(text.contains("# TYPE implicate_estimator_tuples counter"));
     ///     assert!(text.contains("\nimplicate_estimator_tuples 7\n"));
+    ///     imp_core::metrics::lint_prometheus(&text).expect("lints clean");
     /// } else {
     ///     assert!(text.starts_with('#'));
     /// }
@@ -720,7 +918,7 @@ impl MetricsRegistry {
                 "# {namespace}: metrics compiled out (build with the default `metrics` feature)\n"
             );
         }
-        let mut out = String::with_capacity(4096);
+        let mut out = String::with_capacity(8192);
         for (name, value) in self.samples() {
             let flat: String = name
                 .chars()
@@ -731,12 +929,124 @@ impl MetricsRegistry {
             } else {
                 "counter"
             };
+            let help = Self::help_for(&name);
             out.push_str(&format!(
-                "# TYPE {namespace}_{flat} {kind}\n{namespace}_{flat} {value}\n"
+                "# HELP {namespace}_{flat} {help}\n\
+                 # TYPE {namespace}_{flat} {kind}\n\
+                 {namespace}_{flat} {value}\n"
             ));
         }
         out
     }
+}
+
+/// Validates a Prometheus text-exposition document (the output of
+/// [`MetricsRegistry::prometheus`] and the serve binary's `/metrics`):
+/// every sample line must be preceded by `# HELP` and `# TYPE` metadata
+/// for its metric name, names and label pairs must be well-formed, and
+/// values must parse as numbers. Returns the number of sample lines, or
+/// a message naming the first violating line.
+///
+/// Free-form comment lines (anything starting `#` that is not HELP/TYPE)
+/// are ignored, so a "metrics compiled out" exposition lints clean with
+/// zero samples. Label values are assumed not to contain escaped quotes
+/// or commas — true for everything this crate emits (numeric `node="N"`
+/// labels), and a deliberate simplification over a full lexer.
+pub fn lint_prometheus(text: &str) -> Result<usize, String> {
+    use std::collections::HashSet;
+    fn valid_name(name: &str) -> bool {
+        let mut chars = name.chars();
+        chars
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+            && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+    let mut helped: HashSet<&str> = HashSet::new();
+    let mut typed: HashSet<&str> = HashSet::new();
+    let mut samples = 0usize;
+    for (idx, line) in text.lines().enumerate() {
+        let ln = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("line {ln}: HELP without help text"))?;
+            if !valid_name(name) {
+                return Err(format!("line {ln}: bad metric name {name:?}"));
+            }
+            if help.trim().is_empty() {
+                return Err(format!("line {ln}: empty HELP text for {name}"));
+            }
+            if !helped.insert(name) {
+                return Err(format!("line {ln}: duplicate HELP for {name}"));
+            }
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("line {ln}: TYPE without a kind"))?;
+            if !valid_name(name) {
+                return Err(format!("line {ln}: bad metric name {name:?}"));
+            }
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(format!("line {ln}: unknown TYPE kind {kind:?} for {name}"));
+            }
+            if !helped.contains(name) {
+                return Err(format!("line {ln}: TYPE for {name} precedes its HELP"));
+            }
+            if !typed.insert(name) {
+                return Err(format!("line {ln}: duplicate TYPE for {name}"));
+            }
+        } else if line.starts_with('#') {
+            continue;
+        } else {
+            let (series, value) = line
+                .rsplit_once(' ')
+                .ok_or_else(|| format!("line {ln}: sample without a value: {line:?}"))?;
+            let (name, labels) = match series.split_once('{') {
+                Some((n, l)) => (n, Some(l)),
+                None => (series, None),
+            };
+            if !valid_name(name) {
+                return Err(format!("line {ln}: bad metric name {name:?}"));
+            }
+            if let Some(labels) = labels {
+                let body = labels
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("line {ln}: unterminated label set on {name}"))?;
+                for pair in body.split(',') {
+                    let (key, val) = pair
+                        .split_once('=')
+                        .ok_or_else(|| format!("line {ln}: label without '=' on {name}"))?;
+                    if !valid_name(key) {
+                        return Err(format!("line {ln}: bad label name {key:?} on {name}"));
+                    }
+                    let inner = val
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .ok_or_else(|| format!("line {ln}: unquoted label value on {name}"))?;
+                    if inner.contains('"') {
+                        return Err(format!("line {ln}: stray quote in label value on {name}"));
+                    }
+                }
+            }
+            if !typed.contains(name) {
+                return Err(format!("line {ln}: sample for {name} without a TYPE"));
+            }
+            if !helped.contains(name) {
+                return Err(format!("line {ln}: sample for {name} without a HELP"));
+            }
+            if !matches!(value, "NaN" | "+Inf" | "-Inf") && value.parse::<f64>().is_err() {
+                return Err(format!("line {ln}: bad sample value {value:?} for {name}"));
+            }
+            samples += 1;
+        }
+    }
+    Ok(samples)
 }
 
 /// A cheaply-clonable handle to one [`MetricsRegistry`]. Clones share the
@@ -962,10 +1272,77 @@ mod tests {
             assert!(text.contains("# TYPE implicate_estimator_occupancy_peak gauge"));
             assert!(text.contains("# TYPE implicate_ingest_shards gauge"));
             assert!(text.contains("# TYPE implicate_snapshot_encode_nanos_p95 gauge"));
+            assert!(text.contains("# TYPE implicate_wire_decode_errors counter"));
+            // Every series carries HELP metadata, and the whole document
+            // satisfies the in-tree exposition linter.
+            for (name, _) in reg.samples() {
+                let flat: String = name
+                    .chars()
+                    .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                    .collect();
+                assert!(
+                    text.contains(&format!("# HELP implicate_{flat} ")),
+                    "missing HELP for {name}"
+                );
+            }
+            let n = lint_prometheus(&text).expect("exposition lints clean");
+            assert_eq!(n, reg.samples().len());
         } else {
             assert!(text.starts_with('#'), "{text}");
             assert!(text.contains("compiled out"), "{text}");
+            assert_eq!(lint_prometheus(&text), Ok(0));
         }
+    }
+
+    #[test]
+    fn wire_metrics_route_errors_per_variant() {
+        use crate::wire::WireError;
+        let w = WireMetrics::new();
+        w.record_error(&WireError::BadMagic);
+        w.record_error(&WireError::Corrupt("rank sums"));
+        w.record_error(&WireError::Corrupt("bitmap blob"));
+        w.record_error(&WireError::BaseEpochMismatch {
+            declared: 3,
+            have: 5,
+        });
+        if MetricsRegistry::enabled() {
+            assert_eq!(w.decode_errors.get(), 4);
+            assert_eq!(w.err_bad_magic.get(), 1);
+            assert_eq!(w.err_corrupt.get(), 2);
+            assert_eq!(w.err_base_epoch_mismatch.get(), 1);
+            assert_eq!(w.err_truncated.get(), 0);
+        }
+    }
+
+    #[test]
+    fn lint_accepts_labeled_series_and_rejects_malformed_documents() {
+        let good = "# HELP ns_node_frames_total Frames per node\n\
+                    # TYPE ns_node_frames_total counter\n\
+                    ns_node_frames_total{node=\"0\"} 12\n\
+                    ns_node_frames_total{node=\"1\"} 7\n\
+                    # free-form comment\n\
+                    # HELP ns_up Up flag\n\
+                    # TYPE ns_up gauge\n\
+                    ns_up 1\n";
+        assert_eq!(lint_prometheus(good), Ok(3));
+
+        // A sample with no preceding TYPE.
+        let e = lint_prometheus("# HELP ns_x x\nns_x 1\n").unwrap_err();
+        assert!(e.contains("without a TYPE"), "{e}");
+        // TYPE before HELP violates the emission convention.
+        let e = lint_prometheus("# TYPE ns_x counter\nns_x 1\n").unwrap_err();
+        assert!(e.contains("precedes its HELP"), "{e}");
+        // Unquoted label value.
+        let bad = "# HELP ns_x x\n# TYPE ns_x counter\nns_x{node=3} 1\n";
+        assert!(lint_prometheus(bad).unwrap_err().contains("unquoted"));
+        // Garbage value.
+        let bad = "# HELP ns_x x\n# TYPE ns_x counter\nns_x pony\n";
+        assert!(lint_prometheus(bad)
+            .unwrap_err()
+            .contains("bad sample value"));
+        // Unknown kind.
+        let bad = "# HELP ns_x x\n# TYPE ns_x teapot\nns_x 1\n";
+        assert!(lint_prometheus(bad).unwrap_err().contains("unknown TYPE"));
     }
 
     #[test]

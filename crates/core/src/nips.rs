@@ -361,7 +361,11 @@ impl NipsBitmap {
     /// until a non-implication is discovered. Memory is `O(F0)` — this is
     /// the accuracy yard-stick, not the constrained algorithm.
     pub fn unbounded(cond: ImplicationConditions) -> Self {
-        Self::build_with(cond, CapacityPolicy::unbounded(), &MemoryBudget::unlimited())
+        Self::build_with(
+            cond,
+            CapacityPolicy::unbounded(),
+            &MemoryBudget::unlimited(),
+        )
     }
 
     /// Creates a bounded bitmap with an explicit capacity head-room
@@ -1052,8 +1056,7 @@ mod tests {
         let floor =
             crate::arena::CellArena::initial_bytes(2) + crate::arena::CellArena::initial_bytes(0);
         let budget = MemoryBudget::with_limit(floor);
-        let mut bm =
-            NipsBitmap::build_with(cond, CapacityPolicy::bounded(4, 2), &budget);
+        let mut bm = NipsBitmap::build_with(cond, CapacityPolicy::bounded(4, 2), &budget);
         let mut sheds = 0u64;
         for a in 0..5000u64 {
             let h = MixHasher::new(9).hash_u64(a);
@@ -1071,8 +1074,11 @@ mod tests {
         // perturb a single bit of bitmap state.
         let cond = ImplicationConditions::one_to_c(2, 0.5, 2);
         let mut free = NipsBitmap::bounded(cond, 4);
-        let mut capped =
-            NipsBitmap::build_with(cond, CapacityPolicy::bounded(4, 2), &MemoryBudget::with_limit(1 << 30));
+        let mut capped = NipsBitmap::build_with(
+            cond,
+            CapacityPolicy::bounded(4, 2),
+            &MemoryBudget::with_limit(1 << 30),
+        );
         for a in 0..3000u64 {
             feed(&mut free, a, a % 3);
             feed(&mut capped, a, a % 3);

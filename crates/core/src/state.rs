@@ -726,7 +726,9 @@ mod tests {
                 let idx = arena.try_insert(0, 7).unwrap();
                 let mut x = 11u64;
                 for _ in 0..200 {
-                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     let b = x >> 60; // 16 partner values → collisions + churn
                     let via_item = item.update(b, &cnd);
                     let via_slot = update_state(&mut arena.slot_mut(idx), b, &cnd);

@@ -41,7 +41,10 @@
 //! router→worker channels; `span` records coarse phase durations;
 //! `audit_sample` records online ground-truth relative error;
 //! `view_published` records epochs going live on the concurrent-read
-//! channel (see [`crate::view`]).
+//! channel (see [`crate::view`]); `frame_encoded`, `frame_rejected` and
+//! `resync_forced` record distributed wire-codec traffic and failures
+//! (see [`crate::wire`] and the fleet-observability story in DESIGN.md
+//! §8.7).
 //!
 //! ```
 //! use imp_core::{EstimatorConfig, ImplicationConditions, TraceEvent, TraceHandle};
@@ -244,6 +247,38 @@ pub enum TraceEvent {
         /// Stream position (tuples applied) captured in the view.
         position: u64,
     },
+    /// A wire frame was encoded for shipping (see [`crate::wire`]).
+    FrameEncoded {
+        /// The sender's node id stamped into the frame header.
+        node: u64,
+        /// Full or delta frame.
+        kind: crate::wire::FrameKind,
+        /// Encoded frame length in bytes.
+        bytes: u64,
+        /// The state epoch the frame carries (truncated to
+        /// [`POSITION_BITS`]).
+        epoch: u64,
+    },
+    /// A wire frame was rejected — by the decoder, or by the aggregator's
+    /// connection guard (node-id switch).
+    FrameRejected {
+        /// The node id the frame claimed (0 if the header never parsed).
+        node: u64,
+        /// Rejection code: [`WireError::code`](crate::wire::WireError::code)
+        /// values, or [`crate::wire::REJECT_NODE_ID_SWITCH`]. Rendered via
+        /// [`crate::wire::reject_code_name`].
+        error: u8,
+        /// The epoch the frame declared (truncated, 0 if unparsed).
+        epoch: u64,
+    },
+    /// A decoder dropped its held replica state, forcing the peer to
+    /// resend a full frame before deltas resume.
+    ResyncForced {
+        /// The node id of the last frame the decoder saw (0 if none).
+        node: u64,
+        /// The replica epoch discarded (truncated).
+        epoch: u64,
+    },
 }
 
 impl TraceEvent {
@@ -285,6 +320,27 @@ impl TraceEvent {
             } => [w0(7, 0, position), exact.to_bits(), rel_error.to_bits()],
             TraceEvent::BudgetPressure { shed, position } => [w0(8, 0, position), shed as u64, 0],
             TraceEvent::ViewPublished { epoch, position } => [w0(9, 0, position), epoch, 0],
+            TraceEvent::FrameEncoded {
+                node,
+                kind,
+                bytes,
+                epoch,
+            } => [
+                w0(
+                    10,
+                    match kind {
+                        crate::wire::FrameKind::Full => 0,
+                        crate::wire::FrameKind::Delta => 1,
+                    },
+                    epoch,
+                ),
+                node,
+                bytes,
+            ],
+            TraceEvent::FrameRejected { node, error, epoch } => {
+                [w0(11, error as u64, epoch), node, 0]
+            }
+            TraceEvent::ResyncForced { node, epoch } => [w0(12, 0, epoch), node, 0],
         }
     }
 
@@ -333,6 +389,25 @@ impl TraceEvent {
             9 => TraceEvent::ViewPublished {
                 epoch: w[1],
                 position,
+            },
+            10 => TraceEvent::FrameEncoded {
+                node: w[1],
+                kind: match subtag {
+                    0 => crate::wire::FrameKind::Full,
+                    1 => crate::wire::FrameKind::Delta,
+                    _ => return None,
+                },
+                bytes: w[2],
+                epoch: position,
+            },
+            11 => TraceEvent::FrameRejected {
+                node: w[1],
+                error: subtag as u8,
+                epoch: position,
+            },
+            12 => TraceEvent::ResyncForced {
+                node: w[1],
+                epoch: position,
             },
             _ => return None,
         })
@@ -408,6 +483,25 @@ impl TraceEvent {
             TraceEvent::ViewPublished { epoch, position } => format!(
                 "{{\"seq\":{seq},\"event\":\"view_published\",\"epoch\":{epoch},\
                  \"position\":{position}}}"
+            ),
+            TraceEvent::FrameEncoded {
+                node,
+                kind,
+                bytes,
+                epoch,
+            } => format!(
+                "{{\"seq\":{seq},\"event\":\"frame_encoded\",\"node\":{node},\
+                 \"kind\":\"{}\",\"bytes\":{bytes},\"epoch\":{epoch}}}",
+                kind.name()
+            ),
+            TraceEvent::FrameRejected { node, error, epoch } => format!(
+                "{{\"seq\":{seq},\"event\":\"frame_rejected\",\"node\":{node},\
+                 \"error\":\"{}\",\"epoch\":{epoch}}}",
+                crate::wire::reject_code_name(error)
+            ),
+            TraceEvent::ResyncForced { node, epoch } => format!(
+                "{{\"seq\":{seq},\"event\":\"resync_forced\",\"node\":{node},\
+                 \"epoch\":{epoch}}}"
             ),
         }
     }
@@ -876,6 +970,18 @@ mod tests {
                 epoch: 17,
                 position: 1002,
             },
+            TraceEvent::FrameEncoded {
+                node: 3,
+                kind: crate::wire::FrameKind::Delta,
+                bytes: 512,
+                epoch: 9,
+            },
+            TraceEvent::FrameRejected {
+                node: 3,
+                error: 3, // WireError::Corrupt
+                epoch: 10,
+            },
+            TraceEvent::ResyncForced { node: 3, epoch: 10 },
         ];
         for e in all {
             h.record(|| e);
@@ -986,14 +1092,35 @@ mod tests {
             exact: 0.0,
             rel_error: f64::INFINITY,
         });
+        h.record(|| TraceEvent::FrameEncoded {
+            node: 7,
+            kind: crate::wire::FrameKind::Full,
+            bytes: 2048,
+            epoch: 4,
+        });
+        h.record(|| TraceEvent::FrameRejected {
+            node: 7,
+            error: 8, // WireError::ConfigMismatch
+            epoch: 5,
+        });
+        h.record(|| TraceEvent::ResyncForced { node: 7, epoch: 5 });
         if let Some(journal) = h.journal() {
             let jsonl = journal.to_jsonl();
             assert!(jsonl.contains("\"reason\":\"support_gate\""), "{jsonl}");
+            assert!(
+                jsonl.contains("\"event\":\"frame_encoded\",\"node\":7,\"kind\":\"full\""),
+                "{jsonl}"
+            );
+            assert!(jsonl.contains("\"error\":\"config_mismatch\""), "{jsonl}");
+            assert!(
+                jsonl.contains("\"event\":\"resync_forced\",\"node\":7,\"epoch\":5"),
+                "{jsonl}"
+            );
             // Non-finite floats must render as null, not break JSON.
             assert!(jsonl.contains("\"rel_error\":null"), "{jsonl}");
             let last = jsonl.lines().last().expect("summary line");
             assert!(last.contains("\"event\":\"journal_summary\""), "{last}");
-            assert!(last.contains("\"recorded\":2"), "{last}");
+            assert!(last.contains("\"recorded\":5"), "{last}");
         } else {
             assert!(!TraceHandle::enabled());
         }

@@ -157,6 +157,56 @@ pub enum WireError {
     ConfigMismatch(&'static str),
 }
 
+impl WireError {
+    /// Stable numeric code of the variant, used to pack rejections into
+    /// trace events ([`TraceEvent::FrameRejected`](crate::TraceEvent))
+    /// and to key per-variant counters. Codes are append-only.
+    pub fn code(&self) -> u8 {
+        match self {
+            WireError::BadMagic => 0,
+            WireError::BadVersion(_) => 1,
+            WireError::Truncated => 2,
+            WireError::Corrupt(_) => 3,
+            WireError::FrameTooLarge { .. } => 4,
+            WireError::BudgetExceeded { .. } => 5,
+            WireError::DeltaWithoutBase => 6,
+            WireError::BaseEpochMismatch { .. } => 7,
+            WireError::ConfigMismatch(_) => 8,
+        }
+    }
+
+    /// Stable snake_case name of the variant (the flight-recorder and
+    /// `/status` vocabulary).
+    pub fn name(&self) -> &'static str {
+        reject_code_name(self.code())
+    }
+}
+
+/// Rejection code for a frame that switched `node_id` mid-connection —
+/// not a [`WireError`] (the frame itself may be well-formed) but part of
+/// the same [`reject_code_name`] vocabulary, recorded by the serve
+/// binary's ingest connection guard.
+pub const REJECT_NODE_ID_SWITCH: u8 = 100;
+
+/// Stable snake_case name for a rejection code: the
+/// [`WireError::code`] values plus [`REJECT_NODE_ID_SWITCH`]. Unknown
+/// codes (from a newer writer) render as `"unknown"`.
+pub fn reject_code_name(code: u8) -> &'static str {
+    match code {
+        0 => "bad_magic",
+        1 => "bad_version",
+        2 => "truncated",
+        3 => "corrupt",
+        4 => "frame_too_large",
+        5 => "budget_exceeded",
+        6 => "delta_without_base",
+        7 => "base_epoch_mismatch",
+        8 => "config_mismatch",
+        REJECT_NODE_ID_SWITCH => "node_id_switch",
+        _ => "unknown",
+    }
+}
+
 impl std::fmt::Display for WireError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -173,7 +223,10 @@ impl std::fmt::Display for WireError {
             ),
             WireError::DeltaWithoutBase => write!(f, "delta frame but no base state held"),
             WireError::BaseEpochMismatch { declared, have } => {
-                write!(f, "delta declares base epoch {declared}, decoder holds {have}")
+                write!(
+                    f,
+                    "delta declares base epoch {declared}, decoder holds {have}"
+                )
             }
             WireError::ConfigMismatch(what) => write!(f, "configuration mismatch: {what}"),
         }
@@ -203,6 +256,16 @@ pub enum FrameKind {
     /// declared base epoch; applying it requires the receiver to hold
     /// exactly that base.
     Delta,
+}
+
+impl FrameKind {
+    /// Stable lowercase name used in trace events and `/status` JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            FrameKind::Full => "full",
+            FrameKind::Delta => "delta",
+        }
+    }
 }
 
 /// The parsed fixed part of a frame — everything before the body.
@@ -399,6 +462,13 @@ pub struct WireSnapshot {
     seed_a: u64,
     seed_b: u64,
     bitmaps: Vec<Bytes>,
+    /// Inherited from the captured estimator: encode-side counters
+    /// (`wire.frames_encoded_*`, `wire.bytes_out`) land in its registry.
+    metrics: MetricsHandle,
+    /// Inherited likewise: every encoded frame journals a
+    /// [`TraceEvent::FrameEncoded`](crate::TraceEvent) if a journal is
+    /// attached.
+    trace: TraceHandle,
 }
 
 impl WireSnapshot {
@@ -430,6 +500,8 @@ impl WireSnapshot {
             seed_a: hasher_a.seed(),
             seed_b: hasher_b.seed(),
             bitmaps,
+            metrics: est.metrics().clone(),
+            trace: est.trace().clone(),
         }
     }
 
@@ -505,7 +577,10 @@ impl WireSnapshot {
         self.frame(FrameKind::Delta, node_id, base.epoch, &body)
     }
 
-    /// Assembles header + body into one contiguous frame.
+    /// Assembles header + body into one contiguous frame, recording the
+    /// encode in the captured estimator's metrics and trace journal. A
+    /// delta that fell back to a full frame records as full — the
+    /// counters describe what actually went on the wire.
     fn frame(&self, kind: FrameKind, node_id: u64, base_epoch: u64, body: &[u8]) -> Bytes {
         let mut out = BytesMut::with_capacity(body.len() + 8 * MAX_VARINT_BYTES);
         out.put_u32_le(WIRE_MAGIC);
@@ -525,7 +600,21 @@ impl WireSnapshot {
         }
         put_varint(&mut out, body.len() as u64);
         out.extend_from_slice(body);
-        out.freeze()
+        let frame = out.freeze();
+        let w = &self.metrics.wire;
+        match kind {
+            FrameKind::Full => w.frames_encoded_full.inc(),
+            FrameKind::Delta => w.frames_encoded_delta.inc(),
+        }
+        w.bytes_out.add(frame.len() as u64);
+        let (bytes, epoch) = (frame.len() as u64, self.epoch);
+        self.trace.record(|| crate::TraceEvent::FrameEncoded {
+            node: node_id,
+            kind,
+            bytes,
+            epoch,
+        });
+        frame
     }
 }
 
@@ -553,6 +642,11 @@ pub struct WireDecoder {
     budget: Option<MemoryBudget>,
     max_frame: Option<usize>,
     expect: Option<(ImplicationConditions, usize, u64, u64)>,
+    metrics: MetricsHandle,
+    trace: TraceHandle,
+    /// Node id of the last frame whose header parsed — identity for
+    /// resync trace events (0 until a header is seen).
+    last_node: u64,
 }
 
 impl WireDecoder {
@@ -577,6 +671,28 @@ impl WireDecoder {
     #[must_use]
     pub fn with_max_frame_bytes(mut self, limit: usize) -> Self {
         self.max_frame = Some(limit);
+        self
+    }
+
+    /// Routes decode counters (`wire.frames_decoded_*`, `wire.bytes_in`,
+    /// the per-variant `wire.err_*` family, `wire.resyncs_forced`) into
+    /// the given registry instead of a private one — an aggregator
+    /// passes its serving estimator's handle so every per-edge decoder
+    /// aggregates into the one scraped registry.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: MetricsHandle) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Attaches a trace journal: rejected frames record
+    /// [`TraceEvent::FrameRejected`](crate::TraceEvent) and forced
+    /// resyncs record [`TraceEvent::ResyncForced`](crate::TraceEvent),
+    /// which is what the serve binary's flight recorder drains on
+    /// failure.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceHandle) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -613,8 +729,18 @@ impl WireDecoder {
         self.epoch
     }
 
-    /// Drops any held state; the next frame must be full.
+    /// Drops any held state; the next frame must be full. Counts a
+    /// forced resync (and journals it) only when state was actually
+    /// held — calling `reset` on an already-empty decoder is free, so
+    /// belt-and-braces resets after an error that internally reset do
+    /// not double-count.
     pub fn reset(&mut self) {
+        if self.replica.is_some() || self.epoch.is_some() {
+            self.metrics.wire.resyncs_forced.inc();
+            let (node, epoch) = (self.last_node, self.epoch.unwrap_or(0));
+            self.trace
+                .record(|| crate::TraceEvent::ResyncForced { node, epoch });
+        }
         self.replica = None;
         self.epoch = None;
     }
@@ -622,7 +748,47 @@ impl WireDecoder {
     /// Applies one complete frame (exactly one — reassemble from the
     /// stream with [`peek_frame`] first) and returns its parsed header.
     /// See the type-level docs for the state machine on errors.
+    ///
+    /// Successful applies count `wire.frames_decoded_{full,delta}` and
+    /// `wire.bytes_in`; failures count `wire.decode_errors` plus the
+    /// per-variant `wire.err_*` counter and journal a
+    /// [`TraceEvent::FrameRejected`](crate::TraceEvent) carrying the
+    /// claimed node id and epoch (0 if the header never parsed).
     pub fn apply(&mut self, frame: Bytes) -> Result<FrameHeader, WireError> {
+        // Re-parse for identity so the error path can name the claimed
+        // sender even when the failure happens deep in the body; header
+        // parsing is a few dozen varint reads, noise next to the body.
+        let peeked = parse_header(&frame).ok();
+        if let Some(h) = &peeked {
+            self.last_node = h.node_id;
+        }
+        let frame_len = frame.len() as u64;
+        let result = self.apply_inner(frame);
+        let w = &self.metrics.wire;
+        match &result {
+            Ok(header) => {
+                match header.kind {
+                    FrameKind::Full => w.frames_decoded_full.inc(),
+                    FrameKind::Delta => w.frames_decoded_delta.inc(),
+                }
+                w.bytes_in.add(frame_len);
+            }
+            Err(e) => {
+                w.record_error(e);
+                let (node, epoch) = peeked.map_or((0, 0), |h| (h.node_id, h.epoch));
+                let code = e.code();
+                self.trace.record(|| crate::TraceEvent::FrameRejected {
+                    node,
+                    error: code,
+                    epoch,
+                });
+            }
+        }
+        result
+    }
+
+    /// [`WireDecoder::apply`] without the instrumentation wrapper.
+    fn apply_inner(&mut self, frame: Bytes) -> Result<FrameHeader, WireError> {
         let header = parse_header(&frame)?;
         let limit = self.max_frame.unwrap_or(DEFAULT_MAX_FRAME_BYTES);
         if header.body_len > limit as u64 {
@@ -741,7 +907,7 @@ impl WireDecoder {
         }
         let mask = body.slice(0..mask_len);
         body.advance(mask_len);
-        if m % 8 != 0 && mask[mask_len - 1] >> (m % 8) != 0 {
+        if !m.is_multiple_of(8) && mask[mask_len - 1] >> (m % 8) != 0 {
             return Err(WireError::Corrupt("mask padding"));
         }
         let budget = replica.memory_budget().clone();
@@ -1141,6 +1307,73 @@ mod tests {
             dec.apply(tampered.full_frame(0)),
             Err(WireError::Corrupt("rank sums"))
         );
+    }
+
+    #[test]
+    fn codec_metrics_and_trace_cover_encode_decode_and_errors() {
+        use crate::metrics::MetricsRegistry;
+        use crate::{MetricsHandle, TraceEvent, TraceHandle};
+
+        let mut est = edge(17);
+        run(&mut est, 0..1_500);
+        let base = WireSnapshot::capture(&est, 1);
+        run(&mut est, 1_500..1_600);
+        let next = WireSnapshot::capture(&est, 2);
+        let full = base.full_frame(3);
+        let delta = next.delta_frame(&base, 3);
+        if MetricsRegistry::enabled() {
+            // Encode side: counters land in the captured estimator's
+            // registry (both snapshots share it).
+            let w = &est.metrics().wire;
+            assert_eq!(w.frames_encoded_full.get(), 1);
+            assert_eq!(w.frames_encoded_delta.get(), 1);
+            assert_eq!(w.bytes_out.get(), (full.len() + delta.len()) as u64);
+        }
+
+        let metrics = MetricsHandle::new();
+        let trace = TraceHandle::with_capacity(64);
+        let mut dec = WireDecoder::new()
+            .with_metrics(metrics.clone())
+            .with_trace(trace.clone());
+        dec.apply(full.clone()).expect("full applies");
+        dec.apply(delta.clone()).expect("delta applies");
+        // Replay of the same delta: base epoch no longer matches; the
+        // internal reset fires, and a second explicit reset is free.
+        let err = dec.apply(delta).expect_err("stale delta");
+        assert_eq!(err.code(), 7);
+        assert_eq!(err.name(), "base_epoch_mismatch");
+        dec.reset(); // already empty — must not double-count
+        if MetricsRegistry::enabled() {
+            let w = &metrics.wire;
+            assert_eq!(w.frames_decoded_full.get(), 1);
+            assert_eq!(w.frames_decoded_delta.get(), 1);
+            assert!(w.bytes_in.get() > 0);
+            assert_eq!(w.decode_errors.get(), 1);
+            assert_eq!(w.err_base_epoch_mismatch.get(), 1);
+            assert_eq!(w.resyncs_forced.get(), 1);
+        }
+        if let Some(journal) = trace.journal() {
+            let events = journal.events();
+            assert!(events.iter().any(|e| matches!(
+                e.event,
+                TraceEvent::FrameRejected {
+                    node: 3,
+                    error: 7,
+                    epoch: 2
+                }
+            )));
+            assert!(events
+                .iter()
+                .any(|e| matches!(e.event, TraceEvent::ResyncForced { node: 3, .. })));
+        }
+    }
+
+    #[test]
+    fn reject_code_names_are_stable() {
+        assert_eq!(WireError::BadMagic.code(), 0);
+        assert_eq!(WireError::Truncated.name(), "truncated");
+        assert_eq!(reject_code_name(REJECT_NODE_ID_SWITCH), "node_id_switch");
+        assert_eq!(reject_code_name(200), "unknown");
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! Crash/decode-error flight recorder (DESIGN.md §8.7).
+//!
+//! When the service hits a decode error, poisons a replica, or panics,
+//! the in-memory seqlock trace ring holds the last N events leading up
+//! to the failure — exactly the context that is gone by the time anyone
+//! attaches a debugger. The recorder drains that ring to a bounded set
+//! of JSONL files under `--flight-dir`:
+//!
+//! ```text
+//! flight-<unix_ms>-<seq>-<reason>.jsonl
+//! ```
+//!
+//! Line 1 is a context object (`{"reason":...,...}`); the remaining
+//! lines are the trace journal rendered by
+//! [`TraceJournal::to_jsonl`](implicate::TraceJournal::to_jsonl),
+//! ending with its `journal_summary` line. Only the newest
+//! `--flight-keep` recordings are retained — the recorder prunes older
+//! ones after each write, so a crash loop cannot fill the disk.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Renders `s` as a complete JSON string literal, quotes included.
+pub fn json_string(s: &str) -> String {
+    format!("\"{}\"", crate::status::json_escape(s))
+}
+
+/// Bounded JSONL dump site for failure context + trace-ring drains.
+pub struct FlightRecorder {
+    dir: PathBuf,
+    keep: usize,
+    seq: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// Creates (if needed) `dir` and a recorder keeping the newest
+    /// `keep` recordings (clamped to ≥ 1).
+    pub fn new(dir: &str, keep: usize) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        Ok(Self {
+            dir: PathBuf::from(dir),
+            keep: keep.max(1),
+            seq: AtomicU64::new(0),
+        })
+    }
+
+    /// Writes one recording: `context_json` (one complete JSON object)
+    /// on the first line, then the optional trace-journal JSONL drain.
+    /// Returns the path written, or `None` if the write failed (the
+    /// recorder must never take the service down with it).
+    pub fn record(
+        &self,
+        reason: &str,
+        context_json: &str,
+        journal_jsonl: Option<&str>,
+    ) -> Option<PathBuf> {
+        let unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let slug: String = reason
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
+            .take(32)
+            .collect();
+        let path = self
+            .dir
+            .join(format!("flight-{unix_ms:013}-{seq:04}-{slug}.jsonl"));
+        let mut body =
+            String::with_capacity(context_json.len() + journal_jsonl.map_or(0, str::len) + 2);
+        body.push_str(context_json.trim_end());
+        body.push('\n');
+        if let Some(jsonl) = journal_jsonl {
+            body.push_str(jsonl);
+            if !jsonl.is_empty() && !jsonl.ends_with('\n') {
+                body.push('\n');
+            }
+        }
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("implicate-serve: flight recording {}: {e}", path.display());
+            return None;
+        }
+        self.prune();
+        Some(path)
+    }
+
+    /// Deletes the oldest recordings beyond the keep budget. Filenames
+    /// embed a zero-padded unix-ms timestamp, so lexicographic name
+    /// order is age order.
+    fn prune(&self) {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        let mut names: Vec<String> = entries
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.starts_with("flight-") && n.ends_with(".jsonl"))
+            .collect();
+        if names.len() <= self.keep {
+            return;
+        }
+        names.sort();
+        let excess = names.len() - self.keep;
+        for name in &names[..excess] {
+            let _ = std::fs::remove_file(self.dir.join(name));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> String {
+        let dir = std::env::temp_dir().join(format!(
+            "implicate-flight-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir.to_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn recordings_are_jsonl_and_pruned_to_keep_budget() {
+        let dir = temp_dir("prune");
+        let rec = FlightRecorder::new(&dir, 3).unwrap();
+        for i in 0..5 {
+            let ctx = format!("{{\"reason\":\"decode_error\",\"i\":{i}}}");
+            let path = rec
+                .record("decode_error", &ctx, Some("{\"kind\":\"x\"}\n"))
+                .expect("recording written");
+            assert!(path.exists());
+            let text = std::fs::read_to_string(&path).unwrap();
+            for line in text.lines() {
+                assert!(
+                    line.starts_with('{') && line.ends_with('}'),
+                    "not a JSON object line: {line:?}"
+                );
+            }
+            assert!(text
+                .lines()
+                .next()
+                .unwrap()
+                .contains("\"reason\":\"decode_error\""));
+        }
+        let count = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().starts_with("flight-"))
+            .count();
+        assert_eq!(count, 3, "keep-last-N rotation");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reason_is_sanitized_into_the_filename() {
+        let dir = temp_dir("slug");
+        let rec = FlightRecorder::new(&dir, 2).unwrap();
+        let path = rec
+            .record("Decode/Error!", "{\"reason\":\"x\"}", None)
+            .unwrap();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(name.contains("decode_error_"), "{name}");
+        assert!(name.starts_with("flight-") && name.ends_with(".jsonl"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn json_string_quotes_and_escapes() {
+        assert_eq!(json_string("a\"b"), "\"a\\\"b\"");
+    }
+}

@@ -17,8 +17,11 @@
 //!   and a batch run produce bit-identical estimates.
 //! * **Queries** are HTTP/1.0 on `--query`:
 //!   `GET /estimate` (JSON, includes raw f64 bit patterns for exact
-//!   comparison), `GET /metrics` (Prometheus exposition),
-//!   `GET /snapshot` (latest checkpoint bytes, VERSION 2 codec),
+//!   comparison), `GET /status` (role, uptime, and the fleet/edge
+//!   observability block — see DESIGN.md §8.7), `GET /metrics`
+//!   (Prometheus exposition with `# HELP`/`# TYPE` metadata, plus
+//!   per-node fleet series on an aggregator and `edge_*` series on an
+//!   edge), `GET /snapshot` (latest checkpoint bytes, VERSION 2 codec),
 //!   `GET /healthz`, and `POST /shutdown` (graceful: drain, final
 //!   publish, checkpoint, exit).
 //! * **Restart** with the same `--checkpoint` file resumes from the
@@ -47,6 +50,18 @@
 //!   after every applied frame. For bitmap-disjoint edge partitions the
 //!   merged estimate is bit-for-bit identical to a single-node run over
 //!   the union stream.
+//!
+//! # Fleet observability
+//!
+//! An aggregator tracks every edge in a per-node registry (last-frame
+//! age, applied epoch, frame/byte/error counters) and derives a health
+//! state per node — `live`, `lagging`, `stale` (thresholds from
+//! `--stale-after`), or `poisoned` after a rejected frame. The registry
+//! is served as JSON on `GET /status` and as labeled Prometheus series
+//! on `GET /metrics`; edges symmetrically report upstream connectivity,
+//! backoff, ship latency, and unshipped backlog. With `--flight-dir`,
+//! any decode error or panic drains the in-memory trace ring to a
+//! bounded JSONL flight recording for post-mortem analysis.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -57,12 +72,18 @@ use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use implicate::core::wire::{peek_frame, WireDecoder, WireSnapshot, DEFAULT_MAX_FRAME_BYTES};
+use implicate::core::fleet::{NodeRegistry, DEFAULT_STALE_AFTER_MS};
+use implicate::core::wire::{
+    peek_frame, WireDecoder, WireSnapshot, DEFAULT_MAX_FRAME_BYTES, REJECT_NODE_ID_SWITCH,
+};
 use implicate::sketch::hash::MixHasher;
 use implicate::{
     EstimateReader, EstimatorConfig, Fringe, ImplicationConditions, ImplicationEstimator,
-    MetricsHandle, MultiplicityPolicy, PairHasher, ShardedEstimator,
+    MetricsHandle, MultiplicityPolicy, PairHasher, ShardedEstimator, TraceEvent, TraceHandle,
 };
+
+mod flight;
+mod status;
 
 /// Field hasher seed shared with the `implicate` CLI so both tools
 /// fingerprint the same fields identically.
@@ -106,6 +127,9 @@ struct Opts {
     upstream: Option<String>,
     node_id: u64,
     ship_every: u64,
+    stale_after_ms: u64,
+    flight_dir: Option<String>,
+    flight_keep: usize,
 }
 
 const USAGE: &str = "\
@@ -143,6 +167,14 @@ distributed roles (see WIRE.md):
   --node-id N           stable identity of this edge at the aggregator
   --ship-every N        rows between upstream shipments
                         (default: --publish-every)
+
+observability (see DESIGN.md §8.7):
+  --stale-after MS      aggregator: a node with no applied frame for MS
+                        milliseconds is `stale` (`lagging` from MS/2;
+                        default 10000)
+  --flight-dir DIR      on decode error, poison, or panic, drain the
+                        trace ring to a JSONL flight recording in DIR
+  --flight-keep N       keep at most N flight recordings (default 8)
 ";
 
 fn parse_cols(v: &str) -> Vec<usize> {
@@ -188,6 +220,9 @@ fn parse_opts() -> Opts {
     let mut upstream: Option<String> = None;
     let mut node_id: Option<u64> = None;
     let mut ship_every: Option<u64> = None;
+    let mut stale_after_ms: Option<u64> = None;
+    let mut flight_dir: Option<String> = None;
+    let mut flight_keep: Option<usize> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -237,6 +272,9 @@ fn parse_opts() -> Opts {
             "--upstream" => upstream = Some(val().to_string()),
             "--node-id" => node_id = Some(parse_num(val(), "--node-id")),
             "--ship-every" => ship_every = Some(parse_num(val(), "--ship-every")),
+            "--stale-after" => stale_after_ms = Some(parse_num(val(), "--stale-after")),
+            "--flight-dir" => flight_dir = Some(val().to_string()),
+            "--flight-keep" => flight_keep = Some(parse_num(val(), "--flight-keep")),
             other => die(&format!("unknown option {other:?} (try --help)")),
         }
     }
@@ -276,6 +314,18 @@ fn parse_opts() -> Opts {
     if ship_every.is_some() && upstream.is_none() {
         die("--ship-every only makes sense with --upstream");
     }
+    if stale_after_ms.is_some() && !aggregate {
+        die("--stale-after only makes sense with --aggregate");
+    }
+    if stale_after_ms == Some(0) {
+        die("--stale-after must be at least 1 millisecond");
+    }
+    if flight_keep.is_some() && flight_dir.is_none() {
+        die("--flight-keep needs --flight-dir DIR");
+    }
+    if flight_keep == Some(0) {
+        die("--flight-keep must be at least 1");
+    }
 
     let cond = ImplicationConditions::builder()
         .max_multiplicity(max_mult)
@@ -309,6 +359,9 @@ fn parse_opts() -> Opts {
         upstream,
         node_id: node_id.unwrap_or(0),
         ship_every: ship_every.unwrap_or(publish_every),
+        stale_after_ms: stale_after_ms.unwrap_or(DEFAULT_STALE_AFTER_MS),
+        flight_dir,
+        flight_keep: flight_keep.unwrap_or(8),
     }
 }
 
@@ -349,6 +402,28 @@ struct Shared {
     /// `publish_full` / checkpoint, served verbatim by `GET /snapshot`).
     snapshot: Mutex<Option<bytes::Bytes>>,
     metrics: MetricsHandle,
+    /// Trace ring shared with the estimator and the wire codec — sized
+    /// when the flight recorder is armed, disabled otherwise.
+    trace: TraceHandle,
+    /// Aggregator role: the per-node health/staleness registry behind
+    /// `GET /status` and the labeled `/metrics` series.
+    fleet: Option<Arc<NodeRegistry>>,
+    /// Edge role: upstream-connectivity status behind `GET /status`.
+    edge: Option<Arc<status::EdgeStatus>>,
+    /// Crash/decode-error flight recorder (`--flight-dir`).
+    flight: Option<Arc<flight::FlightRecorder>>,
+    /// Process start — the monotonic base for every staleness age.
+    started: std::time::Instant,
+    /// Role name reported by `/status`.
+    role: &'static str,
+}
+
+impl Shared {
+    /// Milliseconds since process start (the injected clock of the
+    /// fleet registry and edge status).
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
 }
 
 /// The writer side: one thread owning either the sequential estimator or
@@ -518,6 +593,9 @@ fn edge_sender(upstream: &str, node_id: u64, slot: &ShipSlot, shared: &Shared) {
         // written into a black hole.
         if conn.as_ref().is_some_and(peer_gone) {
             conn = None;
+            if let Some(edge) = &shared.edge {
+                edge.set_connected(false);
+            }
         }
         if conn.is_none() {
             base = None;
@@ -526,8 +604,14 @@ fn edge_sender(upstream: &str, node_id: u64, slot: &ShipSlot, shared: &Shared) {
                     stream.set_nodelay(true).ok();
                     conn = Some(stream);
                     backoff = BACKOFF_START;
+                    if let Some(edge) = &shared.edge {
+                        edge.record_connect();
+                    }
                 }
                 Err(_) => {
+                    if let Some(edge) = &shared.edge {
+                        edge.record_backoff(backoff.as_millis() as u64);
+                    }
                     // Don't spin while unreachable — but stay
                     // responsive to shutdown.
                     let deadline = std::time::Instant::now() + backoff;
@@ -546,13 +630,23 @@ fn edge_sender(upstream: &str, node_id: u64, slot: &ShipSlot, shared: &Shared) {
             }
         }
 
+        let is_full = base.is_none();
         let frame = match &base {
             Some(b) => snap.delta_frame(b, node_id),
             None => snap.full_frame(node_id),
         };
         let stream = conn.as_mut().expect("connected above");
+        let write_started = std::time::Instant::now();
         match stream.write_all(&frame).and_then(|()| stream.flush()) {
             Ok(()) => {
+                if let Some(edge) = &shared.edge {
+                    edge.record_ship(
+                        frame.len() as u64,
+                        is_full,
+                        write_started.elapsed().as_nanos() as u64,
+                        shared.now_ms(),
+                    );
+                }
                 base = pending.take();
                 if shared.writer_done.load(Ordering::Acquire) && slot.is_empty() {
                     return;
@@ -562,6 +656,9 @@ fn edge_sender(upstream: &str, node_id: u64, slot: &ShipSlot, shared: &Shared) {
                 // Keep `pending`: it resends as a full frame once the
                 // connection is back.
                 conn = None;
+                if let Some(edge) = &shared.edge {
+                    edge.record_send_error();
+                }
             }
         }
     }
@@ -581,6 +678,13 @@ fn wire_ingest_connection(
     let kill = Arc::new(AtomicBool::new(false));
     let mut buf: Vec<u8> = Vec::with_capacity(4096);
     let mut chunk = [0u8; 4096];
+    // The connection pins itself to the first node_id it presents; a
+    // frame declaring a different id mid-connection is rejected and
+    // drops the connection. Nothing authenticates the *first* claim
+    // (trusted-network protocol, as WIRE.md states), but a pinned
+    // connection can no longer impersonate other nodes or smear one
+    // edge's stream across several registry entries.
+    let mut pinned: Option<u64> = None;
     loop {
         if kill.load(Ordering::Acquire) || shared.stop.load(Ordering::Acquire) {
             return; // dropping the stream sends the edge its FIN
@@ -591,6 +695,32 @@ fn wire_ingest_connection(
                 Ok(Some(header)) => {
                     if header.body_len > DEFAULT_MAX_FRAME_BYTES as u64 {
                         return;
+                    }
+                    match pinned {
+                        None => {
+                            pinned = Some(header.node_id);
+                            if let Some(fleet) = &shared.fleet {
+                                fleet.record_connect(header.node_id, shared.now_ms());
+                            }
+                        }
+                        Some(p) if p != header.node_id => {
+                            shared.metrics.wire.node_id_conflicts.inc();
+                            shared.trace.record(|| TraceEvent::FrameRejected {
+                                node: p,
+                                error: REJECT_NODE_ID_SWITCH,
+                                epoch: header.epoch,
+                            });
+                            if let Some(fleet) = &shared.fleet {
+                                fleet.record_id_conflict(p);
+                            }
+                            eprintln!(
+                                "implicate-serve: connection pinned to node {p} sent a \
+                                 frame claiming node {} — dropping connection",
+                                header.node_id
+                            );
+                            return;
+                        }
+                        Some(_) => {}
                     }
                     let total = header.frame_len();
                     if buf.len() < total {
@@ -643,21 +773,38 @@ fn aggregate_writer_loop(
         match frame_rx.recv_timeout(POLL) {
             Ok((frame, kill)) => {
                 // node_id is authenticated by nothing but the header —
-                // this is a trusted-network protocol, as WIRE.md states.
-                let node = match peek_frame(&frame) {
-                    Ok(Some(h)) => h.node_id,
+                // this is a trusted-network protocol, as WIRE.md states
+                // (the ingest connection pins it so it cannot *switch*).
+                let peeked = match peek_frame(&frame) {
+                    Ok(Some(h)) => h,
                     _ => {
                         kill.store(true, Ordering::Release);
                         continue;
                     }
                 };
-                let decoder = decoders
-                    .entry(node)
-                    .or_insert_with(|| WireDecoder::new().require_matching(&serving));
+                let node = peeked.node_id;
+                let frame_bytes = frame.len() as u64;
+                let decoder = decoders.entry(node).or_insert_with(|| {
+                    WireDecoder::new()
+                        .require_matching(&serving)
+                        .with_metrics(serving.metrics().clone())
+                        .with_trace(serving.trace().clone())
+                });
                 match decoder.apply(frame) {
                     Ok(header) => {
                         frames += 1;
                         shared.accepted.fetch_add(header.tuples, Ordering::Relaxed);
+                        if let Some(fleet) = &shared.fleet {
+                            fleet.record_frame(
+                                node,
+                                header.kind,
+                                frame_bytes,
+                                header.epoch,
+                                header.tuples,
+                                shared.now_ms(),
+                            );
+                        }
+                        let merge_started = std::time::Instant::now();
                         let mut merged = template.build();
                         for dec in decoders.values() {
                             if let Some(replica) = dec.estimator() {
@@ -665,8 +812,16 @@ fn aggregate_writer_loop(
                             }
                         }
                         serving.adopt_state(merged);
+                        if let Some(fleet) = &shared.fleet {
+                            fleet.observe_merge_nanos(merge_started.elapsed().as_nanos() as u64);
+                        }
+                        let publish_started = std::time::Instant::now();
                         serving.publish_full();
                         let data = serving.to_bytes();
+                        if let Some(fleet) = &shared.fleet {
+                            fleet
+                                .observe_publish_nanos(publish_started.elapsed().as_nanos() as u64);
+                        }
                         if let Some(path) = checkpoint {
                             let due = checkpoint_every.is_some_and(|n| {
                                 serving.tuples_seen().saturating_sub(tuples_at_checkpoint) >= n
@@ -680,6 +835,23 @@ fn aggregate_writer_loop(
                     }
                     Err(e) => {
                         eprintln!("implicate-serve: frame from node {node}: {e}");
+                        if let Some(fleet) = &shared.fleet {
+                            fleet.record_error(node, Some(peeked.epoch), shared.now_ms());
+                        }
+                        if let Some(recorder) = &shared.flight {
+                            let context = format!(
+                                "{{\"reason\":\"decode_error\",\"node_id\":{node},\
+                                 \"epoch\":{},\"error\":\"{}\",\"detail\":{}}}",
+                                peeked.epoch,
+                                e.name(),
+                                flight::json_string(&e.to_string()),
+                            );
+                            recorder.record(
+                                "decode_error",
+                                &context,
+                                shared.trace.journal().map(|j| j.to_jsonl()).as_deref(),
+                            );
+                        }
                         decoder.reset();
                         kill.store(true, Ordering::Release);
                     }
@@ -694,22 +866,40 @@ fn aggregate_writer_loop(
         }
     }
     while let Ok((frame, kill)) = frame_rx.try_recv() {
-        let node = match peek_frame(&frame) {
-            Ok(Some(h)) => h.node_id,
+        let peeked = match peek_frame(&frame) {
+            Ok(Some(h)) => h,
             _ => continue,
         };
+        let node = peeked.node_id;
+        let frame_bytes = frame.len() as u64;
         if let Some(decoder) = decoders.get_mut(&node) {
-            if decoder.apply(frame).is_ok() {
-                frames += 1;
-                let mut merged = template.build();
-                for dec in decoders.values() {
-                    if let Some(replica) = dec.estimator() {
-                        merged.merge(replica);
+            match decoder.apply(frame) {
+                Ok(header) => {
+                    frames += 1;
+                    if let Some(fleet) = &shared.fleet {
+                        fleet.record_frame(
+                            node,
+                            header.kind,
+                            frame_bytes,
+                            header.epoch,
+                            header.tuples,
+                            shared.now_ms(),
+                        );
                     }
+                    let mut merged = template.build();
+                    for dec in decoders.values() {
+                        if let Some(replica) = dec.estimator() {
+                            merged.merge(replica);
+                        }
+                    }
+                    serving.adopt_state(merged);
                 }
-                serving.adopt_state(merged);
-            } else {
-                kill.store(true, Ordering::Release);
+                Err(_) => {
+                    if let Some(fleet) = &shared.fleet {
+                        fleet.record_error(node, Some(peeked.epoch), shared.now_ms());
+                    }
+                    kill.store(true, Ordering::Release);
+                }
             }
         }
     }
@@ -753,6 +943,49 @@ fn main() {
         est.set_memory_budget(opts.config.memory_budget_limit());
     }
 
+    // Arm the trace ring when a flight recorder wants it drained: the
+    // ring feeds the wire codec's typed events (frame encoded/rejected,
+    // resync forced) and is what a recording dumps. Without a recorder
+    // it stays disabled — zero cost on the ingest path.
+    let trace = if opts.flight_dir.is_some() {
+        TraceHandle::with_capacity(16_384)
+    } else {
+        TraceHandle::disabled()
+    };
+    est.set_trace(trace.clone());
+
+    let flight = opts.flight_dir.as_ref().map(|dir| {
+        let recorder = flight::FlightRecorder::new(dir, opts.flight_keep)
+            .unwrap_or_else(|e| die(&format!("--flight-dir {dir}: {e}")));
+        Arc::new(recorder)
+    });
+    if let Some(recorder) = &flight {
+        // A panic anywhere in the process drains the trace ring before
+        // the default hook prints and the process dies.
+        let recorder = Arc::clone(recorder);
+        let trace = trace.clone();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let context = format!(
+                "{{\"reason\":\"panic\",\"detail\":{}}}",
+                flight::json_string(&info.to_string()),
+            );
+            recorder.record(
+                "panic",
+                &context,
+                trace.journal().map(|j| j.to_jsonl()).as_deref(),
+            );
+            prev(info);
+        }));
+    }
+
+    let role = if opts.aggregate {
+        "aggregate"
+    } else if opts.upstream.is_some() {
+        "edge"
+    } else {
+        "standalone"
+    };
     let reader_proto = est.reader();
     let pair_hasher = est.pair_hasher();
     let shared = Arc::new(Shared {
@@ -762,6 +995,17 @@ fn main() {
         skipped: AtomicU64::new(0),
         snapshot: Mutex::new(None),
         metrics: est.metrics().clone(),
+        trace,
+        fleet: opts
+            .aggregate
+            .then(|| Arc::new(NodeRegistry::new(opts.stale_after_ms))),
+        edge: opts
+            .upstream
+            .as_ref()
+            .map(|u| Arc::new(status::EdgeStatus::new(u.clone(), opts.node_id))),
+        flight,
+        started: std::time::Instant::now(),
+        role,
     });
 
     // Seed /snapshot with the restored/initial state so the endpoint is
@@ -971,6 +1215,9 @@ fn writer_loop(
                     since_ship = 0;
                     capture(&pipeline, &mut ship_epoch);
                 }
+                if let Some(edge) = &shared.edge {
+                    edge.set_unshipped(since_ship);
+                }
                 if since_publish >= publish_every {
                     since_publish = 0;
                     if checkpoint_every.is_some_and(|n| since_checkpoint >= n) {
@@ -1010,6 +1257,9 @@ fn writer_loop(
                 if since_ship > 0 {
                     since_ship = 0;
                     capture(&pipeline, &mut ship_epoch);
+                }
+                if let Some(edge) = &shared.edge {
+                    edge.set_unshipped(since_ship);
                 }
             }
             Err(RecvTimeoutError::Disconnected) => break,
@@ -1152,8 +1402,38 @@ fn query_connection(mut stream: TcpStream, shared: &Shared, reader: &EstimateRea
             ("200 OK", "application/json", body.into_bytes())
         }
         ("GET", "/metrics") => {
-            let body = shared.metrics.prometheus("implicate");
+            let mut body = shared.metrics.prometheus("implicate");
+            let now = shared.now_ms();
+            if let Some(fleet) = &shared.fleet {
+                fleet.prometheus_into("implicate", now, &mut body);
+            }
+            if let Some(edge) = &shared.edge {
+                edge.prometheus_into("implicate", now, &mut body);
+            }
             ("200 OK", "text/plain; version=0.0.4", body.into_bytes())
+        }
+        ("GET", "/status") => {
+            let view = reader.view();
+            let now = shared.now_ms();
+            let mut body = format!(
+                "{{\"role\":\"{}\",\"epoch\":{},\"tuples\":{},\
+                 \"accepted\":{},\"skipped\":{},\"uptime_ms\":{now}",
+                shared.role,
+                view.epoch(),
+                view.tuples(),
+                shared.accepted.load(Ordering::Relaxed),
+                shared.skipped.load(Ordering::Relaxed),
+            );
+            if let Some(fleet) = &shared.fleet {
+                body.push_str(",\"fleet\":");
+                body.push_str(&fleet.status_json(now));
+            }
+            if let Some(edge) = &shared.edge {
+                body.push_str(",\"edge\":");
+                body.push_str(&edge.status_json(now));
+            }
+            body.push_str("}\n");
+            ("200 OK", "application/json", body.into_bytes())
         }
         ("GET", "/snapshot") => match shared.snapshot.lock().unwrap().clone() {
             Some(data) => ("200 OK", "application/octet-stream", data.to_vec()),
@@ -1171,7 +1451,7 @@ fn query_connection(mut stream: TcpStream, shared: &Shared, reader: &EstimateRea
         _ => (
             "404 Not Found",
             "text/plain",
-            b"routes: /estimate /metrics /snapshot /healthz /shutdown\n".to_vec(),
+            b"routes: /estimate /status /metrics /snapshot /healthz /shutdown\n".to_vec(),
         ),
     };
 

@@ -234,7 +234,13 @@ fn aggregated_estimate_is_bit_identical_to_a_single_node_run() {
     let checkpoint = checkpoint.to_str().expect("utf8 path");
 
     let agg_ingest = format!("127.0.0.1:{}", free_port());
-    let aggregator = Server::spawn(&["--aggregate", "--ingest", &agg_ingest, "--checkpoint", checkpoint]);
+    let aggregator = Server::spawn(&[
+        "--aggregate",
+        "--ingest",
+        &agg_ingest,
+        "--checkpoint",
+        checkpoint,
+    ]);
 
     let edges: Vec<Server> = (0..EDGES)
         .map(|i| {
@@ -301,7 +307,13 @@ fn aggregated_estimate_is_bit_identical_to_a_single_node_run() {
         std::path::Path::new(checkpoint).exists(),
         "aggregator shutdown wrote the checkpoint"
     );
-    let aggregator = Server::spawn(&["--aggregate", "--ingest", &agg_ingest, "--checkpoint", checkpoint]);
+    let aggregator = Server::spawn(&[
+        "--aggregate",
+        "--ingest",
+        &agg_ingest,
+        "--checkpoint",
+        checkpoint,
+    ]);
 
     // Before any edge resyncs, the restored checkpoint serves queries.
     let (status, snapshot) = aggregator.http("GET", "/snapshot");

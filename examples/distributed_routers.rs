@@ -139,15 +139,13 @@ fn run_aggregator_conn(
             node_id = header.node_id;
             eprintln!(
                 "[aggregator] router {} epoch {:>2} ({:?} frame, {} bytes) → {} tuples",
-                header.node_id,
-                header.epoch,
-                header.kind,
-                len,
-                header.tuples,
+                header.node_id, header.epoch, header.kind, len, header.tuples,
             );
         }
     }
-    let replica = decoder.into_estimator().expect("edge shipped at least one frame");
+    let replica = decoder
+        .into_estimator()
+        .expect("edge shipped at least one frame");
     (node_id, replica)
 }
 
@@ -174,7 +172,8 @@ fn main() {
             let tx = tx.clone();
             handlers.push(std::thread::spawn(move || {
                 let template = make_sketch(cond);
-                tx.send(run_aggregator_conn(conn, &template)).expect("deliver replica");
+                tx.send(run_aggregator_conn(conn, &template))
+                    .expect("deliver replica");
             }));
         }
         for h in handlers {

@@ -63,10 +63,11 @@ pub use imp_baselines::{
 };
 pub use imp_core::query::{self, Filter};
 pub use imp_core::{
-    CapacityPolicy, Confidence, DirtyReason, Estimate, EstimateReader, EstimatorConfig, Fringe,
-    ImplicationConditions, ImplicationEstimator, ImplicationQuery, MemoryBudget, MetricsHandle,
-    MetricsRegistry, MultiplicityPolicy, NipsBitmap, PairHasher, QueryEngine, QueryKind, ReadView,
+    lint_prometheus, CapacityPolicy, Confidence, DirtyReason, Estimate, EstimateReader,
+    EstimatorConfig, Fringe, ImplicationConditions, ImplicationEstimator, ImplicationQuery,
+    Log2Hist, MemoryBudget, MetricsHandle, MetricsRegistry, MultiplicityPolicy, NipsBitmap,
+    NodeHealth, NodeRegistry, NodeStatus, PairHasher, QueryEngine, QueryKind, ReadView,
     ShardedEstimator, Span, SpanKind, TraceEvent, TraceHandle, TraceJournal, TracedEvent,
-    UpdateOutcome,
+    UpdateOutcome, WireMetrics,
 };
 pub use imp_stream::{AttrSet, ItemKey, Projector, Schema, Tuple};

@@ -80,9 +80,7 @@ fn steady_state_update_hashed_performs_zero_allocations() {
     // sharded pipeline drives must be equally quiet.
     let cond = ImplicationConditions::strict_one_to_one(1_000_000);
     let mut est = EstimatorConfig::new(cond).bitmaps(32).seed(29).build();
-    let hashed: Vec<(u64, u64)> = (0..256u64)
-        .map(|a| est.hash_pair(&[a], &[a % 4]))
-        .collect();
+    let hashed: Vec<(u64, u64)> = (0..256u64).map(|a| est.hash_pair(&[a], &[a % 4])).collect();
 
     for &(h_a, b_fp) in &hashed {
         est.update_hashed(h_a, b_fp);

@@ -138,15 +138,22 @@ fn prometheus_exposition_round_trips_every_sample() {
         return;
     }
 
-    // Parse the text exposition back: `# TYPE <name> <kind>` immediately
-    // followed by `<name> <value>`, nothing else.
+    // Parse the text exposition back: `# HELP <name> <text>` then
+    // `# TYPE <name> <kind>` then `<name> <value>`, nothing else.
     let mut parsed = Vec::new();
     let mut lines = text.lines().peekable();
     while let Some(line) = lines.next() {
-        let meta = line
+        let help = line
+            .strip_prefix("# HELP ")
+            .unwrap_or_else(|| panic!("expected HELP line, got {line:?}"));
+        let (hname, htext) = help.split_once(' ').expect("HELP line has name + text");
+        assert!(!htext.trim().is_empty(), "empty HELP text for {hname}");
+        let tline = lines.next().expect("TYPE line after HELP");
+        let meta = tline
             .strip_prefix("# TYPE ")
-            .unwrap_or_else(|| panic!("unexpected line {line:?}"));
+            .unwrap_or_else(|| panic!("unexpected line {tline:?}"));
         let (name, kind) = meta.split_once(' ').expect("TYPE line has name + kind");
+        assert_eq!(name, hname, "HELP and TYPE name must agree");
         assert!(matches!(kind, "counter" | "gauge"), "kind {kind:?}");
         let sample = lines.next().expect("sample line after TYPE");
         let (sname, value) = sample.split_once(' ').expect("sample has name + value");
@@ -155,9 +162,11 @@ fn prometheus_exposition_round_trips_every_sample() {
     }
 
     // Every registry sample survives the round trip, value intact, under
-    // its flattened name (dots and dashes become underscores).
+    // its flattened name (dots and dashes become underscores) — and the
+    // in-tree exposition linter agrees on the sample count.
     let samples = m.samples();
     assert_eq!(parsed.len(), samples.len());
+    assert_eq!(implicate::lint_prometheus(&text), Ok(samples.len()));
     for ((flat, got), (name, want)) in parsed.iter().zip(&samples) {
         let expect_flat: String = format!("implicate_{name}")
             .chars()
