@@ -1,0 +1,868 @@
+//! Multi-query catalog engine: one stream pass, N implications, one
+//! shared budget.
+//!
+//! Production users do not ask one `(A → B)` question — they ask a
+//! *catalog* of Table 2 implication classes over the same stream. Running
+//! Q independent [`QueryEngine`](crate::query::QueryEngine)s costs Q
+//! projections + Q itemset hashes per tuple, and — worse at scale —
+//! touches Q estimators' arenas per tuple, evicting each other's working
+//! set from cache. The [`QueryCatalog`] removes both costs:
+//!
+//! * **Shared hashing.** Each tuple is hashed *attribute-wise exactly
+//!   once* ([`TupleHasher`]); every registered query derives its
+//!   `(lhs, rhs)` itemset hashes from the shared per-attribute hashes by
+//!   XOR + one mix ([`QueryCombiner`]). Marginal hash cost per query is a
+//!   few ALU ops, not a projection and a re-hash.
+//! * **Query-major batching.** [`process_batch`](QueryCatalog::process_batch)
+//!   hashes a whole batch into columnar per-attribute rows, then drives
+//!   each query's estimator over the *entire batch* before moving to the
+//!   next query — one estimator's arenas stay cache-hot across the batch
+//!   instead of being thrashed per tuple.
+//! * **One budget.** All per-query estimators draw from a single global
+//!   [`MemoryBudget`]. Registration preflights the construction floor
+//!   against the remaining headroom; retiring a query drops its
+//!   estimator, whose arenas release their bytes back to the shared
+//!   account (`tracked_bytes` returns to its pre-register level).
+//!
+//! Per-query estimates are **bit-identical** to a standalone
+//! `QueryEngine` run with the same seed: both paths feed the same
+//! combined hashes, in the same stream order, into identically built
+//! estimators. The catalog is pure refactoring of *where* hashing
+//! happens, not a different estimator.
+//!
+//! Observability: every entry owns its own metrics registry, so shed
+//! events and budget pressure attribute per query;
+//! [`prometheus_into`](QueryCatalog::prometheus_into) renders the
+//! `implicate_query_*{query="…"}` labeled series, and registration /
+//! retirement emit [`TraceEvent::QueryRegistered`] /
+//! [`TraceEvent::QueryRetired`].
+
+use std::fmt;
+
+use imp_stream::hashplan::{QueryCombiner, TupleHasher};
+use imp_stream::schema::Schema;
+use imp_stream::tuple::Tuple;
+
+use crate::budget::MemoryBudget;
+use crate::estimator::{Estimate, EstimatorConfig, ImplicationEstimator};
+use crate::query::ImplicationQuery;
+use crate::trace::{TraceEvent, TraceHandle};
+use crate::view::EstimateReader;
+
+/// Opaque handle to one registered query; ids are never reused within a
+/// catalog, so a retired id stays dead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(u64);
+
+impl QueryId {
+    /// The raw id (stable across the catalog's lifetime, also used as
+    /// the `query` field of lifecycle trace events).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs an id from its raw value (e.g. parsed back out of an
+    /// HTTP path). Looking up an id that was never issued is harmless —
+    /// accessors return `None`.
+    pub fn from_raw(raw: u64) -> Self {
+        Self(raw)
+    }
+}
+
+impl fmt::Display for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Why a registration was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// The shared budget's remaining headroom is below the construction
+    /// floor of one estimator (`needed` bytes, `headroom` available).
+    BudgetExhausted {
+        /// Bytes a fresh estimator's initial arenas reserve.
+        needed: usize,
+        /// Bytes left under the global limit.
+        headroom: usize,
+    },
+    /// A live query already uses this name (names key the labeled
+    /// metrics and the HTTP lookup, so they must be unique).
+    DuplicateName(String),
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::BudgetExhausted { needed, headroom } => write!(
+                f,
+                "global memory budget exhausted: a new query needs {needed} bytes, \
+                 {headroom} available"
+            ),
+            CatalogError::DuplicateName(name) => {
+                write!(f, "a live query is already named {name:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+/// One live registered query.
+struct CatalogEntry {
+    id: QueryId,
+    name: String,
+    query: ImplicationQuery,
+    combiner: QueryCombiner,
+    est: ImplicationEstimator,
+    /// Tuples that passed this query's filter (== its estimator's tuple
+    /// counter; kept separately so the invariant is checkable).
+    matched: u64,
+}
+
+/// Evaluates many registered [`ImplicationQuery`]s in a single pass over
+/// one tuple stream, all estimators drawing from one global
+/// [`MemoryBudget`].
+///
+/// ```
+/// use imp_core::catalog::QueryCatalog;
+/// use imp_core::{EstimatorConfig, ImplicationConditions, ImplicationQuery};
+/// use imp_stream::{Schema, Tuple};
+///
+/// let schema = Schema::new([("Src", 0), ("Dst", 0)]);
+/// let template = EstimatorConfig::new(ImplicationConditions::strict_one_to_one(1)).seed(42);
+/// let mut catalog = QueryCatalog::new(&schema, template);
+///
+/// let loyal = catalog.register(
+///     "loyal",
+///     ImplicationQuery::one_to_one(schema.attr_set(&["Src"]), schema.attr_set(&["Dst"]), 1),
+/// );
+/// let distinct = catalog.register(
+///     "distinct",
+///     ImplicationQuery::distinct_count(schema.attr_set(&["Src"])),
+/// );
+///
+/// for i in 0..1000u64 {
+///     catalog.process(&Tuple::new([i % 100, i % 7, ]));
+/// }
+/// assert!(catalog.answer(distinct).unwrap() > 0.0);
+/// assert!(catalog.answer(loyal).is_some());
+/// catalog.retire(loyal);
+/// assert!(catalog.answer(loyal).is_none());
+/// ```
+pub struct QueryCatalog {
+    schema: Schema,
+    hasher: TupleHasher,
+    /// Estimator knobs (bitmaps / fringe / seed) applied to every
+    /// registered query; per-query conditions come from the query.
+    template: EstimatorConfig,
+    /// The one global account every per-query estimator draws from.
+    budget: MemoryBudget,
+    entries: Vec<CatalogEntry>,
+    next_id: u64,
+    /// Tuples offered to the catalog (pre-filter).
+    tuples: u64,
+    registered: u64,
+    retired: u64,
+    /// Columnar per-attribute hash rows for the current batch
+    /// (`batch_len × arity`, family A then family B), reused across
+    /// batches so steady-state processing is allocation-free.
+    col_a: Vec<u64>,
+    col_b: Vec<u64>,
+    /// Per-query `(h_a, b_fp)` scratch for the current batch, reused so
+    /// the combine pass and the estimator pass each run as a tight loop.
+    pairs: Vec<(u64, u64)>,
+    trace: TraceHandle,
+}
+
+impl QueryCatalog {
+    /// A catalog over `schema`. `template` supplies the per-query
+    /// estimator knobs (bitmaps, fringe, seed) and — when
+    /// [`memory_budget`](EstimatorConfig::memory_budget) is set — the
+    /// **global** byte limit shared by all queries; its conditions are
+    /// ignored (each query carries its own).
+    pub fn new(schema: &Schema, template: EstimatorConfig) -> Self {
+        let budget = match template.memory_budget_limit() {
+            None => MemoryBudget::unlimited(),
+            Some(limit) => MemoryBudget::with_limit(limit),
+        };
+        Self {
+            hasher: TupleHasher::new(schema, template.hash_seed()),
+            schema: schema.clone(),
+            template,
+            budget,
+            entries: Vec::new(),
+            next_id: 0,
+            tuples: 0,
+            registered: 0,
+            retired: 0,
+            col_a: Vec::new(),
+            col_b: Vec::new(),
+            pairs: Vec::new(),
+            trace: TraceHandle::disabled(),
+        }
+    }
+
+    /// Attaches a structured-trace journal; lifecycle events and every
+    /// per-query estimator record into it.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        for e in &mut self.entries {
+            e.est.set_trace(trace.clone());
+        }
+        self.trace = trace;
+    }
+
+    /// The attached trace handle (disabled by default).
+    pub fn trace(&self) -> &TraceHandle {
+        &self.trace
+    }
+
+    /// Bytes a new registration reserves up front (one estimator's
+    /// initial arena tables).
+    pub fn construction_floor(&self) -> usize {
+        self.template.construction_floor()
+    }
+
+    /// Registers `query` under `name`, building its estimator on the
+    /// shared budget. A query registered mid-stream only sees the suffix
+    /// of the stream from this point on.
+    ///
+    /// # Errors
+    /// [`CatalogError::BudgetExhausted`] when the global budget's
+    /// headroom cannot fit a fresh estimator's construction floor;
+    /// [`CatalogError::DuplicateName`] when a live query already uses
+    /// `name`.
+    pub fn try_register(
+        &mut self,
+        name: impl Into<String>,
+        query: ImplicationQuery,
+    ) -> Result<QueryId, CatalogError> {
+        let name = name.into();
+        if self.entries.iter().any(|e| e.name == name) {
+            return Err(CatalogError::DuplicateName(name));
+        }
+        let config = self.template.conditions(query.conditions);
+        if self.budget.is_limited() {
+            // The floor depends on the query's own conditions (multiplicity
+            // widens the arena cells), so preflight the re-targeted config.
+            let needed = config.construction_floor();
+            let headroom = self.budget.limit().saturating_sub(self.budget.used());
+            if headroom < needed {
+                return Err(CatalogError::BudgetExhausted { needed, headroom });
+            }
+        }
+        let id = QueryId(self.next_id);
+        self.next_id += 1;
+        let mut est = config.build_on(self.budget.clone());
+        est.set_trace(self.trace.clone());
+        let combiner = self.hasher.combiner(query.lhs, query.rhs);
+        self.entries.push(CatalogEntry {
+            id,
+            name,
+            query,
+            combiner,
+            est,
+            matched: 0,
+        });
+        self.registered += 1;
+        let position = self.tuples;
+        self.trace.record(|| TraceEvent::QueryRegistered {
+            query: id.0,
+            position,
+        });
+        Ok(id)
+    }
+
+    /// [`try_register`](Self::try_register), panicking on refusal — for
+    /// static catalogs assembled at startup.
+    ///
+    /// # Panics
+    /// On budget exhaustion or a duplicate name.
+    pub fn register(&mut self, name: impl Into<String>, query: ImplicationQuery) -> QueryId {
+        match self.try_register(name, query) {
+            Ok(id) => id,
+            Err(e) => panic!("QueryCatalog::register: {e}"),
+        }
+    }
+
+    /// Retires a query: its estimator is dropped and the arena bytes it
+    /// reserved are released back to the shared budget. Returns `false`
+    /// if the id is not live.
+    pub fn retire(&mut self, id: QueryId) -> bool {
+        let Some(at) = self.entries.iter().position(|e| e.id == id) else {
+            return false;
+        };
+        self.entries.remove(at);
+        self.retired += 1;
+        let position = self.tuples;
+        self.trace.record(|| TraceEvent::QueryRetired {
+            query: id.0,
+            position,
+        });
+        true
+    }
+
+    /// Feeds one tuple to every registered query.
+    pub fn process(&mut self, t: &Tuple) {
+        self.process_batch(std::slice::from_ref(t));
+    }
+
+    /// Feeds a batch of tuples to every registered query, query-major:
+    /// the batch is hashed attribute-wise once into columnar rows, then
+    /// each query's combiner + estimator consumes the whole batch before
+    /// the next query runs — keeping one estimator's arenas cache-hot
+    /// across the batch. Steady-state processing with a stable batch
+    /// size is allocation-free.
+    ///
+    /// Equivalent to calling [`process`](Self::process) per tuple (each
+    /// query sees tuples in stream order), just faster.
+    pub fn process_batch(&mut self, tuples: &[Tuple]) {
+        let arity = self.schema.arity();
+        self.col_a.clear();
+        self.col_b.clear();
+        for t in tuples {
+            self.hasher
+                .hash_tuple_append(t, &mut self.col_a, &mut self.col_b);
+        }
+        for e in &mut self.entries {
+            if e.query.filter.is_empty() {
+                // Unfiltered fast path: every row participates. Two
+                // tight loops — combine the whole batch into the pair
+                // scratch, then feed the estimator — so the hash-row
+                // loads never interleave with the estimator's branchy
+                // update path.
+                self.pairs.clear();
+                let rows = self
+                    .col_a
+                    .chunks_exact(arity)
+                    .zip(self.col_b.chunks_exact(arity));
+                for (row_a, row_b) in rows {
+                    self.pairs.push((
+                        e.combiner.lhs().combine(row_a),
+                        e.combiner.rhs().combine(row_b),
+                    ));
+                }
+                e.matched += tuples.len() as u64;
+                e.est.update_hashed_batch(&self.pairs);
+            } else {
+                for (i, t) in tuples.iter().enumerate() {
+                    if !e.query.filter.matches(t) {
+                        continue;
+                    }
+                    let row_a = &self.col_a[i * arity..(i + 1) * arity];
+                    let row_b = &self.col_b[i * arity..(i + 1) * arity];
+                    e.matched += 1;
+                    e.est.update_hashed(
+                        e.combiner.lhs().combine(row_a),
+                        e.combiner.rhs().combine(row_b),
+                    );
+                }
+            }
+        }
+        self.tuples += tuples.len() as u64;
+    }
+
+    /// Publishes every query's current state on its epoch channel (see
+    /// [`crate::view`]), making it visible to per-query readers.
+    pub fn publish(&mut self) {
+        for e in &mut self.entries {
+            e.est.publish();
+        }
+    }
+
+    /// A wait-free concurrent reader for one query (see
+    /// [`EstimateReader`]); `None` if the id is not live. Readers follow
+    /// the query's publication channel and survive until dropped, but go
+    /// stale (keep the last published view) once the query is retired.
+    pub fn reader(&mut self, id: QueryId) -> Option<EstimateReader> {
+        self.entry_mut(id).map(|e| e.est.reader())
+    }
+
+    /// The scalar answer for one query's [`QueryKind`](crate::query::QueryKind).
+    pub fn answer(&self, id: QueryId) -> Option<f64> {
+        self.entry(id)
+            .map(|e| e.query.answer_from(&e.est.estimate_now()))
+    }
+
+    /// One query's full three-component estimate.
+    pub fn estimate(&self, id: QueryId) -> Option<Estimate> {
+        self.entry(id).map(|e| e.est.estimate_now())
+    }
+
+    /// Tuples that passed one query's filter.
+    pub fn matched(&self, id: QueryId) -> Option<u64> {
+        self.entry(id).map(|e| e.matched)
+    }
+
+    /// Bytes of tracked state currently resident for one query (the sum
+    /// of its bitmaps' arena tables, as reserved on the shared budget).
+    pub fn resident_bytes(&self, id: QueryId) -> Option<usize> {
+        self.entry(id)
+            .map(|e| e.est.bitmaps().iter().map(|b| b.tracked_bytes()).sum())
+    }
+
+    /// Budget-pressure sheds attributed to one query (its estimator's
+    /// `shed_events` counter; 0 with metrics compiled out).
+    pub fn shed_events(&self, id: QueryId) -> Option<u64> {
+        self.entry(id)
+            .map(|e| e.est.metrics().registry().estimator.shed_events.get())
+    }
+
+    /// The registered query behind an id.
+    pub fn query(&self, id: QueryId) -> Option<&ImplicationQuery> {
+        self.entry(id).map(|e| &e.query)
+    }
+
+    /// The name a query was registered under.
+    pub fn name(&self, id: QueryId) -> Option<&str> {
+        self.entry(id).map(|e| e.name.as_str())
+    }
+
+    /// Looks a live query up by registration name.
+    pub fn find(&self, name: &str) -> Option<QueryId> {
+        self.entries.iter().find(|e| e.name == name).map(|e| e.id)
+    }
+
+    /// Iterates live queries in registration order as
+    /// `(id, name, query)`.
+    pub fn iter(&self) -> impl Iterator<Item = (QueryId, &str, &ImplicationQuery)> {
+        self.entries
+            .iter()
+            .map(|e| (e.id, e.name.as_str(), &e.query))
+    }
+
+    /// Live query count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no query is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Tuples offered to the catalog so far (pre-filter).
+    pub fn tuples_seen(&self) -> u64 {
+        self.tuples
+    }
+
+    /// Bytes of tracked state across all live queries — the shared
+    /// budget's usage.
+    pub fn tracked_bytes(&self) -> usize {
+        self.budget.used()
+    }
+
+    /// The shared global budget account.
+    pub fn memory_budget(&self) -> &MemoryBudget {
+        &self.budget
+    }
+
+    /// The schema this catalog runs over.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The seed shared by the hasher and every per-query estimator.
+    pub fn seed(&self) -> u64 {
+        self.template.hash_seed()
+    }
+
+    fn entry(&self, id: QueryId) -> Option<&CatalogEntry> {
+        self.entries.iter().find(|e| e.id == id)
+    }
+
+    fn entry_mut(&mut self, id: QueryId) -> Option<&mut CatalogEntry> {
+        self.entries.iter_mut().find(|e| e.id == id)
+    }
+
+    /// Appends the catalog's Prometheus exposition to `out`: catalog-wide
+    /// gauges plus the per-query `implicate_query_*{query="…"}` labeled
+    /// series (passes [`lint_prometheus`](crate::metrics::lint_prometheus)).
+    pub fn prometheus_into(&self, namespace: &str, out: &mut String) {
+        use std::fmt::Write;
+        fn label_escape(s: &str) -> String {
+            s.replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n")
+        }
+        let catalog_gauges: [(&str, &str, u64); 5] = [
+            (
+                "catalog_queries",
+                "Live registered queries",
+                self.entries.len() as u64,
+            ),
+            (
+                "catalog_registered_total",
+                "Queries registered over the catalog's lifetime",
+                self.registered,
+            ),
+            (
+                "catalog_retired_total",
+                "Queries retired over the catalog's lifetime",
+                self.retired,
+            ),
+            (
+                "catalog_tuples_total",
+                "Tuples offered to the catalog",
+                self.tuples,
+            ),
+            (
+                "catalog_mem_bytes",
+                "Tracked bytes across all live queries (shared budget usage)",
+                self.tracked_bytes() as u64,
+            ),
+        ];
+        for (suffix, help, value) in catalog_gauges {
+            let kind = if suffix.ends_with("_total") {
+                "counter"
+            } else {
+                "gauge"
+            };
+            let _ = write!(
+                out,
+                "# HELP {namespace}_{suffix} {help}\n\
+                 # TYPE {namespace}_{suffix} {kind}\n\
+                 {namespace}_{suffix} {value}\n"
+            );
+        }
+        let _ = write!(
+            out,
+            "# HELP {namespace}_catalog_mem_budget_bytes Global shared budget limit (0 when unlimited)\n\
+             # TYPE {namespace}_catalog_mem_budget_bytes gauge\n\
+             {namespace}_catalog_mem_budget_bytes {}\n",
+            if self.budget.is_limited() { self.budget.limit() as u64 } else { 0 }
+        );
+        if self.entries.is_empty() {
+            return;
+        }
+        struct PerQuery {
+            suffix: &'static str,
+            kind: &'static str,
+            help: &'static str,
+            value: fn(&CatalogEntry) -> String,
+        }
+        let families: [PerQuery; 5] = [
+            PerQuery {
+                suffix: "query_tuples",
+                kind: "counter",
+                help: "Tuples a query's estimator has absorbed (post-filter)",
+                value: |e| e.est.tuples_seen().to_string(),
+            },
+            PerQuery {
+                suffix: "query_mem_bytes",
+                kind: "gauge",
+                help: "Tracked bytes resident for a query on the shared budget",
+                value: |e| {
+                    e.est
+                        .bitmaps()
+                        .iter()
+                        .map(|b| b.tracked_bytes())
+                        .sum::<usize>()
+                        .to_string()
+                },
+            },
+            PerQuery {
+                suffix: "query_shed_events",
+                kind: "counter",
+                help: "Budget-pressure sheds attributed to a query",
+                value: |e| {
+                    e.est
+                        .metrics()
+                        .registry()
+                        .estimator
+                        .shed_events
+                        .get()
+                        .to_string()
+                },
+            },
+            PerQuery {
+                suffix: "query_dirty_total",
+                kind: "counter",
+                help: "Itemsets a query's estimator marked dirty",
+                value: |e| {
+                    e.est
+                        .metrics()
+                        .registry()
+                        .estimator
+                        .dirty_total()
+                        .to_string()
+                },
+            },
+            PerQuery {
+                suffix: "query_answer",
+                kind: "gauge",
+                help: "The query's current scalar answer per its kind",
+                value: |e| {
+                    let v = e.query.answer_from(&e.est.estimate_now());
+                    if v.is_finite() {
+                        format!("{v}")
+                    } else {
+                        "0".to_owned()
+                    }
+                },
+            },
+        ];
+        for family in families {
+            let _ = write!(
+                out,
+                "# HELP {namespace}_{suffix} {help}\n# TYPE {namespace}_{suffix} {kind}\n",
+                suffix = family.suffix,
+                help = family.help,
+                kind = family.kind,
+            );
+            for e in &self.entries {
+                let _ = writeln!(
+                    out,
+                    "{namespace}_{suffix}{{query=\"{name}\"}} {value}",
+                    suffix = family.suffix,
+                    name = label_escape(&e.name),
+                    value = (family.value)(e),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conditions::ImplicationConditions;
+    use crate::query::QueryEngine;
+
+    fn schema() -> Schema {
+        Schema::new([("Src", 0), ("Dst", 0), ("Svc", 4), ("Time", 4)])
+    }
+
+    fn template() -> EstimatorConfig {
+        EstimatorConfig::new(ImplicationConditions::strict_one_to_one(1))
+            .bitmaps(32)
+            .seed(99)
+    }
+
+    fn workload(n: u64) -> Vec<Tuple> {
+        (0..n)
+            .map(|i| Tuple::from([i % 500, i % 7, i % 4, i % 3]))
+            .collect()
+    }
+
+    #[test]
+    fn catalog_matches_standalone_engines_bit_for_bit() {
+        let s = schema();
+        let queries = [
+            (
+                "loyal",
+                ImplicationQuery::one_to_one(s.attr_set(&["Src"]), s.attr_set(&["Dst"]), 1),
+            ),
+            (
+                "distinct",
+                ImplicationQuery::distinct_count(s.attr_set(&["Src"])),
+            ),
+            (
+                "fanout",
+                ImplicationQuery::more_than(s.attr_set(&["Src"]), s.attr_set(&["Dst"]), 2, 1),
+            ),
+        ];
+        let tuples = workload(30_000);
+
+        let mut catalog = QueryCatalog::new(&s, template());
+        let ids: Vec<QueryId> = queries
+            .iter()
+            .map(|(n, q)| catalog.register(*n, q.clone()))
+            .collect();
+        for batch in tuples.chunks(512) {
+            catalog.process_batch(batch);
+        }
+
+        for ((_, q), id) in queries.iter().zip(&ids) {
+            let mut engine = QueryEngine::new(
+                &s,
+                q.clone(),
+                EstimatorConfig::new(q.conditions).bitmaps(32).seed(99),
+            );
+            for t in &tuples {
+                engine.process(t);
+            }
+            let (cat, alone) = (catalog.answer(*id).unwrap(), engine.answer());
+            assert_eq!(cat.to_bits(), alone.to_bits(), "query {id} diverged");
+            assert_eq!(
+                catalog.estimate(*id).unwrap().f0_sup.to_bits(),
+                engine.estimate().f0_sup.to_bits(),
+            );
+        }
+    }
+
+    #[test]
+    fn register_retire_budget_round_trip() {
+        let s = schema();
+        let floor = template().construction_floor();
+        let mut catalog = QueryCatalog::new(&s, template().memory_budget(4 * floor));
+        let before = catalog.tracked_bytes();
+        let q = ImplicationQuery::one_to_one(s.attr_set(&["Src"]), s.attr_set(&["Dst"]), 1);
+        let id = catalog.register("a", q.clone());
+        assert!(catalog.tracked_bytes() >= before + floor);
+        for t in workload(5_000) {
+            catalog.process(&t);
+        }
+        assert!(catalog.retire(id));
+        assert_eq!(
+            catalog.tracked_bytes(),
+            before,
+            "retire must return the budget to its pre-register level"
+        );
+        assert!(!catalog.retire(id), "double retire is a no-op");
+        assert!(catalog.answer(id).is_none());
+    }
+
+    #[test]
+    fn register_is_refused_when_budget_headroom_is_gone() {
+        let s = schema();
+        let q = ImplicationQuery::distinct_count(s.attr_set(&["Src"]));
+        let floor = template().conditions(q.conditions).construction_floor();
+        let mut catalog = QueryCatalog::new(&s, template().memory_budget(floor + floor / 2));
+        let first = catalog.try_register("one", q.clone()).expect("fits");
+        match catalog.try_register("two", q.clone()) {
+            Err(CatalogError::BudgetExhausted { needed, headroom }) => {
+                assert_eq!(needed, floor);
+                assert!(headroom < needed);
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        // Retiring the first frees the headroom for the second.
+        assert!(catalog.retire(first));
+        catalog.try_register("two", q).expect("fits after retire");
+    }
+
+    #[test]
+    fn duplicate_names_are_refused_until_retired() {
+        let s = schema();
+        let mut catalog = QueryCatalog::new(&s, template());
+        let q = ImplicationQuery::distinct_count(s.attr_set(&["Src"]));
+        let id = catalog.register("same", q.clone());
+        assert!(matches!(
+            catalog.try_register("same", q.clone()),
+            Err(CatalogError::DuplicateName(_))
+        ));
+        catalog.retire(id);
+        catalog
+            .try_register("same", q)
+            .expect("name freed by retire");
+    }
+
+    #[test]
+    fn filters_apply_per_query() {
+        let s = schema();
+        let time = s.attr_expect("Time");
+        let mut catalog = QueryCatalog::new(&s, template());
+        let all = catalog.register(
+            "all",
+            ImplicationQuery::one_to_one(s.attr_set(&["Src"]), s.attr_set(&["Dst"]), 1),
+        );
+        let morning = catalog.register(
+            "morning",
+            ImplicationQuery::one_to_one(s.attr_set(&["Src"]), s.attr_set(&["Dst"]), 1)
+                .filtered(crate::query::Filter::new().and_eq(time, 0)),
+        );
+        let tuples = workload(9_000);
+        let expected = tuples.iter().filter(|t| t.get(time.index()) == 0).count() as u64;
+        catalog.process_batch(&tuples);
+        assert_eq!(catalog.matched(all), Some(9_000));
+        assert_eq!(catalog.matched(morning), Some(expected));
+        assert!(expected > 0 && expected < 9_000);
+    }
+
+    #[test]
+    fn per_query_readers_follow_publication() {
+        let s = schema();
+        let mut catalog = QueryCatalog::new(&s, template());
+        let id = catalog.register(
+            "loyal",
+            ImplicationQuery::one_to_one(s.attr_set(&["Src"]), s.attr_set(&["Dst"]), 1),
+        );
+        let reader = catalog.reader(id).expect("live query");
+        catalog.process_batch(&workload(4_000));
+        catalog.publish();
+        let view = reader.view();
+        assert_eq!(view.tuples(), 4_000);
+        let direct = catalog.estimate(id).unwrap();
+        assert_eq!(
+            reader.estimate().implication_count.to_bits(),
+            direct.implication_count.to_bits(),
+            "published view must agree with the owner's estimate"
+        );
+    }
+
+    #[test]
+    fn batched_and_tuple_at_a_time_are_identical() {
+        let s = schema();
+        let q = ImplicationQuery::more_than(s.attr_set(&["Src"]), s.attr_set(&["Dst"]), 1, 1);
+        let tuples = workload(10_000);
+
+        let mut one = QueryCatalog::new(&s, template());
+        let id_one = one.register("q", q.clone());
+        for t in &tuples {
+            one.process(t);
+        }
+
+        let mut batched = QueryCatalog::new(&s, template());
+        let id_batched = batched.register("q", q);
+        for chunk in tuples.chunks(777) {
+            batched.process_batch(chunk);
+        }
+
+        assert_eq!(
+            one.answer(id_one).unwrap().to_bits(),
+            batched.answer(id_batched).unwrap().to_bits()
+        );
+        assert_eq!(one.tuples_seen(), batched.tuples_seen());
+    }
+
+    #[test]
+    fn prometheus_exposition_lints_and_labels_queries() {
+        let s = schema();
+        let mut catalog = QueryCatalog::new(&s, template());
+        catalog.register(
+            "loyal",
+            ImplicationQuery::one_to_one(s.attr_set(&["Src"]), s.attr_set(&["Dst"]), 1),
+        );
+        catalog.register(
+            "distinct",
+            ImplicationQuery::distinct_count(s.attr_set(&["Src"])),
+        );
+        catalog.process_batch(&workload(2_000));
+        let mut text = String::new();
+        catalog.prometheus_into("implicate", &mut text);
+        crate::metrics::lint_prometheus(&text).expect("catalog exposition lints");
+        assert!(text.contains("implicate_catalog_queries 2"), "{text}");
+        assert!(
+            text.contains("implicate_query_tuples{query=\"loyal\"} 2000"),
+            "{text}"
+        );
+        assert!(
+            text.contains("implicate_query_answer{query=\"distinct\"}"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn lifecycle_emits_trace_events() {
+        let s = schema();
+        let mut catalog = QueryCatalog::new(&s, template());
+        let trace = TraceHandle::with_capacity(4096);
+        catalog.set_trace(trace.clone());
+        let q = ImplicationQuery::distinct_count(s.attr_set(&["Src"]));
+        let id = catalog.register("traced", q);
+        catalog.process_batch(&workload(100));
+        catalog.retire(id);
+        if let Some(journal) = trace.journal() {
+            let events = journal.events();
+            assert!(events.iter().any(|t| matches!(
+                t.event,
+                TraceEvent::QueryRegistered { query, position: 0 } if query == id.raw()
+            )));
+            assert!(events.iter().any(|t| matches!(
+                t.event,
+                TraceEvent::QueryRetired { query, position: 100 } if query == id.raw()
+            )));
+        }
+    }
+}

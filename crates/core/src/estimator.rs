@@ -233,6 +233,22 @@ impl EstimatorConfig {
             budget,
         )
     }
+
+    /// Builds the estimator on an **externally owned** (typically shared)
+    /// budget account, ignoring [`memory_budget`](Self::memory_budget) —
+    /// the catalog path, where many per-query estimators draw from one
+    /// global [`MemoryBudget`]. The caller is responsible for checking
+    /// headroom against [`construction_floor`](Self::construction_floor)
+    /// first; construction itself reserves via the shared account.
+    pub(crate) fn build_on(self, budget: MemoryBudget) -> ImplicationEstimator {
+        ImplicationEstimator::build(
+            self.cond,
+            self.bitmaps,
+            self.fringe.size(),
+            self.seed,
+            budget,
+        )
+    }
 }
 
 /// Stochastic-averaged NIPS/CI estimator — the crate's main entry point,
@@ -413,10 +429,19 @@ impl ImplicationEstimator {
     /// shared by all updates, `b_fp` from an independent one.
     #[inline]
     pub fn update_hashed(&mut self, h_a: u64, b_fp: u64) {
+        self.metrics.estimator.tuples.inc();
+        self.update_hashed_inner(h_a, b_fp);
+    }
+
+    /// [`update_hashed`](Self::update_hashed) minus the per-update
+    /// `tuples` counter bump, so batch paths can meter a whole batch
+    /// with one atomic add instead of one per row.
+    #[inline]
+    fn update_hashed_inner(&mut self, h_a: u64, b_fp: u64) {
         self.tuples += 1;
         let (idx, rank) = split_rank(h_a, self.log2_m);
         let outcome = self.bitmaps[idx].update(rank, h_a, b_fp);
-        self.metrics.estimator.record(&outcome);
+        self.metrics.estimator.record_outcome(&outcome);
         if outcome.entries_delta != 0 || outcome.budget_sheds > 0 {
             // Occupancy (and therefore the byte footprint) moved: refresh
             // the gauge. Steady-state updates skip the atomic store.
@@ -446,8 +471,11 @@ impl ImplicationEstimator {
     pub fn update_hashed_batch(&mut self, pairs: &[(u64, u64)]) {
         let mut span = self.trace.span(SpanKind::UpdateBatch);
         span.set_quantity(pairs.len() as u64);
+        // One atomic add meters the whole batch; the inner updates then
+        // touch the metrics lane only on state transitions.
+        self.metrics.estimator.tuples.add(pairs.len() as u64);
         for &(h_a, b_fp) in pairs {
-            self.update_hashed(h_a, b_fp);
+            self.update_hashed_inner(h_a, b_fp);
         }
     }
 

@@ -54,6 +54,7 @@
 pub(crate) mod arena;
 pub mod bounds;
 pub mod budget;
+pub mod catalog;
 pub mod cell;
 pub mod conditions;
 pub mod estimator;
@@ -72,6 +73,7 @@ pub mod wire;
 
 pub use bounds::{fringe_size_for_ratio, min_estimable_ratio};
 pub use budget::{CapacityPolicy, MemoryBudget};
+pub use catalog::{CatalogError, QueryCatalog, QueryId};
 pub use conditions::{
     Confidence, ImplicationConditions, ImplicationConditionsBuilder, MultiplicityPolicy,
 };

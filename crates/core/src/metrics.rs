@@ -383,6 +383,14 @@ impl EstimatorMetrics {
     #[inline]
     pub fn record(&self, outcome: &UpdateOutcome) {
         self.tuples.inc();
+        self.record_outcome(outcome);
+    }
+
+    /// [`record`](Self::record) without the per-update `tuples`
+    /// increment — for batch paths that count the whole batch with one
+    /// atomic add up front. The steady-state outcome is all-default, so
+    /// this is branch-predictable and store-free on the hot path.
+    pub fn record_outcome(&self, outcome: &UpdateOutcome) {
         if let Some(reason) = outcome.dirty {
             match reason {
                 DirtyReason::Multiplicity => self.dirty_multiplicity.inc(),

@@ -279,6 +279,22 @@ pub enum TraceEvent {
         /// The replica epoch discarded (truncated).
         epoch: u64,
     },
+    /// A query was registered with a [`QueryCatalog`](crate::catalog):
+    /// a fresh per-query estimator was reserved on the shared budget.
+    QueryRegistered {
+        /// The catalog-assigned query id.
+        query: u64,
+        /// Stream position (catalog tuples seen) at registration.
+        position: u64,
+    },
+    /// A query was retired from a [`QueryCatalog`](crate::catalog): its
+    /// arena bytes were released back to the shared budget.
+    QueryRetired {
+        /// The catalog-assigned query id.
+        query: u64,
+        /// Stream position (catalog tuples seen) at retirement.
+        position: u64,
+    },
 }
 
 impl TraceEvent {
@@ -341,6 +357,8 @@ impl TraceEvent {
                 [w0(11, error as u64, epoch), node, 0]
             }
             TraceEvent::ResyncForced { node, epoch } => [w0(12, 0, epoch), node, 0],
+            TraceEvent::QueryRegistered { query, position } => [w0(13, 0, position), query, 0],
+            TraceEvent::QueryRetired { query, position } => [w0(14, 0, position), query, 0],
         }
     }
 
@@ -408,6 +426,14 @@ impl TraceEvent {
             12 => TraceEvent::ResyncForced {
                 node: w[1],
                 epoch: position,
+            },
+            13 => TraceEvent::QueryRegistered {
+                query: w[1],
+                position,
+            },
+            14 => TraceEvent::QueryRetired {
+                query: w[1],
+                position,
             },
             _ => return None,
         })
@@ -502,6 +528,14 @@ impl TraceEvent {
             TraceEvent::ResyncForced { node, epoch } => format!(
                 "{{\"seq\":{seq},\"event\":\"resync_forced\",\"node\":{node},\
                  \"epoch\":{epoch}}}"
+            ),
+            TraceEvent::QueryRegistered { query, position } => format!(
+                "{{\"seq\":{seq},\"event\":\"query_registered\",\"query\":{query},\
+                 \"position\":{position}}}"
+            ),
+            TraceEvent::QueryRetired { query, position } => format!(
+                "{{\"seq\":{seq},\"event\":\"query_retired\",\"query\":{query},\
+                 \"position\":{position}}}"
             ),
         }
     }
@@ -982,6 +1016,14 @@ mod tests {
                 epoch: 10,
             },
             TraceEvent::ResyncForced { node: 3, epoch: 10 },
+            TraceEvent::QueryRegistered {
+                query: 5,
+                position: 1003,
+            },
+            TraceEvent::QueryRetired {
+                query: 5,
+                position: 1004,
+            },
         ];
         for e in all {
             h.record(|| e);

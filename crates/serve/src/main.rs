@@ -77,9 +77,11 @@ use implicate::core::wire::{
     peek_frame, WireDecoder, WireSnapshot, DEFAULT_MAX_FRAME_BYTES, REJECT_NODE_ID_SWITCH,
 };
 use implicate::sketch::hash::MixHasher;
+use implicate::spec;
 use implicate::{
     EstimateReader, EstimatorConfig, Fringe, ImplicationConditions, ImplicationEstimator,
-    MetricsHandle, MultiplicityPolicy, PairHasher, ShardedEstimator, TraceEvent, TraceHandle,
+    ImplicationQuery, MetricsHandle, MultiplicityPolicy, PairHasher, QueryCatalog, QueryId, Schema,
+    ShardedEstimator, TraceEvent, TraceHandle, Tuple,
 };
 
 mod flight;
@@ -87,7 +89,7 @@ mod status;
 
 /// Field hasher seed shared with the `implicate` CLI so both tools
 /// fingerprint the same fields identically.
-const FIELD_HASHER_SEED: u64 = 0x00f1_e1d5;
+const FIELD_HASHER_SEED: u64 = spec::FIELD_HASHER_SEED;
 
 /// Rows buffered per ingest connection before a batch ships to the
 /// writer.
@@ -127,9 +129,13 @@ struct Opts {
     upstream: Option<String>,
     node_id: u64,
     ship_every: u64,
+    keepalive_ms: u64,
     stale_after_ms: u64,
     flight_dir: Option<String>,
     flight_keep: usize,
+    catalog: bool,
+    arity: usize,
+    query_file: Option<String>,
 }
 
 const USAGE: &str = "\
@@ -167,6 +173,9 @@ distributed roles (see WIRE.md):
   --node-id N           stable identity of this edge at the aggregator
   --ship-every N        rows between upstream shipments
                         (default: --publish-every)
+  --keepalive-ms MS     edge: when idle, still ship an (empty) delta
+                        every MS milliseconds so the aggregator keeps
+                        seeing the node as live (default 1000; 0 = off)
 
 observability (see DESIGN.md §8.7):
   --stale-after MS      aggregator: a node with no applied frame for MS
@@ -175,6 +184,18 @@ observability (see DESIGN.md §8.7):
   --flight-dir DIR      on decode error, poison, or panic, drain the
                         trace ring to a JSONL flight recording in DIR
   --flight-keep N       keep at most N flight recordings (default 8)
+
+catalog role (see DESIGN.md §8.8):
+  --catalog             own a QueryCatalog instead of a single estimator:
+                        rows ingest once, every registered query answers
+                        from the same pass; queries are managed at
+                        runtime over HTTP (POST /query, DELETE
+                        /query/{id}, GET /estimate?query=ID)
+                        (requires --threads 1)
+  --arity N             columns per ingested row in catalog mode
+                        (default 8, max 64)
+  --query-file FILE     preload the catalog from a query spec file
+                        (same line grammar as the implicate CLI)
 ";
 
 fn parse_cols(v: &str) -> Vec<usize> {
@@ -220,9 +241,13 @@ fn parse_opts() -> Opts {
     let mut upstream: Option<String> = None;
     let mut node_id: Option<u64> = None;
     let mut ship_every: Option<u64> = None;
+    let mut keepalive_ms: Option<u64> = None;
     let mut stale_after_ms: Option<u64> = None;
     let mut flight_dir: Option<String> = None;
     let mut flight_keep: Option<usize> = None;
+    let mut catalog = false;
+    let mut arity: Option<usize> = None;
+    let mut query_file: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -272,9 +297,13 @@ fn parse_opts() -> Opts {
             "--upstream" => upstream = Some(val().to_string()),
             "--node-id" => node_id = Some(parse_num(val(), "--node-id")),
             "--ship-every" => ship_every = Some(parse_num(val(), "--ship-every")),
+            "--keepalive-ms" => keepalive_ms = Some(parse_num(val(), "--keepalive-ms")),
             "--stale-after" => stale_after_ms = Some(parse_num(val(), "--stale-after")),
             "--flight-dir" => flight_dir = Some(val().to_string()),
             "--flight-keep" => flight_keep = Some(parse_num(val(), "--flight-keep")),
+            "--catalog" => catalog = true,
+            "--arity" => arity = Some(parse_num(val(), "--arity")),
+            "--query-file" => query_file = Some(val().to_string()),
             other => die(&format!("unknown option {other:?} (try --help)")),
         }
     }
@@ -326,6 +355,27 @@ fn parse_opts() -> Opts {
     if flight_keep == Some(0) {
         die("--flight-keep must be at least 1");
     }
+    if keepalive_ms.is_some() && upstream.is_none() {
+        die("--keepalive-ms only makes sense with --upstream");
+    }
+    if catalog {
+        if aggregate || upstream.is_some() {
+            die("--catalog is its own role (no --aggregate / --upstream)");
+        }
+        if threads > 1 {
+            die("--catalog requires --threads 1 (the catalog is one single-pass engine)");
+        }
+        if checkpoint.is_some() || checkpoint_every.is_some() {
+            die("--checkpoint is not supported in catalog mode");
+        }
+    }
+    if !catalog && (arity.is_some() || query_file.is_some()) {
+        die("--arity / --query-file only make sense with --catalog");
+    }
+    let arity = arity.unwrap_or(8);
+    if catalog && !(1..=64).contains(&arity) {
+        die("--arity must be in 1..=64");
+    }
 
     let cond = ImplicationConditions::builder()
         .max_multiplicity(max_mult)
@@ -359,9 +409,13 @@ fn parse_opts() -> Opts {
         upstream,
         node_id: node_id.unwrap_or(0),
         ship_every: ship_every.unwrap_or(publish_every),
+        keepalive_ms: keepalive_ms.unwrap_or(1000),
         stale_after_ms: stale_after_ms.unwrap_or(DEFAULT_STALE_AFTER_MS),
         flight_dir,
         flight_keep: flight_keep.unwrap_or(8),
+        catalog,
+        arity,
+        query_file,
     }
 }
 
@@ -541,6 +595,212 @@ impl ShipSlot {
 
     fn is_empty(&self) -> bool {
         self.latest.lock().unwrap().is_none()
+    }
+}
+
+/// Catalog-role control message from an HTTP connection thread to the
+/// catalog writer — the single owner of the [`QueryCatalog`].
+enum CatalogCtrl {
+    /// Parse and register one query-spec line (the body of
+    /// `POST /query`); replies with the raw id or a client-readable
+    /// error.
+    Register {
+        line: String,
+        reply: SyncSender<Result<u64, String>>,
+    },
+    /// Retire by raw id (`DELETE /query/{id}`); replies with whether
+    /// the id was live.
+    Retire { id: u64, reply: SyncSender<bool> },
+}
+
+/// What a query connection needs to answer `/estimate?query=…` without
+/// consulting the writer: the registered name, the declarative query
+/// (for `answer_from`), and a wait-free per-query reader.
+struct CatalogQueryHandle {
+    name: String,
+    query: ImplicationQuery,
+    reader: EstimateReader,
+}
+
+/// Read-side state of the catalog role. The writer owns the
+/// [`QueryCatalog`]; query connections resolve per-query readers here
+/// and serve the Prometheus exposition the writer re-renders at the
+/// publish cadence.
+struct CatalogShared {
+    /// Live queries by raw id — mutated only by the writer (register /
+    /// retire); query threads lock briefly to resolve `?query=` by id
+    /// or name.
+    queries: Mutex<HashMap<u64, CatalogQueryHandle>>,
+    /// Latest `QueryCatalog::prometheus_into` rendering, per-query
+    /// labeled series included.
+    exposition: Mutex<String>,
+    /// Control channel into the catalog writer.
+    ctrl: SyncSender<CatalogCtrl>,
+}
+
+/// The catalog role's writer: single owner of the [`QueryCatalog`].
+/// Applies row batches, services register/retire control messages
+/// between batches, and republishes every query's view (plus the
+/// metrics exposition) on the publish cadence.
+///
+/// Returns (rows this session, final tuple count).
+fn catalog_writer_loop(
+    mut catalog: QueryCatalog,
+    batch_rx: &Receiver<Vec<Tuple>>,
+    ctrl_rx: &Receiver<CatalogCtrl>,
+    shared: &Shared,
+    cat: &CatalogShared,
+    publish_every: u64,
+) -> (u64, u64) {
+    let mut rows = 0u64;
+    let mut since_publish = 0u64;
+    let refresh = |catalog: &QueryCatalog, cat: &CatalogShared| {
+        let mut text = String::new();
+        catalog.prometheus_into("implicate", &mut text);
+        *cat.exposition.lock().unwrap() = text;
+    };
+    loop {
+        // Control first: a registration must not wait behind a long
+        // run of queued row batches.
+        while let Ok(msg) = ctrl_rx.try_recv() {
+            match msg {
+                CatalogCtrl::Register { line, reply } => {
+                    let result = spec::parse_query_line(&line).and_then(|s| {
+                        if s.max_column() >= catalog.schema().arity() {
+                            return Err(format!(
+                                "column {} out of range (--arity {})",
+                                s.max_column(),
+                                catalog.schema().arity(),
+                            ));
+                        }
+                        let id = catalog
+                            .try_register(s.name.clone(), s.query.clone())
+                            .map_err(|e| e.to_string())?;
+                        let reader = catalog.reader(id).expect("just registered");
+                        cat.queries.lock().unwrap().insert(
+                            id.raw(),
+                            CatalogQueryHandle {
+                                name: s.name,
+                                query: s.query,
+                                reader,
+                            },
+                        );
+                        Ok(id.raw())
+                    });
+                    refresh(&catalog, cat);
+                    let _ = reply.send(result);
+                }
+                CatalogCtrl::Retire { id, reply } => {
+                    let live = catalog.retire(QueryId::from_raw(id));
+                    if live {
+                        cat.queries.lock().unwrap().remove(&id);
+                        refresh(&catalog, cat);
+                    }
+                    let _ = reply.send(live);
+                }
+            }
+        }
+        match batch_rx.recv_timeout(POLL) {
+            Ok(batch) => {
+                let n = batch.len() as u64;
+                catalog.process_batch(&batch);
+                rows += n;
+                since_publish += n;
+                if since_publish >= publish_every {
+                    since_publish = 0;
+                    catalog.publish();
+                    refresh(&catalog, cat);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.stop.load(Ordering::Acquire) {
+                    break;
+                }
+                if since_publish > 0 {
+                    since_publish = 0;
+                    catalog.publish();
+                    refresh(&catalog, cat);
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    // Drain anything still queued, then publish the final state.
+    while let Ok(batch) = batch_rx.try_recv() {
+        rows += batch.len() as u64;
+        catalog.process_batch(&batch);
+    }
+    catalog.publish();
+    refresh(&catalog, cat);
+    shared.writer_done.store(true, Ordering::Release);
+    (rows, catalog.tuples_seen())
+}
+
+/// One catalog ingest connection: every line becomes a full
+/// `--arity`-wide tuple of field fingerprints (narrower rows are
+/// skipped), so any query registered now *or later in the stream* is
+/// answered from the same pass.
+fn catalog_ingest_connection(
+    stream: TcpStream,
+    shared: &Shared,
+    arity: usize,
+    delimiter: Option<char>,
+    tx: &SyncSender<Vec<Tuple>>,
+) {
+    stream.set_read_timeout(Some(POLL)).ok();
+    let field_hasher = MixHasher::new(FIELD_HASHER_SEED);
+    let mut reader = BufReader::new(stream);
+    let mut batch = Vec::with_capacity(INGEST_BATCH);
+    let mut vals = Vec::with_capacity(arity);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // EOF: client done.
+            Ok(_) => {
+                let trimmed = line.trim_end_matches(['\r', '\n']);
+                if !trimmed.is_empty() && !trimmed.starts_with('#') {
+                    let fields = split_line(trimmed, delimiter);
+                    if fields.len() >= arity {
+                        vals.clear();
+                        vals.extend(
+                            fields[..arity]
+                                .iter()
+                                .map(|f| implicate::text::hash_field(&field_hasher, f)),
+                        );
+                        batch.push(Tuple::new(vals.as_slice()));
+                        shared.accepted.fetch_add(1, Ordering::Relaxed);
+                        if batch.len() >= INGEST_BATCH {
+                            let full =
+                                std::mem::replace(&mut batch, Vec::with_capacity(INGEST_BATCH));
+                            if tx.send(full).is_err() {
+                                return;
+                            }
+                        }
+                    } else {
+                        shared.skipped.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                line.clear();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if !batch.is_empty() {
+                    let partial = std::mem::take(&mut batch);
+                    if tx.send(partial).is_err() {
+                        return;
+                    }
+                }
+                if shared.stop.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    if !batch.is_empty() {
+        let _ = tx.send(batch);
     }
 }
 
@@ -979,7 +1239,9 @@ fn main() {
         }));
     }
 
-    let role = if opts.aggregate {
+    let role = if opts.catalog {
+        "catalog"
+    } else if opts.aggregate {
         "aggregate"
     } else if opts.upstream.is_some() {
         "edge"
@@ -1026,13 +1288,82 @@ fn main() {
 
     let (batch_tx, batch_rx) = sync_channel::<Vec<(u64, u64)>>(INGEST_DEPTH);
     let (frame_tx, frame_rx) = sync_channel::<(bytes::Bytes, Arc<AtomicBool>)>(INGEST_DEPTH);
+    let (tuple_tx, tuple_rx) = sync_channel::<Vec<Tuple>>(INGEST_DEPTH);
+    let (ctrl_tx, ctrl_rx) = sync_channel::<CatalogCtrl>(INGEST_DEPTH);
+
+    // Catalog role: query connections resolve per-query readers and
+    // push register/retire control messages through this shared block.
+    let cat_shared: Option<Arc<CatalogShared>> = opts.catalog.then(|| {
+        Arc::new(CatalogShared {
+            queries: Mutex::new(HashMap::new()),
+            exposition: Mutex::new(String::new()),
+            ctrl: ctrl_tx,
+        })
+    });
 
     // Edge role: the writer hands captured wire snapshots to the
     // upstream sender through this keep-latest slot.
     let ship_slot = opts.upstream.as_ref().map(|_| Arc::new(ShipSlot::new()));
 
     // Writer thread: the single owner of estimator mutation.
-    let writer = if opts.aggregate {
+    let writer = if opts.catalog {
+        let schema = Schema::new((0..opts.arity).map(|i| (format!("c{i}"), 0)));
+        let mut catalog_engine = QueryCatalog::new(&schema, opts.config);
+        catalog_engine.set_trace(shared.trace.clone());
+        let cat = Arc::clone(cat_shared.as_ref().expect("catalog mode"));
+        // Preload from --query-file (same grammar as POST /query);
+        // any bad line is a startup error, not a silently-empty
+        // catalog.
+        if let Some(path) = &opts.query_file {
+            let text =
+                std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+            let specs =
+                spec::parse_query_file(&text).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+            let mut queries = cat.queries.lock().unwrap();
+            for s in specs {
+                if s.max_column() >= opts.arity {
+                    die(&format!(
+                        "{path}: query {:?} touches column {} (--arity {})",
+                        s.name,
+                        s.max_column(),
+                        opts.arity,
+                    ));
+                }
+                let id = catalog_engine
+                    .try_register(s.name.clone(), s.query.clone())
+                    .unwrap_or_else(|e| die(&format!("{path}: {}: {e}", s.name)));
+                let reader = catalog_engine.reader(id).expect("just registered");
+                queries.insert(
+                    id.raw(),
+                    CatalogQueryHandle {
+                        name: s.name,
+                        query: s.query,
+                        reader,
+                    },
+                );
+            }
+            drop(queries);
+            eprintln!(
+                "implicate-serve: preloaded {} queries from {path}",
+                catalog_engine.len()
+            );
+        }
+        let mut text = String::new();
+        catalog_engine.prometheus_into("implicate", &mut text);
+        *cat.exposition.lock().unwrap() = text;
+        let shared = Arc::clone(&shared);
+        let publish_every = opts.publish_every;
+        std::thread::spawn(move || {
+            catalog_writer_loop(
+                catalog_engine,
+                &tuple_rx,
+                &ctrl_rx,
+                &shared,
+                &cat,
+                publish_every,
+            )
+        })
+    } else if opts.aggregate {
         let shared = Arc::clone(&shared);
         let template = opts.config;
         let checkpoint = opts.checkpoint.clone();
@@ -1059,7 +1390,7 @@ fn main() {
         let checkpoint_every = opts.checkpoint_every;
         let ship = ship_slot
             .as_ref()
-            .map(|slot| (Arc::clone(slot), opts.ship_every));
+            .map(|slot| (Arc::clone(slot), opts.ship_every, opts.keepalive_ms));
         std::thread::spawn(move || {
             writer_loop(
                 pipeline,
@@ -1101,6 +1432,18 @@ fn main() {
                     });
                 });
             });
+        } else if opts.catalog {
+            let arity = opts.arity;
+            let delimiter = opts.delimiter;
+            let tuple_tx = tuple_tx.clone();
+            std::thread::spawn(move || {
+                accept_loop(&ingest_listener, &shared, move |stream, shared| {
+                    let tx = tuple_tx.clone();
+                    std::thread::spawn(move || {
+                        catalog_ingest_connection(stream, &shared, arity, delimiter, &tx);
+                    });
+                });
+            });
         } else {
             let lhs = opts.lhs.clone();
             let rhs = opts.rhs.clone();
@@ -1122,16 +1465,19 @@ fn main() {
     // connection is gone at shutdown.
     drop(batch_tx);
     drop(frame_tx);
+    drop(tuple_tx);
 
     // Query acceptor.
     {
         let shared = Arc::clone(&shared);
         query_listener.set_nonblocking(true).expect("nonblocking");
+        let cat = cat_shared.clone();
         std::thread::spawn(move || {
             accept_loop(&query_listener, &shared, move |stream, shared| {
                 let reader = reader_proto.clone();
+                let cat = cat.clone();
                 std::thread::spawn(move || {
-                    query_connection(stream, &shared, &reader);
+                    query_connection(stream, &shared, &reader, cat.as_deref());
                 });
             });
         });
@@ -1181,17 +1527,18 @@ fn writer_loop(
     publish_every: u64,
     checkpoint: Option<&str>,
     checkpoint_every: Option<u64>,
-    ship: Option<(Arc<ShipSlot>, u64)>,
+    ship: Option<(Arc<ShipSlot>, u64, u64)>,
 ) -> (u64, u64) {
     let mut rows = 0u64;
     let mut since_publish = 0u64;
     let mut since_checkpoint = 0u64;
     let mut since_ship = 0u64;
     let mut ship_epoch = 0u64;
+    let mut last_capture = std::time::Instant::now();
     // Captures the sequential estimator's state into the ship slot
     // under the next wire epoch (edge role only).
     let capture = |pipeline: &Pipeline, ship_epoch: &mut u64| {
-        if let (Some((slot, _)), Some(est)) = (&ship, pipeline.sequential()) {
+        if let (Some((slot, _, _)), Some(est)) = (&ship, pipeline.sequential()) {
             *ship_epoch += 1;
             slot.store(WireSnapshot::capture(est, *ship_epoch));
         }
@@ -1211,9 +1558,13 @@ fn writer_loop(
                 since_publish += n;
                 since_checkpoint += n;
                 since_ship += n;
-                if ship.as_ref().is_some_and(|(_, every)| since_ship >= *every) {
+                if ship
+                    .as_ref()
+                    .is_some_and(|(_, every, _)| since_ship >= *every)
+                {
                     since_ship = 0;
                     capture(&pipeline, &mut ship_epoch);
+                    last_capture = std::time::Instant::now();
                 }
                 if let Some(edge) = &shared.edge {
                     edge.set_unshipped(since_ship);
@@ -1253,10 +1604,18 @@ fn writer_loop(
                 }
                 // Idle edges ship the stream's tail: rows that arrived
                 // since the last capture must not wait for a full
-                // cadence interval that may never fill.
-                if since_ship > 0 {
+                // cadence interval that may never fill. Fully-idle
+                // edges still ship on the keep-alive cadence — the
+                // resulting unchanged-state delta is ~20 bytes, and it
+                // keeps the node `live` on the aggregator's registry
+                // instead of decaying to `stale` for mere quietness.
+                let keepalive_due = ship.as_ref().is_some_and(|(_, _, ka_ms)| {
+                    *ka_ms > 0 && last_capture.elapsed() >= Duration::from_millis(*ka_ms)
+                });
+                if since_ship > 0 || keepalive_due {
                     since_ship = 0;
                     capture(&pipeline, &mut ship_epoch);
+                    last_capture = std::time::Instant::now();
                 }
                 if let Some(edge) = &shared.edge {
                     edge.set_unshipped(since_ship);
@@ -1282,7 +1641,7 @@ fn writer_loop(
     *shared.snapshot.lock().unwrap() = Some(data);
     // The final state always ships (an unchanged-state delta is a few
     // bytes), so a graceful edge shutdown never strands its tail.
-    if let Some((slot, _)) = &ship {
+    if let Some((slot, _, _)) = &ship {
         ship_epoch += 1;
         slot.store(WireSnapshot::capture(&est, ship_epoch));
     }
@@ -1357,12 +1716,205 @@ fn ingest_connection(
     }
 }
 
+/// Routes specific to the catalog role; `None` falls through to the
+/// common handler (`/healthz`, `/shutdown`, 404).
+fn catalog_route(
+    method: &str,
+    route: &str,
+    query_string: &str,
+    body_in: &[u8],
+    cat: &CatalogShared,
+    shared: &Shared,
+) -> Option<(&'static str, &'static str, Vec<u8>)> {
+    match (method, route) {
+        ("GET", "/estimate") => {
+            let Some(wanted) = query_string
+                .split('&')
+                .find_map(|kv| kv.strip_prefix("query="))
+            else {
+                return Some((
+                    "400 Bad Request",
+                    "text/plain",
+                    b"catalog mode: GET /estimate?query=ID-or-NAME\n".to_vec(),
+                ));
+            };
+            let queries = cat.queries.lock().unwrap();
+            let found = wanted
+                .parse::<u64>()
+                .ok()
+                .and_then(|id| queries.get_key_value(&id))
+                .or_else(|| queries.iter().find(|(_, h)| h.name == wanted));
+            let Some((id, handle)) = found else {
+                return Some((
+                    "404 Not Found",
+                    "text/plain",
+                    format!("no query {wanted:?}\n").into_bytes(),
+                ));
+            };
+            let view = handle.reader.view();
+            let e = view.estimate();
+            let answer = handle.query.answer_from(&e);
+            let body = format!(
+                "{{\"id\":{id},\"name\":{},\"epoch\":{},\"tuples\":{},\
+                 \"answer\":{answer},\"answer_bits\":{},\
+                 \"f0_sup\":{},\"non_implication_count\":{},\"implication_count\":{}}}\n",
+                flight::json_string(&handle.name),
+                view.epoch(),
+                view.tuples(),
+                answer.to_bits(),
+                e.f0_sup,
+                e.non_implication_count,
+                e.implication_count,
+            );
+            Some(("200 OK", "application/json", body.into_bytes()))
+        }
+        ("GET", "/queries") => {
+            let queries = cat.queries.lock().unwrap();
+            let mut rows: Vec<(u64, String)> = queries
+                .iter()
+                .map(|(id, h)| {
+                    (
+                        *id,
+                        format!(
+                            "{{\"id\":{id},\"name\":{},\"tuples\":{}}}",
+                            flight::json_string(&h.name),
+                            h.reader.view().tuples(),
+                        ),
+                    )
+                })
+                .collect();
+            rows.sort_by_key(|(id, _)| *id);
+            let body = format!(
+                "{{\"queries\":[{}]}}\n",
+                rows.iter()
+                    .map(|(_, json)| json.as_str())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            );
+            Some(("200 OK", "application/json", body.into_bytes()))
+        }
+        ("POST", "/query") => {
+            let line = String::from_utf8_lossy(body_in);
+            let line = line.trim();
+            if line.is_empty() {
+                return Some((
+                    "400 Bad Request",
+                    "text/plain",
+                    b"empty body: expected one query spec line\n".to_vec(),
+                ));
+            }
+            let (reply_tx, reply_rx) = sync_channel(1);
+            let msg = CatalogCtrl::Register {
+                line: line.to_string(),
+                reply: reply_tx,
+            };
+            if cat.ctrl.send(msg).is_err() {
+                return Some((
+                    "503 Service Unavailable",
+                    "text/plain",
+                    b"catalog writer is gone\n".to_vec(),
+                ));
+            }
+            match reply_rx.recv_timeout(Duration::from_secs(5)) {
+                Ok(Ok(id)) => {
+                    let name = cat
+                        .queries
+                        .lock()
+                        .unwrap()
+                        .get(&id)
+                        .map(|h| h.name.clone())
+                        .unwrap_or_default();
+                    let body = format!("{{\"id\":{id},\"name\":{}}}\n", flight::json_string(&name));
+                    ("200 OK", "application/json", body.into_bytes())
+                }
+                Ok(Err(e)) => (
+                    "400 Bad Request",
+                    "text/plain",
+                    format!("{e}\n").into_bytes(),
+                ),
+                Err(_) => (
+                    "503 Service Unavailable",
+                    "text/plain",
+                    b"catalog writer timed out\n".to_vec(),
+                ),
+            }
+            .into()
+        }
+        ("DELETE", _) if route.starts_with("/query/") => {
+            let Ok(id) = route["/query/".len()..].parse::<u64>() else {
+                return Some((
+                    "400 Bad Request",
+                    "text/plain",
+                    b"DELETE /query/{numeric-id}\n".to_vec(),
+                ));
+            };
+            let (reply_tx, reply_rx) = sync_channel(1);
+            let msg = CatalogCtrl::Retire {
+                id,
+                reply: reply_tx,
+            };
+            if cat.ctrl.send(msg).is_err() {
+                return Some((
+                    "503 Service Unavailable",
+                    "text/plain",
+                    b"catalog writer is gone\n".to_vec(),
+                ));
+            }
+            match reply_rx.recv_timeout(Duration::from_secs(5)) {
+                Ok(true) => (
+                    "200 OK",
+                    "text/plain",
+                    format!("retired {id}\n").into_bytes(),
+                ),
+                Ok(false) => (
+                    "404 Not Found",
+                    "text/plain",
+                    format!("no query {id}\n").into_bytes(),
+                ),
+                Err(_) => (
+                    "503 Service Unavailable",
+                    "text/plain",
+                    b"catalog writer timed out\n".to_vec(),
+                ),
+            }
+            .into()
+        }
+        ("GET", "/metrics") => Some((
+            "200 OK",
+            "text/plain; version=0.0.4",
+            cat.exposition.lock().unwrap().clone().into_bytes(),
+        )),
+        ("GET", "/status") => {
+            let queries = cat.queries.lock().unwrap().len();
+            let body = format!(
+                "{{\"role\":\"catalog\",\"queries\":{queries},\
+                 \"accepted\":{},\"skipped\":{},\"uptime_ms\":{}}}\n",
+                shared.accepted.load(Ordering::Relaxed),
+                shared.skipped.load(Ordering::Relaxed),
+                shared.now_ms(),
+            );
+            Some(("200 OK", "application/json", body.into_bytes()))
+        }
+        ("GET", "/snapshot") => Some((
+            "404 Not Found",
+            "text/plain",
+            b"no snapshots in catalog mode (state is per-query)\n".to_vec(),
+        )),
+        _ => None,
+    }
+}
+
 /// One query connection: answer a single HTTP request and close.
-fn query_connection(mut stream: TcpStream, shared: &Shared, reader: &EstimateReader) {
+fn query_connection(
+    mut stream: TcpStream,
+    shared: &Shared,
+    reader: &EstimateReader,
+    catalog: Option<&CatalogShared>,
+) {
     stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
     let mut buf = Vec::with_capacity(512);
     let mut byte = [0u8; 1];
-    // Read until the header terminator; requests here have no body.
+    // Read until the header terminator.
     while !buf.ends_with(b"\r\n\r\n") && !buf.ends_with(b"\n\n") {
         match stream.read(&mut byte) {
             Ok(0) => break,
@@ -1378,81 +1930,106 @@ fn query_connection(mut stream: TcpStream, shared: &Shared, reader: &EstimateRea
     let request = String::from_utf8_lossy(&buf);
     let mut parts = request.lines().next().unwrap_or("").split_whitespace();
     let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (route, query_string) = path.split_once('?').unwrap_or((path, ""));
+    // Read the body when one is declared (`POST /query` carries a spec
+    // line); bounded so a bogus length cannot balloon the buffer.
+    let content_length = request
+        .lines()
+        .find_map(|l| {
+            let (k, v) = l.split_once(':')?;
+            k.trim()
+                .eq_ignore_ascii_case("content-length")
+                .then(|| v.trim().parse::<usize>().ok())
+                .flatten()
+        })
+        .unwrap_or(0);
+    let mut body_in = vec![0u8; content_length.min(65_536)];
+    if !body_in.is_empty() && stream.read_exact(&mut body_in).is_err() {
+        body_in.clear();
+    }
 
-    let (status, content_type, body): (&str, &str, Vec<u8>) = match (method, path) {
-        ("GET", "/estimate") => {
-            let view = reader.view();
-            let e = view.estimate();
-            let body = format!(
-                "{{\"epoch\":{},\"tuples\":{},\"accepted\":{},\"skipped\":{},\
+    let catalog_answer = catalog.and_then(|cat| {
+        catalog_route(method, route, query_string, &body_in, cat, shared)
+            .map(|(s, ct, b)| (s, ct, b))
+    });
+    let (status, content_type, body): (&str, &str, Vec<u8>) = if let Some(answer) = catalog_answer {
+        answer
+    } else {
+        match (method, route) {
+            ("GET", "/estimate") => {
+                let view = reader.view();
+                let e = view.estimate();
+                let body = format!(
+                    "{{\"epoch\":{},\"tuples\":{},\"accepted\":{},\"skipped\":{},\
                  \"f0_sup\":{},\"non_implication_count\":{},\"implication_count\":{},\
                  \"f0_sup_bits\":{},\"non_implication_count_bits\":{},\
                  \"implication_count_bits\":{}}}\n",
-                view.epoch(),
-                view.tuples(),
-                shared.accepted.load(Ordering::Relaxed),
-                shared.skipped.load(Ordering::Relaxed),
-                e.f0_sup,
-                e.non_implication_count,
-                e.implication_count,
-                e.f0_sup.to_bits(),
-                e.non_implication_count.to_bits(),
-                e.implication_count.to_bits(),
-            );
-            ("200 OK", "application/json", body.into_bytes())
-        }
-        ("GET", "/metrics") => {
-            let mut body = shared.metrics.prometheus("implicate");
-            let now = shared.now_ms();
-            if let Some(fleet) = &shared.fleet {
-                fleet.prometheus_into("implicate", now, &mut body);
+                    view.epoch(),
+                    view.tuples(),
+                    shared.accepted.load(Ordering::Relaxed),
+                    shared.skipped.load(Ordering::Relaxed),
+                    e.f0_sup,
+                    e.non_implication_count,
+                    e.implication_count,
+                    e.f0_sup.to_bits(),
+                    e.non_implication_count.to_bits(),
+                    e.implication_count.to_bits(),
+                );
+                ("200 OK", "application/json", body.into_bytes())
             }
-            if let Some(edge) = &shared.edge {
-                edge.prometheus_into("implicate", now, &mut body);
+            ("GET", "/metrics") => {
+                let mut body = shared.metrics.prometheus("implicate");
+                let now = shared.now_ms();
+                if let Some(fleet) = &shared.fleet {
+                    fleet.prometheus_into("implicate", now, &mut body);
+                }
+                if let Some(edge) = &shared.edge {
+                    edge.prometheus_into("implicate", now, &mut body);
+                }
+                ("200 OK", "text/plain; version=0.0.4", body.into_bytes())
             }
-            ("200 OK", "text/plain; version=0.0.4", body.into_bytes())
-        }
-        ("GET", "/status") => {
-            let view = reader.view();
-            let now = shared.now_ms();
-            let mut body = format!(
-                "{{\"role\":\"{}\",\"epoch\":{},\"tuples\":{},\
+            ("GET", "/status") => {
+                let view = reader.view();
+                let now = shared.now_ms();
+                let mut body = format!(
+                    "{{\"role\":\"{}\",\"epoch\":{},\"tuples\":{},\
                  \"accepted\":{},\"skipped\":{},\"uptime_ms\":{now}",
-                shared.role,
-                view.epoch(),
-                view.tuples(),
-                shared.accepted.load(Ordering::Relaxed),
-                shared.skipped.load(Ordering::Relaxed),
-            );
-            if let Some(fleet) = &shared.fleet {
-                body.push_str(",\"fleet\":");
-                body.push_str(&fleet.status_json(now));
+                    shared.role,
+                    view.epoch(),
+                    view.tuples(),
+                    shared.accepted.load(Ordering::Relaxed),
+                    shared.skipped.load(Ordering::Relaxed),
+                );
+                if let Some(fleet) = &shared.fleet {
+                    body.push_str(",\"fleet\":");
+                    body.push_str(&fleet.status_json(now));
+                }
+                if let Some(edge) = &shared.edge {
+                    body.push_str(",\"edge\":");
+                    body.push_str(&edge.status_json(now));
+                }
+                body.push_str("}\n");
+                ("200 OK", "application/json", body.into_bytes())
             }
-            if let Some(edge) = &shared.edge {
-                body.push_str(",\"edge\":");
-                body.push_str(&edge.status_json(now));
+            ("GET", "/snapshot") => match shared.snapshot.lock().unwrap().clone() {
+                Some(data) => ("200 OK", "application/octet-stream", data.to_vec()),
+                None => (
+                    "404 Not Found",
+                    "text/plain",
+                    b"no checkpoint published yet\n".to_vec(),
+                ),
+            },
+            ("GET", "/healthz") => ("200 OK", "text/plain", b"ok\n".to_vec()),
+            ("POST", "/shutdown") | ("GET", "/shutdown") => {
+                shared.stop.store(true, Ordering::Release);
+                ("200 OK", "text/plain", b"shutting down\n".to_vec())
             }
-            body.push_str("}\n");
-            ("200 OK", "application/json", body.into_bytes())
-        }
-        ("GET", "/snapshot") => match shared.snapshot.lock().unwrap().clone() {
-            Some(data) => ("200 OK", "application/octet-stream", data.to_vec()),
-            None => (
+            _ => (
                 "404 Not Found",
                 "text/plain",
-                b"no checkpoint published yet\n".to_vec(),
+                b"routes: /estimate /status /metrics /snapshot /healthz /shutdown\n".to_vec(),
             ),
-        },
-        ("GET", "/healthz") => ("200 OK", "text/plain", b"ok\n".to_vec()),
-        ("POST", "/shutdown") | ("GET", "/shutdown") => {
-            shared.stop.store(true, Ordering::Release);
-            ("200 OK", "text/plain", b"shutting down\n".to_vec())
         }
-        _ => (
-            "404 Not Found",
-            "text/plain",
-            b"routes: /estimate /status /metrics /snapshot /healthz /shutdown\n".to_vec(),
-        ),
     };
 
     let header = format!(

@@ -21,6 +21,7 @@
 //!   for persisting generated workloads.
 
 pub mod dictionary;
+pub mod hashplan;
 pub mod io;
 pub mod item;
 pub mod project;
@@ -31,6 +32,7 @@ pub mod tuple;
 pub mod window;
 
 pub use dictionary::Dictionary;
+pub use hashplan::{ItemsetCombiner, QueryCombiner, TupleHasher};
 pub use item::ItemKey;
 pub use project::Projector;
 pub use schema::{AttrId, AttrSet, Schema};

@@ -4,18 +4,24 @@
 //!
 //! A functional dependency `X → Y` holds approximately when almost every
 //! distinct `X`-itemset implies a single `Y`-itemset. The *implication
-//! ratio* `S / F0^sup` — both terms estimated by one NIPS/CI pass per
-//! candidate — scores each candidate dependency without storing any
-//! itemsets, exactly the §2 preprocessing step for dependency-aware
-//! histogram synopses.
+//! ratio* `S / F0^sup` — both terms estimated by NIPS/CI — scores each
+//! candidate dependency without storing any itemsets, exactly the §2
+//! preprocessing step for dependency-aware histogram synopses.
+//!
+//! All six candidates are registered in one [`QueryCatalog`] and scored
+//! in a **single pass**: each tuple's attributes are hashed once and
+//! every candidate derives its `(X, Y)` itemset hashes from that shared
+//! stage, instead of re-projecting and re-hashing per candidate.
 //!
 //! Run with: `cargo run --release --example approx_dependencies`
 
+use implicate::catalog::QueryCatalog;
 use implicate::datagen::olap::{schema, OlapSpec, OlapStream};
 use implicate::stream::source::TupleSource;
-use implicate::{EstimatorConfig, ImplicationConditions, ImplicationEstimator, Projector};
+use implicate::{EstimatorConfig, ImplicationConditions, ImplicationQuery, Tuple};
 
 const TUPLES: u64 = 500_000;
+const BATCH: usize = 1024;
 
 fn main() {
     let sch = schema();
@@ -33,28 +39,29 @@ fn main() {
     // dependency; σ = 5 ignores itemsets without enough evidence.
     let cond = ImplicationConditions::one_to_c(1, 0.95, 5);
 
-    let mut engines: Vec<(Projector, Projector, ImplicationEstimator)> = candidates
+    // One catalog: six candidate estimators on one shared budget, fed by
+    // a single attribute-wise hashing stage.
+    let mut catalog = QueryCatalog::new(&sch, EstimatorConfig::new(cond).seed(1000));
+    let ids: Vec<_> = candidates
         .iter()
-        .enumerate()
-        .map(|(i, (_, lhs, rhs))| {
-            (
-                Projector::new(&sch, sch.attr_set(lhs)),
-                Projector::new(&sch, sch.attr_set(rhs)),
-                EstimatorConfig::new(cond).seed(1000 + i as u64).build(),
+        .map(|(name, lhs, rhs)| {
+            catalog.register(
+                *name,
+                ImplicationQuery::noisy(sch.attr_set(lhs), sch.attr_set(rhs), 1, 0.95, 5),
             )
         })
         .collect();
 
     let mut stream = OlapStream::new(OlapSpec::default());
-    let mut buf_a = Vec::new();
-    let mut buf_b = Vec::new();
-    for _ in 0..TUPLES {
-        let t = stream.next_tuple().expect("infinite stream");
-        for (pl, pr, est) in &mut engines {
-            pl.project_into(&t, &mut buf_a);
-            pr.project_into(&t, &mut buf_b);
-            est.update(&buf_a, &buf_b);
+    let mut batch: Vec<Tuple> = Vec::with_capacity(BATCH);
+    let mut remaining = TUPLES;
+    while remaining > 0 {
+        batch.clear();
+        while batch.len() < BATCH && remaining > 0 {
+            batch.push(stream.next_tuple().expect("infinite stream"));
+            remaining -= 1;
         }
+        catalog.process_batch(&batch);
     }
 
     println!("approximate-dependency scores after {TUPLES} tuples");
@@ -65,8 +72,8 @@ fn main() {
     );
     println!("{}", "-".repeat(66));
     let mut scored: Vec<(String, f64, f64, f64)> = Vec::new();
-    for ((name, _, _), (_, _, est)) in candidates.iter().zip(&engines) {
-        let e = est.estimate_now();
+    for ((name, _, _), id) in candidates.iter().zip(&ids) {
+        let e = catalog.estimate(*id).expect("registered candidate");
         let ratio = if e.f0_sup > 0.0 {
             (e.implication_count / e.f0_sup).min(1.0)
         } else {

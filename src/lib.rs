@@ -46,9 +46,11 @@
 //! assert!((e.implication_count - 5000.0).abs() < 1500.0);
 //! ```
 //!
-//! Higher-level query construction lives in [`query`]; see the
-//! `examples/` directory for runnable scenarios.
+//! Higher-level query construction lives in [`query`]; evaluating a
+//! whole catalog of queries in a single stream pass lives in
+//! [`catalog`]. See the `examples/` directory for runnable scenarios.
 
+pub mod spec;
 pub mod text;
 
 pub use imp_baselines as baselines;
@@ -61,6 +63,7 @@ pub use imp_baselines::{
     AccuracyAuditor, DistinctSampling, ErrorSample, ExactCounter, Ilc, ImplicationCounter,
     ImplicationStickySampling, LossyCounter, NaiveImplicationBitmap, StickySampler,
 };
+pub use imp_core::catalog::{self, CatalogError, QueryCatalog, QueryId};
 pub use imp_core::query::{self, Filter};
 pub use imp_core::{
     lint_prometheus, CapacityPolicy, Confidence, DirtyReason, Estimate, EstimateReader,
@@ -70,4 +73,4 @@ pub use imp_core::{
     ShardedEstimator, Span, SpanKind, TraceEvent, TraceHandle, TraceJournal, TracedEvent,
     UpdateOutcome, WireMetrics,
 };
-pub use imp_stream::{AttrSet, ItemKey, Projector, Schema, Tuple};
+pub use imp_stream::{AttrSet, ItemKey, Projector, QueryCombiner, Schema, Tuple, TupleHasher};

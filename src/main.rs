@@ -23,7 +23,26 @@
 //!
 //! # structured tracing (JSONL event journal) + online accuracy audit
 //! implicate --lhs 0 --rhs 1 --trace-out events.jsonl --audit 100000 traffic.csv
+//!
+//! # a whole catalog of queries in ONE pass over the stream
+//! implicate --query-file queries.txt --stats traffic.csv
 //! ```
+//!
+//! A query file declares one query per line (`#` comments allowed):
+//!
+//! ```text
+//! # name      kind        lhs   rhs   options
+//! loyal       one-to-one  0     1     support=1
+//! fanout      more-than   0     1     k=10
+//! sources     distinct    0     -
+//! mostly-one  noisy       0     1     c=1 psi=80 support=2
+//! not-single  one-to-one  1     2     complement
+//! morning     one-to-one  0     1     where=3=morning
+//! ```
+//!
+//! All queries share a single attribute-wise hashing stage and one
+//! global `--memory-budget`; each tuple is hashed once no matter how
+//! many queries are registered (see DESIGN.md §8.8).
 //!
 //! Fields are treated as opaque strings (hashed to 64-bit fingerprints),
 //! so the tool works on IPs, URLs or numeric ids alike.
@@ -34,9 +53,11 @@ use std::sync::mpsc::sync_channel;
 use std::sync::OnceLock;
 
 use implicate::sketch::hash::MixHasher;
+use implicate::spec::QuerySpec;
 use implicate::{
-    AccuracyAuditor, EstimatorConfig, Fringe, ImplicationConditions, ImplicationEstimator,
-    MetricsHandle, MultiplicityPolicy, ShardedEstimator, TraceHandle,
+    AccuracyAuditor, EstimatorConfig, ExactCounter, Fringe, ImplicationConditions,
+    ImplicationCounter, ImplicationEstimator, MetricsHandle, MultiplicityPolicy, QueryCatalog,
+    QueryKind, Schema, ShardedEstimator, TraceHandle, Tuple,
 };
 
 /// Lines per batch handed from the reader to the parser pool.
@@ -88,6 +109,7 @@ struct CliDraft {
     audit_sample: u64,
     save: Option<String>,
     resume: Option<String>,
+    query_file: Option<String>,
     input: Option<String>,
 }
 
@@ -118,6 +140,7 @@ impl Default for CliDraft {
             audit_sample: 1,
             save: None,
             resume: None,
+            query_file: None,
             input: None,
         }
     }
@@ -297,6 +320,12 @@ const OPTIONS: &[Opt] = &[
         doc: "restore estimator state from a snapshot before reading",
         set: |d, v| d.resume = Some(v.to_owned()),
     },
+    Opt {
+        name: "--query-file",
+        metavar: "FILE",
+        doc: "evaluate a catalog of queries (one per line) in a single\npass; replaces --lhs/--rhs, shares one hashing stage and\none --memory-budget across all queries (header comment\nin src/main.rs documents the line grammar)",
+        set: |d, v| d.query_file = Some(v.to_owned()),
+    },
 ];
 
 /// The usage text, generated from [`OPTIONS`].
@@ -336,10 +365,12 @@ fn usage() -> &'static str {
     })
 }
 
-/// Parsed and validated command line.
+/// Parsed and validated command line. In catalog mode (`--query-file`),
+/// `lhs`/`rhs` are empty and `queries` holds the parsed catalog.
 struct Cli {
     lhs: Vec<usize>,
     rhs: Vec<usize>,
+    queries: Vec<QuerySpec>,
     config: EstimatorConfig,
     complement: bool,
     delimiter: Option<char>,
@@ -411,8 +442,25 @@ fn parse_cli() -> Cli {
 impl CliDraft {
     /// Validates the draft and assembles the estimator configuration.
     fn finish(self) -> Cli {
-        let lhs = self.lhs.unwrap_or_else(|| die("--lhs is required"));
-        let rhs = self.rhs.unwrap_or_else(|| die("--rhs is required"));
+        let (lhs, rhs, queries) = if let Some(path) = &self.query_file {
+            if self.lhs.is_some() || self.rhs.is_some() {
+                die("--query-file replaces --lhs/--rhs");
+            }
+            if self.threads > 1 {
+                die("--query-file requires --threads 1 (the catalog is one single-pass engine)");
+            }
+            if self.save.is_some() || self.resume.is_some() {
+                die("--save/--resume are not supported with --query-file");
+            }
+            if self.complement {
+                die("--complement is per-query in a query file (use the `complement` option)");
+            }
+            (Vec::new(), Vec::new(), parse_query_file(path))
+        } else {
+            let lhs = self.lhs.unwrap_or_else(|| die("--lhs is required"));
+            let rhs = self.rhs.unwrap_or_else(|| die("--rhs is required"));
+            (lhs, rhs, Vec::new())
+        };
         if !(0.0..=100.0).contains(&self.confidence) {
             die("--confidence must be in [0, 100]");
         }
@@ -472,6 +520,7 @@ impl CliDraft {
         Cli {
             lhs,
             rhs,
+            queries,
             config,
             complement: self.complement,
             delimiter: self.delimiter,
@@ -488,6 +537,189 @@ impl CliDraft {
             resume: self.resume,
             input: self.input,
         }
+    }
+}
+
+/// Seed of the hasher folding raw text fields into 64-bit fingerprints
+/// (rows and `where=` literals must agree, so it is fixed).
+const FIELD_HASHER_SEED: u64 = implicate::spec::FIELD_HASHER_SEED;
+
+/// Reads and parses a `--query-file` (line grammar: `implicate::spec`).
+fn parse_query_file(path: &str) -> Vec<QuerySpec> {
+    let body = std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+    implicate::spec::parse_query_file(&body).unwrap_or_else(|e| die(&format!("{path}: {e}")))
+}
+
+/// Exact reference counters for one query during `--audit`.
+struct CatalogAudit {
+    exact: ExactCounter,
+    buf_a: Vec<u64>,
+    buf_b: Vec<u64>,
+}
+
+impl CatalogAudit {
+    fn observe(&mut self, q: &QuerySpec, t: &Tuple) {
+        if !q.query.filter.is_empty() && !q.query.filter.matches(t) {
+            return;
+        }
+        self.buf_a.clear();
+        self.buf_b.clear();
+        self.buf_a.extend(q.lhs_cols.iter().map(|&c| t.get(c)));
+        self.buf_b.extend(q.rhs_cols.iter().map(|&c| t.get(c)));
+        self.exact.update(&self.buf_a, &self.buf_b);
+    }
+
+    fn answer(&self, kind: QueryKind) -> f64 {
+        match kind {
+            QueryKind::DistinctCount => self.exact.exact_f0_sup() as f64,
+            QueryKind::Implication => self.exact.exact_implication_count() as f64,
+            QueryKind::Complement => self.exact.exact_non_implication_count() as f64,
+        }
+    }
+}
+
+/// Catalog mode: registers every `--query-file` query in one
+/// [`QueryCatalog`] and answers all of them in a single pass. Rows are
+/// hashed whole (every column becomes one tuple attribute), batched, and
+/// fed query-major; `--watch`, `--stats`, `--stats-interval`, `--audit`
+/// and `--trace-out` all operate per query.
+fn run_catalog(cli: &Cli) {
+    let arity = 1 + cli
+        .queries
+        .iter()
+        .map(|q| q.max_column())
+        .max()
+        .expect("parse_query_file rejects empty catalogs");
+    let schema = Schema::new((0..arity).map(|i| (format!("c{i}"), 0)));
+
+    let mut catalog = QueryCatalog::new(&schema, cli.config);
+    if cli.trace_out.is_some() {
+        catalog.set_trace(TraceHandle::with_capacity(cli.trace_buffer));
+    }
+    for q in &cli.queries {
+        if let Err(e) = catalog.try_register(q.name.clone(), q.query.clone()) {
+            die(&format!("query {:?}: {e}", q.name));
+        }
+    }
+    let ids: Vec<_> = cli
+        .queries
+        .iter()
+        .map(|q| catalog.find(&q.name).expect("just registered"))
+        .collect();
+    let mut audits: Vec<CatalogAudit> = if cli.audit.is_some() {
+        cli.queries
+            .iter()
+            .map(|q| CatalogAudit {
+                exact: ExactCounter::new(q.query.conditions),
+                buf_a: Vec::new(),
+                buf_b: Vec::new(),
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let field_hasher = MixHasher::new(FIELD_HASHER_SEED);
+    let reader = open_input(cli);
+    let mut batch: Vec<Tuple> = Vec::new();
+    let mut vals: Vec<u64> = Vec::with_capacity(arity);
+    let mut rows = 0u64;
+    let mut skipped = 0u64;
+    let flush = |catalog: &mut QueryCatalog, batch: &mut Vec<Tuple>| {
+        catalog.process_batch(batch);
+        batch.clear();
+    };
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => die(&format!("read error: {e}")),
+        };
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields = split_line(&line, cli.delimiter);
+        if fields.len() < arity {
+            skipped += 1;
+            continue;
+        }
+        vals.clear();
+        vals.extend(
+            fields[..arity]
+                .iter()
+                .map(|f| implicate::text::hash_field(&field_hasher, f)),
+        );
+        let t = Tuple::new(vals.as_slice());
+        if !audits.is_empty() {
+            for (q, audit) in cli.queries.iter().zip(&mut audits) {
+                audit.observe(q, &t);
+            }
+        }
+        batch.push(t);
+        rows += 1;
+        if batch.len() >= LINE_BATCH {
+            flush(&mut catalog, &mut batch);
+        }
+        let boundary = |n: Option<u64>| n.is_some_and(|n| rows.is_multiple_of(n));
+        if boundary(cli.audit) {
+            flush(&mut catalog, &mut batch);
+            for ((q, id), audit) in cli.queries.iter().zip(&ids).zip(&audits) {
+                let exact = audit.answer(q.query.kind);
+                let est = catalog.answer(*id).expect("live query");
+                let rel = if exact == 0.0 {
+                    if est == 0.0 {
+                        0.0
+                    } else {
+                        f64::INFINITY
+                    }
+                } else {
+                    (exact - est).abs() / exact
+                };
+                eprintln!(
+                    "audit {rows} rows [{}]: exact ≈ {exact:.0}, estimate {est:.0}, \
+                     rel error {rel:.4}",
+                    q.name
+                );
+            }
+        }
+        if boundary(cli.stats_interval) {
+            flush(&mut catalog, &mut batch);
+            let mut text = String::new();
+            catalog.prometheus_into("implicate", &mut text);
+            eprintln!("{}", text.trim_end());
+        }
+        if boundary(cli.watch) {
+            flush(&mut catalog, &mut batch);
+            for (q, id) in cli.queries.iter().zip(&ids) {
+                eprintln!(
+                    "{rows} rows [{}]: answer ≈ {:.0} ({} matched)",
+                    q.name,
+                    catalog.answer(*id).expect("live query"),
+                    catalog.matched(*id).expect("live query"),
+                );
+            }
+        }
+    }
+    flush(&mut catalog, &mut batch);
+
+    for (q, id) in cli.queries.iter().zip(&ids) {
+        println!(
+            "{}\t{:.0}",
+            q.name,
+            catalog.answer(*id).expect("live query")
+        );
+    }
+    eprintln!(
+        "rows {rows} (skipped {skipped}) | {} queries, one pass | {} tracked bytes on one budget",
+        catalog.len(),
+        catalog.tracked_bytes()
+    );
+    if let Some(path) = &cli.trace_out {
+        write_trace(path, catalog.trace());
+    }
+    if cli.stats {
+        let mut text = String::new();
+        catalog.prometheus_into("implicate", &mut text);
+        eprintln!("{}", text.trim_end());
     }
 }
 
@@ -758,6 +990,10 @@ fn write_trace(path: &str, trace: &TraceHandle) {
 
 fn main() {
     let cli = parse_cli();
+    if !cli.queries.is_empty() {
+        run_catalog(&cli);
+        return;
+    }
     let mut est = match &cli.resume {
         Some(path) => {
             let raw = std::fs::read(path).unwrap_or_else(|e| die(&format!("{path}: {e}")));
@@ -778,7 +1014,7 @@ fn main() {
         est.set_trace(TraceHandle::with_capacity(cli.trace_buffer));
     }
 
-    let field_hasher = MixHasher::new(0x00f1_e1d5);
+    let field_hasher = MixHasher::new(FIELD_HASHER_SEED);
     let (est, rows, skipped) = if cli.threads > 1 {
         run_parallel(&cli, est, &field_hasher)
     } else {

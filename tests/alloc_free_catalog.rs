@@ -1,0 +1,129 @@
+//! Proves the catalog's steady-state batch path is allocation-free:
+//! once the per-attribute hash scratch columns and every query's arena
+//! have reached working size, `process_batch` over N co-resident
+//! queries must never touch the heap — the multi-query pass costs
+//! arithmetic, not allocations.
+//!
+//! Isolated in its own integration-test binary because the counting
+//! `#[global_allocator]` is process-wide.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use implicate::query::Filter;
+use implicate::stream::AttrId;
+use implicate::{
+    AttrSet, EstimatorConfig, ImplicationConditions, ImplicationQuery, QueryCatalog, Schema, Tuple,
+};
+
+struct CountingAlloc;
+
+thread_local! {
+    /// Per-thread allocation count, so concurrent test threads and the
+    /// harness itself cannot pollute a measurement.
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn allocs_on_this_thread() -> u64 {
+    THREAD_ALLOCS.with(Cell::get)
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_process_batch_performs_zero_allocations() {
+    // Loyal keys under a high σ keep every cell open and tracked, so
+    // after the warm passes each query's working set is fixed and
+    // updates only find-and-bump existing arena slots.
+    let schema = Schema::new([("Src", 0), ("Dst", 0), ("Svc", 0)]);
+    let template = EstimatorConfig::new(ImplicationConditions::strict_one_to_one(1_000_000))
+        .bitmaps(16)
+        .seed(7);
+    let mut catalog = QueryCatalog::new(&schema, template);
+    let (src, dst, svc) = (
+        schema.attr_set(&["Src"]),
+        schema.attr_set(&["Dst"]),
+        schema.attr_set(&["Svc"]),
+    );
+    catalog.register("loyal", ImplicationQuery::one_to_one(src, dst, 1));
+    catalog.register("pair", ImplicationQuery::at_most(src.union(svc), dst, 2, 1));
+    catalog.register("services", ImplicationQuery::distinct_count(svc));
+    // A filtered query exercises the skip path on the same batches.
+    catalog.register(
+        "filtered",
+        ImplicationQuery::one_to_one(src, dst, 1).filtered(Filter::new().and_eq(AttrId(2), 0)),
+    );
+
+    let batch: Vec<Tuple> = (0..256u64)
+        .map(|i| Tuple::from([i, i % 5, i % 3]))
+        .collect();
+
+    // Warm: admit every key, grow the shared hash columns to the batch
+    // width, and let every arena reach its working shape (growth may
+    // allocate here).
+    for _ in 0..2 {
+        catalog.process_batch(&batch);
+    }
+
+    let before = allocs_on_this_thread();
+    for _ in 0..200 {
+        catalog.process_batch(&batch);
+    }
+    let after = allocs_on_this_thread();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state catalog process_batch allocated on the hot path"
+    );
+    assert_eq!(catalog.tuples_seen(), 202 * 256);
+    assert!(catalog.tracked_bytes() > 0, "queries are still tracked");
+}
+
+#[test]
+fn wait_free_reads_stay_off_the_heap() {
+    // The per-query readers the catalog hands out answer from published
+    // view slots; reading (view resolution + estimate) must not
+    // allocate, or a tight polling client would put pressure on the
+    // writer's allocator.
+    let schema = Schema::new([("Src", 0), ("Dst", 0)]);
+    let template = EstimatorConfig::new(ImplicationConditions::strict_one_to_one(1_000_000))
+        .bitmaps(16)
+        .seed(11);
+    let mut catalog = QueryCatalog::new(&schema, template);
+    let id = catalog.register(
+        "loyal",
+        ImplicationQuery::one_to_one(AttrSet::from_bits(1), AttrSet::from_bits(2), 1),
+    );
+    let reader = catalog.reader(id).expect("registered");
+
+    let batch: Vec<Tuple> = (0..128u64).map(|i| Tuple::from([i, i % 4])).collect();
+    catalog.process_batch(&batch);
+    catalog.publish();
+    let _ = reader.view().estimate();
+
+    let before = allocs_on_this_thread();
+    for _ in 0..200 {
+        let view = reader.view();
+        assert!(view.tuples() > 0);
+        let _ = view.estimate();
+    }
+    let after = allocs_on_this_thread();
+    assert_eq!(after - before, 0, "wait-free read allocated");
+}
