@@ -233,19 +233,52 @@ impl CellArena {
     }
 
     /// Locates the slot tracking `(cell, key)`, if any. Allocation-free.
+    ///
+    /// The probe body is branchless per step: occupancy and the cell
+    /// index live in the same meta word, so one masked compare fused
+    /// (non-short-circuit `&`) with the key compare decides a hit, and
+    /// the only branches are the two loop exits. An unoccupied slot can
+    /// never satisfy the hit predicate (its `OCCUPIED` bit is clear), so
+    /// testing the hit first preserves the linear-probing contract.
     #[inline]
     pub fn find(&self, cell: u32, key: u64) -> Option<usize> {
         let mask = self.cap - 1;
+        let sw = self.slot_words();
+        let meta_sel = OCCUPIED | CELL_MASK;
+        let want_meta = OCCUPIED | ((cell as u64) << CELL_SHIFT);
         let mut i = self.probe_home(key);
         loop {
-            if !self.is_occupied(i) {
-                return None;
-            }
-            if self.slot_key(i) == key && self.slot_cell(i) == cell {
+            let base = i * sw;
+            let k = self.words[base];
+            let meta = self.words[base + 2];
+            if (k == key) & ((meta & meta_sel) == want_meta) {
                 return Some(i);
+            }
+            if meta & OCCUPIED == 0 {
+                return None;
             }
             i = (i + 1) & mask;
         }
+    }
+
+    /// Prefetches the cache line holding `key`'s home slot so an imminent
+    /// probe ([`find`](Self::find) or insert) starts hot — the grouped
+    /// batch path issues this one pair ahead. No-op off x86_64.
+    #[inline]
+    pub fn prefetch(&self, key: u64) {
+        let base = self.probe_home(key) * self.slot_words();
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `probe_home` is masked to the table, so `base` indexes
+        // a live word; prefetch has no architectural effect beyond the
+        // cache regardless.
+        unsafe {
+            core::arch::x86_64::_mm_prefetch(
+                self.words.as_ptr().add(base) as *const i8,
+                core::arch::x86_64::_MM_HINT_T0,
+            );
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = base;
     }
 
     /// Inserts a zeroed slot for `(cell, key)` (which must not already be
@@ -604,6 +637,24 @@ mod tests {
         assert_eq!(a.find(0, 0), Some(i));
         a.remove(i);
         assert_eq!(a.find(0, 0), None);
+    }
+
+    #[test]
+    fn same_key_in_two_cells_resolves_per_cell() {
+        let mut a = arena(1);
+        let i3 = a.try_insert(3, 77).unwrap();
+        let i9 = a.try_insert(9, 77).unwrap();
+        assert_ne!(i3, i9, "same key, different cells → distinct slots");
+        assert_eq!(a.find(3, 77), Some(i3));
+        assert_eq!(a.find(9, 77), Some(i9));
+        a.prefetch(77); // must be a semantic no-op
+        assert_eq!(a.find(3, 77), Some(i3));
+        a.remove(i3);
+        assert_eq!(a.find(3, 77), None);
+        // Backward-shift deletion may relocate the sibling; it must stay
+        // findable with its identity intact.
+        let at = a.find(9, 77).expect("sibling cell survives removal");
+        assert_eq!((a.slot_key(at), a.slot_cell(at)), (77, 9));
     }
 
     #[test]

@@ -38,14 +38,19 @@
 //! [`TraceEvent::QueryRetired`].
 
 use std::fmt;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
 
-use imp_stream::hashplan::{QueryCombiner, TupleHasher};
+use imp_stream::hashplan::{HashedBatch, QueryCombiner, TupleHasher};
 use imp_stream::schema::Schema;
 use imp_stream::tuple::Tuple;
 
 use crate::budget::MemoryBudget;
 use crate::estimator::{Estimate, EstimatorConfig, ImplicationEstimator};
+use crate::parallel::RING_DEPTH;
 use crate::query::ImplicationQuery;
+use crate::ring;
 use crate::trace::{TraceEvent, TraceHandle};
 use crate::view::EstimateReader;
 
@@ -362,6 +367,44 @@ impl QueryCatalog {
         self.tuples += tuples.len() as u64;
     }
 
+    /// Feeds a pre-hashed batch to every registered query — the zero-copy
+    /// entry point when the caller already holds a [`HashedBatch`] (e.g.
+    /// from [`TupleSource::next_hashed_batch`](imp_stream::source::TupleSource::next_hashed_batch)).
+    /// The batch must have been produced by a [`TupleHasher`] matching
+    /// [`hasher`](Self::hasher) (same schema, same seed), or per-query
+    /// hashes diverge from the sequential contract.
+    ///
+    /// Bit-identical to [`process_batch`](Self::process_batch) over the
+    /// same tuples: the combiners fold the same per-attribute hash rows.
+    pub fn process_hashed(&mut self, batch: &HashedBatch) {
+        debug_assert_eq!(batch.arity(), self.schema.arity(), "batch/schema arity");
+        for e in &mut self.entries {
+            if e.query.filter.is_empty() {
+                batch.combine_into(&e.combiner, &mut self.pairs);
+                e.matched += batch.len() as u64;
+                e.est.update_hashed_batch(&self.pairs);
+            } else {
+                for (i, t) in batch.tuples().iter().enumerate() {
+                    if !e.query.filter.matches(t) {
+                        continue;
+                    }
+                    let (h_a, b_fp) = batch.combine_row(&e.combiner, i);
+                    e.matched += 1;
+                    e.est.update_hashed(h_a, b_fp);
+                }
+            }
+        }
+        self.tuples += batch.len() as u64;
+    }
+
+    /// The attribute-wise hasher every registered query combines over.
+    /// Clone it to pre-hash batches on another thread
+    /// ([`TupleHasher::hash_batch`]) and feed them back through
+    /// [`process_hashed`](Self::process_hashed).
+    pub fn hasher(&self) -> &TupleHasher {
+        &self.hasher
+    }
+
     /// Publishes every query's current state on its epoch channel (see
     /// [`crate::view`]), making it visible to per-query readers.
     pub fn publish(&mut self) {
@@ -623,6 +666,311 @@ impl QueryCatalog {
     }
 }
 
+/// What the router sends down a catalog lane: a shared pre-hashed batch
+/// (every lane sees every batch — queries, not tuples, are partitioned),
+/// a request to publish the lane's per-query views, or a barrier the
+/// worker acknowledges once everything before it has been applied.
+enum CatalogMsg {
+    Batch(Arc<HashedBatch>),
+    Publish,
+    Barrier(SyncSender<()>),
+}
+
+/// Batches the router keeps pooled for reuse once every lane has dropped
+/// its `Arc` — enough for everything in flight plus slack.
+const CATALOG_POOL: usize = RING_DEPTH + 2;
+
+/// A `T`-way parallel front-end for a [`QueryCatalog`]: the *queries*
+/// are partitioned across `T` worker threads, and every worker sees the
+/// *whole* stream as shared [`HashedBatch`]es shipped over SPSC rings
+/// ([`crate::ring`]).
+///
+/// # Why partitioning queries is exact
+///
+/// Catalog entries are independent: each query owns its estimator, and
+/// [`QueryCatalog::process_hashed`] touches no cross-query state beyond
+/// the (atomic) shared budget. A worker that receives every batch, in
+/// stream order, and applies it to its subset of queries therefore runs
+/// each of those queries through *exactly* the sequential path — same
+/// hashes, same order, same estimator. Per-query answers (and snapshot
+/// bytes) after [`finish`](Self::finish) are bit-identical to a
+/// single-threaded [`QueryCatalog`] fed the same tuples, for any `T`.
+/// The tuples are hashed attribute-wise once by the router; lanes share
+/// the columnar rows through an `Arc` and never re-hash.
+///
+/// Batch buffers are pooled: once every lane drops its `Arc`, the router
+/// reclaims the allocation for the next batch, so steady-state ingestion
+/// allocates nothing.
+///
+/// Mid-stream stats come from per-query readers ([`Self::reader`]),
+/// minted **before** the workers spawn and refreshed whenever a
+/// [`publish`](Self::publish) request reaches a lane — the same
+/// epoch-channel protocol as [`crate::view`]. Budget caveat: as with
+/// [`ShardedEstimator`](crate::ShardedEstimator), a *limited* global
+/// budget makes shed timing depend on lane interleaving, so keep one
+/// thread when a budget is set and reproducibility matters.
+pub struct ShardedCatalog {
+    /// The base catalog minus its entries: schema, hasher, budget,
+    /// counters — reused as the chassis of the reassembled catalog.
+    shell: QueryCatalog,
+    lanes: Vec<ring::Producer<CatalogMsg>>,
+    workers: Vec<JoinHandle<QueryCatalog>>,
+    /// One pre-minted reader per live query, in registration order.
+    readers: Vec<(QueryId, String, EstimateReader)>,
+    /// In-flight / reclaimable batches (reusable once strong count is 1).
+    pool: Vec<Arc<HashedBatch>>,
+    /// Rows shipped to the lanes by this router.
+    shipped: u64,
+}
+
+impl ShardedCatalog {
+    /// Splits a fully-registered catalog across `threads >= 1` worker
+    /// lanes (round-robin by registration order) and starts them.
+    /// Register every query **before** sharding; registration and
+    /// retirement are owner operations and resume on the reassembled
+    /// catalog after [`finish`](Self::finish).
+    ///
+    /// # Panics
+    /// If `threads == 0`.
+    pub fn new(base: QueryCatalog, threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one catalog lane");
+        let mut shell = base;
+        let entries = std::mem::take(&mut shell.entries);
+        let mut children: Vec<QueryCatalog> = (0..threads)
+            .map(|_| QueryCatalog {
+                schema: shell.schema.clone(),
+                hasher: shell.hasher.clone(),
+                template: shell.template,
+                budget: shell.budget.clone(),
+                entries: Vec::new(),
+                next_id: shell.next_id,
+                tuples: shell.tuples,
+                registered: 0,
+                retired: 0,
+                col_a: Vec::new(),
+                col_b: Vec::new(),
+                pairs: Vec::new(),
+                trace: shell.trace.clone(),
+            })
+            .collect();
+        let mut readers = Vec::with_capacity(entries.len());
+        for (i, mut e) in entries.into_iter().enumerate() {
+            readers.push((e.id, e.name.clone(), e.est.reader()));
+            children[i % threads].entries.push(e);
+        }
+        let mut lanes = Vec::with_capacity(threads);
+        let mut workers = Vec::with_capacity(threads);
+        for mut child in children {
+            let (tx, rx) = ring::ring::<CatalogMsg>(RING_DEPTH);
+            lanes.push(tx);
+            workers.push(std::thread::spawn(move || {
+                loop {
+                    let msg = match rx.try_pop() {
+                        Some(msg) => msg,
+                        None => match rx.pop() {
+                            Some(msg) => msg,
+                            None => break,
+                        },
+                    };
+                    match msg {
+                        CatalogMsg::Batch(batch) => child.process_hashed(&batch),
+                        CatalogMsg::Publish => child.publish(),
+                        // FIFO lane: everything pushed before the barrier
+                        // has been applied once we get here.
+                        CatalogMsg::Barrier(ack) => {
+                            let _ = ack.send(());
+                        }
+                    }
+                }
+                child
+            }));
+        }
+        Self {
+            shell,
+            lanes,
+            workers,
+            readers,
+            pool: Vec::new(),
+            shipped: 0,
+        }
+    }
+
+    /// Number of worker lanes.
+    pub fn threads(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Live query count.
+    pub fn len(&self) -> usize {
+        self.readers.len()
+    }
+
+    /// Whether no query is registered.
+    pub fn is_empty(&self) -> bool {
+        self.readers.is_empty()
+    }
+
+    /// Tuples offered to the catalog so far (base preload + routed).
+    pub fn tuples_seen(&self) -> u64 {
+        self.shell.tuples + self.shipped
+    }
+
+    /// The schema this catalog runs over.
+    pub fn schema(&self) -> &Schema {
+        &self.shell.schema
+    }
+
+    /// The attribute-wise hasher batches fed to
+    /// [`process_hashed`](Self::process_hashed) must match.
+    pub fn hasher(&self) -> &TupleHasher {
+        &self.shell.hasher
+    }
+
+    /// Looks a live query up by registration name.
+    pub fn find(&self, name: &str) -> Option<QueryId> {
+        self.readers
+            .iter()
+            .find(|(_, n, _)| n == name)
+            .map(|&(id, _, _)| id)
+    }
+
+    /// A wait-free reader for one query's published views; `None` if the
+    /// id is not live. Readers keep working after
+    /// [`finish`](Self::finish) — the reassembled catalog publishes on
+    /// the same channels.
+    pub fn reader(&self, id: QueryId) -> Option<EstimateReader> {
+        self.readers
+            .iter()
+            .find(|(rid, _, _)| *rid == id)
+            .map(|(_, _, r)| r.clone())
+    }
+
+    /// Iterates live queries in registration order as `(id, name)`.
+    pub fn iter(&self) -> impl Iterator<Item = (QueryId, &str)> {
+        self.readers.iter().map(|(id, name, _)| (*id, name.as_str()))
+    }
+
+    /// A pooled batch ready to refill (via [`HashedBatch::recycle`] +
+    /// [`TupleHasher::hash_batch`]), or a fresh one if everything is
+    /// still in flight.
+    pub fn checkout(&mut self) -> HashedBatch {
+        for i in 0..self.pool.len() {
+            if Arc::strong_count(&self.pool[i]) == 1 {
+                let arc = self.pool.swap_remove(i);
+                return Arc::try_unwrap(arc)
+                    .unwrap_or_else(|_| unreachable!("strong_count was 1"));
+            }
+        }
+        HashedBatch::new()
+    }
+
+    /// Ships one pre-hashed batch to every lane and hands back a pooled
+    /// buffer for the caller's next read (often the very allocation a
+    /// previous batch used, once all lanes finished with it). The batch
+    /// must come from a hasher matching [`hasher`](Self::hasher).
+    pub fn process_hashed(&mut self, batch: HashedBatch) -> HashedBatch {
+        debug_assert_eq!(batch.arity(), self.shell.schema.arity(), "batch/schema arity");
+        if batch.is_empty() {
+            return batch;
+        }
+        self.shipped += batch.len() as u64;
+        let shared = Arc::new(batch);
+        for lane in &self.lanes {
+            lane.push(CatalogMsg::Batch(Arc::clone(&shared)))
+                .unwrap_or_else(|_| panic!("catalog worker exited early"));
+        }
+        if self.pool.len() < CATALOG_POOL {
+            self.pool.push(shared);
+        }
+        self.checkout()
+    }
+
+    /// Hashes `tuples` once (attribute-wise, shared across all queries)
+    /// and ships the batch to every lane.
+    pub fn process_batch(&mut self, tuples: &[Tuple]) {
+        if tuples.is_empty() {
+            return;
+        }
+        let mut batch = self.checkout();
+        let mut owned = batch.recycle();
+        owned.extend_from_slice(tuples);
+        let hasher = self.shell.hasher.clone();
+        hasher.hash_batch(owned, &mut batch);
+        let _ = self.process_hashed(batch);
+    }
+
+    /// Feeds one tuple to every lane (a batch of one — prefer
+    /// [`process_batch`](Self::process_batch)).
+    pub fn process(&mut self, t: &Tuple) {
+        self.process_batch(std::slice::from_ref(t));
+    }
+
+    /// Asks every lane to publish its queries' current views at its next
+    /// message boundary (non-blocking for the router). Follow with
+    /// [`barrier`](Self::barrier) when a reader must observe the
+    /// publication before proceeding.
+    pub fn publish(&mut self) {
+        for lane in &self.lanes {
+            lane.push(CatalogMsg::Publish)
+                .unwrap_or_else(|_| panic!("catalog worker exited early"));
+        }
+    }
+
+    /// Blocks until every lane has applied everything routed so far.
+    /// After `barrier` returns, per-query readers (once the lanes'
+    /// publications are requested via [`publish`](Self::publish) *before*
+    /// the barrier) reflect the complete routed prefix, bit-identical to
+    /// the sequential catalog at the same position.
+    ///
+    /// # Panics
+    /// If a worker thread exited early.
+    pub fn barrier(&mut self) {
+        let acks: Vec<Receiver<()>> = self
+            .lanes
+            .iter()
+            .map(|lane| {
+                let (ack_tx, ack_rx) = sync_channel(1);
+                lane.push(CatalogMsg::Barrier(ack_tx))
+                    .unwrap_or_else(|_| panic!("catalog worker exited early"));
+                ack_rx
+            })
+            .collect();
+        for ack in acks {
+            ack.recv().expect("catalog worker exited early");
+        }
+    }
+
+    /// Joins the lanes and reassembles the single catalog — per-query
+    /// state bit-for-bit identical to a sequential run over the same
+    /// tuples. Pre-minted readers keep following their queries' channels.
+    ///
+    /// # Panics
+    /// If a worker thread panicked.
+    pub fn finish(self) -> QueryCatalog {
+        let Self {
+            mut shell,
+            lanes,
+            workers,
+            shipped,
+            ..
+        } = self;
+        // Dropping the producers closes the lanes: each worker drains,
+        // then its blocking pop returns `None`.
+        drop(lanes);
+        let mut entries = Vec::new();
+        for worker in workers {
+            let child = worker.join().expect("catalog worker panicked");
+            debug_assert_eq!(child.tuples, shell.tuples + shipped, "lane saw every batch");
+            entries.extend(child.entries);
+        }
+        // Ids are issued monotonically, so id order is registration order.
+        entries.sort_by_key(|e| e.id);
+        shell.entries = entries;
+        shell.tuples += shipped;
+        shell
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -841,6 +1189,162 @@ mod tests {
             text.contains("implicate_query_answer{query=\"distinct\"}"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn process_hashed_matches_process_batch_bit_for_bit() {
+        let s = schema();
+        let q = ImplicationQuery::more_than(s.attr_set(&["Src"]), s.attr_set(&["Dst"]), 2, 1);
+        let time = s.attr_expect("Time");
+        let filtered = ImplicationQuery::one_to_one(s.attr_set(&["Src"]), s.attr_set(&["Dst"]), 1)
+            .filtered(crate::query::Filter::new().and_eq(time, 0));
+        let tuples = workload(8_000);
+
+        let mut plain = QueryCatalog::new(&s, template());
+        let p1 = plain.register("q", q.clone());
+        let p2 = plain.register("f", filtered.clone());
+        for chunk in tuples.chunks(512) {
+            plain.process_batch(chunk);
+        }
+
+        let mut hashed = QueryCatalog::new(&s, template());
+        let h1 = hashed.register("q", q);
+        let h2 = hashed.register("f", filtered);
+        let hasher = hashed.hasher().clone();
+        let mut batch = HashedBatch::new();
+        for chunk in tuples.chunks(512) {
+            let mut owned = batch.recycle();
+            owned.extend_from_slice(chunk);
+            hasher.hash_batch(owned, &mut batch);
+            hashed.process_hashed(&batch);
+        }
+
+        assert_eq!(plain.tuples_seen(), hashed.tuples_seen());
+        assert_eq!(plain.matched(p2), hashed.matched(h2));
+        for (a, b) in [(p1, h1), (p2, h2)] {
+            assert_eq!(
+                plain.answer(a).unwrap().to_bits(),
+                hashed.answer(b).unwrap().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_catalog_matches_sequential_for_any_thread_count() {
+        let s = schema();
+        let time = s.attr_expect("Time");
+        let queries = [
+            (
+                "loyal",
+                ImplicationQuery::one_to_one(s.attr_set(&["Src"]), s.attr_set(&["Dst"]), 1),
+            ),
+            (
+                "distinct",
+                ImplicationQuery::distinct_count(s.attr_set(&["Src"])),
+            ),
+            (
+                "fanout",
+                ImplicationQuery::more_than(s.attr_set(&["Src"]), s.attr_set(&["Dst"]), 2, 1),
+            ),
+            (
+                "morning",
+                ImplicationQuery::one_to_one(s.attr_set(&["Src"]), s.attr_set(&["Dst"]), 1)
+                    .filtered(crate::query::Filter::new().and_eq(time, 0)),
+            ),
+        ];
+        let tuples = workload(20_000);
+
+        let mut seq = QueryCatalog::new(&s, template());
+        for (n, q) in &queries {
+            seq.register(*n, q.clone());
+        }
+        for chunk in tuples.chunks(512) {
+            seq.process_batch(chunk);
+        }
+
+        for threads in [1, 2, 3, 7] {
+            let mut base = QueryCatalog::new(&s, template());
+            for (n, q) in &queries {
+                base.register(*n, q.clone());
+            }
+            let mut sharded = ShardedCatalog::new(base, threads);
+            assert_eq!(sharded.len(), queries.len());
+            for chunk in tuples.chunks(512) {
+                sharded.process_batch(chunk);
+            }
+            assert_eq!(sharded.tuples_seen(), seq.tuples_seen(), "T = {threads}");
+            let done = sharded.finish();
+            assert_eq!(done.tuples_seen(), seq.tuples_seen());
+            for (n, _) in &queries {
+                let (a, b) = (seq.find(n).unwrap(), done.find(n).unwrap());
+                assert_eq!(
+                    seq.answer(a).unwrap().to_bits(),
+                    done.answer(b).unwrap().to_bits(),
+                    "query {n}, T = {threads}"
+                );
+                assert_eq!(seq.matched(a), done.matched(b), "query {n}, T = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_readers_see_published_views_and_survive_finish() {
+        let s = schema();
+        let mut base = QueryCatalog::new(&s, template());
+        let id = base.register(
+            "loyal",
+            ImplicationQuery::one_to_one(s.attr_set(&["Src"]), s.attr_set(&["Dst"]), 1),
+        );
+        let mut sharded = ShardedCatalog::new(base, 3);
+        let reader = sharded.reader(id).expect("live query");
+        assert_eq!(sharded.find("loyal"), Some(id));
+        sharded.process_batch(&workload(6_000));
+        sharded.publish();
+        sharded.barrier();
+        assert_eq!(reader.tuples(), 6_000, "publish-then-barrier settles views");
+        let mut done = sharded.finish();
+        // The reassembled owner keeps publishing to the same channel.
+        done.process_batch(&workload(100));
+        done.publish();
+        assert_eq!(reader.tuples(), 6_100);
+        assert_eq!(
+            reader.estimate().implication_count.to_bits(),
+            done.estimate(id).unwrap().implication_count.to_bits()
+        );
+    }
+
+    #[test]
+    fn sharded_catalog_recycles_batch_buffers() {
+        let s = schema();
+        let mut base = QueryCatalog::new(&s, template());
+        base.register(
+            "distinct",
+            ImplicationQuery::distinct_count(s.attr_set(&["Src"])),
+        );
+        let mut sharded = ShardedCatalog::new(base, 2);
+        let hasher = sharded.hasher().clone();
+        let mut batch = sharded.checkout();
+        for round in 0..200u64 {
+            let tuples: Vec<Tuple> = (0..64)
+                .map(|i| Tuple::from([round * 64 + i, i % 7, i % 4, i % 3]))
+                .collect();
+            let mut owned = batch.recycle();
+            owned.clear();
+            owned.extend_from_slice(&tuples);
+            hasher.hash_batch(owned, &mut batch);
+            batch = sharded.process_hashed(batch);
+        }
+        // The pool caps in-flight allocations regardless of round count.
+        assert!(sharded.pool.len() <= CATALOG_POOL);
+        assert_eq!(sharded.finish().tuples_seen(), 200 * 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one catalog lane")]
+    fn sharded_catalog_rejects_zero_threads() {
+        let s = schema();
+        let base = QueryCatalog::new(&s, template());
+        let _ = ShardedCatalog::new(base, 0);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 use imp_sketch::estimate::FM_PHI;
 use imp_sketch::hash::{Hasher64, MixHasher};
 use imp_sketch::rank::split_rank;
+use imp_stream::hashplan::{HashedBatch, QueryCombiner};
 
 use crate::arena::CellArena;
 use crate::budget::{CapacityPolicy, MemoryBudget};
@@ -279,6 +280,24 @@ pub struct ImplicationEstimator {
     /// [`publish`](ImplicationEstimator::publish); created lazily by the
     /// first of those calls.
     publisher: Option<ViewPublisher>,
+    /// Persistent scratch for the grouped batch path — purely transient
+    /// working memory (never part of the sketch state), kept across
+    /// batches so steady-state batch ingest is allocation-free.
+    scratch: BatchScratch,
+}
+
+/// Working buffers for [`ImplicationEstimator::update_hashed_batch`]'s
+/// group-by-bitmap pass; see that method for the exactness argument.
+#[derive(Debug, Default)]
+struct BatchScratch {
+    /// Prefix-summed run boundaries, one per bitmap plus a terminator.
+    starts: Vec<u32>,
+    /// Scatter cursors, one per bitmap.
+    cursor: Vec<u32>,
+    /// Pairs reordered into per-bitmap runs.
+    grouped: Vec<(u64, u64)>,
+    /// A query's derived `(h_a, b_fp)` lane for a [`HashedBatch`].
+    lane: Vec<(u64, u64)>,
 }
 
 impl Clone for ImplicationEstimator {
@@ -300,6 +319,7 @@ impl Clone for ImplicationEstimator {
             metrics: self.metrics.clone(),
             trace: self.trace.clone(),
             publisher: None,
+            scratch: BatchScratch::default(),
         }
     }
 }
@@ -358,6 +378,7 @@ impl ImplicationEstimator {
             metrics: MetricsHandle::new(),
             trace: TraceHandle::disabled(),
             publisher: None,
+            scratch: BatchScratch::default(),
         };
         est.publish_mem_gauges();
         est
@@ -466,17 +487,105 @@ impl ImplicationEstimator {
         }
     }
 
-    /// Feeds a batch of pre-hashed pairs `(h_a, b_fp)` in order (see
+    /// Feeds a batch of pre-hashed pairs `(h_a, b_fp)` (see
     /// [`ImplicationEstimator::update_hashed`] for the hashing contract).
+    ///
+    /// Large batches are **grouped by bitmap index** before updating:
+    /// a stable two-pass counting sort scatters the pairs into per-bitmap
+    /// runs, then each run is applied with the bitmap (and its fringe
+    /// arena) held hot in cache, prefetching the next pair's arena slot
+    /// one iteration ahead. This is *exactly* state-equivalent to feeding
+    /// the pairs in arrival order: every update touches only the bitmap
+    /// its `h_a` routes to, so estimator state is a product of per-bitmap
+    /// states, and the stable scatter preserves each bitmap's subsequence
+    /// order. (Trace-journal `Update` events are emitted in the grouped
+    /// order — observability follows the actual execution order, and the
+    /// sketch state is what is pinned bit-identical.)
     pub fn update_hashed_batch(&mut self, pairs: &[(u64, u64)]) {
         let mut span = self.trace.span(SpanKind::UpdateBatch);
         span.set_quantity(pairs.len() as u64);
         // One atomic add meters the whole batch; the inner updates then
         // touch the metrics lane only on state transitions.
         self.metrics.estimator.tuples.add(pairs.len() as u64);
-        for &(h_a, b_fp) in pairs {
-            self.update_hashed_inner(h_a, b_fp);
+        // Below this, the two grouping passes cost more than the cache
+        // misses they save: the batch-size ablation (EXPERIMENTS.md) puts
+        // the crossover between 1 k and 2 k rows on a large arena, and on
+        // small cache-resident arenas (e.g. a catalog query's 16-bitmap
+        // estimator fed 1024-row lanes) grouping is pure overhead.
+        const GROUP_MIN: usize = 2048;
+        if pairs.len() < GROUP_MIN || self.bitmaps.len() < 2 {
+            for &(h_a, b_fp) in pairs {
+                self.update_hashed_inner(h_a, b_fp);
+            }
+            return;
         }
+        self.update_hashed_grouped(pairs);
+    }
+
+    /// The group-by-bitmap body of
+    /// [`update_hashed_batch`](Self::update_hashed_batch).
+    fn update_hashed_grouped(&mut self, pairs: &[(u64, u64)]) {
+        let m = self.bitmaps.len();
+        let log2_m = self.log2_m;
+        // Pass 1: count pairs per bitmap, offset by one so the in-place
+        // prefix sum yields run start offsets.
+        let mut starts = std::mem::take(&mut self.scratch.starts);
+        starts.clear();
+        starts.resize(m + 1, 0);
+        for &(h_a, _) in pairs {
+            let (idx, _) = split_rank(h_a, log2_m);
+            starts[idx + 1] += 1;
+        }
+        for i in 1..=m {
+            starts[i] += starts[i - 1];
+        }
+        // Pass 2: stable scatter into per-bitmap runs — within a run,
+        // pairs keep their arrival order.
+        let mut cursor = std::mem::take(&mut self.scratch.cursor);
+        cursor.clear();
+        cursor.extend_from_slice(&starts[..m]);
+        let mut grouped = std::mem::take(&mut self.scratch.grouped);
+        grouped.clear();
+        grouped.resize(pairs.len(), (0, 0));
+        for &(h_a, b_fp) in pairs {
+            let (idx, _) = split_rank(h_a, log2_m);
+            let at = cursor[idx] as usize;
+            grouped[at] = (h_a, b_fp);
+            cursor[idx] = at as u32 + 1;
+        }
+        // Apply each run with its bitmap held hot, prefetching the next
+        // pair's arena slot one iteration ahead.
+        for run in 0..m {
+            let (lo, hi) = (starts[run] as usize, starts[run + 1] as usize);
+            if lo == hi {
+                continue;
+            }
+            for at in lo..hi {
+                if at + 1 < hi {
+                    self.bitmaps[run].prefetch(grouped[at + 1].0);
+                }
+                let (h_a, b_fp) = grouped[at];
+                self.update_hashed_inner(h_a, b_fp);
+            }
+        }
+        self.scratch.starts = starts;
+        self.scratch.cursor = cursor;
+        self.scratch.grouped = grouped;
+    }
+
+    /// Feeds a whole [`HashedBatch`] — the batch-pipeline entry point.
+    /// Derives this query's `(h_a, b_fp)` lane from the batch's shared
+    /// per-attribute hash rows by cheap combination (no re-hashing; see
+    /// [`imp_stream::hashplan`]) and runs the grouped batch update.
+    ///
+    /// `combiner` must come from a
+    /// [`TupleHasher`](imp_stream::hashplan::TupleHasher) sharing this
+    /// estimator's seed, as the catalog arranges at registration.
+    pub fn update_batch_from(&mut self, batch: &HashedBatch, combiner: &QueryCombiner) {
+        let mut lane = std::mem::take(&mut self.scratch.lane);
+        batch.combine_into(combiner, &mut lane);
+        self.update_hashed_batch(&lane);
+        self.scratch.lane = lane;
     }
 
     /// Pre-hashes an `(a, b)` pair exactly as [`ImplicationEstimator::update`]
@@ -509,16 +618,6 @@ impl ImplicationEstimator {
             sum_non += bm.rank_non_implication();
         }
         estimate_from_rank_sums(sum_sup, sum_non, m)
-    }
-
-    /// The CI estimate over the current stream prefix.
-    #[deprecated(
-        since = "0.6.0",
-        note = "renamed: use `estimate_now()` for an owner read, or \
-                `reader()` for wait-free concurrent reads while ingesting"
-    )]
-    pub fn estimate(&self) -> Estimate {
-        self.estimate_now()
     }
 
     /// A wait-free read handle answering estimates from the latest
@@ -696,6 +795,7 @@ impl ImplicationEstimator {
             metrics: _,
             trace: _,
             publisher: _,
+            scratch: _,
         } = donor;
         self.cond = cond;
         self.log2_m = log2_m;
@@ -761,6 +861,7 @@ impl ImplicationEstimator {
             metrics,
             trace,
             publisher: None,
+            scratch: BatchScratch::default(),
         }
     }
 
@@ -956,6 +1057,7 @@ impl ImplicationEstimator {
             // attach a journal with `set_trace` to resume journaling.
             trace: TraceHandle::disabled(),
             publisher: None,
+            scratch: BatchScratch::default(),
         };
         est.publish_mem_gauges();
         Ok(est)

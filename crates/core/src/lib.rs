@@ -64,6 +64,7 @@ pub mod metrics;
 pub mod nips;
 pub mod parallel;
 pub mod query;
+pub mod ring;
 pub mod sliding;
 pub mod snapshot;
 pub mod state;
@@ -73,7 +74,7 @@ pub mod wire;
 
 pub use bounds::{fringe_size_for_ratio, min_estimable_ratio};
 pub use budget::{CapacityPolicy, MemoryBudget};
-pub use catalog::{CatalogError, QueryCatalog, QueryId};
+pub use catalog::{CatalogError, QueryCatalog, QueryId, ShardedCatalog};
 pub use conditions::{
     Confidence, ImplicationConditions, ImplicationConditionsBuilder, MultiplicityPolicy,
 };

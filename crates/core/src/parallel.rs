@@ -15,12 +15,26 @@
 //! routed to it, in stream order.
 //!
 //! Sharding by bitmap index (`shard = idx % T`) sends every update for a
-//! given bitmap to the same worker, over a FIFO channel, in the order the
+//! given bitmap to the same worker, over a FIFO ring, in the order the
 //! coordinator observed the stream. Each worker therefore replays, for
 //! each bitmap it owns, exactly the subsequence a sequential run would
 //! have applied — same updates, same order. Contrast with splitting the
 //! *raw stream* across workers, which interleaves updates to one bitmap
 //! across threads and loses that order.
+//!
+//! # The handoff: SPSC rings, whole batches, recycled buffers
+//!
+//! Each lane is a fixed-capacity single-producer/single-consumer ring
+//! ([`crate::ring`]) carrying whole batches: the router is the only
+//! producer and the shard worker the only consumer, so a handoff costs
+//! exactly one release/acquire pair — no mutex, no condvar, no
+//! read-modify-write (see the ring module docs for the Lamport-queue
+//! memory-ordering argument). Backpressure is ring occupancy: a full lane
+//! makes the router's push spin until the worker retires a slot, bounding
+//! the in-flight backlog at [`RING_DEPTH`] batches per lane. A second,
+//! reverse ring per lane returns drained batch buffers to the router, so
+//! steady-state ingestion allocates nothing: buffers circulate
+//! router → worker → router for the life of the pipeline.
 //!
 //! Reassembly is merge-based: shards are merged into a fresh estimator.
 //! Because each bitmap carries non-trivial state on exactly one shard,
@@ -68,7 +82,7 @@
 //! [`ShardedEstimator::reader`]; see [`crate::view`] for the protocol.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -77,19 +91,25 @@ use imp_sketch::rank::split_rank;
 
 use crate::estimator::ImplicationEstimator;
 use crate::metrics::MetricsHandle;
+use crate::ring;
 use crate::trace::{Span, SpanKind, TraceEvent, TraceHandle};
 use crate::view::{pack_ranks, EstimateReader, ReadView, ViewPublisher};
 
 /// Pre-hashed pairs buffered per shard before a batch is shipped.
 const BATCH: usize = 1024;
 
-/// Bound, in batches, of each worker's input channel (back-pressure).
-const CHANNEL_DEPTH: usize = 8;
+/// Bound, in batches, of each lane's forward ring (back-pressure).
+pub const RING_DEPTH: usize = 8;
 
-/// What the router sends down a shard's channel: a batch of pre-hashed
+/// Slots in each lane's reverse (buffer-recycling) ring: every batch that
+/// can be in flight forward, plus slack so a drained buffer is never
+/// dropped just because the router briefly lags on reclaiming them.
+const RECYCLE_DEPTH: usize = RING_DEPTH + 2;
+
+/// What the router sends down a shard's lane: a batch of pre-hashed
 /// updates, or a synchronization barrier the worker acknowledges once
 /// everything before it has been applied (see
-/// [`ShardedEstimator::sync`]).
+/// [`ShardedEstimator::barrier`]).
 enum ShardMsg {
     Batch(Vec<(u64, u64)>),
     Barrier(SyncSender<()>),
@@ -174,7 +194,8 @@ impl SharedRegisters {
 ///
 /// Construction consumes a base estimator (fresh or restored from a
 /// snapshot) and splits its state across `T` worker shards by bitmap
-/// index; updates are routed to the owning shard over bounded channels;
+/// index; updates are routed to the owning shard over fixed-capacity
+/// SPSC rings ([`crate::ring`]);
 /// [`ShardedEstimator::finish`] joins the workers and reassembles a
 /// single estimator whose state is bit-for-bit identical to feeding the
 /// same updates sequentially into the base (see the module docs for the
@@ -185,7 +206,11 @@ pub struct ShardedEstimator {
     hasher_a: MixHasher,
     hasher_b: MixHasher,
     log2_m: u32,
-    senders: Vec<SyncSender<ShardMsg>>,
+    /// Forward rings, router → worker, one per lane.
+    lanes: Vec<ring::Producer<ShardMsg>>,
+    /// Reverse rings, worker → router: drained batch buffers coming home
+    /// for reuse, one per lane.
+    recycled: Vec<ring::Consumer<Vec<(u64, u64)>>>,
     workers: Vec<JoinHandle<ImplicationEstimator>>,
     pending: Vec<Vec<(u64, u64)>>,
     metrics: MetricsHandle,
@@ -202,6 +227,10 @@ pub struct ShardedEstimator {
     /// Tuples the base estimator carried at construction (snapshot
     /// resume); `preloaded + routed` is the router's stream position.
     preloaded: u64,
+    /// One reusable ack channel for every [`barrier`](Self::barrier):
+    /// workers send on clones of the sender (a refcount bump, no heap),
+    /// so quiesce points stay off the allocator too.
+    barrier_ack: (SyncSender<()>, Receiver<()>),
     /// The view-publication channel (created lazily, or inherited from a
     /// base writer that already had readers).
     publisher: Option<ViewPublisher>,
@@ -227,11 +256,22 @@ impl ShardedEstimator {
         let registers = Arc::new(SharedRegisters::capture(&base, threads));
         let preloaded = base.tuples_seen();
         let shards = base.split_shards(threads);
-        let mut senders = Vec::with_capacity(threads);
+        let mut lanes = Vec::with_capacity(threads);
+        let mut recycled = Vec::with_capacity(threads);
         let mut workers = Vec::with_capacity(threads);
         for (k, mut shard) in shards.into_iter().enumerate() {
-            let (tx, rx): (_, Receiver<ShardMsg>) = sync_channel(CHANNEL_DEPTH);
-            senders.push(tx);
+            let (tx, rx) = ring::ring::<ShardMsg>(RING_DEPTH);
+            let (recycle_tx, recycle_rx) = ring::ring::<Vec<(u64, u64)>>(RECYCLE_DEPTH);
+            // Seed the reverse ring before the worker exists: the router's
+            // very first ships already find buffers to reclaim, so the
+            // circulating pool is born at working size (one buffer per
+            // possible in-flight batch) instead of growing through
+            // first-contact allocations on the hot path.
+            for _ in 0..RING_DEPTH {
+                let _ = recycle_tx.try_push(Vec::with_capacity(BATCH));
+            }
+            lanes.push(tx);
+            recycled.push(recycle_rx);
             let worker_metrics = metrics.clone();
             let worker_registers = Arc::clone(&registers);
             workers.push(std::thread::spawn(move || {
@@ -239,27 +279,31 @@ impl ShardedEstimator {
                     // Distinguish "batch was already waiting" from "had to
                     // block": the idle_waits counter tells a router-bound
                     // pipeline (workers starving) from a worker-bound one.
-                    let msg = match rx.try_recv() {
-                        Ok(msg) => msg,
-                        Err(TryRecvError::Empty) => {
+                    let msg = match rx.try_pop() {
+                        Some(msg) => msg,
+                        None => {
                             worker_metrics.ingest.idle_waits.inc();
-                            match rx.recv() {
-                                Ok(msg) => msg,
-                                Err(_) => break,
+                            match rx.pop() {
+                                Some(msg) => msg,
+                                None => break,
                             }
                         }
-                        Err(TryRecvError::Disconnected) => break,
                     };
                     match msg {
-                        ShardMsg::Batch(batch) => {
+                        ShardMsg::Batch(mut batch) => {
                             worker_metrics.ingest.lane(k).queue_depth.adjust(-1);
                             shard.update_hashed_batch(&batch);
                             // Expose the owned bitmaps' new read-off state
                             // at this batch boundary, so the router can
                             // publish views without a barrier.
                             worker_registers.refresh(&shard, k, threads, batch.len() as u64);
+                            // Send the drained buffer home for reuse; if the
+                            // reverse ring is full (router lagging on
+                            // reclaims) just let the allocation go.
+                            batch.clear();
+                            let _ = recycle_tx.try_push(batch);
                         }
-                        // FIFO channel: every batch sent before the barrier
+                        // FIFO lane: every batch pushed before the barrier
                         // has been applied once we get here, so the ack
                         // certifies this shard's state is current.
                         ShardMsg::Barrier(ack) => {
@@ -275,7 +319,8 @@ impl ShardedEstimator {
             hasher_a,
             hasher_b,
             log2_m,
-            senders,
+            lanes,
+            recycled,
             workers,
             pending: vec![Vec::with_capacity(BATCH); threads],
             metrics,
@@ -284,6 +329,7 @@ impl ShardedEstimator {
             ingest_span,
             registers,
             preloaded,
+            barrier_ack: sync_channel(threads),
             publisher,
         }
     }
@@ -314,14 +360,14 @@ impl ShardedEstimator {
             shard: shard as u32,
             updates: batch.len() as u32,
         });
-        self.senders[shard]
-            .send(ShardMsg::Batch(batch))
-            .expect("ingestion worker exited early");
+        self.lanes[shard]
+            .push(ShardMsg::Batch(batch))
+            .unwrap_or_else(|_| panic!("ingestion worker exited early"));
     }
 
     /// Number of worker shards.
     pub fn threads(&self) -> usize {
-        self.senders.len()
+        self.lanes.len()
     }
 
     /// A copyable hasher matching this pipeline's internal hash functions.
@@ -352,11 +398,17 @@ impl ShardedEstimator {
     #[inline]
     pub fn update_hashed(&mut self, h_a: u64, b_fp: u64) {
         let (idx, _) = split_rank(h_a, self.log2_m);
-        let shard = idx % self.senders.len();
+        let shard = idx % self.lanes.len();
         let buf = &mut self.pending[shard];
         buf.push((h_a, b_fp));
         if buf.len() >= BATCH {
-            let batch = std::mem::replace(buf, Vec::with_capacity(BATCH));
+            // Prefer a buffer the worker sent home over a fresh allocation:
+            // once every lane's buffers are circulating, the steady state
+            // allocates nothing.
+            let replacement = self.recycled[shard]
+                .try_pop()
+                .unwrap_or_else(|| Vec::with_capacity(BATCH));
+            let batch = std::mem::replace(buf, replacement);
             self.ship(shard, batch);
         }
     }
@@ -375,7 +427,13 @@ impl ShardedEstimator {
         self.metrics.ingest.flushes.inc();
         for shard in 0..self.pending.len() {
             if !self.pending[shard].is_empty() {
-                let batch = std::mem::take(&mut self.pending[shard]);
+                // Same reclaim discipline as the full-buffer ship: leave a
+                // recycled buffer (with its capacity) behind, not an empty
+                // `Vec` whose next push would have to grow from zero.
+                let replacement = self.recycled[shard]
+                    .try_pop()
+                    .unwrap_or_else(|| Vec::with_capacity(BATCH));
+                let batch = std::mem::replace(&mut self.pending[shard], replacement);
                 self.ship(shard, batch);
             }
         }
@@ -395,29 +453,16 @@ impl ShardedEstimator {
     /// If a worker thread exited early.
     pub fn barrier(&mut self) {
         self.flush();
-        let acks: Vec<Receiver<()>> = self
-            .senders
-            .iter()
-            .map(|tx| {
-                let (ack_tx, ack_rx) = sync_channel(1);
-                tx.send(ShardMsg::Barrier(ack_tx))
-                    .expect("ingestion worker exited early");
-                ack_rx
-            })
-            .collect();
-        for ack in acks {
-            ack.recv().expect("ingestion worker exited early");
+        for lane in &self.lanes {
+            lane.push(ShardMsg::Barrier(self.barrier_ack.0.clone()))
+                .unwrap_or_else(|_| panic!("ingestion worker exited early"));
         }
-    }
-
-    /// Flushes and blocks until all workers have drained their queues.
-    #[deprecated(
-        since = "0.6.0",
-        note = "for mid-stream estimates use `publish()` + `reader()` (wait-free, no lane \
-                stall); for a true quiesce point the barrier is now called `barrier()`"
-    )]
-    pub fn sync(&mut self) {
-        self.barrier();
+        for _ in 0..self.lanes.len() {
+            self.barrier_ack
+                .1
+                .recv()
+                .expect("ingestion worker exited early");
+        }
     }
 
     /// Publishes a read view assembled from the workers' lock-free
@@ -506,14 +551,15 @@ impl ShardedEstimator {
         self.ingest_span.set_quantity(self.routed);
         let Self {
             template,
-            senders,
+            lanes,
             workers,
             ingest_span,
             publisher,
             ..
         } = self;
-        // Closing the channels lets the workers drain and return.
-        drop(senders);
+        // Dropping the producers closes the lanes: each worker drains its
+        // remaining occupancy, then its blocking pop returns `None`.
+        drop(lanes);
         let mut out = template;
         for worker in workers {
             let shard = worker.join().expect("ingestion worker panicked");
@@ -691,17 +737,6 @@ mod tests {
         sharded.barrier();
         sharded.barrier();
         assert_eq!(sharded.finish().tuples_seen(), 3_000);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_sync_still_delegates_to_the_barrier() {
-        let mut sharded = ShardedEstimator::new(config().build(), 2);
-        for (a, b) in pairs(2_000) {
-            sharded.update(&[a], &[b]);
-        }
-        sharded.sync();
-        assert_eq!(sharded.finish().tuples_seen(), 2_000);
     }
 
     #[test]

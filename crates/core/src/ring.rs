@@ -1,0 +1,347 @@
+//! Fixed-capacity single-producer/single-consumer rings for batch handoff.
+//!
+//! The sharded ingest pipeline ships whole batches from the router thread
+//! to each shard worker. A bounded MPSC channel would serialize every
+//! handoff through a mutex and condvar; this ring instead performs exactly
+//! **one release/acquire pair per transfer** and nothing else on the steady
+//! path.
+//!
+//! # Memory-ordering argument
+//!
+//! The ring is a classic Lamport queue over a power-of-two slot array with
+//! monotonically increasing `head`/`tail` cursors (`occupancy = tail - head`,
+//! wrap handled by two's-complement subtraction):
+//!
+//! * The **producer** owns `tail`. It writes the payload into
+//!   `slots[tail & mask]` *plainly* (no atomics), then publishes the slot
+//!   with a `Release` store of `tail + 1`. The consumer's `Acquire` load of
+//!   `tail` therefore observes the fully written payload — the store to the
+//!   slot *happens-before* the cursor publication, and the cursor
+//!   acquisition *happens-before* the consumer's read of the slot.
+//! * The **consumer** owns `head`. It moves the payload out of the slot,
+//!   then retires the slot with a `Release` store of `head + 1`. The
+//!   producer's `Acquire` load of `head` before reusing a slot therefore
+//!   observes the move-out — a slot is never overwritten while the payload
+//!   is still being read.
+//!
+//! Each cursor has exactly one writer, so plain (`Relaxed`) self-reads are
+//! sound; no read-modify-write instructions appear anywhere. Backpressure
+//! is ring occupancy: a full ring makes [`Producer::push`] spin (with
+//! [`std::thread::yield_now`] after a short busy phase) until the consumer
+//! retires a slot or disconnects.
+//!
+//! # Disconnect semantics
+//!
+//! Dropping the [`Producer`] makes [`Consumer::pop`] drain the remaining
+//! occupancy and then return `None`; dropping the [`Consumer`] makes
+//! `push` fail fast, handing the rejected value back to the caller.
+//! Payloads still in flight when *both* handles are gone are dropped with
+//! the ring.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Pad each cursor to its own cache line so producer and consumer do not
+/// false-share.
+#[repr(align(64))]
+struct Pad(AtomicUsize);
+
+struct Shared<T> {
+    /// Next slot the producer will write (producer-owned).
+    tail: Pad,
+    /// Next slot the consumer will read (consumer-owned).
+    head: Pad,
+    producer_alive: AtomicBool,
+    consumer_alive: AtomicBool,
+    mask: usize,
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+}
+
+// SAFETY: the slot array is only touched under the head/tail protocol
+// documented above — each slot is written by exactly one thread before the
+// Release publication and read by exactly one thread after the Acquire
+// observation, so `T: Send` is the only requirement.
+unsafe impl<T: Send> Send for Shared<T> {}
+unsafe impl<T: Send> Sync for Shared<T> {}
+
+impl<T> Shared<T> {
+    fn occupancy(&self) -> usize {
+        self.tail
+            .0
+            .load(Ordering::Acquire)
+            .wrapping_sub(self.head.0.load(Ordering::Acquire))
+    }
+}
+
+impl<T> Drop for Shared<T> {
+    fn drop(&mut self) {
+        // Both handles are gone: exclusive access, drain what's left.
+        let head = self.head.0.load(Ordering::Relaxed);
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        let mut i = head;
+        while i != tail {
+            unsafe { (*self.slots[i & self.mask].get()).assume_init_drop() };
+            i = i.wrapping_add(1);
+        }
+    }
+}
+
+/// Producing half of a ring; see [`ring`].
+pub struct Producer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Consuming half of a ring; see [`ring`].
+pub struct Consumer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> std::fmt::Debug for Producer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ring::Producer")
+            .field("capacity", &(self.shared.mask + 1))
+            .field("occupancy", &self.shared.occupancy())
+            .finish()
+    }
+}
+
+impl<T> std::fmt::Debug for Consumer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ring::Consumer")
+            .field("capacity", &(self.shared.mask + 1))
+            .field("occupancy", &self.shared.occupancy())
+            .finish()
+    }
+}
+
+/// Error returned by [`Producer::push`] when the consumer is gone.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Disconnected<T>(pub T);
+
+/// Create a SPSC ring with at least `capacity` slots (rounded up to a
+/// power of two, minimum 2).
+pub fn ring<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    let cap = capacity.max(2).next_power_of_two();
+    let slots: Box<[UnsafeCell<MaybeUninit<T>>]> = (0..cap)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect();
+    let shared = Arc::new(Shared {
+        tail: Pad(AtomicUsize::new(0)),
+        head: Pad(AtomicUsize::new(0)),
+        producer_alive: AtomicBool::new(true),
+        consumer_alive: AtomicBool::new(true),
+        mask: cap - 1,
+        slots,
+    });
+    (
+        Producer {
+            shared: Arc::clone(&shared),
+        },
+        Consumer { shared },
+    )
+}
+
+impl<T: Send> Producer<T> {
+    /// Slots currently in flight (occupied by unconsumed payloads).
+    pub fn occupancy(&self) -> usize {
+        self.shared.occupancy()
+    }
+
+    /// Ring capacity in slots.
+    pub fn capacity(&self) -> usize {
+        self.shared.mask + 1
+    }
+
+    /// Non-blocking push; hands the value back if the ring is full.
+    pub fn try_push(&self, value: T) -> Result<(), T> {
+        let shared = &*self.shared;
+        let tail = shared.tail.0.load(Ordering::Relaxed);
+        let head = shared.head.0.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) > shared.mask {
+            return Err(value);
+        }
+        unsafe { (*shared.slots[tail & shared.mask].get()).write(value) };
+        shared.tail.0.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Blocking push: spins (then yields) on a full ring until the consumer
+    /// retires a slot. Fails with [`Disconnected`] only if the consumer is
+    /// gone.
+    pub fn push(&self, mut value: T) -> Result<(), Disconnected<T>> {
+        let mut spins = 0u32;
+        loop {
+            match self.try_push(value) {
+                Ok(()) => return Ok(()),
+                Err(v) => value = v,
+            }
+            if !self.shared.consumer_alive.load(Ordering::Acquire) {
+                return Err(Disconnected(value));
+            }
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+impl<T> Drop for Producer<T> {
+    fn drop(&mut self) {
+        self.shared.producer_alive.store(false, Ordering::Release);
+    }
+}
+
+impl<T: Send> Consumer<T> {
+    /// Slots currently in flight.
+    pub fn occupancy(&self) -> usize {
+        self.shared.occupancy()
+    }
+
+    /// Non-blocking pop; `None` means the ring is currently empty (the
+    /// producer may still be alive).
+    pub fn try_pop(&self) -> Option<T> {
+        let shared = &*self.shared;
+        let head = shared.head.0.load(Ordering::Relaxed);
+        let tail = shared.tail.0.load(Ordering::Acquire);
+        if tail == head {
+            return None;
+        }
+        let value = unsafe { (*shared.slots[head & shared.mask].get()).assume_init_read() };
+        shared.head.0.store(head.wrapping_add(1), Ordering::Release);
+        Some(value)
+    }
+
+    /// Blocking pop: spins (then yields) on an empty ring. Returns `None`
+    /// only once the producer is gone *and* every in-flight payload has
+    /// been drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut spins = 0u32;
+        loop {
+            if let Some(v) = self.try_pop() {
+                return Some(v);
+            }
+            if !self.shared.producer_alive.load(Ordering::Acquire) {
+                // The producer may have pushed between our failed pop and
+                // its death; one more look settles it.
+                return self.try_pop();
+            }
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+impl<T> Drop for Consumer<T> {
+    fn drop(&mut self) {
+        self.shared.consumer_alive.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_with_wraparound() {
+        let (tx, rx) = ring::<u64>(4);
+        assert_eq!(tx.capacity(), 4);
+        for round in 0..10u64 {
+            for i in 0..3 {
+                tx.try_push(round * 3 + i).expect("room");
+            }
+            for i in 0..3 {
+                assert_eq!(rx.try_pop(), Some(round * 3 + i));
+            }
+        }
+        assert_eq!(rx.try_pop(), None);
+    }
+
+    #[test]
+    fn full_ring_rejects_until_a_slot_retires() {
+        let (tx, rx) = ring::<u32>(2);
+        tx.try_push(1).unwrap();
+        tx.try_push(2).unwrap();
+        assert_eq!(tx.try_push(3), Err(3));
+        assert_eq!(tx.occupancy(), 2);
+        assert_eq!(rx.try_pop(), Some(1));
+        tx.try_push(3).unwrap();
+        assert_eq!(rx.try_pop(), Some(2));
+        assert_eq!(rx.try_pop(), Some(3));
+    }
+
+    #[test]
+    fn cross_thread_transfer_preserves_every_payload() {
+        let (tx, rx) = ring::<u64>(8);
+        const N: u64 = 100_000;
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                tx.push(i).expect("consumer alive");
+            }
+        });
+        let mut expect = 0u64;
+        while let Some(v) = rx.pop() {
+            assert_eq!(v, expect, "payloads must arrive in order");
+            expect += 1;
+        }
+        assert_eq!(expect, N, "every payload must arrive exactly once");
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn consumer_drains_the_ring_after_producer_drops() {
+        let (tx, rx) = ring::<u32>(8);
+        tx.try_push(7).unwrap();
+        tx.try_push(8).unwrap();
+        drop(tx);
+        assert_eq!(rx.pop(), Some(7));
+        assert_eq!(rx.pop(), Some(8));
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn push_fails_fast_once_the_consumer_is_gone() {
+        let (tx, rx) = ring::<u32>(2);
+        tx.try_push(1).unwrap();
+        tx.try_push(2).unwrap();
+        drop(rx);
+        assert_eq!(tx.push(3), Err(Disconnected(3)));
+    }
+
+    #[test]
+    fn in_flight_payloads_drop_with_the_ring() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        DROPS.store(0, Ordering::SeqCst);
+        let (tx, rx) = ring::<Counted>(4);
+        assert!(tx.try_push(Counted).is_ok());
+        assert!(tx.try_push(Counted).is_ok());
+        assert!(tx.try_push(Counted).is_ok());
+        drop(rx.try_pop()); // one consumed and dropped by the caller
+        drop(tx);
+        drop(rx);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 3, "two drained + one popped");
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_a_power_of_two() {
+        let (tx, _rx) = ring::<u8>(5);
+        assert_eq!(tx.capacity(), 8);
+        let (tx, _rx) = ring::<u8>(0);
+        assert_eq!(tx.capacity(), 2);
+    }
+}

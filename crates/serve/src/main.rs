@@ -79,9 +79,9 @@ use implicate::core::wire::{
 use implicate::sketch::hash::MixHasher;
 use implicate::spec;
 use implicate::{
-    EstimateReader, EstimatorConfig, Fringe, ImplicationConditions, ImplicationEstimator,
-    ImplicationQuery, MetricsHandle, MultiplicityPolicy, PairHasher, QueryCatalog, QueryId, Schema,
-    ShardedEstimator, TraceEvent, TraceHandle, Tuple,
+    EstimateReader, EstimatorConfig, Fringe, HashedBatch, ImplicationConditions,
+    ImplicationEstimator, ImplicationQuery, MetricsHandle, MultiplicityPolicy, PairHasher,
+    QueryCatalog, QueryId, Schema, ShardedEstimator, TraceEvent, TraceHandle, Tuple,
 };
 
 mod flight;
@@ -639,9 +639,11 @@ struct CatalogShared {
 }
 
 /// The catalog role's writer: single owner of the [`QueryCatalog`].
-/// Applies row batches, services register/retire control messages
-/// between batches, and republishes every query's view (plus the
-/// metrics exposition) on the publish cadence.
+/// Hashes each incoming row batch attribute-wise exactly once into a
+/// reused [`HashedBatch`], applies it to every registered query,
+/// services register/retire control messages between batches, and
+/// republishes every query's view (plus the metrics exposition) on the
+/// publish cadence.
 ///
 /// Returns (rows this session, final tuple count).
 fn catalog_writer_loop(
@@ -654,6 +656,8 @@ fn catalog_writer_loop(
 ) -> (u64, u64) {
     let mut rows = 0u64;
     let mut since_publish = 0u64;
+    let hasher = catalog.hasher().clone();
+    let mut hashed = HashedBatch::new();
     let refresh = |catalog: &QueryCatalog, cat: &CatalogShared| {
         let mut text = String::new();
         catalog.prometheus_into("implicate", &mut text);
@@ -703,7 +707,8 @@ fn catalog_writer_loop(
         match batch_rx.recv_timeout(POLL) {
             Ok(batch) => {
                 let n = batch.len() as u64;
-                catalog.process_batch(&batch);
+                hasher.hash_batch(batch, &mut hashed);
+                catalog.process_hashed(&hashed);
                 rows += n;
                 since_publish += n;
                 if since_publish >= publish_every {
@@ -728,7 +733,8 @@ fn catalog_writer_loop(
     // Drain anything still queued, then publish the final state.
     while let Ok(batch) = batch_rx.try_recv() {
         rows += batch.len() as u64;
-        catalog.process_batch(&batch);
+        hasher.hash_batch(batch, &mut hashed);
+        catalog.process_hashed(&hashed);
     }
     catalog.publish();
     refresh(&catalog, cat);

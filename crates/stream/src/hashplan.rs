@@ -240,6 +240,114 @@ impl TupleHasher {
     pub fn combine(&self, q: &QueryCombiner) -> (u64, u64) {
         (q.lhs.combine(&self.row_a), q.rhs.combine(&self.row_b))
     }
+
+    /// Hashes a whole batch of tuples attribute-wise exactly once into
+    /// `out` — the columnar pass that produces the [`HashedBatch`]
+    /// currency the rest of the pipeline rides on.
+    ///
+    /// `tuples` is moved *into* the batch (filtered consumers still need
+    /// the raw values); reclaim the allocation with
+    /// [`HashedBatch::recycle`] to keep steady-state ingest
+    /// allocation-free.
+    pub fn hash_batch(&self, tuples: Vec<Tuple>, out: &mut HashedBatch) {
+        out.col_a.clear();
+        out.col_b.clear();
+        out.arity = self.ha.len();
+        for t in &tuples {
+            self.hash_tuple_append(t, &mut out.col_a, &mut out.col_b);
+        }
+        out.tuples = tuples;
+    }
+}
+
+/// A batch of tuples hashed attribute-wise exactly once: the raw tuples
+/// (filters still need values) plus the two columnar per-attribute hash
+/// lanes, `arity` words per row per family.
+///
+/// This is the **only** currency that crosses layer boundaries in the
+/// batch pipeline: [`TupleHasher::hash_batch`] produces it from a
+/// [`TupleSource::next_batch`](crate::source::TupleSource::next_batch)
+/// slice, per-query `(h_a, b_fp)` lanes are derived from it by
+/// [`combine_into`](Self::combine_into), and the sharded pipelines ship it
+/// whole across their rings.
+#[derive(Debug, Default, Clone)]
+pub struct HashedBatch {
+    tuples: Vec<Tuple>,
+    /// Row-major per-attribute hashes, family A: row `i` occupies
+    /// `[i*arity, (i+1)*arity)`.
+    col_a: Vec<u64>,
+    /// Row-major per-attribute hashes, family B.
+    col_b: Vec<u64>,
+    arity: usize,
+}
+
+impl HashedBatch {
+    /// An empty batch; fill it with [`TupleHasher::hash_batch`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of rows in the batch.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The schema arity the hash lanes were produced under.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The raw tuples, aligned row-for-row with the hash lanes.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Row `i`'s family-A per-attribute hash row.
+    #[inline]
+    pub fn row_a(&self, i: usize) -> &[u64] {
+        &self.col_a[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// Row `i`'s family-B per-attribute hash row.
+    #[inline]
+    pub fn row_b(&self, i: usize) -> &[u64] {
+        &self.col_b[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// Derives one query's `(h_a, b_fp)` pair for row `i`.
+    #[inline]
+    pub fn combine_row(&self, q: &QueryCombiner, i: usize) -> (u64, u64) {
+        (
+            q.lhs.combine(self.row_a(i)),
+            q.rhs.combine(self.row_b(i)),
+        )
+    }
+
+    /// Derives one query's `(h_a, b_fp)` lane for the whole batch,
+    /// appending to `out` (cleared first) — the zero-marginal-hashing path
+    /// a catalog entry or single-query estimator consumes.
+    pub fn combine_into(&self, q: &QueryCombiner, out: &mut Vec<(u64, u64)>) {
+        out.clear();
+        out.reserve(self.len());
+        for i in 0..self.len() {
+            out.push(self.combine_row(q, i));
+        }
+    }
+
+    /// Clears the batch and hands back the tuple storage so the producer
+    /// can refill it without allocating.
+    pub fn recycle(&mut self) -> Vec<Tuple> {
+        self.col_a.clear();
+        self.col_b.clear();
+        let mut tuples = std::mem::take(&mut self.tuples);
+        tuples.clear();
+        tuples
+    }
 }
 
 #[cfg(test)]
@@ -328,6 +436,54 @@ mod tests {
         h.hash_tuple_append(&t, &mut col_a, &mut col_b);
         let appended = (q.lhs().combine(&col_a), q.rhs().combine(&col_b));
         assert_eq!(direct, appended);
+    }
+
+    #[test]
+    fn hash_batch_matches_per_tuple_rows() {
+        let s = schema();
+        let mut h = TupleHasher::new(&s, 17);
+        let q = h.combiner(s.attr_set(&["A", "C"]), s.attr_set(&["B"]));
+        let tuples: Vec<Tuple> = (0..5u64)
+            .map(|i| Tuple::from([i, i * 3, i ^ 7, 100 - i]))
+            .collect();
+        let mut batch = HashedBatch::new();
+        h.hash_batch(tuples.clone(), &mut batch);
+        assert_eq!(batch.len(), 5);
+        assert_eq!(batch.arity(), 4);
+        for (i, t) in tuples.iter().enumerate() {
+            h.hash_tuple(t);
+            assert_eq!(h.combine(&q), batch.combine_row(&q, i));
+            assert_eq!(batch.tuples()[i], *t);
+        }
+    }
+
+    #[test]
+    fn combine_into_matches_row_by_row_combination() {
+        let s = schema();
+        let h = TupleHasher::new(&s, 23);
+        let q = h.combiner(s.attr_set(&["B"]), s.attr_set(&["D"]));
+        let tuples: Vec<Tuple> = (0..8u64).map(|i| Tuple::from([i, i, i, i])).collect();
+        let mut batch = HashedBatch::new();
+        h.hash_batch(tuples, &mut batch);
+        let mut lane = Vec::new();
+        batch.combine_into(&q, &mut lane);
+        assert_eq!(lane.len(), batch.len());
+        for (i, &pair) in lane.iter().enumerate() {
+            assert_eq!(pair, batch.combine_row(&q, i));
+        }
+    }
+
+    #[test]
+    fn recycle_returns_cleared_storage_with_capacity() {
+        let s = schema();
+        let h = TupleHasher::new(&s, 29);
+        let tuples: Vec<Tuple> = (0..16u64).map(|i| Tuple::from([i, i, i, i])).collect();
+        let mut batch = HashedBatch::new();
+        h.hash_batch(tuples, &mut batch);
+        let storage = batch.recycle();
+        assert!(storage.is_empty());
+        assert!(storage.capacity() >= 16, "tuple storage must be reusable");
+        assert!(batch.is_empty());
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod tuple;
 pub mod window;
 
 pub use dictionary::Dictionary;
-pub use hashplan::{ItemsetCombiner, QueryCombiner, TupleHasher};
+pub use hashplan::{HashedBatch, ItemsetCombiner, QueryCombiner, TupleHasher};
 pub use item::ItemKey;
 pub use project::Projector;
 pub use schema::{AttrId, AttrSet, Schema};

@@ -5,6 +5,7 @@
 //! (§1) allows exactly one pass, so sources are consumed-by-iteration and
 //! algorithms never ask to rewind.
 
+use crate::hashplan::{HashedBatch, TupleHasher};
 use crate::schema::Schema;
 use crate::tuple::Tuple;
 
@@ -40,6 +41,22 @@ pub trait TupleSource {
             }
         }
         out.len()
+    }
+
+    /// Reads up to `max` tuples and hashes them attribute-wise exactly
+    /// once into `out` — the batch-pipeline entry point: everything
+    /// downstream of the source consumes the [`HashedBatch`] currency.
+    /// Returns the number of rows read; zero means end of stream (for
+    /// `max > 0`).
+    ///
+    /// The tuple storage cycles through `out` across calls
+    /// ([`HashedBatch::recycle`]), so steady-state reading is
+    /// allocation-free once capacities have grown to the batch size.
+    fn next_hashed_batch(&mut self, hasher: &TupleHasher, out: &mut HashedBatch, max: usize) -> usize {
+        let mut tuples = out.recycle();
+        let n = self.next_batch(&mut tuples, max);
+        hasher.hash_batch(tuples, out);
+        n
     }
 }
 
@@ -129,6 +146,24 @@ mod tests {
         assert_eq!(src.next_batch(&mut batch, 3), 1);
         assert_eq!(batch, tuples[6..]);
         assert_eq!(src.next_batch(&mut batch, 3), 0);
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn hashed_batch_read_matches_plain_batch_read() {
+        let s = schema();
+        let tuples: Vec<Tuple> = (0..7u64).map(|i| Tuple::from([i, i + 1])).collect();
+        let hasher = TupleHasher::new(&s, 42);
+        let mut src = VecSource::new(s.clone(), tuples.clone());
+        let mut batch = HashedBatch::new();
+        assert_eq!(src.next_hashed_batch(&hasher, &mut batch, 4), 4);
+        assert_eq!(batch.tuples(), &tuples[..4]);
+        let mut check = HashedBatch::new();
+        hasher.hash_batch(tuples[..4].to_vec(), &mut check);
+        assert_eq!(batch.row_a(2), check.row_a(2));
+        assert_eq!(src.next_hashed_batch(&hasher, &mut batch, 4), 3);
+        assert_eq!(batch.tuples(), &tuples[4..]);
+        assert_eq!(src.next_hashed_batch(&hasher, &mut batch, 4), 0);
         assert!(batch.is_empty());
     }
 

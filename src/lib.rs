@@ -63,7 +63,7 @@ pub use imp_baselines::{
     AccuracyAuditor, DistinctSampling, ErrorSample, ExactCounter, Ilc, ImplicationCounter,
     ImplicationStickySampling, LossyCounter, NaiveImplicationBitmap, StickySampler,
 };
-pub use imp_core::catalog::{self, CatalogError, QueryCatalog, QueryId};
+pub use imp_core::catalog::{self, CatalogError, QueryCatalog, QueryId, ShardedCatalog};
 pub use imp_core::query::{self, Filter};
 pub use imp_core::{
     lint_prometheus, CapacityPolicy, Confidence, DirtyReason, Estimate, EstimateReader,
@@ -73,4 +73,6 @@ pub use imp_core::{
     ShardedEstimator, Span, SpanKind, TraceEvent, TraceHandle, TraceJournal, TracedEvent,
     UpdateOutcome, WireMetrics,
 };
-pub use imp_stream::{AttrSet, ItemKey, Projector, QueryCombiner, Schema, Tuple, TupleHasher};
+pub use imp_stream::{
+    AttrSet, HashedBatch, ItemKey, Projector, QueryCombiner, Schema, Tuple, TupleHasher,
+};

@@ -26,6 +26,9 @@
 //!
 //! # a whole catalog of queries in ONE pass over the stream
 //! implicate --query-file queries.txt --stats traffic.csv
+//!
+//! # the same catalog, queries spread over 4 cores (bit-identical)
+//! implicate --query-file queries.txt --threads 4 traffic.csv
 //! ```
 //!
 //! A query file declares one query per line (`#` comments allowed):
@@ -57,7 +60,7 @@ use implicate::spec::QuerySpec;
 use implicate::{
     AccuracyAuditor, EstimatorConfig, ExactCounter, Fringe, ImplicationConditions,
     ImplicationCounter, ImplicationEstimator, MetricsHandle, MultiplicityPolicy, QueryCatalog,
-    QueryKind, Schema, ShardedEstimator, TraceHandle, Tuple,
+    QueryKind, Schema, ShardedCatalog, ShardedEstimator, TraceHandle, Tuple,
 };
 
 /// Lines per batch handed from the reader to the parser pool.
@@ -251,7 +254,7 @@ const OPTIONS: &[Opt] = &[
     Opt {
         name: "--threads",
         metavar: "N",
-        doc: "ingestion shards (default 1); N > 1 parses and ingests\nin parallel with results identical to N = 1",
+        doc: "ingestion shards (default 1); N > 1 parses and ingests\nin parallel with results identical to N = 1; with\n--query-file, spreads the catalog's queries over N lanes",
         set: |d, v| d.threads = parse_num(v, "--threads"),
     },
     Opt {
@@ -445,9 +448,6 @@ impl CliDraft {
         let (lhs, rhs, queries) = if let Some(path) = &self.query_file {
             if self.lhs.is_some() || self.rhs.is_some() {
                 die("--query-file replaces --lhs/--rhs");
-            }
-            if self.threads > 1 {
-                die("--query-file requires --threads 1 (the catalog is one single-pass engine)");
             }
             if self.save.is_some() || self.resume.is_some() {
                 die("--save/--resume are not supported with --query-file");
@@ -711,6 +711,141 @@ fn run_catalog(cli: &Cli) {
     eprintln!(
         "rows {rows} (skipped {skipped}) | {} queries, one pass | {} tracked bytes on one budget",
         catalog.len(),
+        catalog.tracked_bytes()
+    );
+    if let Some(path) = &cli.trace_out {
+        write_trace(path, catalog.trace());
+    }
+    if cli.stats {
+        let mut text = String::new();
+        catalog.prometheus_into("implicate", &mut text);
+        eprintln!("{}", text.trim_end());
+    }
+}
+
+/// Catalog mode under `--threads N`: the *queries* are partitioned over
+/// N worker lanes ([`ShardedCatalog`]), every lane sees every tuple as a
+/// shared pre-hashed batch, and per-query answers stay bit-identical to
+/// the single-threaded catalog. The main thread parses and hashes
+/// (attribute-wise, once); workers run the per-query combine + estimator
+/// passes. `--watch` and `--stats-interval` read per-query published
+/// views at settled boundaries (publish, then barrier), so their
+/// emissions match the sequential run's numbers exactly.
+fn run_catalog_parallel(cli: &Cli) {
+    let arity = 1 + cli
+        .queries
+        .iter()
+        .map(|q| q.max_column())
+        .max()
+        .expect("parse_query_file rejects empty catalogs");
+    let schema = Schema::new((0..arity).map(|i| (format!("c{i}"), 0)));
+
+    let mut catalog = QueryCatalog::new(&schema, cli.config);
+    if cli.trace_out.is_some() {
+        catalog.set_trace(TraceHandle::with_capacity(cli.trace_buffer));
+    }
+    for q in &cli.queries {
+        if let Err(e) = catalog.try_register(q.name.clone(), q.query.clone()) {
+            die(&format!("query {:?}: {e}", q.name));
+        }
+    }
+    let ids: Vec<_> = cli
+        .queries
+        .iter()
+        .map(|q| catalog.find(&q.name).expect("just registered"))
+        .collect();
+    let mut sharded = ShardedCatalog::new(catalog, cli.threads);
+    let viewers: Vec<_> = ids
+        .iter()
+        .map(|id| sharded.reader(*id).expect("live query"))
+        .collect();
+    let tuple_hasher = sharded.hasher().clone();
+
+    let field_hasher = MixHasher::new(FIELD_HASHER_SEED);
+    let reader = open_input(cli);
+    let mut hashed = sharded.checkout();
+    let mut tuples = hashed.recycle();
+    let mut vals: Vec<u64> = Vec::with_capacity(arity);
+    let mut rows = 0u64;
+    let mut skipped = 0u64;
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => die(&format!("read error: {e}")),
+        };
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields = split_line(&line, cli.delimiter);
+        if fields.len() < arity {
+            skipped += 1;
+            continue;
+        }
+        vals.clear();
+        vals.extend(
+            fields[..arity]
+                .iter()
+                .map(|f| implicate::text::hash_field(&field_hasher, f)),
+        );
+        tuples.push(Tuple::new(vals.as_slice()));
+        rows += 1;
+        let boundary = |n: Option<u64>| n.is_some_and(|n| rows.is_multiple_of(n));
+        let at_boundary = boundary(cli.stats_interval) || boundary(cli.watch);
+        if tuples.len() >= LINE_BATCH || at_boundary {
+            tuple_hasher.hash_batch(std::mem::take(&mut tuples), &mut hashed);
+            hashed = sharded.process_hashed(hashed);
+            tuples = hashed.recycle();
+        }
+        if at_boundary {
+            // Publish, then barrier: the lanes publish at their message
+            // boundary, and the barrier guarantees the views are settled
+            // at exactly this row — same numbers as the sequential run.
+            sharded.publish();
+            sharded.barrier();
+        }
+        if boundary(cli.stats_interval) {
+            for (q, viewer) in cli.queries.iter().zip(&viewers) {
+                eprintln!(
+                    "implicate_query_tuples{{query=\"{}\"}} {}",
+                    q.name,
+                    viewer.tuples()
+                );
+                eprintln!(
+                    "implicate_query_answer{{query=\"{}\"}} {}",
+                    q.name,
+                    q.query.answer_from(&viewer.estimate())
+                );
+            }
+        }
+        if boundary(cli.watch) {
+            for (q, viewer) in cli.queries.iter().zip(&viewers) {
+                eprintln!(
+                    "{rows} rows [{}]: answer ≈ {:.0} ({} matched)",
+                    q.name,
+                    q.query.answer_from(&viewer.estimate()),
+                    viewer.tuples(),
+                );
+            }
+        }
+    }
+    if !tuples.is_empty() {
+        tuple_hasher.hash_batch(tuples, &mut hashed);
+        let _ = sharded.process_hashed(hashed);
+    }
+    let catalog = sharded.finish();
+
+    for (q, id) in cli.queries.iter().zip(&ids) {
+        println!(
+            "{}\t{:.0}",
+            q.name,
+            catalog.answer(*id).expect("live query")
+        );
+    }
+    eprintln!(
+        "rows {rows} (skipped {skipped}) | {} queries over {} lanes, one pass | \
+         {} tracked bytes on one budget",
+        catalog.len(),
+        cli.threads,
         catalog.tracked_bytes()
     );
     if let Some(path) = &cli.trace_out {
@@ -991,7 +1126,11 @@ fn write_trace(path: &str, trace: &TraceHandle) {
 fn main() {
     let cli = parse_cli();
     if !cli.queries.is_empty() {
-        run_catalog(&cli);
+        if cli.threads > 1 {
+            run_catalog_parallel(&cli);
+        } else {
+            run_catalog(&cli);
+        }
         return;
     }
     let mut est = match &cli.resume {

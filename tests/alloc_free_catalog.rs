@@ -13,7 +13,8 @@ use std::cell::Cell;
 use implicate::query::Filter;
 use implicate::stream::AttrId;
 use implicate::{
-    AttrSet, EstimatorConfig, ImplicationConditions, ImplicationQuery, QueryCatalog, Schema, Tuple,
+    AttrSet, EstimatorConfig, HashedBatch, ImplicationConditions, ImplicationQuery, QueryCatalog,
+    Schema, Tuple,
 };
 
 struct CountingAlloc;
@@ -94,6 +95,55 @@ fn steady_state_process_batch_performs_zero_allocations() {
     );
     assert_eq!(catalog.tuples_seen(), 202 * 256);
     assert!(catalog.tracked_bytes() > 0, "queries are still tracked");
+}
+
+#[test]
+fn steady_state_process_hashed_performs_zero_allocations() {
+    // The batch currency one layer up: applying a pre-hashed columnar
+    // [`HashedBatch`] to every query — combiner fold into the shared
+    // pair scratch, grouped estimator update, filters walking the raw
+    // tuples — must never touch the heap once warm. This is exactly the
+    // per-batch path every `ShardedCatalog` lane runs, so a quiet run
+    // here certifies the `--threads N` catalog workers' steady state.
+    let schema = Schema::new([("Src", 0), ("Dst", 0), ("Svc", 0)]);
+    let template = EstimatorConfig::new(ImplicationConditions::strict_one_to_one(1_000_000))
+        .bitmaps(16)
+        .seed(23);
+    let mut catalog = QueryCatalog::new(&schema, template);
+    let (src, dst, svc) = (
+        schema.attr_set(&["Src"]),
+        schema.attr_set(&["Dst"]),
+        schema.attr_set(&["Svc"]),
+    );
+    catalog.register("loyal", ImplicationQuery::one_to_one(src, dst, 1));
+    catalog.register("pair", ImplicationQuery::at_most(src.union(svc), dst, 2, 1));
+    catalog.register(
+        "filtered",
+        ImplicationQuery::one_to_one(src, dst, 1).filtered(Filter::new().and_eq(AttrId(2), 0)),
+    );
+
+    // Hash the workload once; steady state re-applies the same batch.
+    let tuples: Vec<Tuple> = (0..256u64)
+        .map(|i| Tuple::from([i, i % 5, i % 3]))
+        .collect();
+    let mut batch = HashedBatch::new();
+    catalog.hasher().clone().hash_batch(tuples, &mut batch);
+
+    for _ in 0..2 {
+        catalog.process_hashed(&batch);
+    }
+
+    let before = allocs_on_this_thread();
+    for _ in 0..200 {
+        catalog.process_hashed(&batch);
+    }
+    let after = allocs_on_this_thread();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state catalog process_hashed allocated on the hot path"
+    );
+    assert_eq!(catalog.tuples_seen(), 202 * 256);
 }
 
 #[test]

@@ -9,7 +9,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
-use implicate::{EstimatorConfig, ImplicationConditions};
+use implicate::{EstimatorConfig, ImplicationConditions, ShardedEstimator};
 
 struct CountingAlloc;
 
@@ -98,6 +98,74 @@ fn steady_state_update_hashed_performs_zero_allocations() {
         0,
         "steady-state update_hashed allocated on the hot path"
     );
+}
+
+#[test]
+fn steady_state_grouped_batch_update_performs_zero_allocations() {
+    // The counting-sort grouped path (batches at or above the grouping
+    // threshold) keeps its scratch on the estimator: the first batch
+    // sizes it, every later one reuses it.
+    let cond = ImplicationConditions::strict_one_to_one(1_000_000);
+    let mut est = EstimatorConfig::new(cond).bitmaps(32).seed(29).build();
+    let hashed: Vec<(u64, u64)> = (0..4_096u64)
+        .map(|a| est.hash_pair(&[a], &[a % 4]))
+        .collect();
+
+    for _ in 0..2 {
+        est.update_hashed_batch(&hashed);
+    }
+
+    let before = allocs_on_this_thread();
+    for _ in 0..200 {
+        est.update_hashed_batch(&hashed);
+    }
+    let after = allocs_on_this_thread();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state grouped batch update allocated on the hot path"
+    );
+}
+
+#[test]
+fn sharded_ingest_across_the_spsc_rings_keeps_the_router_off_the_heap() {
+    // The batch handoff contract one layer up: once the recycle rings'
+    // seeded buffer pools are circulating, the router's steady state —
+    // fill a buffer, ship it down the forward ring, reclaim a drained
+    // one from the reverse ring, quiesce at a barrier — must never
+    // allocate on the routing thread. (Worker threads count their own
+    // allocations; the thread-local counter isolates the router.)
+    let cond = ImplicationConditions::strict_one_to_one(1_000_000);
+    let est = EstimatorConfig::new(cond).bitmaps(32).seed(13).build();
+    let mut sharded = ShardedEstimator::new(est, 3);
+    let hasher = sharded.pair_hasher();
+    // One burst stays within RING_DEPTH × BATCH pairs (8 × 1024), so even
+    // if every batch hashed to the same lane its ships fit the seeded
+    // buffer pool without waiting on the worker to recycle mid-burst.
+    let hashed: Vec<(u64, u64)> = (0..4_096u64)
+        .map(|a| hasher.hash_pair(&[a], &[a % 4]))
+        .collect();
+
+    // Warm: admit every key and let each shard's arena reach its working
+    // shape (growth may allocate here, on the workers).
+    for _ in 0..2 {
+        sharded.update_hashed_batch(&hashed);
+        sharded.barrier();
+    }
+
+    let before = allocs_on_this_thread();
+    for _ in 0..50 {
+        sharded.update_hashed_batch(&hashed);
+        sharded.barrier();
+    }
+    let after = allocs_on_this_thread();
+    assert_eq!(
+        after - before,
+        0,
+        "router allocated on the steady-state ring handoff"
+    );
+    let est = sharded.finish();
+    assert_eq!(est.tuples_seen(), 52 * 4_096);
 }
 
 #[test]

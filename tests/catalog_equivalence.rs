@@ -12,7 +12,7 @@ use implicate::query::Filter;
 use implicate::stream::AttrId;
 use implicate::{
     EstimatorConfig, ImplicationConditions, ImplicationQuery, QueryCatalog, QueryEngine, Schema,
-    Tuple,
+    ShardedCatalog, Tuple,
 };
 
 /// Fixed 3-attribute schema: wide enough for multi-attribute itemsets,
@@ -133,6 +133,61 @@ proptest! {
                 i,
                 from_catalog,
                 engine.answer()
+            );
+        }
+    }
+
+    /// The `--threads N` catalog is unobservable: for any query mix,
+    /// any stream, any batching (empty batches included), and any lane
+    /// count, the sharded catalog answers every query — and accounts
+    /// every tuple — bit-identically to the sequential one-pass
+    /// catalog. Lanes see every batch as a shared [`HashedBatch`] over
+    /// SPSC rings, so each query replays the exact sequential path.
+    #[test]
+    fn sharded_catalog_matches_sequential_for_any_lane_count(
+        queries in proptest::collection::vec(arb_query(), 1..6),
+        raw in proptest::collection::vec(
+            (0u64..40, 0u64..6, 0u64..3), 0..600),
+        batch in 1usize..97,
+        threads in 1usize..5,
+        seed in 0u64..500,
+    ) {
+        let schema = schema();
+        let stream = tuples(&raw);
+        let template = EstimatorConfig::new(ImplicationConditions::strict_one_to_one(1))
+            .bitmaps(16)
+            .seed(seed);
+
+        let mut seq = QueryCatalog::new(&schema, template);
+        let mut base = QueryCatalog::new(&schema, template);
+        let ids: Vec<_> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| {
+                seq.register(format!("q{i}"), q.clone());
+                base.register(format!("q{i}"), q.clone())
+            })
+            .collect();
+
+        let mut sharded = ShardedCatalog::new(base, threads);
+        for chunk in stream.chunks(batch) {
+            seq.process_batch(chunk);
+            sharded.process_batch(chunk);
+            sharded.process_batch(&[]); // an empty batch is a free no-op
+        }
+        // A mid-stream settled read must not perturb the final state.
+        sharded.publish();
+        sharded.barrier();
+
+        let merged = sharded.finish();
+        prop_assert_eq!(merged.tuples_seen(), seq.tuples_seen());
+        for (i, id) in ids.iter().enumerate() {
+            prop_assert_eq!(
+                merged.answer(*id).expect("query live").to_bits(),
+                seq.answer(*id).expect("query live").to_bits(),
+                "query {} diverged under {} lanes",
+                i,
+                threads
             );
         }
     }

@@ -377,6 +377,91 @@ fn audit_rejects_parallel_ingestion() {
 }
 
 #[test]
+fn catalog_under_threads_matches_sequential_catalog() {
+    let dir = std::env::temp_dir().join(format!("implicate-qcat-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let qfile = dir.join("queries.txt");
+    std::fs::write(
+        &qfile,
+        "loyal    one-to-one  0  1  support=1\n\
+         sources  distinct    0  -\n\
+         fanout   more-than   0  1  k=2\n",
+    )
+    .expect("write query file");
+    let qfile_s = qfile.to_str().expect("utf-8 path");
+
+    let input = traffic(3000, 1500);
+    let (seq_out, seq_err, seq_ok) = run_cli(&["--query-file", qfile_s], &input);
+    assert!(seq_ok, "stderr: {seq_err}");
+    for threads in ["2", "3"] {
+        let (par_out, par_err, par_ok) =
+            run_cli(&["--query-file", qfile_s, "--threads", threads], &input);
+        assert!(par_ok, "stderr: {par_err}");
+        assert_eq!(
+            par_out, seq_out,
+            "catalog answers must be bit-identical under --threads {threads}"
+        );
+        assert!(par_err.contains("rows 6000"), "stderr: {par_err}");
+        assert!(
+            par_err.contains(&format!("over {threads} lanes")),
+            "stderr: {par_err}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn parallel_catalog_watch_reports_settled_per_query_views() {
+    let dir = std::env::temp_dir().join(format!("implicate-qwatch-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let qfile = dir.join("queries.txt");
+    std::fs::write(&qfile, "loyal one-to-one 0 1 support=1\n").expect("write query file");
+    let qfile_s = qfile.to_str().expect("utf-8 path");
+
+    let input = traffic(2000, 0);
+    let (_, stderr, ok) = run_cli(
+        &[
+            "--query-file",
+            qfile_s,
+            "--threads",
+            "2",
+            "--watch",
+            "1000",
+            "--stats-interval",
+            "1000",
+        ],
+        &input,
+    );
+    assert!(ok, "stderr: {stderr}");
+    // Watch boundaries publish + barrier, so the matched count is exact.
+    assert!(
+        stderr.contains("1000 rows [loyal]:") && stderr.contains("(1000 matched)"),
+        "stderr: {stderr}"
+    );
+    assert!(
+        stderr.contains("implicate_query_tuples{query=\"loyal\"} 1000"),
+        "stderr: {stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn catalog_audit_still_requires_one_thread() {
+    let dir = std::env::temp_dir().join(format!("implicate-qaudit-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let qfile = dir.join("queries.txt");
+    std::fs::write(&qfile, "loyal one-to-one 0 1 support=1\n").expect("write query file");
+    let qfile_s = qfile.to_str().expect("utf-8 path");
+    let (_, stderr, ok) = run_cli(
+        &["--query-file", qfile_s, "--threads", "2", "--audit", "100"],
+        "",
+    );
+    assert!(!ok);
+    assert!(stderr.contains("--audit requires --threads 1"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn unknown_option_fails_with_usage() {
     let (_, stderr, ok) = run_cli(&["--bogus"], "");
     assert!(!ok);
