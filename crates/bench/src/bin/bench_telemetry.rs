@@ -387,7 +387,7 @@ fn main() {
         let start = Instant::now();
         for (i, (a, b)) in data.iter().enumerate() {
             est.update(a, b);
-            if (i + 1) as u64 % publish_every == 0 {
+            if ((i + 1) as u64).is_multiple_of(publish_every) {
                 est.publish();
             }
         }
@@ -484,7 +484,7 @@ fn main() {
         let start = Instant::now();
         for (i, (a, b)) in data.iter().enumerate() {
             est.update(a, b);
-            if (i + 1) as u64 % publish_every == 0 {
+            if ((i + 1) as u64).is_multiple_of(publish_every) {
                 est.publish();
             }
         }

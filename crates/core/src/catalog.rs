@@ -847,7 +847,9 @@ impl ShardedCatalog {
 
     /// Iterates live queries in registration order as `(id, name)`.
     pub fn iter(&self) -> impl Iterator<Item = (QueryId, &str)> {
-        self.readers.iter().map(|(id, name, _)| (*id, name.as_str()))
+        self.readers
+            .iter()
+            .map(|(id, name, _)| (*id, name.as_str()))
     }
 
     /// A pooled batch ready to refill (via [`HashedBatch::recycle`] +
@@ -857,8 +859,7 @@ impl ShardedCatalog {
         for i in 0..self.pool.len() {
             if Arc::strong_count(&self.pool[i]) == 1 {
                 let arc = self.pool.swap_remove(i);
-                return Arc::try_unwrap(arc)
-                    .unwrap_or_else(|_| unreachable!("strong_count was 1"));
+                return Arc::try_unwrap(arc).unwrap_or_else(|_| unreachable!("strong_count was 1"));
             }
         }
         HashedBatch::new()
@@ -869,7 +870,11 @@ impl ShardedCatalog {
     /// previous batch used, once all lanes finished with it). The batch
     /// must come from a hasher matching [`hasher`](Self::hasher).
     pub fn process_hashed(&mut self, batch: HashedBatch) -> HashedBatch {
-        debug_assert_eq!(batch.arity(), self.shell.schema.arity(), "batch/schema arity");
+        debug_assert_eq!(
+            batch.arity(),
+            self.shell.schema.arity(),
+            "batch/schema arity"
+        );
         if batch.is_empty() {
             return batch;
         }

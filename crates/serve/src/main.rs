@@ -482,6 +482,9 @@ impl Shared {
 
 /// The writer side: one thread owning either the sequential estimator or
 /// the sharded pipeline.
+// One Pipeline exists per process, so the size spread between variants
+// is irrelevant — boxing would only add a pointer chase per batch.
+#[allow(clippy::large_enum_variant)]
 enum Pipeline {
     Sequential(ImplicationEstimator),
     Sharded(ShardedEstimator),
@@ -1954,10 +1957,8 @@ fn query_connection(
         body_in.clear();
     }
 
-    let catalog_answer = catalog.and_then(|cat| {
-        catalog_route(method, route, query_string, &body_in, cat, shared)
-            .map(|(s, ct, b)| (s, ct, b))
-    });
+    let catalog_answer =
+        catalog.and_then(|cat| catalog_route(method, route, query_string, &body_in, cat, shared));
     let (status, content_type, body): (&str, &str, Vec<u8>) = if let Some(answer) = catalog_answer {
         answer
     } else {

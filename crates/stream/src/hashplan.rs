@@ -322,10 +322,7 @@ impl HashedBatch {
     /// Derives one query's `(h_a, b_fp)` pair for row `i`.
     #[inline]
     pub fn combine_row(&self, q: &QueryCombiner, i: usize) -> (u64, u64) {
-        (
-            q.lhs.combine(self.row_a(i)),
-            q.rhs.combine(self.row_b(i)),
-        )
+        (q.lhs.combine(self.row_a(i)), q.rhs.combine(self.row_b(i)))
     }
 
     /// Derives one query's `(h_a, b_fp)` lane for the whole batch,

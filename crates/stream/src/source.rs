@@ -52,7 +52,12 @@ pub trait TupleSource {
     /// The tuple storage cycles through `out` across calls
     /// ([`HashedBatch::recycle`]), so steady-state reading is
     /// allocation-free once capacities have grown to the batch size.
-    fn next_hashed_batch(&mut self, hasher: &TupleHasher, out: &mut HashedBatch, max: usize) -> usize {
+    fn next_hashed_batch(
+        &mut self,
+        hasher: &TupleHasher,
+        out: &mut HashedBatch,
+        max: usize,
+    ) -> usize {
         let mut tuples = out.recycle();
         let n = self.next_batch(&mut tuples, max);
         hasher.hash_batch(tuples, out);
